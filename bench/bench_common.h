@@ -1,0 +1,178 @@
+//===- bench/bench_common.h - Shared benchmark plumbing ---------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_BENCH_BENCH_COMMON_H
+#define RELC_BENCH_BENCH_COMMON_H
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace relc_bench {
+
+/// Serializing-ish cycle counter; falls back to nanoseconds on non-x86
+/// (the cycles/byte column then reads ns/byte × estimated GHz).
+inline uint64_t cycleCount() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned Aux;
+  return __rdtscp(&Aux);
+#else
+  return uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Estimates the TSC frequency in GHz (used to convert between cycles and
+/// wall time in summaries).
+inline double estimateGHz() {
+  static double GHz = [] {
+    auto T0 = std::chrono::steady_clock::now();
+    uint64_t C0 = cycleCount();
+    while (std::chrono::steady_clock::now() - T0 <
+           std::chrono::milliseconds(50)) {
+    }
+    uint64_t C1 = cycleCount();
+    auto T1 = std::chrono::steady_clock::now();
+    double Ns = double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           T1 - T0)
+                           .count());
+    return double(C1 - C0) / Ns;
+  }();
+  return GHz;
+}
+
+/// Mean and 95% confidence half-width over samples.
+struct Stats {
+  double Mean = 0, Ci95 = 0;
+};
+
+inline Stats stats(const std::vector<double> &Xs) {
+  Stats S;
+  if (Xs.empty())
+    return S;
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += X;
+  S.Mean = Sum / double(Xs.size());
+  double Var = 0;
+  for (double X : Xs)
+    Var += (X - S.Mean) * (X - S.Mean);
+  Var /= Xs.size() > 1 ? double(Xs.size() - 1) : 1.0;
+  S.Ci95 = 1.96 * std::sqrt(Var / double(Xs.size()));
+  return S;
+}
+
+/// Times \p Fn over \p Reps repetitions; returns per-rep cycle counts
+/// divided by \p Bytes (cycles per byte).
+inline Stats cyclesPerByte(const std::function<void()> &Fn, size_t Bytes,
+                           unsigned Reps) {
+  // Warmup.
+  Fn();
+  Fn();
+  std::vector<double> Samples;
+  Samples.reserve(Reps);
+  for (unsigned I = 0; I < Reps; ++I) {
+    uint64_t C0 = cycleCount();
+    Fn();
+    uint64_t C1 = cycleCount();
+    Samples.push_back(double(C1 - C0) / double(Bytes));
+  }
+  return stats(Samples);
+}
+
+/// Deterministic xorshift-style byte stream for workloads.
+inline std::vector<uint8_t> randomBytes(size_t N, uint64_t Seed) {
+  std::vector<uint8_t> Out(N);
+  uint64_t S = Seed ? Seed : 1;
+  for (size_t I = 0; I < N; ++I) {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    Out[I] = uint8_t(S);
+  }
+  return Out;
+}
+
+inline std::vector<uint8_t> asciiBytes(size_t N, uint64_t Seed) {
+  std::vector<uint8_t> Out = randomBytes(N, Seed);
+  for (uint8_t &B : Out)
+    B = uint8_t(0x20 + (B % 0x5f)); // Printable ASCII.
+  return Out;
+}
+
+inline std::vector<uint8_t> dnaBytes(size_t N, uint64_t Seed) {
+  static const char Alphabet[] = "ACGTacgtNRYKMn";
+  std::vector<uint8_t> Out = randomBytes(N, Seed);
+  for (uint8_t &B : Out)
+    B = uint8_t(Alphabet[B % (sizeof(Alphabet) - 1)]);
+  return Out;
+}
+
+/// A mix of 1-, 2-, 3- and 4-byte UTF-8 sequences (valid encodings).
+inline std::vector<uint8_t> utf8Bytes(size_t N, uint64_t Seed) {
+  std::vector<uint8_t> Src = randomBytes(N + 8, Seed);
+  std::vector<uint8_t> Out;
+  Out.reserve(N + 8);
+  size_t I = 0;
+  while (Out.size() < N) {
+    uint32_t Cp;
+    switch (Src[I++] & 3) {
+    case 0:
+      Cp = 'a' + (Src[I++] % 26);
+      break;
+    case 1:
+      Cp = 0x80 + (Src[I++] % 0x700);
+      break;
+    case 2:
+      Cp = 0x800 + (Src[I++] % 0xF000);
+      // Avoid the surrogate range.
+      if (Cp >= 0xD800 && Cp <= 0xDFFF)
+        Cp = 0x1234;
+      break;
+    default:
+      Cp = 0x10000 + (Src[I++] % 0xFFFF);
+      break;
+    }
+    if (I >= Src.size())
+      I = 0;
+    if (Cp < 0x80) {
+      Out.push_back(uint8_t(Cp));
+    } else if (Cp < 0x800) {
+      Out.push_back(uint8_t(0xC0 | (Cp >> 6)));
+      Out.push_back(uint8_t(0x80 | (Cp & 0x3f)));
+    } else if (Cp < 0x10000) {
+      Out.push_back(uint8_t(0xE0 | (Cp >> 12)));
+      Out.push_back(uint8_t(0x80 | ((Cp >> 6) & 0x3f)));
+      Out.push_back(uint8_t(0x80 | (Cp & 0x3f)));
+    } else {
+      Out.push_back(uint8_t(0xF0 | (Cp >> 18)));
+      Out.push_back(uint8_t(0x80 | ((Cp >> 12) & 0x3f)));
+      Out.push_back(uint8_t(0x80 | ((Cp >> 6) & 0x3f)));
+      Out.push_back(uint8_t(0x80 | (Cp & 0x3f)));
+    }
+  }
+  Out.resize(N);
+  // Keep the tail decodable: pad the final bytes with ASCII.
+  for (size_t K = N >= 4 ? N - 4 : 0; K < N; ++K)
+    if (Out[K] >= 0x80)
+      Out[K] = 'x';
+  return Out;
+}
+
+} // namespace relc_bench
+
+#endif // RELC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,20 @@
+/*===- bench/ref/ext_hooks.c - Environment hooks for generated C ----------===
+ *
+ * Part of relc, a C++ reproduction of "Relational Compilation for
+ * Performance-Critical Applications" (PLDI 2022).
+ *
+ * Default implementations of the external-interaction hooks declared by
+ * every generated translation unit. The benchmark programs are pure and
+ * never call these; IO/writer examples linked against generated code get
+ * a simple counting tape.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#include <stdint.h>
+
+static uintptr_t relc_ext_read_counter = 0;
+static uintptr_t relc_ext_write_sink = 0;
+
+uintptr_t relc_ext_read(void) { return relc_ext_read_counter++; }
+
+void relc_ext_write(uintptr_t w) { relc_ext_write_sink ^= w; }

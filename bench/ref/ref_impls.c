@@ -1,0 +1,124 @@
+/*===- bench/ref/ref_impls.c - Handwritten C references --------------------===
+ *
+ * Part of relc, a C++ reproduction of "Relational Compilation for
+ * Performance-Critical Applications" (PLDI 2022).
+ *
+ *===----------------------------------------------------------------------===*/
+
+#include "ref_impls.h"
+
+uint64_t ref_fnv1a(const uint8_t *s, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; i++) {
+    h ^= s[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void ref_upstr(uint8_t *s, size_t len) {
+  /* Box 1's handwritten program. */
+  for (size_t i = 0; i < len; i++) {
+    uint8_t b = s[i];
+    s[i] = (uint8_t)(((uint8_t)(b - 'a')) < 26u ? (b & 0x5f) : b);
+  }
+}
+
+uint32_t ref_m3s(uint32_t k) {
+  k *= 0xcc9e2d51u;
+  k = (k << 15) | (k >> 17);
+  k *= 0x1b873593u;
+  return k;
+}
+
+uint16_t ref_ip_chk(const uint8_t *s, size_t len) {
+  uint64_t sum = 0;
+  size_t i;
+  for (i = 0; i + 1 < len; i += 2)
+    sum += ((uint64_t)s[i] << 8) | s[i + 1];
+  if (len & 1)
+    sum += (uint64_t)s[len - 1] << 8;
+  while (sum >> 16)
+    sum = (sum & 0xffff) + (sum >> 16);
+  return (uint16_t)~sum;
+}
+
+void ref_fasta(uint8_t *s, size_t len) {
+  static const uint8_t comp[256] = {
+      0,   1,   2,   3,   4,   5,   6,   7,   8,   9,   10,  11,  12,  13,
+      14,  15,  16,  17,  18,  19,  20,  21,  22,  23,  24,  25,  26,  27,
+      28,  29,  30,  31,  32,  33,  34,  35,  36,  37,  38,  39,  40,  41,
+      42,  43,  44,  45,  46,  47,  48,  49,  50,  51,  52,  53,  54,  55,
+      56,  57,  58,  59,  60,  61,  62,  63,  64,  'T', 'V', 'G', 'H', 69,
+      70,  'C', 'D', 73,  74,  'M', 76,  'K', 'N', 79,  80,  81,  'Y', 'S',
+      'A', 'A', 'B', 'W', 88,  'R', 90,  91,  92,  93,  94,  95,  96,  'T',
+      'V', 'G', 'H', 101, 102, 'C', 'D', 105, 106, 'M', 108, 'K', 'N', 111,
+      112, 113, 'Y', 'S', 'A', 'A', 'B', 'W', 120, 'R', 122, 123, 124, 125,
+      126, 127, 128, 129, 130, 131, 132, 133, 134, 135, 136, 137, 138, 139,
+      140, 141, 142, 143, 144, 145, 146, 147, 148, 149, 150, 151, 152, 153,
+      154, 155, 156, 157, 158, 159, 160, 161, 162, 163, 164, 165, 166, 167,
+      168, 169, 170, 171, 172, 173, 174, 175, 176, 177, 178, 179, 180, 181,
+      182, 183, 184, 185, 186, 187, 188, 189, 190, 191, 192, 193, 194, 195,
+      196, 197, 198, 199, 200, 201, 202, 203, 204, 205, 206, 207, 208, 209,
+      210, 211, 212, 213, 214, 215, 216, 217, 218, 219, 220, 221, 222, 223,
+      224, 225, 226, 227, 228, 229, 230, 231, 232, 233, 234, 235, 236, 237,
+      238, 239, 240, 241, 242, 243, 244, 245, 246, 247, 248, 249, 250, 251,
+      252, 253, 254, 255};
+  for (size_t i = 0; i < len; i++)
+    s[i] = comp[s[i]];
+}
+
+uint32_t ref_crc32(const uint8_t *s, size_t len) {
+  static uint32_t table[256];
+  static int init = 0;
+  if (!init) {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    init = 1;
+  }
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; i++)
+    crc = (crc >> 8) ^ table[(crc ^ s[i]) & 0xff];
+  return crc ^ 0xffffffffu;
+}
+
+/* Branchless UTF-8 decoding, lookup-table style. */
+uint64_t ref_utf8(const uint8_t *s, size_t len) {
+  static const uint8_t lengths[32] = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                                      1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0,
+                                      0, 0, 2, 2, 2, 2, 3, 3, 4, 0};
+  static const uint8_t masks[5] = {0x00, 0x7f, 0x1f, 0x0f, 0x07};
+  static const uint8_t shiftc[5] = {0, 18, 12, 6, 0};
+  static const uint32_t mins[5] = {4194304, 0, 128, 2048, 65536};
+  static const uint8_t shifte[5] = {0, 6, 4, 2, 0};
+
+  uint64_t h = 0, e = 0;
+  size_t i = 0, n = len - 3;
+  while (i < n) {
+    uint64_t b0 = s[i], b1 = s[i + 1], b2 = s[i + 2], b3 = s[i + 3];
+    uint64_t t = lengths[b0 >> 3];
+    uint64_t cp = (b0 & masks[t]) << 18 | (b1 & 0x3f) << 12 |
+                  (b2 & 0x3f) << 6 | (b3 & 0x3f);
+    cp >>= shiftc[t];
+    uint64_t err = (uint64_t)(cp < mins[t]) << 6;
+    err |= (uint64_t)((cp >> 11) == 0x1b) << 7;
+    err |= (uint64_t)(cp > 0x10FFFF) << 8;
+    err |= (b1 & 0xc0) >> 2;
+    err |= (b2 & 0xc0) >> 4;
+    err |= b3 >> 6;
+    err ^= 0x2a;
+    err >>= shifte[t];
+    h ^= cp;
+    e |= err;
+    i += t + (t == 0);
+  }
+  for (size_t j = i; j < len; j++) {
+    h ^= s[j];
+    e |= s[j] > 0x7f;
+  }
+  return ((e & 0xffffffffull) << 32) | (h & 0xffffffffull);
+}

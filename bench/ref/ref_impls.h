@@ -1,0 +1,43 @@
+/*===- bench/ref/ref_impls.h - Handwritten C references --------------------===
+ *
+ * Part of relc, a C++ reproduction of "Relational Compilation for
+ * Performance-Critical Applications" (PLDI 2022).
+ *
+ * The handwritten side of Figure 2: idiomatic C implementations of the
+ * seven benchmark tasks, written the way a careful C programmer would,
+ * independently of the generated code. Signatures use ordinary C types;
+ * the bench adapts between these and the generated uintptr_t ABI.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef RELC_BENCH_REF_IMPLS_H
+#define RELC_BENCH_REF_IMPLS_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+uint64_t ref_fnv1a(const uint8_t *s, size_t len);
+
+/* Decodes the whole buffer (len >= 4); returns (errors<<32)|xor-of-codepoints,
+ * the same observable as the generated driver. */
+uint64_t ref_utf8(const uint8_t *s, size_t len);
+
+void ref_upstr(uint8_t *s, size_t len);
+
+uint32_t ref_m3s(uint32_t k);
+
+uint16_t ref_ip_chk(const uint8_t *s, size_t len);
+
+void ref_fasta(uint8_t *s, size_t len);
+
+uint32_t ref_crc32(const uint8_t *s, size_t len);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* RELC_BENCH_REF_IMPLS_H */

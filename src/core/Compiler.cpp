@@ -1,0 +1,303 @@
+//===- core/Compiler.cpp - The relational compilation driver ---------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include "core/Derivation.h"
+#include "ir/Check.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+
+namespace relc {
+namespace core {
+
+using sep::ArgSpec;
+using sep::CompState;
+using sep::HeapClause;
+using sep::SymVal;
+using sep::TargetSlot;
+using solver::lc;
+using solver::ls;
+
+std::string DerivNode::str(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  std::string Out = Pad + Rule + "  ⊢  " + Goal + "\n";
+  for (const std::string &S : SideConds)
+    Out += Pad + "  |- side: " + S + "\n";
+  for (const std::string &N : Notes)
+    Out += Pad + "  |- note: " + N + "\n";
+  for (const auto &C : Children)
+    Out += C->str(Indent + 2);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileCtx.
+//===----------------------------------------------------------------------===//
+
+CompileCtx::CompileCtx(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
+                       const RuleSet &Rules)
+    : SrcFn(Fn), Spec(Spec), Rules(Rules), Exprs(*this) {}
+
+Result<int> CompileCtx::requireClause(const std::string &Name,
+                                      HeapClause::Kind Kind) const {
+  int Idx = State.findClauseByPayload(Name);
+  if (Idx < 0)
+    return Error("unsolved goal: the memory predicate has no clause holding "
+                 "'" + Name + "'")
+        .note(State.str());
+  if (State.Heap[Idx].TheKind != Kind)
+    return Error("memory clause for '" + Name +
+                 "' has the wrong shape (found " + State.Heap[Idx].str() +
+                 ")");
+  return Idx;
+}
+
+Result<std::string> CompileCtx::requirePtrLocal(int ClauseIdx) const {
+  std::optional<std::string> L = State.findPtrLocal(ClauseIdx);
+  if (!L)
+    return Error("unsolved goal: no local variable holds a pointer to " +
+                 State.Heap[ClauseIdx].str())
+        .note(State.str());
+  return *L;
+}
+
+Result<std::string>
+CompileCtx::requireLenLocal(const solver::LinTerm &Len) const {
+  std::optional<std::string> L = State.findLocalEqualTo(Len);
+  if (!L)
+    return Error("unsolved goal: no local variable holds the length (" +
+                 Len.str() + ") needed to drive this loop; pass it as an "
+                 "argument or bind it first")
+        .note(State.str());
+  return *L;
+}
+
+Status CompileCtx::checkNoCollisions(
+    const ir::Prog &P, const std::set<std::string> &Allowed) const {
+  for (const ir::Binding &B : P.bindings())
+    for (const std::string &N : B.Names)
+      if (State.Locals.count(N) && !Allowed.count(N))
+        return Error("binder '" + N +
+                     "' inside this loop/branch collides with a live local; "
+                     "rename the inner binding (compilation is name-directed)");
+  return Status::success();
+}
+
+Status CompileCtx::noteTableUse(const std::string &TableName) {
+  const ir::TableDef *T = SrcFn.findTable(TableName);
+  if (!T)
+    return Error("unknown inline table '" + TableName + "'");
+  UsedTables.insert(TableName);
+  return Status::success();
+}
+
+std::string CompileCtx::judgmentStr(const std::string &GoalText) const {
+  return "{ tr; m; l; σ } ?c { pred (" + GoalText + ") }\nwhere\n" +
+         indentLines(State.str(), 2);
+}
+
+Result<bedrock::CmdPtr> CompileCtx::compileProg(const ir::Prog &P,
+                                                const EndHandler &End,
+                                                DerivNode &D) {
+  // Recursive let-chain compilation in continuation style: each rule's
+  // conclusion mentions the continuation K, mirroring §3.3.
+  std::function<Result<bedrock::CmdPtr>(size_t, DerivNode &)> Go =
+      [&](size_t I, DerivNode &Parent) -> Result<bedrock::CmdPtr> {
+    if (I == P.bindings().size())
+      return End(*this, Parent);
+    const ir::Binding &B = P.bindings()[I];
+    StmtRule *R = Rules.findMatch(*this, B);
+    if (!R)
+      return Error("unsolved goal: no compilation lemma matches\n" +
+                   judgmentStr(B.str()) +
+                   "\n(register a rule for this construct)");
+    DerivNode &Node = Parent.child(R->name(), B.str());
+    // The continuation extends the *parent* node so the derivation reads
+    // like the let-chain; the rule's own subderivations nest under Node.
+    Cont K = [&Go, I, &Parent](DerivNode &) { return Go(I + 1, Parent); };
+    Result<bedrock::CmdPtr> Out = R->apply(*this, B, K, Node);
+    if (!Out)
+      return Out.takeError().note("while compiling " + B.str());
+    return Out;
+  };
+  return Go(0, D);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler.
+//===----------------------------------------------------------------------===//
+
+Compiler::Compiler() { registerStandardRules(Rules); }
+Compiler::Compiler(EmptyTag) {}
+
+/// Builds the initial symbolic state from the ABI (§3.2: the first
+/// transformation is encoded as the ABI).
+static Status setupInitialState(CompileCtx &Ctx, const ir::SourceFn &Fn,
+                                const sep::FnSpec &Spec,
+                                std::vector<std::string> *ArgNames) {
+  CompState &St = Ctx.State;
+  for (const ArgSpec &A : Spec.Args) {
+    ArgNames->push_back(A.TargetName);
+    const ir::Param *P = Fn.findParam(A.SourceName);
+    switch (A.TheKind) {
+    case ArgSpec::Kind::Scalar: {
+      // The local mirrors the source word parameter; same symbol.
+      St.Locals[A.TargetName] =
+          TargetSlot::scalar(SymVal::sym(A.SourceName), ir::Ty::Word);
+      St.Facts.addGe0(ls(A.SourceName), "word parameter is nonnegative");
+      break;
+    }
+    case ArgSpec::Kind::ArrayLen: {
+      // requires: this argument equals length(OfArray); use the length
+      // symbol itself as the local's value.
+      std::string LenSym = "len_" + A.OfArray;
+      St.Locals[A.TargetName] =
+          TargetSlot::scalar(SymVal::sym(LenSym), ir::Ty::Word);
+      break;
+    }
+    case ArgSpec::Kind::ArrayPtr: {
+      std::string PtrSym = "ptr_" + A.SourceName;
+      HeapClause C;
+      C.TheKind = HeapClause::Kind::Array;
+      C.Ptr = PtrSym;
+      C.Payload = A.SourceName;
+      C.Elt = P->Elt;
+      C.Len = ls("len_" + A.SourceName);
+      St.Heap.push_back(C);
+      St.Locals[A.TargetName] =
+          TargetSlot::ptr(SymVal::sym(PtrSym), int(St.Heap.size()) - 1);
+      Ctx.ArgPtrSyms[A.SourceName] = PtrSym;
+      // Structural ABI facts: lengths are nonnegative and bounded (the
+      // validator rejects larger inputs, keeping index arithmetic in the
+      // no-wraparound fragment the solver is sound for).
+      St.Facts.addGe0(ls("len_" + A.SourceName), "length is nonnegative");
+      St.Facts.addLe(ls("len_" + A.SourceName), lc(int64_t(1) << 32),
+                     "ABI bounds array lengths by 2^32");
+      break;
+    }
+    case ArgSpec::Kind::CellPtr: {
+      std::string PtrSym = "ptr_" + A.SourceName;
+      HeapClause C;
+      C.TheKind = HeapClause::Kind::Cell;
+      C.Ptr = PtrSym;
+      C.Payload = A.SourceName;
+      C.Elt = ir::EltKind::U64;
+      C.Len = lc(1);
+      St.Heap.push_back(C);
+      St.Locals[A.TargetName] =
+          TargetSlot::ptr(SymVal::sym(PtrSym), int(St.Heap.size()) - 1);
+      Ctx.ArgPtrSyms[A.SourceName] = PtrSym;
+      break;
+    }
+    }
+  }
+  return Status::success();
+}
+
+/// The function-end handler: realizes the ensures clause by checking that
+/// scalar returns live in locals of their names and in-place results are
+/// still framed at their argument pointers.
+static Result<bedrock::CmdPtr> functionEnd(CompileCtx &Ctx, DerivNode &D) {
+  const sep::FnSpec &Spec = Ctx.spec();
+  DerivNode &Node = D.child("compile_fn_return", "ensures clause");
+
+  for (const std::string &R : Spec.ScalarRets) {
+    const TargetSlot *Slot = Ctx.State.findScalar(R);
+    if (!Slot)
+      return Error("unsolved goal: scalar return '" + R +
+                   "' is not held by any local at function end")
+          .note(Ctx.State.str());
+    Node.SideConds.push_back("local " + R + " holds the model result " + R);
+  }
+  for (const std::string &S : Spec.InPlaceArrays) {
+    Result<int> Idx = Ctx.requireClause(S, HeapClause::Kind::Array);
+    if (!Idx)
+      return Idx.takeError().note("for in-place result '" + S + "'");
+    const HeapClause &C = Ctx.State.Heap[*Idx];
+    auto It = Ctx.ArgPtrSyms.find(S);
+    if (It == Ctx.ArgPtrSyms.end() || C.Ptr != It->second)
+      return Error("in-place result '" + S +
+                   "' does not live at its argument pointer anymore");
+    if (C.FromStack)
+      return Error("in-place result '" + S +
+                   "' escaped into a stack allocation");
+    Node.SideConds.push_back("(array " + C.Ptr + " " + S +
+                             " * r) m' holds at exit");
+  }
+  for (const std::string &S : Spec.InPlaceCells) {
+    Result<int> Idx = Ctx.requireClause(S, HeapClause::Kind::Cell);
+    if (!Idx)
+      return Idx.takeError().note("for in-place cell result '" + S + "'");
+    const HeapClause &C = Ctx.State.Heap[*Idx];
+    auto It = Ctx.ArgPtrSyms.find(S);
+    if (It == Ctx.ArgPtrSyms.end() || C.Ptr != It->second)
+      return Error("in-place cell result '" + S +
+                   "' does not live at its argument pointer anymore");
+    Node.SideConds.push_back("(cell " + C.Ptr + " " + S +
+                             " * r) m' holds at exit");
+  }
+  return bedrock::skip();
+}
+
+Result<CompileResult> Compiler::compileFn(const ir::SourceFn &Fn,
+                                          const sep::FnSpec &Spec,
+                                          const CompileHints &Hints) {
+  // Source-level checks come first: the compiler only ever sees models
+  // that scope-, type- and monad-check.
+  Result<std::vector<ir::VType>> Checked = ir::checkFn(Fn);
+  if (!Checked)
+    return Checked.takeError().note("model rejected before compilation");
+  Status SpecOk = sep::checkSpecAgainstFn(Spec, Fn);
+  if (!SpecOk)
+    return SpecOk.takeError().note("fnspec rejected before compilation");
+
+  CompileCtx Ctx(Fn, Spec, Rules);
+  std::vector<std::string> ArgNames;
+  Status Init = setupInitialState(Ctx, Fn, Spec, &ArgNames);
+  if (!Init)
+    return Init.takeError();
+  for (const auto &H : Hints.EntryFacts)
+    H(Ctx.State);
+
+  auto Proof = std::make_unique<DerivNode>(
+      "compile_fn", "defn! \"" + Spec.TargetName + "\" implements " + Fn.Name);
+  Proof->Notes.push_back("monad: " + std::string(ir::monadName(Fn.TheMonad)));
+
+  Result<bedrock::CmdPtr> Body =
+      Ctx.compileProg(*Fn.Body, functionEnd, *Proof);
+  if (!Body)
+    return Body.takeError().note("while deriving \"" + Spec.TargetName +
+                                 "\"");
+
+  bedrock::Function Out;
+  Out.Name = Spec.TargetName;
+  Out.Args = ArgNames;
+  Out.Rets = Spec.ScalarRets;
+  Out.Body = Body.take();
+  for (const std::string &TName : Ctx.UsedTables) {
+    const ir::TableDef *T = Fn.findTable(TName);
+    bedrock::InlineTable BT;
+    BT.Name = T->Name;
+    BT.EltSize = accessSize(T->Elt);
+    BT.Elements = T->Elements;
+    Out.Tables.push_back(std::move(BT));
+  }
+
+  CompileResult R;
+  R.Fn = std::move(Out);
+  R.Proof = std::move(Proof);
+  R.Features = Ctx.Features;
+  R.ExternalCallees = Ctx.ExternalCallees;
+  R.SourceBindings = Fn.Body->countBindings();
+  R.EmittedStmts = R.Fn.countStmts();
+  return R;
+}
+
+} // namespace core
+} // namespace relc

@@ -1,0 +1,163 @@
+//===- core/Compiler.h - The relational compilation driver -----*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The proof-search driver. A compilation goal is the paper's judgment
+// {t; m; l; σ} ?c {pred p}: symbolic state (sep::CompState) plus the
+// remaining source program p. The driver walks the let-chain; for each
+// binding it selects the first matching rule from the hint database and
+// lets it emit code, transform the state, and continue. No backtracking:
+// either compilation succeeds with a Bedrock2 function and a Derivation
+// witness, or it stops with the printed unsolved goal (§3.1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CORE_COMPILER_H
+#define RELC_CORE_COMPILER_H
+
+#include "bedrock/Ast.h"
+#include "core/Derivation.h"
+#include "core/ExprCompile.h"
+#include "core/Rule.h"
+#include "ir/Prog.h"
+#include "sep/Spec.h"
+#include "sep/State.h"
+#include "support/Result.h"
+
+#include <map>
+#include <set>
+
+namespace relc {
+namespace core {
+
+/// Extra ingredients a program plugs into its compilation (§3.2's "hints"):
+/// entry facts (incidental properties proven at the source level) and
+/// program-specific rules are registered through the Compiler before
+/// calling compileFn.
+struct CompileHints {
+  /// Each provider adds facts about the entry symbols to the fact database
+  /// (symbols are named after parameters: a scalar parameter x is symbol
+  /// "x", the length of list parameter s is "len_s").
+  std::vector<std::function<void(sep::CompState &)>> EntryFacts;
+};
+
+/// Everything a successful compilation produces.
+struct CompileResult {
+  bedrock::Function Fn;
+  std::unique_ptr<DerivNode> Proof;
+
+  /// Which rule families fired — the Table 2 feature matrix, computed from
+  /// the derivation rather than hand-declared.
+  std::set<std::string> Features;
+
+  /// Functions this one calls (must be linked into the final module).
+  std::set<std::string> ExternalCallees;
+
+  unsigned SourceBindings = 0;
+  unsigned EmittedStmts = 0;
+};
+
+/// The compilation context: symbolic state plus everything rules need.
+/// One context lives for the duration of one compileFn run.
+class CompileCtx {
+public:
+  CompileCtx(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
+             const RuleSet &Rules);
+
+  sep::CompState State;
+
+  const ir::SourceFn &srcFn() const { return SrcFn; }
+  const sep::FnSpec &spec() const { return Spec; }
+  const RuleSet &ruleSet() const { return Rules; }
+  ExprCompiler &exprs() { return Exprs; }
+
+  /// End handler: runs when a (sub)program's bindings are exhausted, to
+  /// process its returns.
+  using EndHandler =
+      std::function<Result<bedrock::CmdPtr>(CompileCtx &, DerivNode &)>;
+
+  /// Compiles program \p P under the current state: each binding through
+  /// the rule set, then \p End for the returns.
+  Result<bedrock::CmdPtr> compileProg(const ir::Prog &P, const EndHandler &End,
+                                      DerivNode &D);
+
+  //===--------------------------------------------------------------------===//
+  // Helpers shared by rules.
+  //===--------------------------------------------------------------------===//
+
+  /// The heap clause holding source value \p Name, or an unsolved-goal
+  /// error describing the missing memory fact.
+  Result<int> requireClause(const std::string &Name,
+                            sep::HeapClause::Kind Kind) const;
+
+  /// The local holding a pointer to clause \p ClauseIdx.
+  Result<std::string> requirePtrLocal(int ClauseIdx) const;
+
+  /// A local whose value provably equals \p Len (for loop bounds).
+  Result<std::string> requireLenLocal(const solver::LinTerm &Len) const;
+
+  /// Checks that the names bound at the top level of \p P (a loop or
+  /// branch body) do not collide with current locals, except \p Allowed.
+  Status checkNoCollisions(const ir::Prog &P,
+                           const std::set<std::string> &Allowed) const;
+
+  /// Marks a Table 2 feature family as used (Arithmetic, Arrays, Loops,
+  /// Mutation, Inline, ...).
+  void noteFeature(const std::string &Family) { Features.insert(Family); }
+
+  /// Marks an inline table as referenced so it is attached to the emitted
+  /// function.
+  Status noteTableUse(const std::string &TableName);
+
+  void noteExternalCallee(const std::string &Callee) {
+    ExternalCallees.insert(Callee);
+  }
+
+  /// Renders the current judgment {t; m; l; σ} ?c {pred <binding>} — shown
+  /// on unsolved goals and recorded in derivations.
+  std::string judgmentStr(const std::string &GoalText) const;
+
+  // Populated during compilation; harvested by the Compiler.
+  std::map<std::string, std::string> ArgPtrSyms; ///< list/cell param -> sym.
+  std::set<std::string> UsedTables;
+  std::set<std::string> ExternalCallees;
+  std::set<std::string> Features;
+
+private:
+  const ir::SourceFn &SrcFn;
+  const sep::FnSpec &Spec;
+  const RuleSet &Rules;
+  ExprCompiler Exprs;
+};
+
+/// The compiler: a rule set plus the driver.
+class Compiler {
+public:
+  /// Constructs with the standard rule library installed.
+  Compiler();
+
+  /// Constructs empty (no rules): useful for demonstrating extension from
+  /// a blank slate, as in the §4.1.1 walkthrough.
+  struct EmptyTag {};
+  explicit Compiler(EmptyTag);
+
+  RuleSet &rules() { return Rules; }
+
+  /// Compiles \p Fn against ABI \p Spec. Runs the source-level checker
+  /// first; on success the result carries the target function and the
+  /// derivation witness.
+  Result<CompileResult> compileFn(const ir::SourceFn &Fn,
+                                  const sep::FnSpec &Spec,
+                                  const CompileHints &Hints = {});
+
+private:
+  RuleSet Rules;
+};
+
+} // namespace core
+} // namespace relc
+
+#endif // RELC_CORE_COMPILER_H

@@ -1,0 +1,80 @@
+//===- core/Derivation.h - Compilation witnesses ----------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// A Derivation is the witness produced by a successful relational
+// compilation: one node per rule application, recording the goal it
+// discharged, the side conditions the solver proved, and any invariant
+// templates inferred for control-flow constructs. It is the C++ stand-in
+// for the Coq proof term of §2.2 ("we can use Coq's inspection facilities
+// to see the proof term as it is being generated").
+//
+// The validator replays derivations independently of the search driver
+// (src/validate/), which is what makes this translation validation rather
+// than a trusted compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CORE_DERIVATION_H
+#define RELC_CORE_DERIVATION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace core {
+
+struct DerivNode {
+  /// Rule (lemma) name, e.g. "compile_map_inplace".
+  std::string Rule;
+
+  /// The goal this node discharges, in printed-judgment form.
+  std::string Goal;
+
+  /// Side conditions discharged by the solver, printable ("i < len_s").
+  std::vector<std::string> SideConds;
+
+  /// Free-form notes: inferred invariant templates, lift annotations, etc.
+  std::vector<std::string> Notes;
+
+  std::vector<std::unique_ptr<DerivNode>> Children;
+
+  DerivNode() = default;
+  DerivNode(std::string Rule, std::string Goal)
+      : Rule(std::move(Rule)), Goal(std::move(Goal)) {}
+
+  /// Adds and returns a child node.
+  DerivNode &child(std::string RuleName, std::string GoalText) {
+    Children.push_back(
+        std::make_unique<DerivNode>(std::move(RuleName), std::move(GoalText)));
+    return *Children.back();
+  }
+
+  /// Number of rule applications in the tree.
+  unsigned size() const {
+    unsigned N = 1;
+    for (const auto &C : Children)
+      N += C->size();
+    return N;
+  }
+
+  /// Total number of recorded side conditions.
+  unsigned countSideConds() const {
+    unsigned N = unsigned(SideConds.size());
+    for (const auto &C : Children)
+      N += C->countSideConds();
+    return N;
+  }
+
+  /// Indented tree rendering.
+  std::string str(unsigned Indent = 0) const;
+};
+
+} // namespace core
+} // namespace relc
+
+#endif // RELC_CORE_DERIVATION_H

@@ -1,0 +1,589 @@
+//===- core/ExprCompile.cpp - Relational expression compiler ---------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ExprCompile.h"
+
+#include "core/Compiler.h"
+
+#include <algorithm>
+
+namespace relc {
+namespace core {
+
+using bedrock::AccessSize;
+using ir::EltKind;
+using ir::Ty;
+using sep::SymVal;
+using solver::lc;
+using solver::LinTerm;
+using solver::ls;
+
+bedrock::AccessSize accessSize(EltKind Elt) {
+  switch (Elt) {
+  case EltKind::U8:
+    return AccessSize::Byte;
+  case EltKind::U16:
+    return AccessSize::Two;
+  case EltKind::U32:
+    return AccessSize::Four;
+  case EltKind::U64:
+    return AccessSize::Eight;
+  }
+  return AccessSize::Byte;
+}
+
+bedrock::BinOp lowerWordOp(ir::WordOp Op) {
+  switch (Op) {
+  case ir::WordOp::Add:
+    return bedrock::BinOp::Add;
+  case ir::WordOp::Sub:
+    return bedrock::BinOp::Sub;
+  case ir::WordOp::Mul:
+    return bedrock::BinOp::Mul;
+  case ir::WordOp::DivU:
+    return bedrock::BinOp::DivU;
+  case ir::WordOp::RemU:
+    return bedrock::BinOp::RemU;
+  case ir::WordOp::And:
+    return bedrock::BinOp::And;
+  case ir::WordOp::Or:
+    return bedrock::BinOp::Or;
+  case ir::WordOp::Xor:
+    return bedrock::BinOp::Xor;
+  case ir::WordOp::Shl:
+    return bedrock::BinOp::Shl;
+  case ir::WordOp::LShr:
+    return bedrock::BinOp::LShr;
+  case ir::WordOp::AShr:
+    return bedrock::BinOp::AShr;
+  case ir::WordOp::LtU:
+    return bedrock::BinOp::LtU;
+  case ir::WordOp::LtS:
+    return bedrock::BinOp::LtS;
+  case ir::WordOp::Eq:
+    return bedrock::BinOp::Eq;
+  case ir::WordOp::Ne:
+    return bedrock::BinOp::Ne;
+  }
+  return bedrock::BinOp::Add;
+}
+
+bedrock::ExprPtr scaledAddress(bedrock::ExprPtr Ptr, bedrock::ExprPtr Index,
+                               EltKind Elt) {
+  if (Elt == EltKind::U8)
+    return bedrock::add(std::move(Ptr), std::move(Index));
+  return bedrock::add(std::move(Ptr),
+                      bedrock::mul(std::move(Index),
+                                   bedrock::lit(ir::eltSize(Elt))));
+}
+
+namespace {
+
+/// Creates a fresh result symbol with the always-valid facts: words are
+/// nonnegative, and byte-typed results are ≤ 255.
+SymVal freshResult(sep::CompState &St, const std::string &Hint, Ty T) {
+  SymVal V = SymVal::sym(St.freshSym(Hint));
+  St.Facts.addGe0(V.term(), "word is nonnegative");
+  if (T == Ty::Byte)
+    St.Facts.addLe(V.term(), lc(255), "byte value");
+  if (T == Ty::Bool)
+    St.Facts.addLe(V.term(), lc(1), "bool value");
+  return V;
+}
+
+/// Upper bound for values of an element kind, when it fits int64.
+int64_t eltUpperBound(EltKind K) {
+  switch (K) {
+  case EltKind::U8:
+    return 255;
+  case EltKind::U16:
+    return 65535;
+  case EltKind::U32:
+    return int64_t(0xffffffffll);
+  case EltKind::U64:
+    return -1; // No representable bound.
+  }
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Literals and variables.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: expr-lemma-const
+class ConstRule : public ExprRule {
+public:
+  std::string name() const override { return "expr_compile_literal"; }
+  bool matches(const CompileCtx &, const ir::Expr &E) const override {
+    return isa<ir::Const>(&E);
+  }
+  Result<CompiledExpr> apply(CompileCtx &, ExprCompiler &, const ir::Expr &E,
+                             DerivNode &) override {
+    const ir::Value &V = cast<ir::Const>(&E)->value();
+    CompiledExpr Out;
+    Out.E = bedrock::lit(V.scalar());
+    Out.Val = SymVal::constant(V.scalar());
+    switch (V.kind()) {
+    case ir::Value::Kind::Word:
+      Out.Type = Ty::Word;
+      break;
+    case ir::Value::Kind::Byte:
+      Out.Type = Ty::Byte;
+      break;
+    case ir::Value::Kind::Bool:
+      Out.Type = Ty::Bool;
+      break;
+    default:
+      return Error("non-scalar literal in expression");
+    }
+    return Out;
+  }
+};
+// RELC-SECTION-END: expr-lemma-const
+
+// RELC-SECTION-BEGIN: expr-lemma-var
+class VarRule : public ExprRule {
+public:
+  std::string name() const override { return "expr_compile_var"; }
+  bool matches(const CompileCtx &, const ir::Expr &E) const override {
+    return isa<ir::VarRef>(&E);
+  }
+  Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &, const ir::Expr &E,
+                             DerivNode &) override {
+    const auto *V = cast<ir::VarRef>(&E);
+    auto It = Ctx.State.Locals.find(V->name());
+    if (It == Ctx.State.Locals.end())
+      return Error("unsolved goal: no local holds the value of '" +
+                   V->name() + "'")
+          .note(Ctx.State.str());
+    if (It->second.TheKind != sep::TargetSlot::Kind::Scalar)
+      return Error("'" + V->name() +
+                   "' is a pointer; it cannot appear in scalar expressions");
+    CompiledExpr Out;
+    Out.E = bedrock::var(V->name());
+    Out.Val = It->second.Val;
+    Out.Type = It->second.ScalarTy;
+    return Out;
+  }
+};
+// RELC-SECTION-END: expr-lemma-var
+
+//===----------------------------------------------------------------------===//
+// Binary operators.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: expr-lemma-binop
+/// Compiles word operators, attaching definitional facts to the result
+/// symbol where they are unconditionally valid over ℕ (masks, shifts,
+/// division) or where absence of wraparound is provable (addition,
+/// subtraction, multiplication). Conservative when nothing is provable:
+/// the result is simply opaque.
+class BinRule : public ExprRule {
+public:
+  std::string name() const override { return "expr_compile_binop"; }
+  bool matches(const CompileCtx &, const ir::Expr &E) const override {
+    return isa<ir::Bin>(&E);
+  }
+
+  Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &EC,
+                             const ir::Expr &E, DerivNode &D) override {
+    const auto *B = cast<ir::Bin>(&E);
+    Result<CompiledExpr> L = EC.compileTyped(*B->lhs(), Ty::Word, D);
+    if (!L)
+      return L.takeError();
+    Result<CompiledExpr> R = EC.compileTyped(*B->rhs(), Ty::Word, D);
+    if (!R)
+      return R.takeError();
+
+    CompiledExpr Out;
+    Out.Pre = L->Pre;
+    Out.Pre.insert(Out.Pre.end(), R->Pre.begin(), R->Pre.end());
+    Out.Type = ir::wordOpIsCompare(B->op()) ? Ty::Bool : Ty::Word;
+
+    // Constant folding keeps symbolic values precise and target code tidy.
+    if (L->Val.IsConst && R->Val.IsConst) {
+      uint64_t K = ir::evalWordOp(B->op(), L->Val.K, R->Val.K);
+      Out.E = bedrock::lit(K);
+      Out.Val = SymVal::constant(K);
+      return Out;
+    }
+
+    Out.E = bedrock::bin(lowerWordOp(B->op()), L->E, R->E);
+    Out.Val = freshResult(Ctx.State, "t", Out.Type);
+    addDefinitionalFacts(Ctx.State, B->op(), L->Val, R->Val, Out.Val);
+    return Out;
+  }
+
+private:
+  /// Facts connecting the result symbol T to operands A, B.
+  static void addDefinitionalFacts(sep::CompState &St, ir::WordOp Op,
+                                   const SymVal &A, const SymVal &B,
+                                   const SymVal &T) {
+    LinTerm TA = A.term(), TB = B.term(), TT = T.term();
+    // Budgeted probe: a miss here only loses an optional fact (required
+    // side conditions elsewhere still get the solver's full effort).
+    auto ProvableLe = [&](const LinTerm &X, const LinTerm &Y) {
+      return St.Facts.probeLe(X, Y);
+    };
+    // After a definitional equation, cache a derived constant bound for
+    // the result symbol so later probes stay on the interval fast path.
+    auto CacheBound = [&](const LinTerm &Def) {
+      if (std::optional<int64_t> UB = St.Facts.intervalUpperBound(Def))
+        St.Facts.addLe(TT, solver::lc(*UB), "derived interval bound");
+    };
+    constexpr int64_t kNoWrap = int64_t(1) << 62;
+
+    switch (Op) {
+    case ir::WordOp::Add:
+      if (ProvableLe(TA + TB, lc(kNoWrap))) {
+        St.Facts.addEq(TT, TA + TB, "definition of +, no wrap");
+        CacheBound(TA + TB);
+      }
+      break;
+    case ir::WordOp::Sub:
+      if (ProvableLe(TB, TA)) {
+        St.Facts.addEq(TT, TA - TB, "definition of -, no borrow");
+        CacheBound(TA - TB);
+      }
+      break;
+    case ir::WordOp::Mul: {
+      // Only constant factors stay linear.
+      const SymVal *Var = nullptr;
+      const SymVal *Cst = nullptr;
+      if (A.IsConst && !B.IsConst) {
+        Cst = &A;
+        Var = &B;
+      } else if (B.IsConst && !A.IsConst) {
+        Cst = &B;
+        Var = &A;
+      }
+      if (Cst && Cst->K > 0 && Cst->K < (uint64_t(1) << 31) &&
+          ProvableLe(Var->term(), lc(kNoWrap / int64_t(Cst->K)))) {
+        St.Facts.addEq(TT, Var->term().scaled(int64_t(Cst->K)),
+                       "definition of *const, no wrap");
+        CacheBound(Var->term().scaled(int64_t(Cst->K)));
+      }
+      break;
+    }
+    case ir::WordOp::And:
+      // x & y ≤ x and x & y ≤ y, unconditionally.
+      St.Facts.addLe(TT, TA, "mask bound (lhs)");
+      St.Facts.addLe(TT, TB, "mask bound (rhs)");
+      break;
+    case ir::WordOp::Or:
+      // x | y ≤ x + y over ℕ.
+      St.Facts.addLe(TT, TA + TB, "or bound");
+      break;
+    case ir::WordOp::Shl:
+      if (B.IsConst && B.K <= 32 &&
+          ProvableLe(TA, lc(kNoWrap >> B.K))) {
+        St.Facts.addEq(TT, TA.scaled(int64_t(uint64_t(1) << B.K)),
+                       "definition of <<const, no wrap");
+        CacheBound(TA.scaled(int64_t(uint64_t(1) << B.K)));
+      }
+      break;
+    case ir::WordOp::LShr:
+      if (B.IsConst && B.K <= 32) {
+        int64_t P = int64_t(uint64_t(1) << B.K);
+        // 2^k·t ≤ a ≤ 2^k·t + 2^k − 1, unconditionally over ℕ.
+        St.Facts.addLe(TT.scaled(P), TA, "shift-right lower");
+        St.Facts.addLe(TA, TT.scaled(P) + lc(P - 1), "shift-right upper");
+      }
+      St.Facts.addLe(TT, TA, "shift-right shrinks");
+      break;
+    case ir::WordOp::DivU:
+      if (B.IsConst && B.K > 0 && B.K < (uint64_t(1) << 31)) {
+        St.Facts.addLe(TT.scaled(int64_t(B.K)), TA, "division lower");
+        St.Facts.addLe(TT, TA, "division shrinks");
+      }
+      break;
+    case ir::WordOp::RemU:
+      if (B.IsConst && B.K > 0 && B.K < (uint64_t(1) << 31))
+        St.Facts.addLe(TT, lc(int64_t(B.K) - 1), "remainder bound");
+      St.Facts.addLe(TT, TA, "remainder shrinks");
+      break;
+    default:
+      break; // Xor, AShr, comparisons: only the generic ≥ 0 / ≤ 1 facts.
+    }
+  }
+};
+// RELC-SECTION-END: expr-lemma-binop
+
+//===----------------------------------------------------------------------===//
+// Casts.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: expr-lemma-cast
+class CastRule : public ExprRule {
+public:
+  std::string name() const override { return "expr_compile_cast"; }
+  bool matches(const CompileCtx &, const ir::Expr &E) const override {
+    return isa<ir::Cast>(&E);
+  }
+  Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &EC,
+                             const ir::Expr &E, DerivNode &D) override {
+    const auto *C = cast<ir::Cast>(&E);
+    Result<CompiledExpr> V = EC.compile(*C->operand(), D);
+    if (!V)
+      return V.takeError();
+    CompiledExpr Out = *V;
+    switch (C->castKind()) {
+    case ir::CastKind::ByteToWord:
+      if (Out.Type != Ty::Byte)
+        return Error("b2w applied to non-byte expression");
+      // Bytes are stored zero-extended in locals; the word is the same.
+      Out.Type = Ty::Word;
+      return Out;
+    case ir::CastKind::BoolToWord:
+      if (Out.Type != Ty::Bool)
+        return Error("Z.b2z applied to non-bool expression");
+      Out.Type = Ty::Word;
+      return Out;
+    case ir::CastKind::WordToByte: {
+      if (Out.Type != Ty::Word)
+        return Error("w2b applied to non-word expression");
+      // When the operand is already provably a byte, truncation is the
+      // identity and no mask is emitted (keeps hot loops tidy).
+      if (Out.Val.IsConst) {
+        uint64_t K = Out.Val.K & 0xff;
+        Out.E = bedrock::lit(K);
+        Out.Val = SymVal::constant(K);
+        Out.Type = Ty::Byte;
+        return Out;
+      }
+      if (Ctx.State.Facts.entailsLe(Out.Val.term(), lc(255))) {
+        D.SideConds.push_back(Out.Val.str() + " <= 255 (w2b is identity)");
+        Out.Type = Ty::Byte;
+        return Out;
+      }
+      SymVal T = freshResult(Ctx.State, "b", Ty::Byte);
+      Ctx.State.Facts.addLe(T.term(), Out.Val.term(), "truncation shrinks");
+      Out.E = bedrock::bin(bedrock::BinOp::And, Out.E, bedrock::lit(0xff));
+      Out.Val = T;
+      Out.Type = Ty::Byte;
+      return Out;
+    }
+    }
+    return Error("unknown cast");
+  }
+};
+// RELC-SECTION-END: expr-lemma-cast
+
+//===----------------------------------------------------------------------===//
+// Expression-level conditionals.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: expr-lemma-select
+/// Materializes `if c then a else b` through a temporary local and a
+/// target-level conditional. The temporary's name is compiler-chosen; the
+/// result symbol is opaque apart from its type bound.
+class SelectRule : public ExprRule {
+public:
+  std::string name() const override { return "expr_compile_select"; }
+  bool matches(const CompileCtx &, const ir::Expr &E) const override {
+    return isa<ir::Select>(&E);
+  }
+  Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &EC,
+                             const ir::Expr &E, DerivNode &D) override {
+    const auto *S = cast<ir::Select>(&E);
+    Result<CompiledExpr> C = EC.compileTyped(*S->cond(), Ty::Bool, D);
+    if (!C)
+      return C.takeError();
+    Result<CompiledExpr> T = EC.compile(*S->thenExpr(), D);
+    if (!T)
+      return T.takeError();
+    Result<CompiledExpr> F = EC.compile(*S->elseExpr(), D);
+    if (!F)
+      return F.takeError();
+    if (T->Type != F->Type)
+      return Error("select branches have different types");
+
+    std::string Tmp = Ctx.State.freshLocal("sel");
+    SymVal V = freshResult(Ctx.State, "sel", T->Type);
+    Ctx.State.Locals[Tmp] = sep::TargetSlot::scalar(V, T->Type);
+    // Propagate a common provable bound across the arms (e.g. both arms
+    // byte-ranged ⇒ no w2b mask downstream).
+    for (int64_t Bound : {int64_t(1), int64_t(255), int64_t(65535),
+                          int64_t(0xffffffffll)}) {
+      if (Ctx.State.Facts.entailsLe(T->Val.term(), lc(Bound)) &&
+          Ctx.State.Facts.entailsLe(F->Val.term(), lc(Bound))) {
+        Ctx.State.Facts.addLe(V.term(), lc(Bound), "select arms bound");
+        break;
+      }
+    }
+
+    CompiledExpr Out;
+    Out.Pre = C->Pre;
+    bedrock::CmdPtr Then = bedrock::seqAll([&] {
+      std::vector<bedrock::CmdPtr> Cs = T->Pre;
+      Cs.push_back(bedrock::set(Tmp, T->E));
+      return Cs;
+    }());
+    bedrock::CmdPtr Else = bedrock::seqAll([&] {
+      std::vector<bedrock::CmdPtr> Cs = F->Pre;
+      Cs.push_back(bedrock::set(Tmp, F->E));
+      return Cs;
+    }());
+    Out.Pre.push_back(bedrock::ifThenElse(C->E, Then, Else));
+    Out.E = bedrock::var(Tmp);
+    Out.Val = V;
+    Out.Type = T->Type;
+    return Out;
+  }
+};
+// RELC-SECTION-END: expr-lemma-select
+
+//===----------------------------------------------------------------------===//
+// Array reads.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: expr-lemma-arrayget
+/// ListArray.get a i — loads from the array clause holding a. The bounds
+/// side condition i < length a is discharged by the solver against the
+/// facts in scope and recorded in the derivation.
+class ArrayGetRule : public ExprRule {
+public:
+  std::string name() const override { return "expr_compile_arrayget"; }
+  bool matches(const CompileCtx &, const ir::Expr &E) const override {
+    return isa<ir::ArrayGet>(&E);
+  }
+  Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &EC,
+                             const ir::Expr &E, DerivNode &D) override {
+    const auto *G = cast<ir::ArrayGet>(&E);
+    Result<int> ClauseIdx =
+        Ctx.requireClause(G->array(), sep::HeapClause::Kind::Array);
+    if (!ClauseIdx)
+      return ClauseIdx.takeError();
+    const sep::HeapClause &Clause = Ctx.State.Heap[*ClauseIdx];
+    Result<std::string> PtrLocal = Ctx.requirePtrLocal(*ClauseIdx);
+    if (!PtrLocal)
+      return PtrLocal.takeError();
+
+    Result<CompiledExpr> I = EC.compileTyped(*G->index(), Ty::Word, D);
+    if (!I)
+      return I.takeError();
+
+    Status Bound = Ctx.State.Facts.proveLt(I->Val.term(), Clause.Len);
+    if (!Bound)
+      return Bound.takeError().note("while compiling " + E.str());
+    D.SideConds.push_back(I->Val.str() + " < " + Clause.Len.str() +
+                          " (bounds of " + G->array() + ")");
+
+    Ctx.noteFeature("Arrays");
+    CompiledExpr Out;
+    Out.Pre = I->Pre;
+    Out.E = bedrock::load(accessSize(Clause.Elt),
+                          scaledAddress(bedrock::var(*PtrLocal), I->E,
+                                        Clause.Elt));
+    Out.Type = Clause.Elt == EltKind::U8 ? Ty::Byte : Ty::Word;
+    Out.Val = freshResult(Ctx.State, G->array() + "_elt", Out.Type);
+    if (int64_t UB = eltUpperBound(Clause.Elt); UB > 0 && Out.Type == Ty::Word)
+      Ctx.State.Facts.addLe(Out.Val.term(), lc(UB), "element width bound");
+    return Out;
+  }
+};
+// RELC-SECTION-END: expr-lemma-arrayget
+
+//===----------------------------------------------------------------------===//
+// Inline-table reads (§4.1.2).
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: expr-lemma-inline-table
+/// InlineTable.get t i — compiles to a Bedrock2 inline-table read. Byte
+/// tables took tens of lines in the paper; 32-bit-word tables "hundreds"
+/// because of missing Bedrock2 lemmas — here both widths share this rule,
+/// with the width-specific reasoning confined to the element-bound fact.
+class TableGetRule : public ExprRule {
+public:
+  std::string name() const override { return "expr_compile_inlinetable_get"; }
+  bool matches(const CompileCtx &, const ir::Expr &E) const override {
+    return isa<ir::TableGet>(&E);
+  }
+  Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &EC,
+                             const ir::Expr &E, DerivNode &D) override {
+    const auto *G = cast<ir::TableGet>(&E);
+    const ir::TableDef *T = Ctx.srcFn().findTable(G->table());
+    if (!T)
+      return Error("unsolved goal: no inline table named '" + G->table() +
+                   "' on function " + Ctx.srcFn().Name);
+    Result<CompiledExpr> I = EC.compileTyped(*G->index(), Ty::Word, D);
+    if (!I)
+      return I.takeError();
+
+    Status Bound =
+        Ctx.State.Facts.proveLt(I->Val.term(), lc(int64_t(T->Elements.size())));
+    if (!Bound)
+      return Bound.takeError().note("while compiling " + E.str());
+    D.SideConds.push_back(I->Val.str() + " < " +
+                          std::to_string(T->Elements.size()) + " (bounds of " +
+                          G->table() + ")");
+    Status Used = Ctx.noteTableUse(G->table());
+    if (!Used)
+      return Used.takeError();
+
+    Ctx.noteFeature("Inline");
+    CompiledExpr Out;
+    Out.Pre = I->Pre;
+    Out.E = bedrock::tableGet(accessSize(T->Elt), G->table(), I->E);
+    Out.Type = T->Elt == EltKind::U8 ? Ty::Byte : Ty::Word;
+    Out.Val = freshResult(Ctx.State, G->table() + "_elt", Out.Type);
+    // Strong structural fact: the result is bounded by the table maximum.
+    uint64_t Max = 0;
+    for (uint64_t Elt : T->Elements)
+      Max = std::max(Max, Elt & ir::eltMask(T->Elt));
+    if (Max <= uint64_t(int64_t(1) << 62))
+      Ctx.State.Facts.addLe(Out.Val.term(), lc(int64_t(Max)),
+                            "table maximum element");
+    return Out;
+  }
+};
+// RELC-SECTION-END: expr-lemma-inline-table
+
+} // namespace
+
+void registerStandardExprRules(ExprRuleSet &RS) {
+  RS.add(std::make_unique<ConstRule>());
+  RS.add(std::make_unique<VarRule>());
+  RS.add(std::make_unique<BinRule>());
+  RS.add(std::make_unique<CastRule>());
+  RS.add(std::make_unique<SelectRule>());
+  RS.add(std::make_unique<ArrayGetRule>());
+  RS.add(std::make_unique<TableGetRule>());
+}
+
+ExprCompiler::ExprCompiler(CompileCtx &Ctx) : Ctx(Ctx) {
+  registerStandardExprRules(Rules);
+}
+
+Result<CompiledExpr> ExprCompiler::compile(const ir::Expr &E, DerivNode &D) {
+  ExprRule *R = Rules.findMatch(Ctx, E);
+  if (!R)
+    return Error("unsolved goal: no expression lemma matches\n  EXPR m l ?e (" +
+                 E.str() + ")")
+        .note(Ctx.State.str());
+  DerivNode &Node = D.child(R->name(), "EXPR ?e (" + E.str() + ")");
+  Result<CompiledExpr> Out = R->apply(Ctx, *this, E, Node);
+  if (!Out)
+    return Out.takeError();
+  Ctx.noteFeature("Arithmetic");
+  return Out;
+}
+
+Result<CompiledExpr> ExprCompiler::compileTyped(const ir::Expr &E, Ty Want,
+                                                DerivNode &D) {
+  Result<CompiledExpr> Out = compile(E, D);
+  if (!Out)
+    return Out;
+  if (Out->Type != Want)
+    return Error("expression " + E.str() + " has type " +
+                 ir::tyName(Out->Type) + " where " + ir::tyName(Want) +
+                 " is required");
+  return Out;
+}
+
+} // namespace core
+} // namespace relc

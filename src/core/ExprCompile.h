@@ -1,0 +1,125 @@
+//===- core/ExprCompile.h - Relational expression compiler -----*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The second of Rupicola's two relational compilers (§4.1.3): "Rupicola is
+// really two relational compilers rolled into one: one targeting Bedrock2's
+// statements and one targeting its expressions." Like the statement
+// compiler it is a first-match rule engine over an extensible rule set; the
+// §4.1.3 ablation compares it against the original reflective design
+// (src/reflect/).
+//
+// Compiling a source expression yields:
+//  - a Bedrock2 expression,
+//  - its source-level scalar type,
+//  - a symbolic value (a solver symbol or constant) denoting the result —
+//    fresh result symbols come with *structural facts* (byte results are
+//    ≤ 255, x & c is ≤ c and ≤ x, 2^k·(x >> k) ≤ x, ...) that downstream
+//    bounds side conditions are proved from (§3.4.2's "structural"
+//    properties),
+//  - an optional statement preamble (expression-level conditionals
+//    materialize through a temporary and an If).
+//
+// Bounds side conditions of array and inline-table reads are discharged
+// here against the current fact database and recorded in the derivation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CORE_EXPRCOMPILE_H
+#define RELC_CORE_EXPRCOMPILE_H
+
+#include "bedrock/Ast.h"
+#include "core/Derivation.h"
+#include "ir/Expr.h"
+#include "sep/State.h"
+#include "support/Result.h"
+
+#include <memory>
+#include <vector>
+
+namespace relc {
+namespace core {
+
+class CompileCtx;
+
+/// The result of compiling one source expression.
+struct CompiledExpr {
+  bedrock::ExprPtr E;
+  ir::Ty Type = ir::Ty::Word;
+  sep::SymVal Val;                   ///< Symbolic result value.
+  std::vector<bedrock::CmdPtr> Pre;  ///< Statements to run before using E.
+};
+
+class ExprCompiler;
+
+/// One expression-compilation lemma.
+class ExprRule {
+public:
+  virtual ~ExprRule() = default;
+  virtual std::string name() const = 0;
+  virtual bool matches(const CompileCtx &Ctx, const ir::Expr &E) const = 0;
+  virtual Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &EC,
+                                     const ir::Expr &E, DerivNode &D) = 0;
+};
+
+class ExprRuleSet {
+public:
+  void add(std::unique_ptr<ExprRule> R) { Rules.push_back(std::move(R)); }
+  void addFront(std::unique_ptr<ExprRule> R) {
+    Rules.insert(Rules.begin(), std::move(R));
+  }
+  ExprRule *findMatch(const CompileCtx &Ctx, const ir::Expr &E) const {
+    for (const auto &R : Rules)
+      if (R->matches(Ctx, E))
+        return R.get();
+    return nullptr;
+  }
+  size_t size() const { return Rules.size(); }
+
+private:
+  std::vector<std::unique_ptr<ExprRule>> Rules;
+};
+
+/// The first-match driver for expressions.
+class ExprCompiler {
+public:
+  explicit ExprCompiler(CompileCtx &Ctx);
+
+  ExprRuleSet &rules() { return Rules; }
+
+  /// Compiles \p E under the current symbolic state; unsupported shapes
+  /// yield an unsolved-goal error naming the missing lemma shape.
+  Result<CompiledExpr> compile(const ir::Expr &E, DerivNode &D);
+
+  /// Compiles \p E and additionally checks it has scalar type \p Want.
+  Result<CompiledExpr> compileTyped(const ir::Expr &E, ir::Ty Want,
+                                    DerivNode &D);
+
+private:
+  CompileCtx &Ctx;
+  ExprRuleSet Rules;
+};
+
+/// Installs the standard expression rules (literals, variables, binary
+/// operators with definitional-symbol fact generation, casts, selects,
+/// array reads, inline-table reads).
+void registerStandardExprRules(ExprRuleSet &RS);
+
+/// Builds the address expression Ptr + Index·EltSize (omitting the
+/// multiplication for byte arrays).
+bedrock::ExprPtr scaledAddress(bedrock::ExprPtr Ptr, bedrock::ExprPtr Index,
+                               ir::EltKind Elt);
+
+/// Maps element kinds to access sizes.
+bedrock::AccessSize accessSize(ir::EltKind Elt);
+
+/// Maps source word operators to target operators (same carrier set).
+bedrock::BinOp lowerWordOp(ir::WordOp Op);
+
+} // namespace core
+} // namespace relc
+
+#endif // RELC_CORE_EXPRCOMPILE_H

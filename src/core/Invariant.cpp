@@ -1,0 +1,91 @@
+//===- core/Invariant.cpp - Loop/join invariant inference ------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Invariant.h"
+
+namespace relc {
+namespace core {
+
+using sep::SymVal;
+using sep::TargetSlot;
+using solver::lc;
+
+Result<LoopInvariant>
+inferInvariant(const CompileCtx &Ctx, const std::vector<std::string> &Names,
+               const std::map<std::string, ir::Ty> &NewScalarTys) {
+  LoopInvariant Inv;
+  for (const std::string &Name : Names) {
+    LoopTarget T;
+    T.Name = Name;
+    // Step 2: pointer iff the memory predicate holds the name; scalar iff
+    // the locals do (or the name is fresh).
+    int Clause = Ctx.State.findClauseByPayload(Name);
+    if (Clause >= 0) {
+      T.IsPointer = true;
+      T.ClauseIdx = Clause;
+    } else if (const TargetSlot *S = Ctx.State.findScalar(Name)) {
+      T.ScalarTy = S->ScalarTy;
+    } else {
+      auto It = NewScalarTys.find(Name);
+      if (It == NewScalarTys.end())
+        return Error("invariant inference: target '" + Name +
+                     "' is neither a local, a memory payload, nor a "
+                     "declared fresh scalar");
+      T.ScalarTy = It->second;
+    }
+    Inv.Targets.push_back(std::move(T));
+  }
+
+  // Step 4: render the closed template for the derivation.
+  std::string L = "{";
+  std::string M;
+  bool FirstL = true, FirstM = true;
+  for (const LoopTarget &T : Inv.Targets) {
+    if (T.IsPointer) {
+      const sep::HeapClause &C = Ctx.State.Heap[T.ClauseIdx];
+      if (!FirstM)
+        M += " * ";
+      FirstM = false;
+      M += "array " + C.Ptr + " _";
+    } else {
+      if (!FirstL)
+        L += ", ";
+      FirstL = false;
+      L += "\"" + T.Name + "\": _";
+    }
+  }
+  L += ", ...}";
+  Inv.Template = "(λ (" + [&] {
+    std::string Vars;
+    for (size_t I = 0; I < Inv.Targets.size(); ++I) {
+      if (I)
+        Vars += ", ";
+      Vars += Inv.Targets[I].Name;
+    }
+    return Vars;
+  }() + ") l m ⇒ l = " + L + " ∧ (" + (M.empty() ? "r" : M + " * r") +
+                 ") m)";
+  return Inv;
+}
+
+void abstractScalars(CompileCtx &Ctx, const LoopInvariant &Inv,
+                     const std::string &Stage) {
+  for (const LoopTarget &T : Inv.Targets) {
+    if (T.IsPointer)
+      continue;
+    SymVal V = SymVal::sym(Ctx.State.freshSym(T.Name + "@" + Stage));
+    Ctx.State.Facts.addGe0(V.term(), "word is nonnegative");
+    if (T.ScalarTy == ir::Ty::Byte)
+      Ctx.State.Facts.addLe(V.term(), lc(255), "byte value");
+    if (T.ScalarTy == ir::Ty::Bool)
+      Ctx.State.Facts.addLe(V.term(), lc(1), "bool value");
+    Ctx.State.Locals[T.Name] = TargetSlot::scalar(V, T.ScalarTy);
+  }
+}
+
+} // namespace core
+} // namespace relc

@@ -1,0 +1,70 @@
+//===- core/Invariant.h - Loop/join invariant inference ---------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// §3.4.2's predicate-inference heuristic for control-flow join points,
+// implemented literally:
+//
+//   1. Identify the targets of the construct from the names in its binding.
+//   2. Classify each target scalar vs. pointer by inspecting the locals and
+//      the memory predicate.
+//   3. Abstract: scalars abstract over their locals entry (here: a fresh
+//      solver symbol), pointers abstract over the clause payload (here:
+//      contents are never tracked, so the structural length fact is what
+//      remains — exactly the paper's "structural properties ... are
+//      automatically captured").
+//   4. Close over the results; instantiation is by partial executions of
+//      the source combinator (map f (firstn i l) ++ skipn i l, etc.),
+//      recorded in the derivation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CORE_INVARIANT_H
+#define RELC_CORE_INVARIANT_H
+
+#include "core/Compiler.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace core {
+
+/// One abstracted target of a loop or conditional.
+struct LoopTarget {
+  std::string Name;
+  bool IsPointer = false;
+  int ClauseIdx = -1;          ///< Pointer targets.
+  ir::Ty ScalarTy = ir::Ty::Word; ///< Scalar targets.
+};
+
+/// The inferred invariant: classified targets plus the printable template
+/// of step 4.
+struct LoopInvariant {
+  std::vector<LoopTarget> Targets;
+  std::string Template;
+};
+
+/// Steps 1–2: classifies \p TargetNames against the current state. Names
+/// not yet bound are scalars whose type comes from \p NewScalarTys (it is
+/// an internal error to omit one). Pointer targets must currently be held
+/// by some heap clause.
+Result<LoopInvariant>
+inferInvariant(const CompileCtx &Ctx, const std::vector<std::string> &Names,
+               const std::map<std::string, ir::Ty> &NewScalarTys);
+
+/// Step 3 for scalars: rebinds every scalar target's local to a fresh
+/// symbol (with its type-bound facts), representing the value at an
+/// arbitrary iteration. \p Stage tags the fresh symbols ("body", "post",
+/// "join") for readable derivations.
+void abstractScalars(CompileCtx &Ctx, const LoopInvariant &Inv,
+                     const std::string &Stage);
+
+} // namespace core
+} // namespace relc
+
+#endif // RELC_CORE_INVARIANT_H

@@ -1,0 +1,98 @@
+//===- core/Rule.h - Compilation-rule interfaces ----------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// "A relational compiler is just a collection of facts connecting target
+// programs to source programs" (§2.3). A StmtRule is the executable form of
+// one statement-compilation lemma (§3.3): it recognizes a source binding
+// shape, transforms the symbolic state the way the lemma's premises
+// dictate, emits the corresponding target fragment, and invokes the
+// continuation for the rest of the program — exactly the continuation
+// premise K of the paper's lemmas ("Most Rupicola lemmas include such
+// continuations").
+//
+// Rules are collected in an ordered RuleSet — the hint database. The driver
+// applies the first matching rule, never backtracks, and reports a printed
+// unsolved goal when nothing matches (§3.1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CORE_RULE_H
+#define RELC_CORE_RULE_H
+
+#include "bedrock/Ast.h"
+#include "core/Derivation.h"
+#include "ir/Prog.h"
+#include "support/Result.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace core {
+
+class CompileCtx;
+
+/// The continuation premise: compiles the rest of the current program and
+/// returns its target code. Most rules sequence their own emission before
+/// it; scoping rules (stackalloc) wrap it.
+using Cont = std::function<Result<bedrock::CmdPtr>(DerivNode &)>;
+
+class StmtRule {
+public:
+  virtual ~StmtRule() = default;
+
+  /// Lemma name, e.g. "compile_map_inplace".
+  virtual std::string name() const = 0;
+
+  /// True iff this rule's conclusion matches the binding (syntactic match
+  /// only; side conditions are attempted during apply and failing them is a
+  /// hard, reported error — the driver does not fall through to other
+  /// rules, keeping compilation predictable).
+  virtual bool matches(const CompileCtx &Ctx, const ir::Binding &B) const = 0;
+
+  /// Emits target code for \p B followed by the continuation \p K. Appends
+  /// discharged side conditions and notes to \p D.
+  virtual Result<bedrock::CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B,
+                                        const Cont &K, DerivNode &D) = 0;
+};
+
+/// Ordered, extensible rule collection: the hint database of §2.3. Lookup
+/// is first-match in order, so program-specific rules registered at the
+/// front shadow generic ones.
+class RuleSet {
+public:
+  void add(std::unique_ptr<StmtRule> R) { Rules.push_back(std::move(R)); }
+  void addFront(std::unique_ptr<StmtRule> R) {
+    Rules.insert(Rules.begin(), std::move(R));
+  }
+
+  StmtRule *findMatch(const CompileCtx &Ctx, const ir::Binding &B) const {
+    for (const auto &R : Rules)
+      if (R->matches(Ctx, B))
+        return R.get();
+    return nullptr;
+  }
+
+  size_t size() const { return Rules.size(); }
+
+private:
+  std::vector<std::unique_ptr<StmtRule>> Rules;
+};
+
+/// Populates \p RS with the standard rule library: arithmetic/let, arrays,
+/// loops (map/fold/ranged/while), conditionals, stack allocation, cells,
+/// inline tables (expression side), and the monadic extensions (nondet,
+/// io, writer), plus external calls. Each family lives in its own
+/// translation unit under core/rules/.
+void registerStandardRules(RuleSet &RS);
+
+} // namespace core
+} // namespace relc
+
+#endif // RELC_CORE_RULE_H

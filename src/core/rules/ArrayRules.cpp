@@ -1,0 +1,100 @@
+//===- core/rules/ArrayRules.cpp - In-place array updates ------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+namespace {
+
+// RELC-SECTION-BEGIN: lemma-array-put
+/// compile_arrayput: the C++ rendition of the §3.3 example lemma — a
+/// functional replacement `let/n a := ListArray.put a i v` becomes a store
+/// through the array's pointer. Mutation is chosen by name reuse: binding
+/// the put to a different name is an unsolved goal (an explicit copy is
+/// the escape hatch), which is the intensional-mutation effect of §3.4.1.
+class ArrayPutRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_arrayput"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::ArrayPut>(B.Bound.get()) && B.Names.size() == 1;
+  }
+
+  Result<bedrock::CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B,
+                                const Cont &K, DerivNode &D) override {
+    const auto *P = cast<ir::ArrayPut>(B.Bound.get());
+    if (B.Names[0] != P->array())
+      return Error("unsolved goal: ListArray.put result bound to '" +
+                   B.Names[0] + "' but the array is '" + P->array() +
+                   "'; rebind under the same name for in-place mutation");
+
+    Result<int> ClauseIdx =
+        Ctx.requireClause(P->array(), sep::HeapClause::Kind::Array);
+    if (!ClauseIdx)
+      return ClauseIdx.takeError();
+    const sep::HeapClause Clause = Ctx.State.Heap[*ClauseIdx];
+    Result<std::string> Ptr = Ctx.requirePtrLocal(*ClauseIdx);
+    if (!Ptr)
+      return Ptr.takeError();
+
+    Result<CompiledExpr> Idx =
+        Ctx.exprs().compileTyped(*P->index(), ir::Ty::Word, D);
+    if (!Idx)
+      return Idx.takeError();
+    ir::Ty WantTy = Clause.Elt == ir::EltKind::U8 ? ir::Ty::Byte
+                                                  : ir::Ty::Word;
+    Result<CompiledExpr> Val = Ctx.exprs().compileTyped(*P->val(), WantTy, D);
+    if (!Val)
+      return Val.takeError();
+
+    // Side condition 1: the index is in bounds.
+    Status Bound = Ctx.State.Facts.proveLt(Idx->Val.term(), Clause.Len);
+    if (!Bound)
+      return Bound.takeError().note("for " + B.str());
+    D.SideConds.push_back(Idx->Val.str() + " < " + Clause.Len.str() +
+                          " (bounds of " + P->array() + ")");
+    // Side condition 2: wide elements must be storable without truncation
+    // (bytes are immediate from the type discipline).
+    if (Clause.Elt != ir::EltKind::U8 && Clause.Elt != ir::EltKind::U64) {
+      Status Fits = Ctx.State.Facts.proveLe(
+          Val->Val.term(), solver::lc(int64_t(ir::eltMask(Clause.Elt))));
+      if (!Fits)
+        return Fits.takeError().note("stored value must fit element width");
+      D.SideConds.push_back(Val->Val.str() + " fits u" +
+                            std::to_string(8 * ir::eltSize(Clause.Elt)));
+    }
+
+    Ctx.noteFeature("Arrays");
+    Ctx.noteFeature("Mutation");
+
+    std::vector<bedrock::CmdPtr> Cmds = Idx->Pre;
+    Cmds.insert(Cmds.end(), Val->Pre.begin(), Val->Pre.end());
+    Cmds.push_back(bedrock::store(
+        accessSize(Clause.Elt),
+        scaledAddress(bedrock::var(*Ptr), Idx->E, Clause.Elt), Val->E));
+    // The clause payload name is unchanged: the source rebinding under the
+    // same name *is* the mutation.
+    Result<bedrock::CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-array-put
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeArrayPutRule() {
+  return std::make_unique<ArrayPutRule>();
+}
+
+} // namespace core
+} // namespace relc

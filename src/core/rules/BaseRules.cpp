@@ -1,0 +1,61 @@
+//===- core/rules/BaseRules.cpp - Plain let/n bindings ---------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using sep::TargetSlot;
+
+namespace {
+
+// RELC-SECTION-BEGIN: lemma-let
+/// compile_let: a named pure binding becomes one target assignment, the
+/// variable name carried by let/n choosing the local (§3.4.1: "one per
+/// desired assignment in the target language"). This single lemma covers
+/// pure bindings under *every* monad, since the driver normalizes pure
+/// binds the same way in all of them.
+class LetRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_let"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::PureVal>(B.Bound.get()) && B.Names.size() == 1;
+  }
+
+  Result<bedrock::CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B,
+                                const Cont &K, DerivNode &D) override {
+    const std::string &Name = B.Names[0];
+    const auto *P = cast<ir::PureVal>(B.Bound.get());
+    Result<CompiledExpr> CE = Ctx.exprs().compile(*P->expr(), D);
+    if (!CE)
+      return CE.takeError();
+    auto It = Ctx.State.Locals.find(Name);
+    if (It != Ctx.State.Locals.end() &&
+        It->second.TheKind == TargetSlot::Kind::Ptr)
+      return Error("unsolved goal: binding scalar '" + Name +
+                   "' would overwrite a live pointer local; rename it");
+    Ctx.State.Locals[Name] = TargetSlot::scalar(CE->Val, CE->Type);
+    std::vector<bedrock::CmdPtr> Cmds = CE->Pre;
+    Cmds.push_back(bedrock::set(Name, CE->E));
+    Result<bedrock::CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-let
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeLetRule() { return std::make_unique<LetRule>(); }
+
+} // namespace core
+} // namespace relc

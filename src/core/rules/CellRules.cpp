@@ -1,0 +1,155 @@
+//===- core/rules/CellRules.cpp - Mutable cells (Table 1) ------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The "cells" extension of Table 1: get, put, and iadd (in-place add) on
+// one-word mutable cells. At the source level a cell is a one-element
+// list (Cell.get unfolds to nth 0); at the target level it is a single
+// word behind a pointer. These are intensional state effects: no monad in
+// the model's type, just name-directed rebinding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using bedrock::CmdPtr;
+using sep::HeapClause;
+using sep::TargetSlot;
+
+namespace {
+
+/// Looks up the cell clause and its pointer local.
+Result<std::pair<int, std::string>> cellParts(CompileCtx &Ctx,
+                                              const std::string &Cell) {
+  Result<int> ClauseIdx = Ctx.requireClause(Cell, HeapClause::Kind::Cell);
+  if (!ClauseIdx)
+    return ClauseIdx.takeError();
+  Result<std::string> Ptr = Ctx.requirePtrLocal(*ClauseIdx);
+  if (!Ptr)
+    return Ptr.takeError();
+  return std::make_pair(*ClauseIdx, *Ptr);
+}
+
+// RELC-SECTION-BEGIN: lemma-cell-get
+/// compile_cell_get: `let/n x := Cell.get c` becomes x = load8(c).
+class CellGetRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_cell_get"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::CellGet>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *G = cast<ir::CellGet>(B.Bound.get());
+    auto Parts = cellParts(Ctx, G->cell());
+    if (!Parts)
+      return Parts.takeError();
+    sep::SymVal V = freshTypedSym(Ctx.State, B.Names[0], ir::Ty::Word);
+    Ctx.State.Locals[B.Names[0]] = TargetSlot::scalar(V, ir::Ty::Word);
+    Ctx.noteFeature("Mutation");
+    CmdPtr Get = bedrock::set(
+        B.Names[0],
+        bedrock::load(bedrock::AccessSize::Eight, bedrock::var(Parts->second)));
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    return bedrock::seq(Get, Rest.take());
+  }
+};
+// RELC-SECTION-END: lemma-cell-get
+
+// RELC-SECTION-BEGIN: lemma-cell-put
+/// compile_cell_put: `let/n c := Cell.put c e` becomes store8(c) = e; the
+/// name reuse is the mutation.
+class CellPutRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_cell_put"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::CellPut>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *P = cast<ir::CellPut>(B.Bound.get());
+    if (B.Names[0] != P->cell())
+      return Error("unsolved goal: Cell.put result bound to '" + B.Names[0] +
+                   "' but the cell is '" + P->cell() +
+                   "'; rebind under the same name for in-place mutation");
+    auto Parts = cellParts(Ctx, P->cell());
+    if (!Parts)
+      return Parts.takeError();
+    Result<CompiledExpr> V =
+        Ctx.exprs().compileTyped(*P->expr(), ir::Ty::Word, D);
+    if (!V)
+      return V.takeError();
+    Ctx.noteFeature("Mutation");
+    std::vector<CmdPtr> Cmds = V->Pre;
+    Cmds.push_back(bedrock::store(bedrock::AccessSize::Eight,
+                                  bedrock::var(Parts->second), V->E));
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-cell-put
+
+// RELC-SECTION-BEGIN: lemma-cell-iadd
+/// compile_cell_iadd: `let/n c := Cell.incr c e` becomes the read-add-write
+/// store8(c) = load8(c) + e — the Table 1 "iadd" intrinsic.
+class CellIncrRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_cell_iadd"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::CellIncr>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *P = cast<ir::CellIncr>(B.Bound.get());
+    if (B.Names[0] != P->cell())
+      return Error("unsolved goal: Cell.incr result bound to '" + B.Names[0] +
+                   "' but the cell is '" + P->cell() +
+                   "'; rebind under the same name for in-place mutation");
+    auto Parts = cellParts(Ctx, P->cell());
+    if (!Parts)
+      return Parts.takeError();
+    Result<CompiledExpr> V =
+        Ctx.exprs().compileTyped(*P->expr(), ir::Ty::Word, D);
+    if (!V)
+      return V.takeError();
+    Ctx.noteFeature("Mutation");
+    std::vector<CmdPtr> Cmds = V->Pre;
+    bedrock::ExprPtr Ptr = bedrock::var(Parts->second);
+    Cmds.push_back(bedrock::store(
+        bedrock::AccessSize::Eight, Ptr,
+        bedrock::add(bedrock::load(bedrock::AccessSize::Eight, Ptr), V->E)));
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-cell-iadd
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeCellGetRule() {
+  return std::make_unique<CellGetRule>();
+}
+std::unique_ptr<StmtRule> makeCellPutRule() {
+  return std::make_unique<CellPutRule>();
+}
+std::unique_ptr<StmtRule> makeCellIncrRule() {
+  return std::make_unique<CellIncrRule>();
+}
+
+} // namespace core
+} // namespace relc

@@ -1,0 +1,200 @@
+//===- core/rules/CondRules.cpp - Multi-target conditionals ----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using bedrock::CmdPtr;
+using sep::TargetSlot;
+using solver::lc;
+
+namespace {
+
+// RELC-SECTION-BEGIN: lemma-cond
+/// compile_cond: `let/n (xs..) := if c then p1 else p2` — the §3.4.2
+/// compare-and-swap shape. Instead of a disjunctive strongest
+/// postcondition, the join state abstracts exactly the targets (scalars to
+/// fresh symbols, pointers staying at their clauses), so later compilation
+/// steps keep matching syntactically against `if t then ... else ...`
+/// instantiations recorded in the derivation.
+///
+/// Comparison-shaped guards contribute branch facts to the solver
+/// (a < b in the then branch, b ≤ a in the else branch, and the
+/// {≥ 1 / = 0} split for `x != 0`), which is how e.g. the odd-length tail
+/// access s[len-1] in the IP checksum proves its bounds.
+class IfRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_cond"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::IfBound>(B.Bound.get());
+  }
+
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *I = cast<ir::IfBound>(B.Bound.get());
+    std::set<std::string> Allowed(B.Names.begin(), B.Names.end());
+    Status C1 = Ctx.checkNoCollisions(*I->thenProg(), Allowed);
+    if (!C1)
+      return C1.takeError();
+    Status C2 = Ctx.checkNoCollisions(*I->elseProg(), Allowed);
+    if (!C2)
+      return C2.takeError();
+
+    // Compile the guard. Comparison guards are compiled operand-wise so
+    // that branch facts can name the operands' symbolic values.
+    std::vector<CmdPtr> Cmds;
+    bedrock::ExprPtr CondE;
+    std::optional<sep::SymVal> CmpL, CmpR;
+    std::optional<ir::WordOp> CmpOp;
+    if (const auto *Cmp = dyn_cast<ir::Bin>(I->cond());
+        Cmp && ir::wordOpIsCompare(Cmp->op())) {
+      Result<CompiledExpr> L =
+          Ctx.exprs().compileTyped(*Cmp->lhs(), ir::Ty::Word, D);
+      if (!L)
+        return L.takeError().note("in guard");
+      Result<CompiledExpr> R =
+          Ctx.exprs().compileTyped(*Cmp->rhs(), ir::Ty::Word, D);
+      if (!R)
+        return R.takeError().note("in guard");
+      Cmds = L->Pre;
+      Cmds.insert(Cmds.end(), R->Pre.begin(), R->Pre.end());
+      CondE = bedrock::bin(lowerWordOp(Cmp->op()), L->E, R->E);
+      CmpL = L->Val;
+      CmpR = R->Val;
+      CmpOp = Cmp->op();
+    } else {
+      Result<CompiledExpr> C =
+          Ctx.exprs().compileTyped(*I->cond(), ir::Ty::Bool, D);
+      if (!C)
+        return C.takeError().note("in guard");
+      Cmds = C->Pre;
+      CondE = C->E;
+    }
+
+    // Target classification. Fresh scalar targets take their types from
+    // the then-branch results (the checker already guarantees the branches
+    // agree).
+    std::map<std::string, ir::Ty> NewScalarTys;
+    for (size_t J = 0; J < B.Names.size(); ++J)
+      NewScalarTys[B.Names[J]] = ir::Ty::Word; // Refined after the branch.
+    Result<LoopInvariant> Inv = inferInvariant(Ctx, B.Names, NewScalarTys);
+    if (!Inv)
+      return Inv.takeError();
+    D.Notes.push_back("join template: " + Inv->Template);
+    D.Notes.push_back("instantiation: targets ↦ if c then p1 else p2");
+
+    StateSnapshot Snap = StateSnapshot::take(Ctx.State);
+
+    auto CompileBranch =
+        [&](const ir::Prog &P, bool IsThen,
+            DerivNode &BD) -> Result<std::pair<CmdPtr, std::vector<ir::Ty>>> {
+      Snap.restore(Ctx.State);
+      addBranchFacts(Ctx, CmpOp, CmpL, CmpR, IsThen);
+      // Branch-local targets: fresh scalars are typed by what the branch
+      // returns, discovered by compiling it.
+      Result<CmdPtr> Body = Ctx.compileProg(
+          P,
+          [&](CompileCtx &C, DerivNode &ED) -> Result<CmdPtr> {
+            return branchEnd(C, P, *Inv, ED);
+          },
+          BD);
+      if (!Body)
+        return Body.takeError();
+      std::vector<ir::Ty> Tys;
+      for (const LoopTarget &T : Inv->Targets) {
+        if (T.IsPointer) {
+          Tys.push_back(ir::Ty::Word);
+          continue;
+        }
+        const TargetSlot *S = Ctx.State.findScalar(T.Name);
+        if (!S)
+          return Error("branch did not realize target '" + T.Name + "'");
+        Tys.push_back(S->ScalarTy);
+      }
+      return std::make_pair(Body.take(), Tys);
+    };
+
+    DerivNode &ThenD = D.child("cond_then", I->thenProg()->str());
+    auto Then = CompileBranch(*I->thenProg(), true, ThenD);
+    if (!Then)
+      return Then.takeError().note("in then branch");
+    DerivNode &ElseD = D.child("cond_else", I->elseProg()->str());
+    auto Else = CompileBranch(*I->elseProg(), false, ElseD);
+    if (!Else)
+      return Else.takeError().note("in else branch");
+    if (Then->second != Else->second)
+      return Error("branches realize targets at different types");
+
+    // Join: restore, then abstract the targets (step 3-4 of §3.4.2) with
+    // the branch-derived scalar types.
+    Snap.restore(Ctx.State);
+    for (size_t J = 0; J < Inv->Targets.size(); ++J)
+      if (!Inv->Targets[J].IsPointer)
+        Inv->Targets[J].ScalarTy = Then->second[J];
+    abstractScalars(Ctx, *Inv, "join");
+
+    Cmds.push_back(bedrock::ifThenElse(CondE, Then->first, Else->first));
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+
+private:
+  /// Realizes the branch's returns into the targets, like a loop-body end.
+  static Result<CmdPtr> branchEnd(CompileCtx &Ctx, const ir::Prog &P,
+                                  const LoopInvariant &Inv, DerivNode &D) {
+    return accEndHandler(Inv.Targets, P.returns())(Ctx, D);
+  }
+
+  /// Linear branch facts from comparison guards.
+  static void addBranchFacts(CompileCtx &Ctx,
+                             const std::optional<ir::WordOp> &Op,
+                             const std::optional<sep::SymVal> &L,
+                             const std::optional<sep::SymVal> &R,
+                             bool IsThen) {
+    if (!Op)
+      return;
+    solver::LinTerm A = L->term(), B = R->term();
+    switch (*Op) {
+    case ir::WordOp::LtU:
+      if (IsThen)
+        Ctx.State.Facts.addLt(A, B, "guard: a < b");
+      else
+        Ctx.State.Facts.addLe(B, A, "guard: ¬(a < b)");
+      break;
+    case ir::WordOp::Eq:
+      if (IsThen)
+        Ctx.State.Facts.addEq(A, B, "guard: a = b");
+      break;
+    case ir::WordOp::Ne:
+      if (IsThen) {
+        if (R->IsConst && R->K == 0)
+          Ctx.State.Facts.addLe(lc(1), A, "guard: a != 0");
+      } else {
+        Ctx.State.Facts.addEq(A, B, "guard: ¬(a != b)");
+      }
+      break;
+    default:
+      break; // Signed comparisons contribute no unsigned facts.
+    }
+  }
+};
+// RELC-SECTION-END: lemma-cond
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeIfRule() { return std::make_unique<IfRule>(); }
+
+} // namespace core
+} // namespace relc

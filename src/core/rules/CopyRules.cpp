@@ -1,0 +1,126 @@
+//===- core/rules/CopyRules.cpp - Explicit duplication (§3.4.1) ------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using bedrock::CmdPtr;
+using sep::HeapClause;
+using sep::SymVal;
+using sep::TargetSlot;
+using solver::lc;
+
+namespace {
+
+// RELC-SECTION-BEGIN: lemma-copy
+/// compile_copy: `let/n t := copy a` — the §3.4.1 escape hatch from
+/// name-directed mutation: instead of updating `a` in place, later code
+/// works on a fresh duplicate bound to `t`. The duplicate lives in a
+/// stack allocation scoped to the rest of the function, so the source
+/// array must have a *statically known* length (stack blocks are
+/// compile-time sized in Bedrock2); copying an argument array of symbolic
+/// length is an unsolved goal directing the user to the in-place lemmas.
+class CopyRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_copy"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::CopyArr>(B.Bound.get()) && B.Names.size() == 1;
+  }
+
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *C = cast<ir::CopyArr>(B.Bound.get());
+    const std::string &Name = B.Names[0];
+    if (Name == C->array())
+      return Error("unsolved goal: `copy` bound back to '" + Name +
+                   "' is the identity; bind it to a fresh name");
+    if (Ctx.State.Locals.count(Name))
+      return Error("copy binding '" + Name +
+                   "' collides with a live local; rename it");
+
+    Result<int> SrcIdx =
+        Ctx.requireClause(C->array(), HeapClause::Kind::Array);
+    if (!SrcIdx)
+      return SrcIdx.takeError();
+    const HeapClause Src = Ctx.State.Heap[*SrcIdx];
+    Result<std::string> SrcPtr = Ctx.requirePtrLocal(*SrcIdx);
+    if (!SrcPtr)
+      return SrcPtr.takeError();
+
+    if (!Src.Len.isConstant())
+      return Error("unsolved goal: copy of '" + C->array() +
+                   "' needs a statically sized source (its length is " +
+                   Src.Len.str() + "); stack buffers copy, argument arrays "
+                   "mutate in place or go through an output argument");
+    int64_t Len = Src.Len.constPart();
+    uint64_t Bytes = uint64_t(Len) * ir::eltSize(Src.Elt);
+    if (Bytes > 4096)
+      return Error("copy of " + std::to_string(Bytes) +
+                   " bytes exceeds the 4096-byte stack policy limit");
+    D.SideConds.push_back("length " + C->array() + " = " +
+                          std::to_string(Len) + " (static)");
+
+    // Fresh clause + pointer local for the duplicate.
+    std::string PtrSym = Ctx.State.freshSym("cpy_" + Name);
+    HeapClause Dst = Src;
+    Dst.Ptr = PtrSym;
+    Dst.Payload = Name;
+    Dst.FromStack = true;
+    Ctx.State.Heap.push_back(Dst);
+    Ctx.State.Locals[Name] =
+        TargetSlot::ptr(SymVal::sym(PtrSym), int(Ctx.State.Heap.size()) - 1);
+
+    // Copy loop: whole words, then the byte tail.
+    std::vector<CmdPtr> Inner;
+    uint64_t I = 0;
+    for (; I + 8 <= Bytes; I += 8)
+      Inner.push_back(bedrock::store(
+          bedrock::AccessSize::Eight,
+          bedrock::add(bedrock::var(Name), bedrock::lit(I)),
+          bedrock::load(bedrock::AccessSize::Eight,
+                        bedrock::add(bedrock::var(*SrcPtr),
+                                     bedrock::lit(I)))));
+    for (; I < Bytes; ++I)
+      Inner.push_back(bedrock::store(
+          bedrock::AccessSize::Byte,
+          bedrock::add(bedrock::var(Name), bedrock::lit(I)),
+          bedrock::load(bedrock::AccessSize::Byte,
+                        bedrock::add(bedrock::var(*SrcPtr),
+                                     bedrock::lit(I)))));
+
+    Ctx.noteFeature("Mutation");
+    Ctx.noteFeature("Arrays");
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Inner.push_back(Rest.take());
+
+    if (Ctx.State.Heap.empty() || Ctx.State.Heap.back().Ptr != PtrSym)
+      return Error("copy scope for '" + Name +
+                   "' ended with a non-LIFO heap shape");
+    Ctx.State.Heap.pop_back();
+    Ctx.State.Locals.erase(Name);
+
+    return bedrock::stackalloc(Name, Bytes,
+                               bedrock::seqAll(std::move(Inner)));
+  }
+};
+// RELC-SECTION-END: lemma-copy
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeCopyRule() {
+  return std::make_unique<CopyRule>();
+}
+
+} // namespace core
+} // namespace relc

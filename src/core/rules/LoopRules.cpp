@@ -1,0 +1,629 @@
+//===- core/rules/LoopRules.cpp - Iteration patterns ------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The loop lemmas, each paired with §3.4.2's invariant inference: the
+// invariant template is computed from the symbolic state (targets →
+// scalar/pointer classification → abstraction → closure), the body is
+// compiled against the abstracted state (the "state at an arbitrary
+// iteration"), and the instantiation in terms of partial executions of the
+// source combinator is recorded in the derivation for the validator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using bedrock::CmdPtr;
+using sep::HeapClause;
+using sep::SymVal;
+using sep::TargetSlot;
+using solver::lc;
+
+namespace {
+
+/// Shared plumbing: looks up the array clause, its pointer local and a
+/// length local for a map/fold loop over source array \p Array.
+struct ArrayLoopParts {
+  int ClauseIdx;
+  HeapClause Clause;
+  std::string PtrLocal;
+  std::string LenLocal;
+};
+
+Result<ArrayLoopParts> arrayLoopParts(CompileCtx &Ctx,
+                                      const std::string &Array) {
+  Result<int> ClauseIdx = Ctx.requireClause(Array, HeapClause::Kind::Array);
+  if (!ClauseIdx)
+    return ClauseIdx.takeError();
+  Result<std::string> Ptr = Ctx.requirePtrLocal(*ClauseIdx);
+  if (!Ptr)
+    return Ptr.takeError();
+  Result<std::string> Len =
+      Ctx.requireLenLocal(Ctx.State.Heap[*ClauseIdx].Len);
+  if (!Len)
+    return Len.takeError();
+  return ArrayLoopParts{*ClauseIdx, Ctx.State.Heap[*ClauseIdx], *Ptr, *Len};
+}
+
+/// Binds a fresh loop-index local with facts Lo ≤ i < Hi.
+std::string bindIndex(CompileCtx &Ctx, const std::string &Name,
+                      const solver::LinTerm &Lo, const solver::LinTerm &Hi) {
+  SymVal I = SymVal::sym(Ctx.State.freshSym(Name + "@body"));
+  Ctx.State.Facts.addLe(Lo, I.term(), "loop index lower bound");
+  Ctx.State.Facts.addLt(I.term(), Hi, "loop index upper bound");
+  Ctx.State.Facts.addGe0(I.term(), "word is nonnegative");
+  Ctx.State.Locals[Name] = TargetSlot::scalar(I, ir::Ty::Word);
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// ListArray.map → in-place for loop.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-map-inplace
+/// compile_map_inplace: `let/n a := ListArray.map f a` becomes
+///
+///   i = 0; while (i < len) { x = load(a + i·sz); store(a + i·sz) = f(x);
+///                            i = i + 1 }
+///
+/// Intermediate states are exposed as `map f (firstn i a0) ++ skipn i a0`
+/// (the paper's optimally-readable form). This is the lemma behind the
+/// upstr walkthrough of §3.2: transformations 2 (map as loop) and 3
+/// (mutation) both come from it.
+class MapRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_map_inplace"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::ListMap>(B.Bound.get()) && B.Names.size() == 1;
+  }
+
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *M = cast<ir::ListMap>(B.Bound.get());
+    if (B.Names[0] != M->array())
+      return Error("unsolved goal: map result bound to '" + B.Names[0] +
+                   "' but the array is '" + M->array() +
+                   "'; rebind under the same name for the in-place lemma");
+    Result<ArrayLoopParts> Parts = arrayLoopParts(Ctx, M->array());
+    if (!Parts)
+      return Parts.takeError();
+    if (Ctx.State.Locals.count(M->param()))
+      return Error("map parameter '" + M->param() +
+                   "' collides with a live local; rename it");
+
+    // Invariant inference: the single target is the array (pointer).
+    Result<LoopInvariant> Inv = inferInvariant(Ctx, {M->array()}, {});
+    if (!Inv)
+      return Inv.takeError();
+    D.Notes.push_back("invariant template: " + Inv->Template);
+    D.Notes.push_back("instantiation: " + M->array() + " ↦ map f (firstn i " +
+                      M->array() + "0) ++ skipn i " + M->array() + "0");
+
+    StateSnapshot Snap = StateSnapshot::take(Ctx.State);
+
+    // Abstract state for the body: arbitrary iteration i, element x.
+    std::string Idx = Ctx.State.freshLocal("i");
+    bindIndex(Ctx, Idx, lc(0), Parts->Clause.Len);
+    ir::Ty EltTy =
+        Parts->Clause.Elt == ir::EltKind::U8 ? ir::Ty::Byte : ir::Ty::Word;
+    SymVal EltV = freshTypedSym(Ctx.State, M->param(), EltTy);
+    Ctx.State.Locals[M->param()] = TargetSlot::scalar(EltV, EltTy);
+
+    DerivNode &BodyD = D.child("map_body", "fun " + M->param() + " => " +
+                                               M->body()->str());
+    Result<CompiledExpr> BodyCE =
+        Ctx.exprs().compileTyped(*M->body(), EltTy, BodyD);
+    if (!BodyCE)
+      return BodyCE.takeError().note("in map body");
+
+    Snap.restore(Ctx.State);
+
+    bedrock::ExprPtr Addr = scaledAddress(bedrock::var(Parts->PtrLocal),
+                                          bedrock::var(Idx),
+                                          Parts->Clause.Elt);
+    std::vector<CmdPtr> LoopBody;
+    LoopBody.push_back(bedrock::set(
+        M->param(), bedrock::load(accessSize(Parts->Clause.Elt), Addr)));
+    LoopBody.insert(LoopBody.end(), BodyCE->Pre.begin(), BodyCE->Pre.end());
+    LoopBody.push_back(bedrock::store(accessSize(Parts->Clause.Elt), Addr,
+                                      BodyCE->E));
+    LoopBody.push_back(bedrock::set(
+        Idx, bedrock::add(bedrock::var(Idx), bedrock::lit(1))));
+
+    CmdPtr Loop = bedrock::seq(
+        bedrock::set(Idx, bedrock::lit(0)),
+        bedrock::whileLoop(bedrock::bin(bedrock::BinOp::LtU,
+                                        bedrock::var(Idx),
+                                        bedrock::var(Parts->LenLocal)),
+                           bedrock::seqAll(std::move(LoopBody))));
+
+    Ctx.noteFeature("Loops");
+    Ctx.noteFeature("Mutation");
+    Ctx.noteFeature("Arrays");
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    return bedrock::seq(Loop, Rest.take());
+  }
+};
+// RELC-SECTION-END: lemma-map-inplace
+
+//===----------------------------------------------------------------------===//
+// List.fold_left → accumulator loop.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-fold
+/// compile_fold: `let/n h := fold_left f a init` becomes an accumulator
+/// register updated in a for loop; intermediate states expose
+/// `fold_left f (firstn i a0) init`.
+class FoldRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_fold"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::ListFold>(B.Bound.get()) && B.Names.size() == 1;
+  }
+
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *F = cast<ir::ListFold>(B.Bound.get());
+    const std::string &Name = B.Names[0];
+    Result<ArrayLoopParts> Parts = arrayLoopParts(Ctx, F->array());
+    if (!Parts)
+      return Parts.takeError();
+    if (Ctx.State.Locals.count(F->eltParam()))
+      return Error("fold element parameter '" + F->eltParam() +
+                   "' collides with a live local; rename it");
+    if (F->accParam() != Name && Ctx.State.Locals.count(F->accParam()))
+      return Error("fold accumulator parameter '" + F->accParam() +
+                   "' collides with a live local; rename it");
+
+    Result<CompiledExpr> Init = Ctx.exprs().compile(*F->init(), D);
+    if (!Init)
+      return Init.takeError().note("in fold initializer");
+
+    Result<LoopInvariant> Inv =
+        inferInvariant(Ctx, {F->accParam()},
+                       {{F->accParam(), Init->Type}});
+    if (!Inv)
+      return Inv.takeError();
+    D.Notes.push_back("invariant template: " + Inv->Template);
+    D.Notes.push_back("instantiation: " + F->accParam() +
+                      " ↦ fold_left f (firstn i " + F->array() + "0) init");
+
+    std::vector<CmdPtr> Cmds = Init->Pre;
+    Cmds.push_back(bedrock::set(F->accParam(), Init->E));
+    Ctx.State.Locals[F->accParam()] =
+        TargetSlot::scalar(Init->Val, Init->Type);
+
+    StateSnapshot Snap = StateSnapshot::take(Ctx.State);
+
+    abstractScalars(Ctx, *Inv, "body");
+    std::string Idx = Ctx.State.freshLocal("i");
+    bindIndex(Ctx, Idx, lc(0), Parts->Clause.Len);
+    ir::Ty EltTy =
+        Parts->Clause.Elt == ir::EltKind::U8 ? ir::Ty::Byte : ir::Ty::Word;
+    SymVal EltV = freshTypedSym(Ctx.State, F->eltParam(), EltTy);
+    Ctx.State.Locals[F->eltParam()] = TargetSlot::scalar(EltV, EltTy);
+
+    DerivNode &BodyD =
+        D.child("fold_body", "fun " + F->accParam() + " " + F->eltParam() +
+                                 " => " + F->body()->str());
+    Result<CompiledExpr> BodyCE = Ctx.exprs().compile(*F->body(), BodyD);
+    if (!BodyCE)
+      return BodyCE.takeError().note("in fold body");
+    if (BodyCE->Type != Init->Type)
+      return Error("fold body type differs from accumulator type");
+
+    Snap.restore(Ctx.State);
+
+    bedrock::ExprPtr Addr = scaledAddress(bedrock::var(Parts->PtrLocal),
+                                          bedrock::var(Idx),
+                                          Parts->Clause.Elt);
+    std::vector<CmdPtr> LoopBody;
+    LoopBody.push_back(bedrock::set(
+        F->eltParam(), bedrock::load(accessSize(Parts->Clause.Elt), Addr)));
+    LoopBody.insert(LoopBody.end(), BodyCE->Pre.begin(), BodyCE->Pre.end());
+    LoopBody.push_back(bedrock::set(F->accParam(), BodyCE->E));
+    LoopBody.push_back(bedrock::set(
+        Idx, bedrock::add(bedrock::var(Idx), bedrock::lit(1))));
+
+    Cmds.push_back(bedrock::seq(
+        bedrock::set(Idx, bedrock::lit(0)),
+        bedrock::whileLoop(bedrock::bin(bedrock::BinOp::LtU,
+                                        bedrock::var(Idx),
+                                        bedrock::var(Parts->LenLocal)),
+                           bedrock::seqAll(std::move(LoopBody)))));
+
+    // After the loop the accumulator local holds the fold result: rebind it
+    // (and the target name, when different) to a fresh "final" symbol.
+    SymVal FinalV = freshTypedSym(Ctx.State, Name + "@post", Init->Type);
+    Ctx.State.Locals[F->accParam()] =
+        TargetSlot::scalar(FinalV, Init->Type);
+    if (F->accParam() != Name) {
+      Cmds.push_back(bedrock::set(Name, bedrock::var(F->accParam())));
+      Ctx.State.Locals[Name] = TargetSlot::scalar(FinalV, Init->Type);
+    }
+
+    Ctx.noteFeature("Loops");
+    Ctx.noteFeature("Arrays");
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-fold
+
+//===----------------------------------------------------------------------===//
+// fold_break → accumulator loop with early exit.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-fold-break
+/// compile_fold_break: `let/n h := fold_break f a init brk` becomes
+///
+///   h = init; i = 0;
+///   while ((i < len) & !brk(h)) { x = load(a + i·sz); h = f(h, x);
+///                                 i = i + 1 }
+///
+/// — the early-exit variant of compile_fold ("maps and folds, with and
+/// without early exits"). The exit predicate is evaluated on the live
+/// accumulator register; its side conditions are discharged against the
+/// abstracted iteration state (so they hold at every loop head).
+class FoldBreakRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_fold_break"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::FoldBreak>(B.Bound.get()) && B.Names.size() == 1;
+  }
+
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *F = cast<ir::FoldBreak>(B.Bound.get());
+    const std::string &Name = B.Names[0];
+    if (F->accParam() != Name)
+      return Error("unsolved goal: fold_break accumulator '" +
+                   F->accParam() + "' must be bound under its own name "
+                   "(got '" + Name + "'); compilation is name-directed");
+    Result<ArrayLoopParts> Parts = arrayLoopParts(Ctx, F->array());
+    if (!Parts)
+      return Parts.takeError();
+    if (Ctx.State.Locals.count(F->eltParam()))
+      return Error("fold_break element parameter '" + F->eltParam() +
+                   "' collides with a live local; rename it");
+
+    Result<CompiledExpr> Init = Ctx.exprs().compile(*F->init(), D);
+    if (!Init)
+      return Init.takeError().note("in fold_break initializer");
+
+    Result<LoopInvariant> Inv =
+        inferInvariant(Ctx, {Name}, {{Name, Init->Type}});
+    if (!Inv)
+      return Inv.takeError();
+    D.Notes.push_back("invariant template: " + Inv->Template);
+    D.Notes.push_back("instantiation: " + Name +
+                      " ↦ fold_break f (firstn i " + F->array() +
+                      "0) init, stopped at the first brk prefix");
+
+    std::vector<CmdPtr> Cmds = Init->Pre;
+    Cmds.push_back(bedrock::set(Name, Init->E));
+    Ctx.State.Locals[Name] = TargetSlot::scalar(Init->Val, Init->Type);
+
+    StateSnapshot Snap = StateSnapshot::take(Ctx.State);
+
+    abstractScalars(Ctx, *Inv, "body");
+    std::string Idx = Ctx.State.freshLocal("i");
+    bindIndex(Ctx, Idx, lc(0), Parts->Clause.Len);
+    ir::Ty EltTy =
+        Parts->Clause.Elt == ir::EltKind::U8 ? ir::Ty::Byte : ir::Ty::Word;
+    SymVal EltV = freshTypedSym(Ctx.State, F->eltParam(), EltTy);
+    Ctx.State.Locals[F->eltParam()] = TargetSlot::scalar(EltV, EltTy);
+
+    // The exit predicate sees only the accumulator; compile it under the
+    // abstracted state. It must be a pure target expression.
+    DerivNode &BrkD = D.child("fold_break_cond", F->breakCond()->str());
+    Result<CompiledExpr> Brk =
+        Ctx.exprs().compileTyped(*F->breakCond(), ir::Ty::Bool, BrkD);
+    if (!Brk)
+      return Brk.takeError().note("in fold_break exit predicate");
+    if (!Brk->Pre.empty())
+      return Error("unsolved goal: fold_break exit predicates must compile "
+                   "to pure target expressions");
+
+    DerivNode &BodyD =
+        D.child("fold_body", "fun " + F->accParam() + " " + F->eltParam() +
+                                 " => " + F->body()->str());
+    Result<CompiledExpr> BodyCE = Ctx.exprs().compile(*F->body(), BodyD);
+    if (!BodyCE)
+      return BodyCE.takeError().note("in fold_break body");
+    if (BodyCE->Type != Init->Type)
+      return Error("fold_break body type differs from accumulator type");
+
+    Snap.restore(Ctx.State);
+
+    bedrock::ExprPtr Addr = scaledAddress(bedrock::var(Parts->PtrLocal),
+                                          bedrock::var(Idx),
+                                          Parts->Clause.Elt);
+    std::vector<CmdPtr> LoopBody;
+    LoopBody.push_back(bedrock::set(
+        F->eltParam(), bedrock::load(accessSize(Parts->Clause.Elt), Addr)));
+    LoopBody.insert(LoopBody.end(), BodyCE->Pre.begin(), BodyCE->Pre.end());
+    LoopBody.push_back(bedrock::set(Name, BodyCE->E));
+    LoopBody.push_back(bedrock::set(
+        Idx, bedrock::add(bedrock::var(Idx), bedrock::lit(1))));
+
+    // (i < len) & (brk == 0): both operands are 0/1 words, so bitwise And
+    // is conjunction.
+    bedrock::ExprPtr Cond = bedrock::bin(
+        bedrock::BinOp::And,
+        bedrock::bin(bedrock::BinOp::LtU, bedrock::var(Idx),
+                     bedrock::var(Parts->LenLocal)),
+        bedrock::bin(bedrock::BinOp::Eq, Brk->E, bedrock::lit(0)));
+    Cmds.push_back(bedrock::seq(
+        bedrock::set(Idx, bedrock::lit(0)),
+        bedrock::whileLoop(Cond, bedrock::seqAll(std::move(LoopBody)))));
+
+    SymVal FinalV = freshTypedSym(Ctx.State, Name + "@post", Init->Type);
+    Ctx.State.Locals[Name] = TargetSlot::scalar(FinalV, Init->Type);
+
+    Ctx.noteFeature("Loops");
+    Ctx.noteFeature("Arrays");
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-fold-break
+
+//===----------------------------------------------------------------------===//
+// ranged_for → counted loop with general accumulators.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-ranged-for
+/// compile_ranged_for: `let/n (accs..) := ranged_for lo hi body accs0`
+/// becomes a counted while loop threading the accumulators (scalars in
+/// registers; arrays in place). The body is a whole sub-program, compiled
+/// against the abstracted iteration state; intermediate states expose the
+/// iteration prefix `ranged_for lo i body accs0`.
+class RangeRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_ranged_for"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::RangeFold>(B.Bound.get());
+  }
+
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *R = cast<ir::RangeFold>(B.Bound.get());
+    if (Ctx.State.Locals.count(R->idxName()))
+      return Error("loop index '" + R->idxName() +
+                   "' collides with a live local; rename it");
+    std::set<std::string> Allowed{R->idxName()};
+    for (const ir::AccInit &A : R->accs())
+      Allowed.insert(A.Name);
+    Status NoColl = Ctx.checkNoCollisions(*R->body(), Allowed);
+    if (!NoColl)
+      return NoColl.takeError();
+
+    Result<CompiledExpr> Lo =
+        Ctx.exprs().compileTyped(*R->lo(), ir::Ty::Word, D);
+    if (!Lo)
+      return Lo.takeError().note("in loop lower bound");
+    Result<CompiledExpr> Hi =
+        Ctx.exprs().compileTyped(*R->hi(), ir::Ty::Word, D);
+    if (!Hi)
+      return Hi.takeError().note("in loop upper bound");
+
+    std::vector<CmdPtr> Cmds = Lo->Pre;
+    Cmds.insert(Cmds.end(), Hi->Pre.begin(), Hi->Pre.end());
+    // The upper bound is evaluated once: materialize it into a
+    // compiler-chosen local the body cannot touch.
+    std::string HiLocal = Ctx.State.freshLocal("hi");
+    Cmds.push_back(bedrock::set(HiLocal, Hi->E));
+    Ctx.State.Locals[HiLocal] = TargetSlot::scalar(Hi->Val, ir::Ty::Word);
+
+    std::map<std::string, ir::Ty> NewScalarTys;
+    Result<std::vector<CmdPtr>> AccCmds =
+        emitAccInits(Ctx, R->accs(), B.Names, &NewScalarTys, D);
+    if (!AccCmds)
+      return AccCmds.takeError();
+    Cmds.insert(Cmds.end(), AccCmds->begin(), AccCmds->end());
+
+    Result<LoopInvariant> Inv = inferInvariant(Ctx, B.Names, NewScalarTys);
+    if (!Inv)
+      return Inv.takeError();
+    D.Notes.push_back("invariant template: " + Inv->Template);
+    D.Notes.push_back(
+        "instantiation: accs ↦ ranged_for " + R->lo()->str() + " i body accs0");
+
+    StateSnapshot Snap = StateSnapshot::take(Ctx.State);
+
+    abstractScalars(Ctx, *Inv, "body");
+    bindIndex(Ctx, R->idxName(), Lo->Val.term(), Hi->Val.term());
+
+    DerivNode &BodyD = D.child("ranged_for_body", R->body()->str());
+    Result<CmdPtr> Body = Ctx.compileProg(
+        *R->body(), accEndHandler(Inv->Targets, R->body()->returns()), BodyD);
+    if (!Body)
+      return Body.takeError().note("in ranged_for body");
+
+    Snap.restore(Ctx.State);
+    abstractScalars(Ctx, *Inv, "post");
+
+    Cmds.push_back(bedrock::set(R->idxName(), Lo->E));
+    CmdPtr Step = bedrock::set(
+        R->idxName(),
+        bedrock::add(bedrock::var(R->idxName()), bedrock::lit(1)));
+    Cmds.push_back(bedrock::whileLoop(
+        bedrock::bin(bedrock::BinOp::LtU, bedrock::var(R->idxName()),
+                     bedrock::var(HiLocal)),
+        bedrock::seq(Body.take(), Step)));
+
+    // The index local is dead after the loop; drop it from the symbolic
+    // state so later bindings may reuse the name.
+    Ctx.State.Locals.erase(R->idxName());
+
+    Ctx.noteFeature("Loops");
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-ranged-for
+
+//===----------------------------------------------------------------------===//
+// while → general loop with a termination measure.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-while
+/// compile_while: `let/n (accs..) := while cond accs0 body {measure m}`.
+/// The condition is compiled against the abstracted iteration state, so
+/// its side conditions hold at every iteration (entry included). Totality
+/// comes from the declared measure, re-checked dynamically by validation —
+/// the operational stand-in for Bedrock2 giving meaning only to
+/// terminating loops (Box 2).
+class WhileRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_while"; }
+
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::WhileComb>(B.Bound.get());
+  }
+
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *W = cast<ir::WhileComb>(B.Bound.get());
+    std::set<std::string> Allowed;
+    for (const ir::AccInit &A : W->accs())
+      Allowed.insert(A.Name);
+    Status NoColl = Ctx.checkNoCollisions(*W->body(), Allowed);
+    if (!NoColl)
+      return NoColl.takeError();
+
+    std::map<std::string, ir::Ty> NewScalarTys;
+    Result<std::vector<CmdPtr>> AccCmds =
+        emitAccInits(Ctx, W->accs(), B.Names, &NewScalarTys, D);
+    if (!AccCmds)
+      return AccCmds.takeError();
+    std::vector<CmdPtr> Cmds = AccCmds.take();
+
+    Result<LoopInvariant> Inv = inferInvariant(Ctx, B.Names, NewScalarTys);
+    if (!Inv)
+      return Inv.takeError();
+    D.Notes.push_back("invariant template: " + Inv->Template);
+    D.Notes.push_back("totality: measure " + W->measure()->str() +
+                      " strictly decreases (re-checked dynamically)");
+
+    StateSnapshot Snap = StateSnapshot::take(Ctx.State);
+    abstractScalars(Ctx, *Inv, "body");
+
+    // Compile the guard against the abstracted state. Comparison-shaped
+    // guards are compiled operand-wise so the guard fact (which holds
+    // whenever the body runs) can be added to the body's fact database —
+    // the loop analogue of CondRules' branch facts.
+    DerivNode &CondD = D.child("while_cond", W->cond()->str());
+    Result<CompiledExpr> Cond = [&]() -> Result<CompiledExpr> {
+      const auto *Cmp = dyn_cast<ir::Bin>(W->cond());
+      if (!Cmp || !ir::wordOpIsCompare(Cmp->op()))
+        return Ctx.exprs().compileTyped(*W->cond(), ir::Ty::Bool, CondD);
+      Result<CompiledExpr> L =
+          Ctx.exprs().compileTyped(*Cmp->lhs(), ir::Ty::Word, CondD);
+      if (!L)
+        return L;
+      Result<CompiledExpr> R =
+          Ctx.exprs().compileTyped(*Cmp->rhs(), ir::Ty::Word, CondD);
+      if (!R)
+        return R;
+      CompiledExpr Out;
+      Out.Pre = L->Pre;
+      Out.Pre.insert(Out.Pre.end(), R->Pre.begin(), R->Pre.end());
+      Out.E = bedrock::bin(lowerWordOp(Cmp->op()), L->E, R->E);
+      Out.Type = ir::Ty::Bool;
+      Out.Val = freshTypedSym(Ctx.State, "cond", ir::Ty::Bool);
+      solver::LinTerm A = L->Val.term(), B2 = R->Val.term();
+      switch (Cmp->op()) {
+      case ir::WordOp::LtU:
+        Ctx.State.Facts.addLt(A, B2, "while guard: a < b");
+        CondD.SideConds.push_back("body facts: " + A.str() + " < " +
+                                  B2.str());
+        break;
+      case ir::WordOp::Ne:
+        if (R->Val.IsConst && R->Val.K == 0) {
+          Ctx.State.Facts.addLe(solver::lc(1), A, "while guard: a != 0");
+          CondD.SideConds.push_back("body facts: 1 <= " + A.str());
+        }
+        break;
+      case ir::WordOp::Eq:
+        Ctx.State.Facts.addEq(A, B2, "while guard: a = b");
+        break;
+      default:
+        break;
+      }
+      return Out;
+    }();
+    if (!Cond)
+      return Cond.takeError().note("in while condition");
+    if (!Cond->Pre.empty())
+      return Error("unsolved goal: while conditions must compile to pure "
+                   "target expressions (no statement preamble); hoist the "
+                   "conditional into the loop body");
+
+    DerivNode &BodyD = D.child("while_body", W->body()->str());
+    Result<CmdPtr> Body = Ctx.compileProg(
+        *W->body(), accEndHandler(Inv->Targets, W->body()->returns()), BodyD);
+    if (!Body)
+      return Body.takeError().note("in while body");
+
+    Snap.restore(Ctx.State);
+    abstractScalars(Ctx, *Inv, "post");
+
+    Cmds.push_back(bedrock::whileLoop(Cond->E, Body.take()));
+
+    Ctx.noteFeature("Loops");
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-while
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeMapRule() { return std::make_unique<MapRule>(); }
+std::unique_ptr<StmtRule> makeFoldRule() {
+  return std::make_unique<FoldRule>();
+}
+std::unique_ptr<StmtRule> makeFoldBreakRule() {
+  return std::make_unique<FoldBreakRule>();
+}
+std::unique_ptr<StmtRule> makeRangeRule() {
+  return std::make_unique<RangeRule>();
+}
+std::unique_ptr<StmtRule> makeWhileRule() {
+  return std::make_unique<WhileRule>();
+}
+
+} // namespace core
+} // namespace relc

@@ -1,0 +1,273 @@
+//===- core/rules/MonadRules.cpp - Extensional effects (§3.4.1) ------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The extensional-effect extensions: nondeterminism (Table 1: alloc,
+// peek), IO (Table 1: read, write) and the writer monad (the §4.1.1
+// walkthrough). Each rule notes the monad-specific lift that justifies
+// threading the postcondition through bind; the validator interprets those
+// lifts when comparing effects (existential for nondet, trace-prefix
+// accumulation for writer, trace equality for IO).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using bedrock::CmdPtr;
+using sep::HeapClause;
+using sep::SymVal;
+using sep::TargetSlot;
+using solver::lc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Nondeterminism monad.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-nondet-alloc
+/// compile_nondet_alloc: `let/n b <- nondet_alloc n` — an arbitrary n-byte
+/// buffer (the paper's example: "a list of n unspecified natural numbers
+/// is represented as (λ l ⇒ length l = n)"). Realized by a stackalloc
+/// whose contents start unconstrained; the buffer lives until the end of
+/// the enclosing scope.
+class NondetAllocRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_nondet_alloc"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::NondetAlloc>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *N = cast<ir::NondetAlloc>(B.Bound.get());
+    const std::string &Name = B.Names[0];
+    if (Ctx.State.Locals.count(Name))
+      return Error("nondet_alloc binding '" + Name +
+                   "' collides with a live local; rename it");
+    D.Notes.push_back("lift: λ ma st. ∃ a, ma a ∧ P a st (nondet)");
+    std::string PtrSym = Ctx.State.freshSym("nd_" + Name);
+    HeapClause C;
+    C.TheKind = HeapClause::Kind::Array;
+    C.Ptr = PtrSym;
+    C.Payload = Name;
+    C.Elt = ir::EltKind::U8;
+    C.Len = lc(int64_t(N->size()));
+    C.FromStack = true;
+    Ctx.State.Heap.push_back(C);
+    Ctx.State.Locals[Name] =
+        TargetSlot::ptr(SymVal::sym(PtrSym), int(Ctx.State.Heap.size()) - 1);
+
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    if (Ctx.State.Heap.empty() || Ctx.State.Heap.back().Ptr != PtrSym)
+      return Error("nondet_alloc scope for '" + Name +
+                   "' ended with a non-LIFO heap shape");
+    Ctx.State.Heap.pop_back();
+    Ctx.State.Locals.erase(Name);
+    return bedrock::stackalloc(Name, N->size(), Rest.take());
+  }
+};
+// RELC-SECTION-END: lemma-nondet-alloc
+
+// RELC-SECTION-BEGIN: lemma-nondet-peek
+/// compile_nondet_peek: `let/n x <- nondet_peek ()` — an arbitrary word,
+/// realized by reading one word of unconstrained stack memory.
+class NondetPeekRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_nondet_peek"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::NondetPeek>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const std::string &Name = B.Names[0];
+    D.Notes.push_back("lift: λ ma st. ∃ a, ma a ∧ P a st (nondet)");
+    SymVal V = freshTypedSym(Ctx.State, Name, ir::Ty::Word);
+    Ctx.State.Locals[Name] = TargetSlot::scalar(V, ir::Ty::Word);
+    std::string Scratch = Ctx.State.freshLocal("peek");
+    CmdPtr Peek = bedrock::stackalloc(
+        Scratch, 8,
+        bedrock::set(Name, bedrock::load(bedrock::AccessSize::Eight,
+                                         bedrock::var(Scratch))));
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    return bedrock::seq(Peek, Rest.take());
+  }
+};
+// RELC-SECTION-END: lemma-nondet-peek
+
+//===----------------------------------------------------------------------===//
+// IO monad.
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-io-read
+/// compile_io_read: `let/n x <- read ()` — an observable interaction; the
+/// environment chooses the result and the event is appended to the trace.
+class IoReadRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_io_read"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::IoRead>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const std::string &Name = B.Names[0];
+    D.Notes.push_back("lift: trace-indexed (io): tr' = tr ++ [read ↦ x]");
+    SymVal V = freshTypedSym(Ctx.State, Name, ir::Ty::Word);
+    Ctx.State.Locals[Name] = TargetSlot::scalar(V, ir::Ty::Word);
+    CmdPtr Read = bedrock::interact({Name}, "read", {});
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    return bedrock::seq(Read, Rest.take());
+  }
+};
+// RELC-SECTION-END: lemma-io-read
+
+// RELC-SECTION-BEGIN: lemma-io-write
+/// compile_io_write: `let/n _ <- write e` — emits the value to the
+/// environment; observable in the trace.
+class IoWriteRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_io_write"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::IoWrite>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *W = cast<ir::IoWrite>(B.Bound.get());
+    D.Notes.push_back("lift: trace-indexed (io): tr' = tr ++ [write e]");
+    Result<CompiledExpr> V =
+        Ctx.exprs().compileTyped(*W->expr(), ir::Ty::Word, D);
+    if (!V)
+      return V.takeError();
+    std::vector<CmdPtr> Cmds = V->Pre;
+    Cmds.push_back(bedrock::interact({}, "write", {V->E}));
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-io-write
+
+//===----------------------------------------------------------------------===//
+// Writer monad (§4.1.1 walkthrough).
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-writer-tell
+/// compile_writer_tell: `let/n _ <- tell e`. The writer lift accumulates
+/// output (`lift o P = λ ma st. P (fst ma) (o ++ snd ma) st`, §3.4.1);
+/// operationally the accumulated output maps to write events on the target
+/// trace, which is how the paper's walkthrough wires the writer monad to
+/// Bedrock2 I/O.
+class WriterTellRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_writer_tell"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::WriterTell>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *W = cast<ir::WriterTell>(B.Bound.get());
+    D.Notes.push_back("lift: λ o P ma st. P (fst ma) (o ++ snd ma) st "
+                      "(writer)");
+    Result<CompiledExpr> V =
+        Ctx.exprs().compileTyped(*W->expr(), ir::Ty::Word, D);
+    if (!V)
+      return V.takeError();
+    std::vector<CmdPtr> Cmds = V->Pre;
+    Cmds.push_back(bedrock::interact({}, "write", {V->E}));
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-writer-tell
+
+//===----------------------------------------------------------------------===//
+// External calls (linking).
+//===----------------------------------------------------------------------===//
+
+// RELC-SECTION-BEGIN: lemma-extern-call
+/// compile_call: `let/n (xs..) := call f args` — a call to another
+/// (relationally compiled or handwritten-and-specified) target function.
+/// Scalar arguments and results only; results become fresh locals.
+class ExternCallRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_call"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::ExternCall>(B.Bound.get());
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *C = cast<ir::ExternCall>(B.Bound.get());
+    if (B.Names.size() != C->numRets())
+      return Error("call binds " + std::to_string(B.Names.size()) +
+                   " names for " + std::to_string(C->numRets()) + " results");
+    std::vector<bedrock::ExprPtr> Args;
+    std::vector<CmdPtr> Cmds;
+    for (const ir::ExprPtr &A : C->args()) {
+      Result<CompiledExpr> V = Ctx.exprs().compile(*A, D);
+      if (!V)
+        return V.takeError();
+      Cmds.insert(Cmds.end(), V->Pre.begin(), V->Pre.end());
+      Args.push_back(V->E);
+    }
+    for (const std::string &Name : B.Names) {
+      auto It = Ctx.State.Locals.find(Name);
+      if (It != Ctx.State.Locals.end() &&
+          It->second.TheKind == TargetSlot::Kind::Ptr)
+        return Error("call result '" + Name +
+                     "' would overwrite a live pointer local");
+      SymVal V = freshTypedSym(Ctx.State, Name, ir::Ty::Word);
+      Ctx.State.Locals[Name] = TargetSlot::scalar(V, ir::Ty::Word);
+    }
+    Ctx.noteExternalCallee(C->callee());
+    D.SideConds.push_back("callee \"" + C->callee() +
+                          "\" linked with a compatible spec");
+    Cmds.push_back(bedrock::call(B.Names, C->callee(), std::move(Args)));
+    Result<CmdPtr> Rest = K(D);
+    if (!Rest)
+      return Rest;
+    Cmds.push_back(Rest.take());
+    return bedrock::seqAll(std::move(Cmds));
+  }
+};
+// RELC-SECTION-END: lemma-extern-call
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeNondetAllocRule() {
+  return std::make_unique<NondetAllocRule>();
+}
+std::unique_ptr<StmtRule> makeNondetPeekRule() {
+  return std::make_unique<NondetPeekRule>();
+}
+std::unique_ptr<StmtRule> makeIoReadRule() {
+  return std::make_unique<IoReadRule>();
+}
+std::unique_ptr<StmtRule> makeIoWriteRule() {
+  return std::make_unique<IoWriteRule>();
+}
+std::unique_ptr<StmtRule> makeWriterTellRule() {
+  return std::make_unique<WriterTellRule>();
+}
+std::unique_ptr<StmtRule> makeExternCallRule() {
+  return std::make_unique<ExternCallRule>();
+}
+
+} // namespace core
+} // namespace relc

@@ -1,0 +1,40 @@
+//===- core/rules/Register.cpp - Standard rule registration ----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+
+namespace relc {
+namespace core {
+
+void registerStandardRules(RuleSet &RS) {
+  // Order is documentation only for disjoint matches (each rule matches a
+  // distinct binding shape), but program-specific rules registered with
+  // addFront deliberately shadow these.
+  RS.add(makeLetRule());
+  RS.add(makeArrayPutRule());
+  RS.add(makeMapRule());
+  RS.add(makeFoldRule());
+  RS.add(makeFoldBreakRule());
+  RS.add(makeRangeRule());
+  RS.add(makeWhileRule());
+  RS.add(makeIfRule());
+  RS.add(makeStackInitRule());
+  RS.add(makeStackUninitRule());
+  RS.add(makeCellGetRule());
+  RS.add(makeCellPutRule());
+  RS.add(makeCellIncrRule());
+  RS.add(makeNondetAllocRule());
+  RS.add(makeNondetPeekRule());
+  RS.add(makeIoReadRule());
+  RS.add(makeIoWriteRule());
+  RS.add(makeWriterTellRule());
+  RS.add(makeCopyRule());
+  RS.add(makeExternCallRule());
+}
+
+} // namespace core
+} // namespace relc

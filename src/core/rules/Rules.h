@@ -1,0 +1,71 @@
+//===- core/rules/Rules.h - The standard rule library -----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Factory functions for every statement-compilation lemma in the standard
+// library. Each family lives in its own translation unit, bracketed by
+// RELC-SECTION markers so the Table 1 bench can measure each extension's
+// actual lines of "Lemma" (rule logic) and "Proof" (state-transformation
+// justification) code.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CORE_RULES_RULES_H
+#define RELC_CORE_RULES_RULES_H
+
+#include "core/Rule.h"
+
+#include <memory>
+
+namespace relc {
+namespace core {
+
+// BaseRules.cpp — plain let/n of a pure expression.
+std::unique_ptr<StmtRule> makeLetRule();
+
+// ArrayRules.cpp — in-place ListArray.put.
+std::unique_ptr<StmtRule> makeArrayPutRule();
+
+// LoopRules.cpp — iteration patterns.
+std::unique_ptr<StmtRule> makeMapRule();
+std::unique_ptr<StmtRule> makeFoldRule();
+std::unique_ptr<StmtRule> makeFoldBreakRule();
+std::unique_ptr<StmtRule> makeRangeRule();
+std::unique_ptr<StmtRule> makeWhileRule();
+
+// CondRules.cpp — multi-target conditionals.
+std::unique_ptr<StmtRule> makeIfRule();
+
+// StackRules.cpp — stack allocation (§4.1.2).
+std::unique_ptr<StmtRule> makeStackInitRule();
+std::unique_ptr<StmtRule> makeStackUninitRule();
+
+// CellRules.cpp — mutable cells (Table 1: get, put, iadd).
+std::unique_ptr<StmtRule> makeCellGetRule();
+std::unique_ptr<StmtRule> makeCellPutRule();
+std::unique_ptr<StmtRule> makeCellIncrRule();
+
+// NondetRules.cpp — nondeterminism monad (Table 1: alloc, peek).
+std::unique_ptr<StmtRule> makeNondetAllocRule();
+std::unique_ptr<StmtRule> makeNondetPeekRule();
+
+// IoRules.cpp — IO monad (Table 1: read, write).
+std::unique_ptr<StmtRule> makeIoReadRule();
+std::unique_ptr<StmtRule> makeIoWriteRule();
+
+// WriterRules.cpp — writer monad (§4.1.1 walkthrough).
+std::unique_ptr<StmtRule> makeWriterTellRule();
+
+// CopyRules.cpp — explicit duplication (§3.4.1).
+std::unique_ptr<StmtRule> makeCopyRule();
+
+// CallRules.cpp — external function calls (linking).
+std::unique_ptr<StmtRule> makeExternCallRule();
+
+} // namespace core
+} // namespace relc
+
+#endif // RELC_CORE_RULES_RULES_H

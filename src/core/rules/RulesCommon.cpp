@@ -1,0 +1,125 @@
+//===- core/rules/RulesCommon.cpp - Shared rule helpers --------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using sep::SymVal;
+using sep::TargetSlot;
+using solver::lc;
+
+sep::SymVal freshTypedSym(sep::CompState &St, const std::string &Hint,
+                          ir::Ty T) {
+  SymVal V = SymVal::sym(St.freshSym(Hint));
+  St.Facts.addGe0(V.term(), "word is nonnegative");
+  if (T == ir::Ty::Byte)
+    St.Facts.addLe(V.term(), lc(255), "byte value");
+  if (T == ir::Ty::Bool)
+    St.Facts.addLe(V.term(), lc(1), "bool value");
+  return V;
+}
+
+Result<std::string> singleName(const ir::Binding &B) {
+  if (B.Names.size() != 1)
+    return Error("binding " + B.str() + " must bind exactly one name");
+  return B.Names[0];
+}
+
+CompileCtx::EndHandler accEndHandler(std::vector<LoopTarget> Targets,
+                                     std::vector<std::string> Returns) {
+  return [Targets = std::move(Targets), Returns = std::move(Returns)](
+             CompileCtx &Ctx, DerivNode &D) -> Result<bedrock::CmdPtr> {
+    if (Returns.size() != Targets.size())
+      return Error("loop/branch body returns " +
+                   std::to_string(Returns.size()) + " values for " +
+                   std::to_string(Targets.size()) + " targets");
+    std::vector<bedrock::CmdPtr> Fixups;
+    for (size_t I = 0; I < Targets.size(); ++I) {
+      const LoopTarget &T = Targets[I];
+      const std::string &R = Returns[I];
+      if (T.IsPointer) {
+        if (R != T.Name)
+          return Error("pointer target '" + T.Name +
+                       "' must be returned under its own name (got '" + R +
+                       "')");
+        int Clause = Ctx.State.findClauseByPayload(T.Name);
+        if (Clause < 0)
+          return Error("body did not leave '" + T.Name +
+                       "' in the memory predicate")
+              .note(Ctx.State.str());
+        D.SideConds.push_back("array payload '" + T.Name +
+                              "' realized at join point");
+        continue;
+      }
+      const TargetSlot *Slot = Ctx.State.findScalar(R);
+      if (!Slot)
+        return Error("body result '" + R + "' is not held by a scalar local")
+            .note(Ctx.State.str());
+      if (Slot->ScalarTy != T.ScalarTy)
+        return Error("body result '" + R + "' has type " +
+                     ir::tyName(Slot->ScalarTy) + ", target '" + T.Name +
+                     "' expects " + ir::tyName(T.ScalarTy));
+      if (R != T.Name) {
+        Fixups.push_back(bedrock::set(T.Name, bedrock::var(R)));
+        Ctx.State.Locals[T.Name] = *Slot;
+      }
+      D.SideConds.push_back("local '" + T.Name +
+                            "' carries the target value at join point");
+    }
+    return bedrock::seqAll(std::move(Fixups));
+  };
+}
+
+Result<std::vector<bedrock::CmdPtr>>
+emitAccInits(CompileCtx &Ctx, const std::vector<ir::AccInit> &Accs,
+             const std::vector<std::string> &BindNames,
+             std::map<std::string, ir::Ty> *NewScalarTys, DerivNode &D) {
+  if (Accs.size() != BindNames.size())
+    return Error("loop binds " + std::to_string(BindNames.size()) +
+                 " names but carries " + std::to_string(Accs.size()) +
+                 " accumulators");
+  for (size_t I = 0; I < Accs.size(); ++I)
+    if (Accs[I].Name != BindNames[I])
+      return Error("loop accumulator '" + Accs[I].Name +
+                   "' must be bound under the same name (got '" +
+                   BindNames[I] + "'); compilation is name-directed");
+
+  std::vector<bedrock::CmdPtr> Cmds;
+  for (const ir::AccInit &A : Accs) {
+    // Array (pointer) accumulator: initializer must be the array itself.
+    if (const auto *V = dyn_cast<ir::VarRef>(A.Init.get())) {
+      int Clause = Ctx.State.findClauseByPayload(V->name());
+      if (Clause >= 0) {
+        if (V->name() != A.Name)
+          return Error("unsolved goal: array accumulator '" + A.Name +
+                       "' must be initialized by the array of the same name "
+                       "(mutation is chosen by name reuse); to copy, bind a "
+                       "copy explicitly first");
+        continue; // No code: the clause already realizes the accumulator.
+      }
+    }
+    // Scalar accumulator.
+    Result<CompiledExpr> Init = Ctx.exprs().compile(*A.Init, D);
+    if (!Init)
+      return Init.takeError().note("in initializer of accumulator " + A.Name);
+    if (Ctx.State.Locals.count(A.Name) &&
+        Ctx.State.Locals[A.Name].TheKind == TargetSlot::Kind::Ptr)
+      return Error("accumulator '" + A.Name +
+                   "' would overwrite a live pointer local");
+    for (const bedrock::CmdPtr &P : Init->Pre)
+      Cmds.push_back(P);
+    Cmds.push_back(bedrock::set(A.Name, Init->E));
+    Ctx.State.Locals[A.Name] = TargetSlot::scalar(Init->Val, Init->Type);
+    (*NewScalarTys)[A.Name] = Init->Type;
+  }
+  return Cmds;
+}
+
+} // namespace core
+} // namespace relc

@@ -1,0 +1,62 @@
+//===- core/rules/RulesCommon.h - Shared rule helpers -----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CORE_RULES_RULESCOMMON_H
+#define RELC_CORE_RULES_RULESCOMMON_H
+
+#include "core/Compiler.h"
+#include "core/Invariant.h"
+
+#include <set>
+
+namespace relc {
+namespace core {
+
+/// A fresh scalar symbol with its type-bound structural facts.
+sep::SymVal freshTypedSym(sep::CompState &St, const std::string &Hint,
+                          ir::Ty T);
+
+/// Saves and restores the shape of the symbolic state around loop bodies
+/// and conditional branches (facts are monotone and never rolled back).
+struct StateSnapshot {
+  std::map<std::string, sep::TargetSlot> Locals;
+  std::vector<sep::HeapClause> Heap;
+
+  static StateSnapshot take(const sep::CompState &St) {
+    return {St.Locals, St.Heap};
+  }
+  void restore(sep::CompState &St) const {
+    St.Locals = Locals;
+    St.Heap = Heap;
+  }
+};
+
+/// Checks that \p B binds exactly one name and returns it.
+Result<std::string> singleName(const ir::Binding &B);
+
+/// Builds the end handler for a loop body or conditional branch: the body's
+/// returned names (\p Returns) must realize the \p Targets in order
+/// (pointer targets must still be the clause payload of the same name;
+/// scalar targets get a rebinding assignment when the returned name
+/// differs). The emitted command sequence finishes the iteration.
+CompileCtx::EndHandler accEndHandler(std::vector<LoopTarget> Targets,
+                                     std::vector<std::string> Returns);
+
+/// Emits assignments initializing scalar accumulator locals from their
+/// initializer expressions (pointer accumulators need none), and returns
+/// the per-target scalar types for invariant inference. Array accumulators
+/// must be initialized by a VarRef of the same name (the name-directed
+/// in-place convention); anything else is an unsolved goal.
+Result<std::vector<bedrock::CmdPtr>>
+emitAccInits(CompileCtx &Ctx, const std::vector<ir::AccInit> &Accs,
+             const std::vector<std::string> &BindNames,
+             std::map<std::string, ir::Ty> *NewScalarTys, DerivNode &D);
+
+} // namespace core
+} // namespace relc
+
+#endif // RELC_CORE_RULES_RULESCOMMON_H

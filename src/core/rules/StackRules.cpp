@@ -1,0 +1,149 @@
+//===- core/rules/StackRules.cpp - Stack allocation (§4.1.2) ---------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The two stack-allocation source constructs from the §4.1.2 case study:
+// `stack (bytes)` for immediately initialized buffers and `stack_uninit n`
+// for buffers whose initial contents are unconstrained. Both wrap the
+// continuation in the target's lexically scoped stackalloc; the array
+// clause lives exactly as long as the scope.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/rules/Rules.h"
+#include "core/rules/RulesCommon.h"
+
+namespace relc {
+namespace core {
+
+using bedrock::CmdPtr;
+using sep::HeapClause;
+using sep::SymVal;
+using sep::TargetSlot;
+using solver::lc;
+
+namespace {
+
+/// Shared body: allocate, bind clause + locals, compile the continuation
+/// inside the scope, then retire the clause.
+Result<CmdPtr> compileStackCommon(CompileCtx &Ctx, const std::string &Name,
+                                  uint64_t Size,
+                                  const std::vector<uint8_t> *InitBytes,
+                                  const Cont &K, DerivNode &D) {
+  if (Ctx.State.Locals.count(Name))
+    return Error("stack binding '" + Name +
+                 "' collides with a live local; rename it");
+  if (Size > 4096)
+    return Error("stack allocation of " + std::to_string(Size) +
+                 " bytes exceeds the 4096-byte policy limit");
+
+  std::string PtrSym = Ctx.State.freshSym("stk_" + Name);
+  HeapClause C;
+  C.TheKind = HeapClause::Kind::Array;
+  C.Ptr = PtrSym;
+  C.Payload = Name;
+  C.Elt = ir::EltKind::U8;
+  C.Len = lc(int64_t(Size));
+  C.FromStack = true;
+  Ctx.State.Heap.push_back(C);
+  int ClauseIdx = int(Ctx.State.Heap.size()) - 1;
+  Ctx.State.Locals[Name] = TargetSlot::ptr(SymVal::sym(PtrSym), ClauseIdx);
+
+  std::vector<CmdPtr> Inner;
+  if (InitBytes) {
+    // Initialize the buffer; word-sized stores for full groups of eight,
+    // byte stores for the tail.
+    size_t I = 0;
+    for (; I + 8 <= InitBytes->size(); I += 8) {
+      uint64_t W = 0;
+      for (unsigned J = 0; J < 8; ++J)
+        W |= uint64_t((*InitBytes)[I + J]) << (8 * J);
+      Inner.push_back(bedrock::store(
+          bedrock::AccessSize::Eight,
+          bedrock::add(bedrock::var(Name), bedrock::lit(I)), bedrock::lit(W)));
+    }
+    for (; I < InitBytes->size(); ++I)
+      Inner.push_back(bedrock::store(
+          bedrock::AccessSize::Byte,
+          bedrock::add(bedrock::var(Name), bedrock::lit(I)),
+          bedrock::lit((*InitBytes)[I])));
+    D.SideConds.push_back("buffer '" + Name + "' fully initialized (" +
+                          std::to_string(InitBytes->size()) + " bytes)");
+  } else {
+    D.Notes.push_back("contents start unconstrained; the overall result "
+                      "must be independent of them (checked by differential "
+                      "validation across nondet seeds)");
+  }
+
+  Result<CmdPtr> Rest = K(D);
+  if (!Rest)
+    return Rest;
+  Inner.push_back(Rest.take());
+
+  // Scope exit: the clause must still be the last stack clause (scopes are
+  // LIFO) and the payload must not be needed anymore — in-place results are
+  // rejected against stack clauses by the function-end handler.
+  if (Ctx.State.Heap.empty() || Ctx.State.Heap.back().Ptr != PtrSym)
+    return Error("stack scope for '" + Name +
+                 "' ended with a non-LIFO heap shape");
+  Ctx.State.Heap.pop_back();
+  Ctx.State.Locals.erase(Name);
+
+  return bedrock::stackalloc(Name, Size, bedrock::seqAll(std::move(Inner)));
+}
+
+// RELC-SECTION-BEGIN: lemma-stack-init
+/// compile_stack: `let/n p := stack (bytes)` — the "immediately
+/// initialized" §4.1.2 form. Generates a stackalloc whose body begins by
+/// storing the initial contents, then resumes compilation of the plain
+/// program.
+class StackInitRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_stack"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::StackInit>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *S = cast<ir::StackInit>(B.Bound.get());
+    Ctx.noteFeature("Mutation");
+    return compileStackCommon(Ctx, B.Names[0], S->bytes().size(),
+                              &S->bytes(), K, D);
+  }
+};
+// RELC-SECTION-END: lemma-stack-init
+
+// RELC-SECTION-BEGIN: lemma-stack-uninit
+/// compile_stack_uninit: `let/n p := stack_uninit n` — the
+/// nondeterministic-contents form, legal when the compilation "is still
+/// provably deterministic (independent of initial bytes in the stack
+/// region)"; here that proof obligation is carried by the validator.
+class StackUninitRule : public StmtRule {
+public:
+  std::string name() const override { return "compile_stack_uninit"; }
+  bool matches(const CompileCtx &, const ir::Binding &B) const override {
+    return isa<ir::StackUninit>(B.Bound.get()) && B.Names.size() == 1;
+  }
+  Result<CmdPtr> apply(CompileCtx &Ctx, const ir::Binding &B, const Cont &K,
+                       DerivNode &D) override {
+    const auto *S = cast<ir::StackUninit>(B.Bound.get());
+    Ctx.noteFeature("Mutation");
+    return compileStackCommon(Ctx, B.Names[0], S->size(), nullptr, K, D);
+  }
+};
+// RELC-SECTION-END: lemma-stack-uninit
+
+} // namespace
+
+std::unique_ptr<StmtRule> makeStackInitRule() {
+  return std::make_unique<StackInitRule>();
+}
+std::unique_ptr<StmtRule> makeStackUninitRule() {
+  return std::make_unique<StackUninitRule>();
+}
+
+} // namespace core
+} // namespace relc

@@ -1,0 +1,124 @@
+//===- extraction/ExtractionRuntime.cpp - Box 1 baseline --------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "extraction/ExtractionRuntime.h"
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace extraction {
+
+CharBox boxChar(uint8_t B) {
+  auto A = std::make_shared<Ascii>();
+  for (unsigned I = 0; I < 8; ++I)
+    A->Bits[I] = (B >> I) & 1;
+  return A;
+}
+
+uint8_t unboxChar(const CharBox &C) {
+  uint8_t B = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    B |= uint8_t(C->Bits[I]) << I;
+  return B;
+}
+
+Str strOfBytes(const std::vector<uint8_t> &Bytes) {
+  Str Out;
+  for (size_t I = Bytes.size(); I-- > 0;)
+    Out = cons(boxChar(Bytes[I]), Out);
+  return Out;
+}
+
+std::vector<uint8_t> bytesOfStr(const Str &S) {
+  std::vector<uint8_t> Out;
+  for (auto P = S; P; P = P->Tail)
+    Out.push_back(unboxChar(P->Head));
+  return Out;
+}
+
+CharBox toupperMatch(const CharBox &C) {
+  // The extracted shape of `match c with "a"%char => "A"%char | ...`:
+  // decode, dispatch over the 26 lowercase cases, allocate the result.
+  switch (unboxChar(C)) {
+  case 'a': return boxChar('A');
+  case 'b': return boxChar('B');
+  case 'c': return boxChar('C');
+  case 'd': return boxChar('D');
+  case 'e': return boxChar('E');
+  case 'f': return boxChar('F');
+  case 'g': return boxChar('G');
+  case 'h': return boxChar('H');
+  case 'i': return boxChar('I');
+  case 'j': return boxChar('J');
+  case 'k': return boxChar('K');
+  case 'l': return boxChar('L');
+  case 'm': return boxChar('M');
+  case 'n': return boxChar('N');
+  case 'o': return boxChar('O');
+  case 'p': return boxChar('P');
+  case 'q': return boxChar('Q');
+  case 'r': return boxChar('R');
+  case 's': return boxChar('S');
+  case 't': return boxChar('T');
+  case 'u': return boxChar('U');
+  case 'v': return boxChar('V');
+  case 'w': return boxChar('W');
+  case 'x': return boxChar('X');
+  case 'y': return boxChar('Y');
+  case 'z': return boxChar('Z');
+  default: return C;
+  }
+}
+
+Str upstr(const Str &S) {
+  return map<CharBox>(toupperMatch, S);
+}
+
+uint64_t fnv1a(const Str &S) {
+  return foldLeft<uint64_t, CharBox>(
+      [](uint64_t H, const CharBox &C) {
+        return (H ^ unboxChar(C)) * 0x100000001b3ull;
+      },
+      S, 0xcbf29ce484222325ull);
+}
+
+uint64_t crc32ListTable(const Str &S) {
+  // Build the CRC table as a Gallina list once; each lookup is linear.
+  static const List<uint64_t> Table = [] {
+    const std::vector<uint64_t> &T = programs::crc32Table();
+    List<uint64_t> Out;
+    for (size_t I = T.size(); I-- > 0;)
+      Out = cons(T[I], Out);
+    return Out;
+  }();
+  uint64_t Crc = foldLeft<uint64_t, CharBox>(
+      [](uint64_t C, const CharBox &Ch) {
+        return (C >> 8) ^
+               nth<uint64_t>(Table, size_t((C ^ unboxChar(Ch)) & 0xff), 0);
+      },
+      S, 0xffffffffull);
+  return Crc ^ 0xffffffffull;
+}
+
+Str fastaListTable(const Str &S) {
+  static const List<uint64_t> Table = [] {
+    const std::vector<uint64_t> &T = programs::fastaComplementTable();
+    List<uint64_t> Out;
+    for (size_t I = T.size(); I-- > 0;)
+      Out = cons(T[I], Out);
+    return Out;
+  }();
+  return map<CharBox>(
+      [](const CharBox &C) {
+        return boxChar(
+            uint8_t(nth<uint64_t>(Table, unboxChar(C), 0)));
+      },
+      S);
+}
+
+} // namespace extraction
+} // namespace relc

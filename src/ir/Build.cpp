@@ -1,0 +1,140 @@
+//===- ir/Build.cpp - Builder API for FunLang models ------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Build.h"
+
+namespace relc {
+namespace ir {
+
+BoundPtr mkPure(ExprPtr E) { return std::make_shared<PureVal>(std::move(E)); }
+BoundPtr mkPut(std::string Array, ExprPtr Index, ExprPtr Val) {
+  return std::make_shared<ArrayPut>(std::move(Array), std::move(Index),
+                                    std::move(Val));
+}
+BoundPtr mkMap(std::string Array, std::string Param, ExprPtr Body) {
+  return std::make_shared<ListMap>(std::move(Array), std::move(Param),
+                                   std::move(Body));
+}
+BoundPtr mkFold(std::string Array, std::string AccParam, std::string EltParam,
+                ExprPtr Init, ExprPtr Body) {
+  return std::make_shared<ListFold>(std::move(Array), std::move(AccParam),
+                                    std::move(EltParam), std::move(Init),
+                                    std::move(Body));
+}
+BoundPtr mkFoldBreak(std::string Array, std::string AccParam,
+                     std::string EltParam, ExprPtr Init, ExprPtr Body,
+                     ExprPtr Break) {
+  return std::make_shared<FoldBreak>(std::move(Array), std::move(AccParam),
+                                     std::move(EltParam), std::move(Init),
+                                     std::move(Body), std::move(Break));
+}
+BoundPtr mkRange(std::string IdxName, ExprPtr Lo, ExprPtr Hi,
+                 std::vector<AccInit> Accs, ProgPtr Body) {
+  return std::make_shared<RangeFold>(std::move(IdxName), std::move(Lo),
+                                     std::move(Hi), std::move(Accs),
+                                     std::move(Body));
+}
+BoundPtr mkWhile(std::vector<AccInit> Accs, ExprPtr Cond, ProgPtr Body,
+                 ExprPtr Measure) {
+  return std::make_shared<WhileComb>(std::move(Accs), std::move(Cond),
+                                     std::move(Body), std::move(Measure));
+}
+BoundPtr mkIf(ExprPtr Cond, ProgPtr Then, ProgPtr Else) {
+  return std::make_shared<IfBound>(std::move(Cond), std::move(Then),
+                                   std::move(Else));
+}
+BoundPtr mkStack(std::vector<uint8_t> Bytes) {
+  return std::make_shared<StackInit>(std::move(Bytes));
+}
+BoundPtr mkStackUninit(uint64_t Size) {
+  return std::make_shared<StackUninit>(Size);
+}
+BoundPtr mkNondetAlloc(uint64_t Size) {
+  return std::make_shared<NondetAlloc>(Size);
+}
+BoundPtr mkNondetPeek() { return std::make_shared<NondetPeek>(); }
+BoundPtr mkIoRead() { return std::make_shared<IoRead>(); }
+BoundPtr mkIoWrite(ExprPtr E) {
+  return std::make_shared<IoWrite>(std::move(E));
+}
+BoundPtr mkTell(ExprPtr E) {
+  return std::make_shared<WriterTell>(std::move(E));
+}
+BoundPtr mkCellGet(std::string Cell) {
+  return std::make_shared<CellGet>(std::move(Cell));
+}
+BoundPtr mkCellPut(std::string Cell, ExprPtr E) {
+  return std::make_shared<CellPut>(std::move(Cell), std::move(E));
+}
+BoundPtr mkCellIncr(std::string Cell, ExprPtr E) {
+  return std::make_shared<CellIncr>(std::move(Cell), std::move(E));
+}
+BoundPtr mkCopy(std::string Array) {
+  return std::make_shared<CopyArr>(std::move(Array));
+}
+BoundPtr mkCall(std::string Callee, std::vector<ExprPtr> Args,
+                unsigned NumRets) {
+  return std::make_shared<ExternCall>(std::move(Callee), std::move(Args),
+                                      NumRets);
+}
+
+AccInit acc(std::string Name, ExprPtr Init) {
+  return AccInit{std::move(Name), std::move(Init)};
+}
+
+ProgBuilder &ProgBuilder::let(std::string Name, ExprPtr E) {
+  return let(std::move(Name), mkPure(std::move(E)));
+}
+
+ProgBuilder &ProgBuilder::let(std::string Name, BoundPtr B) {
+  Bindings.push_back(Binding{{std::move(Name)}, std::move(B)});
+  return *this;
+}
+
+ProgBuilder &ProgBuilder::letMulti(std::vector<std::string> Names,
+                                   BoundPtr B) {
+  Bindings.push_back(Binding{std::move(Names), std::move(B)});
+  return *this;
+}
+
+ProgPtr ProgBuilder::ret(std::vector<std::string> Names) && {
+  return std::make_shared<Prog>(std::move(Bindings), std::move(Names));
+}
+
+FnBuilder::FnBuilder(std::string Name, Monad M) {
+  Fn.Name = std::move(Name);
+  Fn.TheMonad = M;
+}
+
+FnBuilder &FnBuilder::wordParam(std::string Name) {
+  Fn.Params.push_back(Param::scalar(std::move(Name)));
+  return *this;
+}
+
+FnBuilder &FnBuilder::listParam(std::string Name, EltKind Elt) {
+  Fn.Params.push_back(Param::list(std::move(Name), Elt));
+  return *this;
+}
+
+FnBuilder &FnBuilder::cellParam(std::string Name) {
+  Fn.Params.push_back(Param::cell(std::move(Name)));
+  return *this;
+}
+
+FnBuilder &FnBuilder::table(std::string Name, EltKind Elt,
+                            std::vector<uint64_t> Elements) {
+  Fn.Tables.push_back(TableDef{std::move(Name), Elt, std::move(Elements)});
+  return *this;
+}
+
+SourceFn FnBuilder::done(ProgPtr Body) && {
+  Fn.Body = std::move(Body);
+  return std::move(Fn);
+}
+
+} // namespace ir
+} // namespace relc

@@ -1,0 +1,99 @@
+//===- ir/Build.h - Builder API for FunLang models --------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Writing a model through this builder is the C++ analogue of writing
+// lowered Gallina: a chain of let/n bindings over the expression
+// combinators from ir/Expr.h. See src/programs/ for complete models.
+//
+//   FnBuilder B("upstr", Monad::Pure);
+//   B.listParam("s", EltKind::U8);
+//   B.body()
+//       .let("s", mkMap("s", "b", /*toupper' body*/ ...))
+//       .ret({"s"});
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_IR_BUILD_H
+#define RELC_IR_BUILD_H
+
+#include "ir/Prog.h"
+
+namespace relc {
+namespace ir {
+
+/// Bound-form constructors.
+BoundPtr mkPure(ExprPtr E);
+BoundPtr mkPut(std::string Array, ExprPtr Index, ExprPtr Val);
+BoundPtr mkMap(std::string Array, std::string Param, ExprPtr Body);
+BoundPtr mkFold(std::string Array, std::string AccParam, std::string EltParam,
+                ExprPtr Init, ExprPtr Body);
+BoundPtr mkFoldBreak(std::string Array, std::string AccParam,
+                     std::string EltParam, ExprPtr Init, ExprPtr Body,
+                     ExprPtr Break);
+BoundPtr mkRange(std::string IdxName, ExprPtr Lo, ExprPtr Hi,
+                 std::vector<AccInit> Accs, ProgPtr Body);
+BoundPtr mkWhile(std::vector<AccInit> Accs, ExprPtr Cond, ProgPtr Body,
+                 ExprPtr Measure);
+BoundPtr mkIf(ExprPtr Cond, ProgPtr Then, ProgPtr Else);
+BoundPtr mkStack(std::vector<uint8_t> Bytes);
+BoundPtr mkStackUninit(uint64_t Size);
+BoundPtr mkNondetAlloc(uint64_t Size);
+BoundPtr mkNondetPeek();
+BoundPtr mkIoRead();
+BoundPtr mkIoWrite(ExprPtr E);
+BoundPtr mkTell(ExprPtr E);
+BoundPtr mkCellGet(std::string Cell);
+BoundPtr mkCellPut(std::string Cell, ExprPtr E);
+BoundPtr mkCellIncr(std::string Cell, ExprPtr E);
+BoundPtr mkCopy(std::string Array);
+BoundPtr mkCall(std::string Callee, std::vector<ExprPtr> Args,
+                unsigned NumRets);
+
+/// Accumulator-initializer shorthand.
+AccInit acc(std::string Name, ExprPtr Init);
+
+/// Builds a Prog as a chain of let/n bindings.
+class ProgBuilder {
+public:
+  /// let/n Name := Expr.
+  ProgBuilder &let(std::string Name, ExprPtr E);
+
+  /// let/n Name := <bound form>.
+  ProgBuilder &let(std::string Name, BoundPtr B);
+
+  /// let/n (Names...) := <bound form>.
+  ProgBuilder &letMulti(std::vector<std::string> Names, BoundPtr B);
+
+  /// Finishes the program, returning the named values.
+  ProgPtr ret(std::vector<std::string> Names) &&;
+
+private:
+  std::vector<Binding> Bindings;
+};
+
+/// Builds a SourceFn.
+class FnBuilder {
+public:
+  FnBuilder(std::string Name, Monad M);
+
+  FnBuilder &wordParam(std::string Name);
+  FnBuilder &listParam(std::string Name, EltKind Elt);
+  FnBuilder &cellParam(std::string Name);
+  FnBuilder &table(std::string Name, EltKind Elt,
+                   std::vector<uint64_t> Elements);
+
+  /// Sets the body and finishes.
+  SourceFn done(ProgPtr Body) &&;
+
+private:
+  SourceFn Fn;
+};
+
+} // namespace ir
+} // namespace relc
+
+#endif // RELC_IR_BUILD_H

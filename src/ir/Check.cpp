@@ -1,0 +1,529 @@
+//===- ir/Check.cpp - FunLang well-formedness and typing -------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Check.h"
+
+namespace relc {
+namespace ir {
+
+std::string VType::str() const {
+  switch (TheKind) {
+  case Kind::Scalar:
+    return tyName(ScalarTy);
+  case Kind::List:
+    return "list u" + std::to_string(8 * eltSize(Elt));
+  case Kind::Cell:
+    return "cell";
+  case Kind::Unit:
+    return "unit";
+  }
+  return "?";
+}
+
+Result<VType> checkExpr(const SourceFn &Fn, const TypeEnv &Env,
+                        const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Const: {
+    const Value &V = cast<Const>(&E)->value();
+    switch (V.kind()) {
+    case Value::Kind::Word:
+      return VType::scalar(Ty::Word);
+    case Value::Kind::Byte:
+      return VType::scalar(Ty::Byte);
+    case Value::Kind::Bool:
+      return VType::scalar(Ty::Bool);
+    default:
+      return Error("non-scalar literal");
+    }
+  }
+
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRef>(&E);
+    auto It = Env.find(V->name());
+    if (It == Env.end())
+      return Error("unbound variable '" + V->name() + "'");
+    return It->second;
+  }
+
+  case Expr::Kind::Bin: {
+    const auto *B = cast<Bin>(&E);
+    Result<VType> L = checkExpr(Fn, Env, *B->lhs());
+    if (!L)
+      return L.takeError();
+    Result<VType> R = checkExpr(Fn, Env, *B->rhs());
+    if (!R)
+      return R.takeError();
+    if (!(*L == VType::scalar(Ty::Word)) || !(*R == VType::scalar(Ty::Word)))
+      return Error("operator '" + std::string(wordOpName(B->op())) +
+                   "' requires word operands, got " + L->str() + " and " +
+                   R->str() + " in " + E.str());
+    return VType::scalar(wordOpIsCompare(B->op()) ? Ty::Bool : Ty::Word);
+  }
+
+  case Expr::Kind::Select: {
+    const auto *S = cast<Select>(&E);
+    Result<VType> C = checkExpr(Fn, Env, *S->cond());
+    if (!C)
+      return C.takeError();
+    if (!(*C == VType::scalar(Ty::Bool)))
+      return Error("condition of 'if' is not a bool in " + E.str());
+    Result<VType> T = checkExpr(Fn, Env, *S->thenExpr());
+    if (!T)
+      return T.takeError();
+    Result<VType> F = checkExpr(Fn, Env, *S->elseExpr());
+    if (!F)
+      return F.takeError();
+    if (!(*T == *F))
+      return Error("branches of 'if' have different types (" + T->str() +
+                   " vs " + F->str() + ") in " + E.str());
+    if (T->TheKind != VType::Kind::Scalar)
+      return Error("expression-level 'if' must be scalar-typed");
+    return *T;
+  }
+
+  case Expr::Kind::Cast: {
+    const auto *C = cast<Cast>(&E);
+    Result<VType> V = checkExpr(Fn, Env, *C->operand());
+    if (!V)
+      return V.takeError();
+    switch (C->castKind()) {
+    case CastKind::ByteToWord:
+      if (!(*V == VType::scalar(Ty::Byte)))
+        return Error("b2w applied to " + V->str());
+      return VType::scalar(Ty::Word);
+    case CastKind::WordToByte:
+      if (!(*V == VType::scalar(Ty::Word)))
+        return Error("w2b applied to " + V->str());
+      return VType::scalar(Ty::Byte);
+    case CastKind::BoolToWord:
+      if (!(*V == VType::scalar(Ty::Bool)))
+        return Error("Z.b2z applied to " + V->str());
+      return VType::scalar(Ty::Word);
+    }
+    return Error("unknown cast");
+  }
+
+  case Expr::Kind::ArrayGet: {
+    const auto *G = cast<ArrayGet>(&E);
+    auto It = Env.find(G->array());
+    if (It == Env.end())
+      return Error("unbound array '" + G->array() + "'");
+    if (It->second.TheKind != VType::Kind::List)
+      return Error("ListArray.get on non-list '" + G->array() + "'");
+    Result<VType> I = checkExpr(Fn, Env, *G->index());
+    if (!I)
+      return I.takeError();
+    if (!(*I == VType::scalar(Ty::Word)))
+      return Error("array index must be a word in " + E.str());
+    return VType::scalar(It->second.Elt == EltKind::U8 ? Ty::Byte : Ty::Word);
+  }
+
+  case Expr::Kind::TableGet: {
+    const auto *G = cast<TableGet>(&E);
+    const TableDef *T = Fn.findTable(G->table());
+    if (!T)
+      return Error("unknown inline table '" + G->table() + "'");
+    Result<VType> I = checkExpr(Fn, Env, *G->index());
+    if (!I)
+      return I.takeError();
+    if (!(*I == VType::scalar(Ty::Word)))
+      return Error("table index must be a word in " + E.str());
+    return VType::scalar(T->Elt == EltKind::U8 ? Ty::Byte : Ty::Word);
+  }
+  }
+  return Error("unknown expression kind");
+}
+
+namespace {
+
+class FnChecker {
+public:
+  explicit FnChecker(const SourceFn &Fn) : Fn(Fn) {}
+
+  Result<std::vector<VType>> checkProg(TypeEnv Env, const Prog &P) {
+    for (const Binding &B : P.bindings()) {
+      Status S = checkBinding(Env, B);
+      if (!S)
+        return S.takeError().note("in " + B.str());
+    }
+    std::vector<VType> Out;
+    for (const std::string &R : P.returns()) {
+      auto It = Env.find(R);
+      if (It == Env.end())
+        return Error("returned variable '" + R + "' is unbound");
+      Out.push_back(It->second);
+    }
+    return Out;
+  }
+
+private:
+  const SourceFn &Fn;
+
+  /// Is the bound form legal under the ambient monad?
+  Status checkMonad(const BoundForm &F) {
+    Monad M = Fn.TheMonad;
+    auto Requires = [&](Monad Needed, const char *What) -> Status {
+      if (M != Needed)
+        return Error(std::string(What) + " requires the " +
+                     monadName(Needed) + " monad, but the model is " +
+                     monadName(M));
+      return Status::success();
+    };
+    switch (F.kind()) {
+    case BoundForm::Kind::NondetAlloc:
+    case BoundForm::Kind::NondetPeek:
+      return Requires(Monad::Nondet, "nondeterministic choice");
+    case BoundForm::Kind::IoRead:
+    case BoundForm::Kind::IoWrite:
+      return Requires(Monad::Io, "I/O");
+    case BoundForm::Kind::WriterTell:
+      return Requires(Monad::Writer, "tell");
+    default:
+      return Status::success(); // Pure forms are legal in every monad.
+    }
+  }
+
+  Result<VType> checkAccProg(const TypeEnv &Outer,
+                             const std::vector<AccInit> &Accs,
+                             const TypeEnv &Extra, const Prog &Body,
+                             std::vector<VType> *AccTypes) {
+    TypeEnv Env = Outer;
+    for (const auto &[K, V] : Extra)
+      Env[K] = V;
+    AccTypes->clear();
+    for (const AccInit &A : Accs) {
+      Result<VType> T = checkExpr(Fn, Outer, *A.Init);
+      if (!T)
+        return T.takeError().note("in initializer of accumulator " + A.Name);
+      Env[A.Name] = *T;
+      AccTypes->push_back(*T);
+    }
+    Result<std::vector<VType>> Rets = checkProg(Env, Body);
+    if (!Rets)
+      return Rets.takeError();
+    if (Rets->size() != Accs.size())
+      return Error("loop body returns " + std::to_string(Rets->size()) +
+                   " values but carries " + std::to_string(Accs.size()) +
+                   " accumulators");
+    for (size_t I = 0; I < Rets->size(); ++I)
+      if (!((*Rets)[I] == (*AccTypes)[I]))
+        return Error("loop body changes the type of accumulator '" +
+                     Accs[I].Name + "' (" + (*AccTypes)[I].str() + " -> " +
+                     (*Rets)[I].str() + ")");
+    if (AccTypes->size() == 1)
+      return (*AccTypes)[0];
+    return VType::unit(); // Tuple result; handled by caller via AccTypes.
+  }
+
+  Status bindNames(TypeEnv &Env, const Binding &B,
+                   const std::vector<VType> &Types) {
+    if (B.Names.size() != Types.size())
+      return Error("binding arity mismatch: " +
+                   std::to_string(B.Names.size()) + " names for " +
+                   std::to_string(Types.size()) + " results");
+    for (const std::string &N : B.Names) {
+      if (N.empty())
+        return Error("empty binder name");
+      if (N.find('$') != std::string::npos)
+        return Error("binder name '" + N +
+                     "' contains '$', which is reserved for compiler-chosen "
+                     "locals");
+    }
+    for (size_t I = 0; I < B.Names.size(); ++I)
+      Env[B.Names[I]] = Types[I];
+    return Status::success();
+  }
+
+  Status checkBinding(TypeEnv &Env, const Binding &B) {
+    if (!B.Bound)
+      return Error("binding without bound form");
+    Status M = checkMonad(*B.Bound);
+    if (!M)
+      return M;
+
+    const BoundForm &F = *B.Bound;
+    switch (F.kind()) {
+    case BoundForm::Kind::PureVal: {
+      Result<VType> T = checkExpr(Fn, Env, *cast<PureVal>(&F)->expr());
+      if (!T)
+        return T.takeError();
+      return bindNames(Env, B, {*T});
+    }
+
+    case BoundForm::Kind::ArrayPut: {
+      const auto *P = cast<ArrayPut>(&F);
+      auto It = Env.find(P->array());
+      if (It == Env.end() || It->second.TheKind != VType::Kind::List)
+        return Error("ListArray.put on unbound or non-list '" + P->array() +
+                     "'");
+      Result<VType> I = checkExpr(Fn, Env, *P->index());
+      if (!I)
+        return I.takeError();
+      if (!(*I == VType::scalar(Ty::Word)))
+        return Error("put index must be a word");
+      Result<VType> V = checkExpr(Fn, Env, *P->val());
+      if (!V)
+        return V.takeError();
+      Ty Want = It->second.Elt == EltKind::U8 ? Ty::Byte : Ty::Word;
+      if (!(*V == VType::scalar(Want)))
+        return Error("put value has type " + V->str() + ", array needs " +
+                     tyName(Want));
+      return bindNames(Env, B, {It->second});
+    }
+
+    case BoundForm::Kind::ListMap: {
+      const auto *LM = cast<ListMap>(&F);
+      auto It = Env.find(LM->array());
+      if (It == Env.end() || It->second.TheKind != VType::Kind::List)
+        return Error("ListArray.map on unbound or non-list '" + LM->array() +
+                     "'");
+      TypeEnv Scope = Env;
+      Ty EltTy = It->second.Elt == EltKind::U8 ? Ty::Byte : Ty::Word;
+      Scope[LM->param()] = VType::scalar(EltTy);
+      Result<VType> BodyT = checkExpr(Fn, Scope, *LM->body());
+      if (!BodyT)
+        return BodyT.takeError();
+      if (!(*BodyT == VType::scalar(EltTy)))
+        return Error("map body has type " + BodyT->str() +
+                     " but the array holds " + tyName(EltTy));
+      return bindNames(Env, B, {It->second});
+    }
+
+    case BoundForm::Kind::ListFold: {
+      const auto *LF = cast<ListFold>(&F);
+      auto It = Env.find(LF->array());
+      if (It == Env.end() || It->second.TheKind != VType::Kind::List)
+        return Error("fold_left on unbound or non-list '" + LF->array() + "'");
+      Result<VType> InitT = checkExpr(Fn, Env, *LF->init());
+      if (!InitT)
+        return InitT.takeError();
+      if (InitT->TheKind != VType::Kind::Scalar)
+        return Error("fold accumulator must be scalar");
+      TypeEnv Scope = Env;
+      Scope[LF->accParam()] = *InitT;
+      Ty EltTy = It->second.Elt == EltKind::U8 ? Ty::Byte : Ty::Word;
+      Scope[LF->eltParam()] = VType::scalar(EltTy);
+      Result<VType> BodyT = checkExpr(Fn, Scope, *LF->body());
+      if (!BodyT)
+        return BodyT.takeError();
+      if (!(*BodyT == *InitT))
+        return Error("fold body type " + BodyT->str() +
+                     " differs from accumulator type " + InitT->str());
+      return bindNames(Env, B, {*InitT});
+    }
+
+    case BoundForm::Kind::FoldBreak: {
+      const auto *LF = cast<FoldBreak>(&F);
+      auto It = Env.find(LF->array());
+      if (It == Env.end() || It->second.TheKind != VType::Kind::List)
+        return Error("fold_break on unbound or non-list '" + LF->array() +
+                     "'");
+      Result<VType> InitT = checkExpr(Fn, Env, *LF->init());
+      if (!InitT)
+        return InitT.takeError();
+      if (InitT->TheKind != VType::Kind::Scalar)
+        return Error("fold_break accumulator must be scalar");
+      TypeEnv Scope = Env;
+      Scope[LF->accParam()] = *InitT;
+      Result<VType> BrkT = checkExpr(Fn, Scope, *LF->breakCond());
+      if (!BrkT)
+        return BrkT.takeError();
+      if (!(*BrkT == VType::scalar(Ty::Bool)))
+        return Error("fold_break predicate must be a bool");
+      Ty EltTy = It->second.Elt == EltKind::U8 ? Ty::Byte : Ty::Word;
+      Scope[LF->eltParam()] = VType::scalar(EltTy);
+      Result<VType> BodyT = checkExpr(Fn, Scope, *LF->body());
+      if (!BodyT)
+        return BodyT.takeError();
+      if (!(*BodyT == *InitT))
+        return Error("fold_break body type " + BodyT->str() +
+                     " differs from accumulator type " + InitT->str());
+      return bindNames(Env, B, {*InitT});
+    }
+
+    case BoundForm::Kind::RangeFold: {
+      const auto *RF = cast<RangeFold>(&F);
+      Result<VType> Lo = checkExpr(Fn, Env, *RF->lo());
+      if (!Lo)
+        return Lo.takeError();
+      Result<VType> Hi = checkExpr(Fn, Env, *RF->hi());
+      if (!Hi)
+        return Hi.takeError();
+      if (!(*Lo == VType::scalar(Ty::Word)) ||
+          !(*Hi == VType::scalar(Ty::Word)))
+        return Error("ranged_for bounds must be words");
+      TypeEnv Extra;
+      Extra[RF->idxName()] = VType::scalar(Ty::Word);
+      std::vector<VType> AccTypes;
+      Result<VType> R =
+          checkAccProg(Env, RF->accs(), Extra, *RF->body(), &AccTypes);
+      if (!R)
+        return R.takeError();
+      return bindNames(Env, B, AccTypes);
+    }
+
+    case BoundForm::Kind::WhileComb: {
+      const auto *W = cast<WhileComb>(&F);
+      std::vector<VType> AccTypes;
+      Result<VType> R = checkAccProg(Env, W->accs(), {}, *W->body(), &AccTypes);
+      if (!R)
+        return R.takeError();
+      // Condition and measure see the accumulators.
+      TypeEnv Scope = Env;
+      for (size_t I = 0; I < W->accs().size(); ++I)
+        Scope[W->accs()[I].Name] = AccTypes[I];
+      Result<VType> C = checkExpr(Fn, Scope, *W->cond());
+      if (!C)
+        return C.takeError();
+      if (!(*C == VType::scalar(Ty::Bool)))
+        return Error("while condition must be a bool");
+      Result<VType> Ms = checkExpr(Fn, Scope, *W->measure());
+      if (!Ms)
+        return Ms.takeError();
+      if (!(*Ms == VType::scalar(Ty::Word)))
+        return Error("while measure must be a word");
+      return bindNames(Env, B, AccTypes);
+    }
+
+    case BoundForm::Kind::IfBound: {
+      const auto *I = cast<IfBound>(&F);
+      Result<VType> C = checkExpr(Fn, Env, *I->cond());
+      if (!C)
+        return C.takeError();
+      if (!(*C == VType::scalar(Ty::Bool)))
+        return Error("conditional guard must be a bool");
+      Result<std::vector<VType>> T = checkProg(Env, *I->thenProg());
+      if (!T)
+        return T.takeError().note("in then-branch");
+      Result<std::vector<VType>> E2 = checkProg(Env, *I->elseProg());
+      if (!E2)
+        return E2.takeError().note("in else-branch");
+      if (T->size() != E2->size())
+        return Error("conditional branches return different arities");
+      for (size_t K = 0; K < T->size(); ++K)
+        if (!((*T)[K] == (*E2)[K]))
+          return Error("conditional branches disagree on result " +
+                       std::to_string(K) + " (" + (*T)[K].str() + " vs " +
+                       (*E2)[K].str() + ")");
+      return bindNames(Env, B, *T);
+    }
+
+    case BoundForm::Kind::StackInit:
+      return bindNames(Env, B, {VType::list(EltKind::U8)});
+    case BoundForm::Kind::StackUninit:
+      return bindNames(Env, B, {VType::list(EltKind::U8)});
+    case BoundForm::Kind::NondetAlloc:
+      return bindNames(Env, B, {VType::list(EltKind::U8)});
+    case BoundForm::Kind::NondetPeek:
+      return bindNames(Env, B, {VType::scalar(Ty::Word)});
+    case BoundForm::Kind::IoRead:
+      return bindNames(Env, B, {VType::scalar(Ty::Word)});
+
+    case BoundForm::Kind::IoWrite: {
+      Result<VType> V = checkExpr(Fn, Env, *cast<IoWrite>(&F)->expr());
+      if (!V)
+        return V.takeError();
+      if (!(*V == VType::scalar(Ty::Word)))
+        return Error("write expects a word");
+      return bindNames(Env, B, {VType::unit()});
+    }
+
+    case BoundForm::Kind::WriterTell: {
+      Result<VType> V = checkExpr(Fn, Env, *cast<WriterTell>(&F)->expr());
+      if (!V)
+        return V.takeError();
+      if (!(*V == VType::scalar(Ty::Word)))
+        return Error("tell expects a word");
+      return bindNames(Env, B, {VType::unit()});
+    }
+
+    case BoundForm::Kind::CellGet: {
+      const auto *C = cast<CellGet>(&F);
+      auto It = Env.find(C->cell());
+      if (It == Env.end() || It->second.TheKind != VType::Kind::Cell)
+        return Error("Cell.get on unbound or non-cell '" + C->cell() + "'");
+      return bindNames(Env, B, {VType::scalar(Ty::Word)});
+    }
+
+    case BoundForm::Kind::CellPut:
+    case BoundForm::Kind::CellIncr: {
+      bool IsIncr = F.kind() == BoundForm::Kind::CellIncr;
+      const std::string &CellName =
+          IsIncr ? cast<CellIncr>(&F)->cell() : cast<CellPut>(&F)->cell();
+      const Expr *Arg =
+          IsIncr ? cast<CellIncr>(&F)->expr() : cast<CellPut>(&F)->expr();
+      auto It = Env.find(CellName);
+      if (It == Env.end() || It->second.TheKind != VType::Kind::Cell)
+        return Error("cell operation on unbound or non-cell '" + CellName +
+                     "'");
+      Result<VType> V = checkExpr(Fn, Env, *Arg);
+      if (!V)
+        return V.takeError();
+      if (!(*V == VType::scalar(Ty::Word)))
+        return Error("cell operand must be a word");
+      return bindNames(Env, B, {VType::cell()});
+    }
+
+    case BoundForm::Kind::CopyArr: {
+      const auto *C = cast<CopyArr>(&F);
+      auto It = Env.find(C->array());
+      if (It == Env.end() || It->second.TheKind != VType::Kind::List)
+        return Error("copy of unbound or non-list '" + C->array() + "'");
+      return bindNames(Env, B, {It->second});
+    }
+
+    case BoundForm::Kind::ExternCall: {
+      const auto *X = cast<ExternCall>(&F);
+      for (const ExprPtr &A : X->args()) {
+        Result<VType> T = checkExpr(Fn, Env, *A);
+        if (!T)
+          return T.takeError();
+        if (T->TheKind != VType::Kind::Scalar)
+          return Error("external call arguments must be scalars");
+      }
+      std::vector<VType> Rets(X->numRets(), VType::scalar(Ty::Word));
+      return bindNames(Env, B, Rets);
+    }
+    }
+    return Error("unknown bound form");
+  }
+};
+
+} // namespace
+
+Result<std::vector<VType>> checkFn(const SourceFn &Fn) {
+  if (!Fn.Body)
+    return Error("function '" + Fn.Name + "' has no body");
+  TypeEnv Env;
+  for (const Param &P : Fn.Params) {
+    if (P.Name.empty())
+      return Error("parameter with empty name in '" + Fn.Name + "'");
+    if (P.Name.find('$') != std::string::npos)
+      return Error("parameter name '" + P.Name + "' contains reserved '$'");
+    if (Env.count(P.Name))
+      return Error("duplicate parameter '" + P.Name + "'");
+    switch (P.TheKind) {
+    case Param::Kind::ScalarWord:
+      Env[P.Name] = VType::scalar(Ty::Word);
+      break;
+    case Param::Kind::List:
+      Env[P.Name] = VType::list(P.Elt);
+      break;
+    case Param::Kind::Cell:
+      Env[P.Name] = VType::cell();
+      break;
+    }
+  }
+  FnChecker C(Fn);
+  Result<std::vector<VType>> R = C.checkProg(Env, *Fn.Body);
+  if (!R)
+    return R.takeError().note("in function " + Fn.Name);
+  return R;
+}
+
+} // namespace ir
+} // namespace relc

@@ -1,0 +1,64 @@
+//===- ir/Check.h - FunLang well-formedness and typing ---------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Static checks on source models before compilation: scoping, a simple
+// monomorphic type discipline (word / byte / bool / list<elt> / cell), and
+// the monad discipline (which effectful primitives are legal under which
+// ambient monad, §3.4.1). Models that fail these checks are rejected with a
+// source-level diagnostic before any compilation rule runs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_IR_CHECK_H
+#define RELC_IR_CHECK_H
+
+#include "ir/Prog.h"
+#include "support/Result.h"
+
+#include <map>
+
+namespace relc {
+namespace ir {
+
+/// The type of a bound name.
+struct VType {
+  enum class Kind { Scalar, List, Cell, Unit };
+  Kind TheKind = Kind::Unit;
+  Ty ScalarTy = Ty::Word;   ///< For Kind::Scalar.
+  EltKind Elt = EltKind::U8; ///< For Kind::List.
+
+  static VType scalar(Ty T) { return {Kind::Scalar, T, EltKind::U8}; }
+  static VType list(EltKind E) { return {Kind::List, Ty::Word, E}; }
+  static VType cell() { return {Kind::Cell, Ty::Word, EltKind::U64}; }
+  static VType unit() { return {Kind::Unit, Ty::Word, EltKind::U8}; }
+
+  bool operator==(const VType &O) const {
+    if (TheKind != O.TheKind)
+      return false;
+    if (TheKind == Kind::Scalar)
+      return ScalarTy == O.ScalarTy;
+    if (TheKind == Kind::List)
+      return Elt == O.Elt;
+    return true;
+  }
+
+  std::string str() const;
+};
+
+using TypeEnv = std::map<std::string, VType>;
+
+/// Type-checks expression \p E under \p Env (tables come from \p Fn).
+Result<VType> checkExpr(const SourceFn &Fn, const TypeEnv &Env, const Expr &E);
+
+/// Checks the whole function: scoping, types, monad discipline, loop-body
+/// arities. On success returns the types of the returned values.
+Result<std::vector<VType>> checkFn(const SourceFn &Fn);
+
+} // namespace ir
+} // namespace relc
+
+#endif // RELC_IR_CHECK_H

@@ -1,0 +1,225 @@
+//===- ir/Expr.cpp - Pure scalar expressions -------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+#include "support/StringExtras.h"
+
+namespace relc {
+namespace ir {
+
+const char *tyName(Ty T) {
+  switch (T) {
+  case Ty::Word:
+    return "word";
+  case Ty::Byte:
+    return "byte";
+  case Ty::Bool:
+    return "bool";
+  }
+  return "?";
+}
+
+const char *wordOpName(WordOp Op) {
+  switch (Op) {
+  case WordOp::Add:
+    return "+";
+  case WordOp::Sub:
+    return "-";
+  case WordOp::Mul:
+    return "*";
+  case WordOp::DivU:
+    return "/";
+  case WordOp::RemU:
+    return "mod";
+  case WordOp::And:
+    return "&";
+  case WordOp::Or:
+    return "|";
+  case WordOp::Xor:
+    return "^";
+  case WordOp::Shl:
+    return "<<";
+  case WordOp::LShr:
+    return ">>";
+  case WordOp::AShr:
+    return ">>s";
+  case WordOp::LtU:
+    return "<?";
+  case WordOp::LtS:
+    return "<s?";
+  case WordOp::Eq:
+    return "=?";
+  case WordOp::Ne:
+    return "<>?";
+  }
+  return "?";
+}
+
+bool wordOpIsCompare(WordOp Op) {
+  return Op == WordOp::LtU || Op == WordOp::LtS || Op == WordOp::Eq ||
+         Op == WordOp::Ne;
+}
+
+uint64_t evalWordOp(WordOp Op, uint64_t A, uint64_t B) {
+  switch (Op) {
+  case WordOp::Add:
+    return A + B;
+  case WordOp::Sub:
+    return A - B;
+  case WordOp::Mul:
+    return A * B;
+  case WordOp::DivU:
+    return B == 0 ? ~uint64_t(0) : A / B;
+  case WordOp::RemU:
+    return B == 0 ? A : A % B;
+  case WordOp::And:
+    return A & B;
+  case WordOp::Or:
+    return A | B;
+  case WordOp::Xor:
+    return A ^ B;
+  case WordOp::Shl:
+    return A << (B & 63);
+  case WordOp::LShr:
+    return A >> (B & 63);
+  case WordOp::AShr:
+    return uint64_t(int64_t(A) >> (B & 63));
+  case WordOp::LtU:
+    return A < B ? 1 : 0;
+  case WordOp::LtS:
+    return int64_t(A) < int64_t(B) ? 1 : 0;
+  case WordOp::Eq:
+    return A == B ? 1 : 0;
+  case WordOp::Ne:
+    return A != B ? 1 : 0;
+  }
+  assert(false && "unknown word op");
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing.
+//===----------------------------------------------------------------------===//
+
+std::string Const::str() const {
+  switch (TheValue.kind()) {
+  case Value::Kind::Word:
+    return TheValue.asWord() < 1024 ? std::to_string(TheValue.asWord())
+                                    : hexStr(TheValue.asWord());
+  case Value::Kind::Byte:
+    return "0x" + hexByte(TheValue.asByte()) + "%byte";
+  case Value::Kind::Bool:
+    return TheValue.asBool() ? "true" : "false";
+  default:
+    return "?";
+  }
+}
+
+std::string Bin::str() const {
+  return "(" + Lhs->str() + " " + wordOpName(Op) + " " + Rhs->str() + ")";
+}
+
+std::string Select::str() const {
+  return "(if " + Cond->str() + " then " + Then->str() + " else " +
+         Else->str() + ")";
+}
+
+std::string Cast::str() const {
+  switch (CK) {
+  case CastKind::ByteToWord:
+    return "b2w " + Operand->str();
+  case CastKind::WordToByte:
+    return "w2b " + Operand->str();
+  case CastKind::BoolToWord:
+    return "Z.b2z " + Operand->str();
+  }
+  return "?";
+}
+
+std::string ArrayGet::str() const {
+  return "ListArray.get " + Array + " " + Index->str();
+}
+
+std::string TableGet::str() const {
+  return "InlineTable.get " + Table + " " + Index->str();
+}
+
+//===----------------------------------------------------------------------===//
+// Combinators.
+//===----------------------------------------------------------------------===//
+
+ExprPtr cw(uint64_t W) { return std::make_shared<Const>(Value::word(W)); }
+ExprPtr cb(uint8_t B) { return std::make_shared<Const>(Value::byte(B)); }
+ExprPtr cbool(bool B) { return std::make_shared<Const>(Value::boolean(B)); }
+ExprPtr v(std::string Name) {
+  return std::make_shared<VarRef>(std::move(Name));
+}
+ExprPtr binop(WordOp Op, ExprPtr L, ExprPtr R) {
+  return std::make_shared<Bin>(Op, std::move(L), std::move(R));
+}
+ExprPtr addw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::Add, std::move(L), std::move(R));
+}
+ExprPtr subw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::Sub, std::move(L), std::move(R));
+}
+ExprPtr mulw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::Mul, std::move(L), std::move(R));
+}
+ExprPtr andw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::And, std::move(L), std::move(R));
+}
+ExprPtr orw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::Or, std::move(L), std::move(R));
+}
+ExprPtr xorw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::Xor, std::move(L), std::move(R));
+}
+ExprPtr shlw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::Shl, std::move(L), std::move(R));
+}
+ExprPtr shrw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::LShr, std::move(L), std::move(R));
+}
+ExprPtr ltu(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::LtU, std::move(L), std::move(R));
+}
+ExprPtr eqw(ExprPtr L, ExprPtr R) {
+  return binop(WordOp::Eq, std::move(L), std::move(R));
+}
+ExprPtr nez(ExprPtr E) { return binop(WordOp::Ne, std::move(E), cw(0)); }
+ExprPtr select(ExprPtr C, ExprPtr T, ExprPtr E) {
+  return std::make_shared<Select>(std::move(C), std::move(T), std::move(E));
+}
+ExprPtr b2w(ExprPtr E) {
+  return std::make_shared<Cast>(CastKind::ByteToWord, std::move(E));
+}
+ExprPtr w2b(ExprPtr E) {
+  return std::make_shared<Cast>(CastKind::WordToByte, std::move(E));
+}
+ExprPtr bool2w(ExprPtr E) {
+  return std::make_shared<Cast>(CastKind::BoolToWord, std::move(E));
+}
+ExprPtr aget(std::string Array, ExprPtr Index) {
+  return std::make_shared<ArrayGet>(std::move(Array), std::move(Index));
+}
+ExprPtr tget(std::string Table, ExprPtr Index) {
+  return std::make_shared<TableGet>(std::move(Table), std::move(Index));
+}
+
+ExprPtr rotl(ExprPtr E, unsigned Amount, unsigned Bits) {
+  assert(Bits > 0 && Bits <= 64 && Amount < Bits && "bad rotate");
+  uint64_t Mask = Bits == 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+  // (e << a | e >> (bits - a)) & mask; the operand must already fit.
+  ExprPtr Hi = shlw(E, cw(Amount));
+  ExprPtr Lo = shrw(E, cw(Bits - Amount));
+  return andw(orw(std::move(Hi), std::move(Lo)), cw(Mask));
+}
+
+} // namespace ir
+} // namespace relc

@@ -1,0 +1,257 @@
+//===- ir/Expr.h - Pure scalar expressions ---------------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Pure, scalar-valued FunLang expressions: the right-hand sides of simple
+// let/n bindings and the bodies of map/fold lambdas. The type discipline is
+// deliberately explicit — bytes must be widened with b2w before arithmetic,
+// words narrowed with w2b before being stored into byte arrays — because
+// each cast corresponds to a representation decision the compiler must see
+// (§3.1: "arithmetic over many types ... expressions with casts between
+// different types").
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_IR_EXPR_H
+#define RELC_IR_EXPR_H
+
+#include "ir/Value.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace ir {
+
+/// Scalar types.
+enum class Ty : uint8_t { Word, Byte, Bool };
+
+const char *tyName(Ty T);
+
+/// Binary operators over words (operands and result are Word unless noted).
+enum class WordOp {
+  Add,
+  Sub,
+  Mul,
+  DivU,
+  RemU,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  LtU, ///< Result is Bool.
+  LtS, ///< Result is Bool.
+  Eq,  ///< Result is Bool.
+  Ne   ///< Result is Bool.
+};
+
+const char *wordOpName(WordOp Op);
+bool wordOpIsCompare(WordOp Op);
+uint64_t evalWordOp(WordOp Op, uint64_t A, uint64_t B);
+
+//===----------------------------------------------------------------------===//
+// Expression AST.
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind {
+    Const,
+    VarRef,
+    Bin,
+    Select,
+    Cast,
+    ArrayGet,
+    TableGet
+  };
+
+  explicit Expr(Kind K) : TheKind(K) {}
+  virtual ~Expr() = default;
+
+  Kind kind() const { return TheKind; }
+
+  /// Gallina-flavored pretty-printing.
+  virtual std::string str() const = 0;
+
+private:
+  Kind TheKind;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A scalar literal (word, byte, or bool according to its Value).
+class Const : public Expr {
+public:
+  explicit Const(Value V) : Expr(Kind::Const), TheValue(std::move(V)) {
+    assert(TheValue.isScalar() && "Const must hold a scalar");
+  }
+
+  const Value &value() const { return TheValue; }
+  std::string str() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Const; }
+
+private:
+  Value TheValue;
+};
+
+class VarRef : public Expr {
+public:
+  explicit VarRef(std::string Name)
+      : Expr(Kind::VarRef), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  std::string str() const override { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+class Bin : public Expr {
+public:
+  Bin(WordOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(Kind::Bin), Op(Op), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  WordOp op() const { return Op; }
+  const Expr *lhs() const { return Lhs.get(); }
+  const Expr *rhs() const { return Rhs.get(); }
+  ExprPtr lhsPtr() const { return Lhs; }
+  ExprPtr rhsPtr() const { return Rhs; }
+  std::string str() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Bin; }
+
+private:
+  WordOp Op;
+  ExprPtr Lhs, Rhs;
+};
+
+/// if c then t else e, as an expression. Both arms have the same type.
+class Select : public Expr {
+public:
+  Select(ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(Kind::Select), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr *cond() const { return Cond.get(); }
+  const Expr *thenExpr() const { return Then.get(); }
+  const Expr *elseExpr() const { return Else.get(); }
+  ExprPtr condPtr() const { return Cond; }
+  ExprPtr thenPtr() const { return Then; }
+  ExprPtr elsePtr() const { return Else; }
+  std::string str() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Select; }
+
+private:
+  ExprPtr Cond, Then, Else;
+};
+
+/// Scalar conversions.
+enum class CastKind {
+  ByteToWord, ///< Zero extension.
+  WordToByte, ///< Truncation to the low byte.
+  BoolToWord  ///< false -> 0, true -> 1.
+};
+
+class Cast : public Expr {
+public:
+  Cast(CastKind CK, ExprPtr Operand)
+      : Expr(Kind::Cast), CK(CK), Operand(std::move(Operand)) {}
+
+  CastKind castKind() const { return CK; }
+  const Expr *operand() const { return Operand.get(); }
+  ExprPtr operandPtr() const { return Operand; }
+  std::string str() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  CastKind CK;
+  ExprPtr Operand;
+};
+
+/// ListArray.get a i: reads element i of array-layout list \p Array. The
+/// compiler emits a load and must discharge the bounds side condition
+/// i < length a.
+class ArrayGet : public Expr {
+public:
+  ArrayGet(std::string Array, ExprPtr Index)
+      : Expr(Kind::ArrayGet), Array(std::move(Array)), Index(std::move(Index)) {}
+
+  const std::string &array() const { return Array; }
+  const Expr *index() const { return Index.get(); }
+  ExprPtr indexPtr() const { return Index; }
+  std::string str() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayGet; }
+
+private:
+  std::string Array;
+  ExprPtr Index;
+};
+
+/// InlineTable.get t i: reads entry i of a per-function constant table
+/// (§4.1.2). Unfolds to List.nth at the source level; compiles to a
+/// Bedrock2 inline-table read. Bounds side condition i < length t.
+class TableGet : public Expr {
+public:
+  TableGet(std::string Table, ExprPtr Index)
+      : Expr(Kind::TableGet), Table(std::move(Table)), Index(std::move(Index)) {}
+
+  const std::string &table() const { return Table; }
+  const Expr *index() const { return Index.get(); }
+  ExprPtr indexPtr() const { return Index; }
+  std::string str() const override;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::TableGet; }
+
+private:
+  std::string Table;
+  ExprPtr Index;
+};
+
+//===----------------------------------------------------------------------===//
+// Combinators (the builder's expression vocabulary).
+//===----------------------------------------------------------------------===//
+
+ExprPtr cw(uint64_t W);                       ///< Word literal.
+ExprPtr cb(uint8_t B);                        ///< Byte literal.
+ExprPtr cbool(bool B);                        ///< Bool literal.
+ExprPtr v(std::string Name);                  ///< Variable reference.
+ExprPtr binop(WordOp Op, ExprPtr L, ExprPtr R);
+ExprPtr addw(ExprPtr L, ExprPtr R);
+ExprPtr subw(ExprPtr L, ExprPtr R);
+ExprPtr mulw(ExprPtr L, ExprPtr R);
+ExprPtr andw(ExprPtr L, ExprPtr R);
+ExprPtr orw(ExprPtr L, ExprPtr R);
+ExprPtr xorw(ExprPtr L, ExprPtr R);
+ExprPtr shlw(ExprPtr L, ExprPtr R);
+ExprPtr shrw(ExprPtr L, ExprPtr R);           ///< Logical right shift.
+ExprPtr ltu(ExprPtr L, ExprPtr R);
+ExprPtr eqw(ExprPtr L, ExprPtr R);
+ExprPtr nez(ExprPtr E);                       ///< E != 0.
+ExprPtr select(ExprPtr C, ExprPtr T, ExprPtr E);
+ExprPtr b2w(ExprPtr E);
+ExprPtr w2b(ExprPtr E);
+ExprPtr bool2w(ExprPtr E);
+ExprPtr aget(std::string Array, ExprPtr Index);
+ExprPtr tget(std::string Table, ExprPtr Index);
+
+/// Rotate left on \p Bits-bit values (expressed with shifts and or; the
+/// value must fit in Bits bits). Used by the Murmur3 scramble model.
+ExprPtr rotl(ExprPtr E, unsigned Amount, unsigned Bits);
+
+} // namespace ir
+} // namespace relc
+
+#endif // RELC_IR_EXPR_H

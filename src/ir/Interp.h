@@ -1,0 +1,90 @@
+//===- ir/Interp.h - Reference semantics for FunLang -----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The denotational reference semantics of FunLang models. This is the
+// "meaning" side of the equivalence the relational compiler certifies: the
+// validator compares a compiled Bedrock2 function's behaviour against this
+// interpreter.
+//
+// Effects are interpreted against an EffectCtx shared in spirit with the
+// target-side environment: IO reads consume an input tape, IO writes and
+// writer tells accumulate output, and nondet draws from a seeded oracle.
+// Totality is enforced: while-loops must strictly decrease their declared
+// measure, and a global fuel bound catches runaway evaluation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_IR_INTERP_H
+#define RELC_IR_INTERP_H
+
+#include "ir/Prog.h"
+#include "support/Result.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace relc {
+namespace ir {
+
+/// Variable environment.
+using Env = std::map<std::string, Value>;
+
+/// The effect context threading extensional effects through evaluation.
+struct EffectCtx {
+  Rng Nondet{0x5eed};              ///< Oracle for nondet alloc/peek.
+  std::vector<uint64_t> InputTape; ///< Consumed by IoRead (zeros when empty).
+  size_t NextInput = 0;
+  std::vector<uint64_t> Output;    ///< IoWrite / WriterTell accumulator.
+
+  /// Ordered effect log for trace comparison: ('r', value-read) and
+  /// ('w', value-written) entries in program order.
+  std::vector<std::pair<char, uint64_t>> IoLog;
+
+  /// Source-level meaning of external calls: maps (callee, scalar args) to
+  /// scalar results. Wired up by the validator to the callee's own model.
+  std::function<Result<std::vector<Value>>(const std::string &,
+                                           const std::vector<Value> &)>
+      ExternSem;
+};
+
+/// Evaluation options.
+struct EvalOptions {
+  uint64_t Fuel = 100'000'000; ///< Max binding evaluations.
+};
+
+class Evaluator {
+public:
+  Evaluator(const SourceFn &Fn, EffectCtx &Ctx, EvalOptions Opts = {})
+      : Fn(Fn), Ctx(Ctx), FuelLeft(Opts.Fuel) {}
+
+  /// Evaluates a pure expression under \p E.
+  Result<Value> evalExpr(const Env &E, const Expr &Ex);
+
+  /// Evaluates a program under \p E; returns the values of its return tuple.
+  Result<std::vector<Value>> evalProg(const Env &E, const Prog &P);
+
+private:
+  const SourceFn &Fn;
+  EffectCtx &Ctx;
+  uint64_t FuelLeft;
+
+  Result<Value> evalBound(Env &E, const Binding &B);
+  Status bindResults(Env &E, const Binding &B, Value V);
+};
+
+/// Evaluates \p Fn applied to \p Args (one Value per parameter, in order),
+/// against effect context \p Ctx. Returns the tuple of results.
+Result<std::vector<Value>> evalFn(const SourceFn &Fn,
+                                  const std::vector<Value> &Args,
+                                  EffectCtx &Ctx, EvalOptions Opts = {});
+
+} // namespace ir
+} // namespace relc
+
+#endif // RELC_IR_INTERP_H

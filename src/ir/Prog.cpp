@@ -1,0 +1,136 @@
+//===- ir/Prog.cpp - let/n programs and loop combinators -------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Prog.h"
+
+#include "support/StringExtras.h"
+
+namespace relc {
+namespace ir {
+
+const char *monadName(Monad M) {
+  switch (M) {
+  case Monad::Pure:
+    return "pure";
+  case Monad::Nondet:
+    return "nondet";
+  case Monad::Writer:
+    return "writer";
+  case Monad::Io:
+    return "io";
+  }
+  return "?";
+}
+
+static std::string accList(const std::vector<AccInit> &Accs) {
+  std::vector<std::string> Parts;
+  for (const AccInit &A : Accs)
+    Parts.push_back(A.Name + " := " + A.Init->str());
+  return "{" + join(Parts, "; ") + "}";
+}
+
+std::string RangeFold::str() const {
+  return "ranged_for " + Lo->str() + " " + Hi->str() + " (fun " + IdxName +
+         " => ...) " + accList(Accs);
+}
+
+std::string WhileComb::str() const {
+  return "while " + Cond->str() + " " + accList(Accs) + " {measure " +
+         Measure->str() + "}";
+}
+
+std::string IfBound::str() const {
+  return "if " + Cond->str() + " then (...) else (...)";
+}
+
+std::string ExternCall::str() const {
+  std::vector<std::string> Parts;
+  for (const ExprPtr &A : Args)
+    Parts.push_back(A->str());
+  return "call " + Callee + " (" + join(Parts, ", ") + ")";
+}
+
+std::string Binding::str() const {
+  std::string Lhs =
+      Names.size() == 1 ? Names[0] : "(" + join(Names, ", ") + ")";
+  return "let/n " + Lhs + " := " + (Bound ? Bound->str() : "?");
+}
+
+std::string Prog::str(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  std::string Out;
+  for (const Binding &B : Bindings) {
+    Out += Pad + B.str() + " in\n";
+    // Sub-programs print indented below their binding.
+    if (const auto *RF = dyn_cast<RangeFold>(B.Bound.get()))
+      Out += RF->body()->str(Indent + 2);
+    else if (const auto *W = dyn_cast<WhileComb>(B.Bound.get()))
+      Out += W->body()->str(Indent + 2);
+    else if (const auto *I = dyn_cast<IfBound>(B.Bound.get())) {
+      Out += Pad + "  (then)\n" + I->thenProg()->str(Indent + 2);
+      Out += Pad + "  (else)\n" + I->elseProg()->str(Indent + 2);
+    }
+  }
+  Out += Pad + (Returns.size() == 1 ? Returns[0]
+                                    : "(" + join(Returns, ", ") + ")") +
+         "\n";
+  return Out;
+}
+
+unsigned Prog::countBindings() const {
+  unsigned N = 0;
+  for (const Binding &B : Bindings) {
+    ++N;
+    if (const auto *RF = dyn_cast<RangeFold>(B.Bound.get()))
+      N += RF->body()->countBindings();
+    else if (const auto *W = dyn_cast<WhileComb>(B.Bound.get()))
+      N += W->body()->countBindings();
+    else if (const auto *I = dyn_cast<IfBound>(B.Bound.get()))
+      N += I->thenProg()->countBindings() + I->elseProg()->countBindings();
+  }
+  return N;
+}
+
+const TableDef *SourceFn::findTable(const std::string &TableName) const {
+  for (const TableDef &T : Tables)
+    if (T.Name == TableName)
+      return &T;
+  return nullptr;
+}
+
+const Param *SourceFn::findParam(const std::string &ParamName) const {
+  for (const Param &P : Params)
+    if (P.Name == ParamName)
+      return &P;
+  return nullptr;
+}
+
+std::string SourceFn::str() const {
+  std::vector<std::string> Ps;
+  for (const Param &P : Params) {
+    switch (P.TheKind) {
+    case Param::Kind::ScalarWord:
+      Ps.push_back("(" + P.Name + " : word)");
+      break;
+    case Param::Kind::List:
+      Ps.push_back("(" + P.Name + " : list u" +
+                   std::to_string(8 * eltSize(P.Elt)) + ")");
+      break;
+    case Param::Kind::Cell:
+      Ps.push_back("(" + P.Name + " : cell)");
+      break;
+    }
+  }
+  std::string Out = "Definition " + Name + " " + join(Ps, " ") + " (" +
+                    std::string(monadName(TheMonad)) + ") :=\n";
+  if (Body)
+    Out += Body->str(2);
+  return Out;
+}
+
+} // namespace ir
+} // namespace relc

@@ -1,0 +1,556 @@
+//===- ir/Prog.h - let/n programs and loop combinators ---------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// FunLang programs are sequences of named let-bindings ("in general,
+// Rupicola expects input programs to be sequences of let-bindings, one per
+// desired assignment in the target language", §3.4.1) ending in a tuple of
+// returned names. The *name* carried by each binding is a semantically
+// transparent annotation: rebinding an array or cell name means in-place
+// mutation in the target; binding a fresh name means a new local.
+//
+// Bindings bind either pure expressions or one of the structured combinators
+// (ListArray.map, folds, ranged iteration, while, conditionals, stack
+// allocation) or a monadic primitive (nondet / writer / IO / cell state).
+// Which primitives may appear is governed by the program's ambient monad;
+// pure bindings are legal in every monad (§3.4.1: a single lemma for pure
+// addition applies to all monadic programs).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_IR_PROG_H
+#define RELC_IR_PROG_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace ir {
+
+/// The ambient effect of a model (§3.4.1, extensional effects).
+enum class Monad : uint8_t {
+  Pure,   ///< No extensional effects (mutation is intensional).
+  Nondet, ///< Nondeterministic choice (A -> Prop encoding in the paper).
+  Writer, ///< Accumulates a list of output words.
+  Io      ///< Reads from and writes to the environment; trace-observable.
+};
+
+const char *monadName(Monad M);
+
+class Prog; // Forward declaration; bindings contain sub-programs.
+using ProgPtr = std::shared_ptr<const Prog>;
+
+//===----------------------------------------------------------------------===//
+// Bound forms: the right-hand sides of let/n.
+//===----------------------------------------------------------------------===//
+
+class BoundForm {
+public:
+  enum class Kind {
+    PureVal,      ///< let/n x := <expr>
+    ArrayPut,     ///< let/n a := ListArray.put a i v   (mutation if same name)
+    ListMap,      ///< let/n a := ListArray.map f a     (in-place map)
+    ListFold,     ///< let/n acc := List.fold_left f a init
+    FoldBreak,    ///< let/n acc := fold_break f a init brk  (early exit)
+    RangeFold,    ///< let/n (accs..) := ranged_for lo hi accs body
+    WhileComb,    ///< let/n (accs..) := while cond accs body  (with measure)
+    IfBound,      ///< let/n (xs..) := if c then <prog> else <prog>
+    StackInit,    ///< let/n p := stack (bytes...)            (§4.1.2)
+    StackUninit,  ///< let/n p := stack_uninit n              (§4.1.2)
+    NondetAlloc,  ///< let/n b <- nondet_alloc n   : arbitrary n bytes
+    NondetPeek,   ///< let/n x <- nondet_peek      : arbitrary word
+    IoRead,       ///< let/n x <- read ()
+    IoWrite,      ///< let/n _ <- write e
+    WriterTell,   ///< let/n _ <- tell e
+    CellGet,      ///< let/n x := Cell.get c
+    CellPut,      ///< let/n c := Cell.put c e
+    CellIncr,     ///< let/n c := Cell.incr c e   (the Table-1 "iadd")
+    CopyArr,      ///< let/n t := copy a   (explicit duplication, §3.4.1)
+    ExternCall    ///< let/n (xs..) := call f args
+  };
+
+  explicit BoundForm(Kind K) : TheKind(K) {}
+  virtual ~BoundForm() = default;
+
+  Kind kind() const { return TheKind; }
+  virtual std::string str() const = 0;
+
+private:
+  Kind TheKind;
+};
+
+using BoundPtr = std::shared_ptr<const BoundForm>;
+
+class PureVal : public BoundForm {
+public:
+  explicit PureVal(ExprPtr E) : BoundForm(Kind::PureVal), E(std::move(E)) {}
+  const Expr *expr() const { return E.get(); }
+  ExprPtr exprPtr() const { return E; }
+  std::string str() const override { return E->str(); }
+  static bool classof(const BoundForm *B) { return B->kind() == Kind::PureVal; }
+
+private:
+  ExprPtr E;
+};
+
+class ArrayPut : public BoundForm {
+public:
+  ArrayPut(std::string Array, ExprPtr Index, ExprPtr Val)
+      : BoundForm(Kind::ArrayPut), Array(std::move(Array)),
+        Index(std::move(Index)), Val(std::move(Val)) {}
+  const std::string &array() const { return Array; }
+  const Expr *index() const { return Index.get(); }
+  const Expr *val() const { return Val.get(); }
+  ExprPtr indexPtr() const { return Index; }
+  ExprPtr valPtr() const { return Val; }
+  std::string str() const override {
+    return "ListArray.put " + Array + " " + Index->str() + " " + Val->str();
+  }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::ArrayPut;
+  }
+
+private:
+  std::string Array;
+  ExprPtr Index, Val;
+};
+
+class ListMap : public BoundForm {
+public:
+  ListMap(std::string Array, std::string Param, ExprPtr Body)
+      : BoundForm(Kind::ListMap), Array(std::move(Array)),
+        Param(std::move(Param)), Body(std::move(Body)) {}
+  const std::string &array() const { return Array; }
+  const std::string &param() const { return Param; }
+  const Expr *body() const { return Body.get(); }
+  ExprPtr bodyPtr() const { return Body; }
+  std::string str() const override {
+    return "ListArray.map (fun " + Param + " => " + Body->str() + ") " + Array;
+  }
+  static bool classof(const BoundForm *B) { return B->kind() == Kind::ListMap; }
+
+private:
+  std::string Array;
+  std::string Param;
+  ExprPtr Body;
+};
+
+class ListFold : public BoundForm {
+public:
+  ListFold(std::string Array, std::string AccParam, std::string EltParam,
+           ExprPtr Init, ExprPtr Body)
+      : BoundForm(Kind::ListFold), Array(std::move(Array)),
+        AccParam(std::move(AccParam)), EltParam(std::move(EltParam)),
+        Init(std::move(Init)), Body(std::move(Body)) {}
+  const std::string &array() const { return Array; }
+  const std::string &accParam() const { return AccParam; }
+  const std::string &eltParam() const { return EltParam; }
+  const Expr *init() const { return Init.get(); }
+  const Expr *body() const { return Body.get(); }
+  ExprPtr initPtr() const { return Init; }
+  ExprPtr bodyPtr() const { return Body; }
+  std::string str() const override {
+    return "List.fold_left (fun " + AccParam + " " + EltParam + " => " +
+           Body->str() + ") " + Array + " " + Init->str();
+  }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::ListFold;
+  }
+
+private:
+  std::string Array;
+  std::string AccParam, EltParam;
+  ExprPtr Init, Body;
+};
+
+/// copy a — explicit duplication (§3.4.1: wrapping "the value being bound
+/// in a call to a copy function of type ∀α.α → α"). At the source level it
+/// is the identity; at the target level it requests a fresh buffer instead
+/// of mutation.
+class CopyArr : public BoundForm {
+public:
+  explicit CopyArr(std::string Array)
+      : BoundForm(Kind::CopyArr), Array(std::move(Array)) {}
+  const std::string &array() const { return Array; }
+  std::string str() const override { return "copy " + Array; }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::CopyArr;
+  }
+
+private:
+  std::string Array;
+};
+
+/// fold_break f a init brk — fold_left with early exit: before each
+/// element, if brk(acc) holds, iteration stops and acc is returned. The
+/// paper's "iteration patterns like maps and folds, with and without early
+/// exits".
+class FoldBreak : public BoundForm {
+public:
+  FoldBreak(std::string Array, std::string AccParam, std::string EltParam,
+            ExprPtr Init, ExprPtr Body, ExprPtr Break)
+      : BoundForm(Kind::FoldBreak), Array(std::move(Array)),
+        AccParam(std::move(AccParam)), EltParam(std::move(EltParam)),
+        Init(std::move(Init)), Body(std::move(Body)),
+        Break(std::move(Break)) {}
+  const std::string &array() const { return Array; }
+  const std::string &accParam() const { return AccParam; }
+  const std::string &eltParam() const { return EltParam; }
+  const Expr *init() const { return Init.get(); }
+  const Expr *body() const { return Body.get(); }
+  const Expr *breakCond() const { return Break.get(); }
+  std::string str() const override {
+    return "fold_break (fun " + AccParam + " " + EltParam + " => " +
+           Body->str() + ") " + Array + " " + Init->str() + " {until " +
+           Break->str() + "}";
+  }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::FoldBreak;
+  }
+
+private:
+  std::string Array;
+  std::string AccParam, EltParam;
+  ExprPtr Init, Body, Break;
+};
+
+/// One loop-carried accumulator: its name and initial value.
+struct AccInit {
+  std::string Name;
+  ExprPtr Init;
+};
+
+/// ranged_for lo hi (fun i accs => body) accs0 — iterates i over [lo, hi)
+/// threading the accumulators; the body is a whole sub-program whose returns
+/// are the updated accumulators, in declaration order.
+class RangeFold : public BoundForm {
+public:
+  RangeFold(std::string IdxName, ExprPtr Lo, ExprPtr Hi,
+            std::vector<AccInit> Accs, ProgPtr Body)
+      : BoundForm(Kind::RangeFold), IdxName(std::move(IdxName)),
+        Lo(std::move(Lo)), Hi(std::move(Hi)), Accs(std::move(Accs)),
+        Body(std::move(Body)) {}
+  const std::string &idxName() const { return IdxName; }
+  const Expr *lo() const { return Lo.get(); }
+  const Expr *hi() const { return Hi.get(); }
+  ExprPtr loPtr() const { return Lo; }
+  ExprPtr hiPtr() const { return Hi; }
+  const std::vector<AccInit> &accs() const { return Accs; }
+  const Prog *body() const { return Body.get(); }
+  ProgPtr bodyPtr() const { return Body; }
+  std::string str() const override;
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::RangeFold;
+  }
+
+private:
+  std::string IdxName;
+  ExprPtr Lo, Hi;
+  std::vector<AccInit> Accs;
+  ProgPtr Body;
+};
+
+/// while cond accs body — general loop over the accumulators. Totality is
+/// justified by a measure expression over the accumulators that the user
+/// asserts is (a) a word that strictly decreases every iteration and (b)
+/// therefore bounds the iteration count; the validator re-checks this
+/// dynamically on every differential run (our stand-in for Bedrock2's
+/// termination obligation).
+class WhileComb : public BoundForm {
+public:
+  WhileComb(std::vector<AccInit> Accs, ExprPtr Cond, ProgPtr Body,
+            ExprPtr Measure)
+      : BoundForm(Kind::WhileComb), Accs(std::move(Accs)),
+        Cond(std::move(Cond)), Body(std::move(Body)),
+        Measure(std::move(Measure)) {}
+  const std::vector<AccInit> &accs() const { return Accs; }
+  const Expr *cond() const { return Cond.get(); }
+  ExprPtr condPtr() const { return Cond; }
+  const Prog *body() const { return Body.get(); }
+  ProgPtr bodyPtr() const { return Body; }
+  const Expr *measure() const { return Measure.get(); }
+  std::string str() const override;
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::WhileComb;
+  }
+
+private:
+  std::vector<AccInit> Accs;
+  ExprPtr Cond;
+  ProgPtr Body;
+  ExprPtr Measure;
+};
+
+/// let/n (xs..) := if c then <prog> else <prog> — the multi-target
+/// conditional from the §3.4.2 compare-and-swap example.
+class IfBound : public BoundForm {
+public:
+  IfBound(ExprPtr Cond, ProgPtr Then, ProgPtr Else)
+      : BoundForm(Kind::IfBound), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  const Expr *cond() const { return Cond.get(); }
+  ExprPtr condPtr() const { return Cond; }
+  const Prog *thenProg() const { return Then.get(); }
+  const Prog *elseProg() const { return Else.get(); }
+  ProgPtr thenPtr() const { return Then; }
+  ProgPtr elsePtr() const { return Else; }
+  std::string str() const override;
+  static bool classof(const BoundForm *B) { return B->kind() == Kind::IfBound; }
+
+private:
+  ExprPtr Cond;
+  ProgPtr Then, Else;
+};
+
+/// let/n p := stack (bytes) — a fresh buffer with the given initial
+/// contents, lexically scoped to the rest of the function (§4.1.2).
+class StackInit : public BoundForm {
+public:
+  explicit StackInit(std::vector<uint8_t> Bytes)
+      : BoundForm(Kind::StackInit), Bytes(std::move(Bytes)) {}
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::string str() const override {
+    return "stack (" + std::to_string(Bytes.size()) + " bytes)";
+  }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::StackInit;
+  }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// let/n p := stack_uninit n — a fresh buffer with unconstrained contents;
+/// legal only when the overall result is provably independent of them,
+/// which the differential validator checks by varying the nondet seed.
+class StackUninit : public BoundForm {
+public:
+  explicit StackUninit(uint64_t Size)
+      : BoundForm(Kind::StackUninit), Size(Size) {}
+  uint64_t size() const { return Size; }
+  std::string str() const override {
+    return "stack_uninit " + std::to_string(Size);
+  }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::StackUninit;
+  }
+
+private:
+  uint64_t Size;
+};
+
+/// Nondeterminism-monad primitives (Table 1's "nondet: alloc, peek").
+class NondetAlloc : public BoundForm {
+public:
+  explicit NondetAlloc(uint64_t Size)
+      : BoundForm(Kind::NondetAlloc), Size(Size) {}
+  uint64_t size() const { return Size; }
+  std::string str() const override {
+    return "nondet_alloc " + std::to_string(Size);
+  }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::NondetAlloc;
+  }
+
+private:
+  uint64_t Size;
+};
+
+class NondetPeek : public BoundForm {
+public:
+  NondetPeek() : BoundForm(Kind::NondetPeek) {}
+  std::string str() const override { return "nondet_peek ()"; }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::NondetPeek;
+  }
+};
+
+/// IO-monad primitives (Table 1's "io: read, write").
+class IoRead : public BoundForm {
+public:
+  IoRead() : BoundForm(Kind::IoRead) {}
+  std::string str() const override { return "read ()"; }
+  static bool classof(const BoundForm *B) { return B->kind() == Kind::IoRead; }
+};
+
+class IoWrite : public BoundForm {
+public:
+  explicit IoWrite(ExprPtr E) : BoundForm(Kind::IoWrite), E(std::move(E)) {}
+  const Expr *expr() const { return E.get(); }
+  ExprPtr exprPtr() const { return E; }
+  std::string str() const override { return "write " + E->str(); }
+  static bool classof(const BoundForm *B) { return B->kind() == Kind::IoWrite; }
+
+private:
+  ExprPtr E;
+};
+
+/// Writer-monad primitive (§4.1.1's walkthrough).
+class WriterTell : public BoundForm {
+public:
+  explicit WriterTell(ExprPtr E) : BoundForm(Kind::WriterTell), E(std::move(E)) {}
+  const Expr *expr() const { return E.get(); }
+  ExprPtr exprPtr() const { return E; }
+  std::string str() const override { return "tell " + E->str(); }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::WriterTell;
+  }
+
+private:
+  ExprPtr E;
+};
+
+/// Mutable-cell operations (Table 1's "cells: get, put, iadd"). Cells are
+/// single-word containers; at the source level a cell is a one-element
+/// list, so Cell.get unfolds to nth 0 and Cell.put to a functional update.
+class CellGet : public BoundForm {
+public:
+  explicit CellGet(std::string Cell)
+      : BoundForm(Kind::CellGet), Cell(std::move(Cell)) {}
+  const std::string &cell() const { return Cell; }
+  std::string str() const override { return "Cell.get " + Cell; }
+  static bool classof(const BoundForm *B) { return B->kind() == Kind::CellGet; }
+
+private:
+  std::string Cell;
+};
+
+class CellPut : public BoundForm {
+public:
+  CellPut(std::string Cell, ExprPtr E)
+      : BoundForm(Kind::CellPut), Cell(std::move(Cell)), E(std::move(E)) {}
+  const std::string &cell() const { return Cell; }
+  const Expr *expr() const { return E.get(); }
+  ExprPtr exprPtr() const { return E; }
+  std::string str() const override {
+    return "Cell.put " + Cell + " " + E->str();
+  }
+  static bool classof(const BoundForm *B) { return B->kind() == Kind::CellPut; }
+
+private:
+  std::string Cell;
+  ExprPtr E;
+};
+
+class CellIncr : public BoundForm {
+public:
+  CellIncr(std::string Cell, ExprPtr E)
+      : BoundForm(Kind::CellIncr), Cell(std::move(Cell)), E(std::move(E)) {}
+  const std::string &cell() const { return Cell; }
+  const Expr *expr() const { return E.get(); }
+  ExprPtr exprPtr() const { return E; }
+  std::string str() const override {
+    return "Cell.incr " + Cell + " " + E->str();
+  }
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::CellIncr;
+  }
+
+private:
+  std::string Cell;
+  ExprPtr E;
+};
+
+/// External function call: links against other (compiled or handwritten)
+/// target-level functions. Scalar arguments and results only.
+class ExternCall : public BoundForm {
+public:
+  ExternCall(std::string Callee, std::vector<ExprPtr> Args, unsigned NumRets)
+      : BoundForm(Kind::ExternCall), Callee(std::move(Callee)),
+        Args(std::move(Args)), NumRets(NumRets) {}
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  unsigned numRets() const { return NumRets; }
+  std::string str() const override;
+  static bool classof(const BoundForm *B) {
+    return B->kind() == Kind::ExternCall;
+  }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  unsigned NumRets;
+};
+
+//===----------------------------------------------------------------------===//
+// Programs and functions.
+//===----------------------------------------------------------------------===//
+
+/// One let/n binding: names (usually one; loops and conditionals may bind
+/// several) plus the bound form.
+struct Binding {
+  std::vector<std::string> Names;
+  BoundPtr Bound;
+
+  std::string str() const;
+};
+
+/// A program: a let-chain followed by a tuple of returned names.
+class Prog {
+public:
+  Prog(std::vector<Binding> Bindings, std::vector<std::string> Returns)
+      : Bindings(std::move(Bindings)), Returns(std::move(Returns)) {}
+
+  const std::vector<Binding> &bindings() const { return Bindings; }
+  const std::vector<std::string> &returns() const { return Returns; }
+
+  std::string str(unsigned Indent = 0) const;
+
+  /// Total number of bindings, including nested sub-programs (the source
+  /// analogue of the §4.3 statement count).
+  unsigned countBindings() const;
+
+private:
+  std::vector<Binding> Bindings;
+  std::vector<std::string> Returns;
+};
+
+/// A function parameter: either a scalar word or a list passed by layout
+/// (the ABI decides how it appears at the target level).
+struct Param {
+  enum class Kind { ScalarWord, List, Cell };
+  Kind TheKind = Kind::ScalarWord;
+  std::string Name;
+  EltKind Elt = EltKind::U8; ///< For List params.
+
+  static Param scalar(std::string Name) {
+    return {Kind::ScalarWord, std::move(Name), EltKind::U8};
+  }
+  static Param list(std::string Name, EltKind Elt) {
+    return {Kind::List, std::move(Name), Elt};
+  }
+  static Param cell(std::string Name) {
+    return {Kind::Cell, std::move(Name), EltKind::U64};
+  }
+};
+
+/// A constant table attached to a function (InlineTable.get's target).
+struct TableDef {
+  std::string Name;
+  EltKind Elt = EltKind::U8;
+  std::vector<uint64_t> Elements;
+};
+
+/// A FunLang function: the annotated functional model fed to the compiler.
+struct SourceFn {
+  std::string Name;
+  Monad TheMonad = Monad::Pure;
+  std::vector<Param> Params;
+  std::vector<TableDef> Tables;
+  ProgPtr Body;
+
+  const TableDef *findTable(const std::string &TableName) const;
+  const Param *findParam(const std::string &ParamName) const;
+  std::string str() const;
+};
+
+} // namespace ir
+} // namespace relc
+
+#endif // RELC_IR_PROG_H

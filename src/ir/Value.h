@@ -1,0 +1,130 @@
+//===- ir/Value.h - Source-language values ---------------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The value domain of FunLang, the purely functional source language (the
+// deep embedding of the paper's "lowered Gallina" subset, Figure 1). Values
+// are words, bytes, booleans, unit, and homogeneous lists; multi-results are
+// tuples. Lists model both Gallina lists and the ListArray/Cell wrappers
+// whose layout the compiler chooses.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_IR_VALUE_H
+#define RELC_IR_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace ir {
+
+/// Scalar element kinds for arrays, lists and inline tables. The kind fixes
+/// the memory layout the compiler will choose (1/2/4/8 bytes per element).
+enum class EltKind : uint8_t { U8 = 1, U16 = 2, U32 = 4, U64 = 8 };
+
+/// Number of bytes occupied by one element of kind \p K.
+inline unsigned eltSize(EltKind K) { return unsigned(K); }
+
+/// Maximum value representable in kind \p K.
+inline uint64_t eltMask(EltKind K) {
+  return K == EltKind::U64 ? ~uint64_t(0)
+                           : ((uint64_t(1) << (8 * unsigned(K))) - 1);
+}
+
+/// A FunLang value.
+class Value {
+public:
+  enum class Kind { Word, Byte, Bool, Unit, List, Tuple };
+
+  Value() : TheKind(Kind::Unit) {}
+
+  static Value word(uint64_t W) { return Value(Kind::Word, W); }
+  static Value byte(uint8_t B) { return Value(Kind::Byte, B); }
+  static Value boolean(bool B) { return Value(Kind::Bool, B ? 1 : 0); }
+  static Value unit() { return Value(); }
+  static Value list(EltKind Elt, std::vector<Value> Elems) {
+    Value V(Kind::List, 0);
+    V.Elt = Elt;
+    V.Elems = std::move(Elems);
+    return V;
+  }
+  static Value byteList(const std::vector<uint8_t> &Bytes) {
+    std::vector<Value> Elems;
+    Elems.reserve(Bytes.size());
+    for (uint8_t B : Bytes)
+      Elems.push_back(byte(B));
+    return list(EltKind::U8, std::move(Elems));
+  }
+  static Value tuple(std::vector<Value> Elems) {
+    Value V(Kind::Tuple, 0);
+    V.Elems = std::move(Elems);
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isScalar() const {
+    return TheKind == Kind::Word || TheKind == Kind::Byte ||
+           TheKind == Kind::Bool;
+  }
+
+  uint64_t asWord() const {
+    assert(TheKind == Kind::Word && "not a word");
+    return Scalar;
+  }
+  uint8_t asByte() const {
+    assert(TheKind == Kind::Byte && "not a byte");
+    return uint8_t(Scalar);
+  }
+  bool asBool() const {
+    assert(TheKind == Kind::Bool && "not a bool");
+    return Scalar != 0;
+  }
+  /// Any scalar, widened to a word.
+  uint64_t scalar() const {
+    assert(isScalar() && "not a scalar");
+    return Scalar;
+  }
+
+  EltKind listElt() const {
+    assert(TheKind == Kind::List && "not a list");
+    return Elt;
+  }
+  const std::vector<Value> &elems() const {
+    assert((TheKind == Kind::List || TheKind == Kind::Tuple) && "no elements");
+    return Elems;
+  }
+  std::vector<Value> &elems() {
+    assert((TheKind == Kind::List || TheKind == Kind::Tuple) && "no elements");
+    return Elems;
+  }
+
+  /// List contents as raw bytes (lists of U8 only).
+  std::vector<uint8_t> asBytes() const;
+
+  /// List contents widened to words (any scalar element kind).
+  std::vector<uint64_t> asWords() const;
+
+  bool operator==(const Value &O) const;
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+  std::string str() const;
+
+private:
+  Value(Kind K, uint64_t Scalar) : TheKind(K), Scalar(Scalar) {}
+
+  Kind TheKind;
+  uint64_t Scalar = 0;
+  EltKind Elt = EltKind::U8;
+  std::vector<Value> Elems;
+};
+
+} // namespace ir
+} // namespace relc
+
+#endif // RELC_IR_VALUE_H

@@ -1,0 +1,57 @@
+//===- programs/Fasta.cpp - In-place DNA sequence complement ----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace programs {
+
+using namespace ir;
+
+const std::vector<uint64_t> &fastaComplementTable() {
+  static const std::vector<uint64_t> Table = [] {
+    // IUPAC nucleotide complements (both cases map to uppercase
+    // complements, as in the classic fasta reverse-complement benchmark);
+    // all other bytes map to themselves so the function is total.
+    std::vector<uint64_t> T(256);
+    for (unsigned I = 0; I < 256; ++I)
+      T[I] = I;
+    const char *From = "ACGTUMRWSYKVHDBNacgtumrwsykvhdbn";
+    const char *To = "TGCAAKYWSRMBDHVNTGCAAKYWSRMBDHVN";
+    for (unsigned I = 0; From[I]; ++I)
+      T[uint8_t(From[I])] = uint8_t(To[I]);
+    return T;
+  }();
+  return Table;
+}
+
+ProgramDef makeFasta() {
+  ProgramDef P;
+  P.Name = "fasta";
+  P.Description = "In-place DNA sequence complement";
+  P.SourceFile = "src/programs/Fasta.cpp";
+  P.EndToEnd = true;
+
+  // RELC-SECTION-BEGIN: program-fasta-source
+  // fasta' := fun s => let/n s := ListArray.map
+  //             (fun b => InlineTable.get comp (b2w b)) s in s
+  FnBuilder FB("fasta_model", Monad::Pure);
+  FB.listParam("s", EltKind::U8).wordParam("len");
+  FB.table("comp", EltKind::U8, fastaComplementTable());
+  ProgBuilder Body;
+  Body.let("s", mkMap("s", "b", tget("comp", b2w(v("b")))));
+  P.Model = std::move(FB).done(std::move(Body).ret({"s"}));
+  // RELC-SECTION-END: program-fasta-source
+
+  P.Spec = sep::FnSpec("fasta");
+  P.Spec.arrayArg("s").lenArg("len", "s").retInPlace("s");
+
+  return P;
+}
+
+} // namespace programs
+} // namespace relc

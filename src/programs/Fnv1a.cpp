@@ -1,0 +1,41 @@
+//===- programs/Fnv1a.cpp - Fowler–Noll–Vo hash -----------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace programs {
+
+using namespace ir;
+
+ProgramDef makeFnv1a() {
+  ProgramDef P;
+  P.Name = "fnv1a";
+  P.Description = "Fowler-Noll-Vo (noncryptographic) hash";
+  P.SourceFile = "src/programs/Fnv1a.cpp";
+  P.EndToEnd = true;
+
+  // RELC-SECTION-BEGIN: program-fnv1a-source
+  // fnv1a' := fun s => let/n h := fold_left
+  //             (fun h b => (h ^ b2w b) * 0x100000001b3) s
+  //             0xcbf29ce484222325 in h
+  FnBuilder FB("fnv1a_model", Monad::Pure);
+  FB.listParam("s", EltKind::U8).wordParam("len");
+  ProgBuilder Body;
+  Body.let("h", mkFold("s", "h", "b", cw(0xcbf29ce484222325ull),
+                       mulw(xorw(v("h"), b2w(v("b"))), cw(0x100000001b3ull))));
+  P.Model = std::move(FB).done(std::move(Body).ret({"h"}));
+  // RELC-SECTION-END: program-fnv1a-source
+
+  P.Spec = sep::FnSpec("fnv1a");
+  P.Spec.arrayArg("s").lenArg("len", "s").retScalar("h");
+
+  return P;
+}
+
+} // namespace programs
+} // namespace relc

@@ -1,0 +1,81 @@
+//===- programs/IpChecksum.cpp - RFC 1071 one's-complement checksum ---------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The IP checksum (RFC 1071): sum the buffer as big-endian 16-bit words,
+// fold the carries, complement. The model exercises three loop shapes at
+// once — a ranged fold over word pairs, a conditional for the odd tail,
+// and a carry-folding while loop with a termination measure — and its
+// bounds side conditions are the paper's flagship solver examples:
+//
+//   - 2·i + 1 < len follows from i < (len >> 1) through the shift-right
+//     structural fact 2·(len>>1) ≤ len;
+//   - (len − 1) < len in the odd-tail branch needs len ≥ 1, recovered
+//     from the branch fact (len & 1) ≥ 1 and the mask fact (len & 1) ≤
+//     len — the §3.4.2 "incidental property" pattern.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace programs {
+
+using namespace ir;
+
+ProgramDef makeIpChecksum() {
+  ProgramDef P;
+  P.Name = "ip";
+  P.Description = "IP (one's-complement) checksum (RFC 1071)";
+  P.SourceFile = "src/programs/IpChecksum.cpp";
+  P.EndToEnd = true;
+
+  // RELC-SECTION-BEGIN: program-ip-source
+  FnBuilder FB("ip_model", Monad::Pure);
+  FB.listParam("s", EltKind::U8).wordParam("len");
+
+  // Pair loop: acc += (s[2i] << 8) | s[2i+1] for i in [0, len >> 1).
+  ExprPtr HiByte = b2w(aget("s", mulw(v("i"), cw(2))));
+  ExprPtr LoByte = b2w(aget("s", addw(mulw(v("i"), cw(2)), cw(1))));
+  ProgBuilder PairBody;
+  PairBody.let("acc", addw(v("acc"), orw(shlw(HiByte, cw(8)), LoByte)));
+
+  // Odd tail: acc += s[len-1] << 8 when len is odd.
+  ProgBuilder OddThen;
+  OddThen.let("acc", addw(v("acc"), shlw(b2w(aget("s", subw(v("len"), cw(1)))),
+                                         cw(8))));
+  ProgBuilder OddElse;
+  OddElse.let("acc", v("acc"));
+
+  // Carry folding: while acc >> 16 != 0, acc = (acc & 0xffff) + (acc >> 16).
+  // Termination measure: acc itself strictly decreases while a carry
+  // remains.
+  ProgBuilder FoldBody;
+  FoldBody.let("acc", addw(andw(v("acc"), cw(0xffff)), shrw(v("acc"), cw(16))));
+
+  ProgBuilder Body;
+  Body.letMulti({"acc"},
+                mkRange("i", cw(0), shrw(v("len"), cw(1)),
+                        {acc("acc", cw(0))},
+                        std::move(PairBody).ret({"acc"})))
+      .letMulti({"acc"}, mkIf(nez(andw(v("len"), cw(1))),
+                              std::move(OddThen).ret({"acc"}),
+                              std::move(OddElse).ret({"acc"})))
+      .letMulti({"acc"}, mkWhile({acc("acc", v("acc"))},
+                                 nez(shrw(v("acc"), cw(16))),
+                                 std::move(FoldBody).ret({"acc"}), v("acc")))
+      .let("chk", andw(xorw(v("acc"), cw(~uint64_t(0))), cw(0xffff)));
+  P.Model = std::move(FB).done(std::move(Body).ret({"chk"}));
+  // RELC-SECTION-END: program-ip-source
+
+  P.Spec = sep::FnSpec("ip_chk");
+  P.Spec.arrayArg("s").lenArg("len", "s").retScalar("chk");
+
+  return P;
+}
+
+} // namespace programs
+} // namespace relc

@@ -1,0 +1,43 @@
+//===- programs/M3s.cpp - Murmur3 scramble -----------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace programs {
+
+using namespace ir;
+
+ProgramDef makeM3s() {
+  ProgramDef P;
+  P.Name = "m3s";
+  P.Description = "Scramble part of the Murmur3 algorithm";
+  P.SourceFile = "src/programs/M3s.cpp";
+  P.EndToEnd = false; // As in Table 2: no abstract-spec proof for m3s.
+
+  // RELC-SECTION-BEGIN: program-m3s-source
+  // m3s' := fun k => let/n k := (k & 0xffffffff) * 0xcc9e2d51 mod 2^32 in
+  //                  let/n k := rotl32 k 15 in
+  //                  let/n k := k * 0x1b873593 mod 2^32 in k
+  FnBuilder FB("m3s_model", Monad::Pure);
+  FB.wordParam("k");
+  ProgBuilder Body;
+  Body.let("k", andw(v("k"), cw(0xffffffffull)))
+      .let("k", andw(mulw(v("k"), cw(0xcc9e2d51ull)), cw(0xffffffffull)))
+      .let("k", rotl(v("k"), 15, 32))
+      .let("k", andw(mulw(v("k"), cw(0x1b873593ull)), cw(0xffffffffull)));
+  P.Model = std::move(FB).done(std::move(Body).ret({"k"}));
+  // RELC-SECTION-END: program-m3s-source
+
+  P.Spec = sep::FnSpec("m3s");
+  P.Spec.scalarArg("k").retScalar("k");
+
+  return P;
+}
+
+} // namespace programs
+} // namespace relc

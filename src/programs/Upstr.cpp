@@ -1,0 +1,57 @@
+//===- programs/Upstr.cpp - In-place string uppercase (Box 1) --------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's running example (Box 1 and §3.2): uppercasing an ASCII
+// string in place. The four transformations of §3.2 appear exactly here:
+//
+//   1. strings as byte arrays      — the ABI (arrayArg + lenArg),
+//   2. map as a loop               — the compile_map_inplace lemma,
+//   3. in-place mutation           — let/n rebinding `s`,
+//   4. the toupper' bit trick      — `if (b - 'a') <? 26 then b & 0x5f
+//                                     else b`, written in the model after
+//                                     proving it equivalent to toupper
+//                                     (tests/programs/ModelLemmas).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace programs {
+
+using namespace ir;
+
+ProgramDef makeUpstr() {
+  ProgramDef P;
+  P.Name = "upstr";
+  P.Description = "In-place string uppercase (Box 1)";
+  P.SourceFile = "src/programs/Upstr.cpp";
+  P.EndToEnd = true;
+
+  // RELC-SECTION-BEGIN: program-upstr-source
+  // upstr' := fun s => let/n s := ListArray.map
+  //             (fun b => w2b (if (b2w b - "a") <? 26
+  //                            then b2w b & 0x5f else b2w b)) s in s
+  ExprPtr B = b2w(v("b"));
+  ExprPtr Toupper =
+      w2b(select(ltu(subw(B, cw('a')), cw(26)), andw(B, cw(0x5f)), B));
+  FnBuilder FB("upstr_model", Monad::Pure);
+  FB.listParam("s", EltKind::U8).wordParam("len");
+  ProgBuilder Body;
+  Body.let("s", mkMap("s", "b", Toupper));
+  P.Model = std::move(FB).done(std::move(Body).ret({"s"}));
+  // RELC-SECTION-END: program-upstr-source
+
+  // The ABI of §3.2: pointer + length in, same buffer updated in place.
+  P.Spec = sep::FnSpec("upstr");
+  P.Spec.arrayArg("s").lenArg("len", "s").retInPlace("s");
+
+  return P;
+}
+
+} // namespace programs
+} // namespace relc

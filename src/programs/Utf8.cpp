@@ -1,0 +1,136 @@
+//===- programs/Utf8.cpp - Branchless UTF-8 decoding -------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Branchless UTF-8 decoding in the style of the well-known lookup-table
+// decoder: a length table indexed by the top five bits of the lead byte,
+// mask/shift tables indexed by the sequence length, and an error word
+// assembled from range and continuation checks — no data-dependent
+// branches in the hot loop.
+//
+// The driver model decodes a whole buffer, XOR-folding codepoints into an
+// accumulator and OR-folding error bits; buffers shorter than four bytes
+// from the end are finished by a scalar tail loop. The ABI requires
+// len ≥ 4, supplied to the solver as an entry-fact hint — the paper's
+// "incidental property" mechanism (§3.4.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace programs {
+
+using namespace ir;
+
+namespace {
+
+std::vector<uint64_t> lengthTable() {
+  // Index: lead byte >> 3. 0 marks continuation/invalid lead bytes.
+  std::vector<uint64_t> T(32, 0);
+  for (unsigned I = 0; I < 16; ++I)
+    T[I] = 1; // 0x00-0x7F
+  for (unsigned I = 24; I < 28; ++I)
+    T[I] = 2; // 0xC0-0xDF
+  T[28] = T[29] = 3; // 0xE0-0xEF
+  T[30] = 4;         // 0xF0-0xF7
+  return T;
+}
+
+} // namespace
+
+ProgramDef makeUtf8() {
+  ProgramDef P;
+  P.Name = "utf8";
+  P.Description = "Branchless UTF-8 decoding";
+  P.SourceFile = "src/programs/Utf8.cpp";
+  P.EndToEnd = true;
+  P.MinLen = 4;
+
+  // RELC-SECTION-BEGIN: program-utf8-source
+  FnBuilder FB("utf8_model", Monad::Pure);
+  FB.listParam("s", EltKind::U8).wordParam("len");
+  FB.table("u8_len", EltKind::U8, lengthTable());
+  FB.table("u8_mask", EltKind::U8, {0x00, 0x7f, 0x1f, 0x0f, 0x07});
+  FB.table("u8_shiftc", EltKind::U8, {0, 18, 12, 6, 0});
+  FB.table("u8_mins", EltKind::U32, {4194304, 0, 128, 2048, 65536});
+  FB.table("u8_shifte", EltKind::U8, {0, 6, 4, 2, 0});
+
+  // One decoded codepoint per iteration, branchlessly.
+  ProgBuilder Loop;
+  Loop.let("b0", b2w(aget("s", v("i"))))
+      .let("t", b2w(tget("u8_len", shrw(v("b0"), cw(3)))))
+      .let("b1", b2w(aget("s", addw(v("i"), cw(1)))))
+      .let("b2", b2w(aget("s", addw(v("i"), cw(2)))))
+      .let("b3", b2w(aget("s", addw(v("i"), cw(3)))))
+      .let("cp", orw(orw(shlw(andw(v("b0"), b2w(tget("u8_mask", v("t")))),
+                              cw(18)),
+                         shlw(andw(v("b1"), cw(0x3f)), cw(12))),
+                     orw(shlw(andw(v("b2"), cw(0x3f)), cw(6)),
+                         andw(v("b3"), cw(0x3f)))))
+      .let("cp", shrw(v("cp"), b2w(tget("u8_shiftc", v("t")))))
+      .let("err", shlw(bool2w(ltu(v("cp"), tget("u8_mins", v("t")))), cw(6)))
+      .let("err", orw(v("err"),
+                      shlw(bool2w(eqw(shrw(v("cp"), cw(11)), cw(0x1b))),
+                           cw(7))))
+      .let("err", orw(v("err"),
+                      shlw(bool2w(ltu(cw(0x10ffff), v("cp"))), cw(8))))
+      .let("err", orw(v("err"), shrw(andw(v("b1"), cw(0xc0)), cw(2))))
+      .let("err", orw(v("err"), shrw(andw(v("b2"), cw(0xc0)), cw(4))))
+      .let("err", orw(v("err"), shrw(v("b3"), cw(6))))
+      .let("err", xorw(v("err"), cw(0x2a)))
+      .let("err", shrw(v("err"), b2w(tget("u8_shifte", v("t")))))
+      .let("h", xorw(v("h"), v("cp")))
+      .let("e", orw(v("e"), v("err")))
+      .let("i", addw(v("i"), addw(v("t"), bool2w(eqw(v("t"), cw(0))))));
+
+  // Tail: remaining bytes decode as single units (non-ASCII is an error).
+  ProgBuilder Tail;
+  Tail.let("h2", xorw(v("h2"), b2w(aget("s", v("j")))))
+      .let("e2", orw(v("e2"),
+                     bool2w(ltu(cw(0x7f), b2w(aget("s", v("j")))))));
+
+  ProgBuilder Body;
+  Body.let("n", subw(v("len"), cw(3)))
+      .letMulti({"i", "h", "e"},
+                mkWhile({acc("i", cw(0)), acc("h", cw(0)), acc("e", cw(0))},
+                        ltu(v("i"), v("n")), std::move(Loop).ret({"i", "h",
+                                                                  "e"}),
+                        subw(v("len"), v("i"))))
+      .letMulti({"h2", "e2"},
+                mkRange("j", v("i"), v("len"),
+                        {acc("h2", v("h")), acc("e2", v("e"))},
+                        std::move(Tail).ret({"h2", "e2"})))
+      .let("r", orw(shlw(andw(v("e2"), cw(0xffffffff)), cw(32)),
+                    andw(v("h2"), cw(0xffffffff))));
+  P.Model = std::move(FB).done(std::move(Body).ret({"r"}));
+  // RELC-SECTION-END: program-utf8-source
+
+  P.Spec = sep::FnSpec("utf8");
+  P.Spec.arrayArg("s").lenArg("len", "s").retScalar("r");
+
+  // RELC-SECTION-BEGIN: program-utf8-hints
+  // requires-clause hint: the ABI demands len ≥ 4 (decoders that read four
+  // bytes per step need the buffer padded); the fact licenses n = len − 3
+  // and through it every i+k bound in the hot loop.
+  P.Hints.EntryFacts.push_back([](sep::CompState &St) {
+    St.Facts.addLe(solver::lc(4), solver::ls("len_s"),
+                   "requires: length s >= 4");
+  });
+  // RELC-SECTION-END: program-utf8-hints
+
+  // Inputs must satisfy the requires clause: pad every buffer to >= 4.
+  P.VOpts.MakeInputs = [](const ir::SourceFn &Fn, Rng &R, size_t SizeHint) {
+    std::vector<ir::Value> In = validate::defaultInputs(
+        Fn, R, SizeHint < 4 ? 4 : SizeHint);
+    return In;
+  };
+
+  return P;
+}
+
+} // namespace programs
+} // namespace relc

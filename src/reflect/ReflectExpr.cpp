@@ -1,0 +1,212 @@
+//===- reflect/ReflectExpr.cpp - The reflective expression compiler --------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reflect/ReflectExpr.h"
+
+#include "bedrock/Interp.h"
+#include "support/Rng.h"
+
+namespace relc {
+namespace reflect {
+
+std::string RExpr::str() const {
+  switch (TheKind) {
+  case Kind::Lit:
+    return std::to_string(Lit);
+  case Kind::Var:
+    return Var;
+  case Kind::Op:
+    return "(" + Lhs->str() + " " + ir::wordOpName(Op) + " " + Rhs->str() +
+           ")";
+  }
+  return "?";
+}
+
+// RELC-SECTION-BEGIN: reflective-expr-compiler
+Result<RExprPtr> reify(const ir::Expr &E) {
+  switch (E.kind()) {
+  case ir::Expr::Kind::Const: {
+    const ir::Value &V = cast<ir::Const>(&E)->value();
+    if (V.kind() != ir::Value::Kind::Word)
+      return Error("reify: only word literals are in the reified grammar");
+    auto R = std::make_shared<RExpr>();
+    R->TheKind = RExpr::Kind::Lit;
+    R->Lit = V.asWord();
+    return RExprPtr(R);
+  }
+  case ir::Expr::Kind::VarRef: {
+    auto R = std::make_shared<RExpr>();
+    R->TheKind = RExpr::Kind::Var;
+    R->Var = cast<ir::VarRef>(&E)->name();
+    return RExprPtr(R);
+  }
+  case ir::Expr::Kind::Bin: {
+    const auto *B = cast<ir::Bin>(&E);
+    Result<RExprPtr> L = reify(*B->lhs());
+    if (!L)
+      return L.takeError();
+    Result<RExprPtr> R = reify(*B->rhs());
+    if (!R)
+      return R.takeError();
+    auto Out = std::make_shared<RExpr>();
+    Out->TheKind = RExpr::Kind::Op;
+    Out->Op = B->op();
+    Out->Lhs = *L;
+    Out->Rhs = *R;
+    return RExprPtr(Out);
+  }
+  default:
+    // The closed grammar ends here: casts, selects, array reads and
+    // inline tables are not reifiable without editing this switch, the
+    // compiler below, and the certifier — the §4.1.3 extension cost.
+    return Error("reify: construct outside the reified grammar: " + E.str());
+  }
+}
+
+bedrock::ExprPtr compileReified(const RExpr &E) {
+  switch (E.TheKind) {
+  case RExpr::Kind::Lit:
+    return bedrock::lit(E.Lit);
+  case RExpr::Kind::Var:
+    return bedrock::var(E.Var);
+  case RExpr::Kind::Op: {
+    // The operator mapping duplicates core/ExprCompile's lowering — by
+    // design: the monolithic pipeline owns its own copy of everything.
+    bedrock::BinOp Op;
+    switch (E.Op) {
+    case ir::WordOp::Add:
+      Op = bedrock::BinOp::Add;
+      break;
+    case ir::WordOp::Sub:
+      Op = bedrock::BinOp::Sub;
+      break;
+    case ir::WordOp::Mul:
+      Op = bedrock::BinOp::Mul;
+      break;
+    case ir::WordOp::DivU:
+      Op = bedrock::BinOp::DivU;
+      break;
+    case ir::WordOp::RemU:
+      Op = bedrock::BinOp::RemU;
+      break;
+    case ir::WordOp::And:
+      Op = bedrock::BinOp::And;
+      break;
+    case ir::WordOp::Or:
+      Op = bedrock::BinOp::Or;
+      break;
+    case ir::WordOp::Xor:
+      Op = bedrock::BinOp::Xor;
+      break;
+    case ir::WordOp::Shl:
+      Op = bedrock::BinOp::Shl;
+      break;
+    case ir::WordOp::LShr:
+      Op = bedrock::BinOp::LShr;
+      break;
+    case ir::WordOp::AShr:
+      Op = bedrock::BinOp::AShr;
+      break;
+    case ir::WordOp::LtU:
+      Op = bedrock::BinOp::LtU;
+      break;
+    case ir::WordOp::LtS:
+      Op = bedrock::BinOp::LtS;
+      break;
+    case ir::WordOp::Eq:
+      Op = bedrock::BinOp::Eq;
+      break;
+    case ir::WordOp::Ne:
+      Op = bedrock::BinOp::Ne;
+      break;
+    default:
+      Op = bedrock::BinOp::Add;
+      break;
+    }
+    return bedrock::bin(Op, compileReified(*E.Lhs), compileReified(*E.Rhs));
+  }
+  }
+  return bedrock::lit(0);
+}
+
+Result<uint64_t> evalReified(const RExpr &E,
+                             const std::map<std::string, uint64_t> &Env) {
+  switch (E.TheKind) {
+  case RExpr::Kind::Lit:
+    return E.Lit;
+  case RExpr::Kind::Var: {
+    auto It = Env.find(E.Var);
+    if (It == Env.end())
+      return Error("evalReified: unbound variable " + E.Var);
+    return It->second;
+  }
+  case RExpr::Kind::Op: {
+    Result<uint64_t> L = evalReified(*E.Lhs, Env);
+    if (!L)
+      return L;
+    Result<uint64_t> R = evalReified(*E.Rhs, Env);
+    if (!R)
+      return R;
+    return ir::evalWordOp(E.Op, *L, *R);
+  }
+  }
+  return Error("evalReified: bad node");
+}
+
+/// Collects the variables of a reified expression.
+static void collectVars(const RExpr &E, std::map<std::string, uint64_t> *Env) {
+  if (E.TheKind == RExpr::Kind::Var)
+    (*Env)[E.Var] = 0;
+  if (E.TheKind == RExpr::Kind::Op) {
+    collectVars(*E.Lhs, Env);
+    collectVars(*E.Rhs, Env);
+  }
+}
+
+Status certifyReified(const RExpr &E, const bedrock::Expr &Compiled,
+                      unsigned Samples, uint64_t Seed) {
+  std::map<std::string, uint64_t> Env;
+  collectVars(E, &Env);
+  Rng R(Seed);
+  bedrock::Module Empty;
+  bedrock::TapeEnv Tape;
+  bedrock::Interp Interp(Empty, Tape);
+  bedrock::Function Dummy;
+  for (unsigned I = 0; I < Samples; ++I) {
+    bedrock::State St;
+    for (auto &[Name, V] : Env) {
+      V = R.next();
+      St.Vars[Name] = V;
+    }
+    Result<uint64_t> Want = evalReified(E, Env);
+    if (!Want)
+      return Want.takeError();
+    Interp.resetFuel();
+    Result<bedrock::Word> Got = Interp.evalExpr(St, Dummy, Compiled);
+    if (!Got)
+      return Got.takeError();
+    if (*Got != *Want)
+      return Error("certifyReified: denotation mismatch on sample " +
+                   std::to_string(I) + " for " + E.str());
+  }
+  return Status::success();
+}
+
+Result<bedrock::ExprPtr> compileExprReflective(const ir::Expr &E) {
+  Result<RExprPtr> R = reify(E);
+  if (!R)
+    return R.takeError();
+  bedrock::ExprPtr Out = compileReified(**R);
+  Status Cert = certifyReified(**R, *Out);
+  if (!Cert)
+    return Cert.takeError();
+  return Out;
+}
+// RELC-SECTION-END: reflective-expr-compiler
+
+} // namespace reflect
+} // namespace relc

@@ -1,0 +1,166 @@
+//===- sep/Spec.cpp - Function ABI specifications (fnspec) -----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sep/Spec.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <set>
+
+namespace relc {
+namespace sep {
+
+const ArgSpec *FnSpec::findArgForSource(const std::string &SourceName) const {
+  for (const ArgSpec &A : Args)
+    if (A.SourceName == SourceName)
+      return &A;
+  return nullptr;
+}
+
+std::string FnSpec::str() const {
+  std::vector<std::string> ArgNames;
+  for (const ArgSpec &A : Args)
+    ArgNames.push_back(A.TargetName);
+  std::string Out =
+      "fnspec! \"" + TargetName + "\" " + join(ArgNames, " ") + " {\n";
+  std::vector<std::string> Requires;
+  for (const ArgSpec &A : Args) {
+    switch (A.TheKind) {
+    case ArgSpec::Kind::ArrayPtr:
+      Requires.push_back("(array " + A.TargetName + " " + A.SourceName +
+                         " * r) m");
+      break;
+    case ArgSpec::Kind::ArrayLen:
+      Requires.push_back(A.TargetName + " = of_nat (length " + A.OfArray +
+                         ")");
+      break;
+    case ArgSpec::Kind::CellPtr:
+      Requires.push_back("(cell " + A.TargetName + " " + A.SourceName +
+                         " * r) m");
+      break;
+    case ArgSpec::Kind::Scalar:
+      break;
+    }
+  }
+  Out += "  requires tr m := " +
+         (Requires.empty() ? std::string("True") : join(Requires, " /\\ ")) +
+         ";\n";
+  std::vector<std::string> Ensures;
+  for (const std::string &S : InPlaceArrays)
+    Ensures.push_back("(array " + S + "_ptr (" + TargetName + "' " + S +
+                      ") * r) m'");
+  for (const std::string &S : InPlaceCells)
+    Ensures.push_back("(cell " + S + "_ptr (" + TargetName + "' " + S +
+                      ") * r) m'");
+  for (const std::string &S : ScalarRets)
+    Ensures.push_back("ret_" + S + " = " + TargetName + "' ..");
+  Out += "  ensures tr' m' := " +
+         (Ensures.empty() ? std::string("m' = m") : join(Ensures, " /\\ ")) +
+         " }\n";
+  return Out;
+}
+
+Status checkSpecAgainstFn(const FnSpec &Spec, const ir::SourceFn &Fn) {
+  if (Spec.TargetName.empty())
+    return Error("fnspec has no target name");
+
+  // Each source parameter must be realized exactly once.
+  std::set<std::string> Covered;
+  std::set<std::string> TargetNames;
+  for (const ArgSpec &A : Spec.Args) {
+    if (!TargetNames.insert(A.TargetName).second)
+      return Error("fnspec for " + Spec.TargetName +
+                   ": duplicate target argument '" + A.TargetName + "'");
+    const ir::Param *P = Fn.findParam(A.SourceName);
+    if (!P)
+      return Error("fnspec argument '" + A.TargetName +
+                   "' names unknown source parameter '" + A.SourceName + "'");
+    if (!Covered.insert(A.SourceName).second)
+      return Error("source parameter '" + A.SourceName +
+                   "' realized by two fnspec arguments");
+    switch (A.TheKind) {
+    case ArgSpec::Kind::Scalar:
+    case ArgSpec::Kind::ArrayLen:
+      if (P->TheKind != ir::Param::Kind::ScalarWord)
+        return Error("fnspec argument '" + A.TargetName +
+                     "' passes non-scalar parameter by value");
+      break;
+    case ArgSpec::Kind::ArrayPtr:
+      if (P->TheKind != ir::Param::Kind::List)
+        return Error("fnspec argument '" + A.TargetName +
+                     "' is an array pointer but '" + A.SourceName +
+                     "' is not a list parameter");
+      break;
+    case ArgSpec::Kind::CellPtr:
+      if (P->TheKind != ir::Param::Kind::Cell)
+        return Error("fnspec argument '" + A.TargetName +
+                     "' is a cell pointer but '" + A.SourceName +
+                     "' is not a cell parameter");
+      break;
+    }
+    if (A.TheKind == ArgSpec::Kind::ArrayLen) {
+      const ir::Param *Arr = Fn.findParam(A.OfArray);
+      if (!Arr || Arr->TheKind != ir::Param::Kind::List)
+        return Error("length argument '" + A.TargetName +
+                     "' measures unknown list parameter '" + A.OfArray + "'");
+    }
+  }
+  for (const ir::Param &P : Fn.Params)
+    if (!Covered.count(P.Name))
+      return Error("source parameter '" + P.Name +
+                   "' is not realized by any fnspec argument");
+
+  // Results.
+  const std::vector<std::string> &Rets = Fn.Body->returns();
+  auto Returned = [&](const std::string &Name) {
+    return std::find(Rets.begin(), Rets.end(), Name) != Rets.end();
+  };
+  for (const std::string &S : Spec.InPlaceArrays) {
+    const ir::Param *P = Fn.findParam(S);
+    if (!P || P->TheKind != ir::Param::Kind::List)
+      return Error("in-place result '" + S + "' is not a list parameter");
+    if (!Returned(S))
+      return Error("in-place result '" + S +
+                   "' is not returned by the model (the ensures clause would "
+                   "be vacuous)");
+  }
+  for (const std::string &S : Spec.InPlaceCells) {
+    const ir::Param *P = Fn.findParam(S);
+    if (!P || P->TheKind != ir::Param::Kind::Cell)
+      return Error("in-place result '" + S + "' is not a cell parameter");
+    if (!Returned(S))
+      return Error("in-place cell result '" + S +
+                   "' is not returned by the model");
+  }
+  for (const std::string &S : Spec.ScalarRets) {
+    if (!Returned(S))
+      return Error("scalar return '" + S + "' is not returned by the model");
+    // Conservative shape check: a scalar return must not name a list or
+    // cell parameter (those come back in place, not by value).
+    if (const ir::Param *P = Fn.findParam(S))
+      if (P->TheKind != ir::Param::Kind::ScalarWord)
+        return Error("scalar return '" + S +
+                     "' names a list/cell parameter; use retInPlace");
+  }
+  for (const std::string &R : Rets) {
+    bool Used = std::count(Spec.ScalarRets.begin(), Spec.ScalarRets.end(),
+                           R) ||
+                std::count(Spec.InPlaceArrays.begin(),
+                           Spec.InPlaceArrays.end(), R) ||
+                std::count(Spec.InPlaceCells.begin(), Spec.InPlaceCells.end(),
+                           R);
+    if (!Used)
+      return Error("model result '" + R +
+                   "' is not captured by the fnspec (add retScalar or "
+                   "retInPlace)");
+  }
+  return Status::success();
+}
+
+} // namespace sep
+} // namespace relc

@@ -1,0 +1,123 @@
+//===- sep/Spec.h - Function ABI specifications (fnspec) --------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The binary interface of a compiled function: "the collection of low-level
+// representation choices that are visible to other low-level code but
+// abstracted away in the high-level code" (§3.1). This is the C++ analogue
+// of the paper's `fnspec!` instances (§3.2):
+//
+//   - which target argument passes which source parameter, and how (scalar
+//     word, pointer to an array whose ghost contents are a source list,
+//     the length word of such an array, or pointer to a one-word cell);
+//   - which source results come back as return words and which come back
+//     in place through argument arrays;
+//   - the requires/ensures pair is then implied: requires says each length
+//     argument equals the ghost list's length and the arrays are laid out
+//     at their pointers (separately framed); ensures says final memory
+//     holds the model's results and the trace matches the model's effects.
+//
+// The compiler consumes a FnSpec to build the initial symbolic state; the
+// validator consumes the same FnSpec to marshal concrete test vectors.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SEP_SPEC_H
+#define RELC_SEP_SPEC_H
+
+#include "ir/Prog.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace sep {
+
+/// How one target argument relates to the source model.
+struct ArgSpec {
+  enum class Kind {
+    Scalar,   ///< Passes source word parameter SourceName by value.
+    ArrayPtr, ///< Passes a pointer to an array holding list param SourceName.
+    ArrayLen, ///< Passes word param SourceName, constrained to equal
+              ///< length(OfArray) by the requires clause.
+    CellPtr   ///< Passes a pointer to the one-word cell param SourceName.
+  };
+
+  Kind TheKind = Kind::Scalar;
+  std::string TargetName; ///< Bedrock2 argument name.
+  std::string SourceName; ///< Source parameter it realizes.
+  std::string OfArray;    ///< For ArrayLen: the measured list parameter.
+};
+
+/// A function's ABI.
+struct FnSpec {
+  std::string TargetName;
+
+  std::vector<ArgSpec> Args;
+
+  /// Source return names that come back as target return words, in order.
+  std::vector<std::string> ScalarRets;
+
+  /// Source list parameters whose final (returned) value is written back
+  /// in place through their argument pointer. The model must return a list
+  /// under the same name.
+  std::vector<std::string> InPlaceArrays;
+
+  /// Cell parameters whose final value is written back in place.
+  std::vector<std::string> InPlaceCells;
+
+  //===--------------------------------------------------------------------===//
+  // Builder-style construction.
+  //===--------------------------------------------------------------------===//
+
+  explicit FnSpec(std::string Name = "") : TargetName(std::move(Name)) {}
+
+  FnSpec &scalarArg(const std::string &Name) {
+    Args.push_back({ArgSpec::Kind::Scalar, Name, Name, ""});
+    return *this;
+  }
+  FnSpec &arrayArg(const std::string &Name) {
+    Args.push_back({ArgSpec::Kind::ArrayPtr, Name, Name, ""});
+    return *this;
+  }
+  FnSpec &lenArg(const std::string &Name, const std::string &OfArray) {
+    Args.push_back({ArgSpec::Kind::ArrayLen, Name, Name, OfArray});
+    return *this;
+  }
+  FnSpec &cellArg(const std::string &Name) {
+    Args.push_back({ArgSpec::Kind::CellPtr, Name, Name, ""});
+    return *this;
+  }
+  FnSpec &retScalar(const std::string &SourceRet) {
+    ScalarRets.push_back(SourceRet);
+    return *this;
+  }
+  FnSpec &retInPlace(const std::string &ListParam) {
+    InPlaceArrays.push_back(ListParam);
+    return *this;
+  }
+  FnSpec &retCellInPlace(const std::string &CellParam) {
+    InPlaceCells.push_back(CellParam);
+    return *this;
+  }
+
+  const ArgSpec *findArgForSource(const std::string &SourceName) const;
+
+  /// Renders the spec in the paper's fnspec style.
+  std::string str() const;
+};
+
+/// Checks that \p Spec is consistent with \p Fn: every source parameter is
+/// realized exactly once, length arguments measure list parameters of the
+/// model, in-place results name list/cell parameters that the model
+/// returns, and scalar returns name scalar results of the model.
+Status checkSpecAgainstFn(const FnSpec &Spec, const ir::SourceFn &Fn);
+
+} // namespace sep
+} // namespace relc
+
+#endif // RELC_SEP_SPEC_H

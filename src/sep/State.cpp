@@ -1,0 +1,101 @@
+//===- sep/State.cpp - Symbolic machine state for compilation -------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sep/State.h"
+
+namespace relc {
+namespace sep {
+
+std::string HeapClause::str() const {
+  switch (TheKind) {
+  case Kind::Array:
+    return "array<u" + std::to_string(8 * ir::eltSize(Elt)) + "> " + Ptr +
+           " " + Payload + " (len " + Len.str() + ")";
+  case Kind::Cell:
+    return "cell " + Ptr + " " + Payload;
+  case Kind::Scratch:
+    return "scratch " + Ptr + " (" + std::to_string(ScratchSize) + " bytes)";
+  }
+  return "?";
+}
+
+std::string CompState::freshSym(const std::string &Hint) {
+  return Hint + "$" + std::to_string(FreshCounter++);
+}
+
+std::string CompState::freshLocal(const std::string &Hint) {
+  // Compiler-chosen locals carry a '$', which source binder names may not
+  // contain (enforced by the FunLang checker); collisions are impossible.
+  std::string Name;
+  do {
+    Name = Hint + "$" + std::to_string(FreshCounter++);
+  } while (Locals.count(Name));
+  return Name;
+}
+
+int CompState::findClauseByPayload(const std::string &SourceName) const {
+  for (size_t I = 0; I < Heap.size(); ++I)
+    if (Heap[I].TheKind != HeapClause::Kind::Scratch &&
+        Heap[I].Payload == SourceName)
+      return int(I);
+  return -1;
+}
+
+std::optional<std::string> CompState::findPtrLocal(int ClauseIdx) const {
+  for (const auto &[Name, Slot] : Locals)
+    if (Slot.TheKind == TargetSlot::Kind::Ptr && Slot.ClauseIdx == ClauseIdx)
+      return Name;
+  return std::nullopt;
+}
+
+const TargetSlot *CompState::findScalar(const std::string &SourceName) const {
+  auto It = Locals.find(SourceName);
+  if (It == Locals.end() || It->second.TheKind != TargetSlot::Kind::Scalar)
+    return nullptr;
+  return &It->second;
+}
+
+std::optional<std::string>
+CompState::findLocalEqualTo(const solver::LinTerm &Len) const {
+  // Syntactic match first: a local whose symbolic value *is* the term.
+  for (const auto &[Name, Slot] : Locals) {
+    if (Slot.TheKind != TargetSlot::Kind::Scalar)
+      continue;
+    solver::LinTerm T = Slot.Val.term();
+    if ((T - Len).isConstant() && (T - Len).constPart() == 0)
+      return Name;
+  }
+  // Semantic fallback: a local provably equal under the facts.
+  for (const auto &[Name, Slot] : Locals) {
+    if (Slot.TheKind != TargetSlot::Kind::Scalar)
+      continue;
+    if (Facts.entailsLe(Slot.Val.term(), Len) &&
+        Facts.entailsLe(Len, Slot.Val.term()))
+      return Name;
+  }
+  return std::nullopt;
+}
+
+std::string CompState::str() const {
+  std::string Out = "locals:\n";
+  for (const auto &[Name, Slot] : Locals) {
+    Out += "  " + Name + " : ";
+    if (Slot.TheKind == TargetSlot::Kind::Scalar)
+      Out += std::string(ir::tyName(Slot.ScalarTy)) + " = " + Slot.Val.str();
+    else
+      Out += "ptr " + Slot.Val.str() + " -> clause #" +
+             std::to_string(Slot.ClauseIdx);
+    Out += "\n";
+  }
+  Out += "memory:\n";
+  for (size_t I = 0; I < Heap.size(); ++I)
+    Out += "  #" + std::to_string(I) + ": " + Heap[I].str() + "\n";
+  return Out;
+}
+
+} // namespace sep
+} // namespace relc

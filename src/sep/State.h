@@ -1,0 +1,156 @@
+//===- sep/State.h - Symbolic machine state for compilation ----*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The compilation judgment {t; m; l; σ} c {P p} (§3.3) carries a symbolic
+// description of the machine: the locals map l and the separation-logic
+// memory predicate m. This module defines that symbolic state.
+//
+//  - A SymVal is a symbolic machine word: either a known constant or a
+//    named solver symbol (facts about symbols live in the FactDb).
+//  - A HeapClause is one separation-logic conjunct: `array p s`, `cell p c`
+//    or an untyped scratch block from stackalloc. The Payload names the
+//    *source-level* value currently stored — the ghost connection between
+//    the functional model and memory. Array contents are never tracked
+//    element-wise during compilation; the payload name plus the length
+//    term is exactly what the paper's predicates capture ("we chose a
+//    separation-logic predicate that captured the length of the string in
+//    addition to its contents", §3.4.2).
+//  - A TargetSlot describes what a target local holds: a scalar mirroring
+//    a source variable, or a pointer to a heap clause.
+//
+// The loop-invariant heuristic of §3.4.2 operates on this state: loop
+// targets are classified scalar/pointer by looking them up here, scalars
+// abstract their local's SymVal to a fresh symbol, and pointers abstract
+// the clause payload while retaining the structural length fact.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SEP_STATE_H
+#define RELC_SEP_STATE_H
+
+#include "ir/Prog.h"
+#include "solver/Linear.h"
+#include "support/Result.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace sep {
+
+/// A symbolic machine word.
+struct SymVal {
+  bool IsConst = false;
+  uint64_t K = 0;  ///< When IsConst.
+  std::string S;   ///< Solver symbol name otherwise.
+
+  static SymVal constant(uint64_t K) { return SymVal{true, K, ""}; }
+  static SymVal sym(std::string Name) {
+    return SymVal{false, 0, std::move(Name)};
+  }
+
+  /// As a solver term. Constants above int64 range are unsupported in
+  /// facts; such values never appear in index arithmetic.
+  solver::LinTerm term() const {
+    if (IsConst)
+      return solver::lc(int64_t(K));
+    return solver::ls(S);
+  }
+
+  bool sameAs(const SymVal &O) const {
+    return IsConst == O.IsConst && (IsConst ? K == O.K : S == O.S);
+  }
+
+  std::string str() const {
+    return IsConst ? std::to_string(K) : S;
+  }
+};
+
+/// One separation-logic conjunct.
+struct HeapClause {
+  enum class Kind { Array, Cell, Scratch };
+
+  Kind TheKind = Kind::Array;
+  std::string Ptr;      ///< Symbol naming the base address.
+  std::string Payload;  ///< Source-level name of the stored value ("" for
+                        ///< scratch).
+  ir::EltKind Elt = ir::EltKind::U8; ///< Element width (Array).
+  solver::LinTerm Len;  ///< Element count (Array) — a solver term.
+  uint64_t ScratchSize = 0; ///< Byte size (Scratch).
+  bool FromStack = false;   ///< Allocated by stackalloc (scoped lifetime).
+
+  std::string str() const;
+};
+
+/// What a target local holds.
+struct TargetSlot {
+  enum class Kind { Scalar, Ptr };
+
+  Kind TheKind = Kind::Scalar;
+  SymVal Val;                  ///< Scalar value, or the address for Ptr.
+  ir::Ty ScalarTy = ir::Ty::Word; ///< Scalars: the source-level type the
+                                  ///< (zero-extended) word mirrors.
+  int ClauseIdx = -1;          ///< Ptr: index into CompState::Heap.
+
+  static TargetSlot scalar(SymVal V, ir::Ty T) {
+    TargetSlot S;
+    S.TheKind = Kind::Scalar;
+    S.Val = std::move(V);
+    S.ScalarTy = T;
+    return S;
+  }
+  static TargetSlot ptr(SymVal Addr, int Clause) {
+    TargetSlot S;
+    S.TheKind = Kind::Ptr;
+    S.Val = std::move(Addr);
+    S.ClauseIdx = Clause;
+    return S;
+  }
+};
+
+/// The symbolic machine state carried through compilation.
+class CompState {
+public:
+  std::map<std::string, TargetSlot> Locals;
+  std::vector<HeapClause> Heap;
+  solver::FactDb Facts;
+
+  /// Fresh solver-symbol generation (for loop abstraction, definitional
+  /// symbols for nonlinear subterms, temporaries).
+  std::string freshSym(const std::string &Hint);
+
+  /// Fresh target-local name that does not collide with existing locals.
+  std::string freshLocal(const std::string &Hint);
+
+  /// The clause currently holding source-level value \p SourceName, if any.
+  int findClauseByPayload(const std::string &SourceName) const;
+
+  /// The local holding a pointer to clause \p ClauseIdx, if any.
+  std::optional<std::string> findPtrLocal(int ClauseIdx) const;
+
+  /// The local scalar mirroring source variable \p SourceName. By the let/n
+  /// convention, scalars live in a local of the same name; this checks it.
+  const TargetSlot *findScalar(const std::string &SourceName) const;
+
+  /// A local whose scalar value is syntactically the term \p Len (used to
+  /// locate a length variable for loop emission).
+  std::optional<std::string> findLocalEqualTo(const solver::LinTerm &Len) const;
+
+  /// Renders locals + heap for diagnostics and derivation records (the
+  /// printed judgment users see on unsolved goals).
+  std::string str() const;
+
+private:
+  unsigned FreshCounter = 0;
+};
+
+} // namespace sep
+} // namespace relc
+
+#endif // RELC_SEP_STATE_H

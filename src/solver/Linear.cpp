@@ -1,0 +1,394 @@
+//===- solver/Linear.cpp - Linear-arithmetic entailment --------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Linear.h"
+
+#include <algorithm>
+#include <set>
+
+namespace relc {
+namespace solver {
+
+//===----------------------------------------------------------------------===//
+// Terms.
+//===----------------------------------------------------------------------===//
+
+LinTerm LinTerm::constant(int64_t K) {
+  LinTerm T;
+  T.Const = K;
+  return T;
+}
+
+LinTerm LinTerm::sym(const std::string &Name) {
+  LinTerm T;
+  T.Coeffs[Name] = 1;
+  return T;
+}
+
+void LinTerm::normalize() {
+  for (auto It = Coeffs.begin(); It != Coeffs.end();) {
+    if (It->second == 0)
+      It = Coeffs.erase(It);
+    else
+      ++It;
+  }
+}
+
+LinTerm LinTerm::operator+(const LinTerm &O) const {
+  LinTerm T = *this;
+  T.Const += O.Const;
+  for (const auto &[S, C] : O.Coeffs)
+    T.Coeffs[S] += C;
+  T.normalize();
+  return T;
+}
+
+LinTerm LinTerm::operator-(const LinTerm &O) const {
+  return *this + O.scaled(-1);
+}
+
+LinTerm LinTerm::scaled(int64_t Factor) const {
+  LinTerm T;
+  T.Const = Const * Factor;
+  for (const auto &[S, C] : Coeffs)
+    T.Coeffs[S] = C * Factor;
+  T.normalize();
+  return T;
+}
+
+std::string LinTerm::str() const {
+  std::string Out;
+  for (const auto &[S, C] : Coeffs) {
+    if (!Out.empty())
+      Out += C >= 0 ? " + " : " - ";
+    else if (C < 0)
+      Out += "-";
+    int64_t A = C < 0 ? -C : C;
+    if (A != 1)
+      Out += std::to_string(A) + "*";
+    Out += S;
+  }
+  if (Const != 0 || Out.empty()) {
+    if (!Out.empty())
+      Out += Const >= 0 ? " + " : " - ";
+    else if (Const < 0)
+      Out += "-";
+    Out += std::to_string(Const < 0 ? -Const : Const);
+  }
+  return Out;
+}
+
+LinTerm lc(int64_t K) { return LinTerm::constant(K); }
+LinTerm ls(const std::string &Name) { return LinTerm::sym(Name); }
+
+//===----------------------------------------------------------------------===//
+// Fact database.
+//===----------------------------------------------------------------------===//
+
+void FactDb::addGe0(LinTerm T, std::string Reason) {
+  // Harvest per-symbol interval bounds from single-symbol facts:
+  //   c·x + k ≥ 0  with  c > 0  gives  x ≥ ⌈−k/c⌉,
+  //                with  c < 0  gives  x ≤ ⌊k/(−c)⌋.
+  if (T.coeffs().size() == 1) {
+    const auto &[Sym, C] = *T.coeffs().begin();
+    int64_t K = T.constPart();
+    if (C > 0) {
+      // x ≥ ceil(-K / C).
+      int64_t Bound = -K >= 0 ? (-K + C - 1) / C : -((K) / C);
+      auto It = Lower.find(Sym);
+      if (It == Lower.end() || Bound > It->second)
+        Lower[Sym] = Bound;
+    } else {
+      int64_t D = -C;
+      // x ≤ floor(K / D).
+      int64_t Bound = K >= 0 ? K / D : -((-K + D - 1) / D);
+      auto It = Upper.find(Sym);
+      if (It == Upper.end() || Bound < It->second)
+        Upper[Sym] = Bound;
+    }
+  }
+  Rows.push_back(Row{std::move(T), std::move(Reason)});
+}
+
+bool FactDb::intervalImpliesLe(const LinTerm &A, const LinTerm &B) const {
+  // A ≤ B iff min(B − A) ≥ 0; lower-bound B − A termwise from the cache.
+  LinTerm D = B - A;
+  __int128 Min = D.constPart();
+  for (const auto &[Sym, C] : D.coeffs()) {
+    if (C > 0) {
+      auto It = Lower.find(Sym);
+      if (It == Lower.end())
+        return false;
+      Min += __int128(C) * It->second;
+    } else {
+      auto It = Upper.find(Sym);
+      if (It == Upper.end())
+        return false;
+      Min += __int128(C) * It->second;
+    }
+  }
+  return Min >= 0;
+}
+
+void FactDb::addLe(const LinTerm &A, const LinTerm &B, std::string Reason) {
+  addGe0(B - A, std::move(Reason));
+}
+
+void FactDb::addLt(const LinTerm &A, const LinTerm &B, std::string Reason) {
+  addGe0(B - A - lc(1), std::move(Reason)); // Integer tightening.
+}
+
+void FactDb::addEq(const LinTerm &A, const LinTerm &B, std::string Reason) {
+  addGe0(B - A, Reason);
+  addGe0(A - B, std::move(Reason));
+}
+
+namespace {
+
+/// A working row during elimination: coefficients in __int128 to keep
+/// products exact. Overflow of the 128-bit range aborts with "unknown".
+struct WideRow {
+  std::map<std::string, __int128> Coeffs;
+  __int128 Const = 0;
+
+  bool isConstant() const { return Coeffs.empty(); }
+};
+
+constexpr __int128 kMagCap = (__int128(1) << 100);
+
+bool tooBig(__int128 V) { return V > kMagCap || V < -kMagCap; }
+
+WideRow widen(const LinTerm &T) {
+  WideRow R;
+  R.Const = T.constPart();
+  for (const auto &[S, C] : T.coeffs())
+    R.Coeffs[S] = C;
+  return R;
+}
+
+/// Combines Pos (coeff of X is P > 0) and Neg (coeff N < 0), eliminating X:
+/// (-N)·Pos + P·Neg. Returns false on magnitude overflow.
+bool combine(const WideRow &Pos, const WideRow &Neg, const std::string &X,
+             WideRow *Out) {
+  __int128 P = Pos.Coeffs.at(X);
+  __int128 N = Neg.Coeffs.at(X);
+  __int128 A = -N, B = P;
+  WideRow R;
+  R.Const = A * Pos.Const + B * Neg.Const;
+  if (tooBig(R.Const))
+    return false;
+  for (const auto &[S, C] : Pos.Coeffs) {
+    if (S == X)
+      continue;
+    R.Coeffs[S] += A * C;
+  }
+  for (const auto &[S, C] : Neg.Coeffs) {
+    if (S == X)
+      continue;
+    R.Coeffs[S] += B * C;
+  }
+  for (auto It = R.Coeffs.begin(); It != R.Coeffs.end();) {
+    if (tooBig(It->second))
+      return false;
+    if (It->second == 0)
+      It = R.Coeffs.erase(It);
+    else
+      ++It;
+  }
+  *Out = std::move(R);
+  return true;
+}
+
+} // namespace
+
+bool FactDb::refutes(const std::vector<LinTerm> &Extra,
+                     size_t MaxVars) const {
+  // Relevance pruning: fact databases grow monotonically during
+  // compilation (one definitional symbol per subexpression), but any given
+  // goal only depends on the cone of facts transitively sharing symbols
+  // with it. Compute that closure first so elimination stays tiny.
+  std::set<std::string> Rel;
+  for (const LinTerm &T : Extra)
+    for (const auto &[S, C] : T.coeffs()) {
+      (void)C;
+      Rel.insert(S);
+    }
+  std::vector<bool> Included(Rows.size(), false);
+  // A goal with no symbols (or a plain inconsistency query) has no cone to
+  // prune by: consider every fact.
+  if (Rel.empty())
+    Included.assign(Rows.size(), true);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      if (Included[I])
+        continue;
+      const auto &Coeffs = Rows[I].T.coeffs();
+      bool Touches =
+          Coeffs.empty() || // Constant rows are trivially relevant.
+          std::any_of(Coeffs.begin(), Coeffs.end(),
+                      [&](const auto &P) { return Rel.count(P.first); });
+      if (!Touches)
+        continue;
+      Included[I] = true;
+      Changed = true;
+      for (const auto &[S, C] : Coeffs) {
+        (void)C;
+        Rel.insert(S);
+      }
+    }
+  }
+
+  // Gather the relevant rows (each meaning T ≥ 0) and the variable set.
+  std::vector<WideRow> Work;
+  Work.reserve(Rows.size() + Extra.size());
+  std::set<std::string> Vars;
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    if (!Included[I])
+      continue;
+    Work.push_back(widen(Rows[I].T));
+    for (const auto &[S, C] : Rows[I].T.coeffs()) {
+      (void)C;
+      Vars.insert(S);
+    }
+  }
+  for (const LinTerm &T : Extra) {
+    Work.push_back(widen(T));
+    for (const auto &[S, C] : T.coeffs()) {
+      (void)C;
+      Vars.insert(S);
+    }
+  }
+
+  // Caps keep elimination tame; exceeding them means "cannot refute".
+  constexpr size_t kMaxRows = 4096;
+  if (Vars.size() > MaxVars)
+    return false;
+
+  auto HasContradiction = [](const std::vector<WideRow> &Rs) {
+    return std::any_of(Rs.begin(), Rs.end(), [](const WideRow &R) {
+      return R.isConstant() && R.Const < 0;
+    });
+  };
+
+  if (HasContradiction(Work))
+    return true;
+
+  // Eliminate variables one at a time (fewest-occurrences-first keeps the
+  // quadratic growth down on our goal shapes).
+  std::vector<std::string> Order(Vars.begin(), Vars.end());
+  while (!Order.empty()) {
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](const std::string &A, const std::string &B) {
+                       auto Count = [&](const std::string &V) {
+                         size_t N = 0;
+                         for (const WideRow &R : Work)
+                           N += R.Coeffs.count(V);
+                         return N;
+                       };
+                       return Count(A) < Count(B);
+                     });
+    std::string X = Order.front();
+    Order.erase(Order.begin());
+
+    std::vector<WideRow> PosRows, NegRows, Rest;
+    for (WideRow &R : Work) {
+      auto It = R.Coeffs.find(X);
+      if (It == R.Coeffs.end())
+        Rest.push_back(std::move(R));
+      else if (It->second > 0)
+        PosRows.push_back(std::move(R));
+      else
+        NegRows.push_back(std::move(R));
+    }
+    for (const WideRow &P : PosRows)
+      for (const WideRow &N : NegRows) {
+        WideRow Combined;
+        if (!combine(P, N, X, &Combined))
+          return false; // Overflow: give up soundly.
+        Rest.push_back(std::move(Combined));
+        if (Rest.size() > kMaxRows)
+          return false;
+      }
+    Work = std::move(Rest);
+    if (HasContradiction(Work))
+      return true;
+  }
+  return HasContradiction(Work);
+}
+
+bool FactDb::entailsLe(const LinTerm &A, const LinTerm &B) const {
+  return intervalImpliesLe(A, B) || refutes({A - B - lc(1)});
+}
+
+bool FactDb::probeLe(const LinTerm &A, const LinTerm &B) const {
+  return intervalImpliesLe(A, B) ||
+         refutes({A - B - lc(1)}, /*MaxVars=*/8);
+}
+
+bool FactDb::entailsLt(const LinTerm &A, const LinTerm &B) const {
+  return intervalImpliesLe(A + lc(1), B) || refutes({A - B});
+}
+
+std::optional<int64_t> FactDb::intervalUpperBound(const LinTerm &T) const {
+  __int128 Max = T.constPart();
+  for (const auto &[Sym, C] : T.coeffs()) {
+    if (C > 0) {
+      auto It = Upper.find(Sym);
+      if (It == Upper.end())
+        return std::nullopt;
+      Max += __int128(C) * It->second;
+    } else {
+      auto It = Lower.find(Sym);
+      if (It == Lower.end())
+        return std::nullopt;
+      Max += __int128(C) * It->second;
+    }
+  }
+  constexpr __int128 Cap = __int128(1) << 62;
+  if (Max > Cap || Max < -Cap)
+    return std::nullopt;
+  return int64_t(Max);
+}
+
+Status FactDb::proveLe(const LinTerm &A, const LinTerm &B) const {
+  if (entailsLe(A, B))
+    return Status::success();
+  return Error("unsolved side condition: " + A.str() + " <= " + B.str())
+      .note("facts in scope:\n" + str());
+}
+
+Status FactDb::proveLt(const LinTerm &A, const LinTerm &B) const {
+  if (entailsLt(A, B))
+    return Status::success();
+  return Error("unsolved side condition: " + A.str() + " < " + B.str())
+      .note("facts in scope:\n" + str());
+}
+
+Status FactDb::proveEq(const LinTerm &A, const LinTerm &B) const {
+  if (entailsLe(A, B) && entailsLe(B, A))
+    return Status::success();
+  return Error("unsolved side condition: " + A.str() + " = " + B.str())
+      .note("facts in scope:\n" + str());
+}
+
+bool FactDb::inconsistent() const { return refutes({}); }
+
+std::string FactDb::str() const {
+  std::string Out;
+  for (const Row &R : Rows) {
+    Out += "  " + R.T.str() + " >= 0";
+    if (!R.Reason.empty())
+      Out += "   (" + R.Reason + ")";
+    Out += "\n";
+  }
+  return Out;
+}
+
+} // namespace solver
+} // namespace relc

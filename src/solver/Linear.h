@@ -1,0 +1,144 @@
+//===- solver/Linear.h - Linear-arithmetic entailment -----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The side-condition solver (§3.4.2): a small linear-arithmetic entailment
+// engine playing the role the paper assigns to Coq's linear solver ("we
+// just need to ... plug in Coq's linear-arithmetic solver to handle
+// index-bounds side conditions").
+//
+// Facts and goals are affine constraints over named symbols, interpreted in
+// the integers. Entailment is by refutation: to prove "facts ⊢ a < b", show
+// that facts ∧ a ≥ b is infeasible, using Fourier–Motzkin elimination with
+// integer tightening of strict inequalities. The solver is sound and
+// conservative: arithmetic overflow during elimination or exceeding size
+// caps yields "not proved", never a wrong "proved".
+//
+// Soundness with machine words: symbols denote word values interpreted as
+// unsigned integers. Compilation rules only submit facts and goals from the
+// no-wraparound fragment (index and length arithmetic bounded well below
+// 2^64 — the ABI bounds every array length by 2^32, and rules introduce
+// structural facts like "x & c ≤ min(x, c)" and "2^k · (x >> k) ≤ x" that
+// hold without wrapping). See SymbolFacts helpers below.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SOLVER_LINEAR_H
+#define RELC_SOLVER_LINEAR_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace solver {
+
+/// An affine term: Σ Coeff·Sym + Const over integer coefficients.
+class LinTerm {
+public:
+  LinTerm() = default;
+
+  static LinTerm constant(int64_t K);
+  static LinTerm sym(const std::string &Name);
+
+  LinTerm operator+(const LinTerm &O) const;
+  LinTerm operator-(const LinTerm &O) const;
+  LinTerm scaled(int64_t Factor) const;
+
+  const std::map<std::string, int64_t> &coeffs() const { return Coeffs; }
+  int64_t constPart() const { return Const; }
+
+  bool isConstant() const { return Coeffs.empty(); }
+
+  std::string str() const;
+
+private:
+  std::map<std::string, int64_t> Coeffs; ///< Zero coefficients are erased.
+  int64_t Const = 0;
+
+  void normalize();
+};
+
+/// Convenience term constructors.
+LinTerm lc(int64_t K);
+LinTerm ls(const std::string &Name);
+
+/// A database of affine facts (each stored as Term ≥ 0) supporting
+/// entailment queries. Copyable: branches and loop bodies extend a copy.
+class FactDb {
+public:
+  /// Adds the fact T ≥ 0.
+  void addGe0(LinTerm T, std::string Reason = "");
+
+  /// Adds A ≤ B.
+  void addLe(const LinTerm &A, const LinTerm &B, std::string Reason = "");
+
+  /// Adds A < B (integer-tightened to A + 1 ≤ B).
+  void addLt(const LinTerm &A, const LinTerm &B, std::string Reason = "");
+
+  /// Adds A = B (as two inequalities).
+  void addEq(const LinTerm &A, const LinTerm &B, std::string Reason = "");
+
+  /// Entailment queries; on failure the error prints the goal and the
+  /// facts in scope — the "unsolved side condition" shown to users.
+  Status proveLe(const LinTerm &A, const LinTerm &B) const;
+  Status proveLt(const LinTerm &A, const LinTerm &B) const;
+  Status proveEq(const LinTerm &A, const LinTerm &B) const;
+
+  /// Diagnostic-free probes for rules that merely *test* whether a fact is
+  /// derivable (definitional-fact generation, bound propagation); same
+  /// verdicts as the prove* forms, without building error strings.
+  bool entailsLe(const LinTerm &A, const LinTerm &B) const;
+  bool entailsLt(const LinTerm &A, const LinTerm &B) const;
+
+  /// Budgeted probe: like entailsLe but elimination is capped at a small
+  /// cone (8 variables). Used for *optional* fact generation (definitional
+  /// no-wraparound checks), where a miss only loses precision — never for
+  /// required side conditions, which get the full effort.
+  bool probeLe(const LinTerm &A, const LinTerm &B) const;
+
+  /// A constant upper bound on \p T derivable from the interval cache
+  /// alone (max over the cached per-symbol ranges), when every symbol of
+  /// \p T is bounded on the needed side.
+  std::optional<int64_t> intervalUpperBound(const LinTerm &T) const;
+
+  /// True iff the current facts are contradictory (e.g. inside dead code).
+  bool inconsistent() const;
+
+  size_t size() const { return Rows.size(); }
+  std::string str() const;
+
+private:
+  struct Row {
+    LinTerm T; ///< Meaning: T ≥ 0.
+    std::string Reason;
+  };
+  std::vector<Row> Rows;
+
+  /// Fast-path interval cache: per-symbol constant bounds harvested from
+  /// single-symbol facts. Most side-condition probes (byte ≤ 255, masked
+  /// index < table size, no-wraparound checks before definitional facts)
+  /// resolve here without running elimination.
+  std::map<std::string, int64_t> Upper; ///< sym ≤ K.
+  std::map<std::string, int64_t> Lower; ///< K ≤ sym.
+
+  /// Interval fast path: true if A ≤ B already follows from the cached
+  /// per-symbol bounds alone.
+  bool intervalImpliesLe(const LinTerm &A, const LinTerm &B) const;
+
+  /// True iff Rows ∧ (Extra ≥ 0 for each extra) is infeasible. MaxVars
+  /// caps the elimination effort (exceeding it means "cannot refute").
+  bool refutes(const std::vector<LinTerm> &Extra, size_t MaxVars = 48) const;
+};
+
+} // namespace solver
+} // namespace relc
+
+#endif // RELC_SOLVER_LINEAR_H

@@ -1,0 +1,267 @@
+//===- stackm/StackMachine.h - The §2 demonstration pair -------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 2 of the paper develops relational compilation on a miniature pair
+// of languages: S, arithmetic expressions (constants and addition), and T, a
+// stack machine (push / pop-add). This module reproduces the whole §2 story:
+//
+//  - language definitions and semantics (§2.1),
+//  - the traditional functional compiler StoT with its correctness statement
+//    checked extensionally (§2.1),
+//  - the relational compiler: a set of *rule* objects, each the analogue of
+//    one correctness lemma (StoT_RInt, StoT_RAdd), driven by proof search
+//    that produces a target program *and* a Derivation witness (§2.2),
+//  - open-ended extension: new rules (e.g. multiplication, constant folding)
+//    can be registered without touching existing ones (§2.3),
+//  - a derivation checker that replays the witness: the stand-in for Coq's
+//    kernel accepting the proof term.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_STACKM_STACKMACHINE_H
+#define RELC_STACKM_STACKMACHINE_H
+
+#include "support/Casting.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace stackm {
+
+//===----------------------------------------------------------------------===//
+// Language S: arithmetic expressions.
+//===----------------------------------------------------------------------===//
+
+/// Base class for S expressions. Kind-discriminated, LLVM-style.
+class SExpr {
+public:
+  enum class Kind { Int, Add, Mul };
+
+  explicit SExpr(Kind K) : TheKind(K) {}
+  virtual ~SExpr() = default;
+
+  Kind kind() const { return TheKind; }
+
+  /// Structural pretty-printing, e.g. "(3 + (4 * 5))".
+  virtual std::string str() const = 0;
+
+private:
+  Kind TheKind;
+};
+
+using SExprPtr = std::shared_ptr<const SExpr>;
+
+/// Integer literal: SInt z.
+class SInt : public SExpr {
+public:
+  explicit SInt(int64_t Value) : SExpr(Kind::Int), Value(Value) {}
+
+  int64_t value() const { return Value; }
+  std::string str() const override { return std::to_string(Value); }
+
+  static bool classof(const SExpr *E) { return E->kind() == Kind::Int; }
+
+private:
+  int64_t Value;
+};
+
+/// Addition: SAdd s1 s2.
+class SAdd : public SExpr {
+public:
+  SAdd(SExprPtr Lhs, SExprPtr Rhs)
+      : SExpr(Kind::Add), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  const SExpr *lhs() const { return Lhs.get(); }
+  const SExpr *rhs() const { return Rhs.get(); }
+  SExprPtr lhsPtr() const { return Lhs; }
+  SExprPtr rhsPtr() const { return Rhs; }
+  std::string str() const override {
+    return "(" + Lhs->str() + " + " + Rhs->str() + ")";
+  }
+
+  static bool classof(const SExpr *E) { return E->kind() == Kind::Add; }
+
+private:
+  SExprPtr Lhs, Rhs;
+};
+
+/// Multiplication: not part of the base language; used to demonstrate
+/// open-ended extension (§2.3) — the base rule set cannot compile it until a
+/// user registers a rule for it.
+class SMul : public SExpr {
+public:
+  SMul(SExprPtr Lhs, SExprPtr Rhs)
+      : SExpr(Kind::Mul), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  const SExpr *lhs() const { return Lhs.get(); }
+  const SExpr *rhs() const { return Rhs.get(); }
+  SExprPtr lhsPtr() const { return Lhs; }
+  SExprPtr rhsPtr() const { return Rhs; }
+  std::string str() const override {
+    return "(" + Lhs->str() + " * " + Rhs->str() + ")";
+  }
+
+  static bool classof(const SExpr *E) { return E->kind() == Kind::Mul; }
+
+private:
+  SExprPtr Lhs, Rhs;
+};
+
+/// Convenience constructors.
+SExprPtr sInt(int64_t Value);
+SExprPtr sAdd(SExprPtr Lhs, SExprPtr Rhs);
+SExprPtr sMul(SExprPtr Lhs, SExprPtr Rhs);
+
+/// 𝜎S: denotational semantics of S.
+int64_t evalS(const SExpr &E);
+
+//===----------------------------------------------------------------------===//
+// Language T: a stack machine.
+//===----------------------------------------------------------------------===//
+
+/// One stack operation.
+struct TOp {
+  enum class Kind { Push, PopAdd, PopMul };
+  Kind TheKind;
+  int64_t Imm = 0; // Only meaningful for Push.
+
+  static TOp push(int64_t Imm) { return {Kind::Push, Imm}; }
+  static TOp popAdd() { return {Kind::PopAdd, 0}; }
+  static TOp popMul() { return {Kind::PopMul, 0}; }
+
+  bool operator==(const TOp &O) const {
+    return TheKind == O.TheKind && (TheKind != Kind::Push || Imm == O.Imm);
+  }
+
+  std::string str() const;
+};
+
+/// A T program is a list of operations.
+using TProgram = std::vector<TOp>;
+
+std::string str(const TProgram &P);
+
+/// 𝜎T: runs \p P on \p Stack. Following the paper, invalid pops are no-ops
+/// (the semantics is total). Returns the final stack.
+std::vector<int64_t> evalT(const TProgram &P, std::vector<int64_t> Stack);
+
+//===----------------------------------------------------------------------===//
+// The traditional verified compiler (§2.1): a function S -> T.
+//===----------------------------------------------------------------------===//
+
+/// StoT. Fails (like a partial function) on constructs outside the base
+/// language, e.g. SMul.
+Result<TProgram> compileStoT(const SExpr &E);
+
+//===----------------------------------------------------------------------===//
+// Relational compilation (§2.2–2.3).
+//===----------------------------------------------------------------------===//
+
+/// A node in a derivation: one rule application, with the subgoal
+/// derivations as children. The "proof term" of §2.2.
+struct Derivation {
+  std::string RuleName;
+  std::string Goal;      ///< Rendered goal "?t ~ <source>".
+  TProgram Emitted;      ///< The full target fragment this node certifies.
+  SExprPtr Source;       ///< The source subterm this node certifies.
+  std::vector<std::unique_ptr<Derivation>> Children;
+
+  /// Pretty-prints the derivation as an indented tree.
+  std::string str(unsigned Indent = 0) const;
+
+  /// Counts nodes (rule applications) in the tree.
+  unsigned size() const;
+};
+
+/// Result of a successful relational compilation: the witness program plus
+/// its derivation, mirroring `exist t (proof : t ~ s)`.
+struct CompiledS {
+  TProgram Program;
+  std::unique_ptr<Derivation> Proof;
+};
+
+/// A compilation rule: the executable form of one correctness lemma. Given a
+/// goal (a source subterm), an applicable rule returns the emitted target
+/// fragment and the premises (subgoals); the driver recurses on those.
+class SRule {
+public:
+  virtual ~SRule() = default;
+
+  /// Human-readable lemma name, e.g. "StoT_RAdd".
+  virtual std::string name() const = 0;
+
+  /// True iff this rule's conclusion matches \p Goal.
+  virtual bool matches(const SExpr &Goal) const = 0;
+
+  /// Subgoals of this rule for \p Goal (the lemma's premises), in order.
+  virtual std::vector<SExprPtr> premises(const SExpr &Goal) const = 0;
+
+  /// Assembles the target program from compiled premises. \p Parts has one
+  /// entry per premise, in the same order.
+  virtual TProgram assemble(const SExpr &Goal,
+                            const std::vector<TProgram> &Parts) const = 0;
+};
+
+/// An ordered, extensible collection of rules: the hint database of §2.3.
+class SRuleSet {
+public:
+  /// Returns the base rule set {StoT_RInt, StoT_RAdd}.
+  static SRuleSet base();
+
+  /// Registers \p Rule with lowest priority (tried after existing rules).
+  void add(std::unique_ptr<SRule> Rule);
+
+  /// Registers \p Rule with highest priority (tried before existing rules);
+  /// this is how program-specific rewrites shadow generic rules.
+  void addFront(std::unique_ptr<SRule> Rule);
+
+  const std::vector<std::unique_ptr<SRule>> &rules() const { return Rules; }
+
+private:
+  std::vector<std::unique_ptr<SRule>> Rules;
+};
+
+/// Rules corresponding to the paper's lemmas, plus the extension examples.
+std::unique_ptr<SRule> makeIntRule();      ///< StoT_RInt
+std::unique_ptr<SRule> makeAddRule();      ///< StoT_RAdd
+std::unique_ptr<SRule> makeMulRule();      ///< extension: SMul -> PopMul
+/// Extension demonstrating a program-specific rewrite: compiles any constant
+/// subtree to a single Push of its value (constant folding as a *rule*, not
+/// a compiler pass).
+std::unique_ptr<SRule> makeConstFoldRule();
+
+/// The proof-search driver (§2.2): finds the first applicable rule for the
+/// goal, recurses on its premises, and assembles program + derivation.
+/// Unsupported constructs yield an error naming the unsolved goal — the
+/// paper's "learn the shape of missing lemmas from the goals printed".
+Result<CompiledS> compileRelational(const SRuleSet &Rules, SExprPtr Source);
+
+//===----------------------------------------------------------------------===//
+// Derivation replay: the proof checker.
+//===----------------------------------------------------------------------===//
+
+/// Independently re-checks a derivation produced by compileRelational:
+/// every node must be an instance of a *trusted* rule schema (Int/Add/Mul/
+/// ConstFold with its side condition), children must certify the premises,
+/// and the assembled program must equal the recorded one. This plays the
+/// role of the Coq kernel checking the generated proof term; it does not
+/// share code with the search driver.
+Status checkDerivation(const Derivation &D);
+
+/// Differential check: evalT(P, stack) == evalS(E) :: stack over a sample of
+/// stacks, i.e. the statement `t ~ s` tested extensionally.
+Status checkEquivalence(const TProgram &P, const SExpr &E);
+
+} // namespace stackm
+} // namespace relc
+
+#endif // RELC_STACKM_STACKMACHINE_H

@@ -1,0 +1,60 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// LLVM-style custom RTTI. AST node classes carry a kind discriminator and a
+// static classof(const Base*); these templates provide isa<>, cast<> and
+// dyn_cast<> over them without enabling C++ RTTI.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_CASTING_H
+#define RELC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace relc {
+
+/// Returns true iff \p Val is an instance of To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that yields nullptr when the kinds do not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_CASTING_H

@@ -1,0 +1,150 @@
+//===- support/Result.h - Error handling without exceptions ----*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// A small Expected/Error pair in the spirit of llvm::Expected. The library
+// never throws: fallible operations return Result<T>, and infallible
+// invariants are enforced with assertions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_RESULT_H
+#define RELC_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace relc {
+
+/// A structured error: a primary message plus a stack of context notes added
+/// as the error propagates outward (innermost first).
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+  const std::vector<std::string> &notes() const { return Notes; }
+
+  /// Attaches a context note; returns *this to allow chaining on return.
+  Error &note(std::string Note) {
+    Notes.push_back(std::move(Note));
+    return *this;
+  }
+
+  /// Renders the message followed by indented context notes.
+  std::string str() const {
+    std::string Out = Message;
+    for (const std::string &N : Notes) {
+      Out += "\n  note: ";
+      Out += N;
+    }
+    return Out;
+  }
+
+private:
+  std::string Message;
+  std::vector<std::string> Notes;
+};
+
+/// Tag type used to construct failed Results unambiguously.
+struct ErrorTag {};
+
+/// Result<T> holds either a value of type T or an Error.
+///
+/// Unlike llvm::Expected there is no "unchecked" poisoning; callers are
+/// expected to branch on operator bool before dereferencing (enforced with
+/// assertions in debug builds).
+template <typename T> class [[nodiscard]] Result {
+public:
+  /// Success constructors.
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Failure constructor.
+  Result(Error E) : Err(std::move(E)) { assert(!Value && "both states set"); }
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing failed Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing failed Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing failed Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing failed Result");
+    return &*Value;
+  }
+
+  /// Moves the value out; only valid on success.
+  T take() {
+    assert(Value && "taking from failed Result");
+    return std::move(*Value);
+  }
+
+  Error &error() {
+    assert(!Value && "reading error of successful Result");
+    return Err;
+  }
+  const Error &error() const {
+    assert(!Value && "reading error of successful Result");
+    return Err;
+  }
+
+  /// Moves the error out; only valid on failure. Convenient for propagating
+  /// an inner failure with added context:
+  ///   return R.takeError().note("while compiling loop body");
+  Error takeError() {
+    assert(!Value && "taking error of successful Result");
+    return std::move(Err);
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Result<void> analogue: success carries no payload.
+class [[nodiscard]] Status {
+public:
+  Status() = default;
+  Status(Error E) : Err(std::move(E)), Failed(true) {}
+
+  static Status success() { return Status(); }
+
+  explicit operator bool() const { return !Failed; }
+
+  Error &error() {
+    assert(Failed && "reading error of successful Status");
+    return Err;
+  }
+  const Error &error() const {
+    assert(Failed && "reading error of successful Status");
+    return Err;
+  }
+  Error takeError() {
+    assert(Failed && "taking error of successful Status");
+    return std::move(Err);
+  }
+
+private:
+  Error Err;
+  bool Failed = false;
+};
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_RESULT_H

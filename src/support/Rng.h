@@ -1,0 +1,72 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// SplitMix64: a tiny, fast, seedable generator. Used for differential-test
+// vector generation and workload synthesis; determinism matters so that
+// validation failures are reproducible from the seed alone.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_RNG_H
+#define RELC_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relc {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero. Uses rejection-free
+  /// modulo; bias is irrelevant for test-vector generation.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  uint8_t nextByte() { return static_cast<uint8_t>(next()); }
+
+  bool nextBool() { return (next() & 1) != 0; }
+
+  /// A vector of \p N random bytes.
+  std::vector<uint8_t> bytes(std::size_t N) {
+    std::vector<uint8_t> Out(N);
+    for (std::size_t I = 0; I < N; ++I)
+      Out[I] = nextByte();
+    return Out;
+  }
+
+  /// A vector of \p N bytes drawn from \p Alphabet (used e.g. for DNA and
+  /// ASCII workloads).
+  std::vector<uint8_t> bytesFrom(std::size_t N, const std::vector<uint8_t> &Alphabet) {
+    std::vector<uint8_t> Out(N);
+    for (std::size_t I = 0; I < N; ++I)
+      Out[I] = Alphabet[below(Alphabet.size())];
+    return Out;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_RNG_H

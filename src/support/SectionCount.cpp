@@ -1,0 +1,88 @@
+//===- support/SectionCount.cpp - Marker-based LoC measurement ------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SectionCount.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace relc {
+
+std::string resolveSourcePath(const std::string &Path) {
+  if (!Path.empty() && Path[0] == '/')
+    return Path;
+#ifdef RELC_SOURCE_DIR
+  return std::string(RELC_SOURCE_DIR) + "/" + Path;
+#else
+  return Path;
+#endif
+}
+
+/// True for lines that contribute no code: empty/whitespace or comment-only.
+static bool isNonCodeLine(const std::string &Line) {
+  size_t I = Line.find_first_not_of(" \t\r");
+  if (I == std::string::npos)
+    return true;
+  return Line.compare(I, 2, "//") == 0;
+}
+
+static Result<std::string> readFile(const std::string &Path) {
+  std::ifstream In(resolveSourcePath(Path));
+  if (!In)
+    return Error("cannot open source file: " + Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+Result<unsigned> countSectionLines(const std::string &Path,
+                                   const std::string &Name) {
+  Result<std::string> Text = readFile(Path);
+  if (!Text)
+    return Text.takeError();
+
+  const std::string Begin = "RELC-SECTION-BEGIN: " + Name;
+  const std::string End = "RELC-SECTION-END: " + Name;
+
+  unsigned Count = 0;
+  bool Inside = false, Found = false;
+  std::istringstream Lines(*Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.find(Begin) != std::string::npos) {
+      Inside = true;
+      Found = true;
+      continue;
+    }
+    if (Line.find(End) != std::string::npos) {
+      Inside = false;
+      continue;
+    }
+    if (Inside && !isNonCodeLine(Line))
+      ++Count;
+  }
+  if (!Found)
+    return Error("section '" + Name + "' not found in " + Path);
+  if (Inside)
+    return Error("section '" + Name + "' not closed in " + Path);
+  return Count;
+}
+
+Result<unsigned> countFileLines(const std::string &Path) {
+  Result<std::string> Text = readFile(Path);
+  if (!Text)
+    return Text.takeError();
+  unsigned Count = 0;
+  std::istringstream Lines(*Text);
+  std::string Line;
+  while (std::getline(Lines, Line))
+    if (!isNonCodeLine(Line))
+      ++Count;
+  return Count;
+}
+
+} // namespace relc

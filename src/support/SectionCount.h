@@ -1,0 +1,47 @@
+//===- support/SectionCount.h - Marker-based LoC measurement ---*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 1 and the §4.1.3 case study report programmer effort in lines of
+// code for compiler extensions, split into "Lemma" (the rule statement) and
+// "Proof" (its justification / validation logic). We measure those numbers
+// from the *actual* sources of this repository: extension files bracket the
+// relevant regions with
+//
+//   // RELC-SECTION-BEGIN: <name>
+//   ...
+//   // RELC-SECTION-END: <name>
+//
+// and the measurement benches count non-blank, non-comment-only lines in
+// between. Nothing is hand-declared, so the reported table tracks the code.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_SECTIONCOUNT_H
+#define RELC_SUPPORT_SECTIONCOUNT_H
+
+#include "support/Result.h"
+
+#include <string>
+
+namespace relc {
+
+/// Counts code lines of the section \p Name in file \p Path (relative to the
+/// repository root baked in as RELC_SOURCE_DIR, unless absolute). Blank lines
+/// and lines holding only a comment are excluded; the marker lines themselves
+/// are excluded.
+Result<unsigned> countSectionLines(const std::string &Path,
+                                   const std::string &Name);
+
+/// Counts code lines of an entire file (same exclusions).
+Result<unsigned> countFileLines(const std::string &Path);
+
+/// Resolves \p Path against RELC_SOURCE_DIR when relative.
+std::string resolveSourcePath(const std::string &Path);
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_SECTIONCOUNT_H

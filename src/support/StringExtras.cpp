@@ -1,0 +1,119 @@
+//===- support/StringExtras.cpp - String helpers --------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+#include <array>
+#include <cctype>
+
+namespace relc {
+
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string hexStr(uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  if (V == 0)
+    return "0x0";
+  std::string Rev;
+  while (V != 0) {
+    Rev.push_back(Digits[V & 0xf]);
+    V >>= 4;
+  }
+  std::string Out = "0x";
+  Out.append(Rev.rbegin(), Rev.rend());
+  return Out;
+}
+
+std::string hexByte(uint8_t B) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.push_back(Digits[B >> 4]);
+  Out.push_back(Digits[B & 0xf]);
+  return Out;
+}
+
+static bool isCKeyword(const std::string &Name) {
+  static const std::array<const char *, 37> Keywords = {
+      "auto",     "break",    "case",     "char",   "const",    "continue",
+      "default",  "do",       "double",   "else",   "enum",     "extern",
+      "float",    "for",      "goto",     "if",     "inline",   "int",
+      "long",     "register", "restrict", "return", "short",    "signed",
+      "sizeof",   "static",   "struct",   "switch", "typedef",  "union",
+      "unsigned", "void",     "volatile", "while",  "_Bool",    "uintptr_t",
+      "memcpy"};
+  for (const char *K : Keywords)
+    if (Name == K)
+      return true;
+  return false;
+}
+
+bool isValidCIdentifier(const std::string &Name) {
+  if (Name.empty() || isCKeyword(Name))
+    return false;
+  if (!std::isalpha(static_cast<unsigned char>(Name[0])) && Name[0] != '_')
+    return false;
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+std::string sanitizeCIdentifier(const std::string &Name) {
+  if (isValidCIdentifier(Name))
+    return Name;
+  std::string Out = "v_";
+  for (char C : Name) {
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+      Out.push_back(C);
+      continue;
+    }
+    Out += "_x";
+    Out += hexByte(static_cast<uint8_t>(C));
+  }
+  return Out;
+}
+
+std::string replaceAll(std::string S, const std::string &From,
+                       const std::string &To) {
+  if (From.empty())
+    return S;
+  size_t Pos = 0;
+  while ((Pos = S.find(From, Pos)) != std::string::npos) {
+    S.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return S;
+}
+
+std::string indentLines(const std::string &S, unsigned Spaces) {
+  std::string Pad(Spaces, ' ');
+  std::string Out;
+  size_t Start = 0;
+  while (Start < S.size()) {
+    size_t End = S.find('\n', Start);
+    if (End == std::string::npos)
+      End = S.size();
+    if (End != Start)
+      Out += Pad;
+    Out.append(S, Start, End - Start);
+    if (End < S.size())
+      Out += '\n';
+    Start = End + 1;
+  }
+  return Out;
+}
+
+} // namespace relc

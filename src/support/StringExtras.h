@@ -1,0 +1,42 @@
+//===- support/StringExtras.h - String helpers -----------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_STRINGEXTRAS_H
+#define RELC_SUPPORT_STRINGEXTRAS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relc {
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, const std::string &Sep);
+
+/// Lowercase hexadecimal rendering of \p V with a 0x prefix.
+std::string hexStr(uint64_t V);
+
+/// Renders a byte as two hex digits (no prefix).
+std::string hexByte(uint8_t B);
+
+/// True iff \p Name is a valid C identifier (and not a C keyword).
+bool isValidCIdentifier(const std::string &Name);
+
+/// Maps an arbitrary variable name to a valid, collision-annotated C
+/// identifier (non-identifier characters become '_' plus a hex code).
+std::string sanitizeCIdentifier(const std::string &Name);
+
+/// Replaces every occurrence of \p From in \p S with \p To.
+std::string replaceAll(std::string S, const std::string &From,
+                       const std::string &To);
+
+/// Indents every line of \p S by \p Spaces spaces.
+std::string indentLines(const std::string &S, unsigned Spaces);
+
+} // namespace relc
+
+#endif // RELC_SUPPORT_STRINGEXTRAS_H

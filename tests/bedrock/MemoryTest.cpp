@@ -1,0 +1,82 @@
+//===- tests/bedrock/MemoryTest.cpp ----------------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bedrock/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::bedrock;
+
+namespace {
+
+TEST(MemoryTest, AllocFillRead) {
+  Memory M;
+  Word Base = M.alloc(8);
+  ASSERT_TRUE(bool(M.fill(Base, {1, 2, 3, 4, 5, 6, 7, 8})));
+  Result<std::vector<uint8_t>> R = M.read(Base, 8);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(MemoryTest, GuardGapsBetweenAllocations) {
+  Memory M;
+  Word A = M.alloc(16);
+  Word B = M.alloc(16);
+  EXPECT_NE(A, B);
+  // One past the end of A is unmapped (no silent bleed into B).
+  EXPECT_FALSE(bool(M.loadByte(A + 16)));
+  EXPECT_FALSE(bool(M.loadByte(A - 1)));
+  EXPECT_TRUE(bool(M.loadByte(B)));
+}
+
+TEST(MemoryTest, SizedAccessLittleEndian) {
+  Memory M;
+  Word Base = M.alloc(8);
+  ASSERT_TRUE(bool(M.storeN(AccessSize::Eight, Base, 0x0102030405060708ull)));
+  EXPECT_EQ(*M.loadByte(Base), 0x08);
+  EXPECT_EQ(*M.loadByte(Base + 7), 0x01);
+  EXPECT_EQ(*M.loadN(AccessSize::Four, Base), 0x05060708u);
+  EXPECT_EQ(*M.loadN(AccessSize::Two, Base + 2), 0x0506u);
+}
+
+TEST(MemoryTest, StoreTruncatesToWidth) {
+  Memory M;
+  Word Base = M.alloc(4);
+  ASSERT_TRUE(bool(M.storeN(AccessSize::Two, Base, 0xABCD1234ull)));
+  EXPECT_EQ(*M.loadN(AccessSize::Two, Base), 0x1234u);
+}
+
+TEST(MemoryTest, CrossBoundaryAccessFails) {
+  Memory M;
+  Word Base = M.alloc(4);
+  EXPECT_FALSE(bool(M.loadN(AccessSize::Eight, Base)));
+  EXPECT_FALSE(bool(M.storeN(AccessSize::Four, Base + 1, 0)));
+  EXPECT_TRUE(bool(M.storeN(AccessSize::Four, Base, 0)));
+}
+
+TEST(MemoryTest, FreeRequiresExactBlock) {
+  Memory M;
+  Word Base = M.alloc(32);
+  EXPECT_FALSE(bool(M.free(Base + 1, 31))); // Not a base.
+  EXPECT_FALSE(bool(M.free(Base, 16)));     // Wrong size.
+  EXPECT_TRUE(bool(M.free(Base, 32)));
+  EXPECT_FALSE(bool(M.loadByte(Base))); // Gone.
+  EXPECT_EQ(M.liveAllocations(), 0u);
+}
+
+TEST(MemoryTest, ZeroSizeAllocationsAreDistinct) {
+  Memory M;
+  Word A = M.alloc(0);
+  Word B = M.alloc(0);
+  EXPECT_NE(A, B);
+  EXPECT_FALSE(bool(M.loadByte(A)));
+  EXPECT_TRUE(bool(M.free(A, 0)));
+  EXPECT_TRUE(bool(M.free(B, 0)));
+}
+
+} // namespace

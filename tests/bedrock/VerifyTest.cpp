@@ -1,0 +1,111 @@
+//===- tests/bedrock/VerifyTest.cpp - Static well-formedness ---------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bedrock/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::bedrock;
+
+namespace {
+
+Function minimalFn(const char *Name, CmdPtr Body) {
+  Function F;
+  F.Name = Name;
+  F.Body = std::move(Body);
+  return F;
+}
+
+TEST(VerifyTest, AcceptsWellFormedModule) {
+  Module M;
+  Function Callee = minimalFn("g", skip());
+  Callee.Args = {"x"};
+  Callee.Rets = {"y"};
+  Callee.Body = set("y", var("x"));
+  Function Caller = minimalFn("f", call({"r"}, "g", {lit(1)}));
+  M.Functions = {Callee, Caller};
+  EXPECT_TRUE(bool(verifyModule(M)));
+}
+
+TEST(VerifyTest, RejectsDuplicateFunctionNames) {
+  Module M;
+  M.Functions = {minimalFn("f", skip()), minimalFn("f", skip())};
+  EXPECT_FALSE(bool(verifyModule(M)));
+}
+
+TEST(VerifyTest, RejectsMissingBody) {
+  Module M;
+  Function F;
+  F.Name = "f";
+  M.Functions = {F};
+  EXPECT_FALSE(bool(verifyModule(M)));
+}
+
+TEST(VerifyTest, RejectsUnknownCallee) {
+  Module M;
+  M.Functions = {minimalFn("f", call({}, "ghost", {}))};
+  Status S = verifyModule(M);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("ghost"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsCallArityMismatch) {
+  Module M;
+  Function G = minimalFn("g", skip());
+  G.Args = {"a", "b"};
+  M.Functions = {G, minimalFn("f", call({}, "g", {lit(1)}))};
+  EXPECT_FALSE(bool(verifyModule(M)));
+}
+
+TEST(VerifyTest, RejectsUnknownTable) {
+  Module M;
+  M.Functions = {
+      minimalFn("f", set("x", tableGet(AccessSize::Byte, "t", lit(0))))};
+  EXPECT_FALSE(bool(verifyModule(M)));
+}
+
+TEST(VerifyTest, RejectsTableWidthMismatch) {
+  Module M;
+  Function F = minimalFn("f", set("x", tableGet(AccessSize::Four, "t",
+                                                lit(0))));
+  F.Tables.push_back(InlineTable{"t", AccessSize::Byte, {1, 2}});
+  M.Functions = {F};
+  EXPECT_FALSE(bool(verifyModule(M)));
+}
+
+TEST(VerifyTest, RejectsOverwideTableElements) {
+  Module M;
+  Function F = minimalFn("f", set("x", tableGet(AccessSize::Byte, "t",
+                                                lit(0))));
+  F.Tables.push_back(InlineTable{"t", AccessSize::Byte, {0x1ff}});
+  M.Functions = {F};
+  EXPECT_FALSE(bool(verifyModule(M)));
+}
+
+TEST(VerifyTest, PrinterRoundTripsStructure) {
+  Function F = minimalFn(
+      "f", seqAll({set("x", lit(1)),
+                   ifThenElse(bin(BinOp::LtU, var("x"), lit(2)),
+                              whileLoop(lit(0), skip()), skip()),
+                   stackalloc("p", 8, store(AccessSize::Eight, var("p"),
+                                            lit(0)))}));
+  F.Args = {"a"};
+  std::string S = F.str();
+  EXPECT_NE(S.find("func f(a)"), std::string::npos);
+  EXPECT_NE(S.find("while"), std::string::npos);
+  EXPECT_NE(S.find("stackalloc p[8]"), std::string::npos);
+}
+
+TEST(VerifyTest, StatementCountIgnoresSkips) {
+  CmdPtr Body = seqAll({set("x", lit(1)), skip(), set("y", lit(2)),
+                        whileLoop(lit(0), set("z", lit(3)))});
+  Function F = minimalFn("f", Body);
+  EXPECT_EQ(F.countStmts(), 4u); // 2 sets + while + inner set.
+}
+
+} // namespace

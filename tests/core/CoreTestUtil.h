@@ -1,0 +1,57 @@
+//===- tests/core/CoreTestUtil.h - Shared core-test plumbing ---*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_TESTS_CORE_CORETESTUTIL_H
+#define RELC_TESTS_CORE_CORETESTUTIL_H
+
+#include "core/Compiler.h"
+#include "ir/Build.h"
+#include "validate/Validate.h"
+
+#include <gtest/gtest.h>
+
+namespace relc {
+namespace coretest {
+
+/// Compiles a model; on success also replays the derivation and runs the
+/// differential certifier. Returns the failure (if any) for inspection.
+inline Status compileAndCertify(const ir::SourceFn &Fn,
+                                const sep::FnSpec &Spec,
+                                const core::CompileHints &Hints = {},
+                                const validate::ValidationOptions &VOpts = {},
+                                core::CompileResult *Out = nullptr) {
+  core::Compiler C;
+  Result<core::CompileResult> R = C.compileFn(Fn, Spec, Hints);
+  if (!R)
+    return R.takeError();
+  bedrock::Module Linked;
+  Linked.Functions.push_back(R->Fn);
+  Status V = validate::validate(Fn, Spec, *R, Linked, VOpts);
+  if (!V)
+    return V;
+  if (Out)
+    *Out = std::move(*R);
+  return Status::success();
+}
+
+/// Asserts full pipeline success with a readable message.
+#define EXPECT_CERTIFIES(...)                                                 \
+  do {                                                                        \
+    ::relc::Status S_ = ::relc::coretest::compileAndCertify(__VA_ARGS__);     \
+    EXPECT_TRUE(bool(S_)) << (S_ ? "" : S_.error().str());                    \
+  } while (0)
+
+#define ASSERT_CERTIFIES(...)                                                 \
+  do {                                                                        \
+    ::relc::Status S_ = ::relc::coretest::compileAndCertify(__VA_ARGS__);     \
+    ASSERT_TRUE(bool(S_)) << (S_ ? "" : S_.error().str());                    \
+  } while (0)
+
+} // namespace coretest
+} // namespace relc
+
+#endif // RELC_TESTS_CORE_CORETESTUTIL_H

@@ -1,0 +1,222 @@
+//===- tests/core/LoopRulesTest.cpp - Map/fold/range/while lemmas ----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "CoreTestUtil.h"
+
+using namespace relc;
+using namespace relc::ir;
+using namespace relc::coretest;
+
+namespace {
+
+sep::FnSpec arraySpec(const char *Name, bool InPlace, const char *Ret) {
+  sep::FnSpec Spec(Name);
+  Spec.arrayArg("s").lenArg("len", "s");
+  if (InPlace)
+    Spec.retInPlace("s");
+  if (Ret)
+    Spec.retScalar(Ret);
+  return Spec;
+}
+
+SourceFn arrayFn(ProgPtr Body) {
+  FnBuilder FB("m", Monad::Pure);
+  FB.listParam("s", EltKind::U8).wordParam("len");
+  return std::move(FB).done(std::move(Body));
+}
+
+TEST(LoopRulesTest, InPlaceMapCertifies) {
+  ProgBuilder B;
+  B.let("s", mkMap("s", "b", w2b(xorw(b2w(v("b")), cw(0x55)))));
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"s"})),
+                   arraySpec("xmask", true, nullptr));
+}
+
+TEST(LoopRulesTest, MapUnderDifferentNameIsUnsolvedGoal) {
+  ProgBuilder B;
+  B.let("t", mkMap("s", "b", v("b")));
+  core::Compiler C;
+  Result<core::CompileResult> R =
+      C.compileFn(arrayFn(std::move(B).ret({"s"})),
+                  arraySpec("f", true, nullptr));
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().str().find("in-place"), std::string::npos);
+}
+
+TEST(LoopRulesTest, MapParamCollisionDetected) {
+  // The lambda parameter shadows the length local.
+  ProgBuilder B;
+  B.let("s", mkMap("s", "len", v("len")));
+  core::Compiler C;
+  Result<core::CompileResult> R =
+      C.compileFn(arrayFn(std::move(B).ret({"s"})),
+                  arraySpec("f", true, nullptr));
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().str().find("collides"), std::string::npos);
+}
+
+TEST(LoopRulesTest, FoldWithMatchingAccNameCertifies) {
+  ProgBuilder B;
+  B.let("h", mkFold("s", "h", "b", cw(5381),
+                    addw(mulw(v("h"), cw(33)), b2w(v("b")))));
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"h"})),
+                   arraySpec("djb2", false, "h"));
+}
+
+TEST(LoopRulesTest, FoldWithDifferentAccNameGetsFixup) {
+  // Binding name differs from the lambda's accumulator name: the rule
+  // inserts the final rebinding assignment.
+  ProgBuilder B;
+  B.let("result", mkFold("s", "acc", "b", cw(0), addw(v("acc"), b2w(v("b")))));
+  core::CompileResult Out;
+  ASSERT_CERTIFIES(arrayFn(std::move(B).ret({"result"})),
+                   arraySpec("sum", false, "result"), {}, {}, &Out);
+  EXPECT_NE(Out.Fn.str().find("result = acc"), std::string::npos);
+}
+
+TEST(LoopRulesTest, FoldResultFeedsLaterBindings) {
+  ProgBuilder B;
+  B.let("h", mkFold("s", "h", "b", cw(0), xorw(v("h"), b2w(v("b")))))
+      .let("r", andw(v("h"), cw(0xff)));
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"r"})),
+                   arraySpec("xf", false, "r"));
+}
+
+TEST(LoopRulesTest, FoldBreakCertifies) {
+  // djb2 until the hash has its top byte set — an early-exit fold.
+  ProgBuilder B;
+  B.let("h", mkFoldBreak("s", "h", "b", cw(5381),
+                         addw(mulw(v("h"), cw(33)), b2w(v("b"))),
+                         ltu(cw(1ull << 40), v("h"))));
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"h"})),
+                   arraySpec("djb2_break", false, "h"));
+}
+
+TEST(LoopRulesTest, FoldBreakEmitsConjunctionGuard) {
+  ProgBuilder B;
+  B.let("h", mkFoldBreak("s", "h", "b", cw(0),
+                         orw(v("h"), b2w(v("b"))),
+                         eqw(v("h"), cw(255))));
+  core::CompileResult Out;
+  ASSERT_CERTIFIES(arrayFn(std::move(B).ret({"h"})),
+                   arraySpec("orb", false, "h"), {}, {}, &Out);
+  std::string S = Out.Fn.str();
+  EXPECT_NE(S.find("& ((h == 255) == 0)"), std::string::npos);
+}
+
+TEST(LoopRulesTest, FoldBreakNameMismatchRejected) {
+  ProgBuilder B;
+  B.let("x", mkFoldBreak("s", "h", "b", cw(0), v("h"), eqw(v("h"), cw(1))));
+  core::Compiler C;
+  Result<core::CompileResult> R = C.compileFn(
+      arrayFn(std::move(B).ret({"x"})), arraySpec("f", false, "x"));
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().str().find("name-directed"), std::string::npos);
+}
+
+TEST(LoopRulesTest, RangeFoldWithScalarAndArrayAccs) {
+  // Zero the first (len >> 1) bytes while summing the old values.
+  ProgBuilder Body;
+  Body.let("sum", addw(v("sum"), b2w(aget("s", v("i")))))
+      .let("s", mkPut("s", v("i"), cb(0)));
+  ProgBuilder B;
+  B.letMulti({"sum", "s"},
+             mkRange("i", cw(0), shrw(v("len"), cw(1)),
+                     {acc("sum", cw(0)), acc("s", v("s"))},
+                     std::move(Body).ret({"sum", "s"})));
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"sum", "s"})),
+                   arraySpec("zerohalf", true, "sum"));
+}
+
+TEST(LoopRulesTest, RangeBoundsEvaluatedOnce) {
+  // hi = len is materialized into a compiler-chosen local so body
+  // rebindings of unrelated names cannot perturb it; and the index local
+  // is dead after the loop (reusable by later bindings).
+  ProgBuilder Body;
+  Body.let("c", addw(v("c"), cw(1)));
+  ProgBuilder B;
+  B.letMulti({"c"}, mkRange("i", cw(0), v("len"), {acc("c", cw(0))},
+                            std::move(Body).ret({"c"})))
+      .let("i", mulw(v("c"), cw(2))); // Reuses the index name.
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"i"})),
+                   arraySpec("count", false, "i"));
+}
+
+TEST(LoopRulesTest, RangeAccNameMismatchIsNameDirectedError) {
+  ProgBuilder Body;
+  Body.let("a", addw(v("a"), cw(1)));
+  ProgBuilder B;
+  B.letMulti({"b"}, mkRange("i", cw(0), cw(4), {acc("a", cw(0))},
+                            std::move(Body).ret({"a"})));
+  core::Compiler C;
+  Result<core::CompileResult> R = C.compileFn(
+      arrayFn(std::move(B).ret({"b"})), arraySpec("f", false, "b"));
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().str().find("name-directed"), std::string::npos);
+}
+
+TEST(LoopRulesTest, BodyBinderCollisionIsRejected) {
+  // The body binds "len", which is a live local.
+  ProgBuilder Body;
+  Body.let("len", addw(v("a"), cw(1))).let("a", v("len"));
+  ProgBuilder B;
+  B.letMulti({"a"}, mkRange("i", cw(0), cw(4), {acc("a", cw(0))},
+                            std::move(Body).ret({"a"})));
+  core::Compiler C;
+  Result<core::CompileResult> R = C.compileFn(
+      arrayFn(std::move(B).ret({"a"})), arraySpec("f", false, "a"));
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().str().find("collides"), std::string::npos);
+}
+
+TEST(LoopRulesTest, WhileGuardFactsReachTheBody) {
+  // s[i] inside `while (i < len)` needs the guard fact.
+  ProgBuilder Body;
+  Body.let("h", xorw(v("h"), b2w(aget("s", v("i")))))
+      .let("i", addw(v("i"), cw(1)));
+  ProgBuilder B;
+  B.letMulti({"i", "h"},
+             mkWhile({acc("i", cw(0)), acc("h", cw(0))},
+                     ltu(v("i"), v("len")), std::move(Body).ret({"i", "h"}),
+                     subw(v("len"), v("i"))));
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"h"})),
+                   arraySpec("wsum", false, "h"));
+}
+
+TEST(LoopRulesTest, CarryFoldWhileCertifies) {
+  // The ip-checksum carry loop in isolation.
+  FnBuilder FB("m", Monad::Pure);
+  FB.wordParam("x");
+  ProgBuilder Body;
+  Body.let("acc", addw(andw(v("acc"), cw(0xffff)), shrw(v("acc"), cw(16))));
+  ProgBuilder B;
+  B.letMulti({"acc"}, mkWhile({acc("acc", v("x"))},
+                              nez(shrw(v("acc"), cw(16))),
+                              std::move(Body).ret({"acc"}), v("acc")));
+  SourceFn Fn = std::move(FB).done(std::move(B).ret({"acc"}));
+  sep::FnSpec Spec("carry");
+  Spec.scalarArg("x").retScalar("acc");
+  EXPECT_CERTIFIES(Fn, Spec);
+}
+
+TEST(LoopRulesTest, NestedLoopsCompile) {
+  // for i in [0, len>>2): fold the bytes of each 4-block.
+  ProgBuilder Inner;
+  Inner.let("acc", addw(v("acc"), b2w(aget("s", addw(mulw(v("i"), cw(4)),
+                                                     v("j"))))));
+  ProgBuilder Outer;
+  Outer.letMulti({"acc"}, mkRange("j", cw(0), cw(4), {acc("acc", v("acc"))},
+                                  std::move(Inner).ret({"acc"})));
+  ProgBuilder B;
+  B.letMulti({"acc"},
+             mkRange("i", cw(0), shrw(v("len"), cw(2)), {acc("acc", cw(0))},
+                     std::move(Outer).ret({"acc"})));
+  EXPECT_CERTIFIES(arrayFn(std::move(B).ret({"acc"})),
+                   arraySpec("blocksum", false, "acc"));
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- tests/core/RandomProgramTest.cpp - Property-based certification -----===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The strongest property this reproduction can test: for *random* models
+// drawn from a supported fragment, relational compilation either fails
+// with an unsolved goal or produces a target program whose behaviour the
+// differential certifier cannot distinguish from the model's. The
+// fragment below always compiles, so every sample must certify.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CoreTestUtil.h"
+
+#include "support/Rng.h"
+
+using namespace relc;
+using namespace relc::ir;
+using namespace relc::coretest;
+
+namespace {
+
+/// Random pure scalar expression over word variables in \p Scope.
+ExprPtr randomWordExpr(Rng &R, const std::vector<std::string> &Scope,
+                       unsigned Depth) {
+  if (Depth == 0 || R.below(4) == 0) {
+    if (!Scope.empty() && R.nextBool())
+      return v(Scope[R.below(Scope.size())]);
+    return cw(R.next() >> (R.below(60))); // Mixed magnitudes.
+  }
+  switch (R.below(9)) {
+  case 0:
+    return addw(randomWordExpr(R, Scope, Depth - 1),
+                randomWordExpr(R, Scope, Depth - 1));
+  case 1:
+    return subw(randomWordExpr(R, Scope, Depth - 1),
+                randomWordExpr(R, Scope, Depth - 1));
+  case 2:
+    return mulw(randomWordExpr(R, Scope, Depth - 1),
+                randomWordExpr(R, Scope, Depth - 1));
+  case 3:
+    return andw(randomWordExpr(R, Scope, Depth - 1),
+                randomWordExpr(R, Scope, Depth - 1));
+  case 4:
+    return orw(randomWordExpr(R, Scope, Depth - 1),
+               randomWordExpr(R, Scope, Depth - 1));
+  case 5:
+    return xorw(randomWordExpr(R, Scope, Depth - 1),
+                randomWordExpr(R, Scope, Depth - 1));
+  case 6:
+    return shlw(randomWordExpr(R, Scope, Depth - 1), cw(R.below(64)));
+  case 7:
+    return shrw(randomWordExpr(R, Scope, Depth - 1), cw(R.below(64)));
+  default:
+    return select(ltu(randomWordExpr(R, Scope, Depth - 1),
+                      randomWordExpr(R, Scope, Depth - 1)),
+                  randomWordExpr(R, Scope, Depth - 1),
+                  randomWordExpr(R, Scope, Depth - 1));
+  }
+}
+
+/// A random model: a chain of pure lets over two word parameters,
+/// optionally with a counted accumulator loop in the middle.
+SourceFn randomModel(Rng &R, bool WithLoop) {
+  FnBuilder FB("rand_model", Monad::Pure);
+  FB.wordParam("p0").wordParam("p1");
+  std::vector<std::string> Scope = {"p0", "p1"};
+  ProgBuilder B;
+  unsigned NumLets = 1 + unsigned(R.below(5));
+  for (unsigned I = 0; I < NumLets; ++I) {
+    std::string Name = "v" + std::to_string(I);
+    B.let(Name, randomWordExpr(R, Scope, 3));
+    Scope.push_back(Name);
+  }
+  if (WithLoop) {
+    ProgBuilder Body;
+    Body.let("acc", randomWordExpr(R, {"acc", "it", Scope.back()}, 2));
+    B.letMulti({"acc"},
+               mkRange("it", cw(0), cw(R.below(20)),
+                       {acc("acc", randomWordExpr(R, Scope, 2))},
+                       std::move(Body).ret({"acc"})));
+    Scope.push_back("acc");
+  }
+  B.let("out", randomWordExpr(R, Scope, 2));
+  return std::move(FB).done(std::move(B).ret({"out"}));
+}
+
+class RandomProgramProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomProgramProperty, StraightLineModelsCertify) {
+  Rng R(GetParam() * 0x9e3779b9ull + 17);
+  for (unsigned Trial = 0; Trial < 10; ++Trial) {
+    SourceFn Fn = randomModel(R, /*WithLoop=*/false);
+    sep::FnSpec Spec("rand_fn");
+    Spec.scalarArg("p0").scalarArg("p1").retScalar("out");
+    Status S = compileAndCertify(Fn, Spec);
+    ASSERT_TRUE(bool(S)) << "seed " << GetParam() << " trial " << Trial
+                         << ":\n"
+                         << S.error().str() << "\n"
+                         << Fn.str();
+  }
+}
+
+TEST_P(RandomProgramProperty, LoopModelsCertify) {
+  Rng R(GetParam() * 0x51ed27ull + 3);
+  for (unsigned Trial = 0; Trial < 5; ++Trial) {
+    SourceFn Fn = randomModel(R, /*WithLoop=*/true);
+    sep::FnSpec Spec("rand_fn");
+    Spec.scalarArg("p0").scalarArg("p1").retScalar("out");
+    Status S = compileAndCertify(Fn, Spec);
+    ASSERT_TRUE(bool(S)) << "seed " << GetParam() << " trial " << Trial
+                         << ":\n"
+                         << S.error().str() << "\n"
+                         << Fn.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range(0u, 12u));
+
+/// Random models over a byte array: a shuffle of in-place maps, bounded
+/// puts, folds, and early-exit folds — the in-place fragment. Every sample
+/// must certify (in-place contents, read-only frames, scalar results).
+SourceFn randomArrayModel(Rng &R) {
+  FnBuilder FB("rand_arr", Monad::Pure);
+  FB.listParam("s", EltKind::U8).wordParam("len");
+  ProgBuilder B;
+  std::vector<std::string> Scalars = {"len"};
+  unsigned Steps = 2 + unsigned(R.below(4));
+  for (unsigned I = 0; I < Steps; ++I) {
+    switch (R.below(4)) {
+    case 0: { // In-place map with a random byte->byte body.
+      ExprPtr Bw = b2w(v("elt"));
+      ExprPtr Body;
+      switch (R.below(3)) {
+      case 0:
+        Body = w2b(xorw(Bw, cw(R.nextByte())));
+        break;
+      case 1:
+        Body = w2b(andw(addw(Bw, cw(R.nextByte())), cw(0xff)));
+        break;
+      default:
+        Body = w2b(select(ltu(Bw, cw(R.nextByte())), andw(Bw, cw(0x7f)),
+                          Bw));
+        break;
+      }
+      B.let("s", mkMap("s", "elt", Body));
+      break;
+    }
+    case 1: { // Bounded put under a length guard.
+      uint64_t Idx = R.below(8);
+      ProgBuilder Then;
+      Then.let("s", mkPut("s", cw(Idx), cb(R.nextByte())));
+      ProgBuilder Else;
+      B.letMulti({"s"}, mkIf(ltu(cw(Idx), v("len")),
+                             std::move(Then).ret({"s"}),
+                             std::move(Else).ret({"s"})));
+      break;
+    }
+    case 2: { // Fold into a fresh scalar.
+      std::string Name = "f" + std::to_string(I);
+      B.let(Name, mkFold("s", Name, "elt", cw(R.next() & 0xffff),
+                         addw(mulw(v(Name), cw(31)), b2w(v("elt")))));
+      Scalars.push_back(Name);
+      break;
+    }
+    default: { // Early-exit fold.
+      std::string Name = "g" + std::to_string(I);
+      B.let(Name, mkFoldBreak("s", Name, "elt", cw(0),
+                              addw(v(Name), b2w(v("elt"))),
+                              ltu(cw(200 + R.below(4000)), v(Name))));
+      Scalars.push_back(Name);
+      break;
+    }
+    }
+  }
+  // Combine every scalar into one word result.
+  ExprPtr Out = v(Scalars[0]);
+  for (size_t I = 1; I < Scalars.size(); ++I)
+    Out = xorw(mulw(Out, cw(0x9e3779b9)), v(Scalars[I]));
+  B.let("out", Out);
+  return std::move(FB).done(std::move(B).ret({"s", "out"}));
+}
+
+class RandomArrayProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomArrayProperty, InPlaceModelsCertify) {
+  Rng R(GetParam() * 0xc0ffee11ull + 5);
+  for (unsigned Trial = 0; Trial < 4; ++Trial) {
+    SourceFn Fn = randomArrayModel(R);
+    sep::FnSpec Spec("rand_arr_fn");
+    Spec.arrayArg("s").lenArg("len", "s").retInPlace("s").retScalar("out");
+    Status S = compileAndCertify(Fn, Spec);
+    ASSERT_TRUE(bool(S)) << "seed " << GetParam() << " trial " << Trial
+                         << ":\n" << S.error().str() << "\n" << Fn.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomArrayProperty,
+                         ::testing::Range(0u, 10u));
+
+} // namespace

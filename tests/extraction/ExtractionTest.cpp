@@ -1,0 +1,91 @@
+//===- tests/extraction/ExtractionTest.cpp - Box 1 baseline ----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "extraction/ExtractionRuntime.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::extraction;
+
+namespace {
+
+TEST(ExtractionTest, CharBoxRoundTrips) {
+  for (unsigned B = 0; B < 256; ++B)
+    EXPECT_EQ(unboxChar(boxChar(uint8_t(B))), B);
+}
+
+TEST(ExtractionTest, StrRoundTrips) {
+  std::vector<uint8_t> Bytes = {'h', 'i', 0, 0xff};
+  EXPECT_EQ(bytesOfStr(strOfBytes(Bytes)), Bytes);
+  EXPECT_EQ(bytesOfStr(nullptr), std::vector<uint8_t>{});
+}
+
+TEST(ExtractionTest, LengthAndRev) {
+  Str S = strOfBytes({1, 2, 3});
+  EXPECT_EQ(length(S), 3u);
+  EXPECT_EQ(bytesOfStr(rev(S)), (std::vector<uint8_t>{3, 2, 1}));
+  EXPECT_EQ(length(Str{}), 0u);
+}
+
+TEST(ExtractionTest, MapPreservesOrder) {
+  Str S = strOfBytes({1, 2, 3});
+  Str M = map<CharBox>(
+      [](const CharBox &C) { return boxChar(uint8_t(unboxChar(C) * 2)); },
+      S);
+  EXPECT_EQ(bytesOfStr(M), (std::vector<uint8_t>{2, 4, 6}));
+}
+
+TEST(ExtractionTest, NthIsPositionalWithDefault) {
+  List<uint64_t> L = cons<uint64_t>(10, cons<uint64_t>(20, nullptr));
+  EXPECT_EQ(nth<uint64_t>(L, 0, 99), 10u);
+  EXPECT_EQ(nth<uint64_t>(L, 1, 99), 20u);
+  EXPECT_EQ(nth<uint64_t>(L, 2, 99), 99u);
+}
+
+TEST(ExtractionTest, ToupperMatchesCtype) {
+  for (unsigned B = 0; B < 256; ++B) {
+    uint8_t Want = (B >= 'a' && B <= 'z') ? uint8_t(B - 32) : uint8_t(B);
+    EXPECT_EQ(unboxChar(toupperMatch(boxChar(uint8_t(B)))), Want);
+  }
+}
+
+TEST(ExtractionTest, UpstrAgreesWithDirectLoop) {
+  Rng R(4);
+  std::vector<uint8_t> Data = R.bytes(4096);
+  std::vector<uint8_t> Want = Data;
+  for (uint8_t &B : Want)
+    if (B >= 'a' && B <= 'z')
+      B = uint8_t(B - 32);
+  EXPECT_EQ(bytesOfStr(upstr(strOfBytes(Data))), Want);
+}
+
+TEST(ExtractionTest, Fnv1aAgreesWithDirectLoop) {
+  Rng R(5);
+  std::vector<uint8_t> Data = R.bytes(2048);
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint8_t B : Data) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  }
+  EXPECT_EQ(fnv1a(strOfBytes(Data)), H);
+}
+
+TEST(ExtractionTest, MegabyteListsDestructWithoutOverflow) {
+  // The iterative cons destructor: building and dropping a 1M-cell list
+  // must not blow the stack.
+  Rng R(6);
+  {
+    Str S = strOfBytes(R.bytes(1 << 20));
+    EXPECT_EQ(length(S), size_t(1 << 20));
+  } // Destruction happens here.
+  SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- tests/ir/ExprTest.cpp -----------------------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Build.h"
+#include "ir/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::ir;
+
+namespace {
+
+/// Evaluates a closed-ish expression under the given environment.
+Value evalIn(const Env &E, const ExprPtr &Ex) {
+  SourceFn Fn; // No tables needed.
+  EffectCtx Ctx;
+  Evaluator Ev(Fn, Ctx);
+  Result<Value> V = Ev.evalExpr(E, *Ex);
+  EXPECT_TRUE(bool(V)) << (V ? "" : V.error().str());
+  return V ? V.take() : Value::unit();
+}
+
+TEST(ExprTest, WordOpSemantics) {
+  EXPECT_EQ(evalWordOp(WordOp::Add, ~0ull, 1), 0u);             // Wraps.
+  EXPECT_EQ(evalWordOp(WordOp::Sub, 0, 1), ~0ull);              // Borrows.
+  EXPECT_EQ(evalWordOp(WordOp::Mul, 1ull << 62, 4), 0u);        // Wraps.
+  EXPECT_EQ(evalWordOp(WordOp::DivU, 7, 0), ~0ull);             // RISC-V.
+  EXPECT_EQ(evalWordOp(WordOp::RemU, 7, 0), 7u);                // RISC-V.
+  EXPECT_EQ(evalWordOp(WordOp::Shl, 1, 65), 2u);                // Mod 64.
+  EXPECT_EQ(evalWordOp(WordOp::LShr, 0x8000000000000000ull, 63), 1u);
+  EXPECT_EQ(evalWordOp(WordOp::AShr, ~0ull, 4), ~0ull);         // Sign.
+  EXPECT_EQ(evalWordOp(WordOp::LtU, 1, ~0ull), 1u);
+  EXPECT_EQ(evalWordOp(WordOp::LtS, 1, ~0ull), 0u); // -1 < 1 signed.
+  EXPECT_EQ(evalWordOp(WordOp::Eq, 3, 3), 1u);
+  EXPECT_EQ(evalWordOp(WordOp::Ne, 3, 3), 0u);
+}
+
+TEST(ExprTest, ArithmeticEvaluates) {
+  Env E = {{"x", Value::word(10)}, {"y", Value::word(3)}};
+  EXPECT_EQ(evalIn(E, addw(v("x"), mulw(v("y"), cw(2)))).asWord(), 16u);
+  EXPECT_EQ(evalIn(E, xorw(v("x"), v("y"))).asWord(), 9u);
+}
+
+TEST(ExprTest, ComparesYieldBooleans) {
+  Env E = {{"x", Value::word(10)}};
+  Value B = evalIn(E, ltu(v("x"), cw(11)));
+  EXPECT_EQ(B.kind(), Value::Kind::Bool);
+  EXPECT_TRUE(B.asBool());
+}
+
+TEST(ExprTest, SelectPicksArm) {
+  Env E = {{"x", Value::word(5)}};
+  EXPECT_EQ(evalIn(E, select(ltu(v("x"), cw(10)), cw(1), cw(2))).asWord(),
+            1u);
+  EXPECT_EQ(evalIn(E, select(ltu(v("x"), cw(5)), cw(1), cw(2))).asWord(),
+            2u);
+}
+
+TEST(ExprTest, CastsConvert) {
+  Env E = {{"b", Value::byte(0xfe)}, {"w", Value::word(0x1234)}};
+  EXPECT_EQ(evalIn(E, b2w(v("b"))).asWord(), 0xfeu);
+  Value B = evalIn(E, w2b(v("w")));
+  EXPECT_EQ(B.kind(), Value::Kind::Byte);
+  EXPECT_EQ(B.asByte(), 0x34);
+  EXPECT_EQ(evalIn(E, bool2w(cbool(true))).asWord(), 1u);
+}
+
+TEST(ExprTest, RotlMatchesReference) {
+  for (uint32_t K : {0u, 1u, 0xdeadbeefu, 0x80000000u}) {
+    Env E = {{"k", Value::word(K)}};
+    uint32_t Want = (K << 15) | (K >> 17);
+    EXPECT_EQ(evalIn(E, rotl(v("k"), 15, 32)).asWord(), Want);
+  }
+}
+
+TEST(ExprTest, TypeErrorsAreReported) {
+  SourceFn Fn;
+  EffectCtx Ctx;
+  Evaluator Ev(Fn, Ctx);
+  Env E = {{"b", Value::byte(1)}};
+  // Byte used in arithmetic without b2w.
+  EXPECT_FALSE(bool(Ev.evalExpr(E, *addw(v("b"), cw(1)))));
+  // w2b of a byte.
+  EXPECT_FALSE(bool(Ev.evalExpr(E, *w2b(v("b")))));
+  // Unbound variable.
+  EXPECT_FALSE(bool(Ev.evalExpr(E, *v("nope"))));
+}
+
+TEST(ExprTest, ArrayGetBoundsChecked) {
+  SourceFn Fn;
+  EffectCtx Ctx;
+  Evaluator Ev(Fn, Ctx);
+  Env E = {{"a", Value::byteList({10, 20, 30})}};
+  Result<Value> Ok = Ev.evalExpr(E, *aget("a", cw(2)));
+  ASSERT_TRUE(bool(Ok));
+  EXPECT_EQ(Ok->asByte(), 30);
+  EXPECT_FALSE(bool(Ev.evalExpr(E, *aget("a", cw(3)))));
+}
+
+TEST(ExprTest, TableGetUsesFunctionTables) {
+  SourceFn Fn;
+  Fn.Tables.push_back(TableDef{"t", EltKind::U32, {100, 200, 300}});
+  EffectCtx Ctx;
+  Evaluator Ev(Fn, Ctx);
+  Env E;
+  Result<Value> V = Ev.evalExpr(E, *tget("t", cw(1)));
+  ASSERT_TRUE(bool(V));
+  EXPECT_EQ(V->asWord(), 200u);
+  EXPECT_FALSE(bool(Ev.evalExpr(E, *tget("t", cw(3)))));
+  EXPECT_FALSE(bool(Ev.evalExpr(E, *tget("missing", cw(0)))));
+}
+
+TEST(ExprTest, PrinterIsGallinaFlavored) {
+  ExprPtr E = select(ltu(subw(b2w(v("b")), cw(97)), cw(26)),
+                     andw(b2w(v("b")), cw(95)), b2w(v("b")));
+  std::string S = E->str();
+  EXPECT_NE(S.find("if"), std::string::npos);
+  EXPECT_NE(S.find("<?"), std::string::npos);
+  EXPECT_NE(S.find("b2w b"), std::string::npos);
+}
+
+} // namespace

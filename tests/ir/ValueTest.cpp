@@ -1,0 +1,68 @@
+//===- tests/ir/ValueTest.cpp ----------------------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc::ir;
+
+namespace {
+
+TEST(ValueTest, ScalarConstructorsAndAccessors) {
+  EXPECT_EQ(Value::word(42).asWord(), 42u);
+  EXPECT_EQ(Value::byte(0xAB).asByte(), 0xAB);
+  EXPECT_TRUE(Value::boolean(true).asBool());
+  EXPECT_FALSE(Value::boolean(false).asBool());
+  EXPECT_EQ(Value::unit().kind(), Value::Kind::Unit);
+  EXPECT_EQ(Value::byte(7).scalar(), 7u);
+  EXPECT_EQ(Value::boolean(true).scalar(), 1u);
+}
+
+TEST(ValueTest, ByteListRoundTrip) {
+  std::vector<uint8_t> Bytes = {1, 2, 255, 0};
+  Value L = Value::byteList(Bytes);
+  EXPECT_EQ(L.listElt(), EltKind::U8);
+  EXPECT_EQ(L.asBytes(), Bytes);
+  EXPECT_EQ(L.elems().size(), 4u);
+}
+
+TEST(ValueTest, WordListAsWords) {
+  Value L = Value::list(EltKind::U32,
+                        {Value::word(7), Value::word(0xffffffff)});
+  EXPECT_EQ(L.asWords(), (std::vector<uint64_t>{7, 0xffffffff}));
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::word(1), Value::word(1));
+  EXPECT_NE(Value::word(1), Value::word(2));
+  EXPECT_NE(Value::word(1), Value::byte(1)); // Kinds matter.
+  EXPECT_EQ(Value::byteList({1, 2}), Value::byteList({1, 2}));
+  EXPECT_NE(Value::byteList({1, 2}), Value::byteList({1, 3}));
+  EXPECT_NE(Value::list(EltKind::U8, {Value::byte(1)}),
+            Value::list(EltKind::U16, {Value::byte(1)}));
+  EXPECT_EQ(Value::tuple({Value::word(1), Value::unit()}),
+            Value::tuple({Value::word(1), Value::unit()}));
+}
+
+TEST(ValueTest, EltKindHelpers) {
+  EXPECT_EQ(eltSize(EltKind::U8), 1u);
+  EXPECT_EQ(eltSize(EltKind::U64), 8u);
+  EXPECT_EQ(eltMask(EltKind::U8), 0xffull);
+  EXPECT_EQ(eltMask(EltKind::U16), 0xffffull);
+  EXPECT_EQ(eltMask(EltKind::U32), 0xffffffffull);
+  EXPECT_EQ(eltMask(EltKind::U64), ~0ull);
+}
+
+TEST(ValueTest, PrintingAbbreviatesLongLists) {
+  std::vector<uint8_t> Big(100, 7);
+  std::string S = Value::byteList(Big).str();
+  EXPECT_NE(S.find("100 elems"), std::string::npos);
+  EXPECT_LT(S.size(), 200u);
+}
+
+} // namespace

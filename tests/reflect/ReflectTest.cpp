@@ -1,0 +1,82 @@
+//===- tests/reflect/ReflectTest.cpp - Reflective expression compiler ------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reflect/ReflectExpr.h"
+
+#include "bedrock/Interp.h"
+#include "ir/Build.h"
+#include "ir/Interp.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::ir;
+
+namespace {
+
+TEST(ReflectTest, ReifiesBaseGrammar) {
+  Result<reflect::RExprPtr> R =
+      reflect::reify(*addw(v("x"), mulw(v("y"), cw(3))));
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ((*R)->str(), "(x + (y * 3))");
+}
+
+TEST(ReflectTest, RejectsConstructsOutsideTheClosedGrammar) {
+  // The §4.1.3 pain point: every one of these needs compiler surgery.
+  EXPECT_FALSE(bool(reflect::reify(*b2w(cb(1)))));
+  EXPECT_FALSE(bool(reflect::reify(*w2b(v("x")))));
+  EXPECT_FALSE(bool(reflect::reify(*select(ltu(v("x"), cw(1)), cw(0),
+                                           cw(1)))));
+  EXPECT_FALSE(bool(reflect::reify(*aget("a", cw(0)))));
+  EXPECT_FALSE(bool(reflect::reify(*tget("t", cw(0)))));
+  EXPECT_FALSE(bool(reflect::reify(*cb(3)))); // Byte literal.
+}
+
+TEST(ReflectTest, PipelineCompilesAndCertifies) {
+  Result<bedrock::ExprPtr> E =
+      reflect::compileExprReflective(*xorw(shlw(v("x"), cw(3)), v("y")));
+  ASSERT_TRUE(bool(E)) << E.error().str();
+  EXPECT_EQ((*E)->str(), "((x << 3) ^ y)");
+}
+
+TEST(ReflectTest, CertifierCatchesWrongCompilation) {
+  // Hand-build a mismatched pair: reified x + y against target x - y.
+  Result<reflect::RExprPtr> R = reflect::reify(*addw(v("x"), v("y")));
+  ASSERT_TRUE(bool(R));
+  bedrock::ExprPtr Wrong =
+      bedrock::bin(bedrock::BinOp::Sub, bedrock::var("x"),
+                   bedrock::var("y"));
+  Status S = reflect::certifyReified(**R, *Wrong);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("mismatch"), std::string::npos);
+}
+
+TEST(ReflectTest, DenotationAgreesWithFunLangSemantics) {
+  // On the shared grammar the reflective denotation and the FunLang
+  // evaluator agree — the two compilers compile the same language.
+  Rng Random(0xabc);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    uint64_t X = Random.next(), Y = Random.next();
+    ExprPtr E = mulw(xorw(v("x"), cw(Trial)), addw(v("y"), cw(7)));
+    Result<reflect::RExprPtr> R = reflect::reify(*E);
+    ASSERT_TRUE(bool(R));
+    Result<uint64_t> Refl =
+        reflect::evalReified(**R, {{"x", X}, {"y", Y}});
+    ASSERT_TRUE(bool(Refl));
+
+    SourceFn Fn;
+    EffectCtx Ctx;
+    Evaluator Ev(Fn, Ctx);
+    Env Environment = {{"x", Value::word(X)}, {"y", Value::word(Y)}};
+    Result<Value> Direct = Ev.evalExpr(Environment, *E);
+    ASSERT_TRUE(bool(Direct));
+    EXPECT_EQ(*Refl, Direct->asWord());
+  }
+}
+
+} // namespace

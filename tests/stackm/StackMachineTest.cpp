@@ -1,0 +1,164 @@
+//===- tests/stackm/StackMachineTest.cpp - §2 demo pair --------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stackm/StackMachine.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::stackm;
+
+namespace {
+
+/// A random closed S expression of bounded depth (Add-only when
+/// BaseOnly; otherwise with Mul nodes too).
+SExprPtr randomExpr(Rng &R, unsigned Depth, bool BaseOnly) {
+  if (Depth == 0 || R.below(3) == 0)
+    return sInt(int64_t(R.next() % 2001) - 1000);
+  SExprPtr L = randomExpr(R, Depth - 1, BaseOnly);
+  SExprPtr Rhs = randomExpr(R, Depth - 1, BaseOnly);
+  if (!BaseOnly && R.nextBool())
+    return sMul(std::move(L), std::move(Rhs));
+  return sAdd(std::move(L), std::move(Rhs));
+}
+
+TEST(StackMachineTest, SemanticsOfPaperExample) {
+  SExprPtr S7 = sAdd(sInt(3), sInt(4));
+  EXPECT_EQ(evalS(*S7), 7);
+  TProgram T7 = {TOp::push(3), TOp::push(4), TOp::popAdd()};
+  EXPECT_EQ(evalT(T7, {}), (std::vector<int64_t>{7}));
+  // ∀ zs: the stack below is untouched.
+  EXPECT_EQ(evalT(T7, {10, 20}), (std::vector<int64_t>{10, 20, 7}));
+}
+
+TEST(StackMachineTest, InvalidPopsAreNoOps) {
+  // The semantics is total: popping from a short stack does nothing.
+  EXPECT_EQ(evalT({TOp::popAdd()}, {}), (std::vector<int64_t>{}));
+  EXPECT_EQ(evalT({TOp::popAdd()}, {5}), (std::vector<int64_t>{5}));
+}
+
+TEST(StackMachineTest, FunctionalCompilerMatchesPaper) {
+  SExprPtr S7 = sAdd(sInt(3), sInt(4));
+  Result<TProgram> T = compileStoT(*S7);
+  ASSERT_TRUE(bool(T));
+  EXPECT_EQ(*T, (TProgram{TOp::push(3), TOp::push(4), TOp::popAdd()}));
+}
+
+TEST(StackMachineTest, FunctionalCompilerIsClosed) {
+  // SMul is outside the monolithic compiler's language.
+  Result<TProgram> T = compileStoT(*sMul(sInt(2), sInt(3)));
+  EXPECT_FALSE(bool(T));
+}
+
+TEST(StackMachineTest, RelationalCompilerProducesWitness) {
+  SExprPtr S7 = sAdd(sInt(3), sInt(4));
+  Result<CompiledS> R = compileRelational(SRuleSet::base(), S7);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->Program, (TProgram{TOp::push(3), TOp::push(4), TOp::popAdd()}));
+  EXPECT_EQ(R->Proof->size(), 3u);
+  EXPECT_TRUE(bool(checkDerivation(*R->Proof)));
+  EXPECT_TRUE(bool(checkEquivalence(R->Program, *S7)));
+}
+
+TEST(StackMachineTest, UnsolvedGoalNamesTheMissingLemma) {
+  Result<CompiledS> R =
+      compileRelational(SRuleSet::base(), sMul(sInt(2), sInt(3)));
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().str().find("unsolved goal"), std::string::npos);
+  EXPECT_NE(R.error().str().find("(2 * 3)"), std::string::npos);
+}
+
+TEST(StackMachineTest, ExtensionRuleEnablesMul) {
+  SRuleSet RS = SRuleSet::base();
+  RS.add(makeMulRule());
+  SExprPtr E = sMul(sAdd(sInt(2), sInt(3)), sInt(7));
+  Result<CompiledS> R = compileRelational(RS, E);
+  ASSERT_TRUE(bool(R));
+  EXPECT_TRUE(bool(checkDerivation(*R->Proof)));
+  EXPECT_TRUE(bool(checkEquivalence(R->Program, *E)));
+}
+
+TEST(StackMachineTest, FrontRegisteredRuleShadowsGenericOnes) {
+  SRuleSet RS = SRuleSet::base();
+  RS.add(makeMulRule());
+  RS.addFront(makeConstFoldRule());
+  SExprPtr E = sMul(sAdd(sInt(2), sInt(3)), sInt(7));
+  Result<CompiledS> R = compileRelational(RS, E);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->Program, (TProgram{TOp::push(35)}));
+  EXPECT_TRUE(bool(checkDerivation(*R->Proof)));
+}
+
+TEST(StackMachineTest, TamperedDerivationIsRejected) {
+  SExprPtr S7 = sAdd(sInt(3), sInt(4));
+  Result<CompiledS> R = compileRelational(SRuleSet::base(), S7);
+  ASSERT_TRUE(bool(R));
+
+  // Wrong emitted program.
+  {
+    auto Tampered = std::make_unique<Derivation>();
+    Tampered->RuleName = R->Proof->RuleName;
+    Tampered->Goal = R->Proof->Goal;
+    Tampered->Source = R->Proof->Source;
+    Tampered->Emitted = {TOp::push(8)};
+    for (auto &C : R->Proof->Children) {
+      auto Copy = std::make_unique<Derivation>();
+      Copy->RuleName = C->RuleName;
+      Copy->Source = C->Source;
+      Copy->Emitted = C->Emitted;
+      Tampered->Children.push_back(std::move(Copy));
+    }
+    EXPECT_FALSE(bool(checkDerivation(*Tampered)));
+  }
+  // Unknown rule name.
+  {
+    R->Proof->RuleName = "Made_Up_Rule";
+    EXPECT_FALSE(bool(checkDerivation(*R->Proof)));
+  }
+}
+
+TEST(StackMachineTest, ConstFoldSideConditionIsRechecked) {
+  // A const-fold node whose pushed value is wrong must be rejected.
+  SExprPtr E = sAdd(sInt(1), sInt(2));
+  auto D = std::make_unique<Derivation>();
+  D->RuleName = "Ext_RConstFold";
+  D->Source = E;
+  D->Emitted = {TOp::push(4)}; // Should be 3.
+  EXPECT_FALSE(bool(checkDerivation(*D)));
+  D->Emitted = {TOp::push(3)};
+  EXPECT_TRUE(bool(checkDerivation(*D)));
+}
+
+/// Property sweep: relational compilation agrees with the semantics on
+/// random expression trees, and all witnesses replay.
+class StackMachineProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StackMachineProperty, RandomTreesCompileCorrectly) {
+  Rng R(GetParam() * 7919 + 1);
+  SRuleSet RS = SRuleSet::base();
+  RS.add(makeMulRule());
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    SExprPtr E = randomExpr(R, 5, /*BaseOnly=*/false);
+    Result<CompiledS> C = compileRelational(RS, E);
+    ASSERT_TRUE(bool(C)) << E->str();
+    ASSERT_TRUE(bool(checkDerivation(*C->Proof))) << E->str();
+    ASSERT_TRUE(bool(checkEquivalence(C->Program, *E))) << E->str();
+    // And the functional compiler agrees on the Add-only fragment.
+    SExprPtr Base = randomExpr(R, 4, /*BaseOnly=*/true);
+    Result<TProgram> F = compileStoT(*Base);
+    Result<CompiledS> Rel = compileRelational(RS, Base);
+    ASSERT_TRUE(bool(F) && bool(Rel));
+    EXPECT_EQ(*F, Rel->Program) << Base->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackMachineProperty,
+                         ::testing::Range(0u, 8u));
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/support/CastingTest.cpp ---------------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace relc;
+
+namespace {
+
+struct Shape {
+  enum class Kind { Circle, Square };
+  explicit Shape(Kind K) : TheKind(K) {}
+  virtual ~Shape() = default;
+  Kind kind() const { return TheKind; }
+
+private:
+  Kind TheKind;
+};
+
+struct Circle : Shape {
+  Circle() : Shape(Kind::Circle) {}
+  static bool classof(const Shape *S) { return S->kind() == Kind::Circle; }
+  int Radius = 3;
+};
+
+struct Square : Shape {
+  Square() : Shape(Kind::Square) {}
+  static bool classof(const Shape *S) { return S->kind() == Kind::Square; }
+};
+
+TEST(CastingTest, IsaDiscriminates) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_FALSE(isa<Square>(S));
+}
+
+TEST(CastingTest, CastPreservesIdentityAndMembers) {
+  Circle C;
+  Shape *S = &C;
+  Circle *Back = cast<Circle>(S);
+  EXPECT_EQ(Back, &C);
+  EXPECT_EQ(Back->Radius, 3);
+}
+
+TEST(CastingTest, DynCastReturnsNullOnMismatch) {
+  Square Sq;
+  Shape *S = &Sq;
+  EXPECT_EQ(dyn_cast<Circle>(S), nullptr);
+  EXPECT_NE(dyn_cast<Square>(S), nullptr);
+}
+
+TEST(CastingTest, ConstVariantsWork) {
+  const Circle C;
+  const Shape *S = &C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_EQ(cast<Circle>(S), &C);
+  EXPECT_EQ(dyn_cast<Square>(S), nullptr);
+}
+
+TEST(CastingTest, DynCastOrNullToleratesNull) {
+  Shape *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<Circle>(Null), nullptr);
+  Circle C;
+  Shape *S = &C;
+  EXPECT_NE(dyn_cast_or_null<Circle>(S), nullptr);
+}
+
+} // namespace

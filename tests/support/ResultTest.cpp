@@ -1,0 +1,72 @@
+//===- tests/support/ResultTest.cpp ----------------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Result.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+Result<int> parsePositive(int X) {
+  if (X <= 0)
+    return Error("not positive: " + std::to_string(X));
+  return X;
+}
+
+TEST(ResultTest, SuccessHoldsValue) {
+  Result<int> R = parsePositive(42);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(*R, 42);
+  EXPECT_EQ(R.take(), 42);
+}
+
+TEST(ResultTest, FailureHoldsError) {
+  Result<int> R = parsePositive(-1);
+  ASSERT_FALSE(bool(R));
+  EXPECT_EQ(R.error().message(), "not positive: -1");
+}
+
+TEST(ResultTest, NotesAccumulateInnermostFirst) {
+  Error E("root cause");
+  E.note("inner context").note("outer context");
+  std::string S = E.str();
+  EXPECT_NE(S.find("root cause"), std::string::npos);
+  size_t Inner = S.find("inner context");
+  size_t Outer = S.find("outer context");
+  ASSERT_NE(Inner, std::string::npos);
+  ASSERT_NE(Outer, std::string::npos);
+  EXPECT_LT(Inner, Outer);
+}
+
+TEST(ResultTest, TakeErrorPropagatesWithNote) {
+  Result<int> Inner = parsePositive(0);
+  ASSERT_FALSE(bool(Inner));
+  Result<std::string> Outer = [&]() -> Result<std::string> {
+    return Inner.takeError().note("while formatting");
+  }();
+  ASSERT_FALSE(bool(Outer));
+  EXPECT_NE(Outer.error().str().find("while formatting"), std::string::npos);
+}
+
+TEST(ResultTest, StatusDefaultsToSuccess) {
+  Status S;
+  EXPECT_TRUE(bool(S));
+  Status F = Error("boom");
+  EXPECT_FALSE(bool(F));
+  EXPECT_EQ(F.error().message(), "boom");
+}
+
+TEST(ResultTest, MoveOnlyValuesWork) {
+  Result<std::unique_ptr<int>> R = std::make_unique<int>(7);
+  ASSERT_TRUE(bool(R));
+  std::unique_ptr<int> P = R.take();
+  EXPECT_EQ(*P, 7);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+//===- tests/support/RngTest.cpp -------------------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace relc;
+
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  unsigned Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4u);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    uint64_t V = R.range(5, 8);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 8u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u); // All four values show up.
+}
+
+TEST(RngTest, BytesHaveRequestedLengthAndSpread) {
+  Rng R(11);
+  std::vector<uint8_t> B = R.bytes(4096);
+  ASSERT_EQ(B.size(), 4096u);
+  std::set<uint8_t> Distinct(B.begin(), B.end());
+  EXPECT_GT(Distinct.size(), 200u); // Crude uniformity check.
+}
+
+TEST(RngTest, BytesFromAlphabet) {
+  Rng R(13);
+  std::vector<uint8_t> Alphabet = {'A', 'C', 'G', 'T'};
+  for (uint8_t B : R.bytesFrom(256, Alphabet))
+    EXPECT_TRUE(B == 'A' || B == 'C' || B == 'G' || B == 'T');
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- tests/support/StringExtrasTest.cpp ----------------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+TEST(StringExtrasTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringExtrasTest, HexStr) {
+  EXPECT_EQ(hexStr(0), "0x0");
+  EXPECT_EQ(hexStr(255), "0xff");
+  EXPECT_EQ(hexStr(0xdeadbeefull), "0xdeadbeef");
+  EXPECT_EQ(hexStr(~0ull), "0xffffffffffffffff");
+}
+
+TEST(StringExtrasTest, HexByte) {
+  EXPECT_EQ(hexByte(0x00), "00");
+  EXPECT_EQ(hexByte(0x0a), "0a");
+  EXPECT_EQ(hexByte(0xf3), "f3");
+}
+
+TEST(StringExtrasTest, ValidCIdentifier) {
+  EXPECT_TRUE(isValidCIdentifier("foo"));
+  EXPECT_TRUE(isValidCIdentifier("_bar9"));
+  EXPECT_FALSE(isValidCIdentifier(""));
+  EXPECT_FALSE(isValidCIdentifier("9lives"));
+  EXPECT_FALSE(isValidCIdentifier("has space"));
+  EXPECT_FALSE(isValidCIdentifier("while")); // Keyword.
+}
+
+TEST(StringExtrasTest, SanitizeProducesValidIdentifiers) {
+  for (const char *Bad : {"a$b", "9x", "while", "odd name", "a-b"}) {
+    std::string S = sanitizeCIdentifier(Bad);
+    EXPECT_TRUE(isValidCIdentifier(S)) << Bad << " -> " << S;
+  }
+  // Already-valid names pass through unchanged.
+  EXPECT_EQ(sanitizeCIdentifier("fine_name"), "fine_name");
+}
+
+TEST(StringExtrasTest, ReplaceAll) {
+  EXPECT_EQ(replaceAll("a$b$c", "$", "_"), "a_b_c");
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba"); // Non-overlapping scan.
+  EXPECT_EQ(replaceAll("x", "", "y"), "x");      // Empty pattern: no-op.
+}
+
+TEST(StringExtrasTest, IndentLines) {
+  EXPECT_EQ(indentLines("a\nb\n", 2), "  a\n  b\n");
+  EXPECT_EQ(indentLines("a", 4), "    a");
+  // Blank lines stay blank (no trailing spaces).
+  EXPECT_EQ(indentLines("a\n\nb", 2), "  a\n\n  b");
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- tests/validate/FailureInjectionTest.cpp - Tampered artifacts --------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The trust story of DESIGN.md §4.4 rests on the validator rejecting
+// anything that is not exactly what the compiler proved. These tests
+// inject faults into each artifact — the target code, the derivation
+// witness, and the linked module — and demand rejection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+#include "validate/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::ir;
+using namespace relc::bedrock;
+
+namespace {
+
+struct Compiled {
+  programs::ProgramDef P;
+  core::CompileResult R;
+
+  explicit Compiled(const char *Name) : P(*programs::findProgram(Name)) {
+    core::Compiler C;
+    Result<core::CompileResult> Res = C.compileFn(P.Model, P.Spec, P.Hints);
+    EXPECT_TRUE(bool(Res)) << (Res ? "" : Res.error().str());
+    R = Res.take();
+  }
+
+  Status certifyWith(const Function &Fn) const {
+    bedrock::Module M;
+    M.Functions.push_back(Fn);
+    return validate::differentialCertify(P.Model, P.Spec, R, M, P.VOpts);
+  }
+};
+
+TEST(FailureInjectionTest, EmptyBodyRejected) {
+  Compiled C("upstr");
+  Function Broken = C.R.Fn;
+  Broken.Body = skip(); // Does nothing: in-place contents will differ.
+  Status S = C.certifyWith(Broken);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("mismatch"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, SubtlyWrongLoopBodyRejected) {
+  // A plausible-but-wrong upstr: masks *every* byte with 0x5f instead of
+  // only lowercase letters — correct on letters, wrong on digits and
+  // punctuation. The differential vectors catch it.
+  Compiled C("upstr");
+  Function Broken = C.R.Fn;
+  Broken.Body = seqAll(
+      {set("i", lit(0)),
+       whileLoop(bin(BinOp::LtU, var("i"), var("len")),
+                 seqAll({store(AccessSize::Byte, add(var("s"), var("i")),
+                               bin(BinOp::And,
+                                   load(AccessSize::Byte,
+                                        add(var("s"), var("i"))),
+                                   lit(0x5f))),
+                         set("i", add(var("i"), lit(1)))}))});
+  Status S = C.certifyWith(Broken);
+  EXPECT_FALSE(bool(S));
+}
+
+TEST(FailureInjectionTest, WrongScalarResultRejected) {
+  Compiled C("fnv1a");
+  Function Broken = C.R.Fn;
+  Broken.Body = seq(Broken.Body, set("h", lit(0))); // Clobber the result.
+  EXPECT_FALSE(bool(C.certifyWith(Broken)));
+}
+
+TEST(FailureInjectionTest, FrameViolationRejected) {
+  // A function that writes one byte past its buffer: the memory model
+  // faults the wild store before the frame even gets compared.
+  Compiled C("upstr");
+  Function Broken = C.R.Fn;
+  Broken.Body =
+      seq(Broken.Body,
+          store(AccessSize::Byte, add(var("s"), var("len")), lit(7)));
+  Status S = C.certifyWith(Broken);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("out of bounds"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, ReadOnlyArgumentMutationRejected) {
+  // fnv1a's array is read-only per its spec; a sneaky store must fail.
+  Compiled C("fnv1a");
+  Function Broken = C.R.Fn;
+  ProgBuilder B;
+  Broken.Body = seq(
+      ifThenElse(bin(BinOp::LtU, lit(0), var("len")),
+                 store(AccessSize::Byte, var("s"), lit(0)), skip()),
+      Broken.Body);
+  Status S = C.certifyWith(Broken);
+  ASSERT_FALSE(bool(S));
+  // Either the hash differs or the read-only check fires; both reject.
+}
+
+TEST(FailureInjectionTest, SpuriousTraceEventRejected) {
+  Compiled C("m3s");
+  Function Broken = C.R.Fn;
+  Broken.Body = seq(interact({}, "write", {lit(1)}), Broken.Body);
+  Status S = C.certifyWith(Broken);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("trace"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, LeakedAllocationRejected) {
+  // A stackalloc whose body never ends (we fake a leak by allocating in
+  // the interpreter setup is not possible from outside; instead check the
+  // well-formedness gate: a call to an unknown function).
+  Compiled C("m3s");
+  Function Broken = C.R.Fn;
+  Broken.Body = seq(Broken.Body, call({}, "missing_fn", {}));
+  Status S = C.certifyWith(Broken);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("missing_fn"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, UnknownRuleInWitnessRejected) {
+  Compiled C("upstr");
+  C.R.Proof->Children[0]->Rule = "compile_backdoor";
+  Status S = validate::replayDerivation(C.P.Model, C.R);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("compile_backdoor"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, DroppedSideConditionRejected) {
+  // Remove every recorded bounds side condition: the replay count check
+  // catches the mismatch with the source's memory accesses.
+  Compiled C("crc32");
+  std::function<void(core::DerivNode &)> Strip =
+      [&](core::DerivNode &N) {
+        N.SideConds.clear();
+        for (auto &Ch : N.Children)
+          Strip(*Ch);
+      };
+  Strip(*C.R.Proof);
+  Status S = validate::replayDerivation(C.P.Model, C.R);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("side conditions"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, DroppedInvariantTemplateRejected) {
+  Compiled C("upstr");
+  std::function<void(core::DerivNode &)> Strip =
+      [&](core::DerivNode &N) {
+        if (N.Rule == "compile_map_inplace")
+          N.Notes.clear();
+        for (auto &Ch : N.Children)
+          Strip(*Ch);
+      };
+  Strip(*C.R.Proof);
+  Status S = validate::replayDerivation(C.P.Model, C.R);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("invariant"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, WrongMonadNoteRejected) {
+  Compiled C("m3s");
+  for (std::string &N : C.R.Proof->Notes)
+    if (N.rfind("monad:", 0) == 0)
+      N = "monad: io";
+  Status S = validate::replayDerivation(C.P.Model, C.R);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("monad"), std::string::npos);
+}
+
+} // namespace
