@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box1_extraction_gap.dir/box1_extraction_gap.cpp.o"
+  "CMakeFiles/box1_extraction_gap.dir/box1_extraction_gap.cpp.o.d"
+  "box1_extraction_gap"
+  "box1_extraction_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box1_extraction_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

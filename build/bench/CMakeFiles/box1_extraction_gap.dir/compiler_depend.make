@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for box1_extraction_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "../generated/crc32.c"
+  "../generated/fasta.c"
+  "../generated/fnv1a.c"
+  "../generated/ip.c"
+  "../generated/m3s.c"
+  "../generated/relc_generated.h"
+  "../generated/upstr.c"
+  "../generated/utf8.c"
+  "CMakeFiles/relc_generate_c"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/relc_generate_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

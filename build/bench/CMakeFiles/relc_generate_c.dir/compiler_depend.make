@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for relc_generate_c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "../generated/crc32.c"
+  "../generated/fasta.c"
+  "../generated/fnv1a.c"
+  "../generated/ip.c"
+  "../generated/m3s.c"
+  "../generated/relc_generated.h"
+  "../generated/upstr.c"
+  "../generated/utf8.c"
+  "../lib/librelc_generated.a"
+  "../lib/librelc_generated.pdb"
+  "CMakeFiles/relc_generated.dir/__/generated/crc32.c.o"
+  "CMakeFiles/relc_generated.dir/__/generated/crc32.c.o.d"
+  "CMakeFiles/relc_generated.dir/__/generated/fasta.c.o"
+  "CMakeFiles/relc_generated.dir/__/generated/fasta.c.o.d"
+  "CMakeFiles/relc_generated.dir/__/generated/fnv1a.c.o"
+  "CMakeFiles/relc_generated.dir/__/generated/fnv1a.c.o.d"
+  "CMakeFiles/relc_generated.dir/__/generated/ip.c.o"
+  "CMakeFiles/relc_generated.dir/__/generated/ip.c.o.d"
+  "CMakeFiles/relc_generated.dir/__/generated/m3s.c.o"
+  "CMakeFiles/relc_generated.dir/__/generated/m3s.c.o.d"
+  "CMakeFiles/relc_generated.dir/__/generated/upstr.c.o"
+  "CMakeFiles/relc_generated.dir/__/generated/upstr.c.o.d"
+  "CMakeFiles/relc_generated.dir/__/generated/utf8.c.o"
+  "CMakeFiles/relc_generated.dir/__/generated/utf8.c.o.d"
+  "CMakeFiles/relc_generated.dir/ref/ext_hooks.c.o"
+  "CMakeFiles/relc_generated.dir/ref/ext_hooks.c.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/relc_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relc_generated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/librelc_refimpls.a"
+  "../lib/librelc_refimpls.pdb"
+  "CMakeFiles/relc_refimpls.dir/ref/ref_impls.c.o"
+  "CMakeFiles/relc_refimpls.dir/ref/ref_impls.c.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/relc_refimpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

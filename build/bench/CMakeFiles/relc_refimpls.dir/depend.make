@@ -1,0 +1,2 @@
+# Empty dependencies file for relc_refimpls.
+# This may be replaced when dependencies are built.

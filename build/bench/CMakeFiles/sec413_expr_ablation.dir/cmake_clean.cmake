@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec413_expr_ablation.dir/sec413_expr_ablation.cpp.o"
+  "CMakeFiles/sec413_expr_ablation.dir/sec413_expr_ablation.cpp.o.d"
+  "sec413_expr_ablation"
+  "sec413_expr_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec413_expr_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

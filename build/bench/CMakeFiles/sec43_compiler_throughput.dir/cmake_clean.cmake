@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_compiler_throughput.dir/sec43_compiler_throughput.cpp.o"
+  "CMakeFiles/sec43_compiler_throughput.dir/sec43_compiler_throughput.cpp.o.d"
+  "sec43_compiler_throughput"
+  "sec43_compiler_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_compiler_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_suite.cpp" "bench/CMakeFiles/table2_suite.dir/table2_suite.cpp.o" "gcc" "bench/CMakeFiles/table2_suite.dir/table2_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/programs/CMakeFiles/relc_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/relc_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/relc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sep/CMakeFiles/relc_sep.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/relc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/relc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgen/CMakeFiles/relc_cgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bedrock/CMakeFiles/relc_bedrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effects_tour.dir/effects_tour.cpp.o"
+  "CMakeFiles/effects_tour.dir/effects_tour.cpp.o.d"
+  "effects_tour"
+  "effects_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effects_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_writer.dir/extension_writer.cpp.o"
+  "CMakeFiles/extension_writer.dir/extension_writer.cpp.o.d"
+  "extension_writer"
+  "extension_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

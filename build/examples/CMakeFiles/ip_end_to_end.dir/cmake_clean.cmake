@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_end_to_end.dir/ip_end_to_end.cpp.o"
+  "CMakeFiles/ip_end_to_end.dir/ip_end_to_end.cpp.o.d"
+  "ip_end_to_end"
+  "ip_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

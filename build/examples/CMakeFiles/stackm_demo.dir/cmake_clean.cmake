@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackm_demo.dir/stackm_demo.cpp.o"
+  "CMakeFiles/stackm_demo.dir/stackm_demo.cpp.o.d"
+  "stackm_demo"
+  "stackm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("stackm")
+subdirs("ir")
+subdirs("bedrock")
+subdirs("sep")
+subdirs("solver")
+subdirs("core")
+subdirs("reflect")
+subdirs("cgen")
+subdirs("validate")
+subdirs("extraction")
+subdirs("programs")

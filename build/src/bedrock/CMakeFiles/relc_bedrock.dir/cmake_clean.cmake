@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_bedrock.dir/Ast.cpp.o"
+  "CMakeFiles/relc_bedrock.dir/Ast.cpp.o.d"
+  "CMakeFiles/relc_bedrock.dir/Interp.cpp.o"
+  "CMakeFiles/relc_bedrock.dir/Interp.cpp.o.d"
+  "librelc_bedrock.a"
+  "librelc_bedrock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_bedrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_cgen.dir/CEmit.cpp.o"
+  "CMakeFiles/relc_cgen.dir/CEmit.cpp.o.d"
+  "librelc_cgen.a"
+  "librelc_cgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_cgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Compiler.cpp" "src/core/CMakeFiles/relc_core.dir/Compiler.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/Compiler.cpp.o.d"
+  "/root/repo/src/core/ExprCompile.cpp" "src/core/CMakeFiles/relc_core.dir/ExprCompile.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/ExprCompile.cpp.o.d"
+  "/root/repo/src/core/Invariant.cpp" "src/core/CMakeFiles/relc_core.dir/Invariant.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/Invariant.cpp.o.d"
+  "/root/repo/src/core/rules/ArrayRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/ArrayRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/ArrayRules.cpp.o.d"
+  "/root/repo/src/core/rules/BaseRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/BaseRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/BaseRules.cpp.o.d"
+  "/root/repo/src/core/rules/CellRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/CellRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/CellRules.cpp.o.d"
+  "/root/repo/src/core/rules/CondRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/CondRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/CondRules.cpp.o.d"
+  "/root/repo/src/core/rules/CopyRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/CopyRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/CopyRules.cpp.o.d"
+  "/root/repo/src/core/rules/LoopRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/LoopRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/LoopRules.cpp.o.d"
+  "/root/repo/src/core/rules/MonadRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/MonadRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/MonadRules.cpp.o.d"
+  "/root/repo/src/core/rules/Register.cpp" "src/core/CMakeFiles/relc_core.dir/rules/Register.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/Register.cpp.o.d"
+  "/root/repo/src/core/rules/RulesCommon.cpp" "src/core/CMakeFiles/relc_core.dir/rules/RulesCommon.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/RulesCommon.cpp.o.d"
+  "/root/repo/src/core/rules/StackRules.cpp" "src/core/CMakeFiles/relc_core.dir/rules/StackRules.cpp.o" "gcc" "src/core/CMakeFiles/relc_core.dir/rules/StackRules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/relc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bedrock/CMakeFiles/relc_bedrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sep/CMakeFiles/relc_sep.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/relc_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_core.dir/Compiler.cpp.o"
+  "CMakeFiles/relc_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/relc_core.dir/ExprCompile.cpp.o"
+  "CMakeFiles/relc_core.dir/ExprCompile.cpp.o.d"
+  "CMakeFiles/relc_core.dir/Invariant.cpp.o"
+  "CMakeFiles/relc_core.dir/Invariant.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/ArrayRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/ArrayRules.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/BaseRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/BaseRules.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/CellRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/CellRules.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/CondRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/CondRules.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/CopyRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/CopyRules.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/LoopRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/LoopRules.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/MonadRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/MonadRules.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/Register.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/Register.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/RulesCommon.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/RulesCommon.cpp.o.d"
+  "CMakeFiles/relc_core.dir/rules/StackRules.cpp.o"
+  "CMakeFiles/relc_core.dir/rules/StackRules.cpp.o.d"
+  "librelc_core.a"
+  "librelc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_extraction.dir/ExtractionRuntime.cpp.o"
+  "CMakeFiles/relc_extraction.dir/ExtractionRuntime.cpp.o.d"
+  "librelc_extraction.a"
+  "librelc_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

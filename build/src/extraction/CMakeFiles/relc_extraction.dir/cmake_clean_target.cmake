@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelc_extraction.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Build.cpp" "src/ir/CMakeFiles/relc_ir.dir/Build.cpp.o" "gcc" "src/ir/CMakeFiles/relc_ir.dir/Build.cpp.o.d"
+  "/root/repo/src/ir/Check.cpp" "src/ir/CMakeFiles/relc_ir.dir/Check.cpp.o" "gcc" "src/ir/CMakeFiles/relc_ir.dir/Check.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/relc_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/relc_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Interp.cpp" "src/ir/CMakeFiles/relc_ir.dir/Interp.cpp.o" "gcc" "src/ir/CMakeFiles/relc_ir.dir/Interp.cpp.o.d"
+  "/root/repo/src/ir/Prog.cpp" "src/ir/CMakeFiles/relc_ir.dir/Prog.cpp.o" "gcc" "src/ir/CMakeFiles/relc_ir.dir/Prog.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/ir/CMakeFiles/relc_ir.dir/Value.cpp.o" "gcc" "src/ir/CMakeFiles/relc_ir.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_ir.dir/Build.cpp.o"
+  "CMakeFiles/relc_ir.dir/Build.cpp.o.d"
+  "CMakeFiles/relc_ir.dir/Check.cpp.o"
+  "CMakeFiles/relc_ir.dir/Check.cpp.o.d"
+  "CMakeFiles/relc_ir.dir/Expr.cpp.o"
+  "CMakeFiles/relc_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/relc_ir.dir/Interp.cpp.o"
+  "CMakeFiles/relc_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/relc_ir.dir/Prog.cpp.o"
+  "CMakeFiles/relc_ir.dir/Prog.cpp.o.d"
+  "CMakeFiles/relc_ir.dir/Value.cpp.o"
+  "CMakeFiles/relc_ir.dir/Value.cpp.o.d"
+  "librelc_ir.a"
+  "librelc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/Crc32.cpp" "src/programs/CMakeFiles/relc_programs.dir/Crc32.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/Crc32.cpp.o.d"
+  "/root/repo/src/programs/Fasta.cpp" "src/programs/CMakeFiles/relc_programs.dir/Fasta.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/Fasta.cpp.o.d"
+  "/root/repo/src/programs/Fnv1a.cpp" "src/programs/CMakeFiles/relc_programs.dir/Fnv1a.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/Fnv1a.cpp.o.d"
+  "/root/repo/src/programs/IpChecksum.cpp" "src/programs/CMakeFiles/relc_programs.dir/IpChecksum.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/IpChecksum.cpp.o.d"
+  "/root/repo/src/programs/M3s.cpp" "src/programs/CMakeFiles/relc_programs.dir/M3s.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/M3s.cpp.o.d"
+  "/root/repo/src/programs/Programs.cpp" "src/programs/CMakeFiles/relc_programs.dir/Programs.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/Programs.cpp.o.d"
+  "/root/repo/src/programs/Upstr.cpp" "src/programs/CMakeFiles/relc_programs.dir/Upstr.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/Upstr.cpp.o.d"
+  "/root/repo/src/programs/Utf8.cpp" "src/programs/CMakeFiles/relc_programs.dir/Utf8.cpp.o" "gcc" "src/programs/CMakeFiles/relc_programs.dir/Utf8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/relc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/validate/CMakeFiles/relc_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgen/CMakeFiles/relc_cgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sep/CMakeFiles/relc_sep.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/relc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/relc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/bedrock/CMakeFiles/relc_bedrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_programs.dir/Crc32.cpp.o"
+  "CMakeFiles/relc_programs.dir/Crc32.cpp.o.d"
+  "CMakeFiles/relc_programs.dir/Fasta.cpp.o"
+  "CMakeFiles/relc_programs.dir/Fasta.cpp.o.d"
+  "CMakeFiles/relc_programs.dir/Fnv1a.cpp.o"
+  "CMakeFiles/relc_programs.dir/Fnv1a.cpp.o.d"
+  "CMakeFiles/relc_programs.dir/IpChecksum.cpp.o"
+  "CMakeFiles/relc_programs.dir/IpChecksum.cpp.o.d"
+  "CMakeFiles/relc_programs.dir/M3s.cpp.o"
+  "CMakeFiles/relc_programs.dir/M3s.cpp.o.d"
+  "CMakeFiles/relc_programs.dir/Programs.cpp.o"
+  "CMakeFiles/relc_programs.dir/Programs.cpp.o.d"
+  "CMakeFiles/relc_programs.dir/Upstr.cpp.o"
+  "CMakeFiles/relc_programs.dir/Upstr.cpp.o.d"
+  "CMakeFiles/relc_programs.dir/Utf8.cpp.o"
+  "CMakeFiles/relc_programs.dir/Utf8.cpp.o.d"
+  "librelc_programs.a"
+  "librelc_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_reflect.dir/ReflectExpr.cpp.o"
+  "CMakeFiles/relc_reflect.dir/ReflectExpr.cpp.o.d"
+  "librelc_reflect.a"
+  "librelc_reflect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_reflect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sep/Spec.cpp" "src/sep/CMakeFiles/relc_sep.dir/Spec.cpp.o" "gcc" "src/sep/CMakeFiles/relc_sep.dir/Spec.cpp.o.d"
+  "/root/repo/src/sep/State.cpp" "src/sep/CMakeFiles/relc_sep.dir/State.cpp.o" "gcc" "src/sep/CMakeFiles/relc_sep.dir/State.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/relc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/relc_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_sep.dir/Spec.cpp.o"
+  "CMakeFiles/relc_sep.dir/Spec.cpp.o.d"
+  "CMakeFiles/relc_sep.dir/State.cpp.o"
+  "CMakeFiles/relc_sep.dir/State.cpp.o.d"
+  "librelc_sep.a"
+  "librelc_sep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_sep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_solver.dir/Linear.cpp.o"
+  "CMakeFiles/relc_solver.dir/Linear.cpp.o.d"
+  "librelc_solver.a"
+  "librelc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_stackm.dir/StackMachine.cpp.o"
+  "CMakeFiles/relc_stackm.dir/StackMachine.cpp.o.d"
+  "librelc_stackm.a"
+  "librelc_stackm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_stackm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

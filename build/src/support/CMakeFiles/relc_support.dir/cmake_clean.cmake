@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_support.dir/SectionCount.cpp.o"
+  "CMakeFiles/relc_support.dir/SectionCount.cpp.o.d"
+  "CMakeFiles/relc_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/relc_support.dir/StringExtras.cpp.o.d"
+  "librelc_support.a"
+  "librelc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

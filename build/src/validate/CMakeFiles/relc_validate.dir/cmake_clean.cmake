@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc_validate.dir/Validate.cpp.o"
+  "CMakeFiles/relc_validate.dir/Validate.cpp.o.d"
+  "librelc_validate.a"
+  "librelc_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

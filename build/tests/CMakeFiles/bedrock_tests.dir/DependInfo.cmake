@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bedrock/InterpTest.cpp" "tests/CMakeFiles/bedrock_tests.dir/bedrock/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/bedrock_tests.dir/bedrock/InterpTest.cpp.o.d"
+  "/root/repo/tests/bedrock/MemoryTest.cpp" "tests/CMakeFiles/bedrock_tests.dir/bedrock/MemoryTest.cpp.o" "gcc" "tests/CMakeFiles/bedrock_tests.dir/bedrock/MemoryTest.cpp.o.d"
+  "/root/repo/tests/bedrock/VerifyTest.cpp" "tests/CMakeFiles/bedrock_tests.dir/bedrock/VerifyTest.cpp.o" "gcc" "tests/CMakeFiles/bedrock_tests.dir/bedrock/VerifyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bedrock/CMakeFiles/relc_bedrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

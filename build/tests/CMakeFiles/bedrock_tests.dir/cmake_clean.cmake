@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bedrock_tests.dir/bedrock/InterpTest.cpp.o"
+  "CMakeFiles/bedrock_tests.dir/bedrock/InterpTest.cpp.o.d"
+  "CMakeFiles/bedrock_tests.dir/bedrock/MemoryTest.cpp.o"
+  "CMakeFiles/bedrock_tests.dir/bedrock/MemoryTest.cpp.o.d"
+  "CMakeFiles/bedrock_tests.dir/bedrock/VerifyTest.cpp.o"
+  "CMakeFiles/bedrock_tests.dir/bedrock/VerifyTest.cpp.o.d"
+  "bedrock_tests"
+  "bedrock_tests.pdb"
+  "bedrock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bedrock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

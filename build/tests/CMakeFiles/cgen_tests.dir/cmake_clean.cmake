@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgen_tests.dir/cgen/CCompileIntegrationTest.cpp.o"
+  "CMakeFiles/cgen_tests.dir/cgen/CCompileIntegrationTest.cpp.o.d"
+  "CMakeFiles/cgen_tests.dir/cgen/CEmitTest.cpp.o"
+  "CMakeFiles/cgen_tests.dir/cgen/CEmitTest.cpp.o.d"
+  "cgen_tests"
+  "cgen_tests.pdb"
+  "cgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/CompilerTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/CompilerTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/CondStackTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/CondStackTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ExprCompileTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ExprCompileTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ExtensionsTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ExtensionsTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/LoopRulesTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/LoopRulesTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/RandomProgramTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/RandomProgramTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

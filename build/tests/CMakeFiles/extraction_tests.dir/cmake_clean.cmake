@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_tests.dir/extraction/ExtractionTest.cpp.o"
+  "CMakeFiles/extraction_tests.dir/extraction/ExtractionTest.cpp.o.d"
+  "extraction_tests"
+  "extraction_tests.pdb"
+  "extraction_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

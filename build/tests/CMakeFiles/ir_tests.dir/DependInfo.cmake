@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/CheckTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/CheckTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/CheckTest.cpp.o.d"
+  "/root/repo/tests/ir/ExprTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ExprTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ExprTest.cpp.o.d"
+  "/root/repo/tests/ir/InterpTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/InterpTest.cpp.o.d"
+  "/root/repo/tests/ir/ValueTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ValueTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/relc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

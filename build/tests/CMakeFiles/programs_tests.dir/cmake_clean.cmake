@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programs_tests.dir/programs/ModelLemmasTest.cpp.o"
+  "CMakeFiles/programs_tests.dir/programs/ModelLemmasTest.cpp.o.d"
+  "CMakeFiles/programs_tests.dir/programs/SuiteTest.cpp.o"
+  "CMakeFiles/programs_tests.dir/programs/SuiteTest.cpp.o.d"
+  "programs_tests"
+  "programs_tests.pdb"
+  "programs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

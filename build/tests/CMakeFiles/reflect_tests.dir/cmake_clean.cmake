@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflect_tests.dir/reflect/ReflectTest.cpp.o"
+  "CMakeFiles/reflect_tests.dir/reflect/ReflectTest.cpp.o.d"
+  "reflect_tests"
+  "reflect_tests.pdb"
+  "reflect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_tests.dir/sep/SpecTest.cpp.o"
+  "CMakeFiles/sep_tests.dir/sep/SpecTest.cpp.o.d"
+  "CMakeFiles/sep_tests.dir/sep/StateTest.cpp.o"
+  "CMakeFiles/sep_tests.dir/sep/StateTest.cpp.o.d"
+  "sep_tests"
+  "sep_tests.pdb"
+  "sep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

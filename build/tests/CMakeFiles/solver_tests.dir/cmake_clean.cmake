@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_tests.dir/solver/LinearTest.cpp.o"
+  "CMakeFiles/solver_tests.dir/solver/LinearTest.cpp.o.d"
+  "solver_tests"
+  "solver_tests.pdb"
+  "solver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackm_tests.dir/stackm/StackMachineTest.cpp.o"
+  "CMakeFiles/stackm_tests.dir/stackm/StackMachineTest.cpp.o.d"
+  "stackm_tests"
+  "stackm_tests.pdb"
+  "stackm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

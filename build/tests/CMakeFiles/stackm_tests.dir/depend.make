@@ -1,0 +1,2 @@
+# Empty dependencies file for stackm_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/CastingTest.cpp" "tests/CMakeFiles/support_tests.dir/support/CastingTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/CastingTest.cpp.o.d"
+  "/root/repo/tests/support/ResultTest.cpp" "tests/CMakeFiles/support_tests.dir/support/ResultTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/ResultTest.cpp.o.d"
+  "/root/repo/tests/support/RngTest.cpp" "tests/CMakeFiles/support_tests.dir/support/RngTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/RngTest.cpp.o.d"
+  "/root/repo/tests/support/SectionCountTest.cpp" "tests/CMakeFiles/support_tests.dir/support/SectionCountTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/SectionCountTest.cpp.o.d"
+  "/root/repo/tests/support/StringExtrasTest.cpp" "tests/CMakeFiles/support_tests.dir/support/StringExtrasTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/StringExtrasTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/relc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/CastingTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/CastingTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/ResultTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/ResultTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/RngTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/SectionCountTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/SectionCountTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/StringExtrasTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/StringExtrasTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

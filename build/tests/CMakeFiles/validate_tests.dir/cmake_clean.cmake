@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_tests.dir/validate/FailureInjectionTest.cpp.o"
+  "CMakeFiles/validate_tests.dir/validate/FailureInjectionTest.cpp.o.d"
+  "CMakeFiles/validate_tests.dir/validate/ValidateTest.cpp.o"
+  "CMakeFiles/validate_tests.dir/validate/ValidateTest.cpp.o.d"
+  "validate_tests"
+  "validate_tests.pdb"
+  "validate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

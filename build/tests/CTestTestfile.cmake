@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/stackm_tests[1]_include.cmake")
+include("/root/repo/build/tests/solver_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/bedrock_tests[1]_include.cmake")
+include("/root/repo/build/tests/sep_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/cgen_tests[1]_include.cmake")
+include("/root/repo/build/tests/validate_tests[1]_include.cmake")
+include("/root/repo/build/tests/programs_tests[1]_include.cmake")
+include("/root/repo/build/tests/reflect_tests[1]_include.cmake")
+include("/root/repo/build/tests/extraction_tests[1]_include.cmake")

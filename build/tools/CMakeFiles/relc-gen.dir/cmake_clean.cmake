@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relc-gen.dir/relc-gen.cpp.o"
+  "CMakeFiles/relc-gen.dir/relc-gen.cpp.o.d"
+  "relc-gen"
+  "relc-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relc-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
