@@ -1,0 +1,384 @@
+//===- analysis/Analysis.cpp - Static verifier for generated code ---------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <set>
+
+namespace relc {
+namespace analysis {
+
+using namespace bedrock;
+using solver::lc;
+
+const char *checkerName(Diagnostic::Checker C) {
+  switch (C) {
+  case Diagnostic::Checker::Uninit:
+    return "uninit";
+  case Diagnostic::Checker::Bounds:
+    return "bounds";
+  case Diagnostic::Checker::DeadStore:
+    return "dead-store";
+  case Diagnostic::Checker::Unreachable:
+    return "unreachable";
+  case Diagnostic::Checker::Convergence:
+    return "convergence";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = IsError ? "error" : "warning";
+  Out += " [" + std::string(checkerName(C)) + "] " + Fn;
+  if (!Path.empty())
+    Out += " at " + Path;
+  if (!Stmt.empty())
+    Out += ": " + Stmt;
+  Out += "\n  " + Message;
+  return Out;
+}
+
+bool AnalysisReport::hasErrors() const {
+  return std::any_of(Diags.begin(), Diags.end(),
+                     [](const Diagnostic &D) { return D.IsError; });
+}
+
+unsigned AnalysisReport::numErrors() const {
+  return unsigned(std::count_if(Diags.begin(), Diags.end(),
+                                [](const Diagnostic &D) { return D.IsError; }));
+}
+
+unsigned AnalysisReport::numWarnings() const {
+  return unsigned(Diags.size()) - numErrors();
+}
+
+std::string AnalysisReport::str() const {
+  std::string Out = "analysis of " + Fn + ": " + std::to_string(NumBlocks) +
+                    " blocks, " + std::to_string(NumStmts) + " statements, " +
+                    std::to_string(SymIterations) +
+                    " symbolic iterations\n";
+  for (const Diagnostic &D : Diags)
+    Out += D.str() + "\n";
+  Out += std::to_string(numErrors()) + " error(s), " +
+         std::to_string(numWarnings()) + " warning(s)\n";
+  return Out;
+}
+
+namespace {
+
+/// Prints one CFG statement on one line for diagnostics.
+std::string stmtStr(const CfgStmt &S) {
+  std::string Out;
+  switch (S.K) {
+  case CfgStmt::Kind::Simple:
+    Out = S.C->str(0);
+    break;
+  case CfgStmt::Kind::StackEnter:
+    Out = "stackalloc " + cast<Stackalloc>(S.C)->name();
+    break;
+  case CfgStmt::Kind::StackExit:
+    Out = "end of stackalloc " + cast<Stackalloc>(S.C)->name();
+    break;
+  }
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == ' '))
+    Out.pop_back();
+  return Out;
+}
+
+class Analyzer {
+public:
+  Analyzer(const Function &Fn, const AbiInfo &Abi)
+      : Fn(Fn), Abi(Abi), G(Cfg::build(Fn)) {}
+
+  AnalysisReport run() {
+    Report.Fn = Fn.Name;
+    Report.NumBlocks = unsigned(G.blocks().size());
+    Report.NumStmts = Fn.countStmts();
+
+    runInit();
+    runIntervalsAndSymbolic();
+    checkUninit();
+    checkBounds();
+    checkDeadStores();
+    checkUnreachable();
+    return std::move(Report);
+  }
+
+private:
+  const Function &Fn;
+  const AbiInfo &Abi;
+  Cfg G;
+  AnalysisReport Report;
+
+  DataflowResult<InitDomain> InitR;
+  DataflowResult<IntervalDomain> ItvR;
+  DataflowResult<SymbolicDomain> SymR;
+
+  void diag(Diagnostic::Checker C, const std::string &Path,
+            const std::string &Stmt, const std::string &Message,
+            bool IsError) {
+    Report.Diags.push_back({C, Fn.Name, Path, Stmt, Message, IsError});
+  }
+
+  bool reachable(unsigned Id) const {
+    return SymR.In[Id].has_value() && ItvR.In[Id].has_value();
+  }
+
+  void runInit() {
+    InitDomain D(Fn);
+    InitR = runForward(G, D);
+    if (!InitR.Converged)
+      diag(Diagnostic::Checker::Convergence, "", "",
+           "initialized-locals analysis did not converge", true);
+  }
+
+  void runIntervalsAndSymbolic() {
+    IntervalDomain Itv(G, Fn, Abi);
+    ItvR = runForward(G, Itv);
+    if (!ItvR.Converged)
+      diag(Diagnostic::Checker::Convergence, "", "",
+           "interval analysis did not converge", true);
+
+    SymbolicDomain Sym(G, Fn, Abi);
+    SymR = runForward(G, Sym);
+    Report.SymIterations = SymR.Iterations;
+    if (!SymR.Converged)
+      diag(Diagnostic::Checker::Convergence, "", "",
+           "symbolic analysis did not converge (abstract state kept "
+           "changing past the iteration cap)",
+           true);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Use of uninitialized locals.
+  //===--------------------------------------------------------------------===//
+
+  void checkUninit() {
+    if (!InitR.Converged)
+      return;
+    std::set<std::pair<std::string, std::string>> Seen; // (path, var)
+    auto CheckRead = [&](const std::string &Path, const std::string &Stmt,
+                         const std::set<std::string> &Defined,
+                         const std::string &V) {
+      if (Defined.count(V) || !Seen.insert({Path, V}).second)
+        return;
+      diag(Diagnostic::Checker::Uninit, Path, Stmt,
+           "local '" + V +
+               "' may be read before it is assigned on some path",
+           true);
+    };
+    for (unsigned Id : G.rpo()) {
+      if (!InitR.In[Id])
+        continue;
+      std::set<std::string> Defined = InitR.In[Id]->Defined;
+      const BasicBlock &B = G.block(Id);
+      for (const CfgStmt &S : B.Stmts) {
+        forEachReadVar(S, [&](const std::string &V) {
+          CheckRead(S.Path, stmtStr(S), Defined, V);
+        });
+        InitDomain::apply(S, Defined);
+      }
+      if (B.T == BasicBlock::Term::Branch)
+        forEachVar(*B.Cond, [&](const std::string &V) {
+          CheckRead(B.CondPath, B.Cond->str(), Defined, V);
+        });
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Load/store/table bounds against the ABI frame.
+  //===--------------------------------------------------------------------===//
+
+  void checkBounds() {
+    if (!SymR.Converged)
+      return;
+    SymbolicDomain Sym(G, Fn, Abi);
+    const CfgStmt *CurStmt = nullptr;
+    const BasicBlock *CurBlock = nullptr;
+
+    Sym.setSink([&](const SymbolicDomain::Access &Acc, SymState &St,
+                    solver::FactDb &Db) {
+      std::string Where =
+          CurStmt ? stmtStr(*CurStmt) : CurBlock->Cond->str();
+      auto Err = [&](const std::string &Msg) {
+        diag(Diagnostic::Checker::Bounds, Acc.Site, Where, Msg, true);
+      };
+
+      if (Acc.K == SymbolicDomain::Access::Kind::Table) {
+        if (!Acc.Table) {
+          Err("access to unknown inline table");
+          return;
+        }
+        if (Acc.Addr.K != AbsVal::Kind::Scalar) {
+          Err("table index is a pointer");
+          return;
+        }
+        Status S = Db.proveLt(Acc.Addr.T,
+                              lc(int64_t(Acc.Table->Elements.size())));
+        if (!S)
+          Err("cannot prove table index < " +
+              std::to_string(Acc.Table->Elements.size()) + " (table " +
+              Acc.Table->Name + "): " + S.error().str());
+        return;
+      }
+
+      const char *What =
+          Acc.K == SymbolicDomain::Access::Kind::Load ? "load" : "store";
+      if (Acc.Addr.K != AbsVal::Kind::Ptr) {
+        Err(std::string(What) +
+            " address does not provably point into any clause of the "
+            "ABI's separation-logic frame");
+        return;
+      }
+      const Region &R = Abi.Regions[size_t(Acc.Addr.Region)];
+      if (St.DeadRegions.count(Acc.Addr.Region)) {
+        Err(std::string(What) + " into expired stackalloc region '" +
+            R.Name + "' (its lexical lifetime has ended)");
+        return;
+      }
+      Status Lo = Db.proveLe(lc(0), Acc.Addr.T);
+      if (!Lo) {
+        Err("cannot prove " + std::string(What) +
+            " offset is nonnegative within {" + R.ClauseStr +
+            "}: " + Lo.error().str());
+        return;
+      }
+      Status Hi = Db.proveLe(Acc.Addr.T + lc(int64_t(Acc.Bytes)), R.Extent);
+      if (!Hi)
+        Err("cannot prove " + std::to_string(Acc.Bytes) + "-byte " + What +
+            " at offset " + Acc.Addr.T.str() + " stays within {" +
+            R.ClauseStr + "}: " + Hi.error().str());
+    });
+
+    for (unsigned Id : G.rpo()) {
+      if (!SymR.In[Id])
+        continue;
+      const BasicBlock &B = G.block(Id);
+      CurBlock = &B;
+      SymState S = *SymR.In[Id];
+      for (const CfgStmt &St : B.Stmts) {
+        CurStmt = &St;
+        Sym.transfer(G, B, St, S);
+      }
+      CurStmt = nullptr;
+      // Branch conditions can contain loads/table reads too; evaluating
+      // one edge visits every access in the condition.
+      if (B.T == BasicBlock::Term::Branch)
+        (void)Sym.edge(G, B, S, true);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Dead stores (backward liveness over locals).
+  //===--------------------------------------------------------------------===//
+
+  /// Live set just before leaving \p B backward through its statements;
+  /// returns the live-in set.
+  std::set<std::string> liveThrough(const BasicBlock &B,
+                                    std::set<std::string> Live) const {
+    if (B.T == BasicBlock::Term::Branch)
+      forEachVar(*B.Cond, [&](const std::string &V) { Live.insert(V); });
+    for (auto It = B.Stmts.rbegin(); It != B.Stmts.rend(); ++It) {
+      forEachDefVar(*It, [&](const std::string &V) { Live.erase(V); });
+      forEachKillVar(*It, [&](const std::string &V) { Live.erase(V); });
+      forEachReadVar(*It, [&](const std::string &V) { Live.insert(V); });
+    }
+    return Live;
+  }
+
+  void checkDeadStores() {
+    const size_t N = G.blocks().size();
+    std::vector<std::set<std::string>> LiveOut(N);
+    for (const BasicBlock &B : G.blocks())
+      if (B.T == BasicBlock::Term::Exit)
+        LiveOut[B.Id].insert(Fn.Rets.begin(), Fn.Rets.end());
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (auto It = G.rpo().rbegin(); It != G.rpo().rend(); ++It) {
+        const BasicBlock &B = G.block(*It);
+        std::set<std::string> LiveIn = liveThrough(B, LiveOut[B.Id]);
+        for (unsigned P : B.Preds)
+          for (const std::string &V : LiveIn)
+            Changed |= LiveOut[P].insert(V).second;
+      }
+    }
+
+    for (unsigned Id : G.rpo()) {
+      if (!reachable(Id)) // Unreachable code gets its own diagnostic.
+        continue;
+      const BasicBlock &B = G.block(Id);
+      std::set<std::string> Live = LiveOut[Id];
+      if (B.T == BasicBlock::Term::Branch)
+        forEachVar(*B.Cond, [&](const std::string &V) { Live.insert(V); });
+      // Walk backward, flagging Sets whose target is not live afterwards.
+      for (auto It = B.Stmts.rbegin(); It != B.Stmts.rend(); ++It) {
+        if (It->K == CfgStmt::Kind::Simple)
+          if (const auto *C = dyn_cast<Set>(It->C))
+            if (!Live.count(C->name()))
+              diag(Diagnostic::Checker::DeadStore, It->Path, stmtStr(*It),
+                   "value assigned to '" + C->name() +
+                       "' is never read (dead store)",
+                   false);
+        forEachDefVar(*It, [&](const std::string &V) { Live.erase(V); });
+        forEachKillVar(*It, [&](const std::string &V) { Live.erase(V); });
+        forEachReadVar(*It, [&](const std::string &V) { Live.insert(V); });
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Unreachable code.
+  //===--------------------------------------------------------------------===//
+
+  void checkUnreachable() {
+    if (!SymR.Converged || !ItvR.Converged)
+      return;
+    for (const BasicBlock &B : G.blocks()) {
+      if (reachable(B.Id))
+        continue;
+      const CfgStmt *First = nullptr;
+      for (const CfgStmt &S : B.Stmts)
+        if (S.K != CfgStmt::Kind::StackExit) {
+          First = &S;
+          break;
+        }
+      if (!First)
+        continue; // Join/exit scaffolding only.
+      // Report only the frontier: blocks with a reachable predecessor.
+      // Deeper blocks are implied by the frontier diagnostic.
+      bool Frontier = false;
+      for (unsigned P : B.Preds)
+        Frontier |= reachable(P);
+      if (!Frontier)
+        continue;
+      diag(Diagnostic::Checker::Unreachable, First->Path, stmtStr(*First),
+           "no feasible path reaches this statement (the branch condition "
+           "is statically decided)",
+           false);
+    }
+  }
+};
+
+} // namespace
+
+AnalysisReport analyzeFunction(const Function &Fn, const AbiInfo &Abi) {
+  return Analyzer(Fn, Abi).run();
+}
+
+AnalysisReport analyzeProgram(const Function &Fn, const sep::FnSpec &Spec,
+                              const ir::SourceFn &Src,
+                              const EntryFactList &Hints) {
+  return analyzeFunction(Fn, makeAbiInfo(Fn, Spec, Src, Hints));
+}
+
+} // namespace analysis
+} // namespace relc

@@ -1,0 +1,83 @@
+//===- analysis/Analysis.h - Static verifier for generated code -*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The analyzer entry points: run the dataflow domains over a compiled
+// Bedrock2 function and report defects. Four checkers:
+//
+//   - Uninit: a local may be read before every path to the read defines it.
+//   - Bounds: a load/store/table access whose offset is not *provably*
+//     within the separation-logic clause (region) it addresses, judged by
+//     the same linear solver the compiler uses for side conditions. This
+//     is the static analogue of the requires clause: any access the
+//     analyzer cannot justify against the ABI frame is an error even if
+//     every sampled differential-test vector happens to stay in bounds.
+//   - DeadStore: a Set whose value can never be observed (warning).
+//   - Unreachable: statements no feasible path reaches (warning).
+//
+// Uninit and Bounds findings (and analysis non-convergence) are errors —
+// the certification pipeline fails on them; DeadStore and Unreachable are
+// warnings surfaced in reports and by relc-lint.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_ANALYSIS_ANALYSIS_H
+#define RELC_ANALYSIS_ANALYSIS_H
+
+#include "analysis/Domains.h"
+
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace analysis {
+
+struct Diagnostic {
+  enum class Checker { Uninit, Bounds, DeadStore, Unreachable, Convergence };
+
+  Checker C = Checker::Uninit;
+  std::string Fn;      ///< Function name.
+  std::string Path;    ///< Statement path ("body.1.then.0").
+  std::string Stmt;    ///< Offending statement / expression, printed.
+  std::string Message; ///< What is wrong and why.
+  bool IsError = true; ///< Errors fail certification; warnings do not.
+
+  std::string str() const;
+};
+
+const char *checkerName(Diagnostic::Checker C);
+
+struct AnalysisReport {
+  std::string Fn;
+  std::vector<Diagnostic> Diags;
+
+  unsigned NumBlocks = 0;
+  unsigned NumStmts = 0;
+  unsigned SymIterations = 0; ///< Symbolic-domain fixpoint iterations.
+
+  bool hasErrors() const;
+  unsigned numErrors() const;
+  unsigned numWarnings() const;
+
+  /// Full human-readable report (one line per diagnostic plus a summary).
+  std::string str() const;
+};
+
+/// Runs all domains and checkers on \p Fn against its ABI digest.
+AnalysisReport analyzeFunction(const bedrock::Function &Fn,
+                               const AbiInfo &Abi);
+
+/// Convenience wrapper: digest the ABI from the program's spec/model/hints
+/// (mirroring what the compiler assumed), then analyze.
+AnalysisReport analyzeProgram(const bedrock::Function &Fn,
+                              const sep::FnSpec &Spec,
+                              const ir::SourceFn &Src,
+                              const EntryFactList &Hints = {});
+
+} // namespace analysis
+} // namespace relc
+
+#endif // RELC_ANALYSIS_ANALYSIS_H

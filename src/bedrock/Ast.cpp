@@ -111,6 +111,27 @@ std::string Bin::str() const {
   return "(" + Lhs->str() + " " + binOpName(Op) + " " + Rhs->str() + ")";
 }
 
+void forEachVar(const Expr &E,
+                const std::function<void(const std::string &)> &Fn) {
+  switch (E.kind()) {
+  case Expr::Kind::Literal:
+    return;
+  case Expr::Kind::Var:
+    Fn(cast<Var>(&E)->name());
+    return;
+  case Expr::Kind::Load:
+    forEachVar(*cast<Load>(&E)->addr(), Fn);
+    return;
+  case Expr::Kind::TableGet:
+    forEachVar(*cast<TableGet>(&E)->index(), Fn);
+    return;
+  case Expr::Kind::Bin:
+    forEachVar(*cast<Bin>(&E)->lhs(), Fn);
+    forEachVar(*cast<Bin>(&E)->rhs(), Fn);
+    return;
+  }
+}
+
 ExprPtr lit(Word Value) { return std::make_shared<Literal>(Value); }
 ExprPtr var(std::string Name) { return std::make_shared<Var>(std::move(Name)); }
 ExprPtr load(AccessSize Size, ExprPtr Addr) {

@@ -23,6 +23,7 @@
 #include "support/Casting.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,9 @@ using Word = uint64_t;
 
 /// Memory access widths, in bytes.
 enum class AccessSize : uint8_t { Byte = 1, Two = 2, Four = 4, Eight = 8 };
+
+/// Byte count of an access.
+inline unsigned sizeBytes(AccessSize S) { return unsigned(S); }
 
 /// Binary operators on words. Comparison operators yield 0 or 1.
 enum class BinOp {
@@ -166,6 +170,11 @@ private:
   BinOp Op;
   ExprPtr Lhs, Rhs;
 };
+
+/// Calls \p Fn for every Var node in \p E (with repetition, in evaluation
+/// order). Used by the static analyzer's read-set computations.
+void forEachVar(const Expr &E,
+                const std::function<void(const std::string &)> &Fn);
 
 /// Convenience constructors.
 ExprPtr lit(Word Value);

@@ -75,7 +75,12 @@ std::string Value::str() const {
     std::vector<std::string> Parts;
     for (const Value &E : Elems)
       Parts.push_back(E.str());
-    return "(" + join(Parts, ", ") + ")";
+    // Built up with += (rather than a "(" + ... + ")" chain) to sidestep a
+    // GCC 12 -Wrestrict false positive on the temporary-reusing operator+.
+    std::string Out = "(";
+    Out += join(Parts, ", ");
+    Out += ")";
+    return Out;
   }
   }
   return "?";

@@ -43,8 +43,10 @@ Result<CompiledProgram> compileAndValidate(const ProgramDef &P,
   Out.Linked.Functions.push_back(Out.Result.Fn);
 
   if (RunValidation) {
+    validate::ValidationOptions VO = P.VOpts;
+    VO.Hints = P.Hints; // The analyzer assumes exactly what the compiler did.
     Status V = validate::validate(P.Model, P.Spec, Out.Result, Out.Linked,
-                                  P.VOpts);
+                                  VO);
     if (!V)
       return V.takeError().note("while validating program " + P.Name);
   }

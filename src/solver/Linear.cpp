@@ -379,6 +379,13 @@ Status FactDb::proveEq(const LinTerm &A, const LinTerm &B) const {
 
 bool FactDb::inconsistent() const { return refutes({}); }
 
+void FactDb::forEachFact(
+    const std::function<void(const LinTerm &, const std::string &)> &Fn)
+    const {
+  for (const Row &R : Rows)
+    Fn(R.T, R.Reason);
+}
+
 std::string FactDb::str() const {
   std::string Out;
   for (const Row &R : Rows) {

@@ -32,6 +32,7 @@
 #include "support/Result.h"
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <map>
 #include <string>
@@ -111,6 +112,13 @@ public:
 
   /// True iff the current facts are contradictory (e.g. inside dead code).
   bool inconsistent() const;
+
+  /// Enumerates the stored facts (each meaning T ≥ 0) with their reasons.
+  /// Consumers that seed *other* fact databases — the static analyzer's
+  /// per-program-point states — replay these rows through addGe0.
+  void forEachFact(
+      const std::function<void(const LinTerm &, const std::string &)> &Fn)
+      const;
 
   size_t size() const { return Rows.size(); }
   std::string str() const;

@@ -7,6 +7,7 @@
 
 #include "validate/Validate.h"
 
+#include "analysis/Analysis.h"
 #include "support/StringExtras.h"
 
 #include <algorithm>
@@ -18,7 +19,7 @@ namespace validate {
 using ir::Value;
 
 //===----------------------------------------------------------------------===//
-// Half 1: derivation replay.
+// Layer 1: derivation replay.
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -198,7 +199,7 @@ Status replayDerivation(const ir::SourceFn &Fn,
 }
 
 //===----------------------------------------------------------------------===//
-// Half 2: differential certification.
+// Layers 2 and 3: static analysis + differential certification.
 //===----------------------------------------------------------------------===//
 
 std::vector<Value> defaultInputs(const ir::SourceFn &Fn, Rng &R,
@@ -528,6 +529,27 @@ Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   return Status::success();
 }
 
+Status analyzeTarget(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
+                     const core::CompileResult &Compiled,
+                     const ValidationOptions &Opts) {
+  analysis::AnalysisReport Report = analysis::analyzeProgram(
+      Compiled.Fn, Spec, Fn, Opts.Hints.EntryFacts);
+  // Certification fails on errors (unprovable bounds, uninitialized reads,
+  // non-convergence). Warnings — dead stores, unreachable branches — do
+  // not fail it: a model with a dead let or a statically-decided branch
+  // compiles to target code with the same shape, and that is a *faithful*
+  // translation; relc-lint is the strict gate for the curated suite.
+  if (Report.hasErrors()) {
+    Error E("static analysis of target '" + Compiled.Fn.Name + "' found " +
+            std::to_string(Report.numErrors()) + " error(s) and " +
+            std::to_string(Report.numWarnings()) + " warning(s)");
+    for (const analysis::Diagnostic &D : Report.Diags)
+      E.note(D.str());
+    return E;
+  }
+  return Status::success();
+}
+
 Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                 const core::CompileResult &Compiled,
                 const bedrock::Module &Linked,
@@ -535,6 +557,9 @@ Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   Status Replay = replayDerivation(Fn, Compiled);
   if (!Replay)
     return Replay.takeError().note("derivation replay rejected the witness");
+  Status Analyze = analyzeTarget(Fn, Spec, Compiled, Opts);
+  if (!Analyze)
+    return Analyze.takeError().note("static analysis rejected the target");
   Status Diff = differentialCertify(Fn, Spec, Compiled, Linked, Opts);
   if (!Diff)
     return Diff.takeError().note("differential certification failed");

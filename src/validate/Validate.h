@@ -8,7 +8,7 @@
 // The trusted checker of the pipeline — the stand-in for Coq's kernel
 // accepting the generated proof term. The paper itself notes that Rupicola
 // can be classified as a translation-validation system (§5); this module
-// *is* that validator, in two halves:
+// *is* that validator, in three layers:
 //
 //  1. Derivation replay: structural checks over the witness — every rule
 //     name must be in the trusted schema set, the emitted target function
@@ -17,7 +17,13 @@
 //     side condition in the derivation (tampered witnesses are rejected;
 //     the failure-injection tests exercise this).
 //
-//  2. Differential certification against the ABI: for a battery of
+//  2. Static analysis of the generated code (relc::analysis): dataflow
+//     verification that every load/store is within the sep-logic frame
+//     the ABI grants, no local is read uninitialized, and the code is
+//     free of dead stores and unreachable branches. Unlike layer 3 this
+//     covers *all* inputs, not a sampled battery.
+//
+//  3. Differential certification against the ABI: for a battery of
 //     structured and random input vectors, run the model under the
 //     FunLang reference semantics and the compiled function under the
 //     Bedrock2 semantics, and check the fnspec's ensures clause — scalar
@@ -75,14 +81,29 @@ struct ValidationOptions {
   /// Word models of external callees, used to give the source semantics of
   /// ExternCall bindings: callee name -> its SourceFn.
   std::map<std::string, const ir::SourceFn *> CalleeModels;
+  /// The hints the program was compiled with; analyzeTarget re-applies
+  /// them so the static analyzer sees the same entry facts the compiler
+  /// assumed (e.g. a minimum buffer length).
+  core::CompileHints Hints;
 };
 
-/// Half 1: replays the derivation witness. Independent of the search
+/// Layer 1: replays the derivation witness. Independent of the search
 /// driver; rejects unknown rules and missing side conditions.
 Status replayDerivation(const ir::SourceFn &Fn,
                         const core::CompileResult &Compiled);
 
-/// Half 2: differential certification of \p Compiled (linked against
+/// Layer 2: static certification of the generated code itself. Runs the
+/// relc::analysis dataflow verifier (initialization, intervals, symbolic
+/// bounds against the sep-logic frame) over the compiled function and
+/// rejects it on any analysis *error*: unprovable bounds, a potentially
+/// uninitialized read, or non-convergence. Warnings (dead stores,
+/// unreachable code) do not fail certification — they can be faithful
+/// images of a model's own dead lets or decided branches.
+Status analyzeTarget(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
+                     const core::CompileResult &Compiled,
+                     const ValidationOptions &Opts = {});
+
+/// Layer 3: differential certification of \p Compiled (linked against
 /// \p Linked, which must contain every external callee) against \p Fn's
 /// reference semantics under ABI \p Spec.
 Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
@@ -90,7 +111,7 @@ Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                            const bedrock::Module &Linked,
                            const ValidationOptions &Opts = {});
 
-/// Both halves.
+/// All three layers: replay, static analysis, differential testing.
 Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                 const core::CompileResult &Compiled,
                 const bedrock::Module &Linked,

@@ -1,0 +1,194 @@
+//===- tests/analysis/CfgTest.cpp - CFG construction unit tests -----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The structured bedrock::Cmd tree fully determines the CFG shape; these
+// tests pin down the lowering: block structure for seq / if / while /
+// stackalloc, statement paths, predecessor lists, reverse post order, and
+// loop-header marking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace relc;
+using namespace relc::analysis;
+using namespace relc::bedrock;
+
+namespace {
+
+Function mkFn(CmdPtr Body) {
+  Function F;
+  F.Name = "f";
+  F.Body = std::move(Body);
+  return F;
+}
+
+/// Structural invariants every lowering must satisfy.
+void checkWellFormed(const Cfg &G) {
+  const auto &Blocks = G.blocks();
+  ASSERT_FALSE(Blocks.empty());
+  // RPO covers every block exactly once (structural lowering leaves no
+  // orphans), and positions are consistent.
+  ASSERT_EQ(G.rpo().size(), Blocks.size());
+  std::vector<bool> Seen(Blocks.size(), false);
+  for (unsigned Id : G.rpo()) {
+    ASSERT_LT(Id, Blocks.size());
+    EXPECT_FALSE(Seen[Id]) << "block " << Id << " appears twice in RPO";
+    Seen[Id] = true;
+    EXPECT_EQ(G.rpoPos()[Id],
+              unsigned(std::find(G.rpo().begin(), G.rpo().end(), Id) -
+                       G.rpo().begin()));
+  }
+  // Edge/pred symmetry, and no degenerate two-way branches.
+  for (const BasicBlock &B : Blocks) {
+    std::vector<unsigned> Succs;
+    if (B.T == BasicBlock::Term::Jump)
+      Succs = {B.TrueSucc};
+    else if (B.T == BasicBlock::Term::Branch) {
+      Succs = {B.TrueSucc, B.FalseSucc};
+      EXPECT_NE(B.TrueSucc, B.FalseSucc)
+          << "branch with identical successors in block " << B.Id;
+      EXPECT_NE(B.Cond, nullptr);
+    }
+    for (unsigned S : Succs) {
+      const auto &P = G.block(S).Preds;
+      EXPECT_NE(std::find(P.begin(), P.end(), B.Id), P.end())
+          << "missing pred " << B.Id << " -> " << S;
+    }
+    for (unsigned P : B.Preds) {
+      const BasicBlock &PB = G.block(P);
+      bool PointsHere = (PB.T != BasicBlock::Term::Exit &&
+                         PB.TrueSucc == B.Id) ||
+                        (PB.T == BasicBlock::Term::Branch &&
+                         PB.FalseSucc == B.Id);
+      EXPECT_TRUE(PointsHere) << "stale pred " << P << " -> " << B.Id;
+    }
+  }
+  // Exactly one exit block.
+  unsigned Exits = 0;
+  for (const BasicBlock &B : Blocks)
+    Exits += B.T == BasicBlock::Term::Exit;
+  EXPECT_EQ(Exits, 1u);
+}
+
+TEST(CfgTest, StraightLineIsOneBlock) {
+  Cfg G = Cfg::build(
+      mkFn(seqAll({set("x", lit(1)), set("y", var("x")), unset("x")})));
+  checkWellFormed(G);
+  ASSERT_EQ(G.blocks().size(), 1u);
+  const BasicBlock &B = G.block(G.entry());
+  EXPECT_EQ(B.T, BasicBlock::Term::Exit);
+  ASSERT_EQ(B.Stmts.size(), 3u);
+  EXPECT_EQ(B.Stmts[0].Path, "body.0");
+  EXPECT_EQ(B.Stmts[1].Path, "body.1");
+  EXPECT_EQ(B.Stmts[2].Path, "body.2");
+  EXPECT_FALSE(B.IsLoopHeader);
+}
+
+TEST(CfgTest, IfLowersToDiamond) {
+  Cfg G = Cfg::build(mkFn(seqAll(
+      {set("x", lit(0)),
+       ifThenElse(bin(BinOp::LtU, var("x"), lit(4)), set("y", lit(1)),
+                  set("y", lit(2))),
+       set("z", var("y"))})));
+  checkWellFormed(G);
+  const BasicBlock &E = G.block(G.entry());
+  ASSERT_EQ(E.T, BasicBlock::Term::Branch);
+  EXPECT_EQ(E.CondPath, "body.1");
+
+  const BasicBlock &Then = G.block(E.TrueSucc);
+  const BasicBlock &Else = G.block(E.FalseSucc);
+  ASSERT_EQ(Then.Stmts.size(), 1u);
+  ASSERT_EQ(Else.Stmts.size(), 1u);
+  EXPECT_EQ(Then.Stmts[0].Path, "body.1.then.0");
+  EXPECT_EQ(Else.Stmts[0].Path, "body.1.else.0");
+
+  // Both arms rejoin at the same block, which holds the tail statement.
+  ASSERT_EQ(Then.T, BasicBlock::Term::Jump);
+  ASSERT_EQ(Else.T, BasicBlock::Term::Jump);
+  ASSERT_EQ(Then.TrueSucc, Else.TrueSucc);
+  const BasicBlock &Join = G.block(Then.TrueSucc);
+  ASSERT_EQ(Join.Stmts.size(), 1u);
+  EXPECT_EQ(Join.Stmts[0].Path, "body.2");
+  EXPECT_EQ(Join.Preds.size(), 2u);
+}
+
+TEST(CfgTest, WhileLowersToHeaderWithBackEdge) {
+  Cfg G = Cfg::build(mkFn(seqAll(
+      {set("i", lit(0)),
+       whileLoop(bin(BinOp::LtU, var("i"), var("n")),
+                 set("i", add(var("i"), lit(1)))),
+       set("out", var("i"))})));
+  checkWellFormed(G);
+
+  // Find the unique loop header; its branch splits into body and exit, and
+  // the body jumps back to it.
+  const BasicBlock *Header = nullptr;
+  for (const BasicBlock &B : G.blocks())
+    if (B.IsLoopHeader) {
+      ASSERT_EQ(Header, nullptr) << "more than one loop header";
+      Header = &B;
+    }
+  ASSERT_NE(Header, nullptr);
+  ASSERT_EQ(Header->T, BasicBlock::Term::Branch);
+  EXPECT_EQ(Header->CondPath, "body.1");
+
+  const BasicBlock &Body = G.block(Header->TrueSucc);
+  ASSERT_EQ(Body.T, BasicBlock::Term::Jump);
+  EXPECT_EQ(Body.TrueSucc, Header->Id);
+  ASSERT_EQ(Body.Stmts.size(), 1u);
+  EXPECT_EQ(Body.Stmts[0].Path, "body.1.body.0");
+
+  // Two predecessors: the preheader (forward) and the body (back edge).
+  ASSERT_EQ(Header->Preds.size(), 2u);
+  EXPECT_GE(G.rpoPos()[Body.Id], G.rpoPos()[Header->Id])
+      << "back edge must come from an equal-or-later RPO position";
+  // The exit continues past the loop.
+  const BasicBlock &Exit = G.block(Header->FalseSucc);
+  ASSERT_EQ(Exit.Stmts.size(), 1u);
+  EXPECT_EQ(Exit.Stmts[0].Path, "body.2");
+}
+
+TEST(CfgTest, StackallocBracketsItsBody) {
+  Cfg G = Cfg::build(mkFn(seqAll(
+      {stackalloc("buf", 16,
+                  store(AccessSize::Byte, var("buf"), lit(0))),
+       set("out", lit(0))})));
+  checkWellFormed(G);
+  // Straight-line stackalloc stays one block: Enter, body, Exit, tail.
+  ASSERT_EQ(G.blocks().size(), 1u);
+  const auto &S = G.block(G.entry()).Stmts;
+  ASSERT_EQ(S.size(), 4u);
+  EXPECT_EQ(S[0].K, CfgStmt::Kind::StackEnter);
+  EXPECT_EQ(S[1].K, CfgStmt::Kind::Simple);
+  EXPECT_EQ(S[2].K, CfgStmt::Kind::StackExit);
+  EXPECT_EQ(S[3].K, CfgStmt::Kind::Simple);
+  // Enter and Exit reference the same Stackalloc node.
+  EXPECT_EQ(S[0].C, S[2].C);
+}
+
+TEST(CfgTest, NestedLoopsMarkBothHeaders) {
+  Cfg G = Cfg::build(mkFn(seqAll(
+      {set("i", lit(0)),
+       whileLoop(
+           bin(BinOp::LtU, var("i"), var("n")),
+           seqAll({set("j", lit(0)),
+                   whileLoop(bin(BinOp::LtU, var("j"), lit(4)),
+                             set("j", add(var("j"), lit(1)))),
+                   set("i", add(var("i"), lit(1)))}))})));
+  checkWellFormed(G);
+  unsigned Headers = 0;
+  for (const BasicBlock &B : G.blocks())
+    Headers += B.IsLoopHeader;
+  EXPECT_EQ(Headers, 2u);
+}
+
+} // namespace

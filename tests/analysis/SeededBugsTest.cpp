@@ -1,0 +1,217 @@
+//===- tests/analysis/SeededBugsTest.cpp - Planted-defect corpus ----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Hand-written Bedrock2 programs, each carrying exactly one planted
+// defect, and for each a clean twin differing only in the defect. The
+// analyzer must flag the defect with the right checker at the right
+// location, and must stay silent on the twin — this corpus is the
+// precision/recall contract of the static layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+using namespace relc::analysis;
+using namespace relc::bedrock;
+
+namespace {
+
+/// ABI for `f(s, len)` over a byte array plus scalar return, mirroring the
+/// digest makeAbiInfo produces for an `arrayArg/lenArg` fnspec.
+AbiInfo byteArrayAbi() {
+  AbiInfo Abi;
+  Region R;
+  R.K = Region::Kind::Array;
+  R.Name = "s";
+  R.EltBytes = 1;
+  R.Extent = solver::ls("len_s");
+  R.ClauseStr = "array s len";
+  Abi.Regions.push_back(R);
+  Abi.ArgRegion["s"] = 0;
+  Abi.ArgTerm["len"] = solver::ls("len_s");
+  Abi.EntryFacts.addGe0(solver::ls("len_s"), "length nonnegative");
+  Abi.EntryFacts.addGe0(solver::lc(int64_t(1) << 32) - solver::ls("len_s"),
+                        "ABI length bound");
+  return Abi;
+}
+
+Function mkFn(const char *Name, CmdPtr Body) {
+  Function F;
+  F.Name = Name;
+  F.Args = {"s", "len"};
+  F.Rets = {"out"};
+  F.Body = std::move(Body);
+  return F;
+}
+
+/// The one diagnostic a seeded program must produce.
+const Diagnostic &theOnly(const AnalysisReport &R) {
+  EXPECT_EQ(R.Diags.size(), 1u) << R.str();
+  static Diagnostic Dummy;
+  return R.Diags.empty() ? Dummy : R.Diags.front();
+}
+
+void expectClean(const AnalysisReport &R) {
+  EXPECT_TRUE(R.Diags.empty()) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Defect 1: read of a possibly-uninitialized local.
+//===----------------------------------------------------------------------===//
+
+CmdPtr uninitBody(bool Seeded) {
+  // The bug: `acc` is only initialized inside the conditional, then read
+  // unconditionally. The twin initializes it up front.
+  std::vector<CmdPtr> Cmds;
+  if (!Seeded)
+    Cmds.push_back(set("acc", lit(0)));
+  Cmds.push_back(ifThenElse(bin(BinOp::LtU, lit(0), var("len")),
+                            set("acc", load(AccessSize::Byte, var("s"))),
+                            skip()));
+  Cmds.push_back(set("out", add(var("acc"), lit(1))));
+  return seqAll(std::move(Cmds));
+}
+
+TEST(SeededBugsTest, UninitReadFlagged) {
+  AbiInfo Abi = byteArrayAbi();
+  AnalysisReport R =
+      analyzeFunction(mkFn("uninit_bug", uninitBody(true)), Abi);
+  const Diagnostic &D = theOnly(R);
+  EXPECT_EQ(D.C, Diagnostic::Checker::Uninit);
+  EXPECT_TRUE(D.IsError);
+  EXPECT_EQ(D.Path, "body.1") << D.str();
+  EXPECT_NE(D.Message.find("acc"), std::string::npos) << D.str();
+}
+
+TEST(SeededBugsTest, UninitTwinClean) {
+  AbiInfo Abi = byteArrayAbi();
+  expectClean(analyzeFunction(mkFn("uninit_ok", uninitBody(false)), Abi));
+}
+
+//===----------------------------------------------------------------------===//
+// Defect 2: off-by-one store past the array.
+//===----------------------------------------------------------------------===//
+
+CmdPtr storeLoopBody(bool Seeded) {
+  // The bug: the loop runs to i <= len (guard i <u len+1), so the final
+  // iteration stores one byte past the frame. The twin stops at len.
+  ExprPtr Guard =
+      Seeded ? bin(BinOp::LtU, var("i"), add(var("len"), lit(1)))
+             : bin(BinOp::LtU, var("i"), var("len"));
+  return seqAll(
+      {set("i", lit(0)),
+       whileLoop(std::move(Guard),
+                 seqAll({store(AccessSize::Byte, add(var("s"), var("i")),
+                               lit(0)),
+                         set("i", add(var("i"), lit(1)))})),
+       set("out", var("i"))});
+}
+
+TEST(SeededBugsTest, OffByOneStoreFlagged) {
+  AbiInfo Abi = byteArrayAbi();
+  AnalysisReport R =
+      analyzeFunction(mkFn("off_by_one_bug", storeLoopBody(true)), Abi);
+  const Diagnostic &D = theOnly(R);
+  EXPECT_EQ(D.C, Diagnostic::Checker::Bounds);
+  EXPECT_TRUE(D.IsError);
+  EXPECT_EQ(D.Path, "body.1.body.0") << D.str();
+}
+
+TEST(SeededBugsTest, StoreLoopTwinClean) {
+  AbiInfo Abi = byteArrayAbi();
+  expectClean(
+      analyzeFunction(mkFn("store_loop_ok", storeLoopBody(false)), Abi));
+}
+
+//===----------------------------------------------------------------------===//
+// Defect 3: dead store.
+//===----------------------------------------------------------------------===//
+
+CmdPtr deadStoreBody(bool Seeded) {
+  // The bug: `h` is assigned and immediately clobbered before any read.
+  // The twin folds the first value into the result.
+  std::vector<CmdPtr> Cmds;
+  Cmds.push_back(set("h", lit(17)));
+  if (Seeded)
+    Cmds.push_back(set("h", lit(23)));
+  else
+    Cmds.push_back(set("h", add(var("h"), lit(23))));
+  Cmds.push_back(set("out", var("h")));
+  return seqAll(std::move(Cmds));
+}
+
+TEST(SeededBugsTest, DeadStoreFlagged) {
+  AbiInfo Abi = byteArrayAbi();
+  AnalysisReport R =
+      analyzeFunction(mkFn("dead_store_bug", deadStoreBody(true)), Abi);
+  const Diagnostic &D = theOnly(R);
+  EXPECT_EQ(D.C, Diagnostic::Checker::DeadStore);
+  EXPECT_FALSE(D.IsError) << "dead stores are warnings";
+  EXPECT_EQ(D.Path, "body.0") << D.str();
+  EXPECT_FALSE(R.hasErrors());
+  EXPECT_EQ(R.numWarnings(), 1u);
+}
+
+TEST(SeededBugsTest, DeadStoreTwinClean) {
+  AbiInfo Abi = byteArrayAbi();
+  expectClean(
+      analyzeFunction(mkFn("dead_store_ok", deadStoreBody(false)), Abi));
+}
+
+//===----------------------------------------------------------------------===//
+// Defect 4: unreachable branch.
+//===----------------------------------------------------------------------===//
+
+CmdPtr unreachableBody(bool Seeded) {
+  // The bug: the guard compares a constant against itself, so the then-arm
+  // can never run. The twin branches on the actual argument.
+  ExprPtr Guard = Seeded ? bin(BinOp::LtU, lit(3), lit(3))
+                         : bin(BinOp::LtU, lit(3), var("len"));
+  return seqAll({set("h", lit(0)),
+                 ifThenElse(std::move(Guard), set("h", lit(1)), skip()),
+                 set("out", var("h"))});
+}
+
+TEST(SeededBugsTest, UnreachableBranchFlagged) {
+  AbiInfo Abi = byteArrayAbi();
+  AnalysisReport R =
+      analyzeFunction(mkFn("unreachable_bug", unreachableBody(true)), Abi);
+  const Diagnostic &D = theOnly(R);
+  EXPECT_EQ(D.C, Diagnostic::Checker::Unreachable);
+  EXPECT_FALSE(D.IsError) << "unreachable code is a warning";
+  EXPECT_EQ(D.Path, "body.1.then.0") << D.str();
+  EXPECT_FALSE(R.hasErrors());
+}
+
+TEST(SeededBugsTest, UnreachableTwinClean) {
+  AbiInfo Abi = byteArrayAbi();
+  expectClean(
+      analyzeFunction(mkFn("unreachable_ok", unreachableBody(false)), Abi));
+}
+
+//===----------------------------------------------------------------------===//
+// Defect interplay: each report carries exactly its own defect, not noise
+// from the shared scaffolding.
+//===----------------------------------------------------------------------===//
+
+TEST(SeededBugsTest, ReportsCarrySummaryCounts) {
+  AbiInfo Abi = byteArrayAbi();
+  AnalysisReport R =
+      analyzeFunction(mkFn("off_by_one_bug", storeLoopBody(true)), Abi);
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_EQ(R.numErrors(), 1u);
+  EXPECT_EQ(R.numWarnings(), 0u);
+  EXPECT_GT(R.NumBlocks, 1u);
+  EXPECT_GT(R.NumStmts, 0u);
+  EXPECT_GT(R.SymIterations, 0u);
+  EXPECT_NE(R.str().find("bounds"), std::string::npos) << R.str();
+}
+
+} // namespace

@@ -30,7 +30,9 @@ inline Status compileAndCertify(const ir::SourceFn &Fn,
     return R.takeError();
   bedrock::Module Linked;
   Linked.Functions.push_back(R->Fn);
-  Status V = validate::validate(Fn, Spec, *R, Linked, VOpts);
+  validate::ValidationOptions VO = VOpts;
+  VO.Hints = Hints; // The static-analysis layer assumes what the compiler did.
+  Status V = validate::validate(Fn, Spec, *R, Linked, VO);
   if (!V)
     return V;
   if (Out)

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "programs/Programs.h"
 #include "validate/Validate.h"
 
@@ -161,6 +162,62 @@ TEST(FailureInjectionTest, DroppedInvariantTemplateRejected) {
   Status S = validate::replayDerivation(C.P.Model, C.R);
   ASSERT_FALSE(bool(S));
   EXPECT_NE(S.error().str().find("invariant"), std::string::npos);
+}
+
+// The static layer's reason to exist: a bug differential testing cannot
+// see. The tampered upstr below writes one byte past the buffer, but only
+// when len == 77 — a length the sampled vector battery never generates
+// (ValidationOptions::Sizes has no 77). Differential certification
+// accepts the broken function; the static analyzer, which reasons over
+// *all* lengths, rejects it.
+TEST(FailureInjectionTest, RareLengthOverflowEscapesDifferentialTesting) {
+  Compiled C("upstr");
+  Function Broken = C.R.Fn;
+  Broken.Body =
+      seq(Broken.Body,
+          ifThenElse(bin(BinOp::Eq, var("len"), lit(77)),
+                     store(AccessSize::Byte, add(var("s"), var("len")),
+                           lit(0)),
+                     skip()));
+
+  // Layer 3 misses it: every sampled vector takes the harmless branch.
+  ASSERT_TRUE(bool(C.certifyWith(Broken)));
+
+  // Layer 2 catches it: the store at s+len is outside the frame.
+  core::CompileResult BrokenR = std::move(C.R); // Done with differential.
+  // (CompileResult owns the derivation tree, so it is move-only.)
+  BrokenR.Fn = Broken;
+  validate::ValidationOptions VO = C.P.VOpts;
+  VO.Hints = C.P.Hints;
+  Status S = validate::analyzeTarget(C.P.Model, C.P.Spec, BrokenR, VO);
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("bounds"), std::string::npos)
+      << S.error().str();
+}
+
+// Warnings do not fail certification, but they do surface: a useless
+// assignment smuggled into the target passes both differential testing
+// and certification, yet the analysis report names it.
+TEST(FailureInjectionTest, InjectedDeadStoreSurfacesAsWarning) {
+  Compiled C("upstr");
+  Function Broken = C.R.Fn;
+  Broken.Body = seqAll({set("scratch", lit(41)), Broken.Body});
+
+  ASSERT_TRUE(bool(C.certifyWith(Broken)));
+
+  core::CompileResult BrokenR = std::move(C.R); // Done with differential.
+  // (CompileResult owns the derivation tree, so it is move-only.)
+  BrokenR.Fn = Broken;
+  validate::ValidationOptions VO = C.P.VOpts;
+  VO.Hints = C.P.Hints;
+  EXPECT_TRUE(bool(validate::analyzeTarget(C.P.Model, C.P.Spec, BrokenR, VO)))
+      << "warnings alone must not fail certification";
+
+  analysis::AnalysisReport R = analysis::analyzeProgram(
+      Broken, C.P.Spec, C.P.Model, C.P.Hints.EntryFacts);
+  ASSERT_EQ(R.numWarnings(), 1u) << R.str();
+  EXPECT_EQ(R.Diags[0].C, analysis::Diagnostic::Checker::DeadStore);
+  EXPECT_FALSE(R.hasErrors()) << R.str();
 }
 
 TEST(FailureInjectionTest, WrongMonadNoteRejected) {
