@@ -14,19 +14,28 @@
 // (first-match rule search, solver-discharged side conditions), the proof
 // engine is native code instead of Ltac.
 //
-// Also measured here: the static-analysis layer of the validator
-// (relc::analysis), reported as statements verified per second — it runs
-// on every compile, so its cost is part of the effective throughput.
+// Also measured here: the two static certification layers that run on
+// every compile and are therefore part of the effective throughput — the
+// dataflow analyzer (relc::analysis) and the translation validator
+// (relc::tv, symbolic equivalence proof per program).
+//
+// Besides the paper-shaped text summary, the bench writes a
+// machine-readable BENCH_sec43.json (per-program compile/analyze/tv
+// milliseconds and statement counts) for trajectory tracking across
+// commits.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
 #include "bench_common.h"
 #include "programs/Programs.h"
+#include "tv/Tv.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 using namespace relc;
 using namespace relc_bench;
@@ -69,6 +78,25 @@ void benchAnalyze(benchmark::State &State, const programs::ProgramDef &P) {
       double(Stmts) * double(State.iterations()), benchmark::Counter::kIsRate);
 }
 
+void benchTv(benchmark::State &State, const programs::ProgramDef &P) {
+  core::Compiler C;
+  Result<core::CompileResult> R = C.compileFn(P.Model, P.Spec, P.Hints);
+  if (!R) {
+    State.SkipWithError(R.error().str().c_str());
+    return;
+  }
+  unsigned Terms = 0;
+  for (auto _ : State) {
+    tv::TvReport Rep = tv::validateTranslation(P.Model, P.Spec, R->Fn,
+                                               P.Hints.EntryFacts);
+    if (!Rep.proved())
+      State.SkipWithError(Rep.str().c_str());
+    Terms = Rep.NumTerms;
+    benchmark::DoNotOptimize(Rep);
+  }
+  State.counters["terms"] = Terms;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -79,34 +107,86 @@ int main(int argc, char **argv) {
     benchmark::RegisterBenchmark(
         ("sec43/analyze/" + P.Name).c_str(),
         [&P](benchmark::State &S) { benchAnalyze(S, P); });
+    benchmark::RegisterBenchmark(
+        ("sec43/tv/" + P.Name).c_str(),
+        [&P](benchmark::State &S) { benchTv(S, P); });
   }
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  // Paper-shaped summary.
+  // Paper-shaped summary, measured once per program with fixed reps so
+  // the numbers are comparable across runs (and feed the JSON below).
+  struct Row {
+    std::string Name;
+    unsigned Stmts = 0;       ///< Emitted target statements.
+    double CompileMs = 0;
+    unsigned AnIters = 0;     ///< Analyzer fixpoint iterations.
+    double AnalyzeMs = 0;
+    unsigned TvTerms = 0;     ///< Shared term-graph size.
+    unsigned TvLoops = 0;     ///< Matched loop summaries.
+    double TvMs = 0;
+    std::string TvVerdict;
+  };
+  std::vector<Row> Rows;
+  const unsigned Reps = 40;
+
+  for (const programs::ProgramDef &P : programs::allPrograms()) {
+    Row R;
+    R.Name = P.Name;
+    core::Compiler C;
+
+    auto T0 = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I < Reps; ++I) {
+      Result<core::CompileResult> CR = C.compileFn(P.Model, P.Spec, P.Hints);
+      if (CR)
+        R.Stmts = CR->EmittedStmts;
+      benchmark::DoNotOptimize(CR);
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    R.CompileMs =
+        std::chrono::duration<double, std::milli>(T1 - T0).count() / Reps;
+
+    Result<core::CompileResult> CR = C.compileFn(P.Model, P.Spec, P.Hints);
+    if (!CR)
+      continue;
+
+    T0 = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I < Reps; ++I) {
+      analysis::AnalysisReport Rep = analysis::analyzeProgram(
+          CR->Fn, P.Spec, P.Model, P.Hints.EntryFacts);
+      R.AnIters = Rep.SymIterations;
+      benchmark::DoNotOptimize(Rep);
+    }
+    T1 = std::chrono::steady_clock::now();
+    R.AnalyzeMs =
+        std::chrono::duration<double, std::milli>(T1 - T0).count() / Reps;
+
+    T0 = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I < Reps; ++I) {
+      tv::TvReport Rep = tv::validateTranslation(P.Model, P.Spec, CR->Fn,
+                                                 P.Hints.EntryFacts);
+      R.TvTerms = Rep.NumTerms;
+      R.TvLoops = unsigned(Rep.Loops.size());
+      R.TvVerdict = tv::verdictName(Rep.TheVerdict);
+      benchmark::DoNotOptimize(Rep);
+    }
+    T1 = std::chrono::steady_clock::now();
+    R.TvMs =
+        std::chrono::duration<double, std::milli>(T1 - T0).count() / Reps;
+
+    Rows.push_back(std::move(R));
+  }
+
   std::printf("\n=== §4.3: compiler throughput (statements/second) ===\n");
   unsigned TotalStmts = 0;
   double TotalMs = 0;
-  for (const programs::ProgramDef &P : programs::allPrograms()) {
-    const unsigned Reps = 40;
-    core::Compiler C;
-    auto T0 = std::chrono::steady_clock::now();
-    unsigned Stmts = 0;
-    for (unsigned I = 0; I < Reps; ++I) {
-      Result<core::CompileResult> R = C.compileFn(P.Model, P.Spec, P.Hints);
-      if (R)
-        Stmts = R->EmittedStmts;
-      benchmark::DoNotOptimize(R);
-    }
-    auto T1 = std::chrono::steady_clock::now();
-    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count() /
-                Reps;
+  for (const Row &R : Rows) {
     std::printf("%-7s %3u statements in %7.3f ms  -> %10.0f stmts/s\n",
-                P.Name.c_str(), Stmts, Ms,
-                Ms > 0 ? Stmts / (Ms / 1000.0) : 0.0);
-    TotalStmts += Stmts;
-    TotalMs += Ms;
+                R.Name.c_str(), R.Stmts, R.CompileMs,
+                R.CompileMs > 0 ? R.Stmts / (R.CompileMs / 1000.0) : 0.0);
+    TotalStmts += R.Stmts;
+    TotalMs += R.CompileMs;
   }
   std::printf("overall: %u statements in %.3f ms -> %.0f stmts/s  "
               "(paper, in Coq: 2-15 stmts/s)\n",
@@ -117,29 +197,51 @@ int main(int argc, char **argv) {
   // 2; runs on every compile).
   std::printf("\n=== static analysis of generated code (per program) ===\n");
   double TotalAnMs = 0;
-  for (const programs::ProgramDef &P : programs::allPrograms()) {
-    core::Compiler C;
-    Result<core::CompileResult> R = C.compileFn(P.Model, P.Spec, P.Hints);
-    if (!R)
-      continue;
-    const unsigned Reps = 40;
-    auto T0 = std::chrono::steady_clock::now();
-    unsigned Iters = 0;
-    for (unsigned I = 0; I < Reps; ++I) {
-      analysis::AnalysisReport Rep = analysis::analyzeProgram(
-          R->Fn, P.Spec, P.Model, P.Hints.EntryFacts);
-      Iters = Rep.SymIterations;
-      benchmark::DoNotOptimize(Rep);
-    }
-    auto T1 = std::chrono::steady_clock::now();
-    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count() /
-                Reps;
+  for (const Row &R : Rows) {
     std::printf("%-7s %3u statements, %2u fixpoint iterations in %7.3f ms\n",
-                P.Name.c_str(), R->Fn.countStmts(), Iters, Ms);
-    TotalAnMs += Ms;
+                R.Name.c_str(), R.Stmts, R.AnIters, R.AnalyzeMs);
+    TotalAnMs += R.AnalyzeMs;
   }
-  std::printf("overall: %.3f ms analysis vs %.3f ms compilation per suite "
-              "pass\n",
-              TotalAnMs, TotalMs);
+
+  // Translation-validation cost per program (layer 3; the symbolic
+  // equivalence proof runs on every compile too).
+  std::printf("\n=== translation validation (per program) ===\n");
+  double TotalTvMs = 0;
+  for (const Row &R : Rows) {
+    std::printf("%-7s %-7s %4u terms, %u loop summaries in %7.3f ms\n",
+                R.Name.c_str(), R.TvVerdict.c_str(), R.TvTerms, R.TvLoops,
+                R.TvMs);
+    TotalTvMs += R.TvMs;
+  }
+  std::printf("overall per suite pass: %.3f ms compile, %.3f ms analysis, "
+              "%.3f ms translation validation\n",
+              TotalMs, TotalAnMs, TotalTvMs);
+
+  // Machine-readable trajectory record.
+  std::ofstream J("BENCH_sec43.json");
+  J << "{\n  \"bench\": \"sec43_compiler_throughput\",\n  \"reps\": " << Reps
+    << ",\n  \"programs\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"name\": \"%s\", \"statements\": %u, "
+                  "\"compile_ms\": %.4f, \"analyze_ms\": %.4f, "
+                  "\"analyze_iters\": %u, \"tv_ms\": %.4f, "
+                  "\"tv_terms\": %u, \"tv_loops\": %u, "
+                  "\"tv_verdict\": \"%s\"}%s\n",
+                  R.Name.c_str(), R.Stmts, R.CompileMs, R.AnalyzeMs,
+                  R.AnIters, R.TvMs, R.TvTerms, R.TvLoops,
+                  R.TvVerdict.c_str(), I + 1 < Rows.size() ? "," : "");
+    J << Buf;
+  }
+  char Tail[256];
+  std::snprintf(Tail, sizeof(Tail),
+                "  ],\n  \"totals\": {\"statements\": %u, "
+                "\"compile_ms\": %.4f, \"analyze_ms\": %.4f, "
+                "\"tv_ms\": %.4f}\n}\n",
+                TotalStmts, TotalMs, TotalAnMs, TotalTvMs);
+  J << Tail;
+  std::printf("wrote BENCH_sec43.json\n");
   return 0;
 }

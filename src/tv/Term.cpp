@@ -1,0 +1,751 @@
+//===- tv/Term.cpp - Hash-consed term graph + normalization ----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tv/Term.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+namespace relc {
+namespace tv {
+
+using bedrock::BinOp;
+
+namespace {
+
+bool isCommutative(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+  case BinOp::Mul:
+  case BinOp::And:
+  case BinOp::Or:
+  case BinOp::Xor:
+  case BinOp::Eq:
+  case BinOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Highest set bit of \p V, as an all-ones mask covering it (0 -> 0).
+uint64_t onesCover(uint64_t V) {
+  uint64_t M = V;
+  M |= M >> 1;
+  M |= M >> 2;
+  M |= M >> 4;
+  M |= M >> 8;
+  M |= M >> 16;
+  M |= M >> 32;
+  return M;
+}
+
+bool isPow2Mask(uint64_t M) { return M != 0 && ((M + 1) & M) == 0; }
+
+} // namespace
+
+TermGraph::TermGraph() { Nodes.reserve(256); }
+
+//===----------------------------------------------------------------------===//
+// Interning.
+//===----------------------------------------------------------------------===//
+
+uint64_t TermGraph::hashNode(const TermNode &N) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001b3ull;
+    H ^= H >> 29;
+  };
+  Mix(uint64_t(N.K));
+  Mix(N.W);
+  Mix(N.A);
+  for (char C : N.Name)
+    Mix(uint8_t(C));
+  Mix(N.Name.size());
+  for (TermId Op : N.Ops)
+    Mix(uint64_t(Op) * 0x9e3779b97f4a7c15ull + 1);
+  return H;
+}
+
+bool TermGraph::sameNode(const TermNode &A, const TermNode &B) const {
+  return A.K == B.K && A.W == B.W && A.A == B.A && A.Name == B.Name &&
+         A.Ops == B.Ops;
+}
+
+TermId TermGraph::intern(TermNode N) {
+  N.Hash = hashNode(N);
+  auto It = Interned.find(N.Hash);
+  if (It != Interned.end())
+    for (TermId Cand : It->second)
+      if (sameNode(Nodes[Cand], N))
+        return Cand;
+  TermId Id = TermId(Nodes.size());
+  Interned[N.Hash].push_back(Id);
+  Nodes.push_back(std::move(N));
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Leaf constructors.
+//===----------------------------------------------------------------------===//
+
+TermId TermGraph::constant(uint64_t V) {
+  TermNode N;
+  N.K = TermKind::Const;
+  N.A = V;
+  return intern(std::move(N));
+}
+
+TermId TermGraph::sym(const std::string &Name) {
+  TermNode N;
+  N.K = TermKind::Sym;
+  N.Name = Name;
+  return intern(std::move(N));
+}
+
+TermId TermGraph::arrInit(const std::string &Region, unsigned EltBytes) {
+  TermNode N;
+  N.K = TermKind::ArrInit;
+  N.Name = Region;
+  N.W = uint8_t(EltBytes);
+  return intern(std::move(N));
+}
+
+TermId TermGraph::arrHavoc(const std::string &Sym, unsigned EltBytes) {
+  TermNode N;
+  N.K = TermKind::ArrHavoc;
+  N.Name = Sym;
+  N.W = uint8_t(EltBytes);
+  return intern(std::move(N));
+}
+
+std::optional<uint64_t> TermGraph::asConst(TermId T) const {
+  const TermNode &N = Nodes[T];
+  if (N.K == TermKind::Const)
+    return N.A;
+  return std::nullopt;
+}
+
+unsigned TermGraph::eltBytesOf(TermId Arr) const {
+  const TermNode &N = Nodes[Arr];
+  switch (N.K) {
+  case TermKind::ArrInit:
+  case TermKind::ArrHavoc:
+    return N.W;
+  case TermKind::ArrStore:
+  case TermKind::FoldOutArr:
+    return N.W;
+  case TermKind::ArrSelect:
+    return eltBytesOf(N.Ops[1]);
+  default:
+    return 8; // Unknown array-ish term; widest (no masking).
+  }
+}
+
+const FoldInfo &TermGraph::foldInfo(TermId Fold) const {
+  auto It = Folds.find(Fold);
+  assert(It != Folds.end() && "not a Fold node");
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Affine canonicalization.
+//===----------------------------------------------------------------------===//
+
+AffineView TermGraph::affine(TermId T) const {
+  AffineView V;
+  // Iterative worklist over the +/-/scale spine; atoms stop the recursion.
+  struct Item {
+    TermId T;
+    uint64_t Scale;
+  };
+  std::vector<Item> Work{{T, 1}};
+  auto AddAtom = [&V](TermId A, uint64_t C) {
+    uint64_t &Slot = V.Coeffs[A];
+    Slot += C;
+    if (Slot == 0)
+      V.Coeffs.erase(A);
+  };
+  while (!Work.empty()) {
+    Item I = Work.back();
+    Work.pop_back();
+    if (I.Scale == 0)
+      continue;
+    const TermNode &N = Nodes[I.T];
+    if (N.K == TermKind::Const) {
+      V.K += N.A * I.Scale;
+      continue;
+    }
+    if (N.K == TermKind::Bin) {
+      BinOp Op = BinOp(N.A);
+      if (Op == BinOp::Add) {
+        Work.push_back({N.Ops[0], I.Scale});
+        Work.push_back({N.Ops[1], I.Scale});
+        continue;
+      }
+      if (Op == BinOp::Sub) {
+        Work.push_back({N.Ops[0], I.Scale});
+        Work.push_back({N.Ops[1], uint64_t(0) - I.Scale});
+        continue;
+      }
+      if (Op == BinOp::Mul) {
+        if (auto C = asConst(N.Ops[1])) {
+          Work.push_back({N.Ops[0], I.Scale * *C});
+          continue;
+        }
+        if (auto C = asConst(N.Ops[0])) {
+          Work.push_back({N.Ops[1], I.Scale * *C});
+          continue;
+        }
+      }
+      if (Op == BinOp::Shl) {
+        if (auto C = asConst(N.Ops[1])) {
+          // Shift amounts are taken mod 64 by the word semantics.
+          Work.push_back({N.Ops[0], I.Scale << (*C & 63)});
+          continue;
+        }
+      }
+    }
+    AddAtom(I.T, I.Scale);
+  }
+  return V;
+}
+
+TermId TermGraph::fromAffine(const AffineView &V) {
+  if (V.Coeffs.empty())
+    return constant(V.K);
+  TermId Acc = NoTerm;
+  // Atoms in id order: deterministic per graph, and substitute() rebuilds
+  // through here so renamed terms re-canonicalize.
+  for (const auto &[Atom, Coeff] : V.Coeffs) {
+    TermId Piece =
+        Coeff == 1 ? Atom : rawBin(BinOp::Mul, Atom, constant(Coeff));
+    Acc = Acc == NoTerm ? Piece : rawBin(BinOp::Add, Acc, Piece);
+  }
+  if (V.K != 0)
+    Acc = rawBin(BinOp::Add, Acc, constant(V.K));
+  return Acc;
+}
+
+TermId TermGraph::rawBin(BinOp Op, TermId L, TermId R) {
+  TermNode N;
+  N.K = TermKind::Bin;
+  N.A = uint64_t(Op);
+  N.Ops = {L, R};
+  return intern(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar constructors.
+//===----------------------------------------------------------------------===//
+
+TermId TermGraph::bin(BinOp Op, TermId L, TermId R) {
+  auto CL = asConst(L), CR = asConst(R);
+  if (CL && CR)
+    return constant(bedrock::evalBinOp(Op, *CL, *CR));
+
+  switch (Op) {
+  case BinOp::Add:
+  case BinOp::Sub: {
+    AffineView A = affine(L);
+    AffineView B = affine(R);
+    AffineView Out;
+    Out.Coeffs = std::move(A.Coeffs);
+    Out.K = A.K;
+    uint64_t Sign = Op == BinOp::Add ? 1 : uint64_t(0) - 1;
+    for (const auto &[Atom, C] : B.Coeffs) {
+      uint64_t &Slot = Out.Coeffs[Atom];
+      Slot += Sign * C;
+      if (Slot == 0)
+        Out.Coeffs.erase(Atom);
+    }
+    Out.K += Sign * B.K;
+    return fromAffine(Out);
+  }
+  case BinOp::Mul:
+    if (CL || CR) {
+      uint64_t C = CL ? *CL : *CR;
+      TermId X = CL ? R : L;
+      if (C == 0)
+        return constant(0);
+      AffineView A = affine(X);
+      for (auto &[Atom, Coeff] : A.Coeffs)
+        Coeff *= C;
+      // Scaling cannot create new zero coefficients collisions (each key
+      // scaled in place), but it can zero one (C even, coeff = 2^63...):
+      for (auto It = A.Coeffs.begin(); It != A.Coeffs.end();)
+        It = It->second == 0 ? A.Coeffs.erase(It) : std::next(It);
+      A.K *= C;
+      return fromAffine(A);
+    }
+    break;
+  case BinOp::Shl:
+    if (CR)
+      return bin(BinOp::Mul, L, constant(uint64_t(1) << (*CR & 63)));
+    break;
+  default:
+    break;
+  }
+  return binNonAffine(Op, L, R);
+}
+
+TermId TermGraph::binNonAffine(BinOp Op, TermId L, TermId R) {
+  auto CL = asConst(L), CR = asConst(R);
+
+  switch (Op) {
+  case BinOp::And: {
+    if (L == R)
+      return L;
+    // Normalize the constant (if any) to the right.
+    if (CL && !CR) {
+      std::swap(L, R);
+      std::swap(CL, CR);
+    }
+    if (CR) {
+      uint64_t M = *CR;
+      if (M == 0)
+        return constant(0);
+      if (M == ~uint64_t(0))
+        return L;
+      // Mask erasure: if the value provably fits under a 2^k - 1 mask,
+      // the And is the identity. This is what cancels redundant w2b
+      // truncations on either side.
+      if (isPow2Mask(M)) {
+        if (auto Ub = upperBound(L))
+          if (*Ub <= M)
+            return L;
+      }
+      // Mask merging: And(And(x, c1), c2) = And(x, c1 & c2).
+      const TermNode &NL = Nodes[L];
+      if (NL.K == TermKind::Bin && BinOp(NL.A) == BinOp::And)
+        if (auto C1 = asConst(NL.Ops[1]))
+          return bin(BinOp::And, NL.Ops[0], constant(*C1 & M));
+    }
+    break;
+  }
+  case BinOp::Or:
+  case BinOp::Xor: {
+    if (CL && !CR) {
+      std::swap(L, R);
+      std::swap(CL, CR);
+    }
+    if (CR && *CR == 0)
+      return L;
+    if (L == R)
+      return Op == BinOp::Or ? L : constant(0);
+    break;
+  }
+  case BinOp::Shl:
+  case BinOp::LShr:
+  case BinOp::AShr:
+    if (CR && (*CR & 63) == 0)
+      return L;
+    break;
+  case BinOp::Eq:
+    if (L == R)
+      return constant(1);
+    break;
+  case BinOp::Ne:
+    if (L == R)
+      return constant(0);
+    break;
+  case BinOp::LtU:
+  case BinOp::LtS:
+    if (L == R)
+      return constant(0);
+    break;
+  default:
+    break;
+  }
+
+  if (isCommutative(Op) && L > R)
+    std::swap(L, R);
+  return rawBin(Op, L, R);
+}
+
+TermId TermGraph::select(TermId C, TermId T, TermId E) {
+  if (auto CC = asConst(C))
+    return *CC ? T : E;
+  if (T == E)
+    return T;
+  TermNode N;
+  N.K = TermKind::Select;
+  N.Ops = {C, T, E};
+  return intern(std::move(N));
+}
+
+TermId TermGraph::elt(TermId Arr, TermId Idx) {
+  const TermNode &N = Nodes[Arr];
+  if (N.K == TermKind::ArrStore) {
+    TermId SIdx = N.Ops[1];
+    if (SIdx == Idx)
+      return N.Ops[2]; // Store-to-load forwarding (masked at store time).
+    auto CA = asConst(SIdx), CB = asConst(Idx);
+    if (CA && CB && *CA != *CB)
+      return elt(N.Ops[0], Idx); // Provably disjoint; look through.
+    // Unknown aliasing: stay opaque (sound; both sides build this shape).
+  }
+  TermNode Out;
+  Out.K = TermKind::Elt;
+  Out.W = uint8_t(eltBytesOf(Arr));
+  Out.Ops = {Arr, Idx};
+  return intern(std::move(Out));
+}
+
+TermId TermGraph::tableElt(const std::string &Table, unsigned EltBytes,
+                           uint64_t MaxElt, TermId Idx) {
+  TermNode N;
+  N.K = TermKind::TableElt;
+  N.Name = Table;
+  N.W = uint8_t(EltBytes);
+  N.A = MaxElt;
+  N.Ops = {Idx};
+  return intern(std::move(N));
+}
+
+TermId TermGraph::arrStore(TermId Arr, TermId Idx, TermId Val) {
+  unsigned W = eltBytesOf(Arr);
+  if (W < 8)
+    Val = bin(BinOp::And, Val, constant((uint64_t(1) << (8 * W)) - 1));
+  // Store-store collapse at the same index.
+  const TermNode &N = Nodes[Arr];
+  if (N.K == TermKind::ArrStore && N.Ops[1] == Idx)
+    Arr = N.Ops[0];
+  TermNode Out;
+  Out.K = TermKind::ArrStore;
+  Out.W = uint8_t(W);
+  Out.Ops = {Arr, Idx, Val};
+  return intern(std::move(Out));
+}
+
+TermId TermGraph::arrSelect(TermId C, TermId T, TermId E) {
+  if (auto CC = asConst(C))
+    return *CC ? T : E;
+  if (T == E)
+    return T;
+  TermNode N;
+  N.K = TermKind::ArrSelect;
+  N.W = uint8_t(eltBytesOf(T));
+  N.Ops = {C, T, E};
+  return intern(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Folds.
+//===----------------------------------------------------------------------===//
+
+TermId TermGraph::fold(FoldInfo Info) {
+  assert(Info.Inits.size() == Info.NumCarried &&
+         Info.Nexts.size() == Info.NumCarried && "malformed fold");
+  std::sort(Info.Regions.begin(), Info.Regions.end(),
+            [](const FoldRegion &A, const FoldRegion &B) {
+              return A.Name < B.Name;
+            });
+  TermNode N;
+  N.K = TermKind::Fold;
+  N.A = Info.NumCarried;
+  N.Ops.push_back(Info.Guard);
+  N.Ops.insert(N.Ops.end(), Info.Inits.begin(), Info.Inits.end());
+  N.Ops.insert(N.Ops.end(), Info.Nexts.begin(), Info.Nexts.end());
+  for (const FoldRegion &R : Info.Regions) {
+    N.Name += R.Name;
+    N.Name += ',';
+    N.Ops.push_back(R.Entry);
+    N.Ops.push_back(R.Next);
+  }
+  TermId Id = intern(std::move(N));
+  Folds.emplace(Id, std::move(Info));
+  return Id;
+}
+
+TermId TermGraph::foldOut(TermId Fold, unsigned Pos) {
+  TermNode N;
+  N.K = TermKind::FoldOut;
+  N.A = Pos;
+  N.Ops = {Fold};
+  return intern(std::move(N));
+}
+
+TermId TermGraph::foldOutArr(TermId Fold, const std::string &Region) {
+  TermNode N;
+  N.K = TermKind::FoldOutArr;
+  N.Name = Region;
+  for (const FoldRegion &R : foldInfo(Fold).Regions)
+    if (R.Name == Region)
+      N.W = uint8_t(eltBytesOf(R.Entry));
+  N.Ops = {Fold};
+  return intern(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Upper-bound oracle.
+//===----------------------------------------------------------------------===//
+
+std::optional<uint64_t> TermGraph::upperBound(TermId T) const {
+  auto Memo = UbMemo.find(T);
+  if (Memo != UbMemo.end())
+    return Memo->second;
+  UbMemo[T] = std::nullopt; // Cycle/diamond guard during recursion.
+
+  const TermNode &N = Nodes[T];
+  std::optional<uint64_t> Out;
+  auto EltCap = [](unsigned W) -> std::optional<uint64_t> {
+    return W >= 8 ? std::optional<uint64_t>() : (uint64_t(1) << (8 * W)) - 1;
+  };
+  switch (N.K) {
+  case TermKind::Const:
+    Out = N.A;
+    break;
+  case TermKind::Sym:
+    if (EntryFacts) {
+      if (auto B = EntryFacts->intervalUpperBound(solver::ls(N.Name)))
+        if (*B >= 0)
+          Out = uint64_t(*B);
+    }
+    break;
+  case TermKind::Elt:
+    Out = EltCap(N.W);
+    break;
+  case TermKind::TableElt: {
+    Out = N.A;
+    if (auto Cap = EltCap(N.W))
+      Out = std::min(*Out, *Cap);
+    break;
+  }
+  case TermKind::Select: {
+    auto A = upperBound(N.Ops[1]);
+    auto B = upperBound(N.Ops[2]);
+    if (A && B)
+      Out = std::max(*A, *B);
+    break;
+  }
+  case TermKind::Bin: {
+    BinOp Op = BinOp(N.A);
+    auto UA = upperBound(N.Ops[0]);
+    auto UB = upperBound(N.Ops[1]);
+    auto CB = asConst(N.Ops[1]);
+    switch (Op) {
+    case BinOp::And:
+      if (UA && UB)
+        Out = std::min(*UA, *UB);
+      else if (UA)
+        Out = UA;
+      else if (UB)
+        Out = UB;
+      break;
+    case BinOp::Or:
+    case BinOp::Xor:
+      if (UA && UB) {
+        uint64_t Cover = onesCover(*UA | *UB);
+        Out = Cover;
+      }
+      break;
+    case BinOp::Add:
+      if (UA && UB && *UA + *UB >= *UA)
+        Out = *UA + *UB;
+      break;
+    case BinOp::Mul:
+      if (UA && UB && (*UA == 0 || *UB == 0))
+        Out = 0;
+      else if (UA && UB && *UB != 0 && *UA <= ~uint64_t(0) / *UB)
+        Out = *UA * *UB;
+      break;
+    case BinOp::Shl:
+      if (UA && CB) {
+        uint64_t Sh = *CB & 63;
+        if (Sh == 0 || *UA <= (~uint64_t(0) >> Sh))
+          Out = *UA << Sh;
+      }
+      break;
+    case BinOp::LShr:
+      if (CB) {
+        uint64_t Sh = *CB & 63;
+        Out = UA ? (*UA >> Sh) : (~uint64_t(0) >> Sh);
+      }
+      break;
+    case BinOp::DivU:
+      if (UA && CB && *CB != 0)
+        Out = *UA / *CB;
+      break;
+    case BinOp::RemU:
+      if (CB && *CB != 0) {
+        Out = *CB - 1;
+        if (UA)
+          Out = std::min(*Out, *UA);
+      } else if (UA) {
+        Out = UA; // rem-by-zero yields the dividend; never exceeds it.
+      }
+      break;
+    case BinOp::LtU:
+    case BinOp::LtS:
+    case BinOp::Eq:
+    case BinOp::Ne:
+      Out = 1;
+      break;
+    default:
+      break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  UbMemo[T] = Out;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution / traversal.
+//===----------------------------------------------------------------------===//
+
+TermId TermGraph::substitute(TermId T,
+                             const std::map<TermId, TermId> &Renaming) {
+  std::map<TermId, TermId> Memo;
+  // Explicit stack (post-order rebuild) to stay safe on deep store chains.
+  std::function<TermId(TermId)> Go = [&](TermId X) -> TermId {
+    auto It = Memo.find(X);
+    if (It != Memo.end())
+      return It->second;
+    auto R = Renaming.find(X);
+    if (R != Renaming.end()) {
+      Memo[X] = R->second;
+      return R->second;
+    }
+    const TermNode N = Nodes[X]; // Copy: Nodes may reallocate below.
+    TermId Out = X;
+    switch (N.K) {
+    case TermKind::Const:
+    case TermKind::Sym:
+    case TermKind::ArrInit:
+    case TermKind::ArrHavoc:
+      Out = X;
+      break;
+    case TermKind::Bin:
+      Out = bin(BinOp(N.A), Go(N.Ops[0]), Go(N.Ops[1]));
+      break;
+    case TermKind::Select:
+      Out = select(Go(N.Ops[0]), Go(N.Ops[1]), Go(N.Ops[2]));
+      break;
+    case TermKind::Elt:
+      Out = elt(Go(N.Ops[0]), Go(N.Ops[1]));
+      break;
+    case TermKind::TableElt:
+      Out = tableElt(N.Name, N.W, N.A, Go(N.Ops[0]));
+      break;
+    case TermKind::ArrStore: {
+      // Rebuild without re-masking twice: arrStore re-applies the mask,
+      // which is idempotent (And-merge), so plain rebuild is fine.
+      Out = arrStore(Go(N.Ops[0]), Go(N.Ops[1]), Go(N.Ops[2]));
+      break;
+    }
+    case TermKind::ArrSelect:
+      Out = arrSelect(Go(N.Ops[0]), Go(N.Ops[1]), Go(N.Ops[2]));
+      break;
+    case TermKind::Fold: {
+      FoldInfo Info = foldInfo(X);
+      Info.Guard = Go(Info.Guard);
+      for (TermId &I : Info.Inits)
+        I = Go(I);
+      for (TermId &Nx : Info.Nexts)
+        Nx = Go(Nx);
+      for (FoldRegion &Rg : Info.Regions) {
+        Rg.Entry = Go(Rg.Entry);
+        Rg.Next = Go(Rg.Next);
+      }
+      Out = fold(std::move(Info));
+      break;
+    }
+    case TermKind::FoldOut:
+      Out = foldOut(Go(N.Ops[0]), unsigned(N.A));
+      break;
+    case TermKind::FoldOutArr:
+      Out = foldOutArr(Go(N.Ops[0]), N.Name);
+      break;
+    }
+    Memo[X] = Out;
+    return Out;
+  };
+  return Go(T);
+}
+
+void TermGraph::collectSyms(TermId T, std::set<TermId> &Out) const {
+  std::set<TermId> Seen;
+  std::vector<TermId> Work{T};
+  while (!Work.empty()) {
+    TermId X = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(X).second)
+      continue;
+    const TermNode &N = Nodes[X];
+    if (N.K == TermKind::Sym || N.K == TermKind::ArrHavoc)
+      Out.insert(X);
+    for (TermId Op : N.Ops)
+      Work.push_back(Op);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering.
+//===----------------------------------------------------------------------===//
+
+std::string TermGraph::str(TermId T, unsigned MaxDepth) const {
+  const TermNode &N = Nodes[T];
+  if (MaxDepth == 0)
+    return "...";
+  auto S = [&](TermId X) { return str(X, MaxDepth - 1); };
+  switch (N.K) {
+  case TermKind::Const:
+    return N.A < 1024 ? std::to_string(N.A)
+                      : [&] {
+                          char Buf[32];
+                          std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                                        (unsigned long long)N.A);
+                          return std::string(Buf);
+                        }();
+  case TermKind::Sym:
+    return N.Name;
+  case TermKind::Bin:
+    return "(" + S(N.Ops[0]) + " " + bedrock::binOpName(BinOp(N.A)) + " " +
+           S(N.Ops[1]) + ")";
+  case TermKind::Select:
+    return "(if " + S(N.Ops[0]) + " then " + S(N.Ops[1]) + " else " +
+           S(N.Ops[2]) + ")";
+  case TermKind::Elt:
+    return S(N.Ops[0]) + "[" + S(N.Ops[1]) + "]";
+  case TermKind::TableElt:
+    return N.Name + "[" + S(N.Ops[0]) + "]";
+  case TermKind::ArrInit:
+    return "arr(" + N.Name + ")";
+  case TermKind::ArrHavoc:
+    return N.Name;
+  case TermKind::ArrStore:
+    return S(N.Ops[0]) + "{" + S(N.Ops[1]) + " := " + S(N.Ops[2]) + "}";
+  case TermKind::ArrSelect:
+    return "(if " + S(N.Ops[0]) + " then " + S(N.Ops[1]) + " else " +
+           S(N.Ops[2]) + ")";
+  case TermKind::Fold: {
+    const FoldInfo &I = foldInfo(T);
+    std::string Out = "fold{while " + S(I.Guard) + "; carried";
+    for (unsigned J = 0; J < I.NumCarried; ++J)
+      Out += " (" + S(I.Inits[J]) + " -> " + S(I.Nexts[J]) + ")";
+    for (const FoldRegion &R : I.Regions)
+      Out += "; " + R.Name + ": " + S(R.Entry) + " -> " + S(R.Next);
+    return Out + "}";
+  }
+  case TermKind::FoldOut:
+    return S(N.Ops[0]) + ".out" + std::to_string(N.A);
+  case TermKind::FoldOutArr:
+    return S(N.Ops[0]) + ".arr(" + N.Name + ")";
+  }
+  return "?";
+}
+
+} // namespace tv
+} // namespace relc

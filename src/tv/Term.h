@@ -1,0 +1,198 @@
+//===- tv/Term.h - Hash-consed term graph for translation validation -------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The shared value language of the translation validator (see Tv.h): both
+// the FunLang model and the generated Bedrock2 code are symbolically
+// evaluated into nodes of one TermGraph, and the equivalence check at the
+// end is *pointer equality* — the graph is hash-consed, and every
+// constructor normalizes, so two syntactically different but
+// normalization-equal computations intern to the same node id.
+//
+// The normalization engine is deliberately small (the paper's validator is
+// a proof checker, not a theorem prover) and strictly directed:
+//
+//   - constant folding through bedrock::evalBinOp (the target's word
+//     semantics, which the source interpreter agrees with on the pure
+//     fragment);
+//   - affine canonicalization: +, -, and multiplication/left-shift by
+//     constants are flattened into Σ coeff·atom + k with coefficients
+//     mod 2^64 and atoms ordered canonically (the word analogue of the
+//     solver::LinTerm representation; non-affine subterms become opaque
+//     atoms). Sound for equality: equal affine forms denote equal words.
+//   - bit-level identities keyed by a structural upper-bound oracle
+//     (loads from byte arrays are ≤ 255, inline-table reads are bounded
+//     by the table's maximum, ...): And-masks that provably do not change
+//     the value are erased *on both sides*, which cancels the compiler's
+//     "omit the w2b mask when the operand is provably narrow" optimization.
+//   - load/store forwarding through array terms (the separation-logic
+//     frame guarantees distinct regions never alias, so forwarding only
+//     needs to reason within one region's store chain).
+//
+// Loops appear as summarized Fold nodes: guard + per-carried-value initial
+// and step terms over canonical bound symbols, plus the array regions the
+// body writes. FoldOut / FoldOutArr project the post-loop values. Two
+// loops agree iff their summaries intern to the same Fold node — equal
+// initial states evolved by equal guarded transitions are equal at every
+// trip count, including the symbolic one.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_TV_TERM_H
+#define RELC_TV_TERM_H
+
+#include "bedrock/Ast.h"
+#include "solver/Linear.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace tv {
+
+/// Index of a node in a TermGraph. Ids are dense and only meaningful
+/// within their graph; cross-run stability comes from hashOf().
+using TermId = uint32_t;
+constexpr TermId NoTerm = ~TermId(0);
+
+enum class TermKind : uint8_t {
+  Const,      ///< A = the word value.
+  Sym,        ///< Name = symbol ("x", "len_s", "ptr_s", "%L0.i", ...).
+  Bin,        ///< A = bedrock::BinOp; Ops = {lhs, rhs}.
+  Select,     ///< Ops = {cond, then, else}; cond nonzero picks then.
+  Elt,        ///< Ops = {array, index}; one element, width = array's.
+  TableElt,   ///< Name = table; W = elt bytes; A = max element; Ops = {idx}.
+  ArrInit,    ///< Name = region; W = elt bytes. The entry contents.
+  ArrHavoc,   ///< Name = canonical symbol; W = elt bytes. Unknown contents.
+  ArrStore,   ///< Ops = {array, index, value}; value pre-masked to width.
+  ArrSelect,  ///< Ops = {cond, then-array, else-array}.
+  Fold,       ///< A loop summary; see TermGraph::fold.
+  FoldOut,    ///< Ops = {fold}; A = carried position. Post-loop value.
+  FoldOutArr, ///< Ops = {fold}; Name = region. Post-loop array contents.
+};
+
+/// One region's effect inside a Fold summary.
+struct FoldRegion {
+  std::string Name;  ///< Region (source array/cell name).
+  TermId Entry = NoTerm; ///< Contents at loop entry (outer state).
+  TermId Next = NoTerm;  ///< Contents after one iteration, over the
+                         ///< canonical bound symbols.
+};
+
+struct TermNode {
+  TermKind K = TermKind::Const;
+  uint8_t W = 0;      ///< Element width in bytes (array-ish nodes).
+  uint64_t A = 0;     ///< Const value / BinOp / position / max element.
+  std::string Name;   ///< Symbol, region, or table name.
+  std::vector<TermId> Ops;
+  uint64_t Hash = 0;  ///< Content hash (stable across graphs and runs).
+};
+
+/// Extra structure of a Fold node (indexed by the Fold's TermId).
+struct FoldInfo {
+  unsigned NumCarried = 0;
+  TermId Guard = NoTerm;
+  std::vector<TermId> Inits;       ///< Carried initial values (outer state).
+  std::vector<TermId> Nexts;       ///< One-iteration step terms (canonical
+                                   ///< bound symbols).
+  std::vector<FoldRegion> Regions; ///< Written regions, sorted by name.
+};
+
+/// An affine view of a scalar term: Σ Coeffs[atom]·atom + K, all
+/// arithmetic mod 2^64 (well-defined on uint64_t; equality of affine
+/// forms implies equality of the denoted words).
+struct AffineView {
+  std::map<TermId, uint64_t> Coeffs; ///< Zero coefficients erased.
+  uint64_t K = 0;
+};
+
+class TermGraph {
+public:
+  TermGraph();
+
+  //===--------------------------------------------------------------------===//
+  // Normalizing constructors.
+  //===--------------------------------------------------------------------===//
+
+  TermId constant(uint64_t V);
+  TermId sym(const std::string &Name);
+  TermId bin(bedrock::BinOp Op, TermId L, TermId R);
+  TermId select(TermId C, TermId T, TermId E);
+  TermId elt(TermId Arr, TermId Idx);
+  TermId tableElt(const std::string &Table, unsigned EltBytes, uint64_t MaxElt,
+                  TermId Idx);
+  TermId arrInit(const std::string &Region, unsigned EltBytes);
+  TermId arrHavoc(const std::string &Sym, unsigned EltBytes);
+  /// Masks \p Val to the array's element width before recording it, so a
+  /// value the compiler stored unmasked (because it proved narrowness) and
+  /// the model's explicitly truncated value intern identically.
+  TermId arrStore(TermId Arr, TermId Idx, TermId Val);
+  TermId arrSelect(TermId C, TermId T, TermId E);
+
+  TermId fold(FoldInfo Info);
+  TermId foldOut(TermId Fold, unsigned Pos);
+  TermId foldOutArr(TermId Fold, const std::string &Region);
+
+  //===--------------------------------------------------------------------===//
+  // Inspection.
+  //===--------------------------------------------------------------------===//
+
+  const TermNode &node(TermId T) const { return Nodes[T]; }
+  std::optional<uint64_t> asConst(TermId T) const;
+  unsigned eltBytesOf(TermId Arr) const; ///< Element width of an array term.
+  uint64_t hashOf(TermId T) const { return Nodes[T].Hash; }
+  const FoldInfo &foldInfo(TermId Fold) const;
+  size_t size() const { return Nodes.size(); }
+
+  /// Structural upper bound on the word value of \p T, when one is
+  /// derivable (e.g. a byte-array element is ≤ 255). \p Facts supplies
+  /// interval bounds for entry symbols (the ABI's requires clause).
+  std::optional<uint64_t> upperBound(TermId T) const;
+
+  /// Registers entry-symbol facts consulted by the upper-bound oracle.
+  void setEntryFacts(const solver::FactDb *Db) { EntryFacts = Db; }
+
+  /// Affine decomposition of \p T (always succeeds; worst case the whole
+  /// term is a single atom with coefficient 1).
+  AffineView affine(TermId T) const;
+
+  /// Rebuilds the canonical term of an affine view.
+  TermId fromAffine(const AffineView &V);
+
+  /// Rewrites \p T under a Sym -> Sym renaming, re-normalizing bottom-up
+  /// (so canonical atom orderings are recomputed for the new symbols).
+  TermId substitute(TermId T, const std::map<TermId, TermId> &Renaming);
+
+  /// All Sym node ids reachable from \p T.
+  void collectSyms(TermId T, std::set<TermId> &Out) const;
+
+  /// Rendering for diagnostics and certificates (depth-capped).
+  std::string str(TermId T, unsigned MaxDepth = 12) const;
+
+private:
+  std::vector<TermNode> Nodes;
+  std::map<uint64_t, std::vector<TermId>> Interned; ///< Hash -> candidates.
+  std::map<TermId, FoldInfo> Folds;
+  const solver::FactDb *EntryFacts = nullptr;
+  mutable std::map<TermId, std::optional<uint64_t>> UbMemo;
+
+  TermId intern(TermNode N);
+  bool sameNode(const TermNode &A, const TermNode &B) const;
+  static uint64_t hashNode(const TermNode &N);
+
+  /// Non-normalizing Bin constructor used by the affine emitter.
+  TermId rawBin(bedrock::BinOp Op, TermId L, TermId R);
+  TermId binNonAffine(bedrock::BinOp Op, TermId L, TermId R);
+};
+
+} // namespace tv
+} // namespace relc
+
+#endif // RELC_TV_TERM_H

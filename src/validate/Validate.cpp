@@ -9,6 +9,7 @@
 
 #include "analysis/Analysis.h"
 #include "support/StringExtras.h"
+#include "tv/Tv.h"
 
 #include <algorithm>
 #include <set>
@@ -550,6 +551,29 @@ Status analyzeTarget(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   return Status::success();
 }
 
+Status translationValidate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
+                           const core::CompileResult &Compiled,
+                           const ValidationOptions &Opts) {
+  tv::TvReport Rep = tv::validateTranslation(Fn, Spec, Compiled.Fn,
+                                             Opts.Hints.EntryFacts);
+  // Only a refuted equivalence fails certification: it is a static proof
+  // of a miscompilation. Inconclusive means the program is outside the
+  // validated fragment and the sampled layer carries the certification.
+  if (Rep.refuted()) {
+    Error E("translation validation refuted '" + Compiled.Fn.Name +
+            "': " + Rep.Reason);
+    for (const tv::OutputRecord &O : Rep.Outputs)
+      if (!O.Matched)
+        E.note("output '" + O.Name + "' [" + O.Kind + "]: model " +
+               O.SrcTerm +
+               (O.SourceBinding.empty() ? "" : " (" + O.SourceBinding + ")") +
+               " vs target " + O.TgtTerm +
+               (O.TargetPath.empty() ? "" : " (at " + O.TargetPath + ")"));
+    return E;
+  }
+  return Status::success();
+}
+
 Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                 const core::CompileResult &Compiled,
                 const bedrock::Module &Linked,
@@ -560,6 +584,11 @@ Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   Status Analyze = analyzeTarget(Fn, Spec, Compiled, Opts);
   if (!Analyze)
     return Analyze.takeError().note("static analysis rejected the target");
+  if (Opts.RunTv) {
+    Status Tv = translationValidate(Fn, Spec, Compiled, Opts);
+    if (!Tv)
+      return Tv.takeError().note("translation validation rejected the target");
+  }
   Status Diff = differentialCertify(Fn, Spec, Compiled, Linked, Opts);
   if (!Diff)
     return Diff.takeError().note("differential certification failed");

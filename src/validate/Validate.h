@@ -20,10 +20,21 @@
 //  2. Static analysis of the generated code (relc::analysis): dataflow
 //     verification that every load/store is within the sep-logic frame
 //     the ABI grants, no local is read uninitialized, and the code is
-//     free of dead stores and unreachable branches. Unlike layer 3 this
+//     free of dead stores and unreachable branches. Unlike layer 4 this
 //     covers *all* inputs, not a sampled battery.
 //
-//  3. Differential certification against the ABI: for a battery of
+//  3. Translation validation (relc::tv): symbolic evaluation of model and
+//     generated code into one normalizing term graph, with loops matched
+//     as summarized folds. A Refuted verdict — the two sides provably
+//     compute different outputs — rejects the compilation outright, with
+//     the offending source binding and target statement path named. An
+//     Inconclusive verdict (program outside the validated fragment, e.g.
+//     effectful monads) is not a failure; certification then rests on
+//     the other layers. Proved covers functional correctness for *all*
+//     inputs, which neither layer 2 (safety only) nor layer 4 (sampled)
+//     establishes.
+//
+//  4. Differential certification against the ABI: for a battery of
 //     structured and random input vectors, run the model under the
 //     FunLang reference semantics and the compiled function under the
 //     Bedrock2 semantics, and check the fnspec's ensures clause — scalar
@@ -85,6 +96,9 @@ struct ValidationOptions {
   /// them so the static analyzer sees the same entry facts the compiler
   /// assumed (e.g. a minimum buffer length).
   core::CompileHints Hints;
+  /// Run the symbolic translation validator (layer 3). On by default; a
+  /// Refuted verdict fails validation, Inconclusive does not.
+  bool RunTv = true;
 };
 
 /// Layer 1: replays the derivation witness. Independent of the search
@@ -103,7 +117,16 @@ Status analyzeTarget(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                      const core::CompileResult &Compiled,
                      const ValidationOptions &Opts = {});
 
-/// Layer 3: differential certification of \p Compiled (linked against
+/// Layer 3: symbolic translation validation (relc::tv). Returns failure
+/// only on a *refuted* equivalence — a statically proven miscompilation.
+/// Inconclusive verdicts succeed (the fragment gate is deliberate; the
+/// sampled layer still runs). The full report, including the equivalence
+/// certificate, is available through tv::validateTranslation directly.
+Status translationValidate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
+                           const core::CompileResult &Compiled,
+                           const ValidationOptions &Opts = {});
+
+/// Layer 4: differential certification of \p Compiled (linked against
 /// \p Linked, which must contain every external callee) against \p Fn's
 /// reference semantics under ABI \p Spec.
 Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
@@ -111,7 +134,8 @@ Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                            const bedrock::Module &Linked,
                            const ValidationOptions &Opts = {});
 
-/// All three layers: replay, static analysis, differential testing.
+/// All layers: replay, static analysis, translation validation,
+/// differential testing.
 Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                 const core::CompileResult &Compiled,
                 const bedrock::Module &Linked,

@@ -17,15 +17,23 @@
 // -no-analyze disables this, -analysis-report prints the full per-program
 // report including statistics and warnings.
 //
+// Every compiled program is also translation-validated (relc::tv): model
+// and generated code are symbolically evaluated into one term graph and
+// the outputs compared for all inputs. A refuted equivalence fails the
+// run; the equivalence certificate is written next to the generated C as
+// <name>.tv.json. -no-tv disables the layer, -tv-report prints each
+// program's full match trace.
+//
 // Usage: relc-gen [-out <dir>] [-only <name>] [-print-bedrock]
 //                 [-print-deriv] [-no-validate] [-no-analyze]
-//                 [-analysis-report]
+//                 [-analysis-report] [-no-tv] [-tv-report]
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
 #include "cgen/CEmit.h"
 #include "programs/Programs.h"
+#include "tv/Tv.h"
 
 #include <cstdio>
 #include <filesystem>
@@ -38,7 +46,7 @@ static int usage() {
   std::fprintf(stderr,
                "usage: relc-gen [-out <dir>] [-only <name>] [-print-bedrock]"
                " [-print-deriv] [-no-validate] [-no-analyze]"
-               " [-analysis-report]\n");
+               " [-analysis-report] [-no-tv] [-tv-report]\n");
   return 2;
 }
 
@@ -47,6 +55,7 @@ int main(int argc, char **argv) {
   std::string Only;
   bool PrintBedrock = false, PrintDeriv = false, Validate = true;
   bool Analyze = true, AnalysisReport = false;
+  bool Tv = true, TvReport = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -64,6 +73,10 @@ int main(int argc, char **argv) {
       Analyze = false;
     else if (A == "-analysis-report" || A == "--analysis-report")
       AnalysisReport = true;
+    else if (A == "-no-tv" || A == "--no-tv")
+      Tv = false;
+    else if (A == "-tv-report" || A == "--tv-report")
+      TvReport = true;
     else
       return usage();
   }
@@ -115,6 +128,26 @@ int main(int argc, char **argv) {
         AnyFailed = true;
         continue;
       }
+    }
+
+    if (Tv) {
+      tv::TvReport R = tv::validateTranslation(P.Model, P.Spec, C->Result.Fn,
+                                               P.Hints.EntryFacts);
+      if (TvReport)
+        std::printf("%s", R.str().c_str());
+      else
+        std::printf("[%s] tv: %s (%zu loops, %u terms)\n", P.Name.c_str(),
+                    tv::verdictName(R.TheVerdict), R.Loops.size(),
+                    R.NumTerms);
+      if (R.refuted()) {
+        std::fprintf(stderr, "[%s] FAILED: translation validation refuted "
+                             "the compilation:\n%s",
+                     P.Name.c_str(), R.str().c_str());
+        AnyFailed = true;
+        continue;
+      }
+      std::ofstream Cert(OutDir + "/" + P.Name + ".tv.json");
+      Cert << R.certificate();
     }
 
     if (PrintBedrock)

@@ -5,21 +5,26 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Runs only the static-analysis layer of the certification pipeline:
-// compiles the named benchmark programs (or all of them) and feeds the
-// generated Bedrock2 code to the relc::analysis verifier. Prints the full
-// report for each program and exits nonzero if *any* diagnostic — error
-// or warning — was produced. Registered over every benchmark program as
-// ctest cases, so a rule change that makes the generated code sloppy
-// (dead stores, unprovable bounds) fails the test suite even when the
-// sampled differential vectors happen to pass.
+// Runs the static layers of the certification pipeline as a strict gate:
+// compiles the named benchmark programs (or all of them), feeds the
+// generated Bedrock2 code to the relc::analysis verifier, and runs the
+// relc::tv translation validator. Prints the full report for each program
+// and exits nonzero if *any* diagnostic — error or warning — was
+// produced, or if any program fails to come out *Proved* equivalent to
+// its model (for the curated suite, Inconclusive is also a regression:
+// every suite program lies inside the validated fragment). Registered
+// over every benchmark program as ctest cases, so a rule change that
+// makes the generated code sloppy (dead stores, unprovable bounds) or
+// semantically drifts it from the model fails the test suite even when
+// the sampled differential vectors happen to pass.
 //
-// Usage: relc-lint [-q] [<program>...]
+// Usage: relc-lint [-q] [-no-tv] [<program>...]
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
 #include "programs/Programs.h"
+#include "tv/Tv.h"
 
 #include <cstdio>
 #include <string>
@@ -28,19 +33,21 @@
 using namespace relc;
 
 static int usage() {
-  std::fprintf(stderr, "usage: relc-lint [-q] [<program>...]\n"
+  std::fprintf(stderr, "usage: relc-lint [-q] [-no-tv] [<program>...]\n"
                        "  with no arguments, lints every registered program\n");
   return 2;
 }
 
 int main(int argc, char **argv) {
-  bool Quiet = false;
+  bool Quiet = false, Tv = true;
   std::vector<const programs::ProgramDef *> Targets;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "-q") {
       Quiet = true;
+    } else if (A == "-no-tv" || A == "--no-tv") {
+      Tv = false;
     } else if (!A.empty() && A[0] == '-') {
       return usage();
     } else {
@@ -71,6 +78,16 @@ int main(int argc, char **argv) {
     if (!Quiet || !R.Diags.empty())
       std::printf("%s", R.str().c_str());
     TotalDiags += unsigned(R.Diags.size());
+
+    if (Tv) {
+      tv::TvReport TR = tv::validateTranslation(P->Model, P->Spec,
+                                                C->Result.Fn,
+                                                P->Hints.EntryFacts);
+      if (!Quiet || !TR.proved())
+        std::printf("%s", TR.str().c_str());
+      if (!TR.proved()) // Strict gate: the suite must prove, not just
+        ++TotalDiags;   // fail-to-refute.
+    }
   }
 
   if (TotalDiags) {
