@@ -1,0 +1,146 @@
+//===- bench/pipeline_scaling.cpp - Parallel pipeline scaling --------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the two perf levers of the certification pipeline:
+//
+//  1. Scheduler scaling: full-suite certification wall-clock at
+//     -j 1 / 2 / 4 / 8 with the certificate cache disabled. The job graph
+//     exposes (programs × independent layers) parallelism; how much of it
+//     turns into speedup depends on the machine — the JSON records
+//     hardware_threads so readers can interpret the ratios (on a 1-core
+//     container every width degenerates to serial, and the numbers then
+//     measure scheduler overhead, which must stay small).
+//
+//  2. Incremental certification: cold (empty cache) vs warm (fully
+//     populated cache) suite runs. A warm run skips replay, analysis,
+//     translation validation, and differential testing per program,
+//     leaving only compilation + hashing + cache I/O — this speedup is
+//     machine-independent.
+//
+// Writes BENCH_pipeline.json (sorted keys) for trajectory tracking;
+// EXPERIMENTS.md records the committed numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "pipeline/Pipeline.h"
+#include "programs/Programs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace relc;
+using namespace relc_bench;
+
+namespace {
+
+std::vector<const programs::ProgramDef *> suite() {
+  std::vector<const programs::ProgramDef *> Out;
+  for (const programs::ProgramDef &P : programs::allPrograms())
+    Out.push_back(&P);
+  return Out;
+}
+
+/// One full-suite certification run; returns wall milliseconds. Aborts the
+/// bench on any certification failure — timing a broken pipeline would
+/// only produce garbage numbers.
+double runOnce(const pipeline::PipelineOptions &Opts) {
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<pipeline::ProgramOutcome> Out =
+      pipeline::certifyPrograms(suite(), Opts);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  for (const pipeline::ProgramOutcome &O : Out)
+    if (!O.ok()) {
+      std::fprintf(stderr, "FATAL: %s failed certification:\n%s\n",
+                   O.Def->Name.c_str(), O.ValidationError.c_str());
+      std::exit(1);
+    }
+  return Ms;
+}
+
+Stats measure(const pipeline::PipelineOptions &Opts, unsigned Reps) {
+  runOnce(Opts); // Warmup (page cache, allocator).
+  std::vector<double> Samples;
+  for (unsigned I = 0; I < Reps; ++I)
+    Samples.push_back(runOnce(Opts));
+  return stats(Samples);
+}
+
+} // namespace
+
+int main() {
+  const unsigned Reps = 15;
+  const unsigned HwThreads = std::thread::hardware_concurrency();
+  const std::vector<unsigned> Widths = {1, 2, 4, 8};
+
+  std::printf("Parallel certification pipeline: full-suite wall-clock\n");
+  std::printf("(%zu programs x 4 layers; %u repetitions; %u hardware "
+              "thread(s))\n\n",
+              suite().size(), Reps, HwThreads);
+
+  // --- Scheduler scaling, cache disabled.
+  std::vector<Stats> ByWidth;
+  for (unsigned W : Widths) {
+    pipeline::PipelineOptions Opts;
+    Opts.Jobs = W;
+    ByWidth.push_back(measure(Opts, Reps));
+    std::printf("  -j %u : %7.2f ms  (+/- %.2f)  speedup vs -j1: %.2fx\n", W,
+                ByWidth.back().Mean, ByWidth.back().Ci95,
+                ByWidth.front().Mean / ByWidth.back().Mean);
+  }
+
+  // --- Cold vs warm certificate cache, at the widest setting.
+  std::string CacheDir =
+      (std::filesystem::temp_directory_path() / "relc-bench-cache").string();
+  std::filesystem::remove_all(CacheDir);
+  pipeline::PipelineOptions Cached;
+  Cached.Jobs = Widths.back();
+  Cached.CacheDir = CacheDir;
+
+  double ColdMs = runOnce(Cached); // First run populates the cache.
+  std::vector<double> WarmSamples;
+  for (unsigned I = 0; I < Reps; ++I)
+    WarmSamples.push_back(runOnce(Cached));
+  Stats Warm = stats(WarmSamples);
+  std::filesystem::remove_all(CacheDir);
+
+  std::printf("\n  cache cold : %7.2f ms (certify + store)\n", ColdMs);
+  std::printf("  cache warm : %7.2f ms  (+/- %.2f)  speedup vs cold: %.2fx\n",
+              Warm.Mean, Warm.Ci95, ColdMs / Warm.Mean);
+
+  std::ofstream J("BENCH_pipeline.json");
+  char Buf[160];
+  J << "{\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"cache_cold_ms\": %.3f,\n", ColdMs);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"cache_warm_ms\": %.3f,\n", Warm.Mean);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"cache_warm_speedup\": %.3f,\n",
+                ColdMs / Warm.Mean);
+  J << Buf;
+  J << "  \"hardware_threads\": " << HwThreads << ",\n";
+  for (size_t I = 0; I < Widths.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "  \"jobs_%u_ms\": %.3f,\n", Widths[I],
+                  ByWidth[I].Mean);
+    J << Buf;
+  }
+  J << "  \"programs\": " << suite().size() << ",\n";
+  J << "  \"repetitions\": " << Reps << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"speedup_j8_vs_j1\": %.3f\n",
+                ByWidth.front().Mean / ByWidth.back().Mean);
+  J << Buf;
+  J << "}\n";
+  std::printf("\nwrote BENCH_pipeline.json\n");
+  return 0;
+}

@@ -1,0 +1,287 @@
+//===- pipeline/CertCache.cpp - Content-addressed certificate cache --------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CertCache.h"
+
+#include "pipeline/Hash.h"
+#include "support/StringExtras.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace relc {
+namespace pipeline {
+
+namespace {
+
+constexpr const char *FormatTag = "relc-cert-cache-v1";
+
+/// The canonical payload string the integrity hash covers: every field in
+/// a fixed order, length-prefixed so no two payloads collide structurally.
+std::string payloadString(const CertKey &Key, const CertEntry &E) {
+  auto Field = [](const std::string &S) {
+    return std::to_string(S.size()) + ":" + S + ";";
+  };
+  std::string P = Field(FormatTag);
+  P += Field(Key.fileStem());
+  P += Field(E.Program);
+  P += Field(hex16(E.OptsHash));
+  P += Field(E.ReplayOk ? "1" : "0");
+  P += Field(E.AnalysisOk ? "1" : "0");
+  P += Field(std::to_string(E.AnalysisWarnings));
+  P += Field(E.AnalysisDiags);
+  P += Field(E.TvRan ? "1" : "0");
+  P += Field(E.TvVerdict);
+  P += Field(std::to_string(E.TvLoops));
+  P += Field(std::to_string(E.TvTerms));
+  P += Field(E.TvCertificate);
+  P += Field(E.DifferentialOk ? "1" : "0");
+  return P;
+}
+
+} // namespace
+
+std::string CertKey::fileStem() const {
+  return hex16(ModelHash) + "-" + hex16(SpecHash) + "-" + hex16(CodeHash);
+}
+
+std::string CertCache::pathFor(const CertKey &Key) const {
+  return Dir + "/" + Key.fileStem() + ".cert.json";
+}
+
+std::string CertCache::serialize(const CertKey &Key, const CertEntry &E) {
+  // Keys sorted, one per line: byte-stable and diffable. The integrity
+  // hash covers the canonical payload (which includes the key), so a
+  // flipped bit anywhere — including in the hashes themselves — is caught.
+  uint64_t Integrity = fnv1a64(payloadString(Key, E));
+  std::string J = "{\n";
+  J += "  \"analysis_diags\": \"" + jsonEscape(E.AnalysisDiags) + "\",\n";
+  J += "  \"analysis_ok\": " + std::string(E.AnalysisOk ? "true" : "false") +
+       ",\n";
+  J += "  \"analysis_warnings\": " + std::to_string(E.AnalysisWarnings) +
+       ",\n";
+  J += "  \"code_hash\": \"" + hex16(Key.CodeHash) + "\",\n";
+  J += "  \"differential_ok\": " +
+       std::string(E.DifferentialOk ? "true" : "false") + ",\n";
+  J += "  \"format\": \"" + std::string(FormatTag) + "\",\n";
+  J += "  \"integrity\": \"" + hex16(Integrity) + "\",\n";
+  J += "  \"model_hash\": \"" + hex16(Key.ModelHash) + "\",\n";
+  J += "  \"opts_hash\": \"" + hex16(E.OptsHash) + "\",\n";
+  J += "  \"program\": \"" + jsonEscape(E.Program) + "\",\n";
+  J += "  \"replay_ok\": " + std::string(E.ReplayOk ? "true" : "false") +
+       ",\n";
+  J += "  \"spec_hash\": \"" + hex16(Key.SpecHash) + "\",\n";
+  J += "  \"tv_certificate\": \"" + jsonEscape(E.TvCertificate) + "\",\n";
+  J += "  \"tv_loops\": " + std::to_string(E.TvLoops) + ",\n";
+  J += "  \"tv_ran\": " + std::string(E.TvRan ? "true" : "false") + ",\n";
+  J += "  \"tv_terms\": " + std::to_string(E.TvTerms) + ",\n";
+  J += "  \"tv_verdict\": \"" + jsonEscape(E.TvVerdict) + "\"\n";
+  J += "}\n";
+  return J;
+}
+
+namespace {
+
+/// Line-oriented parse of the exact shape serialize() writes: each field
+/// on its own '  "name": value' line. Returns false on any deviation —
+/// strictness is the point (anything unexpected means "re-derive").
+bool parseFields(const std::string &Text,
+                 std::map<std::string, std::string> *Out) {
+  std::istringstream In(Text);
+  std::string Line;
+  bool First = true, Closed = false;
+  while (std::getline(In, Line)) {
+    if (First) {
+      if (Line != "{")
+        return false;
+      First = false;
+      continue;
+    }
+    if (Line == "}") {
+      Closed = true;
+      continue;
+    }
+    if (Closed || First)
+      return false;
+    size_t NameStart = Line.find('"');
+    if (NameStart == std::string::npos)
+      return false;
+    size_t NameEnd = Line.find('"', NameStart + 1);
+    if (NameEnd == std::string::npos)
+      return false;
+    std::string Name = Line.substr(NameStart + 1, NameEnd - NameStart - 1);
+    size_t Colon = Line.find(':', NameEnd);
+    if (Colon == std::string::npos)
+      return false;
+    std::string Value = Line.substr(Colon + 1);
+    // Trim surrounding spaces and the trailing comma.
+    while (!Value.empty() && (Value.front() == ' '))
+      Value.erase(Value.begin());
+    while (!Value.empty() && (Value.back() == ',' || Value.back() == ' '))
+      Value.pop_back();
+    if (!Out->emplace(Name, Value).second)
+      return false; // Duplicate field.
+  }
+  return Closed && !First;
+}
+
+bool getString(const std::map<std::string, std::string> &F,
+               const std::string &Name, std::string *Out) {
+  auto It = F.find(Name);
+  if (It == F.end())
+    return false;
+  const std::string &V = It->second;
+  if (V.size() < 2 || V.front() != '"' || V.back() != '"')
+    return false;
+  return jsonUnescape(V.substr(1, V.size() - 2), Out);
+}
+
+bool getBool(const std::map<std::string, std::string> &F,
+             const std::string &Name, bool *Out) {
+  auto It = F.find(Name);
+  if (It == F.end())
+    return false;
+  if (It->second == "true")
+    *Out = true;
+  else if (It->second == "false")
+    *Out = false;
+  else
+    return false;
+  return true;
+}
+
+bool getU64(const std::map<std::string, std::string> &F,
+            const std::string &Name, uint64_t *Out) {
+  auto It = F.find(Name);
+  if (It == F.end() || It->second.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : It->second) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + uint64_t(C - '0');
+  }
+  *Out = V;
+  return true;
+}
+
+bool getHex(const std::map<std::string, std::string> &F,
+            const std::string &Name, uint64_t *Out) {
+  std::string S;
+  if (!getString(F, Name, &S))
+    return false;
+  return parseHex(S, Out);
+}
+
+} // namespace
+
+std::optional<CertEntry> CertCache::deserialize(const std::string &Text,
+                                                CertKey *KeyOut) {
+  std::map<std::string, std::string> F;
+  if (!parseFields(Text, &F))
+    return std::nullopt;
+
+  std::string Format;
+  if (!getString(F, "format", &Format) || Format != FormatTag)
+    return std::nullopt;
+
+  CertKey Key;
+  CertEntry E;
+  uint64_t Integrity = 0;
+  if (!getHex(F, "model_hash", &Key.ModelHash) ||
+      !getHex(F, "spec_hash", &Key.SpecHash) ||
+      !getHex(F, "code_hash", &Key.CodeHash) ||
+      !getHex(F, "opts_hash", &E.OptsHash) ||
+      !getHex(F, "integrity", &Integrity) ||
+      !getString(F, "program", &E.Program) ||
+      !getBool(F, "replay_ok", &E.ReplayOk) ||
+      !getBool(F, "analysis_ok", &E.AnalysisOk) ||
+      !getU64(F, "analysis_warnings", &E.AnalysisWarnings) ||
+      !getString(F, "analysis_diags", &E.AnalysisDiags) ||
+      !getBool(F, "tv_ran", &E.TvRan) ||
+      !getString(F, "tv_verdict", &E.TvVerdict) ||
+      !getU64(F, "tv_loops", &E.TvLoops) ||
+      !getU64(F, "tv_terms", &E.TvTerms) ||
+      !getString(F, "tv_certificate", &E.TvCertificate) ||
+      !getBool(F, "differential_ok", &E.DifferentialOk))
+    return std::nullopt;
+
+  if (fnv1a64(payloadString(Key, E)) != Integrity)
+    return std::nullopt;
+  if (KeyOut)
+    *KeyOut = Key;
+  return E;
+}
+
+std::optional<CertEntry> CertCache::lookup(const CertKey &Key,
+                                           uint64_t OptsHash,
+                                           CacheStats *Stats) const {
+  auto Miss = [&]() -> std::optional<CertEntry> {
+    if (Stats)
+      ++Stats->Misses;
+    return std::nullopt;
+  };
+  if (!enabled())
+    return Miss();
+
+  std::string Path = pathFor(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Miss();
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  CertKey StoredKey;
+  std::optional<CertEntry> E = deserialize(Buf.str(), &StoredKey);
+  if (!E || !(StoredKey == Key)) {
+    // Unparseable, integrity-failed, or misfiled: discard, never trust.
+    std::error_code EC;
+    std::filesystem::remove(Path, EC);
+    if (Stats)
+      ++Stats->CorruptDiscarded;
+    return Miss();
+  }
+  if (E->OptsHash != OptsHash)
+    return Miss(); // Same inputs, different validation options.
+  if (Stats)
+    ++Stats->Hits;
+  return E;
+}
+
+Status CertCache::store(const CertKey &Key, const CertEntry &Entry,
+                        CacheStats *Stats) const {
+  if (!enabled())
+    return Status::success();
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return Error("certificate cache: cannot create '" + Dir +
+                 "': " + EC.message());
+
+  std::string Path = pathFor(Key);
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return Error("certificate cache: cannot write '" + Tmp + "'");
+    Out << serialize(Key, Entry);
+    if (!Out.flush())
+      return Error("certificate cache: write to '" + Tmp + "' failed");
+  }
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    return Error("certificate cache: cannot rename '" + Tmp + "' into place: " +
+                 EC.message());
+  if (Stats)
+    ++Stats->Stores;
+  return Status::success();
+}
+
+} // namespace pipeline
+} // namespace relc

@@ -1,0 +1,129 @@
+//===- pipeline/CertCache.h - Content-addressed certificate cache -*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Certification verdicts are deterministic functions of (model, fnspec,
+// emitted code, validation options): the same triple always replays, ana-
+// lyzes, translation-validates, and differentially certifies to the same
+// result. This cache makes that determinism pay: relc-gen keys each
+// program's verdict on content hashes of exactly those inputs and skips
+// re-certification when an identical triple was already certified —
+// groundwork for incremental suite builds at scale.
+//
+// Trust story (DESIGN.md §4.5): the cache holds *verdicts*, never code.
+// Every run still compiles the model and re-emits the C from the freshly
+// compiled function; a cache hit only skips re-deriving the certification
+// verdict for inputs proven (by hash) identical to ones already certified.
+// Any change to the model, the fnspec, the emitted code, or the validation
+// options changes a hash and misses — invalidation is structural, not
+// time-based. Entries that fail to parse, whose recorded key disagrees
+// with the filename, or whose integrity hash does not match the payload
+// are *discarded and deleted*, and the verdict is re-derived from scratch:
+// a corrupted cache can cost time, never soundness. Entries are only ever
+// written for fully successful certifications — failures are not cached
+// (they are cheap to re-derive and their diagnostics should stay fresh).
+//
+// On-disk format: one JSON file per entry under the cache directory,
+// named <model>-<spec>-<code>.cert.json (each component 16 hex digits).
+// Keys are emitted in sorted order and one per line, so files are byte-
+// stable for a given entry and diffable across runs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_PIPELINE_CERTCACHE_H
+#define RELC_PIPELINE_CERTCACHE_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace relc {
+namespace pipeline {
+
+/// Content-hash triple addressing one certification verdict.
+struct CertKey {
+  uint64_t ModelHash = 0; ///< Model rendering + compile-hint fact digest.
+  uint64_t SpecHash = 0;  ///< Fnspec rendering (ABI, returns, in-place).
+  uint64_t CodeHash = 0;  ///< Emitted Bedrock2 function rendering.
+
+  /// "<model>-<spec>-<code>", 16 hex digits each: the entry's file stem.
+  std::string fileStem() const;
+
+  bool operator==(const CertKey &O) const {
+    return ModelHash == O.ModelHash && SpecHash == O.SpecHash &&
+           CodeHash == O.CodeHash;
+  }
+};
+
+/// One cached certification verdict, with enough detail to reproduce a
+/// successful run's terminal output and .tv.json artifact byte for byte.
+struct CertEntry {
+  std::string Program;      ///< Program name (diagnostics only, not key).
+  uint64_t OptsHash = 0;    ///< Validation-options digest; part of lookup.
+  bool ReplayOk = false;    ///< Layer 1 verdict.
+  bool AnalysisOk = false;  ///< Layer 2 verdict (no errors).
+  uint64_t AnalysisWarnings = 0;
+  /// Rendered analysis diagnostics (warnings), newline-joined, so a warm
+  /// run reprints them byte-identically to the cold run ("" if none).
+  std::string AnalysisDiags;
+  bool TvRan = false;       ///< Layer 3 executed (vs. disabled).
+  std::string TvVerdict;    ///< "Proved" / "Inconclusive" ("" if !TvRan).
+  uint64_t TvLoops = 0, TvTerms = 0; ///< For the per-program tv line.
+  std::string TvCertificate; ///< The .tv.json payload ("" if !TvRan).
+  bool DifferentialOk = false; ///< Layer 4 verdict.
+};
+
+/// Running statistics for one pipeline execution.
+struct CacheStats {
+  unsigned Hits = 0;
+  unsigned Misses = 0;
+  unsigned Stores = 0;
+  unsigned CorruptDiscarded = 0;
+};
+
+class CertCache {
+public:
+  /// \p Dir empty disables the cache (lookup misses, store no-ops).
+  explicit CertCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &dir() const { return Dir; }
+
+  /// Returns the entry for \p Key iff one exists, parses cleanly, passes
+  /// its integrity hash, and matches \p OptsHash. A present-but-invalid
+  /// entry is deleted (and counted in \p Stats->CorruptDiscarded); an
+  /// options mismatch is a plain miss (the entry stays — another flag
+  /// combination may still want it... but see store(), which overwrites).
+  std::optional<CertEntry> lookup(const CertKey &Key, uint64_t OptsHash,
+                                  CacheStats *Stats = nullptr) const;
+
+  /// Persists \p Entry under \p Key (creating the directory on first use).
+  /// Write is atomic-ish: temp file + rename, so readers never observe a
+  /// torn entry. Only call for fully successful certifications.
+  Status store(const CertKey &Key, const CertEntry &Entry,
+               CacheStats *Stats = nullptr) const;
+
+  /// Serialization, exposed for tests and the independent checker: the
+  /// exact file content store() writes, including the integrity hash.
+  static std::string serialize(const CertKey &Key, const CertEntry &Entry);
+
+  /// Inverse of serialize(). Fails (nullopt) on any malformed field,
+  /// missing key, format-version mismatch, or integrity-hash mismatch.
+  static std::optional<CertEntry> deserialize(const std::string &Text,
+                                              CertKey *KeyOut = nullptr);
+
+private:
+  std::string Dir;
+
+  std::string pathFor(const CertKey &Key) const;
+};
+
+} // namespace pipeline
+} // namespace relc
+
+#endif // RELC_PIPELINE_CERTCACHE_H

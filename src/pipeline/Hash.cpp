@@ -1,0 +1,50 @@
+//===- pipeline/Hash.cpp - Content hashing for the certificate cache -------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Hash.h"
+
+namespace relc {
+namespace pipeline {
+
+uint64_t fnv1a64(std::string_view S, uint64_t H) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+std::string hex16(uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[size_t(I)] = Digits[V & 0xf];
+    V >>= 4;
+  }
+  return Out;
+}
+
+bool parseHex(std::string_view S, uint64_t *Out) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = unsigned(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = unsigned(C - 'a') + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  *Out = V;
+  return true;
+}
+
+} // namespace pipeline
+} // namespace relc

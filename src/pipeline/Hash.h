@@ -1,0 +1,46 @@
+//===- pipeline/Hash.h - Content hashing for the certificate cache -*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The certificate cache (pipeline/CertCache.h) is content-addressed: a
+// cached verdict is keyed on hashes of the exact inputs certification
+// consumed — the functional model, the fnspec, and the emitted Bedrock2
+// code. All three have canonical, deterministic renderings (their str()
+// forms), so content hashing reduces to string hashing. FNV-1a/64 is
+// plenty here: the cache is an *optimization*, not a trust boundary — a
+// (cryptographically implausible) collision could at worst reuse a verdict
+// for a different program, and the trust story in DESIGN.md §4.5 covers
+// why even that does not silently certify wrong code in practice: every
+// run still compiles and replays emission, and any input change reflected
+// in the rendering changes the key.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_PIPELINE_HASH_H
+#define RELC_PIPELINE_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace relc {
+namespace pipeline {
+
+/// FNV-1a over \p S, continuing from \p H (chainable).
+uint64_t fnv1a64(std::string_view S, uint64_t H = 0xcbf29ce484222325ULL);
+
+/// Fixed-width (16 digit) lowercase hex, no prefix — filename-safe and
+/// sortable, unlike relc::hexStr's 0x-prefixed variable width.
+std::string hex16(uint64_t V);
+
+/// Inverse of hex16 (any-width unprefixed hex). Returns false on any
+/// non-hex character or empty input.
+bool parseHex(std::string_view S, uint64_t *Out);
+
+} // namespace pipeline
+} // namespace relc
+
+#endif // RELC_PIPELINE_HASH_H

@@ -1,0 +1,362 @@
+//===- pipeline/Pipeline.cpp - Parallel, incremental certification ---------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "pipeline/Hash.h"
+#include "pipeline/Scheduler.h"
+#include "sep/State.h"
+#include "support/StringExtras.h"
+#include "validate/Validate.h"
+
+#include <chrono>
+
+namespace relc {
+namespace pipeline {
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Runs \p Fn, recording its wall time into \p L.
+template <typename FnT> void timed(LayerRun &L, FnT &&Fn) {
+  auto T0 = std::chrono::steady_clock::now();
+  Fn();
+  L.Millis = millisSince(T0);
+  L.Ran = true;
+}
+
+} // namespace
+
+bool ProgramOutcome::ok() const {
+  if (!CompileOk)
+    return false;
+  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Diff})
+    if (L->Enabled && !((L->Ran || L->FromCache) && L->Ok))
+      return false;
+  return true;
+}
+
+CertKey certKeyFor(const ir::SourceFn &Model, const core::CompileHints &Hints,
+                   const sep::FnSpec &Spec, const bedrock::Function &Code) {
+  CertKey Key;
+
+  // Model: canonical rendering + inline-table contents (str() names tables
+  // but elides their data, which is semantically load-bearing) + the
+  // compile hints, digested by *effect*: hint providers are opaque
+  // closures, but all they do is add solver facts, and the fact database
+  // renders canonically.
+  uint64_t H = fnv1a64("relc-model-v1|");
+  H = fnv1a64(Model.str(), H);
+  for (const ir::TableDef &T : Model.Tables) {
+    H = fnv1a64("|table|" + T.Name + "|" +
+                    std::to_string(unsigned(ir::eltSize(T.Elt))) + "|",
+                H);
+    for (uint64_t E : T.Elements)
+      H = fnv1a64(std::to_string(E) + ",", H);
+  }
+  sep::CompState HintState;
+  for (const auto &Provider : Hints.EntryFacts)
+    Provider(HintState);
+  H = fnv1a64("|hints|" + HintState.Facts.str(), H);
+  Key.ModelHash = H;
+
+  // Fnspec: the rendering covers the ABI shape; the output lists are
+  // appended explicitly so a reordering invisible to str() still misses.
+  uint64_t S = fnv1a64("relc-spec-v1|");
+  S = fnv1a64(Spec.str(), S);
+  S = fnv1a64("|rets|" + join(Spec.ScalarRets, ","), S);
+  S = fnv1a64("|inplace|" + join(Spec.InPlaceArrays, ","), S);
+  S = fnv1a64("|cells|" + join(Spec.InPlaceCells, ","), S);
+  Key.SpecHash = S;
+
+  // Emitted code: the Bedrock2 function's canonical rendering, plus the
+  // inline tables' element data (str() prints only their shape).
+  uint64_t C = fnv1a64("relc-code-v1|");
+  C = fnv1a64(Code.str(), C);
+  for (const bedrock::InlineTable &T : Code.Tables) {
+    C = fnv1a64("|table|" + T.Name + "|" +
+                    std::to_string(unsigned(T.EltSize)) + "|",
+                C);
+    for (bedrock::Word E : T.Elements)
+      C = fnv1a64(std::to_string(E) + ",", C);
+  }
+  Key.CodeHash = C;
+  return Key;
+}
+
+uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
+                        const PipelineOptions &Opts) {
+  uint64_t H = fnv1a64("relc-opts-v1|");
+  H = fnv1a64("vectors=" + std::to_string(VOpts.VectorsPerSize) + "|", H);
+  for (size_t Sz : VOpts.Sizes)
+    H = fnv1a64(std::to_string(Sz) + ",", H);
+  H = fnv1a64("|seed=" + hex16(VOpts.Seed), H);
+  // Custom generators / predicates are opaque closures; their *presence*
+  // is keyed (and the model/spec hashes pin the program they belong to).
+  // Editing a generator's body without touching the model is the one
+  // invalidation the key cannot see — documented in DESIGN.md §4.5.
+  H = fnv1a64(VOpts.MakeInputs ? "|gen=custom" : "|gen=default", H);
+  H = fnv1a64(VOpts.NondetEnsures ? "|ens=custom" : "|ens=none", H);
+  H = fnv1a64(std::string("|callees=") +
+                  std::to_string(VOpts.CalleeModels.size()),
+              H);
+  // Which layers the verdict covers: an entry certified without TV must
+  // not satisfy a run that wants TV, and vice versa.
+  H = fnv1a64(std::string("|layers=") + (Opts.Validate ? "V" : "-") +
+                  (Opts.Analyze ? "A" : "-") + (Opts.Tv ? "T" : "-"),
+              H);
+  return H;
+}
+
+namespace {
+
+/// True iff \p E records a successful verdict for every layer \p Opts
+/// enables. Entries are only stored for full successes, so a false here
+/// means a corrupt-but-integral entry; treat as a miss defensively.
+bool entryCovers(const CertEntry &E, const PipelineOptions &Opts) {
+  if (Opts.Validate && !(E.ReplayOk && E.DifferentialOk))
+    return false;
+  if (Opts.Analyze && !E.AnalysisOk)
+    return false;
+  if (Opts.Tv && !E.TvRan)
+    return false;
+  return true;
+}
+
+/// Fills \p O's layer fields from a cached verdict.
+void applyCached(ProgramOutcome &O, const CertEntry &E) {
+  auto FromCache = [](LayerRun &L) {
+    if (L.Enabled) {
+      L.FromCache = true;
+      L.Ok = true;
+    }
+  };
+  FromCache(O.Replay);
+  FromCache(O.Analysis);
+  FromCache(O.Tv);
+  FromCache(O.Diff);
+  O.AnalysisWarnings = E.AnalysisWarnings;
+  O.AnalysisDiags = E.AnalysisDiags;
+  O.TvVerdictName = E.TvVerdict;
+  O.TvLoops = E.TvLoops;
+  O.TvTerms = E.TvTerms;
+  O.TvCertJson = E.TvCertificate;
+  O.CacheHit = true;
+}
+
+} // namespace
+
+std::vector<ProgramOutcome>
+certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
+                const PipelineOptions &Opts, PipelineStats *Stats,
+                const TamperHook &Tamper) {
+  std::vector<ProgramOutcome> Out(Progs.size());
+  std::vector<CacheStats> PerProgramCache(Progs.size());
+  CertCache Cache(Opts.CacheDir);
+  JobGraph G;
+
+  for (size_t I = 0; I < Progs.size(); ++I) {
+    const programs::ProgramDef *P = Progs[I];
+    ProgramOutcome &O = Out[I];
+    CacheStats &CS = PerProgramCache[I];
+    O.Def = P;
+    O.Replay.Enabled = Opts.Validate;
+    O.Analysis.Enabled = Opts.Analyze;
+    O.Tv.Enabled = Opts.Tv;
+    O.Diff.Enabled = Opts.Validate;
+
+    // Per-job validation options: what validate::validate would see.
+    // (Copied per program so concurrent jobs never share mutable state.)
+    auto MakeVOpts = [P]() {
+      validate::ValidationOptions VO = P->VOpts;
+      VO.Hints = P->Hints;
+      return VO;
+    };
+
+    //--- compile: the root of this program's chain.
+    JobId JCompile = G.add(P->Name + "/compile", [&O, &CS, &Cache, &Opts, P,
+                                                  &Tamper, MakeVOpts] {
+      auto T0 = std::chrono::steady_clock::now();
+      core::Compiler C;
+      Result<core::CompileResult> R = C.compileFn(P->Model, P->Spec,
+                                                  P->Hints);
+      O.CompileMillis = millisSince(T0);
+      if (!R) {
+        O.CompileError =
+            R.takeError().note("while compiling program " + P->Name).str();
+        return;
+      }
+      O.Compiled = R.take();
+      if (Tamper)
+        Tamper(*P, O.Compiled);
+      O.CompileOk = true;
+      O.Linked.Functions.push_back(O.Compiled.Fn);
+
+      O.Key = certKeyFor(P->Model, P->Hints, P->Spec, O.Compiled.Fn);
+      O.OptsHash = optionsHashFor(MakeVOpts(), Opts);
+      if (Cache.enabled()) {
+        std::optional<CertEntry> E = Cache.lookup(O.Key, O.OptsHash, &CS);
+        if (E && entryCovers(*E, Opts))
+          applyCached(O, *E);
+      }
+    });
+
+    //--- The three static layers: independent once the code is emitted.
+    std::vector<JobId> StaticJobs;
+    if (Opts.Validate)
+      StaticJobs.push_back(G.add(P->Name + "/replay", [&O] {
+        if (!O.CompileOk || O.CacheHit)
+          return;
+        timed(O.Replay, [&] {
+          Status S = validate::replayDerivation(O.Def->Model, O.Compiled);
+          O.Replay.Ok = bool(S);
+          if (!S && O.ValidationError.empty())
+            O.ValidationError =
+                S.takeError()
+                    .note("derivation replay rejected the witness")
+                    .note("while validating program " + O.Def->Name)
+                    .str();
+        });
+      }, {JCompile}));
+
+    if (Opts.Analyze)
+      StaticJobs.push_back(G.add(P->Name + "/analysis", [&O] {
+        if (!O.CompileOk || O.CacheHit)
+          return;
+        timed(O.Analysis, [&] {
+          O.AReport = analysis::analyzeProgram(O.Compiled.Fn, O.Def->Spec,
+                                               O.Def->Model,
+                                               O.Def->Hints.EntryFacts);
+          O.AnalysisWarnings = O.AReport.numWarnings();
+          O.Analysis.Ok = !O.AReport.hasErrors();
+          for (const analysis::Diagnostic &D : O.AReport.Diags)
+            O.AnalysisDiags +=
+                (O.AnalysisDiags.empty() ? "" : "\n") + D.str();
+        });
+      }, {JCompile}));
+
+    if (Opts.Tv)
+      StaticJobs.push_back(G.add(P->Name + "/tv", [&O] {
+        if (!O.CompileOk || O.CacheHit)
+          return;
+        timed(O.Tv, [&] {
+          O.TvRep = tv::validateTranslation(O.Def->Model, O.Def->Spec,
+                                            O.Compiled.Fn,
+                                            O.Def->Hints.EntryFacts);
+          O.Tv.Ok = !O.TvRep.refuted();
+          O.TvVerdictName = tv::verdictName(O.TvRep.TheVerdict);
+          O.TvLoops = O.TvRep.Loops.size();
+          O.TvTerms = O.TvRep.NumTerms;
+          O.TvCertJson = O.TvRep.certificate();
+        });
+      }, {JCompile}));
+
+    //--- Differential certification: after every static layer passed.
+    std::vector<JobId> DiffDeps = StaticJobs;
+    DiffDeps.insert(DiffDeps.begin(), JCompile);
+    JobId JDiff = NoJob;
+    if (Opts.Validate)
+      JDiff = G.add(P->Name + "/differential", [&O, MakeVOpts] {
+        if (!O.CompileOk || O.CacheHit)
+          return;
+        // Match serial validate(): differential runs only when every
+        // enabled static layer passed. Error reporting keeps the fixed
+        // layer order (replay > analysis > tv), so an analysis failure
+        // that raced ahead of a replay failure never wins.
+        if (O.Replay.Enabled && !O.Replay.Ok)
+          return;
+        if (O.Analysis.Enabled && !O.Analysis.Ok) {
+          if (O.ValidationError.empty())
+            O.ValidationError =
+                validate::analysisRejection(O.Compiled.Fn.Name, O.AReport)
+                    .note("static analysis rejected the target")
+                    .note("while validating program " + O.Def->Name)
+                    .str();
+          return;
+        }
+        if (O.Tv.Enabled && !O.Tv.Ok) {
+          if (O.ValidationError.empty())
+            O.ValidationError =
+                validate::tvRejection(O.TvRep)
+                    .note("translation validation rejected the target")
+                    .note("while validating program " + O.Def->Name)
+                    .str();
+          return;
+        }
+        timed(O.Diff, [&] {
+          Status S = validate::differentialCertify(O.Def->Model, O.Def->Spec,
+                                                   O.Compiled, O.Linked,
+                                                   MakeVOpts());
+          O.Diff.Ok = bool(S);
+          if (!S && O.ValidationError.empty())
+            O.ValidationError =
+                S.takeError()
+                    .note("differential certification failed")
+                    .note("while validating program " + O.Def->Name)
+                    .str();
+        });
+      }, DiffDeps);
+
+    //--- Certificate store + per-program wrap-up.
+    std::vector<JobId> FinishDeps = DiffDeps;
+    if (JDiff != NoJob)
+      FinishDeps.push_back(JDiff);
+    G.add(P->Name + "/certify", [&O, &CS, &Cache, &Opts] {
+      // Render the non-validate failure texts (analysis/tv rejections when
+      // layer 4 is disabled and never got to render them).
+      if (O.CompileOk && !O.CacheHit && O.ValidationError.empty()) {
+        if (O.Analysis.Enabled && O.Analysis.Ran && !O.Analysis.Ok)
+          O.ValidationError =
+              validate::analysisRejection(O.Compiled.Fn.Name, O.AReport)
+                  .str();
+        else if (O.Tv.Enabled && O.Tv.Ran && !O.Tv.Ok)
+          O.ValidationError = validate::tvRejection(O.TvRep).str();
+      }
+      if (!Cache.enabled() || O.CacheHit || !O.ok())
+        return;
+      CertEntry E;
+      E.Program = O.Def->Name;
+      E.OptsHash = O.OptsHash;
+      E.ReplayOk = O.Replay.Enabled && O.Replay.Ok;
+      E.AnalysisOk = O.Analysis.Enabled && O.Analysis.Ok;
+      E.AnalysisWarnings = O.AnalysisWarnings;
+      E.AnalysisDiags = O.AnalysisDiags;
+      E.TvRan = O.Tv.Enabled;
+      E.TvVerdict = O.TvVerdictName;
+      E.TvLoops = O.TvLoops;
+      E.TvTerms = O.TvTerms;
+      E.TvCertificate = O.TvCertJson;
+      E.DifferentialOk = O.Diff.Enabled && O.Diff.Ok;
+      Status S = Cache.store(O.Key, E, &CS);
+      (void)S; // Failure to persist is not a certification failure.
+    }, FinishDeps);
+  }
+
+  Status Run = G.run(Opts.Jobs);
+  (void)Run; // Jobs capture all failures in their outcome slots.
+
+  if (Stats) {
+    Stats->Programs += unsigned(Progs.size());
+    for (size_t I = 0; I < Progs.size(); ++I) {
+      Stats->Cache.Hits += PerProgramCache[I].Hits;
+      Stats->Cache.Misses += PerProgramCache[I].Misses;
+      Stats->Cache.Stores += PerProgramCache[I].Stores;
+      Stats->Cache.CorruptDiscarded += PerProgramCache[I].CorruptDiscarded;
+      if (!Out[I].ok())
+        ++Stats->Failures;
+    }
+  }
+  return Out;
+}
+
+} // namespace pipeline
+} // namespace relc

@@ -1,0 +1,137 @@
+//===- pipeline/Pipeline.h - Parallel, incremental certification -*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The suite-level certification driver behind relc-gen: for each program,
+// a dependency-aware job chain
+//
+//     compile ──> { derivation replay, static analysis, translation
+//                   validation }          (independent once code exists)
+//             ──> differential certification
+//             ──> certificate store
+//
+// executed on the work-stealing scheduler (pipeline/Scheduler.h) across
+// programs and layers, with verdicts reused across runs through the
+// content-addressed certificate cache (pipeline/CertCache.h).
+//
+// Reproducibility contract: all diagnostics are buffered into per-program
+// outcome fields — jobs never print — and consumed by the caller in
+// program submission order, so `-j N` and `-j 1` produce byte-identical
+// terminal streams and artifacts. `-j 1` executes jobs inline in
+// submission order: exactly the pre-pipeline serial behavior.
+//
+// Error semantics match validate::validate: layers report in the fixed
+// order replay -> analysis -> tv -> differential (a replay failure wins
+// even if analysis also failed in parallel), differential only runs when
+// every enabled static layer passed, and one program's failure never
+// blocks or poisons sibling programs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_PIPELINE_PIPELINE_H
+#define RELC_PIPELINE_PIPELINE_H
+
+#include "analysis/Analysis.h"
+#include "pipeline/CertCache.h"
+#include "programs/Programs.h"
+#include "tv/Tv.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace relc {
+namespace pipeline {
+
+struct PipelineOptions {
+  unsigned Jobs = 1;        ///< Scheduler width; 1 = serial reference.
+  std::string CacheDir;     ///< Certificate cache; empty disables it.
+  bool Validate = true;     ///< Layers 1 and 4 (replay + differential).
+  bool Analyze = true;      ///< Layer 2 (dataflow verifier).
+  bool Tv = true;           ///< Layer 3 (translation validation).
+};
+
+/// One certification layer's outcome within a program's chain.
+struct LayerRun {
+  bool Enabled = false;   ///< Requested by the options.
+  bool Ran = false;       ///< Executed live this run.
+  bool FromCache = false; ///< Verdict reused from the certificate cache.
+  bool Ok = false;        ///< Verdict (meaningful when Ran or FromCache).
+  double Millis = 0;      ///< Live execution time (0 when cached).
+};
+
+/// Everything one program's jobs produced, buffered for deterministic
+/// consumption. Move-only (owns the derivation witness).
+struct ProgramOutcome {
+  const programs::ProgramDef *Def = nullptr;
+
+  bool CompileOk = false;
+  std::string CompileError;      ///< Rendered compile failure.
+  core::CompileResult Compiled;  ///< Valid when CompileOk.
+  bedrock::Module Linked;        ///< Single-function module for layer 4.
+  double CompileMillis = 0;
+
+  LayerRun Replay, Analysis, Tv, Diff;
+
+  /// First failing layer's rendered error, with the same note chain
+  /// validate::validate produces (so callers can print identical text).
+  std::string ValidationError;
+
+  /// Live-run reports (valid when the layer's Ran flag is set).
+  analysis::AnalysisReport AReport;
+  tv::TvReport TvRep;
+
+  /// Summary fields available on both live and cached paths.
+  uint64_t AnalysisWarnings = 0;
+  std::string AnalysisDiags;     ///< Rendered diags, newline-joined.
+  std::string TvVerdictName;     ///< verdictName() form ("proved", ...).
+  uint64_t TvLoops = 0, TvTerms = 0;
+  std::string TvCertJson;        ///< The .tv.json payload ("" if TV off).
+
+  CertKey Key;                   ///< Content hashes (valid when CompileOk).
+  uint64_t OptsHash = 0;
+  bool CacheHit = false;         ///< Entire verdict came from the cache.
+
+  /// True iff compilation and every enabled layer succeeded.
+  bool ok() const;
+};
+
+struct PipelineStats {
+  CacheStats Cache;
+  unsigned Programs = 0;
+  unsigned Failures = 0;
+};
+
+/// Test-only fault injection: runs after a program compiles, before any
+/// certification layer sees the result. Lets tests tamper with one
+/// program's emitted code or witness inside a parallel run.
+using TamperHook =
+    std::function<void(const programs::ProgramDef &, core::CompileResult &)>;
+
+/// Content hashes for the cache key. Exposed for tests: mutating any of
+/// model / hints / fnspec / emitted code must change the respective
+/// component.
+CertKey certKeyFor(const ir::SourceFn &Model, const core::CompileHints &Hints,
+                   const sep::FnSpec &Spec, const bedrock::Function &Code);
+
+/// Digest of everything else a verdict depends on: validation options
+/// (seed, vector battery, custom generators' presence) and which layers
+/// are enabled. Any change forces a cache miss.
+uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
+                        const PipelineOptions &Opts);
+
+/// Certifies \p Progs under \p Opts on the job-graph scheduler. The result
+/// vector is indexed like \p Progs regardless of execution order.
+std::vector<ProgramOutcome>
+certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
+                const PipelineOptions &Opts, PipelineStats *Stats = nullptr,
+                const TamperHook &Tamper = nullptr);
+
+} // namespace pipeline
+} // namespace relc
+
+#endif // RELC_PIPELINE_PIPELINE_H

@@ -24,6 +24,14 @@
 // structural facts like "x & c ≤ min(x, c)" and "2^k · (x >> k) ≤ x" that
 // hold without wrapping). See SymbolFacts helpers below.
 //
+// Concurrency contract (audited for the parallel certification pipeline,
+// pipeline/Scheduler.h): all solver scratch state — the fact rows, the
+// elimination workspace — lives inside the FactDb instance; there are no
+// globals and no caches shared across instances. Each compile / analysis /
+// TV job builds its own FactDb, so concurrent certification jobs never
+// contend (per-job arenas, not locks; DESIGN.md §4.5). Any future
+// memoization across queries must stay per-instance or be re-audited.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef RELC_SOLVER_LINEAR_H

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cctype>
+#include <cstdio>
 
 namespace relc {
 
@@ -84,6 +85,94 @@ std::string sanitizeCIdentifier(const std::string &Name) {
     Out += hexByte(static_cast<uint8_t>(C));
   }
   return Out;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", (unsigned char)C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+bool jsonUnescape(const std::string &S, std::string *Out) {
+  Out->clear();
+  Out->reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (C != '\\') {
+      Out->push_back(C);
+      continue;
+    }
+    if (I + 1 >= S.size())
+      return false;
+    char E = S[++I];
+    switch (E) {
+    case '"':
+      Out->push_back('"');
+      break;
+    case '\\':
+      Out->push_back('\\');
+      break;
+    case 'n':
+      Out->push_back('\n');
+      break;
+    case 't':
+      Out->push_back('\t');
+      break;
+    case 'u': {
+      if (I + 4 >= S.size())
+        return false;
+      unsigned V = 0;
+      for (unsigned K = 1; K <= 4; ++K) {
+        char H = S[I + K];
+        unsigned D;
+        if (H >= '0' && H <= '9')
+          D = unsigned(H - '0');
+        else if (H >= 'a' && H <= 'f')
+          D = unsigned(H - 'a') + 10;
+        else if (H >= 'A' && H <= 'F')
+          D = unsigned(H - 'A') + 10;
+        else
+          return false;
+        V = (V << 4) | D;
+      }
+      I += 4;
+      if (V < 0x80)
+        Out->push_back(char(V));
+      else
+        return false; // Emitters only \u-escape control characters.
+      break;
+    }
+    default:
+      // Pass through unknown escapes verbatim (we never emit them).
+      Out->push_back('\\');
+      Out->push_back(E);
+    }
+  }
+  return true;
 }
 
 std::string replaceAll(std::string S, const std::string &From,

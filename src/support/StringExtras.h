@@ -30,6 +30,16 @@ bool isValidCIdentifier(const std::string &Name);
 /// identifier (non-identifier characters become '_' plus a hex code).
 std::string sanitizeCIdentifier(const std::string &Name);
 
+/// Escapes \p S for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters). Used by every certificate and
+/// benchmark JSON emitter so escaping is uniform across artifacts.
+std::string jsonEscape(const std::string &S);
+
+/// Inverse of jsonEscape (handles \" \\ \n \t \uXXXX for XXXX < 0x80;
+/// other escapes pass through unchanged). Returns false on a truncated
+/// escape at end of input.
+bool jsonUnescape(const std::string &S, std::string *Out);
+
 /// Replaces every occurrence of \p From in \p S with \p To.
 std::string replaceAll(std::string S, const std::string &From,
                        const std::string &To);

@@ -39,6 +39,15 @@
 // initial states evolved by equal guarded transitions are equal at every
 // trip count, including the symbolic one.
 //
+// Concurrency contract (audited for the parallel certification pipeline,
+// pipeline/Scheduler.h): the hash-cons table is a per-TermGraph member,
+// not a global — every TV job constructs its own graph, so concurrent
+// jobs share no mutable state and need no locks (per-job arenas, not
+// mutex-guarded interning; DESIGN.md §4.5). Keep it that way: a global
+// intern table would make node ids — which the certificates embed —
+// depend on scheduling order and break the byte-identical -j1/-jN
+// guarantee, besides needing synchronization.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef RELC_TV_TERM_H

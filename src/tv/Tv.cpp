@@ -40,6 +40,7 @@
 #include "tv/Term.h"
 
 #include "support/Casting.h"
+#include "support/StringExtras.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -1211,36 +1212,6 @@ private:
     Rep.TheVerdict = Verdict::Proved;
   }
 };
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 8);
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if ((unsigned char)C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", (unsigned char)C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
 
 } // namespace
 

@@ -8,6 +8,7 @@
 #include "validate/Validate.h"
 
 #include "analysis/Analysis.h"
+#include "pipeline/Scheduler.h"
 #include "support/StringExtras.h"
 #include "tv/Tv.h"
 
@@ -530,6 +531,16 @@ Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   return Status::success();
 }
 
+Error analysisRejection(const std::string &TargetName,
+                        const analysis::AnalysisReport &Report) {
+  Error E("static analysis of target '" + TargetName + "' found " +
+          std::to_string(Report.numErrors()) + " error(s) and " +
+          std::to_string(Report.numWarnings()) + " warning(s)");
+  for (const analysis::Diagnostic &D : Report.Diags)
+    E.note(D.str());
+  return E;
+}
+
 Status analyzeTarget(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                      const core::CompileResult &Compiled,
                      const ValidationOptions &Opts) {
@@ -540,15 +551,20 @@ Status analyzeTarget(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   // not fail it: a model with a dead let or a statically-decided branch
   // compiles to target code with the same shape, and that is a *faithful*
   // translation; relc-lint is the strict gate for the curated suite.
-  if (Report.hasErrors()) {
-    Error E("static analysis of target '" + Compiled.Fn.Name + "' found " +
-            std::to_string(Report.numErrors()) + " error(s) and " +
-            std::to_string(Report.numWarnings()) + " warning(s)");
-    for (const analysis::Diagnostic &D : Report.Diags)
-      E.note(D.str());
-    return E;
-  }
+  if (Report.hasErrors())
+    return analysisRejection(Compiled.Fn.Name, Report);
   return Status::success();
+}
+
+Error tvRejection(const tv::TvReport &Rep) {
+  Error E("translation validation refuted '" + Rep.Fn + "': " + Rep.Reason);
+  for (const tv::OutputRecord &O : Rep.Outputs)
+    if (!O.Matched)
+      E.note("output '" + O.Name + "' [" + O.Kind + "]: model " + O.SrcTerm +
+             (O.SourceBinding.empty() ? "" : " (" + O.SourceBinding + ")") +
+             " vs target " + O.TgtTerm +
+             (O.TargetPath.empty() ? "" : " (at " + O.TargetPath + ")"));
+  return E;
 }
 
 Status translationValidate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
@@ -559,18 +575,8 @@ Status translationValidate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   // Only a refuted equivalence fails certification: it is a static proof
   // of a miscompilation. Inconclusive means the program is outside the
   // validated fragment and the sampled layer carries the certification.
-  if (Rep.refuted()) {
-    Error E("translation validation refuted '" + Compiled.Fn.Name +
-            "': " + Rep.Reason);
-    for (const tv::OutputRecord &O : Rep.Outputs)
-      if (!O.Matched)
-        E.note("output '" + O.Name + "' [" + O.Kind + "]: model " +
-               O.SrcTerm +
-               (O.SourceBinding.empty() ? "" : " (" + O.SourceBinding + ")") +
-               " vs target " + O.TgtTerm +
-               (O.TargetPath.empty() ? "" : " (at " + O.TargetPath + ")"));
-    return E;
-  }
+  if (Rep.refuted())
+    return tvRejection(Rep);
   return Status::success();
 }
 
@@ -578,18 +584,64 @@ Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                 const core::CompileResult &Compiled,
                 const bedrock::Module &Linked,
                 const ValidationOptions &Opts) {
-  Status Replay = replayDerivation(Fn, Compiled);
-  if (!Replay)
-    return Replay.takeError().note("derivation replay rejected the witness");
-  Status Analyze = analyzeTarget(Fn, Spec, Compiled, Opts);
-  if (!Analyze)
-    return Analyze.takeError().note("static analysis rejected the target");
-  if (Opts.RunTv) {
-    Status Tv = translationValidate(Fn, Spec, Compiled, Opts);
+  // The three static layers are independent once the code is emitted; with
+  // Opts.Jobs > 1 they run concurrently on the job-graph scheduler, and
+  // differential certification follows once all of them pass. Failures are
+  // reported in the fixed serial layer order either way, so verdicts and
+  // diagnostics are identical to a Jobs == 1 run.
+  Status Replay = Status::success(), Analyze = Status::success();
+  Status Tv = Status::success(), Diff = Status::success();
+  bool StaticOk = false;
+
+  if (Opts.Jobs <= 1) {
+    Replay = replayDerivation(Fn, Compiled);
+    if (!Replay)
+      return Replay.takeError().note(
+          "derivation replay rejected the witness");
+    Analyze = analyzeTarget(Fn, Spec, Compiled, Opts);
+    if (!Analyze)
+      return Analyze.takeError().note("static analysis rejected the target");
+    if (Opts.RunTv) {
+      Tv = translationValidate(Fn, Spec, Compiled, Opts);
+      if (!Tv)
+        return Tv.takeError().note(
+            "translation validation rejected the target");
+    }
+    StaticOk = true;
+  } else {
+    pipeline::JobGraph G;
+    std::vector<pipeline::JobId> StaticJobs;
+    StaticJobs.push_back(G.add("replay", [&] {
+      Replay = replayDerivation(Fn, Compiled);
+    }));
+    StaticJobs.push_back(G.add("analysis", [&] {
+      Analyze = analyzeTarget(Fn, Spec, Compiled, Opts);
+    }));
+    if (Opts.RunTv)
+      StaticJobs.push_back(G.add("tv", [&] {
+        Tv = translationValidate(Fn, Spec, Compiled, Opts);
+      }));
+    G.add("differential", [&] {
+      if (Replay && Analyze && Tv) {
+        StaticOk = true;
+        Diff = differentialCertify(Fn, Spec, Compiled, Linked, Opts);
+      }
+    }, StaticJobs);
+    Status Run = G.run(Opts.Jobs);
+    if (!Run)
+      return Run; // A layer threw; never expected (layers return Status).
+    if (!Replay)
+      return Replay.takeError().note(
+          "derivation replay rejected the witness");
+    if (!Analyze)
+      return Analyze.takeError().note("static analysis rejected the target");
     if (!Tv)
-      return Tv.takeError().note("translation validation rejected the target");
+      return Tv.takeError().note(
+          "translation validation rejected the target");
   }
-  Status Diff = differentialCertify(Fn, Spec, Compiled, Linked, Opts);
+
+  if (Opts.Jobs <= 1 && StaticOk)
+    Diff = differentialCertify(Fn, Spec, Compiled, Linked, Opts);
   if (!Diff)
     return Diff.takeError().note("differential certification failed");
   return Status::success();

@@ -50,11 +50,13 @@
 #ifndef RELC_VALIDATE_VALIDATE_H
 #define RELC_VALIDATE_VALIDATE_H
 
+#include "analysis/Analysis.h"
 #include "bedrock/Interp.h"
 #include "core/Compiler.h"
 #include "ir/Interp.h"
 #include "sep/Spec.h"
 #include "support/Result.h"
+#include "tv/Tv.h"
 
 #include <functional>
 #include <map>
@@ -99,6 +101,14 @@ struct ValidationOptions {
   /// Run the symbolic translation validator (layer 3). On by default; a
   /// Refuted verdict fails validation, Inconclusive does not.
   bool RunTv = true;
+  /// Scheduler width for the certification layers. With Jobs == 1 (the
+  /// default) the layers run inline in the fixed serial order; with more,
+  /// replay / analysis / tv execute concurrently on the job-graph
+  /// scheduler (they are independent once code is emitted) and
+  /// differential certification runs after all of them. Verdicts and
+  /// diagnostics are identical either way: failures are reported in the
+  /// fixed layer order, not completion order.
+  unsigned Jobs = 1;
 };
 
 /// Layer 1: replays the derivation witness. Independent of the search
@@ -144,6 +154,15 @@ Status validate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
 /// Default input generator: random bytes/words sized by the hint.
 std::vector<ir::Value> defaultInputs(const ir::SourceFn &Fn, Rng &R,
                                      size_t SizeHint);
+
+/// Renders the layer-2 rejection for an analysis report with errors.
+/// Shared by analyzeTarget and the parallel pipeline (pipeline/Pipeline.h)
+/// so serial and parallel runs print byte-identical diagnostics.
+Error analysisRejection(const std::string &TargetName,
+                        const analysis::AnalysisReport &Report);
+
+/// Renders the layer-3 rejection for a refuted translation validation.
+Error tvRejection(const tv::TvReport &Rep);
 
 } // namespace validate
 } // namespace relc

@@ -1,0 +1,223 @@
+//===- tests/pipeline/CertCacheTest.cpp - Certificate cache ----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CertCache.h"
+#include "pipeline/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace relc;
+using namespace relc::pipeline;
+
+namespace {
+
+/// A unique scratch directory per test, removed on destruction.
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("relc-cache-test-" + Name))
+               .string();
+    std::filesystem::remove_all(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+CertKey sampleKey() {
+  CertKey K;
+  K.ModelHash = 0x1111aaaa2222bbbbULL;
+  K.SpecHash = 0x3333cccc4444ddddULL;
+  K.CodeHash = 0x5555eeee6666ffffULL;
+  return K;
+}
+
+CertEntry sampleEntry() {
+  CertEntry E;
+  E.Program = "upstr";
+  E.OptsHash = 0xdeadbeefcafef00dULL;
+  E.ReplayOk = true;
+  E.AnalysisOk = true;
+  E.AnalysisWarnings = 2;
+  E.AnalysisDiags = "warning: dead store to 'x'\nwarning: unreachable";
+  E.TvRan = true;
+  E.TvVerdict = "proved";
+  E.TvLoops = 1;
+  E.TvTerms = 42;
+  E.TvCertificate = "{\n  \"verdict\": \"proved\"\n}\n";
+  E.DifferentialOk = true;
+  return E;
+}
+
+TEST(CertCacheTest, Fnv1a64IsStableAndChainable) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  // Chaining two halves equals hashing the concatenation.
+  EXPECT_EQ(fnv1a64("world", fnv1a64("hello ")), fnv1a64("hello world"));
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(CertCacheTest, Hex16RoundTrips) {
+  for (uint64_t V : {0ULL, 1ULL, 0xdeadbeefULL, ~0ULL}) {
+    std::string S = hex16(V);
+    EXPECT_EQ(S.size(), 16u);
+    uint64_t Back = 0;
+    ASSERT_TRUE(parseHex(S, &Back)) << S;
+    EXPECT_EQ(Back, V);
+  }
+  uint64_t X;
+  EXPECT_FALSE(parseHex("not-hex-not-hex!", &X));
+  EXPECT_FALSE(parseHex("", &X));
+  EXPECT_FALSE(parseHex("00000000000000000", &X)); // 17 digits: too long.
+}
+
+TEST(CertCacheTest, SerializeDeserializeRoundTrips) {
+  CertKey K = sampleKey();
+  CertEntry E = sampleEntry();
+  std::string Text = CertCache::serialize(K, E);
+
+  CertKey K2;
+  std::optional<CertEntry> E2 = CertCache::deserialize(Text, &K2);
+  ASSERT_TRUE(E2.has_value());
+  EXPECT_TRUE(K2 == K);
+  EXPECT_EQ(E2->Program, E.Program);
+  EXPECT_EQ(E2->OptsHash, E.OptsHash);
+  EXPECT_EQ(E2->ReplayOk, E.ReplayOk);
+  EXPECT_EQ(E2->AnalysisOk, E.AnalysisOk);
+  EXPECT_EQ(E2->AnalysisWarnings, E.AnalysisWarnings);
+  EXPECT_EQ(E2->AnalysisDiags, E.AnalysisDiags);
+  EXPECT_EQ(E2->TvRan, E.TvRan);
+  EXPECT_EQ(E2->TvVerdict, E.TvVerdict);
+  EXPECT_EQ(E2->TvLoops, E.TvLoops);
+  EXPECT_EQ(E2->TvTerms, E.TvTerms);
+  EXPECT_EQ(E2->TvCertificate, E.TvCertificate);
+  EXPECT_EQ(E2->DifferentialOk, E.DifferentialOk);
+}
+
+TEST(CertCacheTest, SerializationIsByteStable) {
+  // Two serializations of the same entry are identical — the disk format
+  // must be deterministic for byte-identical warm-run artifacts.
+  EXPECT_EQ(CertCache::serialize(sampleKey(), sampleEntry()),
+            CertCache::serialize(sampleKey(), sampleEntry()));
+}
+
+TEST(CertCacheTest, AnyFlippedPayloadBitFailsIntegrity) {
+  std::string Text = CertCache::serialize(sampleKey(), sampleEntry());
+  // Flip the verdict: "proved" -> "proxed".
+  size_t Pos = Text.find("proved");
+  ASSERT_NE(Pos, std::string::npos);
+  std::string Tampered = Text;
+  Tampered[Pos + 3] = 'x';
+  EXPECT_FALSE(CertCache::deserialize(Tampered).has_value());
+}
+
+TEST(CertCacheTest, StoreThenLookupHits) {
+  TempDir D("roundtrip");
+  CertCache Cache(D.Path);
+  CacheStats Stats;
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry(), &Stats)));
+  EXPECT_EQ(Stats.Stores, 1u);
+
+  std::optional<CertEntry> E =
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(E->TvCertificate, sampleEntry().TvCertificate);
+}
+
+TEST(CertCacheTest, AnyKeyComponentChangeMisses) {
+  TempDir D("keymiss");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+
+  for (int Component = 0; Component < 3; ++Component) {
+    CertKey K = sampleKey();
+    (Component == 0   ? K.ModelHash
+     : Component == 1 ? K.SpecHash
+                      : K.CodeHash) ^= 1;
+    CacheStats Stats;
+    EXPECT_FALSE(Cache.lookup(K, sampleEntry().OptsHash, &Stats).has_value());
+    EXPECT_EQ(Stats.Misses, 1u);
+    EXPECT_EQ(Stats.CorruptDiscarded, 0u);
+  }
+}
+
+TEST(CertCacheTest, OptionsHashMismatchMisses) {
+  TempDir D("optsmiss");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  CacheStats Stats;
+  EXPECT_FALSE(
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash ^ 1, &Stats)
+          .has_value());
+  EXPECT_EQ(Stats.Misses, 1u);
+  // The entry itself is fine — it stays on disk.
+  EXPECT_TRUE(
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
+}
+
+TEST(CertCacheTest, CorruptedEntryDiscardedDeletedAndRederivable) {
+  TempDir D("corrupt");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+
+  // Corrupt the single entry file on disk.
+  std::string Path;
+  for (const auto &Ent : std::filesystem::directory_iterator(D.Path))
+    Path = Ent.path().string();
+  ASSERT_FALSE(Path.empty());
+  {
+    std::ofstream Out(Path, std::ios::app);
+    Out << "garbage\n";
+  }
+
+  CacheStats Stats;
+  EXPECT_FALSE(
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
+  EXPECT_EQ(Stats.CorruptDiscarded, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+  // The poisoned file is gone; a fresh store + lookup works again.
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  EXPECT_TRUE(
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
+}
+
+TEST(CertCacheTest, MisfiledEntryDiscarded) {
+  // An integral entry stored under the wrong filename (e.g. a manually
+  // renamed file) must not be trusted: the recorded key disagrees.
+  TempDir D("misfiled");
+  CertCache Cache(D.Path);
+  CertKey Wrong = sampleKey();
+  Wrong.CodeHash ^= 0xff;
+  std::filesystem::create_directories(D.Path);
+  std::ofstream Out(D.Path + "/" + Wrong.fileStem() + ".cert.json");
+  Out << CertCache::serialize(sampleKey(), sampleEntry());
+  Out.close();
+
+  CacheStats Stats;
+  EXPECT_FALSE(Cache.lookup(Wrong, sampleEntry().OptsHash, &Stats).has_value());
+  EXPECT_EQ(Stats.CorruptDiscarded, 1u);
+}
+
+TEST(CertCacheTest, DisabledCacheAlwaysMisses) {
+  CertCache Cache("");
+  EXPECT_FALSE(Cache.enabled());
+  CacheStats Stats;
+  EXPECT_TRUE(bool(Cache.store(sampleKey(), sampleEntry(), &Stats)));
+  EXPECT_EQ(Stats.Stores, 0u);
+  EXPECT_FALSE(
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
+  EXPECT_EQ(Stats.Misses, 1u);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- tests/pipeline/PipelineTest.cpp - Parallel cert pipeline ------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end checks of the suite-level driver: cold runs certify live and
+// store verdicts; warm runs skip re-certification yet reproduce the exact
+// same summary fields and .tv.json payloads; any mutation of the cache-key
+// inputs (model, fnspec, emitted code) forces a miss; parallel and serial
+// execution agree on every outcome.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace relc;
+using namespace relc::pipeline;
+
+namespace {
+
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("relc-pipeline-test-" + Name))
+               .string();
+    std::filesystem::remove_all(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+std::vector<const programs::ProgramDef *> suite() {
+  std::vector<const programs::ProgramDef *> Out;
+  for (const programs::ProgramDef &P : programs::allPrograms())
+    Out.push_back(&P);
+  return Out;
+}
+
+TEST(PipelineTest, ColdRunCertifiesLiveAndStores) {
+  TempDir D("cold");
+  PipelineOptions Opts;
+  Opts.CacheDir = D.Path;
+  PipelineStats Stats;
+  std::vector<ProgramOutcome> Out = certifyPrograms(suite(), Opts, &Stats);
+
+  ASSERT_EQ(Out.size(), suite().size());
+  EXPECT_EQ(Stats.Failures, 0u);
+  EXPECT_EQ(Stats.Cache.Hits, 0u);
+  EXPECT_EQ(Stats.Cache.Misses, unsigned(Out.size()));
+  EXPECT_EQ(Stats.Cache.Stores, unsigned(Out.size()));
+  for (const ProgramOutcome &O : Out) {
+    EXPECT_TRUE(O.ok()) << O.Def->Name;
+    EXPECT_FALSE(O.CacheHit) << O.Def->Name;
+    EXPECT_TRUE(O.Replay.Ran && O.Analysis.Ran && O.Tv.Ran && O.Diff.Ran)
+        << O.Def->Name;
+    EXPECT_FALSE(O.TvCertJson.empty()) << O.Def->Name;
+  }
+}
+
+TEST(PipelineTest, WarmRunSkipsRecertificationAndMatchesCold) {
+  TempDir D("warm");
+  PipelineOptions Opts;
+  Opts.CacheDir = D.Path;
+  std::vector<ProgramOutcome> Cold = certifyPrograms(suite(), Opts);
+
+  PipelineStats Stats;
+  std::vector<ProgramOutcome> Warm = certifyPrograms(suite(), Opts, &Stats);
+
+  EXPECT_EQ(Stats.Cache.Hits, unsigned(Warm.size()));
+  EXPECT_EQ(Stats.Cache.Misses, 0u);
+  EXPECT_EQ(Stats.Cache.Stores, 0u);
+  ASSERT_EQ(Warm.size(), Cold.size());
+  for (size_t I = 0; I < Warm.size(); ++I) {
+    const ProgramOutcome &W = Warm[I], &C = Cold[I];
+    EXPECT_TRUE(W.CacheHit) << W.Def->Name;
+    EXPECT_TRUE(W.ok()) << W.Def->Name;
+    // No layer re-ran...
+    EXPECT_FALSE(W.Replay.Ran || W.Analysis.Ran || W.Tv.Ran || W.Diff.Ran)
+        << W.Def->Name;
+    // ...yet every replayable artifact and summary field is identical.
+    EXPECT_TRUE(W.Key == C.Key) << W.Def->Name;
+    EXPECT_EQ(W.TvCertJson, C.TvCertJson) << W.Def->Name;
+    EXPECT_EQ(W.TvVerdictName, C.TvVerdictName) << W.Def->Name;
+    EXPECT_EQ(W.TvLoops, C.TvLoops) << W.Def->Name;
+    EXPECT_EQ(W.TvTerms, C.TvTerms) << W.Def->Name;
+    EXPECT_EQ(W.AnalysisWarnings, C.AnalysisWarnings) << W.Def->Name;
+    EXPECT_EQ(W.AnalysisDiags, C.AnalysisDiags) << W.Def->Name;
+    // The code itself was still freshly compiled and emitted.
+    EXPECT_EQ(W.Compiled.Fn.str(), C.Compiled.Fn.str()) << W.Def->Name;
+  }
+}
+
+TEST(PipelineTest, ParallelAndSerialOutcomesAgree) {
+  PipelineOptions Serial, Parallel;
+  Parallel.Jobs = 8;
+  std::vector<ProgramOutcome> S = certifyPrograms(suite(), Serial);
+  std::vector<ProgramOutcome> P = certifyPrograms(suite(), Parallel);
+  ASSERT_EQ(S.size(), P.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    EXPECT_EQ(S[I].ok(), P[I].ok()) << S[I].Def->Name;
+    EXPECT_EQ(S[I].ValidationError, P[I].ValidationError) << S[I].Def->Name;
+    EXPECT_EQ(S[I].TvCertJson, P[I].TvCertJson) << S[I].Def->Name;
+    EXPECT_EQ(S[I].AnalysisDiags, P[I].AnalysisDiags) << S[I].Def->Name;
+    EXPECT_TRUE(S[I].Key == P[I].Key) << S[I].Def->Name;
+  }
+}
+
+TEST(PipelineTest, CertKeySensitiveToEveryComponent) {
+  const programs::ProgramDef *P = programs::findProgram("fnv1a");
+  ASSERT_NE(P, nullptr);
+  core::Compiler C;
+  Result<core::CompileResult> R = C.compileFn(P->Model, P->Spec, P->Hints);
+  ASSERT_TRUE(bool(R));
+  CertKey Base = certKeyFor(P->Model, P->Hints, P->Spec, R->Fn);
+
+  // Model mutation: rename a parameter.
+  {
+    ir::SourceFn M = P->Model;
+    M.Name = "fnv1a_prime";
+    CertKey K = certKeyFor(M, P->Hints, P->Spec, R->Fn);
+    EXPECT_NE(K.ModelHash, Base.ModelHash);
+    EXPECT_EQ(K.CodeHash, Base.CodeHash);
+  }
+  // Spec mutation: drop the scalar return.
+  {
+    sep::FnSpec S = P->Spec;
+    S.ScalarRets.clear();
+    CertKey K = certKeyFor(P->Model, P->Hints, S, R->Fn);
+    EXPECT_NE(K.SpecHash, Base.SpecHash);
+    EXPECT_EQ(K.ModelHash, Base.ModelHash);
+  }
+  // Code mutation: append a statement to the emitted function.
+  {
+    bedrock::Function Fn = R->Fn;
+    Fn.Body = bedrock::seq(Fn.Body, bedrock::set("x", bedrock::lit(1)));
+    CertKey K = certKeyFor(P->Model, P->Hints, P->Spec, Fn);
+    EXPECT_NE(K.CodeHash, Base.CodeHash);
+    EXPECT_EQ(K.ModelHash, Base.ModelHash);
+    EXPECT_EQ(K.SpecHash, Base.SpecHash);
+  }
+}
+
+TEST(PipelineTest, TamperedCodeForcesCacheMissAndFailsAlone) {
+  // Warm the cache with a clean suite run, then tamper with one program's
+  // emitted code: its key changes (miss), it re-certifies live and fails;
+  // sibling programs still hit the cache and stay green.
+  TempDir D("tamper");
+  PipelineOptions Opts;
+  Opts.CacheDir = D.Path;
+  certifyPrograms(suite(), Opts);
+
+  TamperHook Tamper = [](const programs::ProgramDef &P,
+                         core::CompileResult &R) {
+    if (P.Name == "upstr")
+      R.Fn.Body = bedrock::skip(); // Certifiably wrong.
+  };
+  PipelineStats Stats;
+  std::vector<ProgramOutcome> Out =
+      certifyPrograms(suite(), Opts, &Stats, Tamper);
+
+  EXPECT_EQ(Stats.Failures, 1u);
+  EXPECT_EQ(Stats.Cache.Hits, unsigned(Out.size()) - 1);
+  EXPECT_EQ(Stats.Cache.Misses, 1u);
+  EXPECT_EQ(Stats.Cache.Stores, 0u); // Failures are never cached.
+  for (const ProgramOutcome &O : Out) {
+    if (O.Def->Name == "upstr") {
+      EXPECT_FALSE(O.ok());
+      EXPECT_FALSE(O.CacheHit);
+      EXPECT_FALSE(O.ValidationError.empty());
+    } else {
+      EXPECT_TRUE(O.ok()) << O.Def->Name;
+      EXPECT_TRUE(O.CacheHit) << O.Def->Name;
+    }
+  }
+}
+
+TEST(PipelineTest, OptionsChangeForcesMiss) {
+  TempDir D("opts");
+  PipelineOptions Opts;
+  Opts.CacheDir = D.Path;
+  certifyPrograms(suite(), Opts);
+
+  // Same programs, different layer set: verdicts must not be reused.
+  PipelineOptions NoVal = Opts;
+  NoVal.Validate = false;
+  PipelineStats Stats;
+  certifyPrograms(suite(), NoVal, &Stats);
+  EXPECT_EQ(Stats.Cache.Hits, 0u);
+  EXPECT_EQ(Stats.Cache.Misses, unsigned(suite().size()));
+}
+
+} // namespace

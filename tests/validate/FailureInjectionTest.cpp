@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
+#include "pipeline/Pipeline.h"
 #include "programs/Programs.h"
 #include "validate/Validate.h"
 
@@ -218,6 +219,70 @@ TEST(FailureInjectionTest, InjectedDeadStoreSurfacesAsWarning) {
   ASSERT_EQ(R.numWarnings(), 1u) << R.str();
   EXPECT_EQ(R.Diags[0].C, analysis::Diagnostic::Checker::DeadStore);
   EXPECT_FALSE(R.hasErrors()) << R.str();
+}
+
+// The same injections, under the parallel scheduler: a defect in one
+// program must fail exactly that program, without poisoning, blocking, or
+// slowing its siblings — their layers run to completion concurrently and
+// come out green.
+TEST(FailureInjectionTest, ParallelPipelineIsolatesInjectedDefect) {
+  std::vector<const programs::ProgramDef *> Suite;
+  for (const programs::ProgramDef &P : programs::allPrograms())
+    Suite.push_back(&P);
+
+  pipeline::PipelineOptions Opts;
+  Opts.Jobs = 8; // Layers of all programs genuinely interleave.
+  pipeline::TamperHook Tamper = [](const programs::ProgramDef &P,
+                                   core::CompileResult &R) {
+    if (P.Name == "crc32") // Clobber the scalar result.
+      R.Fn.Body = seq(R.Fn.Body, set(R.Fn.Rets.at(0), lit(1)));
+  };
+
+  pipeline::PipelineStats Stats;
+  std::vector<pipeline::ProgramOutcome> Out =
+      pipeline::certifyPrograms(Suite, Opts, &Stats, Tamper);
+
+  ASSERT_EQ(Out.size(), Suite.size());
+  EXPECT_EQ(Stats.Failures, 1u);
+  for (const pipeline::ProgramOutcome &O : Out) {
+    if (O.Def->Name == "crc32") {
+      EXPECT_FALSE(O.ok());
+      EXPECT_FALSE(O.ValidationError.empty());
+      // The rejection carries the standard note chain.
+      EXPECT_NE(O.ValidationError.find("while validating program crc32"),
+                std::string::npos)
+          << O.ValidationError;
+    } else {
+      EXPECT_TRUE(O.ok()) << O.Def->Name << ": " << O.ValidationError;
+      EXPECT_TRUE(O.Diff.Ran) << O.Def->Name;
+    }
+  }
+}
+
+// And the serial reference (-j 1) renders the exact same outcome and
+// diagnostics for the injected defect: parallelism never changes verdicts.
+TEST(FailureInjectionTest, SerialAndParallelAgreeOnInjectedDefect) {
+  std::vector<const programs::ProgramDef *> Suite;
+  for (const programs::ProgramDef &P : programs::allPrograms())
+    Suite.push_back(&P);
+  pipeline::TamperHook Tamper = [](const programs::ProgramDef &P,
+                                   core::CompileResult &R) {
+    if (P.Name == "upstr")
+      R.Fn.Body = skip();
+  };
+
+  pipeline::PipelineOptions Serial, Parallel;
+  Parallel.Jobs = 8;
+  std::vector<pipeline::ProgramOutcome> S =
+      pipeline::certifyPrograms(Suite, Serial, nullptr, Tamper);
+  std::vector<pipeline::ProgramOutcome> P =
+      pipeline::certifyPrograms(Suite, Parallel, nullptr, Tamper);
+
+  ASSERT_EQ(S.size(), P.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    EXPECT_EQ(S[I].ok(), P[I].ok()) << S[I].Def->Name;
+    EXPECT_EQ(S[I].ValidationError, P[I].ValidationError) << S[I].Def->Name;
+  }
 }
 
 TEST(FailureInjectionTest, WrongMonadNoteRejected) {

@@ -70,6 +70,37 @@ TEST(ValidateTest, AllSuiteProgramsCertify) {
   }
 }
 
+TEST(ValidateTest, ParallelLayersMatchSerialVerdict) {
+  // validate() with Jobs > 1 runs replay/analysis/tv on the job-graph
+  // scheduler; the verdict must match the inline serial path.
+  Fixture F;
+  validate::ValidationOptions VO = F.P.VOpts;
+  VO.Hints = F.P.Hints;
+  VO.Jobs = 8;
+  Status Par = validate::validate(F.P.Model, F.P.Spec, F.R, F.Linked, VO);
+  EXPECT_TRUE(bool(Par)) << (Par ? "" : Par.error().str());
+  VO.Jobs = 1;
+  EXPECT_TRUE(
+      bool(validate::validate(F.P.Model, F.P.Spec, F.R, F.Linked, VO)));
+}
+
+TEST(ValidateTest, ParallelLayersRenderSerialDiagnostics) {
+  // A tampered witness fails layer 1; serial and parallel validate()
+  // must produce the identical error text (fixed layer order, shared
+  // rendering helpers).
+  Fixture F;
+  F.R.Proof->Children[0]->Rule = "compile_backdoor";
+  validate::ValidationOptions VO = F.P.VOpts;
+  VO.Hints = F.P.Hints;
+  VO.Jobs = 1;
+  Status Ser = validate::validate(F.P.Model, F.P.Spec, F.R, F.Linked, VO);
+  VO.Jobs = 8;
+  Status Par = validate::validate(F.P.Model, F.P.Spec, F.R, F.Linked, VO);
+  ASSERT_FALSE(bool(Ser));
+  ASSERT_FALSE(bool(Par));
+  EXPECT_EQ(Ser.error().str(), Par.error().str());
+}
+
 TEST(ValidateTest, ValidationIsSeedStable) {
   // Same options, same verdict — determinism of the certifier.
   Fixture F;

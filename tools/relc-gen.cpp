@@ -6,39 +6,38 @@
 //===----------------------------------------------------------------------===//
 //
 // The command-line face of the pipeline: compiles every registered
-// benchmark program with the relational compiler, replays and
-// differentially certifies the derivations, and emits the certified C
-// into an output directory (consumed by the Figure 2 bench at build
-// time). With -print-bedrock or -print-deriv it dumps the intermediate
-// artifacts instead.
+// benchmark program with the relational compiler, certifies the results
+// (derivation replay, static analysis, translation validation,
+// differential testing — see pipeline/Pipeline.h), and emits the
+// certified C into an output directory (consumed by the Figure 2 bench at
+// build time). With -print-bedrock or -print-deriv it dumps the
+// intermediate artifacts instead.
 //
-// Every compiled program is additionally run through the static analyzer
-// (relc::analysis); analysis errors fail the run even under -no-validate.
-// -no-analyze disables this, -analysis-report prints the full per-program
-// report including statistics and warnings.
+// Certification runs on the job-graph scheduler: -j N executes programs
+// and their independent layers concurrently; -j 1 (the default) is the
+// serial reference. Output is buffered per program and flushed in
+// registration order, so every -j produces byte-identical streams and
+// artifacts. Verdicts are reused across runs through the content-
+// addressed certificate cache (default .relc-cache/): a warm run skips
+// re-certification for programs whose model, fnspec, and emitted code
+// hashes all match a previously certified run. The C itself is re-emitted
+// from a fresh compile every time — the cache holds verdicts, never code.
 //
-// Every compiled program is also translation-validated (relc::tv): model
-// and generated code are symbolically evaluated into one term graph and
-// the outputs compared for all inputs. A refuted equivalence fails the
-// run; the equivalence certificate is written next to the generated C as
-// <name>.tv.json. -no-tv disables the layer, -tv-report prints each
-// program's full match trace.
-//
-// Usage: relc-gen [-out <dir>] [-only <name>] [-print-bedrock]
-//                 [-print-deriv] [-no-validate] [-no-analyze]
-//                 [-analysis-report] [-no-tv] [-tv-report]
+// Every flag is accepted in both single- and double-dash form.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analysis.h"
 #include "cgen/CEmit.h"
+#include "pipeline/Pipeline.h"
 #include "programs/Programs.h"
-#include "tv/Tv.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 using namespace relc;
 
@@ -46,19 +45,58 @@ static int usage() {
   std::fprintf(stderr,
                "usage: relc-gen [-out <dir>] [-only <name>] [-print-bedrock]"
                " [-print-deriv] [-no-validate] [-no-analyze]"
-               " [-analysis-report] [-no-tv] [-tv-report]\n");
+               " [-analysis-report] [-no-tv] [-tv-report]"
+               " [-j <n>] [-cache-dir <dir>] [-no-cache]\n");
   return 2;
+}
+
+static int help() {
+  std::printf(
+      "usage: relc-gen [options]\n"
+      "\n"
+      "Compiles the registered benchmark programs, certifies each result\n"
+      "(derivation replay, static analysis, translation validation,\n"
+      "differential testing), and writes the certified C plus the\n"
+      "per-program .tv.json equivalence certificates to the output\n"
+      "directory. Every flag accepts both -flag and --flag forms.\n"
+      "\n"
+      "  -out <dir>         output directory (default: generated)\n"
+      "  -only <name>       process only the named program\n"
+      "  -print-bedrock     dump the generated Bedrock2 code\n"
+      "  -print-deriv       dump the derivation witness\n"
+      "  -no-validate       skip derivation replay and differential\n"
+      "                     certification (layers 1 and 4)\n"
+      "  -no-analyze        skip the standalone static-analysis gate\n"
+      "  -analysis-report   print each program's full analysis report\n"
+      "                     (forces live certification; disables the cache)\n"
+      "  -no-tv             skip the standalone translation-validation\n"
+      "                     gate (and the .tv.json certificates)\n"
+      "  -tv-report         print each program's full TV match trace\n"
+      "                     (forces live certification; disables the cache)\n"
+      "  -j, -jobs <n>      certification scheduler width; 1 = serial\n"
+      "                     reference order (default: 1)\n"
+      "  -cache-dir <dir>   certificate cache directory\n"
+      "                     (default: .relc-cache)\n"
+      "  -no-cache          disable the certificate cache\n"
+      "  -h, -help          show this help\n");
+  return 0;
 }
 
 int main(int argc, char **argv) {
   std::string OutDir = "generated";
   std::string Only;
+  std::string CacheDir = ".relc-cache";
   bool PrintBedrock = false, PrintDeriv = false, Validate = true;
   bool Analyze = true, AnalysisReport = false;
   bool Tv = true, TvReport = false;
+  bool UseCache = true;
+  unsigned Jobs = 1;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    // Normalize --flag to -flag: every option takes both spellings.
+    if (A.size() > 2 && A[0] == '-' && A[1] == '-')
+      A.erase(A.begin());
     if (A == "-out" && I + 1 < argc)
       OutDir = argv[++I];
     else if (A == "-only" && I + 1 < argc)
@@ -69,14 +107,27 @@ int main(int argc, char **argv) {
       PrintDeriv = true;
     else if (A == "-no-validate")
       Validate = false;
-    else if (A == "-no-analyze" || A == "--no-analyze")
+    else if (A == "-no-analyze")
       Analyze = false;
-    else if (A == "-analysis-report" || A == "--analysis-report")
+    else if (A == "-analysis-report")
       AnalysisReport = true;
-    else if (A == "-no-tv" || A == "--no-tv")
+    else if (A == "-no-tv")
       Tv = false;
-    else if (A == "-tv-report" || A == "--tv-report")
+    else if (A == "-tv-report")
       TvReport = true;
+    else if ((A == "-j" || A == "-jobs") && I + 1 < argc) {
+      long N = std::atol(argv[++I]);
+      if (N < 1) {
+        std::fprintf(stderr, "relc-gen: invalid job count '%s'\n", argv[I]);
+        return 2;
+      }
+      Jobs = unsigned(N);
+    } else if (A == "-cache-dir" && I + 1 < argc)
+      CacheDir = argv[++I];
+    else if (A == "-no-cache")
+      UseCache = false;
+    else if (A == "-h" || A == "-help")
+      return help();
     else
       return usage();
   }
@@ -89,75 +140,98 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  std::vector<const programs::ProgramDef *> Targets;
+  for (const programs::ProgramDef &P : programs::allPrograms())
+    if (Only.empty() || P.Name == Only)
+      Targets.push_back(&P);
+
+  pipeline::PipelineOptions Opts;
+  Opts.Jobs = Jobs;
+  // The full-report flags need the live analysis / TV reports, which a
+  // cached verdict cannot reproduce — force live certification.
+  if (UseCache && !AnalysisReport && !TvReport)
+    Opts.CacheDir = CacheDir;
+  Opts.Validate = Validate;
+  // validate() has always run analysis and TV as its layers 2 and 3;
+  // -no-analyze / -no-tv only control the standalone gates below.
+  Opts.Analyze = Analyze || Validate;
+  Opts.Tv = Tv || Validate;
+
+  std::vector<pipeline::ProgramOutcome> Outcomes =
+      pipeline::certifyPrograms(Targets, Opts);
+
   std::string Header = cgen::cPrelude();
   bool AnyFailed = false;
 
-  for (const programs::ProgramDef &P : programs::allPrograms()) {
-    if (!Only.empty() && P.Name != Only)
-      continue;
+  for (const pipeline::ProgramOutcome &O : Outcomes) {
+    const programs::ProgramDef &P = *O.Def;
 
-    Result<programs::CompiledProgram> C =
-        programs::compileAndValidate(P, Validate);
-    if (!C) {
+    if (!O.CompileOk) {
       std::fprintf(stderr, "[%s] FAILED:\n%s\n", P.Name.c_str(),
-                   C.error().str().c_str());
+                   O.CompileError.c_str());
+      AnyFailed = true;
+      continue;
+    }
+    // Layer failures under -validate carry the full note chain, exactly
+    // as validate::validate renders them.
+    if (Validate && !O.ValidationError.empty()) {
+      std::fprintf(stderr, "[%s] FAILED:\n%s\n", P.Name.c_str(),
+                   O.ValidationError.c_str());
       AnyFailed = true;
       continue;
     }
 
     std::printf("[%s] ok: %u source bindings -> %u target statements, "
                 "derivation of %u rule applications, %u side conditions%s\n",
-                P.Name.c_str(), C->Result.SourceBindings,
-                C->Result.EmittedStmts, C->Result.Proof->size(),
-                C->Result.Proof->countSideConds(),
+                P.Name.c_str(), O.Compiled.SourceBindings,
+                O.Compiled.EmittedStmts, O.Compiled.Proof->size(),
+                O.Compiled.Proof->countSideConds(),
                 Validate ? ", validated" : "");
 
     if (Analyze) {
-      analysis::AnalysisReport R = analysis::analyzeProgram(
-          C->Result.Fn, P.Spec, P.Model, P.Hints.EntryFacts);
       if (AnalysisReport) {
-        std::printf("%s", R.str().c_str());
-      } else {
-        for (const analysis::Diagnostic &D : R.Diags)
-          std::fprintf(stderr, "[%s] %s\n", P.Name.c_str(), D.str().c_str());
+        std::printf("%s", O.AReport.str().c_str());
+      } else if (!O.AnalysisDiags.empty()) {
+        std::istringstream Diags(O.AnalysisDiags);
+        std::string Line;
+        while (std::getline(Diags, Line))
+          std::fprintf(stderr, "[%s] %s\n", P.Name.c_str(), Line.c_str());
       }
-      if (R.hasErrors()) {
+      if (!O.Analysis.Ok) {
         std::fprintf(stderr,
                      "[%s] FAILED: static analysis found %u error(s)\n",
-                     P.Name.c_str(), R.numErrors());
+                     P.Name.c_str(), O.AReport.numErrors());
         AnyFailed = true;
         continue;
       }
     }
 
     if (Tv) {
-      tv::TvReport R = tv::validateTranslation(P.Model, P.Spec, C->Result.Fn,
-                                               P.Hints.EntryFacts);
       if (TvReport)
-        std::printf("%s", R.str().c_str());
+        std::printf("%s", O.TvRep.str().c_str());
       else
         std::printf("[%s] tv: %s (%zu loops, %u terms)\n", P.Name.c_str(),
-                    tv::verdictName(R.TheVerdict), R.Loops.size(),
-                    R.NumTerms);
-      if (R.refuted()) {
+                    O.TvVerdictName.c_str(), size_t(O.TvLoops),
+                    unsigned(O.TvTerms));
+      if (!O.Tv.Ok) {
         std::fprintf(stderr, "[%s] FAILED: translation validation refuted "
                              "the compilation:\n%s",
-                     P.Name.c_str(), R.str().c_str());
+                     P.Name.c_str(), O.TvRep.str().c_str());
         AnyFailed = true;
         continue;
       }
       std::ofstream Cert(OutDir + "/" + P.Name + ".tv.json");
-      Cert << R.certificate();
+      Cert << O.TvCertJson;
     }
 
     if (PrintBedrock)
-      std::printf("%s\n", C->Result.Fn.str().c_str());
+      std::printf("%s\n", O.Compiled.Fn.str().c_str());
     if (PrintDeriv)
-      std::printf("%s\n", C->Result.Proof->str().c_str());
+      std::printf("%s\n", O.Compiled.Proof->str().c_str());
 
-    cgen::CEmitOptions Opts;
-    Opts.NamePrefix = "relc_";
-    Result<std::string> CCode = cgen::emitFunction(C->Result.Fn, Opts);
+    cgen::CEmitOptions EOpts;
+    EOpts.NamePrefix = "relc_";
+    Result<std::string> CCode = cgen::emitFunction(O.Compiled.Fn, EOpts);
     if (!CCode) {
       std::fprintf(stderr, "[%s] C emission failed: %s\n", P.Name.c_str(),
                    CCode.error().str().c_str());
@@ -178,7 +252,7 @@ int main(int argc, char **argv) {
         << cgen::cPrelude() << *CCode;
 
     // Accumulate the aggregate header.
-    const bedrock::Function &Fn = C->Result.Fn;
+    const bedrock::Function &Fn = O.Compiled.Fn;
     Header += (Fn.Rets.empty() ? std::string("void") : "uintptr_t") +
               " relc_" + Fn.Name + "(";
     for (size_t I = 0; I < Fn.Args.size(); ++I)

@@ -18,36 +18,53 @@
 // semantically drifts it from the model fails the test suite even when
 // the sampled differential vectors happen to pass.
 //
-// Usage: relc-lint [-q] [-no-tv] [<program>...]
+// -j N runs programs (and their analysis/TV layers) concurrently on the
+// job-graph scheduler; reports are buffered per program and printed in
+// argument order, so every -j produces byte-identical output. The lint
+// gate always certifies live (never the certificate cache): its job is
+// producing fresh full reports. Flags accept both - and -- forms.
+//
+// Usage: relc-lint [-q] [-no-tv] [-j <n>] [<program>...]
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analysis.h"
+#include "pipeline/Pipeline.h"
 #include "programs/Programs.h"
-#include "tv/Tv.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 using namespace relc;
 
 static int usage() {
-  std::fprintf(stderr, "usage: relc-lint [-q] [-no-tv] [<program>...]\n"
-                       "  with no arguments, lints every registered program\n");
+  std::fprintf(stderr,
+               "usage: relc-lint [-q] [-no-tv] [-j <n>] [<program>...]\n"
+               "  with no arguments, lints every registered program\n");
   return 2;
 }
 
 int main(int argc, char **argv) {
   bool Quiet = false, Tv = true;
+  unsigned Jobs = 1;
   std::vector<const programs::ProgramDef *> Targets;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    if (A.size() > 2 && A[0] == '-' && A[1] == '-')
+      A.erase(A.begin()); // Normalize --flag to -flag.
     if (A == "-q") {
       Quiet = true;
-    } else if (A == "-no-tv" || A == "--no-tv") {
+    } else if (A == "-no-tv") {
       Tv = false;
+    } else if ((A == "-j" || A == "-jobs") && I + 1 < argc) {
+      long N = std::atol(argv[++I]);
+      if (N < 1) {
+        std::fprintf(stderr, "relc-lint: invalid job count '%s'\n", argv[I]);
+        return 2;
+      }
+      Jobs = unsigned(N);
     } else if (!A.empty() && A[0] == '-') {
       return usage();
     } else {
@@ -63,30 +80,32 @@ int main(int argc, char **argv) {
     for (const programs::ProgramDef &P : programs::allPrograms())
       Targets.push_back(&P);
 
+  pipeline::PipelineOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Validate = false; // Compile only; validation is the other layers' job.
+  Opts.Analyze = true;
+  Opts.Tv = Tv;
+  // No cache: the gate's job is fresh full reports.
+
+  std::vector<pipeline::ProgramOutcome> Outcomes =
+      pipeline::certifyPrograms(Targets, Opts);
+
   unsigned TotalDiags = 0;
-  for (const programs::ProgramDef *P : Targets) {
-    // Compile only; validation is the other layers' job.
-    Result<programs::CompiledProgram> C =
-        programs::compileAndValidate(*P, /*RunValidation=*/false);
-    if (!C) {
-      std::fprintf(stderr, "[%s] compilation failed:\n%s\n", P->Name.c_str(),
-                   C.error().str().c_str());
+  for (const pipeline::ProgramOutcome &O : Outcomes) {
+    if (!O.CompileOk) {
+      std::fprintf(stderr, "[%s] compilation failed:\n%s\n",
+                   O.Def->Name.c_str(), O.CompileError.c_str());
       return 2;
     }
-    analysis::AnalysisReport R = analysis::analyzeProgram(
-        C->Result.Fn, P->Spec, P->Model, P->Hints.EntryFacts);
-    if (!Quiet || !R.Diags.empty())
-      std::printf("%s", R.str().c_str());
-    TotalDiags += unsigned(R.Diags.size());
+    if (!Quiet || !O.AReport.Diags.empty())
+      std::printf("%s", O.AReport.str().c_str());
+    TotalDiags += unsigned(O.AReport.Diags.size());
 
     if (Tv) {
-      tv::TvReport TR = tv::validateTranslation(P->Model, P->Spec,
-                                                C->Result.Fn,
-                                                P->Hints.EntryFacts);
-      if (!Quiet || !TR.proved())
-        std::printf("%s", TR.str().c_str());
-      if (!TR.proved()) // Strict gate: the suite must prove, not just
-        ++TotalDiags;   // fail-to-refute.
+      if (!Quiet || !O.TvRep.proved())
+        std::printf("%s", O.TvRep.str().c_str());
+      if (!O.TvRep.proved()) // Strict gate: the suite must prove, not just
+        ++TotalDiags;        // fail-to-refute.
     }
   }
 
