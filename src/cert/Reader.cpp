@@ -1,0 +1,374 @@
+//===- cert/Reader.cpp - Certificate parsing (v2 + v1 compat) --------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/Reader.h"
+
+#include "pipeline/Hash.h"
+#include "support/StringExtras.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace relc {
+namespace cert {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON value + recursive-descent parser. Certificates only use
+// objects, arrays, strings, unsigned integers, and booleans; anything
+// else (floats, null) is rejected. Object keys keep first-wins semantics.
+//===----------------------------------------------------------------------===//
+
+struct JValue {
+  enum class Kind { Object, Array, String, Number, Bool } K = Kind::Bool;
+  std::map<std::string, JValue> Obj;
+  std::vector<JValue> Arr;
+  std::string Str;
+  uint64_t Num = 0;
+  bool B = false;
+};
+
+class JParser {
+public:
+  explicit JParser(const std::string &Text) : S(Text) {}
+
+  std::optional<JValue> parse(std::string *Why) {
+    std::optional<JValue> V = value();
+    skipWs();
+    if (V && Pos != S.size()) {
+      *Why = "trailing garbage at offset " + std::to_string(Pos);
+      return std::nullopt;
+    }
+    if (!V)
+      *Why = Err.empty() ? "syntax error at offset " + std::to_string(Pos)
+                         : Err;
+    return V;
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+  std::string Err;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string() {
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != '"')
+      return std::nullopt;
+    size_t End = Pos + 1;
+    std::string Raw;
+    while (End < S.size() && S[End] != '"') {
+      if (S[End] == '\\') {
+        if (End + 1 >= S.size())
+          return std::nullopt;
+        Raw += S[End];
+        Raw += S[End + 1];
+        End += 2;
+        continue;
+      }
+      Raw += S[End++];
+    }
+    if (End >= S.size())
+      return std::nullopt; // Unterminated.
+    Pos = End + 1;
+    std::string Out;
+    if (!jsonUnescape(Raw, &Out))
+      return std::nullopt;
+    return Out;
+  }
+
+  std::optional<JValue> value() {
+    skipWs();
+    if (Pos >= S.size())
+      return std::nullopt;
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"') {
+      std::optional<std::string> Str = string();
+      if (!Str)
+        return std::nullopt;
+      JValue V;
+      V.K = JValue::Kind::String;
+      V.Str = *Str;
+      return V;
+    }
+    if (C >= '0' && C <= '9') {
+      JValue V;
+      V.K = JValue::Kind::Number;
+      uint64_t N = 0;
+      size_t Start = Pos;
+      while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+        N = N * 10 + uint64_t(S[Pos++] - '0');
+      if (Pos == Start)
+        return std::nullopt;
+      V.Num = N;
+      return V;
+    }
+    auto Lit = [&](const char *Word, bool Val) -> std::optional<JValue> {
+      size_t L = std::string(Word).size();
+      if (S.compare(Pos, L, Word) != 0)
+        return std::nullopt;
+      Pos += L;
+      JValue V;
+      V.K = JValue::Kind::Bool;
+      V.B = Val;
+      return V;
+    };
+    if (C == 't')
+      return Lit("true", true);
+    if (C == 'f')
+      return Lit("false", false);
+    return std::nullopt;
+  }
+
+  std::optional<JValue> object() {
+    if (!eat('{'))
+      return std::nullopt;
+    JValue V;
+    V.K = JValue::Kind::Object;
+    skipWs();
+    if (eat('}'))
+      return V;
+    while (true) {
+      std::optional<std::string> Key = string();
+      if (!Key || !eat(':'))
+        return std::nullopt;
+      std::optional<JValue> Member = value();
+      if (!Member)
+        return std::nullopt;
+      V.Obj.emplace(*Key, std::move(*Member));
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return V;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JValue> array() {
+    if (!eat('['))
+      return std::nullopt;
+    JValue V;
+    V.K = JValue::Kind::Array;
+    skipWs();
+    if (eat(']'))
+      return V;
+    while (true) {
+      std::optional<JValue> Elem = value();
+      if (!Elem)
+        return std::nullopt;
+      V.Arr.push_back(std::move(*Elem));
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        return V;
+      return std::nullopt;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Field extraction. Missing or mistyped required fields are malformed.
+//===----------------------------------------------------------------------===//
+
+/// Parse-time escape; caught at the Reader::parse boundary.
+struct Bad {
+  std::string Why;
+};
+
+[[noreturn]] void bad(const std::string &Why) { throw Bad{Why}; }
+
+const JValue &field(const JValue &Obj, const std::string &Key) {
+  auto It = Obj.Obj.find(Key);
+  if (It == Obj.Obj.end())
+    bad("missing field '" + Key + "'");
+  return It->second;
+}
+
+std::string strField(const JValue &Obj, const std::string &Key) {
+  const JValue &V = field(Obj, Key);
+  if (V.K != JValue::Kind::String)
+    bad("field '" + Key + "' is not a string");
+  return V.Str;
+}
+
+uint64_t numField(const JValue &Obj, const std::string &Key) {
+  const JValue &V = field(Obj, Key);
+  if (V.K != JValue::Kind::Number)
+    bad("field '" + Key + "' is not a number");
+  return V.Num;
+}
+
+bool boolField(const JValue &Obj, const std::string &Key) {
+  const JValue &V = field(Obj, Key);
+  if (V.K != JValue::Kind::Bool)
+    bad("field '" + Key + "' is not a boolean");
+  return V.B;
+}
+
+const std::vector<JValue> &arrField(const JValue &Obj, const std::string &Key) {
+  const JValue &V = field(Obj, Key);
+  if (V.K != JValue::Kind::Array)
+    bad("field '" + Key + "' is not an array");
+  return V.Arr;
+}
+
+/// Term hashes render as "0x" + 16 hex digits; content hashes as bare
+/// hex16. Accept both spellings for robustness.
+uint64_t hashField(const JValue &Obj, const std::string &Key) {
+  std::string S = strField(Obj, Key);
+  if (S.size() > 2 && S[0] == '0' && S[1] == 'x')
+    S = S.substr(2);
+  uint64_t Out = 0;
+  if (!pipeline::parseHex(S, &Out))
+    bad("field '" + Key + "' is not a hash");
+  return Out;
+}
+
+std::vector<std::string> strListField(const JValue &Obj,
+                                      const std::string &Key) {
+  std::vector<std::string> Out;
+  for (const JValue &E : arrField(Obj, Key)) {
+    if (E.K != JValue::Kind::String)
+      bad("field '" + Key + "' has a non-string element");
+    Out.push_back(E.Str);
+  }
+  return Out;
+}
+
+void parseTraces(const JValue &Root, Certificate &C, bool Witness) {
+  for (const JValue &L : arrField(Root, "loops")) {
+    if (L.K != JValue::Kind::Object)
+      bad("loop entry is not an object");
+    LoopRec R;
+    R.Ordinal = unsigned(numField(L, "ordinal"));
+    R.Binding = strField(L, "binding");
+    R.FoldHash = hashField(L, "fold_hash");
+    R.Carried = unsigned(numField(L, "carried"));
+    R.Regions = unsigned(numField(L, "regions"));
+    if (Witness) {
+      R.Path = strField(L, "path");
+      const JValue &W = field(L, "witness");
+      if (W.K != JValue::Kind::Object)
+        bad("loop witness is not an object");
+      R.WitnessLocals = strListField(W, "locals");
+      R.WitnessRegions = strListField(W, "regions");
+      R.TargetPath = strField(W, "target_path");
+    }
+    C.Loops.push_back(std::move(R));
+  }
+  for (const JValue &B : arrField(Root, "bindings")) {
+    if (B.K != JValue::Kind::Object)
+      bad("binding entry is not an object");
+    C.Bindings.push_back(
+        {strField(B, "path"), strField(B, "name"), hashField(B, "hash")});
+  }
+  for (const JValue &O : arrField(Root, "outputs")) {
+    if (O.K != JValue::Kind::Object)
+      bad("output entry is not an object");
+    OutputRec R;
+    R.Name = strField(O, "name");
+    R.Kind = strField(O, "kind");
+    R.Matched = boolField(O, "matched");
+    R.SrcHash = hashField(O, "src_hash");
+    R.TgtHash = hashField(O, "tgt_hash");
+    R.SourceBinding = strField(O, "source_binding");
+    R.TargetPath = strField(O, "target_path");
+    C.Outputs.push_back(std::move(R));
+  }
+}
+
+} // namespace
+
+std::optional<Certificate> Reader::parse(const std::string &Text,
+                                         ReadError *Err) {
+  auto Fail = [&](Reject Why, const std::string &Detail) {
+    if (Err)
+      *Err = {Why, Detail};
+    return std::nullopt;
+  };
+
+  std::string Why;
+  std::optional<JValue> Root = JParser(Text).parse(&Why);
+  if (!Root || Root->K != JValue::Kind::Object)
+    return Fail(Reject::MalformedCertificate,
+                Root ? "certificate is not a JSON object" : Why);
+
+  try {
+    Certificate C;
+    auto VerIt = Root->Obj.find("schema_version");
+    if (VerIt == Root->Obj.end()) {
+      // Legacy v1: identified by its "format" tag.
+      if (Root->Obj.count("format") == 0 ||
+          strField(*Root, "format") != "relc-tv-certificate-v1")
+        bad("neither 'schema_version' nor a known 'format' tag");
+      C.SchemaVersion = 1;
+      C.Producer = kProducer; // v1 had no producer field.
+      C.Function = strField(*Root, "function");
+      C.Verdict = strField(*Root, "verdict");
+      C.Reason = strField(*Root, "reason");
+      C.NumTerms = numField(*Root, "num_terms");
+      parseTraces(*Root, C, /*Witness=*/false);
+      return C;
+    }
+    if (VerIt->second.K != JValue::Kind::Number)
+      bad("'schema_version' is not a number");
+    if (VerIt->second.Num != kSchemaVersion)
+      return Fail(Reject::UnknownSchemaVersion,
+                  "schema_version " + std::to_string(VerIt->second.Num) +
+                      " is newer than this checker (knows " +
+                      std::to_string(kSchemaVersion) + ")");
+    C.SchemaVersion = unsigned(VerIt->second.Num);
+    C.Producer = strField(*Root, "producer");
+    C.Function = strField(*Root, "function");
+    C.Key.ModelHash = hashField(*Root, "model_hash");
+    C.Key.SpecHash = hashField(*Root, "spec_hash");
+    C.Key.CodeHash = hashField(*Root, "code_hash");
+    C.Verdict = strField(*Root, "verdict");
+    C.Reason = strField(*Root, "reason");
+    C.NumTerms = numField(*Root, "num_terms");
+    parseTraces(*Root, C, /*Witness=*/true);
+    return C;
+  } catch (const Bad &B) {
+    return Fail(Reject::MalformedCertificate, B.Why);
+  }
+}
+
+std::optional<Certificate> Reader::readFile(const std::string &Path,
+                                            ReadError *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Err)
+      *Err = {Reject::MissingCertificate, "cannot read " + Path};
+    return std::nullopt;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parse(SS.str(), Err);
+}
+
+} // namespace cert
+} // namespace relc

@@ -1,0 +1,57 @@
+//===- cert/Reader.h - Certificate parsing (v2 + v1 compat) -----*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Parses certificates back into the typed `cert::Certificate`. Two
+// accepted inputs:
+//
+//   - v2 files ("schema_version": 2), the canonical Writer output — but
+//     parsing is a real (minimal, recursive-descent) JSON parse, not a
+//     byte comparison, so hand-edited or re-serialized files load too;
+//   - legacy v1 files ("format": "relc-tv-certificate-v1"), which the TV
+//     driver used to assemble by hand: readable for diffing and display,
+//     but carrying no content hashes or witnesses (Key stays zero and the
+//     checker rejects them as unverifiable-v1).
+//
+// A "schema_version" above kSchemaVersion is *not* malformed — it is a
+// file from a future toolchain, reported distinctly (UnknownSchemaVersion)
+// so operators can tell "upgrade relc-check" from "corrupt artifact".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_CERT_READER_H
+#define RELC_CERT_READER_H
+
+#include "cert/Cert.h"
+
+#include <optional>
+
+namespace relc {
+namespace cert {
+
+/// Why a parse failed, in checker vocabulary (only ever
+/// MalformedCertificate, UnknownSchemaVersion, or — for readFile —
+/// MissingCertificate).
+struct ReadError {
+  Reject Why = Reject::MalformedCertificate;
+  std::string Detail;
+};
+
+class Reader {
+public:
+  /// Parses \p Text as a v2 or v1 certificate.
+  static std::optional<Certificate> parse(const std::string &Text,
+                                          ReadError *Err = nullptr);
+
+  /// Reads and parses \p Path (MissingCertificate if unreadable).
+  static std::optional<Certificate> readFile(const std::string &Path,
+                                             ReadError *Err = nullptr);
+};
+
+} // namespace cert
+} // namespace relc
+
+#endif // RELC_CERT_READER_H

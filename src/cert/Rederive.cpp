@@ -1,72 +1,59 @@
-//===- tv/Tv.cpp - Symbolic translation validation -------------------------===//
+//===- cert/Rederive.cpp - Independent certificate re-derivation -----------===//
 //
 // Part of relc, a C++ reproduction of "Relational Compilation for
 // Performance-Critical Applications" (PLDI 2022).
 //
 //===----------------------------------------------------------------------===//
 //
-// Implementation of the per-program translation validator declared in Tv.h.
-// Two symbolic evaluators share one normalizing TermGraph:
-//
-//   - the source evaluator walks the FunLang let-chain, turning each loop
-//     combinator into a canonical Fold summary over positional bound
-//     symbols "%Lk.cj" (carried value j of loop k) and "%Lk.r.<region>"
-//     (the havocked contents of a region the body rewrites);
-//
-//   - the target executor walks the Bedrock2 command tree over a store and
-//     a region-indexed memory, forking/joining at conditionals, and at the
-//     k-th While (execution order equals the model's loop pre-order,
-//     because compilation is syntax-directed) summarizes the loop by
-//     havocking its assigned locals and stored regions, then searches for
-//     a bijection between loop-carried locals and the model's carried
-//     positions under which guard, step terms, and region effects all
-//     intern to the model's Fold summary. Matching succeeds only if the
-//     two loops compute the same fixpoint from the same entry state, which
-//     is exactly loop equivalence at every trip count.
-//
-// Soundness: a Proved verdict means every fnspec output interned to the
-// same node on both sides; the only trusted components are the TermGraph's
-// normalization rules (each a word-level identity) and the two evaluators'
-// adherence to their language semantics. Incompleteness is deliberate and
-// safe: anything outside the fragment aborts with Inconclusive, never
-// Proved.
-//
-// The internal Abort exception never escapes this translation unit:
-// validateTranslation catches it and returns the verdict.
+// The deterministic replayer behind relc-check. Structurally this mirrors
+// the two symbolic evaluators in tv/Tv.cpp — the checker must re-derive
+// the same term graph the producer built, so the evaluation rules are the
+// same by construction — but with the one asymmetry that makes the whole
+// subsystem worth having: where the validator *searches* for a loop match
+// (a backtracking bijection over carried locals), the checker *replays*
+// the certificate's recorded witness and verifies the match equations
+// directly. Every divergence rejects with a named reason; nothing here
+// ever "fixes up" a certificate to make it pass.
 //
 //===----------------------------------------------------------------------===//
 
-#include "tv/Tv.h"
-#include "tv/Term.h"
+#include "cert/Rederive.h"
 
+#include "analysis/Domains.h"
+#include "bedrock/Ast.h"
 #include "support/Casting.h"
 #include "support/StringExtras.h"
+#include "tv/Term.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <functional>
+#include <map>
+#include <set>
 
 namespace relc {
-namespace tv {
+namespace cert {
 
 namespace {
 
+using tv::AffineView;
+using tv::FoldInfo;
+using tv::FoldRegion;
+using tv::NoTerm;
+using tv::TermGraph;
+using tv::TermId;
+
 //===----------------------------------------------------------------------===//
-// Small utilities.
+// Small utilities (mirroring tv/Tv.cpp's, which live in its anonymous
+// namespace and are deliberately not exported).
 //===----------------------------------------------------------------------===//
 
-/// Internal control-flow escape; caught at the validateTranslation boundary.
-struct Abort {
-  Verdict V;
-  std::string Reason;
+/// Internal rejection escape; caught at the Rederive::check boundary.
+struct CheckFail {
+  Reject Why;
+  std::string Detail;
 };
 
-[[noreturn]] void inconclusive(const std::string &Why) {
-  throw Abort{Verdict::Inconclusive, Why};
-}
-
-[[noreturn]] void refute(const std::string &Why) {
-  throw Abort{Verdict::Refuted, Why};
+[[noreturn]] void fail(Reject Why, const std::string &Detail) {
+  throw CheckFail{Why, Detail};
 }
 
 bedrock::BinOp lowerOp(ir::WordOp Op) {
@@ -102,7 +89,7 @@ bedrock::BinOp lowerOp(ir::WordOp Op) {
   case ir::WordOp::Ne:
     return bedrock::BinOp::Ne;
   }
-  inconclusive("unknown word operator");
+  fail(Reject::RederivationFailed, "unknown word operator");
 }
 
 std::string joinNames(const std::vector<std::string> &Names) {
@@ -129,12 +116,6 @@ std::string clip(const std::string &S, size_t Max = 96) {
   if (S.size() <= Max)
     return S;
   return S.substr(0, Max) + "...";
-}
-
-std::string hex64(uint64_t V) {
-  char Buf[19];
-  std::snprintf(Buf, sizeof(Buf), "0x%016llx", (unsigned long long)V);
-  return Buf;
 }
 
 uint64_t tableMax(const std::vector<uint64_t> &Elements) {
@@ -168,7 +149,6 @@ bool progHasLoop(const ir::Prog &P) {
   return false;
 }
 
-/// Arrays and cells a loop-body sub-program writes (by source name).
 void collectProgWrites(const ir::Prog &P, std::set<std::string> &Out) {
   for (const ir::Binding &B : P.bindings()) {
     if (const auto *AP = dyn_cast<ir::ArrayPut>(B.Bound.get()))
@@ -185,10 +165,9 @@ void collectProgWrites(const ir::Prog &P, std::set<std::string> &Out) {
 }
 
 //===----------------------------------------------------------------------===//
-// Symbolic states.
+// Symbolic states (same shape as the producer's).
 //===----------------------------------------------------------------------===//
 
-/// Value of an array-typed source name: which region holds it.
 struct SrcArr {
   std::string Region;
   TermId Len = NoTerm;
@@ -199,71 +178,66 @@ struct SrcState {
   std::map<std::string, TermId> Scal;
   std::map<std::string, SrcArr> Arr;
   std::set<std::string> Cells;
-  std::map<std::string, TermId> Region; ///< Region name -> contents term.
+  std::map<std::string, TermId> Region;
 };
 
 struct TgtState {
   std::map<std::string, TermId> Locals;
   std::map<std::string, TermId> Region;
-  std::map<std::string, std::string> LocalDef;  ///< Last defining stmt path.
-  std::map<std::string, std::string> RegionDef; ///< Last writing stmt path.
+  std::map<std::string, std::string> LocalDef;
+  std::map<std::string, std::string> RegionDef;
 };
 
-/// One model loop's canonical summary, in pre-order.
 struct SrcLoopRec {
   TermId Fold = NoTerm;
-  std::string BindingName; ///< Bound names, joined.
-  std::string Path;        ///< Source binding path.
+  std::string BindingName;
+  std::string Path;
 };
 
 //===----------------------------------------------------------------------===//
-// The validator.
+// The replayer.
 //===----------------------------------------------------------------------===//
 
-class Validator {
+class Replayer {
 public:
-  Validator(const ir::SourceFn &Src, const sep::FnSpec &Spec,
-            const bedrock::Function &Fn, const analysis::EntryFactList &Hints)
-      : Src(Src), Spec(Spec), Fn(Fn),
+  Replayer(const Certificate &Cert, const ir::SourceFn &Src,
+           const sep::FnSpec &Spec, const bedrock::Function &Fn,
+           const analysis::EntryFactList &Hints)
+      : Cert(Cert), Src(Src), Spec(Spec), Fn(Fn),
         Abi(analysis::makeAbiInfo(Fn, Spec, Src, Hints)) {
     G.setEntryFacts(&Abi.EntryFacts);
   }
 
-  TvReport run() {
-    Rep.Fn = Fn.Name;
-    try {
-      if (Src.TheMonad != ir::Monad::Pure)
-        inconclusive(std::string("model is in the ") +
-                     ir::monadName(Src.TheMonad) +
-                     " monad; only pure programs are validated statically");
-      checkTables();
-      setupRegions();
-      SrcState SS = sourceEntry();
-      evalSrcProg(*Src.Body, SS, "");
-      TgtState TT = targetEntry();
-      execBlock(Fn.Body.get(), TT, "body");
-      compareOutputs(SS, TT);
-    } catch (const Abort &A) {
-      Rep.TheVerdict = A.V;
-      Rep.Reason = A.Reason;
-    }
-    Rep.NumTerms = unsigned(G.size());
-    return Rep;
+  CheckResult run() {
+    if (Src.TheMonad != ir::Monad::Pure)
+      fail(Reject::RederivationFailed,
+           std::string("model is in the ") + ir::monadName(Src.TheMonad) +
+               " monad; a proved certificate is impossible");
+    checkTables();
+    setupRegions();
+    SrcState SS = sourceEntry();
+    evalSrcProg(*Src.Body, SS, "");
+    TgtState TT = targetEntry();
+    execBlock(Fn.Body.get(), TT, "body");
+    return compareTrace(SS, TT);
   }
 
 private:
+  const Certificate &Cert;
   const ir::SourceFn &Src;
   const sep::FnSpec &Spec;
   const bedrock::Function &Fn;
   analysis::AbiInfo Abi;
   TermGraph G;
-  TvReport Rep;
 
-  std::map<std::string, unsigned> RegionWidth; ///< Region -> element bytes.
-  std::map<TermId, std::string> PtrRegion;     ///< Ptr sym id -> region.
+  std::vector<BindingRec> DerivedBindings;
+  std::vector<LoopRec> DerivedLoops;
+
+  std::map<std::string, unsigned> RegionWidth;
+  std::map<TermId, std::string> PtrRegion;
   std::vector<SrcLoopRec> SrcLoops;
   unsigned TgtCursor = 0;
-  std::map<std::string, std::string> LastSrcBind; ///< Name -> description.
+  std::map<std::string, std::string> LastSrcBind;
   std::set<std::string> *CurStores = nullptr;
 
   std::string canonSym(unsigned Loop, unsigned Pos) const {
@@ -281,12 +255,15 @@ private:
     for (const bedrock::InlineTable &T : Fn.Tables) {
       const ir::TableDef *D = Src.findTable(T.Name);
       if (!D)
-        refute("inline table '" + T.Name + "' has no counterpart in the model");
+        fail(Reject::RederivationFailed,
+             "inline table '" + T.Name + "' has no counterpart in the model");
       if (bedrock::sizeBytes(T.EltSize) != ir::eltSize(D->Elt))
-        refute("inline table '" + T.Name +
-               "' element width differs from the model's");
+        fail(Reject::RederivationFailed,
+             "inline table '" + T.Name +
+                 "' element width differs from the model's");
       if (T.Elements != D->Elements)
-        refute("inline table '" + T.Name + "' contents differ from the model");
+        fail(Reject::RederivationFailed,
+             "inline table '" + T.Name + "' contents differ from the model");
     }
   }
 
@@ -300,9 +277,6 @@ private:
   }
 
   SrcState sourceEntry() {
-    // A scalar parameter the ABI declares as an array's length is the same
-    // word as the canonical "len_<array>" symbol (the requires clause ties
-    // them), so both sides must intern it identically.
     std::map<std::string, std::string> CanonScalar;
     for (const sep::ArgSpec &A : Spec.Args)
       if (A.TheKind == sep::ArgSpec::Kind::ArrayLen)
@@ -313,8 +287,7 @@ private:
       switch (P.TheKind) {
       case ir::Param::Kind::ScalarWord: {
         auto It = CanonScalar.find(P.Name);
-        S.Scal[P.Name] =
-            G.sym(It != CanonScalar.end() ? It->second : P.Name);
+        S.Scal[P.Name] = G.sym(It != CanonScalar.end() ? It->second : P.Name);
         break;
       }
       case ir::Param::Kind::List: {
@@ -353,7 +326,7 @@ private:
       T.LocalDef[A.TargetName] = "entry";
     }
     for (const auto &[R, W] : RegionWidth) {
-      T.Region[R] = G.arrInit(R, W); // Same node as the source entry.
+      T.Region[R] = G.arrInit(R, W);
       T.RegionDef[R] = "entry";
     }
     return T;
@@ -371,8 +344,8 @@ private:
       const std::string &N = cast<ir::VarRef>(&E)->name();
       auto It = S.Scal.find(N);
       if (It == S.Scal.end())
-        inconclusive("model references '" + N +
-                     "' where no scalar value is tracked");
+        fail(Reject::RederivationFailed,
+             "model references '" + N + "' where no scalar value is tracked");
       return It->second;
     }
     case ir::Expr::Kind::Bin: {
@@ -394,18 +367,18 @@ private:
       switch (C->castKind()) {
       case ir::CastKind::ByteToWord:
       case ir::CastKind::BoolToWord:
-        return Op; // Zero-extension is the identity on word terms.
+        return Op;
       case ir::CastKind::WordToByte:
         return G.bin(bedrock::BinOp::And, Op, G.constant(0xff));
       }
-      inconclusive("unknown cast");
+      fail(Reject::RederivationFailed, "unknown cast");
     }
     case ir::Expr::Kind::ArrayGet: {
       const auto *AG = cast<ir::ArrayGet>(&E);
       auto It = S.Arr.find(AG->array());
       if (It == S.Arr.end())
-        inconclusive("model reads array '" + AG->array() +
-                     "' which is not tracked");
+        fail(Reject::RederivationFailed,
+             "model reads array '" + AG->array() + "' which is not tracked");
       TermId Idx = evalSrcExpr(*AG->index(), S);
       return G.elt(S.Region.at(It->second.Region), Idx);
     }
@@ -413,13 +386,14 @@ private:
       const auto *TG = cast<ir::TableGet>(&E);
       const ir::TableDef *D = Src.findTable(TG->table());
       if (!D)
-        inconclusive("model reads unknown table '" + TG->table() + "'");
+        fail(Reject::RederivationFailed,
+             "model reads unknown table '" + TG->table() + "'");
       TermId Idx = evalSrcExpr(*TG->index(), S);
       return G.tableElt(D->Name, ir::eltSize(D->Elt), tableMax(D->Elements),
                         Idx);
     }
     }
-    inconclusive("unknown expression kind");
+    fail(Reject::RederivationFailed, "unknown expression kind");
   }
 
   uint64_t srcValueHash(const SrcState &S, const std::string &Name) const {
@@ -443,7 +417,7 @@ private:
       LastSrcBind[N] = Path + ": let " + joinNames(B.Names) + " := " +
                        clip(B.Bound->str());
     }
-    Rep.Bindings.push_back({Path, joinNames(B.Names), H});
+    DerivedBindings.push_back({Path, joinNames(B.Names), H});
   }
 
   void evalSrcProg(const ir::Prog &P, SrcState &S, const std::string &Prefix) {
@@ -458,7 +432,7 @@ private:
     switch (B.Bound->kind()) {
     case K::PureVal: {
       if (B.Names.size() != 1)
-        inconclusive("multi-name pure binding");
+        fail(Reject::RederivationFailed, "multi-name pure binding");
       S.Scal[B.Names[0]] =
           evalSrcExpr(*cast<ir::PureVal>(B.Bound.get())->expr(), S);
       break;
@@ -466,10 +440,12 @@ private:
     case K::ArrayPut: {
       const auto *AP = cast<ir::ArrayPut>(B.Bound.get());
       if (B.Names.size() != 1 || B.Names[0] != AP->array())
-        inconclusive("array put must rebind the array's own name");
+        fail(Reject::RederivationFailed,
+             "array put must rebind the array's own name");
       auto It = S.Arr.find(AP->array());
       if (It == S.Arr.end())
-        inconclusive("put into untracked array '" + AP->array() + "'");
+        fail(Reject::RederivationFailed,
+             "put into untracked array '" + AP->array() + "'");
       TermId Idx = evalSrcExpr(*AP->index(), S);
       TermId Val = evalSrcExpr(*AP->val(), S);
       const std::string &R = It->second.Region;
@@ -479,7 +455,8 @@ private:
     case K::CellGet: {
       const auto *CG = cast<ir::CellGet>(B.Bound.get());
       if (!S.Cells.count(CG->cell()))
-        inconclusive("get from untracked cell '" + CG->cell() + "'");
+        fail(Reject::RederivationFailed,
+             "get from untracked cell '" + CG->cell() + "'");
       S.Scal[B.Names[0]] = G.elt(S.Region.at(CG->cell()), G.constant(0));
       break;
     }
@@ -487,7 +464,8 @@ private:
       const auto *CP = cast<ir::CellPut>(B.Bound.get());
       if (B.Names.size() != 1 || B.Names[0] != CP->cell() ||
           !S.Cells.count(CP->cell()))
-        inconclusive("cell put must rebind the cell's own name");
+        fail(Reject::RederivationFailed,
+             "cell put must rebind the cell's own name");
       TermId V = evalSrcExpr(*CP->expr(), S);
       S.Region[CP->cell()] =
           G.arrStore(S.Region.at(CP->cell()), G.constant(0), V);
@@ -497,7 +475,8 @@ private:
       const auto *CI = cast<ir::CellIncr>(B.Bound.get());
       if (B.Names.size() != 1 || B.Names[0] != CI->cell() ||
           !S.Cells.count(CI->cell()))
-        inconclusive("cell incr must rebind the cell's own name");
+        fail(Reject::RederivationFailed,
+             "cell incr must rebind the cell's own name");
       TermId Cur = G.elt(S.Region.at(CI->cell()), G.constant(0));
       TermId V = G.bin(bedrock::BinOp::Add, Cur, evalSrcExpr(*CI->expr(), S));
       S.Region[CI->cell()] =
@@ -515,8 +494,9 @@ private:
       evalSrcLoop(B, S, Path);
       break;
     default:
-      inconclusive("binding form '" + clip(B.Bound->str(), 48) +
-                   "' is outside the statically validated fragment");
+      fail(Reject::RederivationFailed,
+           "binding form '" + clip(B.Bound->str(), 48) +
+               "' is outside the modeled fragment");
     }
     recordBinding(B, S, Path);
   }
@@ -530,32 +510,34 @@ private:
     const std::vector<std::string> &TR = IB->thenProg()->returns();
     const std::vector<std::string> &ER = IB->elseProg()->returns();
     if (TR.size() != B.Names.size() || ER.size() != B.Names.size())
-      inconclusive("conditional binding arity mismatch");
+      fail(Reject::RederivationFailed, "conditional binding arity mismatch");
     for (auto &[R, Contents] : S.Region)
       Contents = G.arrSelect(C, TS.Region.at(R), ES.Region.at(R));
     for (size_t J = 0; J < B.Names.size(); ++J) {
       bool ThenArr = TS.Arr.count(TR[J]) != 0;
       bool ElseArr = ES.Arr.count(ER[J]) != 0;
       if (ThenArr != ElseArr)
-        inconclusive("conditional branches return values of different kinds");
+        fail(Reject::RederivationFailed,
+             "conditional branches return values of different kinds");
       if (ThenArr) {
         const SrcArr &A1 = TS.Arr.at(TR[J]);
         const SrcArr &A2 = ES.Arr.at(ER[J]);
         if (A1.Region != A2.Region)
-          inconclusive("conditional branches return different arrays");
+          fail(Reject::RederivationFailed,
+               "conditional branches return different arrays");
         S.Arr[B.Names[J]] = A1;
         continue;
       }
       auto TI = TS.Scal.find(TR[J]);
       auto EI = ES.Scal.find(ER[J]);
       if (TI == TS.Scal.end() || EI == ES.Scal.end())
-        inconclusive("conditional branch result '" + TR[J] +
-                     "' is not a tracked scalar");
+        fail(Reject::RederivationFailed,
+             "conditional branch result '" + TR[J] +
+                 "' is not a tracked scalar");
       S.Scal[B.Names[J]] = G.select(C, TI->second, EI->second);
     }
   }
 
-  /// Resolves the carried structure of a loop binding and interns its Fold.
   void evalSrcLoop(const ir::Binding &B, SrcState &S, const std::string &Path) {
     unsigned K = unsigned(SrcLoops.size());
     FoldInfo FI;
@@ -567,10 +549,11 @@ private:
     case ir::BoundForm::Kind::ListMap: {
       const auto *M = cast<ir::ListMap>(B.Bound.get());
       if (B.Names.size() != 1 || B.Names[0] != M->array())
-        inconclusive("map must rebind its array in place");
+        fail(Reject::RederivationFailed, "map must rebind its array in place");
       auto It = S.Arr.find(M->array());
       if (It == S.Arr.end())
-        inconclusive("map over untracked array '" + M->array() + "'");
+        fail(Reject::RederivationFailed,
+             "map over untracked array '" + M->array() + "'");
       const std::string R = It->second.Region;
       unsigned W = It->second.EltBytes;
       TermId Entry = S.Region.at(R);
@@ -591,7 +574,6 @@ private:
     }
     case ir::BoundForm::Kind::ListFold:
     case ir::BoundForm::Kind::FoldBreak: {
-      // Shared shape: index + accumulator; fold_break adds a guard clause.
       std::string ArrName, AccP, EltP;
       const ir::Expr *InitE, *BodyE, *BreakE = nullptr;
       if (const auto *FL = dyn_cast<ir::ListFold>(B.Bound.get())) {
@@ -610,10 +592,11 @@ private:
         BreakE = FB->breakCond();
       }
       if (B.Names.size() != 1)
-        inconclusive("fold must bind exactly one name");
+        fail(Reject::RederivationFailed, "fold must bind exactly one name");
       auto It = S.Arr.find(ArrName);
       if (It == S.Arr.end())
-        inconclusive("fold over untracked array '" + ArrName + "'");
+        fail(Reject::RederivationFailed,
+             "fold over untracked array '" + ArrName + "'");
       const std::string R = It->second.Region;
       TermId I = Carried(0), A = Carried(1);
       TermId InitT = evalSrcExpr(*InitE, S);
@@ -624,8 +607,6 @@ private:
       FI.NumCarried = 2;
       FI.Guard = G.bin(bedrock::BinOp::LtU, I, It->second.Len);
       if (BreakE) {
-        // The exit predicate sees only the accumulator (compiled into the
-        // guard, where the element local is not yet loaded).
         SrcState GS = S;
         GS.Scal[AccP] = A;
         TermId Brk = evalSrcExpr(*BreakE, GS);
@@ -645,15 +626,14 @@ private:
       const std::vector<ir::AccInit> &Accs = RF ? RF->accs() : WC->accs();
       const ir::Prog &Body = RF ? *RF->body() : *WC->body();
       if (progHasLoop(Body))
-        inconclusive("nested loops are not summarized");
+        fail(Reject::RederivationFailed, "nested loops are not summarized");
       if (Accs.size() != B.Names.size())
-        inconclusive("loop accumulator arity mismatch");
+        fail(Reject::RederivationFailed, "loop accumulator arity mismatch");
       for (size_t J = 0; J < Accs.size(); ++J)
         if (Accs[J].Name != B.Names[J])
-          inconclusive("loop accumulators must be bound under their names");
+          fail(Reject::RederivationFailed,
+               "loop accumulators must be bound under their names");
 
-      // Classify accumulators: arrays thread through regions, scalars are
-      // carried positions. The index (ranged_for only) is carried first.
       struct ScalAcc {
         std::string Name;
         unsigned Pos;
@@ -666,7 +646,8 @@ private:
         const auto *V = dyn_cast<ir::VarRef>(A.Init.get());
         if (V && S.Arr.count(V->name())) {
           if (V->name() != A.Name)
-            inconclusive("array accumulator must be initialized by itself");
+            fail(Reject::RederivationFailed,
+                 "array accumulator must be initialized by itself");
           ArrAccs.push_back(A.Name);
           continue;
         }
@@ -695,13 +676,12 @@ private:
         else if (S.Cells.count(WName))
           R = WName;
         else
-          inconclusive("loop body writes untracked '" + WName + "'");
+          fail(Reject::RederivationFailed,
+               "loop body writes untracked '" + WName + "'");
         Entries[R] = S.Region.at(R);
         BS.Region[R] = G.arrHavoc(canonRegionSym(K, R), RegionWidth.at(R));
       }
 
-      // The guard is evaluated against the havocked iteration state, the
-      // same state the target's summary evaluates its While condition in.
       if (RF)
         FI.Guard = G.bin(bedrock::BinOp::LtU, I, Hi);
       else
@@ -710,7 +690,7 @@ private:
       evalSrcProg(Body, BS, Path + ".body.");
       const std::vector<std::string> &Rets = Body.returns();
       if (Rets.size() != Accs.size())
-        inconclusive("loop body return arity mismatch");
+        fail(Reject::RederivationFailed, "loop body return arity mismatch");
 
       FI.NumCarried = (RF ? 1 : 0) + unsigned(Scals.size());
       FI.Inits.resize(FI.NumCarried);
@@ -726,8 +706,9 @@ private:
             break;
         auto It = BS.Scal.find(Rets[AccIdx]);
         if (It == BS.Scal.end())
-          inconclusive("loop body result '" + Rets[AccIdx] +
-                       "' is not a tracked scalar");
+          fail(Reject::RederivationFailed,
+               "loop body result '" + Rets[AccIdx] +
+                   "' is not a tracked scalar");
         FI.Inits[A.Pos] = A.Init;
         FI.Nexts[A.Pos] = It->second;
       }
@@ -737,7 +718,8 @@ private:
           if (Accs[AccIdx].Name == AName)
             break;
         if (Rets[AccIdx] != AName)
-          inconclusive("array accumulator must be returned under its name");
+          fail(Reject::RederivationFailed,
+               "array accumulator must be returned under its name");
       }
       for (const auto &[R, Entry] : Entries)
         FI.Regions.push_back({R, Entry, BS.Region.at(R)});
@@ -750,18 +732,18 @@ private:
       break;
     }
     default:
-      inconclusive("not a loop binding");
+      fail(Reject::RederivationFailed, "not a loop binding");
     }
 
     SrcLoops.push_back({F, joinNames(B.Names), Path});
-    LoopRecord LR;
-    LR.Ordinal = K;
-    LR.Binding = joinNames(B.Names);
-    LR.Path = Path;
-    LR.FoldHash = G.hashOf(F);
-    LR.Carried = FI.NumCarried;
-    LR.Regions = unsigned(FI.Regions.size());
-    Rep.Loops.push_back(std::move(LR));
+    LoopRec DL;
+    DL.Ordinal = K;
+    DL.Binding = joinNames(B.Names);
+    DL.Path = Path;
+    DL.FoldHash = G.hashOf(F);
+    DL.Carried = FI.NumCarried;
+    DL.Regions = unsigned(FI.Regions.size());
+    DerivedLoops.push_back(std::move(DL));
   }
 
   //===--------------------------------------------------------------------===//
@@ -776,7 +758,8 @@ private:
       const std::string &N = cast<bedrock::Var>(&E)->name();
       auto It = T.Locals.find(N);
       if (It == T.Locals.end())
-        inconclusive("target reads local '" + N + "' with no tracked value");
+        fail(Reject::RederivationFailed,
+             "target reads local '" + N + "' with no tracked value");
       return It->second;
     }
     case bedrock::Expr::Kind::Bin: {
@@ -794,21 +777,20 @@ private:
     case bedrock::Expr::Kind::TableGet: {
       const auto *TG = cast<bedrock::TableGet>(&E);
       const ir::TableDef *D = Src.findTable(TG->table());
-      if (!D) // checkTables already rejected unknown tables.
-        refute("table read from unknown table '" + TG->table() + "'");
+      if (!D)
+        fail(Reject::RederivationFailed,
+             "table read from unknown table '" + TG->table() + "'");
       if (bedrock::sizeBytes(TG->size()) != ir::eltSize(D->Elt))
-        refute("table read width differs from the model table");
+        fail(Reject::RederivationFailed,
+             "table read width differs from the model table");
       TermId Idx = evalTgtExpr(*TG->index(), T);
       return G.tableElt(D->Name, ir::eltSize(D->Elt), tableMax(D->Elements),
                         Idx);
     }
     }
-    inconclusive("unknown target expression");
+    fail(Reject::RederivationFailed, "unknown target expression");
   }
 
-  /// Decomposes a byte address into (region, element index): the affine view
-  /// must contain exactly one region pointer with coefficient 1, and the
-  /// remaining offset must be an exact multiple of the element width.
   std::pair<std::string, TermId> resolveAddr(TermId Addr, unsigned Bytes) {
     AffineView V = G.affine(Addr);
     TermId PtrAtom = NoTerm;
@@ -818,28 +800,29 @@ private:
       if (It == PtrRegion.end())
         continue;
       if (PtrAtom != NoTerm)
-        inconclusive("address combines two region pointers");
+        fail(Reject::RederivationFailed, "address combines two region pointers");
       if (C != 1)
-        inconclusive("address scales a region pointer");
+        fail(Reject::RederivationFailed, "address scales a region pointer");
       PtrAtom = Atom;
       Reg = It->second;
     }
     if (PtrAtom == NoTerm)
-      inconclusive("memory access with no resolvable region pointer");
+      fail(Reject::RederivationFailed,
+           "memory access with no resolvable region pointer");
     unsigned W = RegionWidth.at(Reg);
     if (W != Bytes)
-      inconclusive("access width differs from region '" + Reg +
-                   "' element width");
+      fail(Reject::RederivationFailed,
+           "access width differs from region '" + Reg + "' element width");
     AffineView IdxV;
     for (const auto &[Atom, C] : V.Coeffs) {
       if (Atom == PtrAtom)
         continue;
       if (int64_t(C) % int64_t(W) != 0)
-        inconclusive("address offset is not element-aligned");
+        fail(Reject::RederivationFailed, "address offset is not element-aligned");
       IdxV.Coeffs[Atom] = uint64_t(int64_t(C) / int64_t(W));
     }
     if (int64_t(V.K) % int64_t(W) != 0)
-      inconclusive("address constant is not element-aligned");
+      fail(Reject::RederivationFailed, "address constant is not element-aligned");
     IdxV.K = uint64_t(int64_t(V.K) / int64_t(W));
     return {Reg, G.fromAffine(IdxV)};
   }
@@ -900,18 +883,21 @@ private:
       return;
     }
     case bedrock::Cmd::Kind::While:
-      matchLoop(*cast<bedrock::While>(&C), T, Path);
+      checkLoop(*cast<bedrock::While>(&C), T, Path);
       return;
     case bedrock::Cmd::Kind::Seq:
-      execBlock(&C, T, Path); // Flattened normally; defensive.
+      execBlock(&C, T, Path);
       return;
     case bedrock::Cmd::Kind::Call:
-      inconclusive("target calls '" + cast<bedrock::Call>(&C)->callee() +
-                   "'; calls are not validated statically");
+      fail(Reject::RederivationFailed,
+           "target calls '" + cast<bedrock::Call>(&C)->callee() +
+               "'; calls are outside the modeled fragment");
     case bedrock::Cmd::Kind::Stackalloc:
-      inconclusive("stackalloc is outside the validated fragment");
+      fail(Reject::RederivationFailed,
+           "stackalloc is outside the modeled fragment");
     case bedrock::Cmd::Kind::Interact:
-      inconclusive("environment interaction is outside the validated fragment");
+      fail(Reject::RederivationFailed,
+           "environment interaction is outside the modeled fragment");
     }
   }
 
@@ -922,7 +908,7 @@ private:
     for (const auto &[N, VA] : A.Locals) {
       auto It = B.Locals.find(N);
       if (It == B.Locals.end())
-        continue; // Branch-local: dead after the join.
+        continue;
       L[N] = VA == It->second ? VA : G.select(Cond, VA, It->second);
       if (VA == It->second) {
         auto DIt = A.LocalDef.find(N);
@@ -945,8 +931,6 @@ private:
     }
   }
 
-  /// Rejects body statements the summarizer cannot model and collects the
-  /// assigned locals.
   void scanLoopBody(const bedrock::Cmd *C, std::set<std::string> &Assigned) {
     switch (C->kind()) {
     case bedrock::Cmd::Kind::Skip:
@@ -968,19 +952,30 @@ private:
       return;
     }
     case bedrock::Cmd::Kind::While:
-      inconclusive("nested target loops are not summarized");
+      fail(Reject::RederivationFailed, "nested target loops are not summarized");
     case bedrock::Cmd::Kind::Unset:
-      inconclusive("unset inside a loop body");
+      fail(Reject::RederivationFailed, "unset inside a loop body");
     default:
-      inconclusive("unsupported statement inside a loop body");
+      fail(Reject::RederivationFailed,
+           "unsupported statement inside a loop body");
     }
   }
 
-  void matchLoop(const bedrock::While &W, TgtState &T, const std::string &Path) {
+  /// The producer's matchLoop, with the search replaced by witness replay:
+  /// the certificate says which target local implements each carried
+  /// position and which regions the loop stores to, and this function
+  /// verifies the resulting renaming satisfies the guard, step, and region
+  /// equations — deterministically, in one pass.
+  void checkLoop(const bedrock::While &W, TgtState &T, const std::string &Path) {
     unsigned K = TgtCursor++;
     if (K >= SrcLoops.size())
-      refute("target loop at " + Path +
-             " has no corresponding loop in the model");
+      fail(Reject::RederivationFailed,
+           "target loop at " + Path + " has no corresponding loop in the model");
+    if (K >= Cert.Loops.size())
+      fail(Reject::TruncatedTrace,
+           "target loop #" + std::to_string(K) +
+               " has no loop record in the certificate");
+    const LoopRec &CL = Cert.Loops[K];
     const SrcLoopRec &SL = SrcLoops[K];
     const FoldInfo &FI = G.foldInfo(SL.Fold);
 
@@ -1023,272 +1018,299 @@ private:
       execBlock(W.body(), B, Path + ".body");
       CurStores = nullptr;
       if (Stored2 != Stored)
-        inconclusive("loop store set depends on memory contents");
+        fail(Reject::RederivationFailed,
+             "loop store set depends on memory contents");
     }
 
     std::set<std::string> SrcRegs;
     for (const FoldRegion &R : FI.Regions)
       SrcRegs.insert(R.Name);
     if (SrcRegs != Stored)
-      refute("loop at " + Path + " writes regions {" + joinSet(Stored) +
-             "} but model binding '" + SL.BindingName + "' (" + SL.Path +
-             ") writes {" + joinSet(SrcRegs) + "}");
+      fail(Reject::RederivationFailed,
+           "loop at " + Path + " writes regions {" + joinSet(Stored) +
+               "} but model binding '" + SL.BindingName + "' (" + SL.Path +
+               ") writes {" + joinSet(SrcRegs) + "}");
 
-    // Renaming skeleton: target region havocs map onto the model's.
-    std::map<TermId, TermId> BaseRen;
+    // The witness must name this While, the derived store set, and exactly
+    // one assigned local per carried position.
+    if (CL.TargetPath != Path)
+      fail(Reject::LoopWitnessMismatch,
+           "loop #" + std::to_string(K) + " witness names the While at '" +
+               CL.TargetPath + "' but it executes at '" + Path + "'");
+    std::set<std::string> WitRegs(CL.WitnessRegions.begin(),
+                                  CL.WitnessRegions.end());
+    if (WitRegs != Stored)
+      fail(Reject::LoopWitnessMismatch,
+           "loop #" + std::to_string(K) + " witness region set {" +
+               joinSet(WitRegs) + "} differs from the derived store set {" +
+               joinSet(Stored) + "}");
+    if (CL.WitnessLocals.size() != FI.NumCarried)
+      fail(Reject::LoopWitnessMismatch,
+           "loop #" + std::to_string(K) + " witness maps " +
+               std::to_string(CL.WitnessLocals.size()) +
+               " locals but the model carries " +
+               std::to_string(FI.NumCarried) + " values");
+
+    // Replay: build the recorded renaming and verify the match equations.
+    std::map<TermId, TermId> Ren;
     for (const std::string &R : Stored)
-      BaseRen[RegionHavoc[R]] =
+      Ren[RegionHavoc[R]] =
           G.arrHavoc(canonRegionSym(K, R), RegionWidth.at(R));
 
-    // Loop-carried candidates: assigned locals with a pre-loop value.
-    struct Cand {
+    struct Picked {
       std::string Name;
-      TermId Init, Next, Havoc;
+      TermId Next;
     };
-    std::vector<Cand> Cands;
-    for (const std::string &V : Assigned) {
+    std::vector<Picked> Picks;
+    std::set<std::string> SeenLocals;
+    for (unsigned J = 0; J < FI.NumCarried; ++J) {
+      const std::string &V = CL.WitnessLocals[J];
+      if (!SeenLocals.insert(V).second)
+        fail(Reject::LoopWitnessMismatch,
+             "witness maps local '" + V + "' to two carried positions");
+      if (!Assigned.count(V))
+        fail(Reject::LoopWitnessMismatch,
+             "witness local '" + V + "' is not assigned by the loop body");
       auto InitIt = T.Locals.find(V);
       auto NextIt = B.Locals.find(V);
       if (InitIt == T.Locals.end() || NextIt == B.Locals.end())
-        continue;
-      Cands.push_back({V, InitIt->second, NextIt->second, HavocOf[V]});
+        fail(Reject::LoopWitnessMismatch,
+             "witness local '" + V + "' has no loop-carried value");
+      if (InitIt->second != FI.Inits[J])
+        fail(Reject::LoopWitnessMismatch,
+             "witness local '" + V + "' is initialized to '" +
+                 clip(G.str(InitIt->second)) +
+                 "' but the model's carried value " + std::to_string(J) +
+                 " starts at '" + clip(G.str(FI.Inits[J])) + "'");
+      Ren[HavocOf.at(V)] = G.sym(canonSym(K, J));
+      Picks.push_back({V, NextIt->second});
     }
 
-    // Search for a bijection from carried positions to loop variables with
-    // matching initial values, under which guard, steps, and region
-    // updates all equal the model's. Any witness is a genuine loop
-    // isomorphism (the equations verify it), so the first one found wins.
-    unsigned N = FI.NumCarried;
-    std::vector<int> Pick(N, -1);
-    std::vector<bool> Used(Cands.size(), false);
-    std::string FailWhy;
+    if (G.substitute(GuardT, Ren) != FI.Guard)
+      fail(Reject::LoopWitnessMismatch,
+           "under the recorded witness the loop guard computes '" +
+               clip(G.str(GuardT)) + "' but the model's is '" +
+               clip(G.str(FI.Guard)) + "'");
+    for (unsigned J = 0; J < FI.NumCarried; ++J)
+      if (G.substitute(Picks[J].Next, Ren) != FI.Nexts[J])
+        fail(Reject::LoopWitnessMismatch,
+             "witness local '" + Picks[J].Name + "' steps to '" +
+                 clip(G.str(Picks[J].Next)) +
+                 "' but the model's carried value " + std::to_string(J) +
+                 " steps to '" + clip(G.str(FI.Nexts[J])) + "'");
+    for (const FoldRegion &R : FI.Regions) {
+      if (T.Region.at(R.Name) != R.Entry)
+        fail(Reject::LoopWitnessMismatch,
+             "region '" + R.Name + "' enters the loop as '" +
+                 clip(G.str(T.Region.at(R.Name))) + "' but the model has '" +
+                 clip(G.str(R.Entry)) + "'");
+      if (G.substitute(B.Region.at(R.Name), Ren) != R.Next)
+        fail(Reject::LoopWitnessMismatch,
+             "region '" + R.Name + "' is rewritten as '" +
+                 clip(G.str(B.Region.at(R.Name))) +
+                 "' per iteration but the model rewrites it as '" +
+                 clip(G.str(R.Next)) + "'");
+    }
 
-    auto CheckAssignment = [&]() -> bool {
-      std::map<TermId, TermId> Ren = BaseRen;
-      for (unsigned J = 0; J < N; ++J)
-        Ren[Cands[size_t(Pick[J])].Havoc] = G.sym(canonSym(K, J));
-      if (G.substitute(GuardT, Ren) != FI.Guard) {
-        FailWhy = "the loop guard computes '" + clip(G.str(GuardT)) +
-                  "' but the model's is '" + clip(G.str(FI.Guard)) + "'";
-        return false;
-      }
-      for (unsigned J = 0; J < N; ++J) {
-        const Cand &C = Cands[size_t(Pick[J])];
-        if (G.substitute(C.Next, Ren) != FI.Nexts[J]) {
-          FailWhy = "loop variable '" + C.Name + "' steps to '" +
-                    clip(G.str(C.Next)) + "' but the model's carried value " +
-                    std::to_string(J) + " steps to '" +
-                    clip(G.str(FI.Nexts[J])) + "'";
-          return false;
-        }
-      }
-      for (const FoldRegion &R : FI.Regions) {
-        if (T.Region.at(R.Name) != R.Entry) {
-          FailWhy = "region '" + R.Name + "' enters the loop as '" +
-                    clip(G.str(T.Region.at(R.Name))) + "' but the model has '" +
-                    clip(G.str(R.Entry)) + "'";
-          return false;
-        }
-        if (G.substitute(B.Region.at(R.Name), Ren) != R.Next) {
-          FailWhy = "region '" + R.Name + "' is rewritten as '" +
-                    clip(G.str(B.Region.at(R.Name))) +
-                    "' per iteration but the model rewrites it as '" +
-                    clip(G.str(R.Next)) + "'";
-          return false;
-        }
-      }
-      return true;
-    };
-
-    std::function<bool(unsigned)> Search = [&](unsigned J) -> bool {
-      if (J == N)
-        return CheckAssignment();
-      for (size_t CI = 0; CI < Cands.size(); ++CI) {
-        if (Used[CI] || Cands[CI].Init != FI.Inits[J])
-          continue;
-        Used[CI] = true;
-        Pick[J] = int(CI);
-        if (Search(J + 1))
-          return true;
-        Used[CI] = false;
-        Pick[J] = -1;
-      }
-      if (FailWhy.empty())
-        FailWhy = "no loop variable is initialized to the model's carried "
-                  "value " +
-                  std::to_string(J) + " ('" + clip(G.str(FI.Inits[J])) + "')";
-      return false;
-    };
-
-    if (!Search(0))
-      refute("loop at " + Path + " does not implement model binding '" +
-             SL.BindingName + "' (" + SL.Path + "): " + FailWhy);
-
-    // Record the witness the search found: this is what turns the verdict
-    // into an independently checkable certificate (cert::Rederive replays
-    // the assignment instead of re-searching).
-    LoopRecord &LR = Rep.Loops[K];
-    LR.WitnessLocals.clear();
-    for (unsigned J = 0; J < N; ++J)
-      LR.WitnessLocals.push_back(Cands[size_t(Pick[J])].Name);
-    LR.WitnessRegions.assign(Stored.begin(), Stored.end());
-    LR.TargetPath = Path;
-
-    // Commit: matched variables become fold projections; the rest of the
-    // assigned locals have unknown post-loop values and are dropped.
+    // Commit exactly as the producer does.
     for (const std::string &V : Assigned) {
       T.Locals.erase(V);
       T.LocalDef.erase(V);
     }
-    for (unsigned J = 0; J < N; ++J) {
-      const Cand &C = Cands[size_t(Pick[J])];
-      T.Locals[C.Name] = G.foldOut(SL.Fold, J);
-      T.LocalDef[C.Name] = Path;
+    for (unsigned J = 0; J < FI.NumCarried; ++J) {
+      T.Locals[Picks[J].Name] = G.foldOut(SL.Fold, J);
+      T.LocalDef[Picks[J].Name] = Path;
     }
     for (const std::string &R : Stored) {
       T.Region[R] = G.foldOutArr(SL.Fold, R);
       T.RegionDef[R] = Path;
     }
+
+    // Record the verified witness on the derived loop (the summary fields
+    // were filled during source evaluation).
+    DerivedLoops[K].WitnessLocals = CL.WitnessLocals;
+    DerivedLoops[K].WitnessRegions = CL.WitnessRegions;
+    DerivedLoops[K].TargetPath = Path;
   }
 
   //===--------------------------------------------------------------------===//
-  // Output comparison.
+  // Trace comparison.
   //===--------------------------------------------------------------------===//
 
-  void compareOutputs(const SrcState &SS, const TgtState &TT) {
+  CheckResult compareTrace(const SrcState &SS, const TgtState &TT) {
     if (TgtCursor < SrcLoops.size())
-      refute("model loop binding '" + SrcLoops[TgtCursor].BindingName + "' (" +
-             SrcLoops[TgtCursor].Path +
-             ") has no corresponding loop in the target");
+      fail(Reject::RederivationFailed,
+           "model loop binding '" + SrcLoops[TgtCursor].BindingName + "' (" +
+               SrcLoops[TgtCursor].Path +
+               ") has no corresponding loop in the target");
     if (Spec.ScalarRets.size() != Fn.Rets.size())
-      refute("target returns " + std::to_string(Fn.Rets.size()) +
-             " words but the ABI promises " +
-             std::to_string(Spec.ScalarRets.size()));
+      fail(Reject::RederivationFailed,
+           "target returns " + std::to_string(Fn.Rets.size()) +
+               " words but the ABI promises " +
+               std::to_string(Spec.ScalarRets.size()));
 
-    auto Push = [&](OutputRecord O) {
-      O.Matched = O.SrcHash == O.TgtHash && O.SrcTerm == O.TgtTerm;
-      Rep.Outputs.push_back(std::move(O));
-    };
-
+    // Re-derive the output channels in the producer's order.
+    std::vector<OutputRec> Derived;
     for (size_t I = 0; I < Spec.ScalarRets.size(); ++I) {
       const std::string &SN = Spec.ScalarRets[I];
       const std::string &TN = Fn.Rets[I];
       auto SIt = SS.Scal.find(SN);
       if (SIt == SS.Scal.end())
-        inconclusive("model result '" + SN + "' is not a tracked scalar");
+        fail(Reject::RederivationFailed,
+             "model result '" + SN + "' is not a tracked scalar");
       auto TIt = TT.Locals.find(TN);
       if (TIt == TT.Locals.end())
-        refute("target never defines return local '" + TN + "'");
-      OutputRecord O;
+        fail(Reject::RederivationFailed,
+             "target never defines return local '" + TN + "'");
+      OutputRec O;
       O.Name = SN;
       O.Kind = "scalar";
       O.SrcHash = G.hashOf(SIt->second);
       O.TgtHash = G.hashOf(TIt->second);
-      O.SrcTerm = G.str(SIt->second);
-      O.TgtTerm = G.str(TIt->second);
       O.Matched = SIt->second == TIt->second;
       if (auto BIt = LastSrcBind.find(SN); BIt != LastSrcBind.end())
         O.SourceBinding = BIt->second;
       if (auto DIt = TT.LocalDef.find(TN); DIt != TT.LocalDef.end())
         O.TargetPath = DIt->second;
-      Rep.Outputs.push_back(std::move(O));
+      Derived.push_back(std::move(O));
     }
-    (void)Push;
-
     for (const auto &[R, SrcContents] : SS.Region) {
-      OutputRecord O;
+      OutputRec O;
       O.Name = R;
-      bool InPlaceArr = std::find(Spec.InPlaceArrays.begin(),
-                                  Spec.InPlaceArrays.end(),
-                                  R) != Spec.InPlaceArrays.end();
-      bool InPlaceCell = std::find(Spec.InPlaceCells.begin(),
-                                   Spec.InPlaceCells.end(),
-                                   R) != Spec.InPlaceCells.end();
+      bool InPlaceArr =
+          std::find(Spec.InPlaceArrays.begin(), Spec.InPlaceArrays.end(), R) !=
+          Spec.InPlaceArrays.end();
+      bool InPlaceCell =
+          std::find(Spec.InPlaceCells.begin(), Spec.InPlaceCells.end(), R) !=
+          Spec.InPlaceCells.end();
       O.Kind = InPlaceArr ? "array" : InPlaceCell ? "cell" : "frame";
       TermId Tgt = TT.Region.at(R);
       O.SrcHash = G.hashOf(SrcContents);
       O.TgtHash = G.hashOf(Tgt);
-      O.SrcTerm = G.str(SrcContents);
-      O.TgtTerm = G.str(Tgt);
       O.Matched = SrcContents == Tgt;
       if (auto BIt = LastSrcBind.find(R); BIt != LastSrcBind.end())
         O.SourceBinding = BIt->second;
       if (auto DIt = TT.RegionDef.find(R); DIt != TT.RegionDef.end())
         O.TargetPath = DIt->second;
-      Rep.Outputs.push_back(std::move(O));
+      Derived.push_back(std::move(O));
     }
 
-    for (const OutputRecord &O : Rep.Outputs)
-      if (!O.Matched) {
-        Rep.TheVerdict = Verdict::Refuted;
-        Rep.Reason = "output '" + O.Name + "' [" + O.Kind +
-                     "] differs between model and target";
-        return;
-      }
-    Rep.TheVerdict = Verdict::Proved;
+    // The proved claim itself: every channel must re-derive equal.
+    for (const OutputRec &O : Derived)
+      if (!O.Matched)
+        return CheckResult::reject(
+            Reject::OutputMismatch,
+            "output '" + O.Name + "' [" + O.Kind +
+                "] does not re-derive as equal between model and target");
+
+    // Binding trace: same length, same records, in order.
+    if (Cert.Bindings.size() != DerivedBindings.size())
+      return CheckResult::reject(
+          Reject::TruncatedTrace,
+          "certificate records " + std::to_string(Cert.Bindings.size()) +
+              " bindings but re-derivation produces " +
+              std::to_string(DerivedBindings.size()));
+    for (size_t I = 0; I < DerivedBindings.size(); ++I) {
+      const BindingRec &C = Cert.Bindings[I], &D = DerivedBindings[I];
+      if (C.Path != D.Path || C.Name != D.Name || C.Hash != D.Hash)
+        return CheckResult::reject(
+            Reject::BindingTraceMismatch,
+            "binding #" + std::to_string(I) + " records (" + C.Path + ", " +
+                C.Name + ") but re-derivation gives (" + D.Path + ", " +
+                D.Name + ") with a " +
+                (C.Hash != D.Hash ? std::string("different")
+                                  : std::string("matching")) +
+                " hash");
+    }
+
+    // Loop summaries (witnesses were verified during execution).
+    if (Cert.Loops.size() != DerivedLoops.size())
+      return CheckResult::reject(
+          Reject::TruncatedTrace,
+          "certificate records " + std::to_string(Cert.Loops.size()) +
+              " loops but re-derivation produces " +
+              std::to_string(DerivedLoops.size()));
+    for (size_t I = 0; I < DerivedLoops.size(); ++I) {
+      const LoopRec &C = Cert.Loops[I], &D = DerivedLoops[I];
+      if (C.Ordinal != D.Ordinal || C.Binding != D.Binding ||
+          C.Path != D.Path || C.FoldHash != D.FoldHash ||
+          C.Carried != D.Carried || C.Regions != D.Regions)
+        return CheckResult::reject(
+            Reject::LoopSummaryMismatch,
+            "loop #" + std::to_string(I) +
+                " summary differs from the re-derived one (binding '" +
+                D.Binding + "' at " + D.Path + ")");
+    }
+
+    // Output channels.
+    if (Cert.Outputs.size() != Derived.size())
+      return CheckResult::reject(
+          Reject::OutputMismatch,
+          "certificate records " + std::to_string(Cert.Outputs.size()) +
+              " outputs but re-derivation produces " +
+              std::to_string(Derived.size()));
+    for (size_t I = 0; I < Derived.size(); ++I) {
+      const OutputRec &C = Cert.Outputs[I], &D = Derived[I];
+      if (C.Name != D.Name || C.Kind != D.Kind || C.SrcHash != D.SrcHash ||
+          C.TgtHash != D.TgtHash || C.Matched != D.Matched ||
+          C.SourceBinding != D.SourceBinding || C.TargetPath != D.TargetPath)
+        return CheckResult::reject(
+            Reject::OutputMismatch,
+            "output '" + D.Name + "' [" + D.Kind +
+                "] record differs from the re-derived one");
+    }
+
+    return CheckResult::accept();
   }
 };
 
 } // namespace
 
-const char *verdictName(Verdict V) {
-  switch (V) {
-  case Verdict::Proved:
-    return "proved";
-  case Verdict::Refuted:
-    return "refuted";
-  case Verdict::Inconclusive:
-    return "inconclusive";
+CheckResult Rederive::check(const Certificate &C, const ir::SourceFn &Model,
+                            const EntryFacts &Hints, const sep::FnSpec &Spec,
+                            const bedrock::Function &Code) {
+  if (C.SchemaVersion == 1)
+    return CheckResult::reject(
+        Reject::UnverifiableV1,
+        "v1 certificates carry no content hashes or loop witnesses and "
+        "cannot be independently re-checked");
+  if (C.SchemaVersion != kSchemaVersion)
+    return CheckResult::reject(Reject::UnknownSchemaVersion,
+                               "schema_version " +
+                                   std::to_string(C.SchemaVersion) +
+                                   " is not checkable by this build");
+  if (C.Function != Code.Name)
+    return CheckResult::reject(Reject::FunctionMismatch,
+                               "certificate is about '" + C.Function +
+                                   "' but the suite compiles '" + Code.Name +
+                                   "'");
+
+  ContentKey Fresh = contentKey(Model, Hints, Spec, Code);
+  if (Fresh.ModelHash != C.Key.ModelHash)
+    return CheckResult::reject(
+        Reject::StaleModel,
+        "certificate model hash does not match the current model+hints");
+  if (Fresh.SpecHash != C.Key.SpecHash)
+    return CheckResult::reject(
+        Reject::StaleSpec,
+        "certificate fnspec hash does not match the current fnspec");
+  if (Fresh.CodeHash != C.Key.CodeHash)
+    return CheckResult::reject(
+        Reject::StaleCode,
+        "certificate code hash does not match the freshly compiled code");
+
+  if (!C.proved())
+    return CheckResult::reject(Reject::VerdictNotProved,
+                               "certificate verdict is '" + C.Verdict +
+                                   "'; only proved certificates are "
+                                   "acceptable");
+
+  try {
+    return Replayer(C, Model, Spec, Code, Hints).run();
+  } catch (const CheckFail &F) {
+    return CheckResult::reject(F.Why, F.Detail);
   }
-  return "?";
 }
 
-std::string TvReport::str() const {
-  std::string Out = "translation validation of '" + Fn + "': ";
-  switch (TheVerdict) {
-  case Verdict::Proved:
-    Out += "PROVED";
-    break;
-  case Verdict::Refuted:
-    Out += "REFUTED";
-    break;
-  case Verdict::Inconclusive:
-    Out += "INCONCLUSIVE";
-    break;
-  }
-  Out += " (" + std::to_string(Loops.size()) + " loops, " +
-         std::to_string(Bindings.size()) + " bindings, " +
-         std::to_string(NumTerms) + " terms)\n";
-  if (!Reason.empty())
-    Out += "  reason: " + Reason + "\n";
-  for (const LoopRecord &L : Loops)
-    Out += "  loop #" + std::to_string(L.Ordinal) + " -> binding '" +
-           L.Binding + "': fold " + hex64(L.FoldHash) + ", " +
-           std::to_string(L.Carried) + " carried, " +
-           std::to_string(L.Regions) + " regions\n";
-  for (const OutputRecord &O : Outputs) {
-    if (O.Matched) {
-      Out += "  output '" + O.Name + "' [" + O.Kind + "]: ok " +
-             hex64(O.SrcHash) + "\n";
-      continue;
-    }
-    Out += "  output '" + O.Name + "' [" + O.Kind + "]: MISMATCH\n";
-    Out += "    model:  " + O.SrcTerm + "\n";
-    if (!O.SourceBinding.empty())
-      Out += "            (bound at " + O.SourceBinding + ")\n";
-    Out += "    target: " + O.TgtTerm + "\n";
-    if (!O.TargetPath.empty())
-      Out += "            (defined at " + O.TargetPath + ")\n";
-  }
-  return Out;
-}
-
-TvReport validateTranslation(const ir::SourceFn &Src, const sep::FnSpec &Spec,
-                             const bedrock::Function &Fn,
-                             const analysis::EntryFactList &Hints) {
-  Validator V(Src, Spec, Fn, Hints);
-  return V.run();
-}
-
-} // namespace tv
+} // namespace cert
 } // namespace relc

@@ -7,6 +7,7 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "cert/Writer.h"
 #include "pipeline/Hash.h"
 #include "pipeline/Scheduler.h"
 #include "sep/State.h"
@@ -47,50 +48,11 @@ bool ProgramOutcome::ok() const {
 
 CertKey certKeyFor(const ir::SourceFn &Model, const core::CompileHints &Hints,
                    const sep::FnSpec &Spec, const bedrock::Function &Code) {
-  CertKey Key;
-
-  // Model: canonical rendering + inline-table contents (str() names tables
-  // but elides their data, which is semantically load-bearing) + the
-  // compile hints, digested by *effect*: hint providers are opaque
-  // closures, but all they do is add solver facts, and the fact database
-  // renders canonically.
-  uint64_t H = fnv1a64("relc-model-v1|");
-  H = fnv1a64(Model.str(), H);
-  for (const ir::TableDef &T : Model.Tables) {
-    H = fnv1a64("|table|" + T.Name + "|" +
-                    std::to_string(unsigned(ir::eltSize(T.Elt))) + "|",
-                H);
-    for (uint64_t E : T.Elements)
-      H = fnv1a64(std::to_string(E) + ",", H);
-  }
-  sep::CompState HintState;
-  for (const auto &Provider : Hints.EntryFacts)
-    Provider(HintState);
-  H = fnv1a64("|hints|" + HintState.Facts.str(), H);
-  Key.ModelHash = H;
-
-  // Fnspec: the rendering covers the ABI shape; the output lists are
-  // appended explicitly so a reordering invisible to str() still misses.
-  uint64_t S = fnv1a64("relc-spec-v1|");
-  S = fnv1a64(Spec.str(), S);
-  S = fnv1a64("|rets|" + join(Spec.ScalarRets, ","), S);
-  S = fnv1a64("|inplace|" + join(Spec.InPlaceArrays, ","), S);
-  S = fnv1a64("|cells|" + join(Spec.InPlaceCells, ","), S);
-  Key.SpecHash = S;
-
-  // Emitted code: the Bedrock2 function's canonical rendering, plus the
-  // inline tables' element data (str() prints only their shape).
-  uint64_t C = fnv1a64("relc-code-v1|");
-  C = fnv1a64(Code.str(), C);
-  for (const bedrock::InlineTable &T : Code.Tables) {
-    C = fnv1a64("|table|" + T.Name + "|" +
-                    std::to_string(unsigned(T.EltSize)) + "|",
-                C);
-    for (bedrock::Word E : T.Elements)
-      C = fnv1a64(std::to_string(E) + ",", C);
-  }
-  Key.CodeHash = C;
-  return Key;
+  // The content hashing itself lives in cert::contentKey, so the cache,
+  // the certificate writer, and the independent checker (relc-check) all
+  // agree on what "the same program" means.
+  cert::ContentKey K = cert::contentKey(Model, Hints.EntryFacts, Spec, Code);
+  return CertKey{K.ModelHash, K.SpecHash, K.CodeHash};
 }
 
 uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
@@ -114,6 +76,10 @@ uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
   H = fnv1a64(std::string("|layers=") + (Opts.Validate ? "V" : "-") +
                   (Opts.Analyze ? "A" : "-") + (Opts.Tv ? "T" : "-"),
               H);
+  // Certificate schema version: cached entries embed the serialized
+  // certificate, so a schema change must miss (an old entry would replay
+  // a v1 payload byte-for-byte and break warm/cold byte identity).
+  H = fnv1a64("|certv=" + std::to_string(cert::kSchemaVersion), H);
   return H;
 }
 
@@ -256,7 +222,9 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
           O.TvVerdictName = tv::verdictName(O.TvRep.TheVerdict);
           O.TvLoops = O.TvRep.Loops.size();
           O.TvTerms = O.TvRep.NumTerms;
-          O.TvCertJson = O.TvRep.certificate();
+          O.TvCertJson = cert::Writer::write(cert::fromTvReport(
+              O.TvRep,
+              {O.Key.ModelHash, O.Key.SpecHash, O.Key.CodeHash}));
         });
       }, {JCompile}));
 

@@ -112,9 +112,11 @@ struct PipelineStats {
 using TamperHook =
     std::function<void(const programs::ProgramDef &, core::CompileResult &)>;
 
-/// Content hashes for the cache key. Exposed for tests: mutating any of
-/// model / hints / fnspec / emitted code must change the respective
-/// component.
+/// Content hashes for the cache key — a thin wrapper over
+/// cert::contentKey, THE definition of program identity shared with the
+/// certificate writer and the independent checker. Exposed for tests:
+/// mutating any of model / hints / fnspec / emitted code must change the
+/// respective component.
 CertKey certKeyFor(const ir::SourceFn &Model, const core::CompileHints &Hints,
                    const sep::FnSpec &Spec, const bedrock::Function &Code);
 

@@ -1,0 +1,42 @@
+//===- programs/CompileAndValidate.cpp - One-call program certification ----===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// In its own translation unit, apart from the program registry: this is
+// the only place relc_programs references validate::validate, so binaries
+// that just enumerate programs (relc-check, which must stay free of the
+// TV driver validate() links) never pull this object out of the archive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+namespace relc {
+namespace programs {
+
+Result<CompiledProgram> compileAndValidate(const ProgramDef &P,
+                                           bool RunValidation) {
+  core::Compiler C;
+  Result<core::CompileResult> R = C.compileFn(P.Model, P.Spec, P.Hints);
+  if (!R)
+    return R.takeError().note("while compiling program " + P.Name);
+
+  CompiledProgram Out{R.take(), bedrock::Module{}};
+  Out.Linked.Functions.push_back(Out.Result.Fn);
+
+  if (RunValidation) {
+    validate::ValidationOptions VO = P.VOpts;
+    VO.Hints = P.Hints; // The analyzer assumes exactly what the compiler did.
+    Status V = validate::validate(P.Model, P.Spec, Out.Result, Out.Linked,
+                                  VO);
+    if (!V)
+      return V.takeError().note("while validating program " + P.Name);
+  }
+  return Out;
+}
+
+} // namespace programs
+} // namespace relc

@@ -32,26 +32,10 @@ const ProgramDef *findProgram(const std::string &Name) {
   return nullptr;
 }
 
-Result<CompiledProgram> compileAndValidate(const ProgramDef &P,
-                                           bool RunValidation) {
-  core::Compiler C;
-  Result<core::CompileResult> R = C.compileFn(P.Model, P.Spec, P.Hints);
-  if (!R)
-    return R.takeError().note("while compiling program " + P.Name);
-
-  CompiledProgram Out{R.take(), bedrock::Module{}};
-  Out.Linked.Functions.push_back(Out.Result.Fn);
-
-  if (RunValidation) {
-    validate::ValidationOptions VO = P.VOpts;
-    VO.Hints = P.Hints; // The analyzer assumes exactly what the compiler did.
-    Status V = validate::validate(P.Model, P.Spec, Out.Result, Out.Linked,
-                                  VO);
-    if (!V)
-      return V.takeError().note("while validating program " + P.Name);
-  }
-  return Out;
-}
+// compileAndValidate lives in CompileAndValidate.cpp: it calls
+// validate::validate, and keeping it out of the registry's translation
+// unit keeps the validator (and the TV driver behind it) out of binaries
+// that only enumerate programs — the independent checker in particular.
 
 } // namespace programs
 } // namespace relc

@@ -7,6 +7,7 @@
 
 #include "support/StringExtras.h"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <cstdio>
@@ -173,6 +174,23 @@ bool jsonUnescape(const std::string &S, std::string *Out) {
     }
   }
   return true;
+}
+
+unsigned editDistance(const std::string &A, const std::string &B) {
+  // Single-row dynamic program; inputs are short option names.
+  std::vector<unsigned> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = unsigned(J);
+  for (size_t I = 1; I <= A.size(); ++I) {
+    unsigned Diag = Row[0];
+    Row[0] = unsigned(I);
+    for (size_t J = 1; J <= B.size(); ++J) {
+      unsigned Sub = Diag + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Diag = Row[J];
+      Row[J] = std::min({Sub, Row[J] + 1, Row[J - 1] + 1});
+    }
+  }
+  return Row[B.size()];
 }
 
 std::string replaceAll(std::string S, const std::string &From,

@@ -40,6 +40,10 @@ std::string jsonEscape(const std::string &S);
 /// escape at end of input.
 bool jsonUnescape(const std::string &S, std::string *Out);
 
+/// Levenshtein edit distance between \p A and \p B (insert/delete/
+/// substitute, unit cost). Used for command-line typo suggestions.
+unsigned editDistance(const std::string &A, const std::string &B);
+
 /// Replaces every occurrence of \p From in \p S with \p To.
 std::string replaceAll(std::string S, const std::string &From,
                        const std::string &To);

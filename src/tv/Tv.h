@@ -90,13 +90,24 @@ struct BindingRecord {
   uint64_t Hash = 0;
 };
 
-/// One matched loop pair.
+/// One matched loop pair: the model's summary plus the match *witness* the
+/// driver's bijection search found. The witness is what makes the verdict
+/// independently checkable (cert::Rederive): given which target local
+/// implements each carried position, the match equations verify
+/// deterministically, with no search.
 struct LoopRecord {
   unsigned Ordinal = 0;
   std::string Binding;    ///< The model binding the loop came from.
+  std::string Path;       ///< Source binding path of the loop.
   uint64_t FoldHash = 0;  ///< Hash of the shared Fold summary node.
   unsigned Carried = 0;
   unsigned Regions = 0;
+  /// WitnessLocals[j] = target local matched to carried position j (filled
+  /// on a successful match; size == Carried). WitnessRegions = the regions
+  /// the target loop stores to. TargetPath = the While statement's path.
+  std::vector<std::string> WitnessLocals;
+  std::vector<std::string> WitnessRegions;
+  std::string TargetPath;
 };
 
 struct TvReport {
@@ -112,13 +123,9 @@ struct TvReport {
   bool refuted() const { return TheVerdict == Verdict::Refuted; }
 
   /// Human-readable report (relc-gen -tv-report, relc-lint).
+  /// (The machine-readable certificate is no longer assembled here: build
+  /// it with cert::fromTvReport and serialize with cert::Writer.)
   std::string str() const;
-
-  /// The machine-readable equivalence certificate (JSON): verdict, term
-  /// hashes per output, the per-binding match trace, and the loop-summary
-  /// hashes. Stable content for a given model/code pair, so certificates
-  /// can be cached and audited independently.
-  std::string certificate() const;
 };
 
 /// Validates that \p Fn (the generated code) implements \p Src under ABI

@@ -204,32 +204,10 @@ Status replayDerivation(const ir::SourceFn &Fn,
 // Layers 2 and 3: static analysis + differential certification.
 //===----------------------------------------------------------------------===//
 
-std::vector<Value> defaultInputs(const ir::SourceFn &Fn, Rng &R,
-                                 size_t SizeHint) {
-  std::vector<Value> Out;
-  for (const ir::Param &P : Fn.Params) {
-    switch (P.TheKind) {
-    case ir::Param::Kind::ScalarWord:
-      Out.push_back(Value::word(R.next()));
-      break;
-    case ir::Param::Kind::List: {
-      std::vector<Value> Elems;
-      for (size_t I = 0; I < SizeHint; ++I) {
-        if (P.Elt == ir::EltKind::U8)
-          Elems.push_back(Value::byte(R.nextByte()));
-        else
-          Elems.push_back(Value::word(R.next() & ir::eltMask(P.Elt)));
-      }
-      Out.push_back(Value::list(P.Elt, std::move(Elems)));
-      break;
-    }
-    case ir::Param::Kind::Cell:
-      Out.push_back(Value::list(ir::EltKind::U64, {Value::word(R.next())}));
-      break;
-    }
-  }
-  return Out;
-}
+// defaultInputs lives in Inputs.cpp: program definitions reference it
+// from their custom generators, and keeping it out of this translation
+// unit keeps the TV driver out of binaries that only link the program
+// registry (the independent checker's no-driver guarantee).
 
 namespace {
 

@@ -1,0 +1,243 @@
+//===- tests/cert/RederiveTest.cpp - Independent checker + tamper corpus ---===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The heart of the trust story: cert::Rederive must accept every
+// certificate the TV producer emits for the suite, and reject every entry
+// of a tamper corpus — bit-flipped hashes, reordered or truncated traces,
+// forged witnesses, stale content keys, downgraded/foreign schema
+// versions — each with its specific named reason. An accept-everything
+// checker or a wrong-reason rejection fails here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/Reader.h"
+#include "cert/Rederive.h"
+#include "cert/Writer.h"
+#include "programs/Programs.h"
+#include "tv/Tv.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+/// A compiled program plus its freshly produced certificate.
+struct Produced {
+  const programs::ProgramDef *P = nullptr;
+  core::CompileResult Compiled;
+  cert::Certificate Cert;
+};
+
+Produced produce(const char *Name) {
+  Produced Out;
+  Out.P = programs::findProgram(Name);
+  EXPECT_NE(Out.P, nullptr) << Name;
+  core::Compiler C;
+  Result<core::CompileResult> R =
+      C.compileFn(Out.P->Model, Out.P->Spec, Out.P->Hints);
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
+  Out.Compiled = R.take();
+  tv::TvReport Rep = tv::validateTranslation(
+      Out.P->Model, Out.P->Spec, Out.Compiled.Fn, Out.P->Hints.EntryFacts);
+  EXPECT_TRUE(Rep.proved()) << Rep.str();
+  Out.Cert = cert::fromTvReport(
+      Rep, cert::contentKey(Out.P->Model, Out.P->Hints.EntryFacts, Out.P->Spec,
+                            Out.Compiled.Fn));
+  return Out;
+}
+
+cert::CheckResult check(const Produced &W, const cert::Certificate &C) {
+  return cert::Rederive::check(C, W.P->Model, W.P->Hints.EntryFacts, W.P->Spec,
+                               W.Compiled.Fn);
+}
+
+/// Expects rejection with exactly \p Why.
+void expectReject(const Produced &W, const cert::Certificate &C,
+                  cert::Reject Why, const char *Label) {
+  cert::CheckResult R = check(W, C);
+  EXPECT_FALSE(R.Accepted) << Label << ": tampered certificate accepted";
+  if (!R.Accepted)
+    EXPECT_EQ(cert::rejectName(R.Why), std::string(cert::rejectName(Why)))
+        << Label << ": " << R.Detail;
+}
+
+TEST(RederiveTest, AcceptsEverySuiteCertificate) {
+  unsigned N = 0;
+  for (const programs::ProgramDef &P : programs::allPrograms()) {
+    Produced W = produce(P.Name.c_str());
+    cert::CheckResult R = check(W, W.Cert);
+    EXPECT_TRUE(R.Accepted)
+        << P.Name << ": " << cert::rejectName(R.Why) << ": " << R.Detail;
+    ++N;
+  }
+  EXPECT_EQ(N, 7u);
+}
+
+TEST(RederiveTest, AcceptsAfterDiskRoundtrip) {
+  // The on-disk path: write -> parse -> check, as relc-check does.
+  Produced W = produce("crc32");
+  cert::ReadError Err;
+  std::optional<cert::Certificate> R =
+      cert::Reader::parse(cert::Writer::write(W.Cert), &Err);
+  ASSERT_TRUE(R.has_value()) << Err.Detail;
+  cert::CheckResult CR = check(W, *R);
+  EXPECT_TRUE(CR.Accepted) << cert::rejectName(CR.Why) << ": " << CR.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// The tamper corpus. Every mutation of an accepted certificate must be
+// rejected with its own named reason.
+//===----------------------------------------------------------------------===//
+
+TEST(RederiveTest, TamperBindingHashBitFlip) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Bindings.empty());
+  cert::Certificate C = W.Cert;
+  C.Bindings.back().Hash ^= 1;
+  expectReject(W, C, cert::Reject::BindingTraceMismatch, "hash bit-flip");
+}
+
+TEST(RederiveTest, TamperBindingsReordered) {
+  Produced W = produce("crc32");
+  ASSERT_GE(W.Cert.Bindings.size(), 2u);
+  cert::Certificate C = W.Cert;
+  std::swap(C.Bindings[0], C.Bindings[1]);
+  expectReject(W, C, cert::Reject::BindingTraceMismatch, "reorder");
+}
+
+TEST(RederiveTest, TamperBindingTraceTruncated) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Bindings.empty());
+  cert::Certificate C = W.Cert;
+  C.Bindings.pop_back();
+  expectReject(W, C, cert::Reject::TruncatedTrace, "binding pop_back");
+}
+
+TEST(RederiveTest, TamperLoopRecordDropped) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Loops.empty());
+  cert::Certificate C = W.Cert;
+  C.Loops.pop_back();
+  expectReject(W, C, cert::Reject::TruncatedTrace, "loop pop_back");
+}
+
+TEST(RederiveTest, TamperFoldHashFlip) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Loops.empty());
+  cert::Certificate C = W.Cert;
+  C.Loops[0].FoldHash ^= 1;
+  expectReject(W, C, cert::Reject::LoopSummaryMismatch, "fold-hash flip");
+}
+
+TEST(RederiveTest, TamperWitnessLocalForged) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Loops.empty());
+  ASSERT_FALSE(W.Cert.Loops[0].WitnessLocals.empty());
+  cert::Certificate C = W.Cert;
+  C.Loops[0].WitnessLocals[0] = "no_such_local";
+  expectReject(W, C, cert::Reject::LoopWitnessMismatch, "forged local");
+}
+
+TEST(RederiveTest, TamperWitnessLocalsTruncated) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Loops.empty());
+  ASSERT_FALSE(W.Cert.Loops[0].WitnessLocals.empty());
+  cert::Certificate C = W.Cert;
+  C.Loops[0].WitnessLocals.pop_back();
+  expectReject(W, C, cert::Reject::LoopWitnessMismatch, "truncated witness");
+}
+
+TEST(RederiveTest, TamperWitnessTargetPath) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Loops.empty());
+  cert::Certificate C = W.Cert;
+  C.Loops[0].TargetPath = "9999";
+  expectReject(W, C, cert::Reject::LoopWitnessMismatch, "wrong target path");
+}
+
+TEST(RederiveTest, TamperOutputHashFlip) {
+  Produced W = produce("crc32");
+  ASSERT_FALSE(W.Cert.Outputs.empty());
+  cert::Certificate C = W.Cert;
+  C.Outputs[0].SrcHash ^= 1;
+  expectReject(W, C, cert::Reject::OutputMismatch, "output hash flip");
+}
+
+TEST(RederiveTest, TamperVerdictDowngrade) {
+  Produced W = produce("crc32");
+  cert::Certificate C = W.Cert;
+  C.Verdict = "inconclusive";
+  expectReject(W, C, cert::Reject::VerdictNotProved, "verdict flip");
+}
+
+TEST(RederiveTest, TamperFunctionName) {
+  Produced W = produce("crc32");
+  cert::Certificate C = W.Cert;
+  C.Function = "fnv1a";
+  expectReject(W, C, cert::Reject::FunctionMismatch, "function rename");
+}
+
+TEST(RederiveTest, TamperStaleContentHashes) {
+  Produced W = produce("crc32");
+  {
+    cert::Certificate C = W.Cert;
+    C.Key.ModelHash ^= 1;
+    expectReject(W, C, cert::Reject::StaleModel, "model hash");
+  }
+  {
+    cert::Certificate C = W.Cert;
+    C.Key.SpecHash ^= 1;
+    expectReject(W, C, cert::Reject::StaleSpec, "spec hash");
+  }
+  {
+    cert::Certificate C = W.Cert;
+    C.Key.CodeHash ^= 1;
+    expectReject(W, C, cert::Reject::StaleCode, "code hash");
+  }
+}
+
+TEST(RederiveTest, TamperSchemaDowngradeToV1) {
+  Produced W = produce("crc32");
+  cert::Certificate C = W.Cert;
+  C.SchemaVersion = 1;
+  expectReject(W, C, cert::Reject::UnverifiableV1, "v1 downgrade");
+}
+
+TEST(RederiveTest, TamperSchemaFromTheFuture) {
+  Produced W = produce("crc32");
+  cert::Certificate C = W.Cert;
+  C.SchemaVersion = 99;
+  expectReject(W, C, cert::Reject::UnknownSchemaVersion, "future schema");
+}
+
+TEST(RederiveTest, TamperCertificateSwappedBetweenPrograms) {
+  // fnv1a's (valid!) certificate presented for crc32: caught before any
+  // replay by the identity pre-checks.
+  Produced Crc = produce("crc32");
+  Produced Fnv = produce("fnv1a");
+  cert::CheckResult R = check(Crc, Fnv.Cert);
+  EXPECT_FALSE(R.Accepted);
+  EXPECT_EQ(R.Why, cert::Reject::FunctionMismatch) << R.Detail;
+}
+
+TEST(RederiveTest, TamperTextLevelBitFlipInHash) {
+  // Tamper the serialized bytes, not the struct: flip one hex digit of
+  // the first fold_hash in the JSON itself, reload, check.
+  Produced W = produce("crc32");
+  std::string Text = cert::Writer::write(W.Cert);
+  size_t P = Text.find("\"fold_hash\": \"0x");
+  ASSERT_NE(P, std::string::npos);
+  size_t Digit = P + std::string("\"fold_hash\": \"0x").size();
+  Text[Digit] = Text[Digit] == 'f' ? '0' : 'f';
+  cert::ReadError Err;
+  std::optional<cert::Certificate> C = cert::Reader::parse(Text, &Err);
+  ASSERT_TRUE(C.has_value()) << Err.Detail;
+  expectReject(W, *C, cert::Reject::LoopSummaryMismatch, "text-level flip");
+}
+
+} // namespace

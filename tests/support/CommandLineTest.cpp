@@ -1,0 +1,150 @@
+//===- tests/support/CommandLineTest.cpp - Table-driven flag parsing -------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The shared cl::OptionTable parser behind relc-gen / relc-lint /
+// relc-check: both dash spellings, value consumption, numeric minima,
+// positional handlers, -help, and typo suggestions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <gtest/gtest.h>
+
+using namespace relc;
+
+namespace {
+
+/// Runs T.parse over the given arguments (argv[0] is synthesized).
+cl::ParseResult parseArgs(const cl::OptionTable &T,
+                          std::vector<std::string> Args) {
+  std::vector<char *> Argv;
+  std::string Tool = "test-tool";
+  Argv.push_back(Tool.data());
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  return T.parse(int(Argv.size()), Argv.data());
+}
+
+struct Fixture {
+  bool Verbose = false;
+  std::string Out = "default";
+  unsigned Jobs = 1;
+  std::vector<std::string> Pos;
+  cl::OptionTable T{"test-tool", "A tool for testing the option table."};
+
+  Fixture() {
+    T.flag({"-v", "-verbose"}, &Verbose, "be chatty");
+    T.str({"-out"}, &Out, "<dir>", "output directory");
+    T.num({"-j", "-jobs"}, &Jobs, 1, "<n>", "job count");
+    T.positional("name", "things to process",
+                 [this](const std::string &A, std::string *Err) {
+                   if (A == "bad") {
+                     *Err = "unknown name '" + A + "'";
+                     return false;
+                   }
+                   Pos.push_back(A);
+                   return true;
+                 });
+  }
+};
+
+TEST(CommandLineTest, SingleAndDoubleDashSpellings) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"-v", "--out", "here", "-jobs", "4"}),
+            cl::ParseResult::Ok);
+  EXPECT_TRUE(F.Verbose);
+  EXPECT_EQ(F.Out, "here");
+  EXPECT_EQ(F.Jobs, 4u);
+
+  Fixture G;
+  EXPECT_EQ(parseArgs(G.T, {"--verbose", "-out", "there"}),
+            cl::ParseResult::Ok);
+  EXPECT_TRUE(G.Verbose);
+  EXPECT_EQ(G.Out, "there");
+}
+
+TEST(CommandLineTest, DefaultsSurviveEmptyArgv) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {}), cl::ParseResult::Ok);
+  EXPECT_FALSE(F.Verbose);
+  EXPECT_EQ(F.Out, "default");
+  EXPECT_EQ(F.Jobs, 1u);
+  EXPECT_TRUE(F.Pos.empty());
+}
+
+TEST(CommandLineTest, PositionalArgumentsCollected) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"alpha", "-v", "beta"}), cl::ParseResult::Ok);
+  ASSERT_EQ(F.Pos.size(), 2u);
+  EXPECT_EQ(F.Pos[0], "alpha");
+  EXPECT_EQ(F.Pos[1], "beta");
+}
+
+TEST(CommandLineTest, PositionalRejectionIsAnError) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"alpha", "bad"}), cl::ParseResult::Error);
+}
+
+TEST(CommandLineTest, UnknownOptionIsAnError) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"-frobnicate"}), cl::ParseResult::Error);
+}
+
+TEST(CommandLineTest, MissingValueIsAnError) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"-out"}), cl::ParseResult::Error);
+}
+
+TEST(CommandLineTest, NumRejectsGarbageAndBelowMin) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"-j", "zero"}), cl::ParseResult::Error);
+  Fixture G;
+  EXPECT_EQ(parseArgs(G.T, {"-j", "0"}), cl::ParseResult::Error);
+  Fixture H;
+  EXPECT_EQ(parseArgs(H.T, {"-j", "16"}), cl::ParseResult::Ok);
+  EXPECT_EQ(H.Jobs, 16u);
+}
+
+TEST(CommandLineTest, HelpFlagShortCircuits) {
+  Fixture F;
+  testing::internal::CaptureStdout();
+  cl::ParseResult R = parseArgs(F.T, {"-help"});
+  std::string Out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(R, cl::ParseResult::Help);
+  EXPECT_NE(Out.find("usage: test-tool"), std::string::npos);
+  EXPECT_NE(Out.find("-out"), std::string::npos);
+  EXPECT_NE(Out.find("output directory"), std::string::npos);
+}
+
+TEST(CommandLineTest, HelpTextListsEverySpelling) {
+  Fixture F;
+  std::string Help = F.T.helpText();
+  EXPECT_NE(Help.find("A tool for testing"), std::string::npos);
+  EXPECT_NE(Help.find("-v"), std::string::npos);
+  EXPECT_NE(Help.find("-verbose"), std::string::npos);
+  EXPECT_NE(Help.find("-jobs"), std::string::npos);
+  EXPECT_NE(Help.find("<n>"), std::string::npos);
+  EXPECT_NE(Help.find("name"), std::string::npos);
+}
+
+TEST(CommandLineTest, TypoSuggestion) {
+  Fixture F;
+  EXPECT_EQ(F.T.suggestion("-vebose"), "-verbose");
+  EXPECT_EQ(F.T.suggestion("-ouy"), "-out");
+  // Nothing within distance 2 of this.
+  EXPECT_EQ(F.T.suggestion("-completely-different"), "");
+}
+
+TEST(CommandLineTest, UsageLineMentionsPositionalMeta) {
+  Fixture F;
+  std::string U = F.T.usageLine();
+  EXPECT_NE(U.find("test-tool"), std::string::npos);
+  EXPECT_NE(U.find("name"), std::string::npos);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/Writer.h"
 #include "programs/Programs.h"
 #include "tv/Tv.h"
 
@@ -20,10 +21,13 @@ using namespace relc;
 
 namespace {
 
-tv::TvReport validateProgram(const programs::ProgramDef &P) {
+tv::TvReport validateProgram(const programs::ProgramDef &P,
+                             cert::ContentKey *Key = nullptr) {
   core::Compiler C;
   Result<core::CompileResult> R = C.compileFn(P.Model, P.Spec, P.Hints);
   EXPECT_TRUE(bool(R)) << (R ? "" : R.error().str());
+  if (Key)
+    *Key = cert::contentKey(P.Model, P.Hints.EntryFacts, P.Spec, R->Fn);
   return tv::validateTranslation(P.Model, P.Spec, R->Fn, P.Hints.EntryFacts);
 }
 
@@ -73,14 +77,17 @@ TEST(TvSuiteTest, LoopyProgramsRecordMatchedFolds) {
 TEST(TvSuiteTest, CertificateIsMachineReadable) {
   const programs::ProgramDef *P = programs::findProgram("crc32");
   ASSERT_NE(P, nullptr);
-  tv::TvReport Rep = validateProgram(*P);
+  cert::ContentKey Key;
+  tv::TvReport Rep = validateProgram(*P, &Key);
   ASSERT_TRUE(Rep.proved()) << Rep.str();
-  std::string Cert = Rep.certificate();
-  EXPECT_NE(Cert.find("\"format\": \"relc-tv-certificate-v1\""),
-            std::string::npos);
+  std::string Cert = cert::Writer::write(cert::fromTvReport(Rep, Key));
+  EXPECT_NE(Cert.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(Cert.find("\"producer\": \"relc-tv\""), std::string::npos);
   EXPECT_NE(Cert.find("\"verdict\": \"proved\""), std::string::npos);
   EXPECT_NE(Cert.find("\"function\": \"crc32\""), std::string::npos);
+  EXPECT_NE(Cert.find("\"model_hash\""), std::string::npos);
   EXPECT_NE(Cert.find("\"fold_hash\""), std::string::npos);
+  EXPECT_NE(Cert.find("\"witness\""), std::string::npos);
   EXPECT_NE(Cert.find("\"outputs\""), std::string::npos);
   // Balanced braces/brackets (cheap well-formedness proxy; the JSON only
   // nests via the fixed skeleton, and strings escape their delimiters).
@@ -93,10 +100,14 @@ TEST(TvSuiteTest, CertificateIsMachineReadable) {
 TEST(TvSuiteTest, CertificateIsDeterministic) {
   const programs::ProgramDef *P = programs::findProgram("fnv1a");
   ASSERT_NE(P, nullptr);
-  tv::TvReport A = validateProgram(*P);
-  tv::TvReport B = validateProgram(*P);
-  // Same model + code -> byte-identical certificate (cacheable).
-  EXPECT_EQ(A.certificate(), B.certificate());
+  cert::ContentKey KA, KB;
+  tv::TvReport A = validateProgram(*P, &KA);
+  tv::TvReport B = validateProgram(*P, &KB);
+  // Same model + code -> same content key and byte-identical certificate
+  // (cacheable; warm-cache runs must replay cold runs exactly).
+  EXPECT_TRUE(KA == KB);
+  EXPECT_EQ(cert::Writer::write(cert::fromTvReport(A, KA)),
+            cert::Writer::write(cert::fromTvReport(B, KB)));
 }
 
 } // namespace

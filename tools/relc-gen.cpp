@@ -30,9 +30,9 @@
 #include "cgen/CEmit.h"
 #include "pipeline/Pipeline.h"
 #include "programs/Programs.h"
+#include "support/CommandLine.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -41,96 +41,60 @@
 
 using namespace relc;
 
-static int usage() {
-  std::fprintf(stderr,
-               "usage: relc-gen [-out <dir>] [-only <name>] [-print-bedrock]"
-               " [-print-deriv] [-no-validate] [-no-analyze]"
-               " [-analysis-report] [-no-tv] [-tv-report]"
-               " [-j <n>] [-cache-dir <dir>] [-no-cache]\n");
-  return 2;
-}
-
-static int help() {
-  std::printf(
-      "usage: relc-gen [options]\n"
-      "\n"
-      "Compiles the registered benchmark programs, certifies each result\n"
-      "(derivation replay, static analysis, translation validation,\n"
-      "differential testing), and writes the certified C plus the\n"
-      "per-program .tv.json equivalence certificates to the output\n"
-      "directory. Every flag accepts both -flag and --flag forms.\n"
-      "\n"
-      "  -out <dir>         output directory (default: generated)\n"
-      "  -only <name>       process only the named program\n"
-      "  -print-bedrock     dump the generated Bedrock2 code\n"
-      "  -print-deriv       dump the derivation witness\n"
-      "  -no-validate       skip derivation replay and differential\n"
-      "                     certification (layers 1 and 4)\n"
-      "  -no-analyze        skip the standalone static-analysis gate\n"
-      "  -analysis-report   print each program's full analysis report\n"
-      "                     (forces live certification; disables the cache)\n"
-      "  -no-tv             skip the standalone translation-validation\n"
-      "                     gate (and the .tv.json certificates)\n"
-      "  -tv-report         print each program's full TV match trace\n"
-      "                     (forces live certification; disables the cache)\n"
-      "  -j, -jobs <n>      certification scheduler width; 1 = serial\n"
-      "                     reference order (default: 1)\n"
-      "  -cache-dir <dir>   certificate cache directory\n"
-      "                     (default: .relc-cache)\n"
-      "  -no-cache          disable the certificate cache\n"
-      "  -h, -help          show this help\n");
-  return 0;
-}
-
 int main(int argc, char **argv) {
   std::string OutDir = "generated";
   std::string Only;
   std::string CacheDir = ".relc-cache";
-  bool PrintBedrock = false, PrintDeriv = false, Validate = true;
-  bool Analyze = true, AnalysisReport = false;
-  bool Tv = true, TvReport = false;
-  bool UseCache = true;
+  bool PrintBedrock = false, PrintDeriv = false, NoValidate = false;
+  bool NoAnalyze = false, AnalysisReport = false;
+  bool NoTv = false, TvReport = false;
+  bool NoCache = false;
   unsigned Jobs = 1;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    // Normalize --flag to -flag: every option takes both spellings.
-    if (A.size() > 2 && A[0] == '-' && A[1] == '-')
-      A.erase(A.begin());
-    if (A == "-out" && I + 1 < argc)
-      OutDir = argv[++I];
-    else if (A == "-only" && I + 1 < argc)
-      Only = argv[++I];
-    else if (A == "-print-bedrock")
-      PrintBedrock = true;
-    else if (A == "-print-deriv")
-      PrintDeriv = true;
-    else if (A == "-no-validate")
-      Validate = false;
-    else if (A == "-no-analyze")
-      Analyze = false;
-    else if (A == "-analysis-report")
-      AnalysisReport = true;
-    else if (A == "-no-tv")
-      Tv = false;
-    else if (A == "-tv-report")
-      TvReport = true;
-    else if ((A == "-j" || A == "-jobs") && I + 1 < argc) {
-      long N = std::atol(argv[++I]);
-      if (N < 1) {
-        std::fprintf(stderr, "relc-gen: invalid job count '%s'\n", argv[I]);
-        return 2;
-      }
-      Jobs = unsigned(N);
-    } else if (A == "-cache-dir" && I + 1 < argc)
-      CacheDir = argv[++I];
-    else if (A == "-no-cache")
-      UseCache = false;
-    else if (A == "-h" || A == "-help")
-      return help();
-    else
-      return usage();
+  cl::OptionTable T(
+      "relc-gen",
+      "Compiles the registered benchmark programs, certifies each result\n"
+      "(derivation replay, static analysis, translation validation,\n"
+      "differential testing), and writes the certified C plus the\n"
+      "per-program .tv.json equivalence certificates to the output\n"
+      "directory.");
+  T.str({"-out"}, &OutDir, "<dir>", "output directory (default: generated)");
+  T.str({"-only"}, &Only, "<name>", "process only the named program");
+  T.flag({"-print-bedrock"}, &PrintBedrock, "dump the generated Bedrock2 code");
+  T.flag({"-print-deriv"}, &PrintDeriv, "dump the derivation witness");
+  T.flag({"-no-validate"}, &NoValidate,
+         "skip derivation replay and differential\n"
+         "certification (layers 1 and 4)");
+  T.flag({"-no-analyze"}, &NoAnalyze,
+         "skip the standalone static-analysis gate");
+  T.flag({"-analysis-report"}, &AnalysisReport,
+         "print each program's full analysis report\n"
+         "(forces live certification; disables the cache)");
+  T.flag({"-no-tv"}, &NoTv,
+         "skip the standalone translation-validation\n"
+         "gate (and the .tv.json certificates)");
+  T.flag({"-tv-report"}, &TvReport,
+         "print each program's full TV match trace\n"
+         "(forces live certification; disables the cache)");
+  T.num({"-j", "-jobs"}, &Jobs, 1, "<n>",
+        "certification scheduler width; 1 = serial\n"
+        "reference order (default: 1)");
+  T.str({"-cache-dir"}, &CacheDir, "<dir>",
+        "certificate cache directory\n"
+        "(default: .relc-cache)");
+  T.flag({"-no-cache"}, &NoCache, "disable the certificate cache");
+
+  switch (T.parse(argc, argv)) {
+  case cl::ParseResult::Ok:
+    break;
+  case cl::ParseResult::Help:
+    return 0;
+  case cl::ParseResult::Error:
+    return 2;
   }
+
+  bool Validate = !NoValidate, Analyze = !NoAnalyze, Tv = !NoTv;
+  bool UseCache = !NoCache;
 
   std::error_code EC;
   std::filesystem::create_directories(OutDir, EC);

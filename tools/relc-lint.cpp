@@ -18,64 +18,76 @@
 // semantically drifts it from the model fails the test suite even when
 // the sampled differential vectors happen to pass.
 //
+// With -certs <dir> the gate additionally audits the on-disk equivalence
+// certificates: each linted program's <dir>/<name>.tv.json must exist,
+// parse, and pass cert::Rederive's independent re-derivation against the
+// freshly compiled code. A missing certificate is a named
+// "missing-certificate" diagnostic, not a silent pass — an empty or
+// absent certificate directory fails the gate.
+//
 // -j N runs programs (and their analysis/TV layers) concurrently on the
 // job-graph scheduler; reports are buffered per program and printed in
 // argument order, so every -j produces byte-identical output. The lint
 // gate always certifies live (never the certificate cache): its job is
 // producing fresh full reports. Flags accept both - and -- forms.
 //
-// Usage: relc-lint [-q] [-no-tv] [-j <n>] [<program>...]
+// Usage: relc-lint [-q] [-no-tv] [-certs <dir>] [-j <n>] [<program>...]
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/Reader.h"
+#include "cert/Rederive.h"
 #include "pipeline/Pipeline.h"
 #include "programs/Programs.h"
+#include "support/CommandLine.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 using namespace relc;
 
-static int usage() {
-  std::fprintf(stderr,
-               "usage: relc-lint [-q] [-no-tv] [-j <n>] [<program>...]\n"
-               "  with no arguments, lints every registered program\n");
-  return 2;
-}
-
 int main(int argc, char **argv) {
-  bool Quiet = false, Tv = true;
+  bool Quiet = false, NoTv = false;
+  std::string CertsDir;
   unsigned Jobs = 1;
   std::vector<const programs::ProgramDef *> Targets;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A.size() > 2 && A[0] == '-' && A[1] == '-')
-      A.erase(A.begin()); // Normalize --flag to -flag.
-    if (A == "-q") {
-      Quiet = true;
-    } else if (A == "-no-tv") {
-      Tv = false;
-    } else if ((A == "-j" || A == "-jobs") && I + 1 < argc) {
-      long N = std::atol(argv[++I]);
-      if (N < 1) {
-        std::fprintf(stderr, "relc-lint: invalid job count '%s'\n", argv[I]);
-        return 2;
-      }
-      Jobs = unsigned(N);
-    } else if (!A.empty() && A[0] == '-') {
-      return usage();
-    } else {
-      const programs::ProgramDef *P = programs::findProgram(A);
-      if (!P) {
-        std::fprintf(stderr, "relc-lint: unknown program '%s'\n", A.c_str());
-        return 2;
-      }
-      Targets.push_back(P);
-    }
+  cl::OptionTable T(
+      "relc-lint",
+      "Strict static gate over the benchmark suite: every linted program\n"
+      "must compile, come out of the static analyzer with zero\n"
+      "diagnostics, and be proved equivalent to its model by the\n"
+      "translation validator. With no program arguments, lints every\n"
+      "registered program.");
+  T.flag({"-q"}, &Quiet, "print reports only for programs with findings");
+  T.flag({"-no-tv"}, &NoTv, "skip the translation-validation gate");
+  T.str({"-certs"}, &CertsDir, "<dir>",
+        "also audit each program's on-disk certificate in <dir>;\n"
+        "a missing or rejected certificate is a diagnostic");
+  T.num({"-j", "-jobs"}, &Jobs, 1, "<n>",
+        "lint scheduler width; 1 = serial reference order (default: 1)");
+  T.positional("program", "lint only the named programs (default: all)",
+               [&Targets](const std::string &A, std::string *Err) {
+                 const programs::ProgramDef *P = programs::findProgram(A);
+                 if (!P) {
+                   *Err = "unknown program '" + A + "'";
+                   return false;
+                 }
+                 Targets.push_back(P);
+                 return true;
+               });
+
+  switch (T.parse(argc, argv)) {
+  case cl::ParseResult::Ok:
+    break;
+  case cl::ParseResult::Help:
+    return 0;
+  case cl::ParseResult::Error:
+    return 2;
   }
+  bool Tv = !NoTv;
+
   if (Targets.empty())
     for (const programs::ProgramDef &P : programs::allPrograms())
       Targets.push_back(&P);
@@ -106,6 +118,29 @@ int main(int argc, char **argv) {
         std::printf("%s", O.TvRep.str().c_str());
       if (!O.TvRep.proved()) // Strict gate: the suite must prove, not just
         ++TotalDiags;        // fail-to-refute.
+    }
+
+    if (!CertsDir.empty()) {
+      const programs::ProgramDef &P = *O.Def;
+      std::string Path = CertsDir + "/" + P.Name + ".tv.json";
+      cert::ReadError RE;
+      std::optional<cert::Certificate> Cert = cert::Reader::readFile(Path, &RE);
+      if (!Cert) {
+        std::fprintf(stderr, "[%s] certificate %s: %s: %s\n", P.Name.c_str(),
+                     Path.c_str(), cert::rejectName(RE.Why), RE.Detail.c_str());
+        ++TotalDiags;
+        continue;
+      }
+      cert::CheckResult CR = cert::Rederive::check(
+          *Cert, P.Model, P.Hints.EntryFacts, P.Spec, O.Compiled.Fn);
+      if (!CR.Accepted) {
+        std::fprintf(stderr, "[%s] certificate %s: %s: %s\n", P.Name.c_str(),
+                     Path.c_str(), cert::rejectName(CR.Why), CR.Detail.c_str());
+        ++TotalDiags;
+      } else if (!Quiet) {
+        std::printf("[%s] certificate accepted (%zu bindings, %zu loops)\n",
+                    P.Name.c_str(), Cert->Bindings.size(), Cert->Loops.size());
+      }
     }
   }
 
