@@ -100,6 +100,38 @@ int main() {
                 ByWidth.front().Mean / ByWidth.back().Mean);
   }
 
+  // --- Guard overhead: the same serial run with every §4.7 budget armed
+  // but sized to never exhaust (a generous deadline and step cap). This
+  // prices the pure bookkeeping — atomic step counters at the TV /
+  // analysis / differential loop heads plus deadline polls every 256
+  // steps — which must stay within noise (≤2%). Guarded and unguarded
+  // samples are interleaved so ambient load drift hits both sides
+  // equally; comparing two disjoint measurement windows instead can
+  // fabricate tens of percent of phantom overhead on a busy machine.
+  pipeline::PipelineOptions Plain;
+  Plain.Jobs = 1;
+  pipeline::PipelineOptions Guarded;
+  Guarded.Jobs = 1;
+  Guarded.LayerTimeoutMs = 600000;
+  Guarded.TvStepBudget = 1000000000ULL;
+  runOnce(Plain);
+  runOnce(Guarded); // Warmup both.
+  std::vector<double> PlainSamples, GuardSamples;
+  for (unsigned I = 0; I < Reps; ++I) {
+    PlainSamples.push_back(runOnce(Plain));
+    GuardSamples.push_back(runOnce(Guarded));
+  }
+  Stats PlainStats = stats(PlainSamples);
+  Stats GuardStats = stats(GuardSamples);
+  double GuardPct =
+      (GuardStats.Mean - PlainStats.Mean) / PlainStats.Mean * 100.0;
+  std::printf("\n  guards off   (-j 1, interleaved)            : %7.2f ms "
+              "(+/- %.2f)\n",
+              PlainStats.Mean, PlainStats.Ci95);
+  std::printf("  guards armed (-j 1, never-exhausting budgets): %7.2f ms "
+              "(+/- %.2f)  overhead: %+.2f%%\n",
+              GuardStats.Mean, GuardStats.Ci95, GuardPct);
+
   // --- Cold vs warm certificate cache, at the widest setting.
   std::string CacheDir =
       (std::filesystem::temp_directory_path() / "relc-bench-cache").string();
@@ -128,6 +160,12 @@ int main() {
   J << Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"cache_warm_speedup\": %.3f,\n",
                 ColdMs / Warm.Mean);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"guard_overhead_pct\": %.3f,\n",
+                GuardPct);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"guarded_jobs_1_ms\": %.3f,\n",
+                GuardStats.Mean);
   J << Buf;
   J << "  \"hardware_threads\": " << HwThreads << ",\n";
   for (size_t I = 0; I < Widths.size(); ++I) {

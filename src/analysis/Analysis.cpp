@@ -94,8 +94,13 @@ std::string stmtStr(const CfgStmt &S) {
 
 class Analyzer {
 public:
-  Analyzer(const Function &Fn, const AbiInfo &Abi)
-      : Fn(Fn), Abi(Abi), G(Cfg::build(Fn)) {}
+  Analyzer(const Function &Fn, const AbiInfo &Abi, const guard::Budget *Budget)
+      : Fn(Fn), Abi(Abi), Budget(Budget), G(Cfg::build(Fn)) {
+    // The copy (not the caller's AbiInfo) gets the budget pointer: every
+    // domain state clones EntryFacts, and FactDb copies carry it along,
+    // so all solver queries under this run are bounded too.
+    this->Abi.EntryFacts.setBudget(Budget);
+  }
 
   AnalysisReport run() {
     Report.Fn = Fn.Name;
@@ -113,7 +118,8 @@ public:
 
 private:
   const Function &Fn;
-  const AbiInfo &Abi;
+  AbiInfo Abi; ///< Copy: its EntryFacts carry the budget (see ctor).
+  const guard::Budget *Budget;
   Cfg G;
   AnalysisReport Report;
 
@@ -131,29 +137,40 @@ private:
     return SymR.In[Id].has_value() && ItvR.In[Id].has_value();
   }
 
+  /// Diagnostic tail for a non-converged fixpoint: names the exhausted
+  /// budget when that is what stopped it, so degraded outcomes are
+  /// distinguishable from genuine widening failures.
+  template <typename Domain>
+  void convergenceDiag(const DataflowResult<Domain> &R,
+                       const std::string &What, const std::string &CapText) {
+    if (R.Converged)
+      return;
+    if (R.BudgetExhausted) {
+      Report.BudgetExhausted = true;
+      diag(Diagnostic::Checker::Convergence, "", "",
+           What + " " + Budget->describe(), true);
+    } else {
+      diag(Diagnostic::Checker::Convergence, "", "", What + CapText, true);
+    }
+  }
+
   void runInit() {
     InitDomain D(Fn);
-    InitR = runForward(G, D);
-    if (!InitR.Converged)
-      diag(Diagnostic::Checker::Convergence, "", "",
-           "initialized-locals analysis did not converge", true);
+    InitR = runForward(G, D, 64, Budget);
+    convergenceDiag(InitR, "initialized-locals analysis", " did not converge");
   }
 
   void runIntervalsAndSymbolic() {
     IntervalDomain Itv(G, Fn, Abi);
-    ItvR = runForward(G, Itv);
-    if (!ItvR.Converged)
-      diag(Diagnostic::Checker::Convergence, "", "",
-           "interval analysis did not converge", true);
+    ItvR = runForward(G, Itv, 64, Budget);
+    convergenceDiag(ItvR, "interval analysis", " did not converge");
 
     SymbolicDomain Sym(G, Fn, Abi);
-    SymR = runForward(G, Sym);
+    SymR = runForward(G, Sym, 64, Budget);
     Report.SymIterations = SymR.Iterations;
-    if (!SymR.Converged)
-      diag(Diagnostic::Checker::Convergence, "", "",
-           "symbolic analysis did not converge (abstract state kept "
-           "changing past the iteration cap)",
-           true);
+    convergenceDiag(SymR, "symbolic analysis",
+                    " did not converge (abstract state kept changing past "
+                    "the iteration cap)");
   }
 
   //===--------------------------------------------------------------------===//
@@ -370,14 +387,16 @@ private:
 
 } // namespace
 
-AnalysisReport analyzeFunction(const Function &Fn, const AbiInfo &Abi) {
-  return Analyzer(Fn, Abi).run();
+AnalysisReport analyzeFunction(const Function &Fn, const AbiInfo &Abi,
+                               const guard::Budget *Budget) {
+  return Analyzer(Fn, Abi, Budget).run();
 }
 
 AnalysisReport analyzeProgram(const Function &Fn, const sep::FnSpec &Spec,
                               const ir::SourceFn &Src,
-                              const EntryFactList &Hints) {
-  return analyzeFunction(Fn, makeAbiInfo(Fn, Spec, Src, Hints));
+                              const EntryFactList &Hints,
+                              const guard::Budget *Budget) {
+  return analyzeFunction(Fn, makeAbiInfo(Fn, Spec, Src, Hints), Budget);
 }
 
 } // namespace analysis

@@ -28,6 +28,7 @@
 #define RELC_ANALYSIS_ANALYSIS_H
 
 #include "analysis/Domains.h"
+#include "support/Budget.h"
 
 #include <string>
 #include <vector>
@@ -58,6 +59,11 @@ struct AnalysisReport {
   unsigned NumStmts = 0;
   unsigned SymIterations = 0; ///< Symbolic-domain fixpoint iterations.
 
+  /// A guard::Budget ran out mid-fixpoint. The report then carries a
+  /// Convergence *error* naming the budget — a refusal to certify, which
+  /// the pipeline surfaces as a Degraded (never cached) layer outcome.
+  bool BudgetExhausted = false;
+
   bool hasErrors() const;
   unsigned numErrors() const;
   unsigned numWarnings() const;
@@ -67,15 +73,20 @@ struct AnalysisReport {
 };
 
 /// Runs all domains and checkers on \p Fn against its ABI digest.
+/// \p Budget, when non-null, bounds the dataflow fixpoints and the solver
+/// queries cooperatively; exhaustion yields a budget-naming Convergence
+/// error (see AnalysisReport::BudgetExhausted).
 AnalysisReport analyzeFunction(const bedrock::Function &Fn,
-                               const AbiInfo &Abi);
+                               const AbiInfo &Abi,
+                               const guard::Budget *Budget = nullptr);
 
 /// Convenience wrapper: digest the ABI from the program's spec/model/hints
 /// (mirroring what the compiler assumed), then analyze.
 AnalysisReport analyzeProgram(const bedrock::Function &Fn,
                               const sep::FnSpec &Spec,
                               const ir::SourceFn &Src,
-                              const EntryFactList &Hints = {});
+                              const EntryFactList &Hints = {},
+                              const guard::Budget *Budget = nullptr);
 
 } // namespace analysis
 } // namespace relc

@@ -51,6 +51,7 @@
 #define RELC_ANALYSIS_DATAFLOW_H
 
 #include "analysis/Cfg.h"
+#include "support/Budget.h"
 
 #include <map>
 #include <optional>
@@ -66,11 +67,15 @@ template <typename Domain> struct DataflowResult {
   std::vector<std::optional<typename Domain::State>> In;
   unsigned Iterations = 0;
   bool Converged = true;
+  /// Non-convergence was forced by guard::Budget exhaustion, not by the
+  /// visit cap. Callers word their diagnostic accordingly.
+  bool BudgetExhausted = false;
 };
 
 template <typename Domain>
 DataflowResult<Domain> runForward(const Cfg &G, Domain &D,
-                                  unsigned MaxVisitsPerBlock = 64) {
+                                  unsigned MaxVisitsPerBlock = 64,
+                                  const guard::Budget *Budget = nullptr) {
   DataflowResult<Domain> R;
   const unsigned NumBlocks = unsigned(G.blocks().size());
   R.In.resize(NumBlocks);
@@ -158,6 +163,14 @@ DataflowResult<Domain> runForward(const Cfg &G, Domain &D,
   while (!Worklist.empty()) {
     if (++R.Iterations > MaxIterations) {
       R.Converged = false;
+      break;
+    }
+    // A budgeted run that exhausts stops exactly like a visit-cap miss:
+    // Converged = false, which every caller already turns into an analysis
+    // *error* (a refusal) — never a silently weaker accepted state.
+    if (Budget && !Budget->checkpoint()) {
+      R.Converged = false;
+      R.BudgetExhausted = true;
       break;
     }
     unsigned Id = *Worklist.begin();

@@ -211,13 +211,15 @@ Result<Word> Interp::evalExpr(const State &S, const Function &Fn,
 }
 
 Status Interp::execCmd(State &S, const Function &Fn, const Cmd &C) {
-  FuelLeft = Opts.Fuel;
+  resetFuel();
   return execCmdInner(S, Fn, C);
 }
 
 Status Interp::execCmdInner(State &S, const Function &Fn, const Cmd &C) {
-  if (FuelLeft == 0)
+  if (FuelLeft == 0) {
+    FuelExhausted = true;
     return Error("out of fuel (nonterminating or excessively long run)");
+  }
   --FuelLeft;
 
   switch (C.kind()) {
@@ -271,8 +273,10 @@ Status Interp::execCmdInner(State &S, const Function &Fn, const Cmd &C) {
   case Cmd::Kind::While: {
     const auto *W = cast<While>(&C);
     while (true) {
-      if (FuelLeft == 0)
+      if (FuelLeft == 0) {
+        FuelExhausted = true;
         return Error("out of fuel in while loop");
+      }
       --FuelLeft;
       Result<Word> Cond = evalExpr(S, Fn, *W->cond());
       if (!Cond)

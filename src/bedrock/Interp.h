@@ -174,7 +174,16 @@ public:
                                          const std::vector<Word> &Args);
 
   /// Refills the fuel budget (done automatically by top-level entry points).
-  void resetFuel() { FuelLeft = Opts.Fuel; }
+  void resetFuel() {
+    FuelLeft = Opts.Fuel;
+    FuelExhausted = false;
+  }
+
+  /// True iff the most recent run failed by running out of fuel (cleared by
+  /// the next top-level entry). Lets the differential layer distinguish
+  /// "target diverged" from "target was starved of fuel" and surface the
+  /// named diagnostic required for graceful degradation.
+  bool hitFuelLimit() const { return FuelExhausted; }
 
 private:
   const Module &Mod;
@@ -182,6 +191,7 @@ private:
   ExecOptions Opts;
   Rng Nondet;
   uint64_t FuelLeft = 0;
+  bool FuelExhausted = false;
   unsigned CallDepth = 0;
 
   Status execCmdInner(State &S, const Function &Fn, const Cmd &C);

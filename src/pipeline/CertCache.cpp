@@ -8,12 +8,21 @@
 #include "pipeline/CertCache.h"
 
 #include "pipeline/Hash.h"
+#include "support/Fault.h"
 #include "support/StringExtras.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace relc {
 namespace pipeline {
@@ -45,7 +54,25 @@ std::string payloadString(const CertKey &Key, const CertEntry &E) {
   return P;
 }
 
+/// A temp-file suffix no two writers share: pid distinguishes processes,
+/// the counter distinguishes threads/attempts within one.
+std::string uniqueTempSuffix() {
+  static std::atomic<uint64_t> Counter{0};
+#ifdef _WIN32
+  uint64_t Pid = uint64_t(_getpid());
+#else
+  uint64_t Pid = uint64_t(getpid());
+#endif
+  return ".tmp." + std::to_string(Pid) + "." +
+         std::to_string(Counter.fetch_add(1, std::memory_order_relaxed));
+}
+
 } // namespace
+
+CertCache::CertCache(std::string Dir) : Dir(std::move(Dir)) {
+  if (enabled())
+    sweepStaleTemps();
+}
 
 std::string CertKey::fileStem() const {
   return hex16(ModelHash) + "-" + hex16(SpecHash) + "-" + hex16(CodeHash);
@@ -230,6 +257,13 @@ std::optional<CertEntry> CertCache::lookup(const CertKey &Key,
   if (!enabled())
     return Miss();
 
+  // Fault site: lookup I/O. Transient hits are absorbed by fireWithRetry
+  // (a real transient read error would be retried the same way); a
+  // persistent one degrades to a miss — the verdict is simply re-derived,
+  // which costs time, never soundness.
+  if (fault::fireWithRetry(fault::Site::CacheRead, Key.fileStem()))
+    return Miss();
+
   std::string Path = pathFor(Key);
   std::ifstream In(Path, std::ios::binary);
   if (!In)
@@ -265,22 +299,75 @@ Status CertCache::store(const CertKey &Key, const CertEntry &Entry,
                  "': " + EC.message());
 
   std::string Path = pathFor(Key);
-  std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return Error("certificate cache: cannot write '" + Tmp + "'");
-    Out << serialize(Key, Entry);
-    if (!Out.flush())
-      return Error("certificate cache: write to '" + Tmp + "' failed");
+  std::string Payload = serialize(Key, Entry);
+
+  // Bounded retry with backoff: transient I/O failures (and injected
+  // transient cache-write faults) are absorbed; each attempt uses a fresh
+  // uniquely named temp file and cleans it up on failure, so a concurrent
+  // writer of the same key can never observe — or clobber — our temp.
+  constexpr unsigned MaxAttempts = 4;
+  std::string LastErr;
+  for (unsigned A = 0; A < MaxAttempts; ++A) {
+    if (A > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1u << (A - 1)));
+    if (auto H = fault::fire(fault::Site::CacheWrite, Key.fileStem())) {
+      LastErr = H->describe();
+      continue;
+    }
+    std::string Tmp = Path + uniqueTempSuffix();
+    {
+      std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+      if (!Out) {
+        LastErr = "cannot open '" + Tmp + "' for writing";
+        continue;
+      }
+      Out << Payload;
+      if (!Out.flush()) {
+        LastErr = "write to '" + Tmp + "' failed";
+        std::filesystem::remove(Tmp, EC);
+        continue;
+      }
+    }
+    std::filesystem::rename(Tmp, Path, EC);
+    if (EC) {
+      LastErr = "cannot rename '" + Tmp + "' into place: " + EC.message();
+      std::filesystem::remove(Tmp, EC);
+      continue;
+    }
+    if (Stats)
+      ++Stats->Stores;
+    return Status::success();
   }
-  std::filesystem::rename(Tmp, Path, EC);
+  return Error("certificate cache: store of '" + Key.fileStem() +
+               "' failed after " + std::to_string(MaxAttempts) +
+               " attempts: " + LastErr);
+}
+
+unsigned CertCache::sweepStaleTemps(std::chrono::seconds MaxAge) const {
+  if (!enabled())
+    return 0;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Dir, EC);
   if (EC)
-    return Error("certificate cache: cannot rename '" + Tmp + "' into place: " +
-                 EC.message());
-  if (Stats)
-    ++Stats->Stores;
-  return Status::success();
+    return 0;
+  unsigned Removed = 0;
+  const auto Now = std::filesystem::file_time_type::clock::now();
+  for (const auto &Ent : It) {
+    std::string Name = Ent.path().filename().string();
+    // Current writers produce "<stem>.cert.json.tmp.<pid>.<n>"; older
+    // versions produced "<stem>.cert.json.tmp". Both are debris once
+    // their writer is gone.
+    if (Name.find(".cert.json.tmp") == std::string::npos)
+      continue;
+    auto MTime = std::filesystem::last_write_time(Ent.path(), EC);
+    if (EC)
+      continue; // Racing writer just renamed it away; not ours to sweep.
+    if (Now - MTime < MaxAge)
+      continue; // Possibly a live writer's in-flight temp.
+    if (std::filesystem::remove(Ent.path(), EC) && !EC)
+      ++Removed;
+  }
+  return Removed;
 }
 
 } // namespace pipeline

@@ -38,6 +38,7 @@
 
 #include "support/Result.h"
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -89,7 +90,9 @@ struct CacheStats {
 class CertCache {
 public:
   /// \p Dir empty disables the cache (lookup misses, store no-ops).
-  explicit CertCache(std::string Dir) : Dir(std::move(Dir)) {}
+  /// Opening an enabled cache sweeps temp files orphaned by crashed
+  /// writers (see sweepStaleTemps).
+  explicit CertCache(std::string Dir);
 
   bool enabled() const { return !Dir.empty(); }
   const std::string &dir() const { return Dir; }
@@ -103,10 +106,24 @@ public:
                                   CacheStats *Stats = nullptr) const;
 
   /// Persists \p Entry under \p Key (creating the directory on first use).
-  /// Write is atomic-ish: temp file + rename, so readers never observe a
-  /// torn entry. Only call for fully successful certifications.
+  /// The write is atomic: a *uniquely named* temp file (pid + per-process
+  /// counter in the suffix, so concurrent writers — including separate
+  /// relc-gen processes sharing one cache — never collide) is renamed into
+  /// place, and readers never observe a torn entry. I/O failures are
+  /// retried a few times with short backoff before giving up; a failed
+  /// store leaves no temp file behind. Only call for fully successful,
+  /// non-degraded certifications.
   Status store(const CertKey &Key, const CertEntry &Entry,
                CacheStats *Stats = nullptr) const;
+
+  /// Removes temp files (".cert.json.tmp*" and legacy ".tmp") under the
+  /// cache directory older than \p MaxAge — debris from writers that
+  /// crashed between create and rename. Returns how many were removed.
+  /// Called automatically on open with a conservative age; tests pass 0s
+  /// to sweep unconditionally.
+  unsigned
+  sweepStaleTemps(std::chrono::seconds MaxAge = std::chrono::seconds(600))
+      const;
 
   /// Serialization, exposed for tests and the independent checker: the
   /// exact file content store() writes, including the integrity hash.

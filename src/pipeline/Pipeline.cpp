@@ -11,6 +11,8 @@
 #include "pipeline/Hash.h"
 #include "pipeline/Scheduler.h"
 #include "sep/State.h"
+#include "support/Budget.h"
+#include "support/Fault.h"
 #include "support/StringExtras.h"
 #include "validate/Validate.h"
 
@@ -44,6 +46,55 @@ bool ProgramOutcome::ok() const {
     if (L->Enabled && !((L->Ran || L->FromCache) && L->Ok))
       return false;
   return true;
+}
+
+bool ProgramOutcome::anyDegraded() const {
+  if (CompileDegraded || !DegradedNote.empty())
+    return true;
+  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Diff})
+    if (L->Degraded)
+      return true;
+  return false;
+}
+
+bool ProgramOutcome::failureIsDegradedOnly() const {
+  if (!CompileOk && !CompileDegraded)
+    return false; // A genuine compile failure.
+  bool Any = CompileDegraded || !DegradedNote.empty();
+  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Diff}) {
+    if (!L->Enabled)
+      continue;
+    if (L->Degraded) {
+      Any = true;
+      continue;
+    }
+    if ((L->Ran || L->FromCache) && L->Ok)
+      continue; // Genuinely passed.
+    if (!L->Ran && !L->FromCache)
+      continue; // Never got a chance: some upstream problem owns this.
+    return false; // Ran to a genuine failing verdict.
+  }
+  return Any;
+}
+
+std::string ProgramOutcome::firstDegradedNote() const {
+  if (CompileDegraded)
+    return CompileError;
+  struct Probe {
+    const LayerRun *L;
+    const char *What;
+  };
+  for (const Probe &P :
+       {Probe{&Replay, "derivation replay"}, Probe{&Analysis, "static analysis"},
+        Probe{&Tv, "translation validation"},
+        Probe{&Diff, "differential certification"}}) {
+    if (!P.L->Degraded)
+      continue;
+    if (!P.L->FaultNote.empty())
+      return P.L->FaultNote;
+    return std::string(P.What) + " exhausted its budget";
+  }
+  return DegradedNote;
 }
 
 CertKey certKeyFor(const ir::SourceFn &Model, const core::CompileHints &Hints,
@@ -80,6 +131,14 @@ uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
   // certificate, so a schema change must miss (an old entry would replay
   // a v1 payload byte-for-byte and break warm/cold byte identity).
   H = fnv1a64("|certv=" + std::to_string(cert::kSchemaVersion), H);
+  // Budget options participate too: degraded outcomes are never cached,
+  // but a verdict certified under one budget regime must not silently
+  // satisfy a run under another (KeepGoing is classification-only and
+  // deliberately absent).
+  H = fnv1a64("|timeout=" + std::to_string(VOpts.LayerTimeoutMs) +
+                  "|tvsteps=" + std::to_string(VOpts.TvStepBudget) +
+                  "|fuel=" + std::to_string(VOpts.InterpFuel),
+              H);
   return H;
 }
 
@@ -130,6 +189,14 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
   CertCache Cache(Opts.CacheDir);
   JobGraph G;
 
+  // Per-program job ids, for mapping scheduler-level outcomes (a job that
+  // threw or was skipped) back onto named degraded outcomes after run().
+  struct ProgJobs {
+    JobId Compile = NoJob, Replay = NoJob, Analysis = NoJob, Tv = NoJob,
+          Diff = NoJob, Certify = NoJob;
+  };
+  std::vector<ProgJobs> Jobs(Progs.size());
+
   for (size_t I = 0; I < Progs.size(); ++I) {
     const programs::ProgramDef *P = Progs[I];
     ProgramOutcome &O = Out[I];
@@ -142,15 +209,22 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
 
     // Per-job validation options: what validate::validate would see.
     // (Copied per program so concurrent jobs never share mutable state.)
-    auto MakeVOpts = [P]() {
+    // Suite-level budget overrides apply here, so the options hash and
+    // every layer agree on the effective budgets.
+    auto MakeVOpts = [P, &Opts]() {
       validate::ValidationOptions VO = P->VOpts;
       VO.Hints = P->Hints;
+      if (Opts.LayerTimeoutMs)
+        VO.LayerTimeoutMs = Opts.LayerTimeoutMs;
+      if (Opts.TvStepBudget)
+        VO.TvStepBudget = Opts.TvStepBudget;
       return VO;
     };
 
     //--- compile: the root of this program's chain.
-    JobId JCompile = G.add(P->Name + "/compile", [&O, &CS, &Cache, &Opts, P,
-                                                  &Tamper, MakeVOpts] {
+    JobId JCompile = Jobs[I].Compile =
+        G.add(P->Name + "/compile", [&O, &CS, &Cache, &Opts, P, &Tamper,
+                                     MakeVOpts] {
       auto T0 = std::chrono::steady_clock::now();
       core::Compiler C;
       Result<core::CompileResult> R = C.compileFn(P->Model, P->Spec,
@@ -177,11 +251,28 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
     });
 
     //--- The three static layers: independent once the code is emitted.
+    // Each starts with a layer-entry fault probe: transient hits are
+    // absorbed by the retry allowance, a persistent one makes the layer a
+    // named Degraded outcome (never a hang, never a poisoned sibling).
     std::vector<JobId> StaticJobs;
     if (Opts.Validate)
-      StaticJobs.push_back(G.add(P->Name + "/replay", [&O] {
+      StaticJobs.push_back(Jobs[I].Replay = G.add(P->Name + "/replay", [&O] {
         if (!O.CompileOk || O.CacheHit)
           return;
+        if (auto H = fault::fireWithRetry(fault::Site::LayerEntry,
+                                          O.Def->Name + "/replay")) {
+          O.Replay.Ran = true;
+          O.Replay.Ok = false;
+          O.Replay.Degraded = true;
+          O.Replay.FaultNote = H->describe();
+          if (O.ValidationError.empty())
+            O.ValidationError = Error(H->describe())
+                                    .note("derivation replay did not run")
+                                    .note("while validating program " +
+                                          O.Def->Name)
+                                    .str();
+          return;
+        }
         timed(O.Replay, [&] {
           Status S = validate::replayDerivation(O.Def->Model, O.Compiled);
           O.Replay.Ok = bool(S);
@@ -195,15 +286,29 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
       }, {JCompile}));
 
     if (Opts.Analyze)
-      StaticJobs.push_back(G.add(P->Name + "/analysis", [&O] {
+      StaticJobs.push_back(Jobs[I].Analysis =
+                               G.add(P->Name + "/analysis", [&O, MakeVOpts] {
         if (!O.CompileOk || O.CacheHit)
           return;
+        if (auto H = fault::fireWithRetry(fault::Site::LayerEntry,
+                                          O.Def->Name + "/analysis")) {
+          O.Analysis.Ran = true;
+          O.Analysis.Ok = false;
+          O.Analysis.Degraded = true;
+          O.Analysis.FaultNote = H->describe();
+          return; // Rendering happens downstream, in fixed layer order.
+        }
         timed(O.Analysis, [&] {
-          O.AReport = analysis::analyzeProgram(O.Compiled.Fn, O.Def->Spec,
-                                               O.Def->Model,
-                                               O.Def->Hints.EntryFacts);
+          validate::ValidationOptions VO = MakeVOpts();
+          std::optional<guard::Budget> B;
+          if (VO.LayerTimeoutMs)
+            B.emplace(VO.LayerTimeoutMs, /*StepLimit=*/0);
+          O.AReport = analysis::analyzeProgram(
+              O.Compiled.Fn, O.Def->Spec, O.Def->Model,
+              O.Def->Hints.EntryFacts, B ? &*B : nullptr);
           O.AnalysisWarnings = O.AReport.numWarnings();
           O.Analysis.Ok = !O.AReport.hasErrors();
+          O.Analysis.Degraded = O.AReport.BudgetExhausted;
           for (const analysis::Diagnostic &D : O.AReport.Diags)
             O.AnalysisDiags +=
                 (O.AnalysisDiags.empty() ? "" : "\n") + D.str();
@@ -211,14 +316,31 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
       }, {JCompile}));
 
     if (Opts.Tv)
-      StaticJobs.push_back(G.add(P->Name + "/tv", [&O] {
+      StaticJobs.push_back(Jobs[I].Tv = G.add(P->Name + "/tv",
+                                              [&O, MakeVOpts] {
         if (!O.CompileOk || O.CacheHit)
           return;
+        if (auto H = fault::fireWithRetry(fault::Site::LayerEntry,
+                                          O.Def->Name + "/tv")) {
+          O.Tv.Ran = true;
+          O.Tv.Ok = false;
+          O.Tv.Degraded = true;
+          O.Tv.FaultNote = H->describe();
+          return; // Rendering happens downstream, in fixed layer order.
+        }
         timed(O.Tv, [&] {
-          O.TvRep = tv::validateTranslation(O.Def->Model, O.Def->Spec,
-                                            O.Compiled.Fn,
-                                            O.Def->Hints.EntryFacts);
+          validate::ValidationOptions VO = MakeVOpts();
+          std::optional<guard::Budget> B;
+          if (VO.LayerTimeoutMs || VO.TvStepBudget)
+            B.emplace(VO.LayerTimeoutMs, VO.TvStepBudget);
+          O.TvRep = tv::validateTranslation(
+              O.Def->Model, O.Def->Spec, O.Compiled.Fn,
+              O.Def->Hints.EntryFacts, B ? &*B : nullptr);
+          // Budget exhaustion surfaces as Inconclusive: Ok (the fragment
+          // gate is deliberate) but Degraded — never cached, and the
+          // differential layer still runs and carries the certification.
           O.Tv.Ok = !O.TvRep.refuted();
+          O.Tv.Degraded = O.TvRep.BudgetExhausted;
           O.TvVerdictName = tv::verdictName(O.TvRep.TheVerdict);
           O.TvLoops = O.TvRep.Loops.size();
           O.TvTerms = O.TvRep.NumTerms;
@@ -233,38 +355,74 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
     DiffDeps.insert(DiffDeps.begin(), JCompile);
     JobId JDiff = NoJob;
     if (Opts.Validate)
-      JDiff = G.add(P->Name + "/differential", [&O, MakeVOpts] {
+      JDiff = Jobs[I].Diff = G.add(P->Name + "/differential",
+                                   [&O, MakeVOpts] {
         if (!O.CompileOk || O.CacheHit)
           return;
         // Match serial validate(): differential runs only when every
         // enabled static layer passed. Error reporting keeps the fixed
         // layer order (replay > analysis > tv), so an analysis failure
-        // that raced ahead of a replay failure never wins.
+        // that raced ahead of a replay failure never wins. A layer that
+        // was fault-degraded at entry renders its FaultNote here instead
+        // of a nonsensical rejection of an empty report.
         if (O.Replay.Enabled && !O.Replay.Ok)
           return;
         if (O.Analysis.Enabled && !O.Analysis.Ok) {
-          if (O.ValidationError.empty())
-            O.ValidationError =
-                validate::analysisRejection(O.Compiled.Fn.Name, O.AReport)
-                    .note("static analysis rejected the target")
-                    .note("while validating program " + O.Def->Name)
-                    .str();
+          if (O.ValidationError.empty()) {
+            if (!O.Analysis.FaultNote.empty())
+              O.ValidationError =
+                  Error(O.Analysis.FaultNote)
+                      .note("static analysis did not run")
+                      .note("while validating program " + O.Def->Name)
+                      .str();
+            else
+              O.ValidationError =
+                  validate::analysisRejection(O.Compiled.Fn.Name, O.AReport)
+                      .note("static analysis rejected the target")
+                      .note("while validating program " + O.Def->Name)
+                      .str();
+          }
           return;
         }
         if (O.Tv.Enabled && !O.Tv.Ok) {
+          if (O.ValidationError.empty()) {
+            if (!O.Tv.FaultNote.empty())
+              O.ValidationError =
+                  Error(O.Tv.FaultNote)
+                      .note("translation validation did not run")
+                      .note("while validating program " + O.Def->Name)
+                      .str();
+            else
+              O.ValidationError =
+                  validate::tvRejection(O.TvRep)
+                      .note("translation validation rejected the target")
+                      .note("while validating program " + O.Def->Name)
+                      .str();
+          }
+          return;
+        }
+        if (auto H = fault::fireWithRetry(fault::Site::LayerEntry,
+                                          O.Def->Name + "/differential")) {
+          O.Diff.Ran = true;
+          O.Diff.Ok = false;
+          O.Diff.Degraded = true;
+          O.Diff.FaultNote = H->describe();
           if (O.ValidationError.empty())
             O.ValidationError =
-                validate::tvRejection(O.TvRep)
-                    .note("translation validation rejected the target")
+                Error(H->describe())
+                    .note("differential certification did not run")
                     .note("while validating program " + O.Def->Name)
                     .str();
           return;
         }
         timed(O.Diff, [&] {
+          bool DiffBudgetOut = false;
           Status S = validate::differentialCertify(O.Def->Model, O.Def->Spec,
                                                    O.Compiled, O.Linked,
-                                                   MakeVOpts());
+                                                   MakeVOpts(),
+                                                   &DiffBudgetOut);
           O.Diff.Ok = bool(S);
+          O.Diff.Degraded = DiffBudgetOut;
           if (!S && O.ValidationError.empty())
             O.ValidationError =
                 S.takeError()
@@ -278,18 +436,32 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
     std::vector<JobId> FinishDeps = DiffDeps;
     if (JDiff != NoJob)
       FinishDeps.push_back(JDiff);
-    G.add(P->Name + "/certify", [&O, &CS, &Cache, &Opts] {
+    Jobs[I].Certify = G.add(P->Name + "/certify", [&O, &CS, &Cache, &Opts] {
       // Render the non-validate failure texts (analysis/tv rejections when
       // layer 4 is disabled and never got to render them).
       if (O.CompileOk && !O.CacheHit && O.ValidationError.empty()) {
-        if (O.Analysis.Enabled && O.Analysis.Ran && !O.Analysis.Ok)
-          O.ValidationError =
-              validate::analysisRejection(O.Compiled.Fn.Name, O.AReport)
-                  .str();
-        else if (O.Tv.Enabled && O.Tv.Ran && !O.Tv.Ok)
-          O.ValidationError = validate::tvRejection(O.TvRep).str();
+        if (O.Analysis.Enabled && O.Analysis.Ran && !O.Analysis.Ok) {
+          if (!O.Analysis.FaultNote.empty())
+            O.ValidationError = Error(O.Analysis.FaultNote)
+                                    .note("static analysis did not run")
+                                    .str();
+          else
+            O.ValidationError =
+                validate::analysisRejection(O.Compiled.Fn.Name, O.AReport)
+                    .str();
+        } else if (O.Tv.Enabled && O.Tv.Ran && !O.Tv.Ok) {
+          if (!O.Tv.FaultNote.empty())
+            O.ValidationError = Error(O.Tv.FaultNote)
+                                    .note("translation validation did not run")
+                                    .str();
+          else
+            O.ValidationError = validate::tvRejection(O.TvRep).str();
+        }
       }
-      if (!Cache.enabled() || O.CacheHit || !O.ok())
+      // Degraded outcomes are never cached: a budget-truncated or
+      // fault-shadowed verdict must be re-derived at full strength before
+      // it can be reused (§4.7).
+      if (!Cache.enabled() || O.CacheHit || !O.ok() || O.anyDegraded())
         return;
       CertEntry E;
       E.Program = O.Def->Name;
@@ -311,6 +483,57 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
 
   Status Run = G.run(Opts.Jobs);
   (void)Run; // Jobs capture all failures in their outcome slots.
+
+  // Map scheduler-level problems — a job that threw (genuinely or via an
+  // injected sched-job fault) or was skipped downstream of one — onto
+  // named degraded outcomes, in fixed layer order so serial and parallel
+  // runs render identically. Without this, a dead job would leave its
+  // layer looking "never enabled" and the program would fail with no
+  // explanation at all.
+  auto Problem = [&G](JobId J) -> std::optional<std::string> {
+    if (J == NoJob)
+      return std::nullopt;
+    if (G.state(J) == JobState::Threw)
+      return "did not complete: " + G.errorOf(J);
+    if (G.state(J) == JobState::NotRun)
+      return "was skipped (an upstream job failed)";
+    return std::nullopt;
+  };
+  for (size_t I = 0; I < Progs.size(); ++I) {
+    ProgramOutcome &O = Out[I];
+    const ProgJobs &PJ = Jobs[I];
+    if (auto W = Problem(PJ.Compile)) {
+      O.CompileOk = false;
+      O.CompileDegraded = true;
+      if (O.CompileError.empty())
+        O.CompileError = "compile job " + *W;
+    }
+    struct LayerJob {
+      JobId J;
+      LayerRun *L;
+      const char *What;
+    };
+    for (const LayerJob &LJ :
+         {LayerJob{PJ.Replay, &O.Replay, "derivation replay"},
+          LayerJob{PJ.Analysis, &O.Analysis, "static analysis"},
+          LayerJob{PJ.Tv, &O.Tv, "translation validation"},
+          LayerJob{PJ.Diff, &O.Diff, "differential certification"}}) {
+      auto W = Problem(LJ.J);
+      if (!W)
+        continue;
+      LJ.L->Degraded = true;
+      LJ.L->Ok = false;
+      if (LJ.L->FaultNote.empty())
+        LJ.L->FaultNote = std::string(LJ.What) + " job " + *W;
+      if (O.CompileOk && !O.CacheHit && O.ValidationError.empty())
+        O.ValidationError = Error(LJ.L->FaultNote)
+                                .note("while validating program " +
+                                      O.Def->Name)
+                                .str();
+    }
+    if (auto W = Problem(PJ.Certify))
+      O.DegradedNote = "certify job " + *W;
+  }
 
   if (Stats) {
     Stats->Programs += unsigned(Progs.size());

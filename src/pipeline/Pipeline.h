@@ -53,6 +53,18 @@ struct PipelineOptions {
   bool Validate = true;     ///< Layers 1 and 4 (replay + differential).
   bool Analyze = true;      ///< Layer 2 (dataflow verifier).
   bool Tv = true;           ///< Layer 3 (translation validation).
+
+  /// Robustness guards (DESIGN.md §4.7): when nonzero, these override the
+  /// per-program ValidationOptions so every certification layer is
+  /// wall-clock terminating. Exhaustion degrades the layer (see
+  /// LayerRun::Degraded), it never hangs or wrongly accepts.
+  unsigned LayerTimeoutMs = 0; ///< Per-layer deadline, ms. 0 = unlimited.
+  uint64_t TvStepBudget = 0;   ///< TV step cap. 0 = unlimited.
+  /// Reclassify programs whose only problems are budget exhaustion or
+  /// injected faults as "degraded" rather than failed (relc-gen exit 3,
+  /// not 1). Deliberately NOT part of the options hash: it changes how
+  /// outcomes are *classified*, never what is certified or cached.
+  bool KeepGoing = false;
 };
 
 /// One certification layer's outcome within a program's chain.
@@ -62,6 +74,18 @@ struct LayerRun {
   bool FromCache = false; ///< Verdict reused from the certificate cache.
   bool Ok = false;        ///< Verdict (meaningful when Ran or FromCache).
   double Millis = 0;      ///< Live execution time (0 when cached).
+  /// The layer did not complete its real work: a guard::Budget ran out, an
+  /// injected fault fired at its entry, or its job died at the scheduler
+  /// boundary. Degraded outcomes are never cached, and with
+  /// PipelineOptions::KeepGoing they are reported as exit-code-3
+  /// "degraded" rather than genuine failures. Note Degraded does not
+  /// imply !Ok: a budget-exhausted TV run is Inconclusive (Ok) yet
+  /// Degraded — the differential layer then carries the certification.
+  bool Degraded = false;
+  /// Names what degraded the layer (the injected fault's describe() text
+  /// or the scheduler-level failure), "" when Degraded came from a budget
+  /// (the layer's own report carries the budget text then).
+  std::string FaultNote;
 };
 
 /// Everything one program's jobs produced, buffered for deterministic
@@ -96,8 +120,28 @@ struct ProgramOutcome {
   uint64_t OptsHash = 0;
   bool CacheHit = false;         ///< Entire verdict came from the cache.
 
+  /// The compile job itself died at the scheduler boundary (injected
+  /// sched-job fault or a genuine throw); CompileError names why.
+  bool CompileDegraded = false;
+  /// Scheduler-level problem with the certify/store job, "" if none.
+  std::string DegradedNote;
+
   /// True iff compilation and every enabled layer succeeded.
   bool ok() const;
+
+  /// Any layer (or compile, or certify) was degraded by a budget or fault.
+  /// Degraded outcomes are never cached.
+  bool anyDegraded() const;
+
+  /// True iff the program is not ok() but every problem is a degraded
+  /// outcome (budget exhaustion, injected fault, scheduler-boundary
+  /// failure) — nothing genuinely failed certification. This is what
+  /// --keep-going reclassifies to exit code 3.
+  bool failureIsDegradedOnly() const;
+
+  /// First degraded problem's text, in the fixed compile -> replay ->
+  /// analysis -> tv -> differential -> certify order ("" if none).
+  std::string firstDegradedNote() const;
 };
 
 struct PipelineStats {
@@ -106,9 +150,11 @@ struct PipelineStats {
   unsigned Failures = 0;
 };
 
-/// Test-only fault injection: runs after a program compiles, before any
-/// certification layer sees the result. Lets tests tamper with one
-/// program's emitted code or witness inside a parallel run.
+/// Test-only *content* tampering: runs after a program compiles, before
+/// any certification layer sees the result. Lets tests mutate one
+/// program's emitted code or witness inside a parallel run. (Injection of
+/// I/O and scheduling *faults* is the job of relc::fault — see
+/// support/Fault.h — which this hook predates and complements.)
 using TamperHook =
     std::function<void(const programs::ProgramDef &, core::CompileResult &)>;
 

@@ -7,6 +7,8 @@
 
 #include "pipeline/Scheduler.h"
 
+#include "support/Fault.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -19,6 +21,28 @@
 
 namespace relc {
 namespace pipeline {
+
+unsigned resolveJobs(unsigned Requested, std::string *Note) {
+  if (Requested == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    if (HW == 0) {
+      if (Note)
+        *Note = "-j 0: hardware concurrency unknown; falling back to "
+                "serial (-j 1)";
+      return 1;
+    }
+    unsigned N = std::min(HW, 64u);
+    if (Note)
+      *Note = "-j 0: using all " + std::to_string(N) + " hardware threads";
+    return N;
+  }
+  if (Requested > 64) {
+    if (Note)
+      *Note = "-j " + std::to_string(Requested) + ": clamped to 64 threads";
+    return 64;
+  }
+  return Requested;
+}
 
 JobId JobGraph::add(std::string Name, std::function<void()> Work,
                     std::vector<JobId> Deps) {
@@ -39,8 +63,17 @@ JobId JobGraph::add(std::string Name, std::function<void()> Work,
 namespace {
 
 /// Runs one job's work, capturing anything it throws.
-void execute(std::string *ErrorText, JobState *State,
+void execute(const std::string &Name, std::string *ErrorText, JobState *State,
              const std::function<void()> &Work) {
+  // Fault site: a job boundary. Keyed by job name, so serial and parallel
+  // runs inject identically; transient hits are absorbed here (the retry
+  // is immediate — job bodies are idempotent), persistent ones make the
+  // job Threw with the injection named, exactly like a genuine throw.
+  if (auto H = fault::fireWithRetry(fault::Site::SchedulerJob, Name)) {
+    *State = JobState::Threw;
+    *ErrorText = H->describe();
+    return;
+  }
   try {
     Work();
     *State = JobState::Done;
@@ -64,7 +97,7 @@ void JobGraph::runSerial() {
     });
     if (!DepsOk)
       continue; // Stays NotRun: an upstream job threw.
-    execute(&J.ErrorText, &J.State, J.Work);
+    execute(J.Name, &J.ErrorText, &J.State, J.Work);
   }
 }
 
@@ -166,7 +199,7 @@ void JobGraph::runParallel(unsigned NumThreads) {
       if (DepFailed[Id].load(std::memory_order_acquire)) {
         // Leave State == NotRun: an upstream job failed.
       } else {
-        execute(&J.ErrorText, &J.State, J.Work);
+        execute(J.Name, &J.ErrorText, &J.State, J.Work);
       }
       Finish(Id, Self);
     }
@@ -196,7 +229,7 @@ Status JobGraph::summarize() const {
 }
 
 Status JobGraph::run(unsigned NumThreads) {
-  NumThreads = std::max(1u, std::min(NumThreads, 64u));
+  NumThreads = resolveJobs(NumThreads);
   if (NumThreads == 1 || Jobs.size() <= 1)
     runSerial();
   else

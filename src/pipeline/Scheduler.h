@@ -64,6 +64,14 @@ enum class JobState : uint8_t {
   Threw,   ///< Work threw; dependents were skipped.
 };
 
+/// Resolves a user-requested thread count to an executable one:
+/// 0 means "use the hardware" (std::thread::hardware_concurrency()), with
+/// a serial fallback when the hardware cannot be queried; everything is
+/// clamped to [1, 64]. \p Note, when non-null, receives a human-readable
+/// explanation whenever the resolved count differs from the request
+/// (relc-gen prints it so `-j 0` is never a silent surprise).
+unsigned resolveJobs(unsigned Requested, std::string *Note = nullptr);
+
 class JobGraph {
 public:
   /// Adds a job. Every id in \p Deps must have been returned by an earlier
@@ -73,7 +81,8 @@ public:
 
   size_t size() const { return Jobs.size(); }
 
-  /// Executes the graph on \p NumThreads workers (clamped to [1, 64]).
+  /// Executes the graph on \p NumThreads workers (resolved via
+  /// resolveJobs: 0 = hardware concurrency, clamped to [1, 64]).
   /// NumThreads == 1 runs every job inline in submission order. Returns
   /// failure iff any job threw or was skipped; the error names them in
   /// submission order (deterministic regardless of thread count).

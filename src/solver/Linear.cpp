@@ -207,6 +207,11 @@ bool combine(const WideRow &Pos, const WideRow &Neg, const std::string &X,
 
 bool FactDb::refutes(const std::vector<LinTerm> &Extra,
                      size_t MaxVars) const {
+  // Budget exhaustion answers "cannot refute" — the same conservative
+  // verdict the effort caps below produce, so exhaustion can only make
+  // callers refuse, never accept wrongly.
+  if (Budget && !Budget->step())
+    return false;
   // Relevance pruning: fact databases grow monotonically during
   // compilation (one definitional symbol per subexpression), but any given
   // goal only depends on the cone of facts transitively sharing symbols
@@ -295,6 +300,9 @@ bool FactDb::refutes(const std::vector<LinTerm> &Extra,
                      });
     std::string X = Order.front();
     Order.erase(Order.begin());
+
+    if (Budget && !Budget->step())
+      return false; // Exhausted mid-elimination: cannot refute.
 
     std::vector<WideRow> PosRows, NegRows, Rest;
     for (WideRow &R : Work) {

@@ -37,6 +37,7 @@
 #ifndef RELC_SOLVER_LINEAR_H
 #define RELC_SOLVER_LINEAR_H
 
+#include "support/Budget.h"
 #include "support/Result.h"
 
 #include <cstdint>
@@ -131,6 +132,13 @@ public:
   size_t size() const { return Rows.size(); }
   std::string str() const;
 
+  /// Arms a cooperative budget for elimination. Exhaustion makes refutes()
+  /// answer false — "cannot refute", the conservative verdict every caller
+  /// already handles — so a budgeted solver is slower to say yes but never
+  /// wrong. Copies of the database share the pointer (the Budget outlives
+  /// the layer run that owns both). Null disarms.
+  void setBudget(const guard::Budget *B) { Budget = B; }
+
 private:
   struct Row {
     LinTerm T; ///< Meaning: T ≥ 0.
@@ -152,6 +160,8 @@ private:
   /// True iff Rows ∧ (Extra ≥ 0 for each extra) is infeasible. MaxVars
   /// caps the elimination effort (exceeding it means "cannot refute").
   bool refutes(const std::vector<LinTerm> &Extra, size_t MaxVars = 48) const;
+
+  const guard::Budget *Budget = nullptr;
 };
 
 } // namespace solver

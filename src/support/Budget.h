@@ -1,0 +1,185 @@
+//===- support/Budget.h - Cooperative deadline / step budgets ---*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// relc::guard — the cooperative termination framework under the hardened
+// certification pipeline. A Budget pairs an optional monotonic wall-clock
+// deadline with an optional step allowance; long-running certification
+// loops (TV term-graph normalization and bijection backtracking, the
+// analysis dataflow worklist, solver elimination, the differential vector
+// loop) call step() at their loop heads and stop — gracefully — once the
+// budget is exhausted. This is what makes every layer wall-clock
+// terminating: the loops themselves may be combinatorial, but the checks
+// bound them.
+//
+// Cost model (the ≤2% overhead requirement, bench/pipeline_scaling):
+// step() is one relaxed fetch_add on a per-layer (never shared across
+// worker threads' layers) counter; the monotonic clock is only polled
+// when the counter crosses a 256-step boundary, so the amortized cost of
+// a deadline is a fraction of a nanosecond per step. An unbudgeted layer
+// passes a null Budget* and pays a single branch.
+//
+// Trust story (DESIGN.md §4.7): exhaustion is *latched* and always maps
+// to a refusal — TV reports Inconclusive, the analyzer reports a
+// convergence error, the solver answers "cannot refute" (i.e. not
+// proved), the differential layer fails with a named budget error. No
+// code path turns an exhausted budget into an accept, so budgets can
+// cost completeness, never soundness.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_BUDGET_H
+#define RELC_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace relc {
+namespace guard {
+
+/// How a budget ran out (latched: the first exhaustion wins and sticks).
+enum class Exhaustion : uint8_t {
+  None = 0,   ///< Still within budget.
+  TimedOut,   ///< The wall-clock deadline passed.
+  OutOfSteps, ///< The step allowance was consumed.
+};
+
+inline const char *exhaustionName(Exhaustion E) {
+  switch (E) {
+  case Exhaustion::None:
+    return "none";
+  case Exhaustion::TimedOut:
+    return "timed-out";
+  case Exhaustion::OutOfSteps:
+    return "out-of-steps";
+  }
+  return "none";
+}
+
+/// Thrown by budgeted subsystems that have no error channel at the point
+/// of exhaustion (the TV term graph's normalizing constructors); caught at
+/// the layer boundary and converted into the layer's refusal verdict.
+class BudgetExhausted : public std::runtime_error {
+public:
+  BudgetExhausted(Exhaustion Kind, const std::string &What)
+      : std::runtime_error(What), Kind(Kind) {}
+  Exhaustion kind() const { return Kind; }
+
+private:
+  Exhaustion Kind;
+};
+
+/// One layer's budget: a monotonic deadline, a step allowance, or both
+/// (zero means "unlimited" for each). Not copyable — layers share it by
+/// pointer, and the counters are meaningful per instance.
+class Budget {
+public:
+  /// Unlimited budget: step() always succeeds.
+  Budget() = default;
+
+  /// \p DeadlineMs bounds wall time from *now*; \p StepLimit bounds the
+  /// total step() count. Zero disables the respective bound.
+  Budget(uint64_t DeadlineMs, uint64_t StepLimit)
+      : DeadlineMs(DeadlineMs), StepLimit(StepLimit),
+        HasDeadline(DeadlineMs != 0),
+        Deadline(std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(DeadlineMs)) {}
+
+  Budget(const Budget &) = delete;
+  Budget &operator=(const Budget &) = delete;
+
+  bool limited() const { return HasDeadline || StepLimit != 0; }
+
+  /// Charges \p N steps. Returns true while the budget holds; false once
+  /// it is exhausted (and forever after — exhaustion latches). The clock
+  /// is polled only when the step counter crosses a 256-step boundary,
+  /// so deadlines are cheap even on hot paths.
+  bool step(uint64_t N = 1) const {
+    if (St.load(std::memory_order_relaxed) !=
+        uint8_t(Exhaustion::None))
+      return false;
+    uint64_t Before = Steps.fetch_add(N, std::memory_order_relaxed);
+    uint64_t After = Before + N;
+    if (StepLimit != 0 && After >= StepLimit) {
+      latch(Exhaustion::OutOfSteps);
+      return false;
+    }
+    if (HasDeadline && (Before >> 8) != (After >> 8) &&
+        std::chrono::steady_clock::now() >= Deadline) {
+      latch(Exhaustion::TimedOut);
+      return false;
+    }
+    return true;
+  }
+
+  /// Like step(), but polls the clock unconditionally. For coarse loop
+  /// heads (one check per differential vector / worklist pop) where the
+  /// 256-step amortization would make a deadline too lazy.
+  bool checkpoint(uint64_t N = 1) const {
+    if (!step(N))
+      return false;
+    if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+      latch(Exhaustion::TimedOut);
+      return false;
+    }
+    return true;
+  }
+
+  /// step() that throws BudgetExhausted instead of returning false.
+  void stepOrThrow(uint64_t N = 1) const {
+    if (!step(N))
+      throw BudgetExhausted(state(), describe());
+  }
+
+  bool exhausted() const {
+    return St.load(std::memory_order_relaxed) != uint8_t(Exhaustion::None);
+  }
+  Exhaustion state() const {
+    return Exhaustion(St.load(std::memory_order_relaxed));
+  }
+  uint64_t stepsUsed() const {
+    return Steps.load(std::memory_order_relaxed);
+  }
+
+  /// Past-tense account of the exhaustion, for layer diagnostics:
+  /// "exceeded its 200 ms deadline after 123456 steps" /
+  /// "exhausted its 50000-step budget". Callers prefix the layer name.
+  std::string describe() const {
+    switch (state()) {
+    case Exhaustion::None:
+      return "is within its budget (" + std::to_string(stepsUsed()) +
+             " steps used)";
+    case Exhaustion::TimedOut:
+      return "exceeded its " + std::to_string(DeadlineMs) +
+             " ms deadline after " + std::to_string(stepsUsed()) + " steps";
+    case Exhaustion::OutOfSteps:
+      return "exhausted its " + std::to_string(StepLimit) + "-step budget";
+    }
+    return "is within its budget";
+  }
+
+private:
+  uint64_t DeadlineMs = 0;
+  uint64_t StepLimit = 0;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
+  mutable std::atomic<uint64_t> Steps{0};
+  mutable std::atomic<uint8_t> St{uint8_t(Exhaustion::None)};
+
+  void latch(Exhaustion E) const {
+    uint8_t Expected = uint8_t(Exhaustion::None);
+    St.compare_exchange_strong(Expected, uint8_t(E),
+                               std::memory_order_relaxed);
+  }
+};
+
+} // namespace guard
+} // namespace relc
+
+#endif // RELC_SUPPORT_BUDGET_H

@@ -1,0 +1,285 @@
+//===- support/Fault.cpp - Deterministic fault injection -------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace relc {
+namespace fault {
+
+const char *siteName(Site S) {
+  switch (S) {
+  case Site::CacheRead:
+    return "cache-read";
+  case Site::CacheWrite:
+    return "cache-write";
+  case Site::SchedulerJob:
+    return "sched-job";
+  case Site::LayerEntry:
+    return "layer-entry";
+  case Site::InterpFuel:
+    return "interp-fuel";
+  }
+  return "cache-read";
+}
+
+bool siteFromName(const std::string &Name, Site *Out) {
+  for (unsigned I = 0; I < NumSites; ++I)
+    if (Name == siteName(Site(I))) {
+      *Out = Site(I);
+      return true;
+    }
+  return false;
+}
+
+std::string Hit::describe() const {
+  return std::string("injected ") + (Transient ? "transient" : "persistent") +
+         " " + siteName(TheSite) + " fault at '" + Key + "' (hit #" +
+         std::to_string(Occurrence) + ")";
+}
+
+namespace {
+
+/// Local FNV-1a (support must not depend on pipeline/Hash.h).
+uint64_t fnv(const std::string &S, uint64_t H = 0xcbf29ce484222325ull) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Murmur3 finalizer. FNV-1a's multiply only carries entropy from low
+/// bits upward, so its *high* bits barely avalanche on short keys — and
+/// probabilistic targeting reads the top 53 bits. Mixing is required for
+/// the p= threshold to be anywhere near uniform.
+uint64_t mix(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdull;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ull;
+  X ^= X >> 33;
+  return X;
+}
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<Clause> Clauses;
+  std::string SpecText;
+  /// Per-(site, key) ordinal of fired hits. Keyed by key text, not by
+  /// call order, so parallel and serial runs inject identically.
+  std::map<std::pair<uint8_t, std::string>, unsigned> Fired;
+  std::atomic<bool> Armed{false};
+};
+
+Registry &reg() {
+  static Registry R;
+  return R;
+}
+
+bool parseU64(const std::string &S, uint64_t *Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + uint64_t(C - '0');
+  }
+  *Out = V;
+  return true;
+}
+
+bool parseProb(const std::string &S, double *Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (End != S.c_str() + S.size() || V < 0.0 || V > 1.0)
+    return false;
+  *Out = V;
+  return true;
+}
+
+Result<std::vector<Clause>> parseSpec(const std::string &Spec) {
+  std::vector<Clause> Out;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Text = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() : Comma + 1;
+    if (Text.empty())
+      continue;
+
+    Clause C;
+    size_t P = 0;
+    bool First = true;
+    while (P <= Text.size()) {
+      size_t Colon = Text.find(':', P);
+      std::string Tok = Text.substr(
+          P, Colon == std::string::npos ? std::string::npos : Colon - P);
+      P = Colon == std::string::npos ? Text.size() + 1 : Colon + 1;
+      if (First) {
+        if (!siteFromName(Tok, &C.TheSite))
+          return Error("fault spec: unknown site '" + Tok +
+                       "' (expected cache-read, cache-write, sched-job, "
+                       "layer-entry, or interp-fuel)");
+        First = false;
+        continue;
+      }
+      if (Tok.empty())
+        continue;
+      if (Tok == "transient") {
+        C.Persistent = false;
+        continue;
+      }
+      if (Tok == "persistent") {
+        C.Persistent = true;
+        continue;
+      }
+      size_t Eq = Tok.find('=');
+      if (Eq == std::string::npos)
+        return Error("fault spec: unknown modifier '" + Tok + "' in '" +
+                     Text + "'");
+      std::string K = Tok.substr(0, Eq), V = Tok.substr(Eq + 1);
+      uint64_t U = 0;
+      if (K == "p") {
+        if (!parseProb(V, &C.Prob))
+          return Error("fault spec: bad probability '" + V + "'");
+      } else if (K == "n") {
+        if (!parseU64(V, &U) || U == 0)
+          return Error("fault spec: bad count '" + V + "'");
+        C.Count = unsigned(U);
+      } else if (K == "seed") {
+        if (!parseU64(V, &U))
+          return Error("fault spec: bad seed '" + V + "'");
+        C.Seed = U;
+      } else if (K == "match") {
+        C.Match = V;
+      } else if (K == "v") {
+        if (!parseU64(V, &U))
+          return Error("fault spec: bad value '" + V + "'");
+        C.Value = U;
+      } else {
+        return Error("fault spec: unknown modifier '" + K + "' in '" + Text +
+                     "'");
+      }
+    }
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+} // namespace
+
+Status arm(const std::string &Spec) {
+  if (Spec.empty()) {
+    disarm();
+    return Status::success();
+  }
+  Result<std::vector<Clause>> Parsed = parseSpec(Spec);
+  if (!Parsed)
+    return Parsed.takeError();
+  Registry &R = reg();
+  std::lock_guard<std::mutex> L(R.Mu);
+  R.Clauses = Parsed.take();
+  R.SpecText = Spec;
+  R.Fired.clear();
+  R.Armed.store(!R.Clauses.empty(), std::memory_order_release);
+  return Status::success();
+}
+
+Status armFromEnv() {
+  const char *Spec = std::getenv("RELC_FAULT_SPEC");
+  if (!Spec || !*Spec)
+    return Status::success();
+  return arm(Spec);
+}
+
+void disarm() {
+  Registry &R = reg();
+  std::lock_guard<std::mutex> L(R.Mu);
+  R.Clauses.clear();
+  R.SpecText.clear();
+  R.Fired.clear();
+  R.Armed.store(false, std::memory_order_release);
+}
+
+bool armed() { return reg().Armed.load(std::memory_order_acquire); }
+
+std::string activeSpec() {
+  Registry &R = reg();
+  std::lock_guard<std::mutex> L(R.Mu);
+  return R.SpecText;
+}
+
+std::optional<Hit> fire(Site S, const std::string &Key) {
+  Registry &R = reg();
+  if (!R.Armed.load(std::memory_order_acquire))
+    return std::nullopt;
+  std::lock_guard<std::mutex> L(R.Mu);
+  for (const Clause &C : R.Clauses) {
+    if (C.TheSite != S)
+      continue;
+    if (!C.Match.empty() && Key.find(C.Match) == std::string::npos)
+      continue;
+    if (C.Prob < 1.0) {
+      // Deterministic targeting: hash (seed, site, key) into [0,1).
+      uint64_t H = mix(fnv(Key, fnv(std::string(siteName(S)) + "|" +
+                                    std::to_string(C.Seed) + "|")));
+      double U = double(H >> 11) / double(1ull << 53);
+      if (U >= C.Prob)
+        continue;
+    }
+    unsigned &N = R.Fired[{uint8_t(S), Key}];
+    if (!C.Persistent && N >= C.Count)
+      continue; // Healed: this key has absorbed its transient failures.
+    Hit H;
+    H.TheSite = S;
+    H.Key = Key;
+    H.Occurrence = N++;
+    H.Transient = !C.Persistent;
+    H.Value = C.Value;
+    return H;
+  }
+  return std::nullopt;
+}
+
+std::optional<Hit> fireWithRetry(Site S, const std::string &Key,
+                                 unsigned MaxAttempts) {
+  std::optional<Hit> H;
+  for (unsigned A = 0; A < MaxAttempts; ++A) {
+    H = fire(S, Key);
+    if (!H)
+      return std::nullopt; // Absorbed (or never targeted).
+    if (!H->Transient)
+      return H; // Persistent: retrying cannot help.
+  }
+  return H; // Transient but unhealed within the retry allowance.
+}
+
+ScopedFaults::ScopedFaults(const std::string &Spec) : Previous(activeSpec()) {
+  Status S = arm(Spec);
+  if (!S)
+    throw std::runtime_error(S.takeError().str());
+}
+
+ScopedFaults::~ScopedFaults() {
+  disarm();
+  if (!Previous.empty())
+    (void)arm(Previous);
+}
+
+} // namespace fault
+} // namespace relc

@@ -1,0 +1,140 @@
+//===- support/Fault.h - Deterministic fault injection ----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// relc::fault — a first-class, seed-driven fault-injection registry,
+// promoted from the pipeline's ad-hoc test-only TamperHook. Production
+// subsystems expose named *injection sites* (certificate-cache I/O,
+// scheduler job boundaries, certification-layer entry, interpreter fuel)
+// and consult the registry at each; tests and operators arm it with a
+// textual spec (`relc-gen --fault <spec>` or the RELC_FAULT_SPEC
+// environment variable) to drive the fault-matrix stress suite.
+//
+// Spec grammar — comma-separated clauses, each:
+//
+//   <site>[:transient|:persistent][:p=<prob>][:n=<count>]
+//         [:seed=<u64>][:match=<substr>][:v=<u64>]
+//
+//   site       cache-read | cache-write | sched-job | layer-entry
+//              | interp-fuel
+//   transient  (default) the site fails the first n times a given key
+//              hits it, then heals — retry loops must absorb it.
+//   persistent every hit fails — the pipeline must degrade to a *named*
+//              outcome carrying the injected fault's description.
+//   p=<prob>   probability in [0,1] that a given (site, key) is targeted
+//              at all, decided deterministically by hashing (seed, site,
+//              key) — the same spec always faults the same keys.
+//   n=<count>  transient mode: failures per key before healing (def. 1).
+//   seed=<u64> participates in the targeting hash.
+//   match=<s>  only keys containing <s> are targeted.
+//   v=<u64>    site-specific payload (interp-fuel: the starved fuel
+//              value; default 16).
+//
+// Determinism contract: whether a hit fires depends only on (spec, site,
+// key, per-key hit ordinal) — never on wall time, thread identity, or
+// global call order — so a faulted parallel run and a faulted serial run
+// see identical injections, preserving the pipeline's byte-identity
+// guarantees under test.
+//
+// The un-armed fast path is one relaxed atomic load; sites can stay in
+// production code without measurable overhead (bench/pipeline_scaling).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_FAULT_H
+#define RELC_SUPPORT_FAULT_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace relc {
+namespace fault {
+
+/// The injection sites the pipeline exposes.
+enum class Site : uint8_t {
+  CacheRead,    ///< Certificate-cache lookup I/O ("cache-read").
+  CacheWrite,   ///< Certificate-cache store I/O ("cache-write").
+  SchedulerJob, ///< Job-graph job boundary ("sched-job").
+  LayerEntry,   ///< Certification-layer entry ("layer-entry").
+  InterpFuel,   ///< Bedrock2 interpreter fuel ("interp-fuel").
+};
+constexpr unsigned NumSites = 5;
+
+const char *siteName(Site S);
+bool siteFromName(const std::string &Name, Site *Out);
+
+/// One parsed spec clause.
+struct Clause {
+  Site TheSite = Site::CacheRead;
+  bool Persistent = false; ///< Default transient.
+  unsigned Count = 1;      ///< Transient: failures per key before healing.
+  uint64_t Seed = 0;
+  double Prob = 1.0;
+  std::string Match;
+  uint64_t Value = 0;
+};
+
+/// A fired injection, returned to the site so it can fail accordingly
+/// (and name the fault in its degraded outcome).
+struct Hit {
+  Site TheSite = Site::CacheRead;
+  std::string Key;
+  unsigned Occurrence = 0; ///< 0-based per-(site, key) ordinal.
+  bool Transient = true;
+  uint64_t Value = 0;
+
+  /// "injected transient cache-write fault at 'deadbeef…' (hit #0)" —
+  /// the exact text the fault-matrix suite greps degraded outcomes for.
+  std::string describe() const;
+};
+
+/// Parses \p Spec and arms the process-wide registry (replacing any
+/// previous spec). An empty spec disarms. Failure leaves the previous
+/// arming untouched.
+Status arm(const std::string &Spec);
+
+/// Arms from RELC_FAULT_SPEC when set and nonempty; returns the status of
+/// that arming (success when the variable is unset).
+Status armFromEnv();
+
+/// Disarms and clears all per-key hit counters.
+void disarm();
+
+bool armed();
+std::string activeSpec();
+
+/// Consults the registry: does this hit of (\p S, \p Key) fail? Advances
+/// the per-key ordinal when a clause fires. Null when un-armed, the key
+/// is not targeted, or a transient clause has healed.
+std::optional<Hit> fire(Site S, const std::string &Key);
+
+/// The retrying form sites use directly: re-fires up to \p MaxAttempts
+/// times, absorbing transient hits (each re-fire consumes one). Returns
+/// the Hit only when the fault persists past the retries — i.e. exactly
+/// when the caller must degrade.
+std::optional<Hit> fireWithRetry(Site S, const std::string &Key,
+                                 unsigned MaxAttempts = 4);
+
+/// RAII arming for tests: arms on construction, restores the previous
+/// spec (and clears counters) on destruction.
+class ScopedFaults {
+public:
+  explicit ScopedFaults(const std::string &Spec);
+  ~ScopedFaults();
+  ScopedFaults(const ScopedFaults &) = delete;
+  ScopedFaults &operator=(const ScopedFaults &) = delete;
+
+private:
+  std::string Previous;
+};
+
+} // namespace fault
+} // namespace relc
+
+#endif // RELC_SUPPORT_FAULT_H

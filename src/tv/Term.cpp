@@ -80,6 +80,11 @@ bool TermGraph::sameNode(const TermNode &A, const TermNode &B) const {
 }
 
 TermId TermGraph::intern(TermNode N) {
+  // Every normalizing constructor funnels through here, so this one check
+  // bounds the whole normalization engine (guard::Budget's step is a
+  // relaxed fetch_add — negligible next to the hashing below).
+  if (TheBudget)
+    TheBudget->stepOrThrow();
   N.Hash = hashNode(N);
   auto It = Interned.find(N.Hash);
   if (It != Interned.end())

@@ -55,6 +55,7 @@
 
 #include "bedrock/Ast.h"
 #include "solver/Linear.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <map>
@@ -168,6 +169,12 @@ public:
   /// Registers entry-symbol facts consulted by the upper-bound oracle.
   void setEntryFacts(const solver::FactDb *Db) { EntryFacts = Db; }
 
+  /// Arms a cooperative budget: every intern() — the funnel all
+  /// normalizing constructors pass through — charges one step, and
+  /// exhaustion raises guard::BudgetExhausted, caught at the TV layer
+  /// boundary and turned into an Inconclusive verdict. Null disarms.
+  void setBudget(const guard::Budget *B) { TheBudget = B; }
+
   /// Affine decomposition of \p T (always succeeds; worst case the whole
   /// term is a single atom with coefficient 1).
   AffineView affine(TermId T) const;
@@ -190,6 +197,7 @@ private:
   std::map<uint64_t, std::vector<TermId>> Interned; ///< Hash -> candidates.
   std::map<TermId, FoldInfo> Folds;
   const solver::FactDb *EntryFacts = nullptr;
+  const guard::Budget *TheBudget = nullptr;
   mutable std::map<TermId, std::optional<uint64_t>> UbMemo;
 
   TermId intern(TermNode N);

@@ -223,10 +223,13 @@ struct SrcLoopRec {
 class Validator {
 public:
   Validator(const ir::SourceFn &Src, const sep::FnSpec &Spec,
-            const bedrock::Function &Fn, const analysis::EntryFactList &Hints)
+            const bedrock::Function &Fn, const analysis::EntryFactList &Hints,
+            const guard::Budget *Budget)
       : Src(Src), Spec(Spec), Fn(Fn),
-        Abi(analysis::makeAbiInfo(Fn, Spec, Src, Hints)) {
+        Abi(analysis::makeAbiInfo(Fn, Spec, Src, Hints)), Budget(Budget) {
     G.setEntryFacts(&Abi.EntryFacts);
+    G.setBudget(Budget);
+    Abi.EntryFacts.setBudget(Budget);
   }
 
   TvReport run() {
@@ -246,6 +249,13 @@ public:
     } catch (const Abort &A) {
       Rep.TheVerdict = A.V;
       Rep.Reason = A.Reason;
+    } catch (const guard::BudgetExhausted &E) {
+      // Exhaustion is a refusal, never a wrong answer: the validator
+      // stops claiming anything and certification falls through to the
+      // differential layer (§4.7).
+      Rep.TheVerdict = Verdict::Inconclusive;
+      Rep.Reason = std::string("translation validation ") + E.what();
+      Rep.BudgetExhausted = true;
     }
     Rep.NumTerms = unsigned(G.size());
     return Rep;
@@ -256,6 +266,7 @@ private:
   const sep::FnSpec &Spec;
   const bedrock::Function &Fn;
   analysis::AbiInfo Abi;
+  const guard::Budget *Budget = nullptr;
   TermGraph G;
   TvReport Rep;
 
@@ -1101,6 +1112,11 @@ private:
     };
 
     std::function<bool(unsigned)> Search = [&](unsigned J) -> bool {
+      // The bijection search is the one place TV can blow up without
+      // interning anything on the prune path, so charge it explicitly:
+      // a factorial candidate space must still hit the budget.
+      if (Budget)
+        Budget->stepOrThrow();
       if (J == N)
         return CheckAssignment();
       for (size_t CI = 0; CI < Cands.size(); ++CI) {
@@ -1285,8 +1301,9 @@ std::string TvReport::str() const {
 
 TvReport validateTranslation(const ir::SourceFn &Src, const sep::FnSpec &Spec,
                              const bedrock::Function &Fn,
-                             const analysis::EntryFactList &Hints) {
-  Validator V(Src, Spec, Fn, Hints);
+                             const analysis::EntryFactList &Hints,
+                             const guard::Budget *Budget) {
+  Validator V(Src, Spec, Fn, Hints, Budget);
   return V.run();
 }
 

@@ -57,6 +57,7 @@
 #include "bedrock/Ast.h"
 #include "ir/Prog.h"
 #include "sep/Spec.h"
+#include "support/Budget.h"
 
 #include <string>
 #include <vector>
@@ -118,6 +119,12 @@ struct TvReport {
   std::vector<BindingRecord> Bindings;
   std::vector<LoopRecord> Loops;
   unsigned NumTerms = 0; ///< Size of the shared term graph.
+  /// True when the verdict is Inconclusive *because* a guard::Budget ran
+  /// out (deadline or step limit), not because the program is outside the
+  /// validated fragment. The pipeline reports this as a Degraded layer
+  /// (DESIGN.md §4.7): certification falls through to the differential
+  /// layer, and the outcome is never cached.
+  bool BudgetExhausted = false;
 
   bool proved() const { return TheVerdict == Verdict::Proved; }
   bool refuted() const { return TheVerdict == Verdict::Refuted; }
@@ -132,9 +139,15 @@ struct TvReport {
 /// \p Spec. \p Hints are the compile-time entry facts (the same list the
 /// compiler and analyzer assumed). Never fails hard: unsupported
 /// constructs yield Verdict::Inconclusive with a reason.
+///
+/// \p Budget, when non-null, bounds the run cooperatively: term-graph
+/// interning and the loop-match bijection search charge steps against it,
+/// and exhaustion yields Verdict::Inconclusive with
+/// TvReport::BudgetExhausted set — a refusal, never a wrong accept.
 TvReport validateTranslation(const ir::SourceFn &Src, const sep::FnSpec &Spec,
                              const bedrock::Function &Fn,
-                             const analysis::EntryFactList &Hints = {});
+                             const analysis::EntryFactList &Hints = {},
+                             const guard::Budget *Budget = nullptr);
 
 } // namespace tv
 } // namespace relc

@@ -9,6 +9,8 @@
 
 #include "analysis/Analysis.h"
 #include "pipeline/Scheduler.h"
+#include "support/Budget.h"
+#include "support/Fault.h"
 #include "support/StringExtras.h"
 #include "tv/Tv.h"
 
@@ -238,12 +240,16 @@ int returnIndex(const ir::SourceFn &Fn, const std::string &Name) {
   return -1;
 }
 
-/// Runs one differential vector. \p VecTag identifies it in errors.
+/// Runs one differential vector. \p VecTag identifies it in errors. When
+/// the vector fails *because of an injected fault* (not a genuine
+/// divergence), \p InjectedFault is set so the caller can classify the
+/// failure as degraded rather than genuine.
 Status runVector(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                  const bedrock::Module &Linked,
                  const ValidationOptions &Opts, std::vector<Value> Inputs,
                  const std::vector<uint64_t> &Tape, uint64_t SrcSeed,
-                 uint64_t TgtSeed, const std::string &VecTag) {
+                 uint64_t TgtSeed, const std::string &VecTag,
+                 bool *InjectedFault = nullptr) {
   // Enforce the requires clause: length arguments equal their array's
   // length (inputs violating the precondition are out of contract).
   for (const sep::ArgSpec &A : Spec.Args) {
@@ -321,12 +327,34 @@ Status runVector(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
   bedrock::TapeEnv Env(Tape);
   bedrock::ExecOptions EO;
   EO.NondetSeed = TgtSeed;
+  if (Opts.InterpFuel)
+    EO.Fuel = Opts.InterpFuel;
+  // Fault site: starve the interpreter of fuel. Transient hits are
+  // absorbed by the retry allowance (no starvation happens); a persistent
+  // hit starves the run, and the fuel diagnostic below names the injection.
+  std::optional<fault::Hit> FuelFault =
+      fault::fireWithRetry(fault::Site::InterpFuel, Spec.TargetName);
+  if (FuelFault)
+    EO.Fuel = FuelFault->Value ? FuelFault->Value : 16;
   bedrock::Interp Interp(Linked, Env, EO);
   Result<std::vector<bedrock::Word>> Rets =
       Interp.callFunction(St, Spec.TargetName, Args);
-  if (!Rets)
-    return Rets.takeError().note("target semantics failed on vector " +
-                                 VecTag);
+  if (!Rets) {
+    Error E = Rets.takeError();
+    if (Interp.hitFuelLimit()) {
+      // Name the starvation: an out-of-fuel run is indistinguishable from
+      // divergence to the caller otherwise, and graceful degradation
+      // requires the budget (and any injected fault) to be identifiable.
+      E.note("the Bedrock2 interpreter exhausted its fuel budget (" +
+             std::to_string(EO.Fuel) + " steps)");
+      if (FuelFault) {
+        E.note(FuelFault->describe());
+        if (InjectedFault)
+          *InjectedFault = true;
+      }
+    }
+    return E.note("target semantics failed on vector " + VecTag);
+  }
 
   //--- Collect target outputs.
   TargetOutputs Out;
@@ -473,7 +501,10 @@ Status runVector(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
 Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                            const core::CompileResult &Compiled,
                            const bedrock::Module &Linked,
-                           const ValidationOptions &Opts) {
+                           const ValidationOptions &Opts,
+                           bool *BudgetExhausted) {
+  if (BudgetExhausted)
+    *BudgetExhausted = false;
   Status WF = bedrock::verifyModule(Linked);
   if (!WF)
     return WF.takeError().note("linked module is not well formed");
@@ -485,10 +516,25 @@ Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
     if (!Linked.find(Callee))
       return Error("linked module lacks external callee '" + Callee + "'");
 
+  std::optional<guard::Budget> B;
+  if (Opts.LayerTimeoutMs)
+    B.emplace(Opts.LayerTimeoutMs, /*StepLimit=*/0);
+  const unsigned Total = unsigned(Opts.Sizes.size()) * Opts.VectorsPerSize;
+
   Rng R(Opts.Seed);
   unsigned Vec = 0;
   for (size_t Size : Opts.Sizes) {
     for (unsigned K = 0; K < Opts.VectorsPerSize; ++K, ++Vec) {
+      // Deadline check between vectors (checkpoint polls the clock
+      // unconditionally — vectors are coarse units, a counter heuristic
+      // would let one slow vector overshoot by its whole runtime).
+      if (B && !B->checkpoint()) {
+        if (BudgetExhausted)
+          *BudgetExhausted = true;
+        return Error("differential certification " + B->describe() +
+                     " after " + std::to_string(Vec) + " of " +
+                     std::to_string(Total) + " vectors");
+      }
       std::vector<Value> Inputs = Opts.MakeInputs
                                       ? Opts.MakeInputs(Fn, R, Size)
                                       : defaultInputs(Fn, R, Size);
@@ -500,10 +546,18 @@ Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
       // predicate, not equality, is checked).
       std::string Tag = "#" + std::to_string(Vec) + " (size " +
                         std::to_string(Size) + ")";
+      bool Injected = false;
       Status Ok = runVector(Fn, Spec, Linked, Opts, std::move(Inputs), Tape,
-                            /*SrcSeed=*/R.next(), /*TgtSeed=*/R.next(), Tag);
-      if (!Ok)
+                            /*SrcSeed=*/R.next(), /*TgtSeed=*/R.next(), Tag,
+                            &Injected);
+      if (!Ok) {
+        // A fault-injected failure is a degraded outcome, not a genuine
+        // divergence: report it through the same out-flag as budget
+        // exhaustion so the pipeline marks the layer Degraded.
+        if (Injected && BudgetExhausted)
+          *BudgetExhausted = true;
         return Ok;
+      }
     }
   }
   return Status::success();
@@ -522,8 +576,11 @@ Error analysisRejection(const std::string &TargetName,
 Status analyzeTarget(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                      const core::CompileResult &Compiled,
                      const ValidationOptions &Opts) {
+  std::optional<guard::Budget> B;
+  if (Opts.LayerTimeoutMs)
+    B.emplace(Opts.LayerTimeoutMs, /*StepLimit=*/0);
   analysis::AnalysisReport Report = analysis::analyzeProgram(
-      Compiled.Fn, Spec, Fn, Opts.Hints.EntryFacts);
+      Compiled.Fn, Spec, Fn, Opts.Hints.EntryFacts, B ? &*B : nullptr);
   // Certification fails on errors (unprovable bounds, uninitialized reads,
   // non-convergence). Warnings — dead stores, unreachable branches — do
   // not fail it: a model with a dead let or a statically-decided branch
@@ -548,8 +605,11 @@ Error tvRejection(const tv::TvReport &Rep) {
 Status translationValidate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                            const core::CompileResult &Compiled,
                            const ValidationOptions &Opts) {
-  tv::TvReport Rep = tv::validateTranslation(Fn, Spec, Compiled.Fn,
-                                             Opts.Hints.EntryFacts);
+  std::optional<guard::Budget> B;
+  if (Opts.LayerTimeoutMs || Opts.TvStepBudget)
+    B.emplace(Opts.LayerTimeoutMs, Opts.TvStepBudget);
+  tv::TvReport Rep = tv::validateTranslation(
+      Fn, Spec, Compiled.Fn, Opts.Hints.EntryFacts, B ? &*B : nullptr);
   // Only a refuted equivalence fails certification: it is a static proof
   // of a miscompilation. Inconclusive means the program is outside the
   // validated fragment and the sampled layer carries the certification.

@@ -109,6 +109,23 @@ struct ValidationOptions {
   /// diagnostics are identical either way: failures are reported in the
   /// fixed layer order, not completion order.
   unsigned Jobs = 1;
+
+  //===------------------------------------------------------------------===//
+  // Robustness guards (DESIGN.md §4.7). Exhaustion of any of these maps
+  // only to a *refusal* — an Inconclusive verdict, an analysis error, or a
+  // differential failure naming the budget — never to a wrong accept.
+  //===------------------------------------------------------------------===//
+
+  /// Wall-clock deadline, in milliseconds, for each certification layer
+  /// (analysis, tv, and the differential vector loop each get their own
+  /// fresh deadline). 0 = unlimited.
+  unsigned LayerTimeoutMs = 0;
+  /// Step budget for the symbolic validator: caps term-graph interning plus
+  /// bijection-search nodes. 0 = unlimited.
+  uint64_t TvStepBudget = 0;
+  /// Override for the Bedrock2 interpreter's fuel during differential
+  /// certification. 0 = the interpreter default.
+  uint64_t InterpFuel = 0;
 };
 
 /// Layer 1: replays the derivation witness. Independent of the search
@@ -139,10 +156,19 @@ Status translationValidate(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
 /// Layer 4: differential certification of \p Compiled (linked against
 /// \p Linked, which must contain every external callee) against \p Fn's
 /// reference semantics under ABI \p Spec.
+///
+/// With Opts.LayerTimeoutMs set, the vector loop checks a deadline between
+/// vectors; exceeding it fails with a diagnostic naming the budget and how
+/// many vectors completed, and sets *\p BudgetExhausted (when non-null) so
+/// the pipeline can classify the failure as Degraded rather than genuine.
+/// The same flag is set when a vector fails because an injected fault
+/// (relc::fault interp-fuel) starved the interpreter: the diagnostic names
+/// the injection and the outcome is degraded, not a genuine divergence.
 Status differentialCertify(const ir::SourceFn &Fn, const sep::FnSpec &Spec,
                            const core::CompileResult &Compiled,
                            const bedrock::Module &Linked,
-                           const ValidationOptions &Opts = {});
+                           const ValidationOptions &Opts = {},
+                           bool *BudgetExhausted = nullptr);
 
 /// All layers: replay, static analysis, translation validation,
 /// differential testing.

@@ -7,12 +7,33 @@
 
 #include "pipeline/CertCache.h"
 #include "pipeline/Hash.h"
+#include "support/Fault.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+// fork() is unsupported under ThreadSanitizer; detect it for both
+// compilers (clang: __has_feature, gcc: __SANITIZE_THREAD__).
+#if defined(__SANITIZE_THREAD__)
+#define RELC_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RELC_UNDER_TSAN 1
+#endif
+#endif
+#ifndef RELC_UNDER_TSAN
+#define RELC_UNDER_TSAN 0
+#endif
 
 using namespace relc;
 using namespace relc::pipeline;
@@ -219,5 +240,153 @@ TEST(CertCacheTest, DisabledCacheAlwaysMisses) {
       Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
   EXPECT_EQ(Stats.Misses, 1u);
 }
+
+//===----------------------------------------------------------------------===//
+// Crash- and concurrency-safety (ISSUE 5): unique temp names, stale-temp
+// sweeping, fault-injected I/O, and multi-process exclusion.
+//===----------------------------------------------------------------------===//
+
+unsigned countTemps(const std::string &Dir) {
+  unsigned N = 0;
+  std::error_code EC;
+  for (const auto &Ent : std::filesystem::directory_iterator(Dir, EC))
+    if (Ent.path().filename().string().find(".cert.json.tmp") !=
+        std::string::npos)
+      ++N;
+  return N;
+}
+
+TEST(CertCacheTest, StoreLeavesNoTempBehind) {
+  TempDir D("no-temps");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  EXPECT_EQ(countTemps(D.Path), 0u);
+  EXPECT_TRUE(Cache.lookup(sampleKey(), sampleEntry().OptsHash).has_value());
+}
+
+TEST(CertCacheTest, SweepRemovesOrphanedTempsOnly) {
+  TempDir D("sweep");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  // Fake debris from a crashed writer: both the legacy fixed ".tmp" name
+  // and the current unique-suffix shape.
+  std::string Stem = sampleKey().fileStem();
+  std::ofstream(D.Path + "/" + Stem + ".cert.json.tmp") << "torn";
+  std::ofstream(D.Path + "/" + Stem + ".cert.json.tmp.12345.0") << "torn";
+  EXPECT_EQ(countTemps(D.Path), 2u);
+  // MaxAge 0: sweep unconditionally.
+  EXPECT_EQ(Cache.sweepStaleTemps(std::chrono::seconds(0)), 2u);
+  EXPECT_EQ(countTemps(D.Path), 0u);
+  // The real entry survived.
+  EXPECT_TRUE(Cache.lookup(sampleKey(), sampleEntry().OptsHash).has_value());
+}
+
+TEST(CertCacheTest, SweepSparesYoungTemps) {
+  TempDir D("sweep-young");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  std::string Stem = sampleKey().fileStem();
+  std::ofstream(D.Path + "/" + Stem + ".cert.json.tmp.999.0") << "inflight";
+  // A just-written temp may belong to a live writer: the default
+  // conservative age must not touch it.
+  EXPECT_EQ(Cache.sweepStaleTemps(), 0u);
+  EXPECT_EQ(countTemps(D.Path), 1u);
+}
+
+TEST(CertCacheTest, TransientWriteFaultAbsorbedByRetry) {
+  TempDir D("write-transient");
+  CertCache Cache(D.Path);
+  fault::ScopedFaults Armed("cache-write:transient:n=2");
+  CacheStats Stats;
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry(), &Stats)));
+  EXPECT_EQ(Stats.Stores, 1u);
+  EXPECT_EQ(countTemps(D.Path), 0u);
+  EXPECT_TRUE(Cache.lookup(sampleKey(), sampleEntry().OptsHash).has_value());
+}
+
+TEST(CertCacheTest, PersistentWriteFaultFailsNamedAndClean) {
+  TempDir D("write-persistent");
+  CertCache Cache(D.Path);
+  fault::ScopedFaults Armed("cache-write:persistent");
+  Status S = Cache.store(sampleKey(), sampleEntry());
+  ASSERT_FALSE(bool(S));
+  std::string Text = S.error().str();
+  EXPECT_NE(Text.find("failed after 4 attempts"), std::string::npos);
+  EXPECT_NE(Text.find("injected persistent cache-write fault"),
+            std::string::npos);
+  EXPECT_EQ(countTemps(D.Path), 0u); // No debris on failure.
+}
+
+TEST(CertCacheTest, PersistentReadFaultDegradesToMiss) {
+  TempDir D("read-fault");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  fault::ScopedFaults Armed("cache-read:persistent");
+  CacheStats Stats;
+  // A read fault costs a re-derivation, never a wrong verdict: plain miss.
+  EXPECT_FALSE(
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.CorruptDiscarded, 0u); // The entry is fine; not deleted.
+}
+
+TEST(CertCacheTest, OpenSweepsStaleTemps) {
+  TempDir D("open-sweep");
+  std::filesystem::create_directories(D.Path);
+  std::string Stale = D.Path + "/" + sampleKey().fileStem() +
+                      ".cert.json.tmp.424242.7";
+  std::ofstream(Stale) << "torn";
+  // Age the file past the conservative on-open threshold.
+  std::filesystem::last_write_time(
+      Stale, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::hours(2));
+  CertCache Cache(D.Path);
+  EXPECT_EQ(countTemps(D.Path), 0u);
+}
+
+#if !defined(_WIN32) && !RELC_UNDER_TSAN
+TEST(CertCacheTest, MultiProcessWritersNeverTearEntries) {
+  // Several processes hammer the same key concurrently; every writer
+  // either succeeds atomically or fails cleanly, and the surviving entry
+  // always parses with a valid integrity hash. (fork() is unsupported
+  // under TSan, hence the guard above.)
+  TempDir D("multiproc");
+  CertCache Parent(D.Path);
+  constexpr int Writers = 8, Rounds = 25;
+  std::vector<pid_t> Pids;
+  for (int W = 0; W < Writers; ++W) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Child: distinct Program text per writer makes torn mixes visible.
+      CertCache Cache(D.Path);
+      CertEntry E = sampleEntry();
+      E.Program = "writer" + std::to_string(W);
+      bool AllOk = true;
+      for (int R = 0; R < Rounds; ++R)
+        AllOk = AllOk && bool(Cache.store(sampleKey(), E));
+      _exit(AllOk ? 0 : 1);
+    }
+    Pids.push_back(Pid);
+  }
+  for (pid_t Pid : Pids) {
+    int WStatus = 0;
+    ASSERT_EQ(waitpid(Pid, &WStatus, 0), Pid);
+    EXPECT_TRUE(WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 0);
+  }
+  // Whatever interleaving happened, the entry on disk is whole.
+  CertKey K;
+  std::ifstream In(D.Path + "/" + sampleKey().fileStem() + ".cert.json",
+                   std::ios::binary);
+  ASSERT_TRUE(bool(In));
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::optional<CertEntry> E = CertCache::deserialize(Buf.str(), &K);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_TRUE(K == sampleKey());
+  EXPECT_EQ(E->Program.rfind("writer", 0), 0u);
+  EXPECT_EQ(countTemps(D.Path), 0u);
+}
+#endif
 
 } // namespace

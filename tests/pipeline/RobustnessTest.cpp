@@ -1,0 +1,270 @@
+//===- tests/pipeline/RobustnessTest.cpp - Guards and degradation ----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// DESIGN.md §4.7 end-to-end: budget exhaustion and injected faults degrade
+// certification layers gracefully — a named refusal, never a hang, a wrong
+// accept, a cached degraded verdict, or a poisoned sibling. Serial and
+// parallel runs report degraded outcomes byte-identically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "support/Fault.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace relc;
+using namespace relc::pipeline;
+
+namespace {
+
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const std::string &Name) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("relc-robustness-test-" + Name))
+               .string();
+    std::filesystem::remove_all(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+std::vector<const programs::ProgramDef *> suite() {
+  std::vector<const programs::ProgramDef *> Out;
+  for (const programs::ProgramDef &P : programs::allPrograms())
+    Out.push_back(&P);
+  return Out;
+}
+
+TEST(RobustnessTest, TvStepBudgetDegradesToInconclusiveAndIsNeverCached) {
+  const programs::ProgramDef *P = programs::findProgram("fnv1a");
+  ASSERT_NE(P, nullptr);
+  TempDir D("tvbudget");
+  PipelineOptions Opts;
+  Opts.CacheDir = D.Path;
+  Opts.TvStepBudget = 50; // fnv1a's TV interns well over 50 terms.
+  PipelineStats Stats;
+  std::vector<ProgramOutcome> Out = certifyPrograms({P}, Opts, &Stats);
+  ASSERT_EQ(Out.size(), 1u);
+  const ProgramOutcome &O = Out[0];
+
+  // Exhaustion is a refusal, not a wrong answer: TV degrades to
+  // Inconclusive (which passes) and the differential layer carries the
+  // certification, so the program is still ok — but flagged degraded.
+  EXPECT_TRUE(O.ok());
+  EXPECT_TRUE(O.Tv.Ran);
+  EXPECT_TRUE(O.Tv.Ok); // Inconclusive is not Refuted.
+  EXPECT_TRUE(O.Tv.Degraded);
+  EXPECT_TRUE(O.TvRep.BudgetExhausted);
+  EXPECT_EQ(O.TvVerdictName, "inconclusive");
+  EXPECT_NE(O.TvRep.Reason.find("budget"), std::string::npos)
+      << O.TvRep.Reason;
+  EXPECT_TRUE(O.Diff.Ran && O.Diff.Ok);
+  EXPECT_TRUE(O.anyDegraded());
+  EXPECT_NE(O.firstDegradedNote().find("translation validation"),
+            std::string::npos)
+      << O.firstDegradedNote();
+
+  // A budget-truncated verdict must never be reused.
+  EXPECT_EQ(Stats.Cache.Stores, 0u);
+
+  // At full strength (different options hash -> miss) the same program
+  // re-certifies completely and only then is cached.
+  PipelineOptions Full;
+  Full.CacheDir = D.Path;
+  PipelineStats FullStats;
+  std::vector<ProgramOutcome> Again = certifyPrograms({P}, Full, &FullStats);
+  ASSERT_EQ(Again.size(), 1u);
+  EXPECT_TRUE(Again[0].ok());
+  EXPECT_FALSE(Again[0].anyDegraded());
+  EXPECT_FALSE(Again[0].CacheHit);
+  EXPECT_EQ(Again[0].TvVerdictName, "proved");
+  EXPECT_EQ(FullStats.Cache.Stores, 1u);
+}
+
+TEST(RobustnessTest, DeadlineExhaustionIsNeverAGenuineFailure) {
+  // A 1ms per-layer deadline on the full suite: on a fast machine some
+  // layers finish anyway, on a slow one they all time out. Either way the
+  // guard may only *refuse* — every non-ok outcome must be degraded-only,
+  // with a diagnostic naming the budget. (This also bounds wall-clock:
+  // the whole suite completes instead of hanging.)
+  PipelineOptions Opts;
+  Opts.LayerTimeoutMs = 1;
+  Opts.Jobs = 4;
+  std::vector<ProgramOutcome> Out = certifyPrograms(suite(), Opts);
+  ASSERT_EQ(Out.size(), suite().size());
+  for (const ProgramOutcome &O : Out) {
+    EXPECT_TRUE(O.ok() || O.failureIsDegradedOnly())
+        << O.Def->Name << ": " << O.ValidationError;
+    if (!O.ok()) {
+      EXPECT_FALSE(O.ValidationError.empty()) << O.Def->Name;
+    }
+  }
+}
+
+TEST(RobustnessTest, AdversarialTvBlowupFallsThroughToDifferential) {
+  // Adversarial input for the symbolic validator: semantically inert decoy
+  // assignments bloat the term graph far past the step budget. Replay is
+  // witness-only and analysis only warns about dead stores, so with the
+  // budget in place TV degrades to Inconclusive and the differential layer
+  // still certifies the (correct) code — within the deadline.
+  const programs::ProgramDef *P = programs::findProgram("fnv1a");
+  ASSERT_NE(P, nullptr);
+  TamperHook Bloat = [](const programs::ProgramDef &Def,
+                        core::CompileResult &R) {
+    if (Def.Name != "fnv1a")
+      return;
+    for (int I = 0; I < 32; ++I)
+      R.Fn.Body = bedrock::seq(
+          R.Fn.Body, bedrock::set("decoy" + std::to_string(I),
+                                  bedrock::lit(bedrock::Word(I) * 7)));
+  };
+  PipelineOptions Opts;
+  Opts.TvStepBudget = 40;
+  Opts.LayerTimeoutMs = 60000;
+  std::vector<ProgramOutcome> Out =
+      certifyPrograms({P}, Opts, nullptr, Bloat);
+  ASSERT_EQ(Out.size(), 1u);
+  const ProgramOutcome &O = Out[0];
+  EXPECT_TRUE(O.ok()) << O.ValidationError;
+  EXPECT_TRUE(O.Replay.Ok);
+  EXPECT_TRUE(O.Analysis.Ok);
+  EXPECT_TRUE(O.Tv.Degraded);
+  EXPECT_TRUE(O.TvRep.BudgetExhausted);
+  EXPECT_EQ(O.TvVerdictName, "inconclusive");
+  EXPECT_TRUE(O.Diff.Ran && O.Diff.Ok);
+  EXPECT_TRUE(O.anyDegraded());
+}
+
+TEST(RobustnessTest, FuelExhaustionSurfacesNamedDiagnosticAtEveryWidth) {
+  // A genuinely fuel-starved interpreter (config, not fault injection) is
+  // a real certification failure — and its diagnostic names the budget all
+  // the way through layer 4, byte-identically at -j 1 and -j 4.
+  const programs::ProgramDef *Base = programs::findProgram("fnv1a");
+  const programs::ProgramDef *Sibling = programs::findProgram("upstr");
+  ASSERT_NE(Base, nullptr);
+  ASSERT_NE(Sibling, nullptr);
+  programs::ProgramDef Starved = *Base;
+  Starved.VOpts.InterpFuel = 8; // Far too little for any real vector.
+
+  PipelineOptions Serial, Parallel;
+  Parallel.Jobs = 4;
+  std::vector<ProgramOutcome> S =
+      certifyPrograms({&Starved, Sibling}, Serial);
+  std::vector<ProgramOutcome> Par =
+      certifyPrograms({&Starved, Sibling}, Parallel);
+  ASSERT_EQ(S.size(), 2u);
+  ASSERT_EQ(Par.size(), 2u);
+
+  for (const std::vector<ProgramOutcome> *Run : {&S, &Par}) {
+    const ProgramOutcome &O = (*Run)[0];
+    EXPECT_FALSE(O.ok());
+    // Config-driven starvation is genuine, not degraded: nothing was
+    // injected, the options simply don't allow certification.
+    EXPECT_FALSE(O.failureIsDegradedOnly());
+    EXPECT_NE(O.ValidationError.find(
+                  "the Bedrock2 interpreter exhausted its fuel budget "
+                  "(8 steps)"),
+              std::string::npos)
+        << O.ValidationError;
+    EXPECT_NE(O.ValidationError.find("target semantics failed on vector"),
+              std::string::npos);
+    // The sibling is untouched.
+    EXPECT_TRUE((*Run)[1].ok()) << (*Run)[1].ValidationError;
+  }
+  // Byte-identical reporting regardless of scheduler width.
+  EXPECT_EQ(S[0].ValidationError, Par[0].ValidationError);
+  EXPECT_EQ(S[1].ValidationError, Par[1].ValidationError);
+  EXPECT_EQ(S[0].TvCertJson, Par[0].TvCertJson);
+}
+
+TEST(RobustnessTest, InjectedFuelFaultIsDegradedAndNamed) {
+  // The same starvation *injected* as a fault is a degraded outcome: the
+  // diagnostic names the injection, --keep-going may reclassify it, and
+  // sibling programs are unaffected.
+  fault::ScopedFaults Armed("interp-fuel:persistent:v=16:match=fnv1a");
+  const programs::ProgramDef *P = programs::findProgram("fnv1a");
+  const programs::ProgramDef *Sibling = programs::findProgram("upstr");
+  ASSERT_NE(P, nullptr);
+  ASSERT_NE(Sibling, nullptr);
+  PipelineOptions Opts;
+  std::vector<ProgramOutcome> Out = certifyPrograms({P, Sibling}, Opts);
+  ASSERT_EQ(Out.size(), 2u);
+  const ProgramOutcome &O = Out[0];
+  EXPECT_FALSE(O.ok());
+  EXPECT_TRUE(O.Diff.Ran);
+  EXPECT_FALSE(O.Diff.Ok);
+  EXPECT_TRUE(O.Diff.Degraded);
+  EXPECT_TRUE(O.failureIsDegradedOnly());
+  EXPECT_NE(O.ValidationError.find("injected persistent interp-fuel fault"),
+            std::string::npos)
+      << O.ValidationError;
+  EXPECT_NE(O.ValidationError.find("fuel budget (16 steps)"),
+            std::string::npos)
+      << O.ValidationError;
+  EXPECT_TRUE(Out[1].ok()) << Out[1].ValidationError;
+}
+
+TEST(RobustnessTest, LayerEntryFaultDegradesNamedAndIsNotCached) {
+  fault::ScopedFaults Armed("layer-entry:persistent:match=fnv1a/tv");
+  const programs::ProgramDef *P = programs::findProgram("fnv1a");
+  ASSERT_NE(P, nullptr);
+  TempDir D("layerentry");
+  PipelineOptions Opts;
+  Opts.CacheDir = D.Path;
+  PipelineStats Stats;
+  std::vector<ProgramOutcome> Out = certifyPrograms({P}, Opts, &Stats);
+  ASSERT_EQ(Out.size(), 1u);
+  const ProgramOutcome &O = Out[0];
+
+  EXPECT_FALSE(O.ok());
+  EXPECT_TRUE(O.failureIsDegradedOnly());
+  EXPECT_TRUE(O.Tv.Degraded);
+  EXPECT_FALSE(O.Tv.Ok);
+  EXPECT_NE(
+      O.Tv.FaultNote.find("injected persistent layer-entry fault at "
+                          "'fnv1a/tv'"),
+      std::string::npos)
+      << O.Tv.FaultNote;
+  EXPECT_NE(O.ValidationError.find("injected persistent layer-entry fault"),
+            std::string::npos)
+      << O.ValidationError;
+  // The other layers ran and passed: the fault poisons one layer, not the
+  // whole chain.
+  EXPECT_TRUE(O.Replay.Ok);
+  EXPECT_TRUE(O.Analysis.Ok);
+  // Fault-shadowed verdicts are never cached.
+  EXPECT_EQ(Stats.Cache.Stores, 0u);
+}
+
+TEST(RobustnessTest, TransientFaultsWithinRetryAllowanceAreInvisible) {
+  // A transient fault that heals within the retry allowance leaves no
+  // trace at all: same outcome as a clean run.
+  const programs::ProgramDef *P = programs::findProgram("fnv1a");
+  ASSERT_NE(P, nullptr);
+  PipelineOptions Opts;
+  std::vector<ProgramOutcome> Clean = certifyPrograms({P}, Opts);
+  fault::ScopedFaults Armed("cache-read:transient:n=1,"
+                            "cache-write:transient:n=1,"
+                            "interp-fuel:transient:n=1");
+  std::vector<ProgramOutcome> Faulted = certifyPrograms({P}, Opts);
+  ASSERT_EQ(Clean.size(), 1u);
+  ASSERT_EQ(Faulted.size(), 1u);
+  EXPECT_TRUE(Faulted[0].ok());
+  EXPECT_FALSE(Faulted[0].anyDegraded());
+  EXPECT_EQ(Faulted[0].ValidationError, Clean[0].ValidationError);
+  EXPECT_EQ(Faulted[0].TvCertJson, Clean[0].TvCertJson);
+  EXPECT_EQ(Faulted[0].TvVerdictName, Clean[0].TvVerdictName);
+}
+
+} // namespace

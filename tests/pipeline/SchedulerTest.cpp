@@ -7,6 +7,8 @@
 
 #include "pipeline/Scheduler.h"
 
+#include "support/Fault.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -173,6 +175,65 @@ TEST(SchedulerTest, RunOnEmptyGraphSucceeds) {
   EXPECT_TRUE(bool(G.run(1)));
   JobGraph G2;
   EXPECT_TRUE(bool(G2.run(8)));
+}
+
+TEST(SchedulerTest, ResolveJobsPassesThroughAndClamps) {
+  EXPECT_EQ(resolveJobs(1), 1u);
+  EXPECT_EQ(resolveJobs(8), 8u);
+  std::string Note;
+  EXPECT_EQ(resolveJobs(4, &Note), 4u);
+  EXPECT_TRUE(Note.empty()); // No surprise, no note.
+  EXPECT_EQ(resolveJobs(100000, &Note), 64u);
+  EXPECT_FALSE(Note.empty());
+}
+
+TEST(SchedulerTest, ResolveJobsZeroMeansHardware) {
+  std::string Note;
+  unsigned N = resolveJobs(0, &Note);
+  EXPECT_GE(N, 1u);
+  EXPECT_LE(N, 64u);
+  // Whatever the hardware reports, -j 0 always explains itself.
+  EXPECT_NE(Note.find("-j 0"), std::string::npos);
+}
+
+TEST(SchedulerTest, RunAcceptsZeroThreads) {
+  // run(0) resolves to hardware concurrency internally; jobs all execute.
+  JobGraph G;
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 16; ++I)
+    G.add("job", [&Ran] { ++Ran; });
+  ASSERT_TRUE(bool(G.run(0)));
+  EXPECT_EQ(Ran, 16);
+}
+
+TEST(SchedulerTest, SchedJobFaultMakesJobThrew) {
+  fault::ScopedFaults Armed("sched-job:persistent:match=victim");
+  JobGraph G;
+  bool VictimRan = false, SiblingRan = false;
+  JobId V = G.add("victim", [&VictimRan] { VictimRan = true; });
+  JobId S = G.add("sibling", [&SiblingRan] { SiblingRan = true; });
+  JobId D = G.add("dependent", [] {}, {V});
+  EXPECT_FALSE(bool(G.run(1)));
+  // The injected fault kills the job at the boundary: its body never ran,
+  // the outcome is Threw with the injection named, dependents are
+  // skipped, and siblings are untouched.
+  EXPECT_FALSE(VictimRan);
+  EXPECT_EQ(G.state(V), JobState::Threw);
+  EXPECT_NE(G.errorOf(V).find("injected persistent sched-job fault"),
+            std::string::npos);
+  EXPECT_EQ(G.state(D), JobState::NotRun);
+  EXPECT_TRUE(SiblingRan);
+  EXPECT_EQ(G.state(S), JobState::Done);
+}
+
+TEST(SchedulerTest, SchedJobTransientFaultIsAbsorbed) {
+  fault::ScopedFaults Armed("sched-job:transient:n=2");
+  JobGraph G;
+  bool Ran = false;
+  JobId J = G.add("job", [&Ran] { Ran = true; });
+  EXPECT_TRUE(bool(G.run(1)));
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(G.state(J), JobState::Done);
 }
 
 } // namespace

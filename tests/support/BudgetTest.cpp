@@ -1,0 +1,139 @@
+//===- tests/support/BudgetTest.cpp - guard::Budget unit tests -------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace relc;
+using namespace relc::guard;
+
+namespace {
+
+TEST(BudgetTest, DefaultIsUnlimited) {
+  Budget B;
+  EXPECT_FALSE(B.limited());
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_TRUE(B.step());
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.state(), Exhaustion::None);
+  EXPECT_EQ(B.stepsUsed(), 10000u);
+}
+
+TEST(BudgetTest, ZeroZeroIsUnlimited) {
+  Budget B(0, 0);
+  EXPECT_FALSE(B.limited());
+  EXPECT_TRUE(B.checkpoint());
+}
+
+TEST(BudgetTest, StepLimitExhaustsAndLatches) {
+  Budget B(0, 100);
+  EXPECT_TRUE(B.limited());
+  unsigned Ok = 0;
+  for (int I = 0; I < 200; ++I)
+    if (B.step())
+      ++Ok;
+  EXPECT_EQ(Ok, 99u); // The 100th step consumes the allowance.
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.state(), Exhaustion::OutOfSteps);
+  // Latched: it never recovers.
+  EXPECT_FALSE(B.step());
+  EXPECT_FALSE(B.checkpoint());
+}
+
+TEST(BudgetTest, BulkChargeExhausts) {
+  Budget B(0, 1000);
+  EXPECT_TRUE(B.step(500));
+  EXPECT_FALSE(B.step(500)); // Reaches the limit exactly.
+  EXPECT_EQ(B.state(), Exhaustion::OutOfSteps);
+}
+
+TEST(BudgetTest, ExpiredDeadlineTripsCheckpoint) {
+  // A 0-step... we cannot pass 0 (that disables the deadline), so use a
+  // 1 ms deadline and wait it out. checkpoint() polls unconditionally.
+  Budget B(1, 0);
+  EXPECT_TRUE(B.limited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(B.checkpoint());
+  EXPECT_EQ(B.state(), Exhaustion::TimedOut);
+  EXPECT_FALSE(B.step()); // Latched.
+}
+
+TEST(BudgetTest, ExpiredDeadlineTripsStepWithin256) {
+  Budget B(1, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // step() only polls on 256-step boundaries; within 257 steps it must
+  // have noticed.
+  bool Tripped = false;
+  for (int I = 0; I < 257 && !Tripped; ++I)
+    Tripped = !B.step();
+  EXPECT_TRUE(Tripped);
+  EXPECT_EQ(B.state(), Exhaustion::TimedOut);
+}
+
+TEST(BudgetTest, StepOrThrowCarriesKindAndText) {
+  Budget B(0, 10);
+  try {
+    for (int I = 0; I < 100; ++I)
+      B.stepOrThrow();
+    FAIL() << "expected BudgetExhausted";
+  } catch (const BudgetExhausted &E) {
+    EXPECT_EQ(E.kind(), Exhaustion::OutOfSteps);
+    EXPECT_NE(std::string(E.what()).find("10-step budget"), std::string::npos);
+  }
+}
+
+TEST(BudgetTest, DescribeNamesTheBound) {
+  Budget Steps(0, 42);
+  while (Steps.step())
+    ;
+  EXPECT_EQ(Steps.describe(), "exhausted its 42-step budget");
+
+  Budget Time(1, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(Time.checkpoint());
+  EXPECT_NE(Time.describe().find("exceeded its 1 ms deadline"),
+            std::string::npos);
+
+  Budget Fresh(1000, 1000);
+  EXPECT_TRUE(Fresh.step());
+  EXPECT_NE(Fresh.describe().find("within its budget"), std::string::npos);
+}
+
+TEST(BudgetTest, ExhaustionNames) {
+  EXPECT_STREQ(exhaustionName(Exhaustion::None), "none");
+  EXPECT_STREQ(exhaustionName(Exhaustion::TimedOut), "timed-out");
+  EXPECT_STREQ(exhaustionName(Exhaustion::OutOfSteps), "out-of-steps");
+}
+
+TEST(BudgetTest, ConcurrentSteppersLatchOnce) {
+  // Many threads hammer one budget; exactly the allowance's worth of
+  // steps succeed overall (single fetch_add accounting), and the latched
+  // state is one of the two exhaustions, stable afterwards.
+  Budget B(0, 10000);
+  std::atomic<uint64_t> Succeeded{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < 5000; ++I)
+        if (B.step())
+          Succeeded.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.state(), Exhaustion::OutOfSteps);
+  // Steps past the limit all failed; successes are below the limit.
+  EXPECT_LT(Succeeded.load(), 10000u);
+  EXPECT_FALSE(B.step());
+}
+
+} // namespace

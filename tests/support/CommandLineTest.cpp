@@ -110,6 +110,17 @@ TEST(CommandLineTest, NumRejectsGarbageAndBelowMin) {
   EXPECT_EQ(H.Jobs, 16u);
 }
 
+TEST(CommandLineTest, NumWithZeroMinAcceptsZero) {
+  // relc-gen/relc-lint declare -j with Min = 0: "-j 0" is valid and means
+  // "use the hardware" (resolved by pipeline::resolveJobs, not here).
+  unsigned Jobs = 1;
+  cl::OptionTable T{"test-tool", "overview"};
+  T.num({"-j", "-jobs"}, &Jobs, 0, "<n>", "job count (0 = hardware)");
+  EXPECT_EQ(parseArgs(T, {"-j", "0"}), cl::ParseResult::Ok);
+  EXPECT_EQ(Jobs, 0u);
+  EXPECT_EQ(parseArgs(T, {"-j", "-1"}), cl::ParseResult::Error);
+}
+
 TEST(CommandLineTest, HelpFlagShortCircuits) {
   Fixture F;
   testing::internal::CaptureStdout();

@@ -1,0 +1,186 @@
+//===- tests/support/FaultTest.cpp - relc::fault registry tests ------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace relc;
+using namespace relc::fault;
+
+namespace {
+
+TEST(FaultTest, UnarmedNeverFires) {
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(fire(Site::CacheRead, "k"));
+  EXPECT_FALSE(fireWithRetry(Site::LayerEntry, "k"));
+}
+
+TEST(FaultTest, SiteNamesRoundTrip) {
+  for (unsigned I = 0; I < NumSites; ++I) {
+    Site S = Site(I), Out;
+    ASSERT_TRUE(siteFromName(siteName(S), &Out)) << siteName(S);
+    EXPECT_EQ(Out, S);
+  }
+  Site Out;
+  EXPECT_FALSE(siteFromName("bogus", &Out));
+}
+
+TEST(FaultTest, ParseErrorsAreNamedAndNonDestructive) {
+  ScopedFaults Armed("cache-read:persistent");
+  EXPECT_TRUE(armed());
+  Status S = arm("not-a-site");
+  ASSERT_FALSE(bool(S));
+  EXPECT_NE(S.error().str().find("unknown site 'not-a-site'"),
+            std::string::npos);
+  // Failure leaves the previous arming untouched.
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(activeSpec(), "cache-read:persistent");
+
+  EXPECT_FALSE(bool(arm("cache-read:bogus-modifier")));
+  EXPECT_FALSE(bool(arm("cache-read:p=1.5")));
+  EXPECT_FALSE(bool(arm("cache-read:n=0")));
+  EXPECT_FALSE(bool(arm("cache-read:seed=abc")));
+}
+
+TEST(FaultTest, TransientHealsAfterCount) {
+  ScopedFaults Armed("layer-entry:transient:n=2");
+  EXPECT_TRUE(fire(Site::LayerEntry, "p/tv").has_value());
+  EXPECT_TRUE(fire(Site::LayerEntry, "p/tv").has_value());
+  EXPECT_FALSE(fire(Site::LayerEntry, "p/tv").has_value()); // Healed.
+  // Per-key counters: another key gets its own failures.
+  EXPECT_TRUE(fire(Site::LayerEntry, "q/tv").has_value());
+}
+
+TEST(FaultTest, PersistentNeverHeals) {
+  ScopedFaults Armed("sched-job:persistent");
+  for (int I = 0; I < 5; ++I) {
+    std::optional<Hit> H = fire(Site::SchedulerJob, "j");
+    ASSERT_TRUE(H.has_value());
+    EXPECT_FALSE(H->Transient);
+    EXPECT_EQ(H->Occurrence, unsigned(I));
+  }
+}
+
+TEST(FaultTest, FireWithRetryAbsorbsTransients) {
+  ScopedFaults Armed("cache-write:transient:n=2");
+  // Two transient failures, then healed: the retry loop absorbs them.
+  EXPECT_FALSE(fireWithRetry(Site::CacheWrite, "k").has_value());
+  // Already healed for this key: later calls see nothing.
+  EXPECT_FALSE(fireWithRetry(Site::CacheWrite, "k").has_value());
+}
+
+TEST(FaultTest, FireWithRetryReportsPersistent) {
+  ScopedFaults Armed("cache-write:persistent");
+  std::optional<Hit> H = fireWithRetry(Site::CacheWrite, "k");
+  ASSERT_TRUE(H.has_value());
+  EXPECT_FALSE(H->Transient);
+}
+
+TEST(FaultTest, FireWithRetryReportsUnhealedTransient) {
+  // More failures than the retry allowance: the site must degrade.
+  ScopedFaults Armed("cache-write:transient:n=100");
+  std::optional<Hit> H = fireWithRetry(Site::CacheWrite, "k", 4);
+  ASSERT_TRUE(H.has_value());
+  EXPECT_TRUE(H->Transient);
+}
+
+TEST(FaultTest, MatchRestrictsKeys) {
+  ScopedFaults Armed("layer-entry:persistent:match=fnv1a");
+  EXPECT_TRUE(fire(Site::LayerEntry, "fnv1a/tv").has_value());
+  EXPECT_FALSE(fire(Site::LayerEntry, "crc32/tv").has_value());
+}
+
+TEST(FaultTest, SiteRestrictsFiring) {
+  ScopedFaults Armed("cache-read:persistent");
+  EXPECT_TRUE(fire(Site::CacheRead, "k").has_value());
+  EXPECT_FALSE(fire(Site::CacheWrite, "k").has_value());
+  EXPECT_FALSE(fire(Site::LayerEntry, "k").has_value());
+}
+
+TEST(FaultTest, ProbabilisticTargetingIsDeterministic) {
+  // With p=0.5 and many keys, some are targeted and some are not — and
+  // re-arming the same spec targets exactly the same keys.
+  std::vector<bool> First, Second;
+  {
+    ScopedFaults Armed("layer-entry:persistent:p=0.5:seed=7");
+    for (int I = 0; I < 64; ++I)
+      First.push_back(
+          fire(Site::LayerEntry, "key" + std::to_string(I)).has_value());
+  }
+  {
+    ScopedFaults Armed("layer-entry:persistent:p=0.5:seed=7");
+    for (int I = 0; I < 64; ++I)
+      Second.push_back(
+          fire(Site::LayerEntry, "key" + std::to_string(I)).has_value());
+  }
+  EXPECT_EQ(First, Second);
+  unsigned Hits = 0;
+  for (bool B : First)
+    Hits += B;
+  EXPECT_GT(Hits, 0u);
+  EXPECT_LT(Hits, 64u);
+
+  // A different seed targets a different key set (with overwhelming
+  // probability over 64 keys).
+  std::vector<bool> Other;
+  {
+    ScopedFaults Armed("layer-entry:persistent:p=0.5:seed=8");
+    for (int I = 0; I < 64; ++I)
+      Other.push_back(
+          fire(Site::LayerEntry, "key" + std::to_string(I)).has_value());
+  }
+  EXPECT_NE(First, Other);
+}
+
+TEST(FaultTest, ValuePayloadCarried) {
+  ScopedFaults Armed("interp-fuel:persistent:v=123");
+  std::optional<Hit> H = fire(Site::InterpFuel, "fnv1a");
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->Value, 123u);
+}
+
+TEST(FaultTest, DescribeNamesEverything) {
+  ScopedFaults Armed("sched-job:persistent");
+  std::optional<Hit> H = fire(Site::SchedulerJob, "fnv1a/compile");
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->describe(),
+            "injected persistent sched-job fault at 'fnv1a/compile' (hit #0)");
+}
+
+TEST(FaultTest, MultiClauseSpecs) {
+  ScopedFaults Armed("cache-read:transient:n=1,sched-job:persistent");
+  EXPECT_TRUE(fire(Site::CacheRead, "k").has_value());
+  EXPECT_FALSE(fire(Site::CacheRead, "k").has_value()); // Healed.
+  EXPECT_TRUE(fire(Site::SchedulerJob, "j").has_value());
+}
+
+TEST(FaultTest, ScopedFaultsRestoresPrevious) {
+  disarm();
+  {
+    ScopedFaults Outer("cache-read:persistent");
+    EXPECT_EQ(activeSpec(), "cache-read:persistent");
+    {
+      ScopedFaults Inner("sched-job:persistent");
+      EXPECT_EQ(activeSpec(), "sched-job:persistent");
+    }
+    EXPECT_EQ(activeSpec(), "cache-read:persistent");
+  }
+  EXPECT_FALSE(armed());
+}
+
+TEST(FaultTest, EmptySpecDisarms) {
+  ScopedFaults Armed("cache-read:persistent");
+  EXPECT_TRUE(bool(arm("")));
+  EXPECT_FALSE(armed());
+}
+
+} // namespace

@@ -29,10 +29,13 @@
 
 #include "cgen/CEmit.h"
 #include "pipeline/Pipeline.h"
+#include "pipeline/Scheduler.h"
 #include "programs/Programs.h"
 #include "support/CommandLine.h"
+#include "support/Fault.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -41,6 +44,16 @@
 
 using namespace relc;
 
+// Exit-code taxonomy (stable; scripts may rely on it):
+//   0  every program fully certified at full strength
+//   1  at least one genuine failure (compile error, refuted or rejected
+//      certification, failed differential)
+//   2  usage error (bad flag, bad fault spec, unwritable output dir)
+//   3  no genuine failures, but at least one outcome was *degraded* — a
+//      budget ran out or an injected fault fired. With --keep-going,
+//      programs whose only problems are degraded outcomes land here
+//      instead of 1; a program certified with a budget-truncated TV
+//      (differential carried it) lands here too.
 int main(int argc, char **argv) {
   std::string OutDir = "generated";
   std::string Only;
@@ -48,8 +61,18 @@ int main(int argc, char **argv) {
   bool PrintBedrock = false, PrintDeriv = false, NoValidate = false;
   bool NoAnalyze = false, AnalysisReport = false;
   bool NoTv = false, TvReport = false;
-  bool NoCache = false;
+  bool NoCache = false, KeepGoing = false;
   unsigned Jobs = 1;
+  unsigned LayerTimeoutMs = 0;
+  uint64_t TvStepBudget = 0;
+
+  // RELC_FAULT_SPEC arms the registry before flags, so --fault (parsed
+  // below) can override it wholesale.
+  if (Status S = fault::armFromEnv(); !S) {
+    std::fprintf(stderr, "relc-gen: RELC_FAULT_SPEC: %s\n",
+                 S.error().str().c_str());
+    return 2;
+  }
 
   cl::OptionTable T(
       "relc-gen",
@@ -76,13 +99,47 @@ int main(int argc, char **argv) {
   T.flag({"-tv-report"}, &TvReport,
          "print each program's full TV match trace\n"
          "(forces live certification; disables the cache)");
-  T.num({"-j", "-jobs"}, &Jobs, 1, "<n>",
+  T.num({"-j", "-jobs"}, &Jobs, 0, "<n>",
         "certification scheduler width; 1 = serial\n"
-        "reference order (default: 1)");
+        "reference order, 0 = all hardware threads\n"
+        "(default: 1)");
   T.str({"-cache-dir"}, &CacheDir, "<dir>",
         "certificate cache directory\n"
         "(default: .relc-cache)");
   T.flag({"-no-cache"}, &NoCache, "disable the certificate cache");
+  T.num({"-layer-timeout-ms"}, &LayerTimeoutMs, 0, "<ms>",
+        "wall-clock deadline per certification layer\n"
+        "per program; exhaustion degrades the layer\n"
+        "instead of hanging (default: 0 = unlimited)");
+  T.custom({"-tv-step-budget"}, /*HasValue=*/true, "<n>",
+           "cap translation validation at <n> normalization\n"
+           "/search steps; exhaustion degrades TV to\n"
+           "inconclusive (default: 0 = unlimited)",
+           [&TvStepBudget](const std::string &V, std::string *Err) {
+             if (V.empty() ||
+                 V.find_first_not_of("0123456789") != std::string::npos) {
+               *Err = "expected a non-negative integer, got '" + V + "'";
+               return false;
+             }
+             TvStepBudget = std::strtoull(V.c_str(), nullptr, 10);
+             return true;
+           });
+  T.flag({"-keep-going"}, &KeepGoing,
+         "report programs whose only problems are\n"
+         "degraded outcomes (budgets, injected faults)\n"
+         "as DEGRADED (exit 3) instead of failures");
+  T.custom({"-fault"}, /*HasValue=*/true, "<spec>",
+           "arm deterministic fault injection, e.g.\n"
+           "'cache-write:transient:n=2' or\n"
+           "'layer-entry:persistent:match=fnv1a/tv'\n"
+           "(overrides RELC_FAULT_SPEC; for testing)",
+           [](const std::string &V, std::string *Err) {
+             if (Status S = fault::arm(V); !S) {
+               *Err = S.error().str();
+               return false;
+             }
+             return true;
+           });
 
   switch (T.parse(argc, argv)) {
   case cl::ParseResult::Ok:
@@ -110,7 +167,13 @@ int main(int argc, char **argv) {
       Targets.push_back(&P);
 
   pipeline::PipelineOptions Opts;
-  Opts.Jobs = Jobs;
+  std::string JobsNote;
+  Opts.Jobs = pipeline::resolveJobs(Jobs, &JobsNote);
+  if (!JobsNote.empty())
+    std::fprintf(stderr, "relc-gen: %s\n", JobsNote.c_str());
+  Opts.LayerTimeoutMs = LayerTimeoutMs;
+  Opts.TvStepBudget = TvStepBudget;
+  Opts.KeepGoing = KeepGoing;
   // The full-report flags need the live analysis / TV reports, which a
   // cached verdict cannot reproduce — force live certification.
   if (UseCache && !AnalysisReport && !TvReport)
@@ -125,10 +188,25 @@ int main(int argc, char **argv) {
       pipeline::certifyPrograms(Targets, Opts);
 
   std::string Header = cgen::cPrelude();
-  bool AnyFailed = false;
+  bool AnyFailed = false, AnyDegraded = false;
 
   for (const pipeline::ProgramOutcome &O : Outcomes) {
     const programs::ProgramDef &P = *O.Def;
+
+    // --keep-going: a program whose only problems are degraded outcomes
+    // (budget exhaustion, injected faults, scheduler-boundary deaths) is
+    // reported as DEGRADED and lands on exit 3, not 1. Nothing genuinely
+    // failed certification — but nothing fully certified either, so no C
+    // is emitted for it.
+    if (!O.ok() && KeepGoing && O.failureIsDegradedOnly()) {
+      const std::string &Why = !O.ValidationError.empty() ? O.ValidationError
+                               : !O.CompileOk             ? O.CompileError
+                                                          : O.DegradedNote;
+      std::fprintf(stderr, "[%s] DEGRADED:\n%s\n", P.Name.c_str(),
+                   Why.empty() ? O.firstDegradedNote().c_str() : Why.c_str());
+      AnyDegraded = true;
+      continue;
+    }
 
     if (!O.CompileOk) {
       std::fprintf(stderr, "[%s] FAILED:\n%s\n", P.Name.c_str(),
@@ -188,6 +266,16 @@ int main(int argc, char **argv) {
       Cert << O.TvCertJson;
     }
 
+    // Certified, but some layer only got a truncated run (e.g. TV hit its
+    // step budget and fell through to differential): say so, emit the C
+    // anyway — the certification itself is sound — and exit 3.
+    if (O.anyDegraded()) {
+      std::fprintf(stderr, "[%s] note: %s; certification was carried by "
+                           "the remaining layers\n",
+                   P.Name.c_str(), O.firstDegradedNote().c_str());
+      AnyDegraded = true;
+    }
+
     if (PrintBedrock)
       std::printf("%s\n", O.Compiled.Fn.str().c_str());
     if (PrintDeriv)
@@ -230,5 +318,5 @@ int main(int argc, char **argv) {
     << "#ifdef __cplusplus\nextern \"C\" {\n#endif\n"
     << Header << "#ifdef __cplusplus\n}\n#endif\n#endif\n";
 
-  return AnyFailed ? 1 : 0;
+  return AnyFailed ? 1 : AnyDegraded ? 3 : 0;
 }

@@ -38,6 +38,7 @@
 #include "cert/Reader.h"
 #include "cert/Rederive.h"
 #include "pipeline/Pipeline.h"
+#include "pipeline/Scheduler.h"
 #include "programs/Programs.h"
 #include "support/CommandLine.h"
 
@@ -65,8 +66,9 @@ int main(int argc, char **argv) {
   T.str({"-certs"}, &CertsDir, "<dir>",
         "also audit each program's on-disk certificate in <dir>;\n"
         "a missing or rejected certificate is a diagnostic");
-  T.num({"-j", "-jobs"}, &Jobs, 1, "<n>",
-        "lint scheduler width; 1 = serial reference order (default: 1)");
+  T.num({"-j", "-jobs"}, &Jobs, 0, "<n>",
+        "lint scheduler width; 1 = serial reference order,\n"
+        "0 = all hardware threads (default: 1)");
   T.positional("program", "lint only the named programs (default: all)",
                [&Targets](const std::string &A, std::string *Err) {
                  const programs::ProgramDef *P = programs::findProgram(A);
@@ -93,7 +95,10 @@ int main(int argc, char **argv) {
       Targets.push_back(&P);
 
   pipeline::PipelineOptions Opts;
-  Opts.Jobs = Jobs;
+  std::string JobsNote;
+  Opts.Jobs = pipeline::resolveJobs(Jobs, &JobsNote);
+  if (!JobsNote.empty())
+    std::fprintf(stderr, "relc-lint: %s\n", JobsNote.c_str());
   Opts.Validate = false; // Compile only; validation is the other layers' job.
   Opts.Analyze = true;
   Opts.Tv = Tv;
