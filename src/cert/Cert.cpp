@@ -8,14 +8,14 @@
 #include "cert/Cert.h"
 
 #include "bedrock/Ast.h"
-#include "pipeline/Hash.h"
+#include "support/Hash.h"
 #include "sep/State.h"
 #include "support/StringExtras.h"
 
 namespace relc {
 namespace cert {
 
-using pipeline::fnv1a64;
+using hash::fnv1a64;
 
 ContentKey contentKey(const ir::SourceFn &Model, const EntryFacts &Hints,
                       const sep::FnSpec &Spec, const bedrock::Function &Code) {

@@ -7,7 +7,7 @@
 
 #include "cert/Reader.h"
 
-#include "pipeline/Hash.h"
+#include "support/Hash.h"
 #include "support/StringExtras.h"
 
 #include <fstream>
@@ -243,7 +243,7 @@ uint64_t hashField(const JValue &Obj, const std::string &Key) {
   if (S.size() > 2 && S[0] == '0' && S[1] == 'x')
     S = S.substr(2);
   uint64_t Out = 0;
-  if (!pipeline::parseHex(S, &Out))
+  if (!hash::parseHex(S, &Out))
     bad("field '" + Key + "' is not a hash");
   return Out;
 }

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cert/Rederive.h"
+#include "support/Hash.h"
 
 #include "analysis/Domains.h"
 #include "bedrock/Ast.h"
@@ -412,8 +413,7 @@ private:
                      const std::string &Path) {
     uint64_t H = 0xcbf29ce484222325ull;
     for (const std::string &N : B.Names) {
-      H ^= srcValueHash(S, N);
-      H *= 0x100000001b3ull;
+      H = hash::fnv1a64Word(srcValueHash(S, N), H);
       LastSrcBind[N] = Path + ": let " + joinNames(B.Names) + " := " +
                        clip(B.Bound->str());
     }

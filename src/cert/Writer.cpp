@@ -7,7 +7,7 @@
 
 #include "cert/Writer.h"
 
-#include "pipeline/Hash.h"
+#include "support/Hash.h"
 #include "support/StringExtras.h"
 #include "tv/Tv.h"
 
@@ -19,7 +19,7 @@ namespace cert {
 namespace {
 
 /// 0x-prefixed fixed-width hex, the rendering term hashes have used since
-/// v1 (content hashes use pipeline::hex16's bare form instead, matching
+/// v1 (content hashes use hash::hex16's bare form instead, matching
 /// the cache's file stems).
 std::string hex64(uint64_t V) {
   char Buf[19];
@@ -57,9 +57,9 @@ std::string Writer::write(const Certificate &C) {
   J += "  \"schema_version\": " + std::to_string(C.SchemaVersion) + ",\n";
   J += "  \"producer\": " + quoted(C.Producer) + ",\n";
   J += "  \"function\": " + quoted(C.Function) + ",\n";
-  J += "  \"model_hash\": \"" + pipeline::hex16(C.Key.ModelHash) + "\",\n";
-  J += "  \"spec_hash\": \"" + pipeline::hex16(C.Key.SpecHash) + "\",\n";
-  J += "  \"code_hash\": \"" + pipeline::hex16(C.Key.CodeHash) + "\",\n";
+  J += "  \"model_hash\": \"" + hash::hex16(C.Key.ModelHash) + "\",\n";
+  J += "  \"spec_hash\": \"" + hash::hex16(C.Key.SpecHash) + "\",\n";
+  J += "  \"code_hash\": \"" + hash::hex16(C.Key.CodeHash) + "\",\n";
   J += "  \"verdict\": " + quoted(C.Verdict) + ",\n";
   J += "  \"reason\": " + quoted(C.Reason) + ",\n";
   J += "  \"num_terms\": " + std::to_string(C.NumTerms) + ",\n";

@@ -118,6 +118,11 @@ int64_t eltUpperBound(EltKind K) {
 class ConstRule : public ExprRule {
 public:
   std::string name() const override { return "expr_compile_literal"; }
+  ExprGoalPattern pattern() const override {
+    ExprGoalPattern P;
+    P.Kinds = {ir::Expr::Kind::Const};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Expr &E) const override {
     return isa<ir::Const>(&E);
   }
@@ -149,6 +154,12 @@ public:
 class VarRule : public ExprRule {
 public:
   std::string name() const override { return "expr_compile_var"; }
+  ExprGoalPattern pattern() const override {
+    ExprGoalPattern P;
+    P.Kinds = {ir::Expr::Kind::VarRef};
+    P.SideConds = {"var-is-live-scalar"};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Expr &E) const override {
     return isa<ir::VarRef>(&E);
   }
@@ -185,6 +196,12 @@ public:
 class BinRule : public ExprRule {
 public:
   std::string name() const override { return "expr_compile_binop"; }
+  ExprGoalPattern pattern() const override {
+    ExprGoalPattern P;
+    P.Kinds = {ir::Expr::Kind::Bin};
+    P.EmitsExprGoals = true;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Expr &E) const override {
     return isa<ir::Bin>(&E);
   }
@@ -321,6 +338,12 @@ private:
 class CastRule : public ExprRule {
 public:
   std::string name() const override { return "expr_compile_cast"; }
+  ExprGoalPattern pattern() const override {
+    ExprGoalPattern P;
+    P.Kinds = {ir::Expr::Kind::Cast};
+    P.EmitsExprGoals = true;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Expr &E) const override {
     return isa<ir::Cast>(&E);
   }
@@ -384,6 +407,12 @@ public:
 class SelectRule : public ExprRule {
 public:
   std::string name() const override { return "expr_compile_select"; }
+  ExprGoalPattern pattern() const override {
+    ExprGoalPattern P;
+    P.Kinds = {ir::Expr::Kind::Select};
+    P.EmitsExprGoals = true;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Expr &E) const override {
     return isa<ir::Select>(&E);
   }
@@ -448,6 +477,13 @@ public:
 class ArrayGetRule : public ExprRule {
 public:
   std::string name() const override { return "expr_compile_arrayget"; }
+  ExprGoalPattern pattern() const override {
+    ExprGoalPattern P;
+    P.Kinds = {ir::Expr::Kind::ArrayGet};
+    P.SideConds = {"index-in-bounds"};
+    P.EmitsExprGoals = true;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Expr &E) const override {
     return isa<ir::ArrayGet>(&E);
   }
@@ -500,6 +536,13 @@ public:
 class TableGetRule : public ExprRule {
 public:
   std::string name() const override { return "expr_compile_inlinetable_get"; }
+  ExprGoalPattern pattern() const override {
+    ExprGoalPattern P;
+    P.Kinds = {ir::Expr::Kind::TableGet};
+    P.SideConds = {"index-in-bounds"};
+    P.EmitsExprGoals = true;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Expr &E) const override {
     return isa<ir::TableGet>(&E);
   }

@@ -55,11 +55,42 @@ struct CompiledExpr {
 
 class ExprCompiler;
 
+/// Declarative description of an expression rule's conclusion — the
+/// expression engine's counterpart of core::GoalPattern. Selection is by
+/// node kind alone (plus any MatchConds); side conditions like bounds
+/// checks are discharged during apply and failing them is a hard error.
+struct ExprGoalPattern {
+  /// Expression node kinds matches() accepts. Empty = never selected.
+  std::vector<ir::Expr::Kind> Kinds;
+
+  /// Extra *selection* predicates narrowing the kinds, as stable
+  /// kebab-case tags (e.g. "operands-are-same-var"). A rule with
+  /// MatchConds is strictly narrower than a same-kind rule without them,
+  /// so it does not count as subsuming one.
+  std::vector<std::string> MatchConds;
+
+  /// Apply-time side conditions (kebab-case tags), e.g. "index-in-bounds".
+  std::vector<std::string> SideConds;
+
+  /// True iff apply() recursively compiles operand sub-expressions.
+  bool EmitsExprGoals = false;
+
+  /// Every recursive goal is a strict subterm of the matched expression.
+  bool Decreasing = true;
+
+  bool satisfiable() const { return !Kinds.empty(); }
+
+  /// Canonical one-line rendering; hashed into the registry fingerprint.
+  std::string render() const;
+};
+
 /// One expression-compilation lemma.
 class ExprRule {
 public:
   virtual ~ExprRule() = default;
   virtual std::string name() const = 0;
+  /// Declarative conclusion descriptor; must agree with matches()/apply().
+  virtual ExprGoalPattern pattern() const = 0;
   virtual bool matches(const CompileCtx &Ctx, const ir::Expr &E) const = 0;
   virtual Result<CompiledExpr> apply(CompileCtx &Ctx, ExprCompiler &EC,
                                      const ir::Expr &E, DerivNode &D) = 0;
@@ -78,6 +109,13 @@ public:
     return nullptr;
   }
   size_t size() const { return Rules.size(); }
+
+  /// Registration-order access for the metatheory analyses.
+  const ExprRule &operator[](size_t I) const { return *Rules[I]; }
+
+  /// Order-sensitive digest of names and rendered patterns (see
+  /// RuleSet::fingerprint).
+  uint64_t fingerprint() const;
 
 private:
   std::vector<std::unique_ptr<ExprRule>> Rules;

@@ -43,12 +43,78 @@ class CompileCtx;
 /// it; scoping rules (stackalloc) wrap it.
 using Cont = std::function<Result<bedrock::CmdPtr>(DerivNode &)>;
 
+/// Declarative description of a statement rule's conclusion: which binding
+/// shapes matches() accepts, which side conditions apply() enforces, and
+/// which sub-goals it emits. This is what makes the rule database
+/// analyzable *as data* (relc::rulemeta): shadowing, coverage, dead rules,
+/// and the termination audit are all computed from these descriptors, and
+/// the registry fingerprint hashes them so a rule edit invalidates cached
+/// verdicts.
+///
+/// The split matters: Kinds and the arity range describe the *selection*
+/// predicate (what matches() checks — the driver picks the first rule
+/// whose selection predicate holds and never falls through), while
+/// NameDirection and SideConds describe conditions apply() enforces as
+/// hard errors after selection. Shadowing is therefore decided by the
+/// selection fields alone.
+struct GoalPattern {
+  /// Arity sentinel: the rule accepts any number of bound names.
+  static constexpr unsigned kAnyArity = ~0U;
+
+  /// Construct kinds matches() accepts. Empty means the rule can never be
+  /// selected (flagged rule-dead by the analyzer).
+  std::vector<ir::BoundForm::Kind> Kinds;
+
+  /// Bound-name arity range [MinNames, MaxNames], inclusive.
+  unsigned MinNames = 1;
+  unsigned MaxNames = 1;
+
+  /// The name-directed convention the rule enforces during apply between
+  /// the bound name and the construct's subject (its array/cell operand).
+  enum class NameDirection : uint8_t {
+    None,    ///< No constraint.
+    InPlace, ///< Bound name must equal the subject (in-place lemmas).
+    Fresh,   ///< Bound name must differ from the subject (copy lemmas).
+  };
+  NameDirection NameDir = NameDirection::None;
+
+  /// Further apply-time side conditions, as stable kebab-case tags (e.g.
+  /// "index-in-bounds"). Documented for diagnostics and hashed into the
+  /// fingerprint; not part of selection.
+  std::vector<std::string> SideConds;
+
+  /// What sub-goals apply() hands back to the compiler, i.e. the edges the
+  /// rule contributes to the rule-dependency graph. Prog implies Expr:
+  /// sub-programs contain expressions.
+  enum class Emits : uint8_t { None, Expr, Prog };
+  Emits SubGoals = Emits::None;
+
+  /// Every emitted sub-goal is a strict structural subterm of the matched
+  /// construct. This is the termination argument the recursion audit
+  /// demands of every cycle in the rule-dependency graph.
+  bool Decreasing = true;
+
+  /// True iff the selection predicate can hold for some binding.
+  bool satisfiable() const {
+    return !Kinds.empty() && MinNames <= MaxNames;
+  }
+
+  /// Canonical one-line rendering, stable across runs: what the registry
+  /// fingerprint hashes for this rule.
+  std::string render() const;
+};
+
 class StmtRule {
 public:
   virtual ~StmtRule() = default;
 
   /// Lemma name, e.g. "compile_map_inplace".
   virtual std::string name() const = 0;
+
+  /// Declarative conclusion descriptor. Must agree with matches()/apply():
+  /// the metatheory analyses (relc-rulint) and the registry fingerprint
+  /// both trust it.
+  virtual GoalPattern pattern() const = 0;
 
   /// True iff this rule's conclusion matches the binding (syntactic match
   /// only; side conditions are attempted during apply and failing them is a
@@ -81,6 +147,15 @@ public:
 
   size_t size() const { return Rules.size(); }
 
+  /// Registration-order access, for the metatheory analyses: order IS the
+  /// semantics of a first-match database.
+  const StmtRule &operator[](size_t I) const { return *Rules[I]; }
+
+  /// Order-sensitive digest of every rule's name and rendered pattern.
+  /// Salted into the certificate cache's options hash so editing,
+  /// reordering, adding, or removing a rule misses every cached verdict.
+  uint64_t fingerprint() const;
+
 private:
   std::vector<std::unique_ptr<StmtRule>> Rules;
 };
@@ -91,6 +166,11 @@ private:
 /// io, writer), plus external calls. Each family lives in its own
 /// translation unit under core/rules/.
 void registerStandardRules(RuleSet &RS);
+
+/// Combined fingerprint of the standard statement AND expression rule
+/// libraries — the digest of "which compiler is this". Computed once and
+/// cached (the standard registries are process-constants).
+uint64_t standardRegistryFingerprint();
 
 } // namespace core
 } // namespace relc

@@ -22,6 +22,14 @@ namespace {
 class ArrayPutRule : public StmtRule {
 public:
   std::string name() const override { return "compile_arrayput"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::ArrayPut};
+    P.NameDir = GoalPattern::NameDirection::InPlace;
+    P.SideConds = {"index-in-bounds", "value-fits-element"};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::ArrayPut>(B.Bound.get()) && B.Names.size() == 1;

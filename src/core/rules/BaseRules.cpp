@@ -24,6 +24,13 @@ namespace {
 class LetRule : public StmtRule {
 public:
   std::string name() const override { return "compile_let"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::PureVal};
+    P.SideConds = {"no-live-pointer-overwrite"};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::PureVal>(B.Bound.get()) && B.Names.size() == 1;

@@ -42,6 +42,11 @@ Result<std::pair<int, std::string>> cellParts(CompileCtx &Ctx,
 class CellGetRule : public StmtRule {
 public:
   std::string name() const override { return "compile_cell_get"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::CellGet};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::CellGet>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -71,6 +76,13 @@ public:
 class CellPutRule : public StmtRule {
 public:
   std::string name() const override { return "compile_cell_put"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::CellPut};
+    P.NameDir = GoalPattern::NameDirection::InPlace;
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::CellPut>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -107,6 +119,13 @@ public:
 class CellIncrRule : public StmtRule {
 public:
   std::string name() const override { return "compile_cell_iadd"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::CellIncr};
+    P.NameDir = GoalPattern::NameDirection::InPlace;
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::CellIncr>(B.Bound.get()) && B.Names.size() == 1;
   }

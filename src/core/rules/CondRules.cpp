@@ -32,6 +32,15 @@ namespace {
 class IfRule : public StmtRule {
 public:
   std::string name() const override { return "compile_cond"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::IfBound};
+    P.MinNames = 0;
+    P.MaxNames = GoalPattern::kAnyArity;
+    P.SideConds = {"branches-realize-targets"};
+    P.SubGoals = GoalPattern::Emits::Prog;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::IfBound>(B.Bound.get());

@@ -30,6 +30,12 @@ namespace {
 class CopyRule : public StmtRule {
 public:
   std::string name() const override { return "compile_copy"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::CopyArr};
+    P.NameDir = GoalPattern::NameDirection::Fresh;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::CopyArr>(B.Bound.get()) && B.Names.size() == 1;

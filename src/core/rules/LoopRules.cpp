@@ -80,6 +80,14 @@ std::string bindIndex(CompileCtx &Ctx, const std::string &Name,
 class MapRule : public StmtRule {
 public:
   std::string name() const override { return "compile_map_inplace"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::ListMap};
+    P.NameDir = GoalPattern::NameDirection::InPlace;
+    P.SideConds = {"param-not-live-local", "invariant-inferable"};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::ListMap>(B.Bound.get()) && B.Names.size() == 1;
@@ -168,6 +176,13 @@ public:
 class FoldRule : public StmtRule {
 public:
   std::string name() const override { return "compile_fold"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::ListFold};
+    P.SideConds = {"params-not-live-locals", "invariant-inferable"};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::ListFold>(B.Bound.get()) && B.Names.size() == 1;
@@ -284,6 +299,14 @@ public:
 class FoldBreakRule : public StmtRule {
 public:
   std::string name() const override { return "compile_fold_break"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::FoldBreak};
+    P.NameDir = GoalPattern::NameDirection::InPlace;
+    P.SideConds = {"params-not-live-locals", "invariant-inferable"};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::FoldBreak>(B.Bound.get()) && B.Names.size() == 1;
@@ -403,6 +426,15 @@ public:
 class RangeRule : public StmtRule {
 public:
   std::string name() const override { return "compile_ranged_for"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::RangeFold};
+    P.MinNames = 0;
+    P.MaxNames = GoalPattern::kAnyArity;
+    P.SideConds = {"accs-match-bound-names", "invariant-inferable"};
+    P.SubGoals = GoalPattern::Emits::Prog;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::RangeFold>(B.Bound.get());
@@ -504,6 +536,15 @@ public:
 class WhileRule : public StmtRule {
 public:
   std::string name() const override { return "compile_while"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::WhileComb};
+    P.MinNames = 0;
+    P.MaxNames = GoalPattern::kAnyArity;
+    P.SideConds = {"accs-match-bound-names", "measure-bounds-iteration", "invariant-inferable"};
+    P.SubGoals = GoalPattern::Emits::Prog;
+    return P;
+  }
 
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::WhileComb>(B.Bound.get());

@@ -41,6 +41,11 @@ namespace {
 class NondetAllocRule : public StmtRule {
 public:
   std::string name() const override { return "compile_nondet_alloc"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::NondetAlloc};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::NondetAlloc>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -83,6 +88,11 @@ public:
 class NondetPeekRule : public StmtRule {
 public:
   std::string name() const override { return "compile_nondet_peek"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::NondetPeek};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::NondetPeek>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -115,6 +125,11 @@ public:
 class IoReadRule : public StmtRule {
 public:
   std::string name() const override { return "compile_io_read"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::IoRead};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::IoRead>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -139,6 +154,12 @@ public:
 class IoWriteRule : public StmtRule {
 public:
   std::string name() const override { return "compile_io_write"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::IoWrite};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::IoWrite>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -174,6 +195,12 @@ public:
 class WriterTellRule : public StmtRule {
 public:
   std::string name() const override { return "compile_writer_tell"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::WriterTell};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::WriterTell>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -208,6 +235,15 @@ public:
 class ExternCallRule : public StmtRule {
 public:
   std::string name() const override { return "compile_call"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::ExternCall};
+    P.MinNames = 0;
+    P.MaxNames = GoalPattern::kAnyArity;
+    P.SideConds = {"names-match-callee-rets"};
+    P.SubGoals = GoalPattern::Emits::Expr;
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::ExternCall>(B.Bound.get());
   }

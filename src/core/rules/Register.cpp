@@ -4,8 +4,16 @@
 // Performance-Critical Applications" (PLDI 2022).
 //
 //===----------------------------------------------------------------------===//
+//
+// Also home of the pattern renderings and the registry fingerprint: the
+// canonical digest of "which rules, in which order, with which declared
+// behavior" that the certificate cache salts into its options hash.
+//
+//===----------------------------------------------------------------------===//
 
+#include "core/ExprCompile.h"
 #include "core/rules/Rules.h"
+#include "support/Hash.h"
 
 namespace relc {
 namespace core {
@@ -34,6 +42,77 @@ void registerStandardRules(RuleSet &RS) {
   RS.add(makeWriterTellRule());
   RS.add(makeCopyRule());
   RS.add(makeExternCallRule());
+}
+
+namespace {
+
+std::string joined(const std::vector<std::string> &Tags) {
+  std::string Out;
+  for (const std::string &T : Tags)
+    Out += (Out.empty() ? "" : ",") + T;
+  return Out;
+}
+
+std::string arityStr(unsigned N) {
+  return N == GoalPattern::kAnyArity ? "*" : std::to_string(N);
+}
+
+} // namespace
+
+std::string GoalPattern::render() const {
+  std::string Out = "kinds=";
+  for (size_t I = 0; I < Kinds.size(); ++I)
+    Out += std::string(I ? "," : "") + ir::boundKindName(Kinds[I]);
+  Out += "|names=" + arityStr(MinNames) + ".." + arityStr(MaxNames);
+  Out += std::string("|dir=") +
+         (NameDir == NameDirection::InPlace
+              ? "in-place"
+              : NameDir == NameDirection::Fresh ? "fresh" : "none");
+  Out += "|side=" + joined(SideConds);
+  Out += std::string("|emits=") +
+         (SubGoals == Emits::Prog ? "prog"
+                                  : SubGoals == Emits::Expr ? "expr" : "none");
+  Out += std::string("|dec=") + (Decreasing ? "1" : "0");
+  return Out;
+}
+
+std::string ExprGoalPattern::render() const {
+  std::string Out = "kinds=";
+  for (size_t I = 0; I < Kinds.size(); ++I)
+    Out += std::string(I ? "," : "") + ir::exprKindName(Kinds[I]);
+  Out += "|match=" + joined(MatchConds);
+  Out += "|side=" + joined(SideConds);
+  Out += std::string("|emits=") + (EmitsExprGoals ? "expr" : "none");
+  Out += std::string("|dec=") + (Decreasing ? "1" : "0");
+  return Out;
+}
+
+uint64_t RuleSet::fingerprint() const {
+  uint64_t H = hash::fnv1a64("relc-stmt-rules-v1|");
+  for (const auto &R : Rules)
+    H = hash::fnv1a64(R->name() + "{" + R->pattern().render() + "}", H);
+  return H;
+}
+
+uint64_t ExprRuleSet::fingerprint() const {
+  uint64_t H = hash::fnv1a64("relc-expr-rules-v1|");
+  for (const auto &R : Rules)
+    H = hash::fnv1a64(R->name() + "{" + R->pattern().render() + "}", H);
+  return H;
+}
+
+uint64_t standardRegistryFingerprint() {
+  // The standard registries are process-constants: build each once, hash
+  // once. (Initialization is thread-safe per the C++ static-local rule.)
+  static const uint64_t FP = [] {
+    RuleSet RS;
+    registerStandardRules(RS);
+    ExprRuleSet ES;
+    registerStandardExprRules(ES);
+    return hash::fnv1a64Word(ES.fingerprint(),
+                             hash::fnv1a64Word(RS.fingerprint()));
+  }();
+  return FP;
 }
 
 } // namespace core

@@ -103,6 +103,11 @@ Result<CmdPtr> compileStackCommon(CompileCtx &Ctx, const std::string &Name,
 class StackInitRule : public StmtRule {
 public:
   std::string name() const override { return "compile_stack"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::StackInit};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::StackInit>(B.Bound.get()) && B.Names.size() == 1;
   }
@@ -124,6 +129,11 @@ public:
 class StackUninitRule : public StmtRule {
 public:
   std::string name() const override { return "compile_stack_uninit"; }
+  GoalPattern pattern() const override {
+    GoalPattern P;
+    P.Kinds = {ir::BoundForm::Kind::StackUninit};
+    return P;
+  }
   bool matches(const CompileCtx &, const ir::Binding &B) const override {
     return isa<ir::StackUninit>(B.Bound.get()) && B.Names.size() == 1;
   }

@@ -221,5 +221,33 @@ ExprPtr rotl(ExprPtr E, unsigned Amount, unsigned Bits) {
   return andw(orw(std::move(Hi), std::move(Lo)), cw(Mask));
 }
 
+const char *exprKindName(Expr::Kind K) {
+  switch (K) {
+  case Expr::Kind::Const:
+    return "const";
+  case Expr::Kind::VarRef:
+    return "var-ref";
+  case Expr::Kind::Bin:
+    return "bin";
+  case Expr::Kind::Select:
+    return "select";
+  case Expr::Kind::Cast:
+    return "cast";
+  case Expr::Kind::ArrayGet:
+    return "array-get";
+  case Expr::Kind::TableGet:
+    return "table-get";
+  }
+  return "unknown";
+}
+
+const std::vector<Expr::Kind> &allExprKinds() {
+  static const std::vector<Expr::Kind> Kinds = {
+      Expr::Kind::Const,  Expr::Kind::VarRef,   Expr::Kind::Bin,
+      Expr::Kind::Select, Expr::Kind::Cast,     Expr::Kind::ArrayGet,
+      Expr::Kind::TableGet};
+  return Kinds;
+}
+
 } // namespace ir
 } // namespace relc

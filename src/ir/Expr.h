@@ -251,6 +251,14 @@ ExprPtr tget(std::string Table, ExprPtr Index);
 /// value must fit in Bits bits). Used by the Murmur3 scramble model.
 ExprPtr rotl(ExprPtr E, unsigned Amount, unsigned Bits);
 
+/// Stable lowercase name of an expression node kind (e.g. "array-get"),
+/// used by the rule-metatheory coverage matrix and diagnostics.
+const char *exprKindName(Expr::Kind K);
+
+/// All expression node kinds, in declaration order: the rows of the
+/// expression-engine coverage matrix.
+const std::vector<Expr::Kind> &allExprKinds();
+
 } // namespace ir
 } // namespace relc
 

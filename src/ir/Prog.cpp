@@ -132,5 +132,66 @@ std::string SourceFn::str() const {
   return Out;
 }
 
+const char *boundKindName(BoundForm::Kind K) {
+  switch (K) {
+  case BoundForm::Kind::PureVal:
+    return "pure-val";
+  case BoundForm::Kind::ArrayPut:
+    return "array-put";
+  case BoundForm::Kind::ListMap:
+    return "list-map";
+  case BoundForm::Kind::ListFold:
+    return "list-fold";
+  case BoundForm::Kind::FoldBreak:
+    return "fold-break";
+  case BoundForm::Kind::RangeFold:
+    return "range-fold";
+  case BoundForm::Kind::WhileComb:
+    return "while-comb";
+  case BoundForm::Kind::IfBound:
+    return "if-bound";
+  case BoundForm::Kind::StackInit:
+    return "stack-init";
+  case BoundForm::Kind::StackUninit:
+    return "stack-uninit";
+  case BoundForm::Kind::NondetAlloc:
+    return "nondet-alloc";
+  case BoundForm::Kind::NondetPeek:
+    return "nondet-peek";
+  case BoundForm::Kind::IoRead:
+    return "io-read";
+  case BoundForm::Kind::IoWrite:
+    return "io-write";
+  case BoundForm::Kind::WriterTell:
+    return "writer-tell";
+  case BoundForm::Kind::CellGet:
+    return "cell-get";
+  case BoundForm::Kind::CellPut:
+    return "cell-put";
+  case BoundForm::Kind::CellIncr:
+    return "cell-incr";
+  case BoundForm::Kind::CopyArr:
+    return "copy-arr";
+  case BoundForm::Kind::ExternCall:
+    return "extern-call";
+  }
+  return "unknown";
+}
+
+const std::vector<BoundForm::Kind> &allBoundKinds() {
+  static const std::vector<BoundForm::Kind> Kinds = {
+      BoundForm::Kind::PureVal,     BoundForm::Kind::ArrayPut,
+      BoundForm::Kind::ListMap,     BoundForm::Kind::ListFold,
+      BoundForm::Kind::FoldBreak,   BoundForm::Kind::RangeFold,
+      BoundForm::Kind::WhileComb,   BoundForm::Kind::IfBound,
+      BoundForm::Kind::StackInit,   BoundForm::Kind::StackUninit,
+      BoundForm::Kind::NondetAlloc, BoundForm::Kind::NondetPeek,
+      BoundForm::Kind::IoRead,      BoundForm::Kind::IoWrite,
+      BoundForm::Kind::WriterTell,  BoundForm::Kind::CellGet,
+      BoundForm::Kind::CellPut,     BoundForm::Kind::CellIncr,
+      BoundForm::Kind::CopyArr,     BoundForm::Kind::ExternCall};
+  return Kinds;
+}
+
 } // namespace ir
 } // namespace relc

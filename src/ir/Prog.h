@@ -550,6 +550,14 @@ struct SourceFn {
   std::string str() const;
 };
 
+/// Stable lowercase name of a binding-construct kind (e.g. "list-map"),
+/// used by the rule-metatheory coverage matrix and diagnostics.
+const char *boundKindName(BoundForm::Kind K);
+
+/// All binding-construct kinds, in declaration order: the rows of the
+/// statement-engine coverage matrix.
+const std::vector<BoundForm::Kind> &allBoundKinds();
+
 } // namespace ir
 } // namespace relc
 

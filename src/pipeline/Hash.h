@@ -17,28 +17,23 @@
 // run still compiles and replays emission, and any input change reflected
 // in the rendering changes the key.
 //
+// The implementations live in support/Hash.h (one definition shared with
+// cert content keys, fault targeting, and the rule-registry fingerprint);
+// this header re-exports them under their historical pipeline:: names.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef RELC_PIPELINE_HASH_H
 #define RELC_PIPELINE_HASH_H
 
-#include <cstdint>
-#include <string>
-#include <string_view>
+#include "support/Hash.h"
 
 namespace relc {
 namespace pipeline {
 
-/// FNV-1a over \p S, continuing from \p H (chainable).
-uint64_t fnv1a64(std::string_view S, uint64_t H = 0xcbf29ce484222325ULL);
-
-/// Fixed-width (16 digit) lowercase hex, no prefix — filename-safe and
-/// sortable, unlike relc::hexStr's 0x-prefixed variable width.
-std::string hex16(uint64_t V);
-
-/// Inverse of hex16 (any-width unprefixed hex). Returns false on any
-/// non-hex character or empty input.
-bool parseHex(std::string_view S, uint64_t *Out);
+using hash::fnv1a64;
+using hash::hex16;
+using hash::parseHex;
 
 } // namespace pipeline
 } // namespace relc

@@ -107,7 +107,8 @@ CertKey certKeyFor(const ir::SourceFn &Model, const core::CompileHints &Hints,
 }
 
 uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
-                        const PipelineOptions &Opts) {
+                        const PipelineOptions &Opts,
+                        uint64_t RegistryFingerprint) {
   uint64_t H = fnv1a64("relc-opts-v1|");
   H = fnv1a64("vectors=" + std::to_string(VOpts.VectorsPerSize) + "|", H);
   for (size_t Sz : VOpts.Sizes)
@@ -139,6 +140,11 @@ uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
                   "|tvsteps=" + std::to_string(VOpts.TvStepBudget) +
                   "|fuel=" + std::to_string(VOpts.InterpFuel),
               H);
+  // The rule registry is part of the verdict's identity: a cached verdict
+  // certifies what THIS compiler produced, so editing, reordering, adding,
+  // or removing a compilation rule must miss every cached entry even when
+  // model/spec/code hashes happen to collide across registries.
+  H = fnv1a64("|rules=" + hex16(RegistryFingerprint), H);
   return H;
 }
 
@@ -477,7 +483,12 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
       E.TvCertificate = O.TvCertJson;
       E.DifferentialOk = O.Diff.Enabled && O.Diff.Ok;
       Status S = Cache.store(O.Key, E, &CS);
-      (void)S; // Failure to persist is not a certification failure.
+      // Failure to persist is not a certification failure — the verdict
+      // stands — but callers (relc-gen) surface the first one as a named
+      // cache-dir-unwritable warning so a misconfigured cache directory is
+      // not silently re-certifying everything forever.
+      if (!S)
+        O.CacheStoreError = S.takeError().str();
     }, FinishDeps);
   }
 

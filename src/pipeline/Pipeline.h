@@ -35,6 +35,7 @@
 #define RELC_PIPELINE_PIPELINE_H
 
 #include "analysis/Analysis.h"
+#include "core/Rule.h"
 #include "pipeline/CertCache.h"
 #include "programs/Programs.h"
 #include "tv/Tv.h"
@@ -126,6 +127,12 @@ struct ProgramOutcome {
   /// Scheduler-level problem with the certify/store job, "" if none.
   std::string DegradedNote;
 
+  /// The certificate cache was enabled but storing this program's verdict
+  /// failed (unwritable directory, full disk, injected cache-write fault).
+  /// Absorbed — the verdict stands — but relc-gen surfaces the first one
+  /// as a named cache-dir-unwritable warning.
+  std::string CacheStoreError;
+
   /// True iff compilation and every enabled layer succeeded.
   bool ok() const;
 
@@ -167,10 +174,14 @@ CertKey certKeyFor(const ir::SourceFn &Model, const core::CompileHints &Hints,
                    const sep::FnSpec &Spec, const bedrock::Function &Code);
 
 /// Digest of everything else a verdict depends on: validation options
-/// (seed, vector battery, custom generators' presence) and which layers
-/// are enabled. Any change forces a cache miss.
-uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
-                        const PipelineOptions &Opts);
+/// (seed, vector battery, custom generators' presence), which layers are
+/// enabled, and the rule-registry fingerprint — the digest of "which
+/// compiler produced this" (core::standardRegistryFingerprint). Any
+/// change, including editing/reordering/removing a compilation rule,
+/// forces a cache miss.
+uint64_t optionsHashFor(
+    const validate::ValidationOptions &VOpts, const PipelineOptions &Opts,
+    uint64_t RegistryFingerprint = core::standardRegistryFingerprint());
 
 /// Certifies \p Progs under \p Opts on the job-graph scheduler. The result
 /// vector is indexed like \p Progs regardless of execution order.

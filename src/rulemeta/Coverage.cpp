@@ -1,0 +1,60 @@
+//===- rulemeta/Coverage.cpp - Construct × engine coverage matrix ----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Analysis 2: relc is "two relational compilers rolled into one" (§4.1.3),
+// so the coverage matrix has one row per source construct and one column
+// per engine — statement kinds against the statement registry, expression
+// kinds against the expression registry. A construct with no applicable
+// rule is an unsolved goal waiting to happen; this reports the gap before
+// any program compiles into it.
+//
+// Coverage demands an *unconditional* rule: a conditional rule
+// (MatchConds) only fires on a slice of its kinds, so it cannot promise
+// the construct is compilable in general.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rulemeta/Pattern.h"
+#include "rulemeta/RuleMeta.h"
+
+namespace relc {
+namespace rulemeta {
+
+Report analyzeCoverage(const core::RuleSet &RS, const core::ExprRuleSet &ES) {
+  Report R;
+
+  uint64_t StmtCovered = 0;
+  for (size_t I = 0; I < RS.size(); ++I) {
+    SelPattern S = SelPattern::of(RS[I].pattern());
+    if (S.satisfiable())
+      StmtCovered |= S.KindBits;
+  }
+  for (ir::BoundForm::Kind K : ir::allBoundKinds())
+    if (!(StmtCovered & (1ULL << unsigned(K))))
+      R.add(Reason::UncoveredConstruct,
+            std::string("stmt/") + ir::boundKindName(K),
+            "no registered statement rule can compile this construct; any "
+            "program using it dies with an unsolved goal");
+
+  uint64_t ExprCovered = 0;
+  for (size_t I = 0; I < ES.size(); ++I) {
+    SelPattern S = SelPattern::of(ES[I].pattern());
+    if (S.satisfiable() && !S.Conditional)
+      ExprCovered |= S.KindBits;
+  }
+  for (ir::Expr::Kind K : ir::allExprKinds())
+    if (!(ExprCovered & (1ULL << unsigned(K))))
+      R.add(Reason::UncoveredConstruct,
+            std::string("expr/") + ir::exprKindName(K),
+            "no unconditional expression rule can compile this node kind; "
+            "any expression using it dies with an unsolved goal");
+
+  return R;
+}
+
+} // namespace rulemeta
+} // namespace relc

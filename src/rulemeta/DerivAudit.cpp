@@ -1,0 +1,164 @@
+//===- rulemeta/DerivAudit.cpp - Witness-vs-registry drift audit -----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Analysis 5: a Derivation records which lemma fired for each binding, but
+// the registry it fired from keeps evolving — rules get renamed, reordered,
+// addFront-specialized, deleted. relc-check replays a recorded witness
+// without consulting the registry at all, so it happily certifies a
+// derivation the current compiler could never produce. This audit closes
+// that gap: walk the witness alongside the source program and demand that
+// every recorded rule (a) still exists, (b) still matches its binding, and
+// (c) is still the *first* match — the only one a no-backtracking driver
+// would pick. Any disagreement is stale-derivation.
+//
+// Pairing relies on two driver invariants (core/Compiler.cpp): the
+// continuation extends the parent node, so a (sub)program node's first M
+// children are exactly its M binding nodes in order; and sub-program
+// derivations hang off the binding node under fixed structural names
+// ("ranged_for_body", "while_body", "cond_then", "cond_else").
+//
+// Matching replays against a fresh CompileCtx with no symbolic state. That
+// is sound because selection is deliberately state-free (core/Rule.h):
+// matches() looks only at the construct kind and bound-name arity, and
+// side conditions are apply-time hard errors, not selection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rulemeta/RuleMeta.h"
+
+#include "ir/Prog.h"
+#include "support/Casting.h"
+
+namespace relc {
+namespace rulemeta {
+
+namespace {
+
+struct Auditor {
+  core::CompileCtx &Ctx;
+  const core::RuleSet &RS;
+  Report &R;
+
+  const core::StmtRule *findByName(const std::string &Name) const {
+    for (size_t I = 0; I < RS.size(); ++I)
+      if (RS[I].name() == Name)
+        return &RS[I];
+    return nullptr;
+  }
+
+  /// The named structural sub-derivation of a binding node, if recorded.
+  const core::DerivNode *structuralChild(const core::DerivNode &Node,
+                                         const char *Name) const {
+    for (const auto &C : Node.Children)
+      if (C->Rule == Name)
+        return C.get();
+    return nullptr;
+  }
+
+  /// Audits one binding against its recorded derivation node.
+  void auditBinding(const ir::Binding &B, const core::DerivNode &Node) {
+    const core::StmtRule *Recorded = findByName(Node.Rule);
+    if (!Recorded) {
+      R.add(Reason::StaleDerivation, Node.Rule,
+            "recorded rule no longer exists in the registry (goal was: " +
+                B.str() + ")");
+      return;
+    }
+    if (!Recorded->matches(Ctx, B)) {
+      R.add(Reason::StaleDerivation, Node.Rule,
+            "recorded rule no longer matches its recorded goal: " + B.str());
+      return;
+    }
+    core::StmtRule *First = RS.findMatch(Ctx, B);
+    if (First && First->name() != Node.Rule)
+      R.add(Reason::StaleDerivation, Node.Rule,
+            "no longer the first match for its goal; '" + First->name() +
+                "' now precedes it and a no-backtracking driver would pick "
+                "that instead");
+
+    // Expression spot-check: a pure binding's first expression
+    // sub-derivation must still name the expression engine's first match.
+    if (const auto *PV = dyn_cast<ir::PureVal>(B.Bound.get()))
+      auditExpr(*PV->expr(), Node);
+
+    // Recurse into recorded sub-program derivations.
+    if (const auto *RF = dyn_cast<ir::RangeFold>(B.Bound.get()))
+      auditSubProg(Node, "ranged_for_body", *RF->body());
+    else if (const auto *W = dyn_cast<ir::WhileComb>(B.Bound.get()))
+      auditSubProg(Node, "while_body", *W->body());
+    else if (const auto *IB = dyn_cast<ir::IfBound>(B.Bound.get())) {
+      auditSubProg(Node, "cond_then", *IB->thenProg());
+      auditSubProg(Node, "cond_else", *IB->elseProg());
+    }
+  }
+
+  void auditExpr(const ir::Expr &E, const core::DerivNode &Node) {
+    // Expression sub-derivations are tagged "EXPR ?e (...)" in the goal
+    // slot (core/ExprCompile.cpp); the first one under a pure binding is
+    // the root of its expression compilation.
+    const core::DerivNode *ExprNode = nullptr;
+    for (const auto &C : Node.Children)
+      if (C->Goal.rfind("EXPR", 0) == 0) {
+        ExprNode = C.get();
+        break;
+      }
+    if (!ExprNode)
+      return; // Nothing recorded to check against.
+    core::ExprRule *First = Ctx.exprs().rules().findMatch(Ctx, E);
+    if (!First)
+      R.add(Reason::StaleDerivation, ExprNode->Rule,
+            "no expression rule matches the recorded expression goal "
+            "anymore: " +
+                E.str());
+    else if (First->name() != ExprNode->Rule)
+      R.add(Reason::StaleDerivation, ExprNode->Rule,
+            "no longer the first expression match; '" + First->name() +
+                "' now precedes it");
+  }
+
+  void auditSubProg(const core::DerivNode &Node, const char *ChildName,
+                    const ir::Prog &Body) {
+    const core::DerivNode *Sub = structuralChild(Node, ChildName);
+    if (!Sub) {
+      R.add(Reason::StaleDerivation, Node.Rule,
+            std::string("recorded sub-derivation '") + ChildName +
+                "' is missing from the witness");
+      return;
+    }
+    auditProg(Body, *Sub);
+  }
+
+  /// Pairs \p P's bindings with \p Node's leading children.
+  void auditProg(const ir::Prog &P, const core::DerivNode &Node) {
+    if (Node.Children.size() < P.bindings().size()) {
+      R.add(Reason::StaleDerivation, Node.Rule.empty() ? "witness" : Node.Rule,
+            "witness node records fewer rule applications (" +
+                std::to_string(Node.Children.size()) +
+                ") than the source program has bindings (" +
+                std::to_string(P.bindings().size()) + ")");
+      return;
+    }
+    for (size_t I = 0; I < P.bindings().size(); ++I)
+      auditBinding(P.bindings()[I], *Node.Children[I]);
+  }
+};
+
+} // namespace
+
+Report auditDerivation(const ir::SourceFn &Model, const sep::FnSpec &Spec,
+                       const core::DerivNode &Proof, const core::RuleSet &RS) {
+  Report R;
+  // A fresh context carries no symbolic state; selection does not need any
+  // (see file header). Mutable because ExprCompiler hangs off it.
+  core::CompileCtx Ctx(Model, Spec, RS);
+  Auditor A{Ctx, RS, R};
+  A.auditProg(*Model.Body, Proof);
+  return R;
+}
+
+} // namespace rulemeta
+} // namespace relc

@@ -1,0 +1,138 @@
+//===- rulemeta/Ordering.cpp - Shadowing, overlap, and dead rules ----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Analyses 1 and 3: in a first-match database, registration order *is*
+// semantics. A later rule whose selection pattern an earlier rule covers
+// can never fire (rule-shadowed); two unconditional rules whose patterns
+// merely intersect fire order-dependently (rule-overlap); a rule whose
+// pattern is unsatisfiable, or whose every selectable binding is claimed
+// by the union of earlier rules, is registered for nothing (rule-dead).
+//
+// Deliberately NOT flagged: a *conditional* rule (ExprGoalPattern::
+// MatchConds) registered in front of a generic same-kind rule. That is
+// the paper's specialization idiom — addFront a narrow program-specific
+// lemma to shadow the generic one on a slice — and the narrow rule's
+// extra predicates make the overlap intended, not accidental.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rulemeta/Pattern.h"
+#include "rulemeta/RuleMeta.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace relc {
+namespace rulemeta {
+
+namespace {
+
+struct NamedPattern {
+  std::string Name;
+  SelPattern Sel;
+};
+
+std::string bitsStr(uint64_t Bits, bool Stmt) {
+  std::string Out;
+  for (unsigned B = 0; B < 64; ++B)
+    if (Bits & (1ULL << B))
+      Out += (Out.empty() ? "" : ",") + kindBitName(B, Stmt);
+  return Out;
+}
+
+/// True iff the union of \p Intervals covers [Lo, Hi].
+bool intervalsCover(std::vector<std::pair<uint64_t, uint64_t>> Intervals,
+                    uint64_t Lo, uint64_t Hi) {
+  std::sort(Intervals.begin(), Intervals.end());
+  uint64_t Need = Lo;
+  for (const auto &[S, E] : Intervals) {
+    if (S > Need)
+      return false; // Gap below the next interval.
+    if (E >= Hi)
+      return true;
+    if (E + 1 > Need)
+      Need = E + 1;
+  }
+  return false;
+}
+
+/// Runs the ordering analyses over one engine's pattern list.
+void analyzeEngine(const std::vector<NamedPattern> &Rules, bool Stmt,
+                   Report &R) {
+  std::vector<bool> PairShadowed(Rules.size(), false);
+  for (size_t J = 0; J < Rules.size(); ++J) {
+    const NamedPattern &Later = Rules[J];
+    if (!Later.Sel.satisfiable()) {
+      R.add(Reason::RuleDead, Later.Name,
+            "selection pattern is unsatisfiable (empty kind set or inverted "
+            "arity range); the rule can never fire");
+      continue;
+    }
+    for (size_t I = 0; I < J; ++I) {
+      const NamedPattern &Earlier = Rules[I];
+      if (!Earlier.Sel.satisfiable())
+        continue;
+      if (Earlier.Sel.subsumes(Later.Sel)) {
+        R.add(Reason::RuleShadowed, Later.Name,
+              "earlier rule '" + Earlier.Name +
+                  "' subsumes its selection pattern; in a first-match "
+                  "database it can never fire");
+        PairShadowed[J] = true;
+        break; // One subsumer is enough; union-dead would double-report.
+      }
+      if (!Earlier.Sel.Conditional && !Later.Sel.Conditional &&
+          Earlier.Sel.intersects(Later.Sel))
+        R.add(Reason::RuleOverlap, Later.Name,
+              "fires order-dependently with earlier rule '" + Earlier.Name +
+                  "' on {" +
+                  bitsStr(Earlier.Sel.KindBits & Later.Sel.KindBits, Stmt) +
+                  "}");
+    }
+    if (PairShadowed[J])
+      continue;
+    // Union-shadowing: no single earlier rule covers the pattern, but for
+    // every kind it selects, earlier unconditional rules jointly cover the
+    // whole arity range.
+    bool AllKindsCovered = true;
+    for (unsigned B = 0; B < 64 && AllKindsCovered; ++B) {
+      if (!(Later.Sel.KindBits & (1ULL << B)))
+        continue;
+      std::vector<std::pair<uint64_t, uint64_t>> Claimed;
+      for (size_t I = 0; I < J; ++I) {
+        const SelPattern &E = Rules[I].Sel;
+        if (E.satisfiable() && !E.Conditional && (E.KindBits & (1ULL << B)))
+          Claimed.push_back({E.MinNames, E.MaxNames});
+      }
+      AllKindsCovered =
+          intervalsCover(std::move(Claimed), Later.Sel.MinNames,
+                         Later.Sel.MaxNames);
+    }
+    if (AllKindsCovered)
+      R.add(Reason::RuleDead, Later.Name,
+            "every binding it selects is already claimed by the union of "
+            "earlier rules; it can never fire");
+  }
+}
+
+} // namespace
+
+Report analyzeOrdering(const core::RuleSet &RS, const core::ExprRuleSet &ES) {
+  Report R;
+  std::vector<NamedPattern> Stmt;
+  for (size_t I = 0; I < RS.size(); ++I)
+    Stmt.push_back({RS[I].name(), SelPattern::of(RS[I].pattern())});
+  analyzeEngine(Stmt, /*Stmt=*/true, R);
+
+  std::vector<NamedPattern> Expr;
+  for (size_t I = 0; I < ES.size(); ++I)
+    Expr.push_back({ES[I].name(), SelPattern::of(ES[I].pattern())});
+  analyzeEngine(Expr, /*Stmt=*/false, R);
+  return R;
+}
+
+} // namespace rulemeta
+} // namespace relc

@@ -1,0 +1,67 @@
+//===- rulemeta/Pattern.cpp - Selection-pattern algebra --------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rulemeta/Pattern.h"
+#include "rulemeta/RuleMeta.h"
+
+namespace relc {
+namespace rulemeta {
+
+const char *reasonName(Reason R) {
+  switch (R) {
+  case Reason::RuleShadowed:
+    return "rule-shadowed";
+  case Reason::RuleOverlap:
+    return "rule-overlap";
+  case Reason::RuleDead:
+    return "rule-dead";
+  case Reason::UncoveredConstruct:
+    return "uncovered-construct";
+  case Reason::RuleCycle:
+    return "rule-cycle";
+  case Reason::StaleDerivation:
+    return "stale-derivation";
+  }
+  return "unknown";
+}
+
+std::string Finding::str() const {
+  return std::string(reasonName(Why)) + ": " + Subject + ": " + Detail;
+}
+
+std::string Report::str() const {
+  std::string Out;
+  for (const Finding &F : Findings)
+    Out += (Out.empty() ? "" : "\n") + F.str();
+  return Out;
+}
+
+SelPattern SelPattern::of(const core::GoalPattern &P) {
+  SelPattern S;
+  for (ir::BoundForm::Kind K : P.Kinds)
+    S.KindBits |= 1ULL << unsigned(K);
+  S.MinNames = P.MinNames;
+  S.MaxNames = P.MaxNames == core::GoalPattern::kAnyArity ? ~0ULL : P.MaxNames;
+  return S;
+}
+
+SelPattern SelPattern::of(const core::ExprGoalPattern &P) {
+  SelPattern S;
+  for (ir::Expr::Kind K : P.Kinds)
+    S.KindBits |= 1ULL << unsigned(K);
+  // Expression bindings have no name arity; leave the degenerate [0, any].
+  S.Conditional = !P.MatchConds.empty();
+  return S;
+}
+
+std::string kindBitName(unsigned Bit, bool Stmt) {
+  return Stmt ? ir::boundKindName(ir::BoundForm::Kind(Bit))
+              : ir::exprKindName(ir::Expr::Kind(Bit));
+}
+
+} // namespace rulemeta
+} // namespace relc

@@ -1,0 +1,68 @@
+//===- rulemeta/Pattern.h - Selection-pattern algebra -----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Internal to rulemeta: a uniform selection-pattern representation over
+// either rule engine, and the subsumption/intersection algebra the
+// ordering and dead-rule analyses run on. Selection semantics only —
+// apply-time side conditions are hard errors after selection and do not
+// affect which rule fires, so they deliberately do not appear here.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_RULEMETA_PATTERN_H
+#define RELC_RULEMETA_PATTERN_H
+
+#include "core/ExprCompile.h"
+#include "core/Rule.h"
+
+#include <cstdint>
+#include <string>
+
+namespace relc {
+namespace rulemeta {
+
+/// One rule's selection predicate, engine-neutral: a kind bitmask (both
+/// engines have far fewer than 64 kinds), a bound-name arity interval
+/// (expression rules use the degenerate [0, any]), and whether the rule
+/// declared extra selection predicates it could not express as kinds
+/// (ExprGoalPattern::MatchConds) — a conditional pattern is strictly
+/// narrower than its kinds suggest, so it never subsumes anything.
+struct SelPattern {
+  uint64_t KindBits = 0;
+  uint64_t MinNames = 0;
+  uint64_t MaxNames = ~0ULL;
+  bool Conditional = false;
+
+  static SelPattern of(const core::GoalPattern &P);
+  static SelPattern of(const core::ExprGoalPattern &P);
+
+  bool satisfiable() const { return KindBits != 0 && MinNames <= MaxNames; }
+
+  /// This pattern is selected for every binding the other is — kinds and
+  /// arity both cover — and is unconditional, so the earlier rule always
+  /// wins the first-match race.
+  bool subsumes(const SelPattern &O) const {
+    return !Conditional && (KindBits & O.KindBits) == O.KindBits &&
+           MinNames <= O.MinNames && MaxNames >= O.MaxNames;
+  }
+
+  /// Some binding selects both patterns (conditional patterns count: they
+  /// *may* fire on the intersection).
+  bool intersects(const SelPattern &O) const {
+    return (KindBits & O.KindBits) != 0 &&
+           MinNames <= O.MaxNames && O.MinNames <= MaxNames;
+  }
+};
+
+/// Human name for bit \p Bit of a statement (Stmt=true) or expression
+/// pattern's KindBits, e.g. "list-map" / "select".
+std::string kindBitName(unsigned Bit, bool Stmt);
+
+} // namespace rulemeta
+} // namespace relc
+
+#endif // RELC_RULEMETA_PATTERN_H

@@ -1,0 +1,120 @@
+//===- rulemeta/Recursion.cpp - Rule-dependency termination audit ----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Analysis 4: the compiler terminates because every rule that emits
+// sub-goals (Emits::Expr / Emits::Prog / EmitsExprGoals) hands the engine
+// a structurally smaller term — a sub-program's bindings, an operand of
+// the matched expression. A rule that emits sub-goals but declares
+// Decreasing=false breaks that argument: if the dependency graph lets any
+// of its sub-goal targets reach back to it, the engine can loop forever
+// on a hostile (or merely unlucky) input. That is rule-cycle.
+//
+// Edges are conservative, computed from descriptors alone: a Prog-emitting
+// statement rule may spawn goals for any satisfiable statement rule and
+// any expression rule; an Expr-emitting statement rule only for expression
+// rules; an expression rule with EmitsExprGoals only for expression rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rulemeta/Pattern.h"
+#include "rulemeta/RuleMeta.h"
+
+namespace relc {
+namespace rulemeta {
+
+namespace {
+
+struct Node {
+  std::string Name;
+  bool Satisfiable;
+  bool EmitsStmtGoals; ///< May spawn statement sub-goals (Prog emitter).
+  bool EmitsExprGoals; ///< May spawn expression sub-goals.
+  bool Decreasing;
+};
+
+} // namespace
+
+Report analyzeRecursion(const core::RuleSet &RS, const core::ExprRuleSet &ES) {
+  Report R;
+
+  // Build the node list: statement rules first, then expression rules.
+  std::vector<Node> Nodes;
+  std::vector<bool> IsStmt;
+  for (size_t I = 0; I < RS.size(); ++I) {
+    const core::GoalPattern P = RS[I].pattern();
+    Nodes.push_back({RS[I].name(), SelPattern::of(P).satisfiable(),
+                     P.SubGoals == core::GoalPattern::Emits::Prog,
+                     P.SubGoals != core::GoalPattern::Emits::None,
+                     P.Decreasing});
+    IsStmt.push_back(true);
+  }
+  for (size_t I = 0; I < ES.size(); ++I) {
+    const core::ExprGoalPattern P = ES[I].pattern();
+    Nodes.push_back({ES[I].name(), SelPattern::of(P).satisfiable(),
+                     /*EmitsStmtGoals=*/false, P.EmitsExprGoals, P.Decreasing});
+    IsStmt.push_back(false);
+  }
+
+  // Adjacency: rule -> rules its emitted sub-goals may select.
+  auto targets = [&](size_t From) {
+    std::vector<size_t> Out;
+    const Node &N = Nodes[From];
+    if (!N.Satisfiable)
+      return Out;
+    for (size_t I = 0; I < Nodes.size(); ++I) {
+      if (!Nodes[I].Satisfiable)
+        continue;
+      if (IsStmt[I] ? N.EmitsStmtGoals : N.EmitsExprGoals)
+        Out.push_back(I);
+    }
+    return Out;
+  };
+
+  // A non-decreasing emitter on a cycle is the finding. Decreasing
+  // emitters on cycles are fine — that is ordinary structural recursion
+  // (compile_cond's branches contain more bindings, each smaller).
+  for (size_t From = 0; From < Nodes.size(); ++From) {
+    const Node &N = Nodes[From];
+    if (N.Decreasing || (!N.EmitsStmtGoals && !N.EmitsExprGoals) ||
+        !N.Satisfiable)
+      continue;
+    // DFS from each direct target back to From.
+    std::vector<bool> Seen(Nodes.size(), false);
+    std::vector<size_t> Stack = targets(From);
+    bool Cyclic = false;
+    while (!Stack.empty() && !Cyclic) {
+      size_t At = Stack.back();
+      Stack.pop_back();
+      if (At == From) {
+        Cyclic = true;
+        break;
+      }
+      if (Seen[At])
+        continue;
+      Seen[At] = true;
+      for (size_t Next : targets(At))
+        Stack.push_back(Next);
+    }
+    if (Cyclic)
+      R.add(Reason::RuleCycle, N.Name,
+            "emits sub-goals without a structurally decreasing argument and "
+            "the dependency graph reaches back to it; compilation may not "
+            "terminate");
+  }
+  return R;
+}
+
+Report analyzeRegistry(const core::RuleSet &RS, const core::ExprRuleSet &ES) {
+  Report R;
+  R.append(analyzeOrdering(RS, ES));
+  R.append(analyzeCoverage(RS, ES));
+  R.append(analyzeRecursion(RS, ES));
+  return R;
+}
+
+} // namespace rulemeta
+} // namespace relc

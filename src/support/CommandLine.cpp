@@ -171,7 +171,16 @@ ParseResult OptionTable::parse(int Argc, char **Argv) const {
     // Normalize --flag to -flag: every option takes both spellings.
     if (A.size() > 2 && A[1] == '-')
       A.erase(A.begin());
-    if (A == "-h" || A == "-help") {
+    // -flag=value: split at the first '='. The empty value in '-flag=' is
+    // preserved (it reaches Consume, which reports it in its own words).
+    std::string Inline;
+    bool HasInline = false;
+    if (size_t Eq = A.find('='); Eq != std::string::npos) {
+      Inline = A.substr(Eq + 1);
+      A.erase(Eq);
+      HasInline = true;
+    }
+    if (!HasInline && (A == "-h" || A == "-help")) {
       std::printf("%s", helpText().c_str());
       return ParseResult::Help;
     }
@@ -184,14 +193,22 @@ ParseResult OptionTable::parse(int Argc, char **Argv) const {
                    Argv[I], Hint.c_str(), usageLine().c_str());
       return ParseResult::Error;
     }
+    if (HasInline && !O->HasValue) {
+      std::fprintf(stderr, "%s: option '%s' does not take a value\n%s\n",
+                   Tool.c_str(), A.c_str(), usageLine().c_str());
+      return ParseResult::Error;
+    }
     std::string Value;
     if (O->HasValue) {
-      if (I + 1 >= Argc) {
+      if (HasInline) {
+        Value = Inline;
+      } else if (I + 1 >= Argc) {
         std::fprintf(stderr, "%s: option '%s' expects %s\n%s\n", Tool.c_str(),
                      A.c_str(), O->Meta.c_str(), usageLine().c_str());
         return ParseResult::Error;
+      } else {
+        Value = Argv[++I];
       }
-      Value = Argv[++I];
     }
     std::string Err;
     if (!O->Consume(Value, &Err)) {

@@ -7,6 +7,8 @@
 
 #include "support/Fault.h"
 
+#include "support/Hash.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <map>
@@ -49,28 +51,6 @@ std::string Hit::describe() const {
 }
 
 namespace {
-
-/// Local FNV-1a (support must not depend on pipeline/Hash.h).
-uint64_t fnv(const std::string &S, uint64_t H = 0xcbf29ce484222325ull) {
-  for (unsigned char C : S) {
-    H ^= C;
-    H *= 0x100000001b3ull;
-  }
-  return H;
-}
-
-/// Murmur3 finalizer. FNV-1a's multiply only carries entropy from low
-/// bits upward, so its *high* bits barely avalanche on short keys — and
-/// probabilistic targeting reads the top 53 bits. Mixing is required for
-/// the p= threshold to be anywhere near uniform.
-uint64_t mix(uint64_t X) {
-  X ^= X >> 33;
-  X *= 0xff51afd7ed558ccdull;
-  X ^= X >> 33;
-  X *= 0xc4ceb9fe1a85ec53ull;
-  X ^= X >> 33;
-  return X;
-}
 
 struct Registry {
   std::mutex Mu;
@@ -236,8 +216,11 @@ std::optional<Hit> fire(Site S, const std::string &Key) {
       continue;
     if (C.Prob < 1.0) {
       // Deterministic targeting: hash (seed, site, key) into [0,1).
-      uint64_t H = mix(fnv(Key, fnv(std::string(siteName(S)) + "|" +
-                                    std::to_string(C.Seed) + "|")));
+      // mix64: probabilistic targeting reads the top 53 bits, which
+      // plain FNV-1a barely avalanches on short keys.
+      uint64_t H = hash::mix64(
+          hash::fnv1a64(Key, hash::fnv1a64(std::string(siteName(S)) + "|" +
+                                           std::to_string(C.Seed) + "|")));
       double U = double(H >> 11) / double(1ull << 53);
       if (U >= C.Prob)
         continue;

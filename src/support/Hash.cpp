@@ -1,14 +1,14 @@
-//===- pipeline/Hash.cpp - Content hashing for the certificate cache -------===//
+//===- support/Hash.cpp - Shared content-hash primitives -------------------===//
 //
 // Part of relc, a C++ reproduction of "Relational Compilation for
 // Performance-Critical Applications" (PLDI 2022).
 //
 //===----------------------------------------------------------------------===//
 
-#include "pipeline/Hash.h"
+#include "support/Hash.h"
 
 namespace relc {
-namespace pipeline {
+namespace hash {
 
 uint64_t fnv1a64(std::string_view S, uint64_t H) {
   for (unsigned char C : S) {
@@ -16,6 +16,21 @@ uint64_t fnv1a64(std::string_view S, uint64_t H) {
     H *= 0x100000001b3ULL;
   }
   return H;
+}
+
+uint64_t fnv1a64Word(uint64_t W, uint64_t H) {
+  H ^= W;
+  H *= 0x100000001b3ULL;
+  return H;
+}
+
+uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
 }
 
 std::string hex16(uint64_t V) {
@@ -46,5 +61,5 @@ bool parseHex(std::string_view S, uint64_t *Out) {
   return true;
 }
 
-} // namespace pipeline
+} // namespace hash
 } // namespace relc

@@ -1,0 +1,57 @@
+//===- support/Hash.h - Shared content-hash primitives ----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The one home for the FNV-1a/64 string hash, its word-at-a-time variant,
+// and the Murmur3 finalizer mix that used to be copied into pipeline/Hash,
+// cert's content keys, and support/Fault. Everything content-addressed in
+// relc — the certificate cache key, the rule-registry fingerprint, fault
+// targeting — chains through these. None of them is a trust boundary
+// (DESIGN.md §4.5): a collision can at worst reuse a verdict for inputs
+// that still get recompiled and re-emitted every run.
+//
+// Lives in support so every layer (support has no intra-project
+// dependencies) can share one definition; pipeline/Hash.h re-exports these
+// names for its existing callers.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_HASH_H
+#define RELC_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace relc {
+namespace hash {
+
+/// FNV-1a over \p S, continuing from \p H (chainable).
+uint64_t fnv1a64(std::string_view S, uint64_t H = 0xcbf29ce484222325ULL);
+
+/// One FNV-1a step over a full 64-bit word (not byte-wise): used where the
+/// input is itself a hash. The TV driver and the independent rederiver
+/// both derive per-binding trace hashes with this exact step, so it must
+/// never diverge between them.
+uint64_t fnv1a64Word(uint64_t W, uint64_t H = 0xcbf29ce484222325ULL);
+
+/// Murmur3 finalizer. FNV-1a's multiply only carries entropy from low
+/// bits upward, so its *high* bits barely avalanche on short keys; mix
+/// before consuming the top bits (fault targeting reads the top 53).
+uint64_t mix64(uint64_t X);
+
+/// Fixed-width (16 digit) lowercase hex, no prefix — filename-safe and
+/// sortable, unlike relc::hexStr's 0x-prefixed variable width.
+std::string hex16(uint64_t V);
+
+/// Inverse of hex16 (any-width unprefixed hex, at most 16 digits).
+/// Returns false on any non-hex character or empty input.
+bool parseHex(std::string_view S, uint64_t *Out);
+
+} // namespace hash
+} // namespace relc
+
+#endif // RELC_SUPPORT_HASH_H

@@ -37,6 +37,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "tv/Tv.h"
+#include "support/Hash.h"
 #include "tv/Term.h"
 
 #include "support/Casting.h"
@@ -449,8 +450,7 @@ private:
                      const std::string &Path) {
     uint64_t H = 0xcbf29ce484222325ull;
     for (const std::string &N : B.Names) {
-      H ^= srcValueHash(S, N);
-      H *= 0x100000001b3ull;
+      H = hash::fnv1a64Word(srcValueHash(S, N), H);
       LastSrcBind[N] = Path + ": let " + joinNames(B.Names) + " := " +
                        clip(B.Bound->str());
     }

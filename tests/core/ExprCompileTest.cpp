@@ -212,6 +212,12 @@ TEST(ExprCompileTest, CustomExprRuleExtendsTheCompiler) {
   class XorSelfRule : public core::ExprRule {
   public:
     std::string name() const override { return "expr_compile_literal"; }
+    core::ExprGoalPattern pattern() const override {
+      core::ExprGoalPattern P;
+      P.Kinds = {ir::Expr::Kind::Bin};
+      P.MatchConds = {"op-is-xor", "operands-are-same-var"};
+      return P;
+    }
     bool matches(const core::CompileCtx &, const ir::Expr &E) const override {
       const auto *B = dyn_cast<ir::Bin>(&E);
       if (!B || B->op() != WordOp::Xor)

@@ -1,0 +1,392 @@
+//===- tests/rulemeta/RuleMetaTest.cpp - Metatheory analyzer corpus --------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Seeded-defect corpus for relc::rulemeta: each case builds a rule set
+// with one planted metatheory defect — shadowed, overlapping, dead,
+// uncovered-construct, rule-cycle, and three stale-derivation variants —
+// and pins the analyzer to the exact kebab-case reason. Plus the positive
+// controls (the standard registry and the suite derivations are clean)
+// and the fingerprint/cache-invalidation contract: editing, reordering,
+// adding, or removing a rule must change the registry fingerprint and
+// miss the certificate cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rulemeta/RuleMeta.h"
+
+#include "core/Compiler.h"
+#include "pipeline/Pipeline.h"
+#include "programs/Programs.h"
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace relc;
+
+namespace {
+
+/// A stmt rule whose selection behavior is exactly its declared pattern —
+/// the honest-descriptor baseline every analysis assumes. apply() always
+/// fails: the corpus only exercises selection and the static analyses.
+class FakeRule : public core::StmtRule {
+public:
+  FakeRule(std::string Name, core::GoalPattern P)
+      : TheName(std::move(Name)), P(std::move(P)) {}
+
+  std::string name() const override { return TheName; }
+  core::GoalPattern pattern() const override { return P; }
+
+  bool matches(const core::CompileCtx &, const ir::Binding &B) const override {
+    bool KindOk = false;
+    for (ir::BoundForm::Kind K : P.Kinds)
+      KindOk = KindOk || B.Bound->kind() == K;
+    unsigned N = unsigned(B.Names.size());
+    return KindOk && N >= P.MinNames &&
+           (P.MaxNames == core::GoalPattern::kAnyArity || N <= P.MaxNames);
+  }
+
+  Result<bedrock::CmdPtr> apply(core::CompileCtx &, const ir::Binding &,
+                                const core::Cont &,
+                                core::DerivNode &) override {
+    return Error("FakeRule '" + TheName + "' cannot compile anything");
+  }
+
+private:
+  std::string TheName;
+  core::GoalPattern P;
+};
+
+core::GoalPattern pat(std::vector<ir::BoundForm::Kind> Kinds,
+                      unsigned MinNames = 1, unsigned MaxNames = 1) {
+  core::GoalPattern P;
+  P.Kinds = std::move(Kinds);
+  P.MinNames = MinNames;
+  P.MaxNames = MaxNames;
+  return P;
+}
+
+void add(core::RuleSet &RS, std::string Name, core::GoalPattern P) {
+  RS.add(std::make_unique<FakeRule>(std::move(Name), std::move(P)));
+}
+
+/// Every reason string present in \p R.
+std::set<std::string> reasons(const rulemeta::Report &R) {
+  std::set<std::string> Out;
+  for (const rulemeta::Finding &F : R.Findings)
+    Out.insert(rulemeta::reasonName(F.Why));
+  return Out;
+}
+
+/// True iff some finding has exactly this reason and subject.
+bool hasFinding(const rulemeta::Report &R, const char *Reason,
+                const std::string &Subject) {
+  for (const rulemeta::Finding &F : R.Findings)
+    if (Reason == std::string(rulemeta::reasonName(F.Why)) &&
+        F.Subject == Subject)
+      return true;
+  return false;
+}
+
+/// Clones the standard statement registry as FakeRules (same names, same
+/// patterns, same order), skipping any rule named in \p Skip. The clone's
+/// selection behavior matches the standard rules' — matches() is kind +
+/// arity on both sides — so a derivation audited against a full clone is
+/// clean, and every corpus mutation isolates exactly one defect.
+core::RuleSet cloneStandard(const std::set<std::string> &Skip = {}) {
+  core::RuleSet Std;
+  core::registerStandardRules(Std);
+  core::RuleSet Out;
+  for (size_t I = 0; I < Std.size(); ++I)
+    if (!Skip.count(Std[I].name()))
+      add(Out, Std[I].name(), Std[I].pattern());
+  return Out;
+}
+
+using K = ir::BoundForm::Kind;
+
+//===----------------------------------------------------------------------===//
+// Positive control: the shipped registry is metatheory-clean.
+//===----------------------------------------------------------------------===//
+
+TEST(RuleMetaTest, StandardRegistryIsClean) {
+  core::RuleSet RS;
+  core::registerStandardRules(RS);
+  core::ExprRuleSet ES;
+  core::registerStandardExprRules(ES);
+  rulemeta::Report R = rulemeta::analyzeRegistry(RS, ES);
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(RuleMetaTest, SuiteDerivationsAgreeWithRegistry) {
+  core::RuleSet RS;
+  core::registerStandardRules(RS);
+  for (const programs::ProgramDef &P : programs::allPrograms()) {
+    core::Compiler C;
+    Result<core::CompileResult> CR = C.compileFn(P.Model, P.Spec, P.Hints);
+    ASSERT_TRUE(bool(CR)) << P.Name << ": " << CR.error().str();
+    rulemeta::Report R =
+        rulemeta::auditDerivation(P.Model, P.Spec, *CR->Proof, RS);
+    EXPECT_TRUE(R.clean()) << P.Name << ":\n" << R.str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded defects, one per case, pinned to the exact kebab-case reason.
+//===----------------------------------------------------------------------===//
+
+// 1: a generic rule registered before a specific same-shape rule makes the
+// later one unreachable in a first-match database.
+TEST(RuleMetaTest, ShadowedRuleIsFlagged) {
+  core::RuleSet RS;
+  add(RS, "generic_let", pat({K::PureVal}));
+  add(RS, "special_let", pat({K::PureVal}));
+  core::ExprRuleSet ES;
+  rulemeta::Report R = rulemeta::analyzeOrdering(RS, ES);
+  EXPECT_TRUE(hasFinding(R, "rule-shadowed", "special_let")) << R.str();
+  // The earlier rule itself is fine.
+  EXPECT_FALSE(hasFinding(R, "rule-shadowed", "generic_let"));
+}
+
+// 2: two unconditional rules whose kind sets merely intersect fire
+// order-dependently on the intersection.
+TEST(RuleMetaTest, OverlappingRulesAreFlagged) {
+  core::RuleSet RS;
+  add(RS, "puts_and_lets", pat({K::PureVal, K::ArrayPut}));
+  add(RS, "puts_and_maps", pat({K::ArrayPut, K::ListMap}));
+  core::ExprRuleSet ES;
+  rulemeta::Report R = rulemeta::analyzeOrdering(RS, ES);
+  EXPECT_TRUE(hasFinding(R, "rule-overlap", "puts_and_maps")) << R.str();
+  EXPECT_EQ(reasons(R), std::set<std::string>{"rule-overlap"});
+}
+
+// 3a: an empty kind set can never be selected.
+TEST(RuleMetaTest, UnsatisfiablePatternIsDead) {
+  core::RuleSet RS;
+  add(RS, "matches_nothing", pat({}));
+  core::ExprRuleSet ES;
+  rulemeta::Report R = rulemeta::analyzeOrdering(RS, ES);
+  EXPECT_TRUE(hasFinding(R, "rule-dead", "matches_nothing")) << R.str();
+}
+
+// 3b: no single earlier rule subsumes the victim, but the union of two
+// earlier rules claims every binding it could select.
+TEST(RuleMetaTest, UnionShadowedRuleIsDead) {
+  core::RuleSet RS;
+  add(RS, "lets_only", pat({K::PureVal}));
+  add(RS, "puts_only", pat({K::ArrayPut}));
+  add(RS, "lets_or_puts", pat({K::PureVal, K::ArrayPut}));
+  core::ExprRuleSet ES;
+  rulemeta::Report R = rulemeta::analyzeOrdering(RS, ES);
+  EXPECT_TRUE(hasFinding(R, "rule-dead", "lets_or_puts")) << R.str();
+  // Not pairwise-shadowed: neither earlier rule covers both kinds.
+  EXPECT_FALSE(hasFinding(R, "rule-shadowed", "lets_or_puts"));
+}
+
+// 4: a registry that compiles almost nothing leaves most of the construct
+// matrix uncovered, row by named row.
+TEST(RuleMetaTest, UncoveredConstructsAreNamed) {
+  core::RuleSet RS;
+  add(RS, "only_lets", pat({K::PureVal}));
+  core::ExprRuleSet ES; // Empty: every expression kind is uncovered too.
+  rulemeta::Report R = rulemeta::analyzeCoverage(RS, ES);
+  EXPECT_TRUE(hasFinding(R, "uncovered-construct", "stmt/list-map"))
+      << R.str();
+  EXPECT_TRUE(hasFinding(R, "uncovered-construct", "expr/const"));
+  EXPECT_FALSE(hasFinding(R, "uncovered-construct", "stmt/pure-val"));
+  // 20 statement kinds minus the covered one, plus all 7 expression kinds.
+  EXPECT_EQ(R.Findings.size(), 19u + 7u);
+  EXPECT_EQ(reasons(R), std::set<std::string>{"uncovered-construct"});
+}
+
+// 5: a sub-goal emitter without a structural-decrease argument, reachable
+// from its own emissions, may recurse forever.
+TEST(RuleMetaTest, NonDecreasingEmitterOnCycleIsFlagged) {
+  core::RuleSet RS;
+  core::GoalPattern P = pat({K::IfBound}, 0, core::GoalPattern::kAnyArity);
+  P.SubGoals = core::GoalPattern::Emits::Prog;
+  P.Decreasing = false;
+  add(RS, "expands_in_place", std::move(P));
+  core::ExprRuleSet ES;
+  rulemeta::Report R = rulemeta::analyzeRecursion(RS, ES);
+  EXPECT_TRUE(hasFinding(R, "rule-cycle", "expands_in_place")) << R.str();
+}
+
+// 5b: the same non-decreasing declaration is fine when nothing reaches
+// back — an Expr-emitter over non-emitting expression rules terminates
+// regardless.
+TEST(RuleMetaTest, NonDecreasingEmitterOffCycleIsFine) {
+  core::RuleSet RS;
+  core::GoalPattern P = pat({K::PureVal});
+  P.SubGoals = core::GoalPattern::Emits::Expr;
+  P.Decreasing = false;
+  add(RS, "leaf_emitter", std::move(P));
+  core::ExprRuleSet ES;
+  core::registerStandardExprRules(ES);
+  // The standard expression rules that re-emit goals all declare
+  // Decreasing, so no cycle runs through a non-decreasing rule... but the
+  // stmt rule itself must not be flagged either: expression rules never
+  // emit statement goals, so nothing reaches back to it.
+  rulemeta::Report R = rulemeta::analyzeRecursion(RS, ES);
+  EXPECT_FALSE(hasFinding(R, "rule-cycle", "leaf_emitter")) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Derivation audit: witness/registry drift (stale-derivation variants).
+//===----------------------------------------------------------------------===//
+
+struct CompiledFnv1a {
+  const programs::ProgramDef *P;
+  core::CompileResult CR;
+
+  static CompiledFnv1a make() {
+    const programs::ProgramDef *P = programs::findProgram("fnv1a");
+    EXPECT_NE(P, nullptr);
+    core::Compiler C;
+    Result<core::CompileResult> CR = C.compileFn(P->Model, P->Spec, P->Hints);
+    EXPECT_TRUE(bool(CR)) << CR.error().str();
+    return {P, CR.take()};
+  }
+
+  rulemeta::Report audit(const core::RuleSet &RS) const {
+    return rulemeta::auditDerivation(P->Model, P->Spec, *CR.Proof, RS);
+  }
+};
+
+// Control: a faithful clone of the standard registry accepts the witness.
+TEST(RuleMetaTest, AuditAcceptsFaithfulClone) {
+  CompiledFnv1a F = CompiledFnv1a::make();
+  core::RuleSet Clone = cloneStandard();
+  rulemeta::Report R = F.audit(Clone);
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+// 6: the recorded rule was deleted from the registry.
+TEST(RuleMetaTest, DeletedRuleMakesDerivationStale) {
+  CompiledFnv1a F = CompiledFnv1a::make();
+  core::RuleSet Mutant = cloneStandard({"compile_fold"});
+  rulemeta::Report R = F.audit(Mutant);
+  EXPECT_TRUE(hasFinding(R, "stale-derivation", "compile_fold")) << R.str();
+}
+
+// 7: an addFront specialization now outranks the recorded rule — the
+// recorded derivation is not the one a no-backtracking driver would
+// produce today.
+TEST(RuleMetaTest, FrontInsertedRuleMakesDerivationStale) {
+  CompiledFnv1a F = CompiledFnv1a::make();
+  core::RuleSet Mutant = cloneStandard();
+  Mutant.addFront(std::make_unique<FakeRule>("fold_hijack",
+                                             pat({K::ListFold})));
+  rulemeta::Report R = F.audit(Mutant);
+  EXPECT_TRUE(hasFinding(R, "stale-derivation", "compile_fold")) << R.str();
+  // And the finding names the usurper.
+  bool NamesHijacker = false;
+  for (const rulemeta::Finding &Fi : R.Findings)
+    NamesHijacker =
+        NamesHijacker || Fi.Detail.find("fold_hijack") != std::string::npos;
+  EXPECT_TRUE(NamesHijacker) << R.str();
+}
+
+// 8: the rule still exists by name but its conclusion changed shape — it
+// no longer matches the goal it once discharged.
+TEST(RuleMetaTest, RetargetedRuleMakesDerivationStale) {
+  CompiledFnv1a F = CompiledFnv1a::make();
+  core::RuleSet Mutant = cloneStandard({"compile_fold"});
+  // Same name, different conclusion: now claims cell reads, not folds.
+  Mutant.add(std::make_unique<FakeRule>("compile_fold", pat({K::CellGet})));
+  rulemeta::Report R = F.audit(Mutant);
+  EXPECT_TRUE(hasFinding(R, "stale-derivation", "compile_fold")) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint: rule edits must change the registry digest and miss the
+// certificate cache.
+//===----------------------------------------------------------------------===//
+
+TEST(RuleMetaTest, FingerprintIsStableAndNonzero) {
+  EXPECT_NE(core::standardRegistryFingerprint(), 0u);
+  EXPECT_EQ(core::standardRegistryFingerprint(),
+            core::standardRegistryFingerprint());
+  core::RuleSet RS;
+  core::registerStandardRules(RS);
+  EXPECT_EQ(RS.fingerprint(), cloneStandard().fingerprint())
+      << "fingerprint must depend only on names and rendered patterns";
+}
+
+TEST(RuleMetaTest, FingerprintSeesEveryKindOfRegistryEdit) {
+  uint64_t Base = cloneStandard().fingerprint();
+
+  // Removal.
+  EXPECT_NE(cloneStandard({"compile_fold"}).fingerprint(), Base);
+
+  // Addition (front and back).
+  core::RuleSet Added = cloneStandard();
+  Added.addFront(std::make_unique<FakeRule>("extra", pat({K::ListFold})));
+  EXPECT_NE(Added.fingerprint(), Base);
+
+  // Reorder: same rules, different order.
+  core::RuleSet Std;
+  core::registerStandardRules(Std);
+  core::RuleSet Reordered;
+  for (size_t I = Std.size(); I-- > 0;)
+    Reordered.add(std::make_unique<FakeRule>(Std[I].name(), Std[I].pattern()));
+  EXPECT_NE(Reordered.fingerprint(), Base);
+
+  // Pattern edit: one rule's side-condition list gains a tag.
+  core::RuleSet Edited;
+  for (size_t I = 0; I < Std.size(); ++I) {
+    core::GoalPattern P = Std[I].pattern();
+    if (Std[I].name() == "compile_fold")
+      P.SideConds.push_back("extra-condition");
+    Edited.add(std::make_unique<FakeRule>(Std[I].name(), std::move(P)));
+  }
+  EXPECT_NE(Edited.fingerprint(), Base);
+}
+
+TEST(RuleMetaTest, OptionsHashSaltsRegistryFingerprint) {
+  validate::ValidationOptions VOpts;
+  pipeline::PipelineOptions Opts;
+  // The default argument is the standard fingerprint.
+  EXPECT_EQ(pipeline::optionsHashFor(VOpts, Opts),
+            pipeline::optionsHashFor(VOpts, Opts,
+                                     core::standardRegistryFingerprint()));
+  // A mutated registry produces a different options hash.
+  uint64_t MutantFp = cloneStandard({"compile_fold"}).fingerprint();
+  ASSERT_NE(MutantFp, core::standardRegistryFingerprint());
+  EXPECT_NE(pipeline::optionsHashFor(VOpts, Opts),
+            pipeline::optionsHashFor(VOpts, Opts, MutantFp));
+}
+
+TEST(RuleMetaTest, RegistryEditMissesCertificateCache) {
+  std::string Dir = testing::TempDir() + "/rulemeta-cache-miss";
+  pipeline::CertCache Cache(Dir);
+  ASSERT_TRUE(Cache.enabled());
+
+  validate::ValidationOptions VOpts;
+  pipeline::PipelineOptions Opts;
+  pipeline::CertKey Key{0x1111, 0x2222, 0x3333};
+
+  pipeline::CertEntry E;
+  E.Program = "fnv1a";
+  E.OptsHash = pipeline::optionsHashFor(VOpts, Opts);
+  E.ReplayOk = E.AnalysisOk = E.DifferentialOk = true;
+  E.TvRan = true;
+  ASSERT_TRUE(bool(Cache.store(Key, E)));
+
+  // Same content, same options, same registry: hit.
+  EXPECT_TRUE(Cache.lookup(Key, pipeline::optionsHashFor(VOpts, Opts))
+                  .has_value());
+
+  // Same content, same options, edited registry: provably a miss.
+  uint64_t MutantFp = cloneStandard({"compile_fold"}).fingerprint();
+  EXPECT_FALSE(
+      Cache.lookup(Key, pipeline::optionsHashFor(VOpts, Opts, MutantFp))
+          .has_value());
+}
+
+} // namespace

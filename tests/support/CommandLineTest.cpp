@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+
 using namespace relc;
 
 namespace {
@@ -156,6 +159,84 @@ TEST(CommandLineTest, UsageLineMentionsPositionalMeta) {
   std::string U = F.T.usageLine();
   EXPECT_NE(U.find("test-tool"), std::string::npos);
   EXPECT_NE(U.find("name"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// -flag=value spelling.
+//===----------------------------------------------------------------------===//
+
+TEST(CommandLineTest, EqualsValueForm) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"-out=there", "-j=8"}), cl::ParseResult::Ok);
+  EXPECT_EQ(F.Out, "there");
+  EXPECT_EQ(F.Jobs, 8u);
+}
+
+TEST(CommandLineTest, EqualsValueFormWithDoubleDash) {
+  // The relc-gen spelling '--tv-step-budget=5000': double dash plus
+  // inline value, routed through a custom consumer.
+  uint64_t Budget = 0;
+  cl::OptionTable T{"test-tool", "overview"};
+  T.custom({"-tv-step-budget"}, /*HasValue=*/true, "<n>", "step cap",
+           [&Budget](const std::string &V, std::string *Err) {
+             if (V.empty() ||
+                 V.find_first_not_of("0123456789") != std::string::npos) {
+               *Err = "expected a non-negative integer, got '" + V + "'";
+               return false;
+             }
+             Budget = std::strtoull(V.c_str(), nullptr, 10);
+             return true;
+           });
+  EXPECT_EQ(parseArgs(T, {"--tv-step-budget=5000"}), cl::ParseResult::Ok);
+  EXPECT_EQ(Budget, 5000u);
+}
+
+TEST(CommandLineTest, EqualsEmptyValueReachesConsumer) {
+  // '-j=' hands the empty string to the numeric consumer, which rejects
+  // it in its own words — not the generic missing-value error.
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"-j="}), cl::ParseResult::Error);
+  // And a string option accepts the empty value as-is.
+  Fixture G;
+  EXPECT_EQ(parseArgs(G.T, {"-out="}), cl::ParseResult::Ok);
+  EXPECT_EQ(G.Out, "");
+}
+
+TEST(CommandLineTest, EqualsOnValuelessFlagIsAnError) {
+  Fixture F;
+  EXPECT_EQ(parseArgs(F.T, {"-v=1"}), cl::ParseResult::Error);
+  EXPECT_FALSE(F.Verbose);
+}
+
+TEST(CommandLineTest, EqualsOnUnknownOptionStillSuggests) {
+  // The '=value' tail must not defeat the typo suggestion.
+  Fixture F;
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parseArgs(F.T, {"--ouy=here"}), cl::ParseResult::Error);
+  std::string Err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(Err.find("did you mean '-out'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Typo suggestions for the relc-lint metatheory flags.
+//===----------------------------------------------------------------------===//
+
+TEST(CommandLineTest, TypoSuggestionForRulesFlags) {
+  // Mirror of the relc-lint table: misspelling -rules or -rulint-report
+  // must point at the real flag.
+  bool Rules = false, RulintReport = false;
+  cl::OptionTable T{"relc-lint", "overview"};
+  T.flag({"-rules"}, &Rules, "metatheory gate");
+  T.flag({"-rulint-report"}, &RulintReport, "registry summary");
+  EXPECT_EQ(T.suggestion("-rule"), "-rules");
+  EXPECT_EQ(T.suggestion("-ruels"), "-rules");
+  EXPECT_EQ(T.suggestion("-rulint-reprot"), "-rulint-report");
+
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parseArgs(T, {"--rulez"}), cl::ParseResult::Error);
+  std::string Err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(Err.find("did you mean '-rules'"), std::string::npos);
+  EXPECT_FALSE(Rules);
 }
 
 } // namespace

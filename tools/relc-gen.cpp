@@ -190,8 +190,21 @@ int main(int argc, char **argv) {
   std::string Header = cgen::cPrelude();
   bool AnyFailed = false, AnyDegraded = false;
 
+  // Cache-store failures are absorbed per program (the verdict stands),
+  // but a misconfigured cache directory silently re-certifies everything
+  // on every run. Surface the first failure once, as a named warning.
+  bool WarnedCacheStore = false;
+
   for (const pipeline::ProgramOutcome &O : Outcomes) {
     const programs::ProgramDef &P = *O.Def;
+
+    if (!O.CacheStoreError.empty() && !WarnedCacheStore) {
+      std::fprintf(stderr,
+                   "relc-gen: warning: cache-dir-unwritable: could not "
+                   "persist [%s]'s verdict: %s\n",
+                   P.Name.c_str(), O.CacheStoreError.c_str());
+      WarnedCacheStore = true;
+    }
 
     // --keep-going: a program whose only problems are degraded outcomes
     // (budget exhaustion, injected faults, scheduler-boundary deaths) is

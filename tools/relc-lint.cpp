@@ -31,7 +31,14 @@
 // gate always certifies live (never the certificate cache): its job is
 // producing fresh full reports. Flags accept both - and -- forms.
 //
-// Usage: relc-lint [-q] [-no-tv] [-certs <dir>] [-j <n>] [<program>...]
+// With -rules the gate additionally runs the rule-metatheory analyses
+// (relc::rulemeta, same findings as relc-rulint): registry-level
+// shadowing/coverage/dead-rule/termination checks plus each linted
+// program's derivation witness replayed against the live registry. Every
+// finding counts as a diagnostic.
+//
+// Usage: relc-lint [-q] [-no-tv] [-rules] [-certs <dir>] [-j <n>]
+//                  [<program>...]
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,7 +47,9 @@
 #include "pipeline/Pipeline.h"
 #include "pipeline/Scheduler.h"
 #include "programs/Programs.h"
+#include "rulemeta/RuleMeta.h"
 #include "support/CommandLine.h"
+#include "support/Hash.h"
 
 #include <cstdio>
 #include <string>
@@ -49,7 +58,7 @@
 using namespace relc;
 
 int main(int argc, char **argv) {
-  bool Quiet = false, NoTv = false;
+  bool Quiet = false, NoTv = false, Rules = false, RulintReport = false;
   std::string CertsDir;
   unsigned Jobs = 1;
   std::vector<const programs::ProgramDef *> Targets;
@@ -63,6 +72,15 @@ int main(int argc, char **argv) {
       "registered program.");
   T.flag({"-q"}, &Quiet, "print reports only for programs with findings");
   T.flag({"-no-tv"}, &NoTv, "skip the translation-validation gate");
+  T.flag({"-rules"}, &Rules,
+         "also run the rule-metatheory analyses (relc-rulint):\n"
+         "shadowed/overlapping/dead rules, uncovered constructs,\n"
+         "the termination audit, and each linted program's\n"
+         "derivation replayed against the live registry; every\n"
+         "finding is a diagnostic");
+  T.flag({"-rulint-report"}, &RulintReport,
+         "with -rules, print the registry summary (rule counts\n"
+         "and fingerprint) even when clean");
   T.str({"-certs"}, &CertsDir, "<dir>",
         "also audit each program's on-disk certificate in <dir>;\n"
         "a missing or rejected certificate is a diagnostic");
@@ -108,6 +126,25 @@ int main(int argc, char **argv) {
       pipeline::certifyPrograms(Targets, Opts);
 
   unsigned TotalDiags = 0;
+
+  // -rules: the metatheory gate. Registry-level analyses run once; the
+  // per-program derivation audit reuses the freshly compiled witnesses.
+  core::RuleSet RuleRS;
+  core::ExprRuleSet RuleES;
+  if (Rules) {
+    core::registerStandardRules(RuleRS);
+    core::registerStandardExprRules(RuleES);
+    rulemeta::Report R = rulemeta::analyzeRegistry(RuleRS, RuleES);
+    for (const rulemeta::Finding &F : R.Findings)
+      std::fprintf(stderr, "[registry] %s\n", F.str().c_str());
+    TotalDiags += unsigned(R.Findings.size());
+    if (RulintReport && R.clean())
+      std::printf("registry clean: %zu statement rules, %zu expression "
+                  "rules, fingerprint %s\n",
+                  RuleRS.size(), RuleES.size(),
+                  hash::hex16(core::standardRegistryFingerprint()).c_str());
+  }
+
   for (const pipeline::ProgramOutcome &O : Outcomes) {
     if (!O.CompileOk) {
       std::fprintf(stderr, "[%s] compilation failed:\n%s\n",
@@ -117,6 +154,15 @@ int main(int argc, char **argv) {
     if (!Quiet || !O.AReport.Diags.empty())
       std::printf("%s", O.AReport.str().c_str());
     TotalDiags += unsigned(O.AReport.Diags.size());
+
+    if (Rules) {
+      rulemeta::Report Audit = rulemeta::auditDerivation(
+          O.Def->Model, O.Def->Spec, *O.Compiled.Proof, RuleRS);
+      for (const rulemeta::Finding &F : Audit.Findings)
+        std::fprintf(stderr, "[%s] %s\n", O.Def->Name.c_str(),
+                     F.str().c_str());
+      TotalDiags += unsigned(Audit.Findings.size());
+    }
 
     if (Tv) {
       if (!Quiet || !O.TvRep.proved())

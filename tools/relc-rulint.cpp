@@ -1,0 +1,139 @@
+//===- tools/relc-rulint.cpp - Rule-database metatheory analyzer -----------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The standalone face of relc::rulemeta (DESIGN.md §4.8): audits the
+// compilation-rule database itself, the one artifact the rest of the
+// certification stack trusts implicitly. Four static analyses run over
+// the standard registries' declarative GoalPattern descriptors —
+// shadowing/overlap, construct coverage, dead rules, and the
+// recursion/termination audit — then every benchmark program is compiled
+// and its derivation witness replayed against the live registry: each
+// recorded rule must still exist, still match, and still be the first
+// match a no-backtracking driver would select (stale-derivation
+// otherwise).
+//
+// Every finding carries a stable kebab-case reason (rule-shadowed,
+// rule-overlap, rule-dead, uncovered-construct, rule-cycle,
+// stale-derivation); CI matches on those strings. Flags accept both -
+// and -- forms, and -flag=value works everywhere.
+//
+// Exit-code taxonomy (stable; scripts may rely on it):
+//   0  registry and every audited derivation are clean
+//   1  at least one finding
+//   2  usage or infrastructure error (unknown program, compile failure)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "programs/Programs.h"
+#include "rulemeta/RuleMeta.h"
+#include "support/CommandLine.h"
+#include "support/Hash.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace relc;
+
+int main(int argc, char **argv) {
+  bool Quiet = false, NoDeriv = false, PrintFingerprint = false;
+  std::vector<const programs::ProgramDef *> Targets;
+
+  cl::OptionTable T(
+      "relc-rulint",
+      "Static analyzer for the compilation-rule database: checks the\n"
+      "standard rule registries for shadowed, overlapping, dead, and\n"
+      "non-terminating rules and for uncovered source constructs, then\n"
+      "replays each benchmark program's derivation witness against the\n"
+      "live registry to catch witness/registry drift. With no program\n"
+      "arguments, audits every registered program's derivation.");
+  T.flag({"-q"}, &Quiet, "print findings only, no per-section summaries");
+  T.flag({"-no-deriv"}, &NoDeriv,
+         "registry analyses only; skip compiling the\n"
+         "benchmark programs and auditing their derivations");
+  T.flag({"-print-fingerprint"}, &PrintFingerprint,
+         "print the standard registry fingerprint (the\n"
+         "digest salted into the certificate-cache options\n"
+         "hash) and exit");
+  T.positional("program",
+               "audit only the named programs' derivations (default: all)",
+               [&Targets](const std::string &A, std::string *Err) {
+                 const programs::ProgramDef *P = programs::findProgram(A);
+                 if (!P) {
+                   *Err = "unknown program '" + A + "'";
+                   return false;
+                 }
+                 Targets.push_back(P);
+                 return true;
+               });
+
+  switch (T.parse(argc, argv)) {
+  case cl::ParseResult::Ok:
+    break;
+  case cl::ParseResult::Help:
+    return 0;
+  case cl::ParseResult::Error:
+    return 2;
+  }
+
+  if (PrintFingerprint) {
+    std::printf("%s\n",
+                hash::hex16(core::standardRegistryFingerprint()).c_str());
+    return 0;
+  }
+
+  core::RuleSet RS;
+  core::registerStandardRules(RS);
+  core::ExprRuleSet ES;
+  core::registerStandardExprRules(ES);
+
+  unsigned TotalFindings = 0;
+  auto Emit = [&TotalFindings](const rulemeta::Report &R,
+                               const std::string &Where) {
+    for (const rulemeta::Finding &F : R.Findings)
+      std::fprintf(stderr, "[%s] %s\n", Where.c_str(), F.str().c_str());
+    TotalFindings += unsigned(R.Findings.size());
+  };
+
+  rulemeta::Report Registry = rulemeta::analyzeRegistry(RS, ES);
+  Emit(Registry, "registry");
+  if (!Quiet && Registry.clean())
+    std::printf("registry clean: %zu statement rules, %zu expression rules, "
+                "fingerprint %s\n",
+                RS.size(), ES.size(),
+                hash::hex16(core::standardRegistryFingerprint()).c_str());
+
+  if (!NoDeriv) {
+    if (Targets.empty())
+      for (const programs::ProgramDef &P : programs::allPrograms())
+        Targets.push_back(&P);
+
+    for (const programs::ProgramDef *P : Targets) {
+      core::Compiler C;
+      Result<core::CompileResult> CR = C.compileFn(P->Model, P->Spec, P->Hints);
+      if (!CR) {
+        std::fprintf(stderr, "[%s] compilation failed:\n%s\n", P->Name.c_str(),
+                     CR.error().str().c_str());
+        return 2;
+      }
+      rulemeta::Report Audit =
+          rulemeta::auditDerivation(P->Model, P->Spec, *CR->Proof, RS);
+      Emit(Audit, P->Name);
+      if (!Quiet && Audit.clean())
+        std::printf("[%s] derivation agrees with the registry "
+                    "(%u rule applications)\n",
+                    P->Name.c_str(), CR->Proof->size());
+    }
+  }
+
+  if (TotalFindings) {
+    std::fprintf(stderr, "relc-rulint: %u finding(s)\n", TotalFindings);
+    return 1;
+  }
+  return 0;
+}
