@@ -17,9 +17,13 @@
 //
 //  2. Incremental certification: cold (empty cache) vs warm (fully
 //     populated cache) suite runs. A warm run skips replay, analysis,
-//     translation validation, and differential testing per program,
-//     leaving only compilation + hashing + cache I/O — this speedup is
-//     machine-independent.
+//     translation validation, codelint, and differential testing per
+//     program, leaving only compilation + hashing + cache I/O — this
+//     speedup is machine-independent.
+//
+// Plus two overhead prices that must stay small: the §4.7 guard
+// bookkeeping (≤2%) and the target-side codelint layer (≤10% of a full
+// certification run).
 //
 // Writes BENCH_pipeline.json (sorted keys) for trajectory tracking;
 // EXPERIMENTS.md records the committed numbers.
@@ -85,7 +89,7 @@ int main() {
   const std::vector<unsigned> Widths = {1, 2, 4, 8};
 
   std::printf("Parallel certification pipeline: full-suite wall-clock\n");
-  std::printf("(%zu programs x 4 layers; %u repetitions; %u hardware "
+  std::printf("(%zu programs x 5 layers; %u repetitions; %u hardware "
               "thread(s))\n\n",
               suite().size(), Reps, HwThreads);
 
@@ -132,6 +136,29 @@ int main() {
               "(+/- %.2f)  overhead: %+.2f%%\n",
               GuardStats.Mean, GuardStats.Ci95, GuardPct);
 
+  // --- Codelint overhead: the same serial run with the target-side
+  // analyzer on (the default) vs off, interleaved like the guard
+  // measurement. This prices the whole layer — CFG + symbolic fixpoint +
+  // solver-replayed accesses + the trip-count pattern matches — whose
+  // budget is ≤10% of a full certification run.
+  pipeline::PipelineOptions NoCl;
+  NoCl.Jobs = 1;
+  NoCl.Codelint = false;
+  runOnce(NoCl); // Warmup (Plain is warm from the guard section).
+  std::vector<double> ClOnSamples, ClOffSamples;
+  for (unsigned I = 0; I < Reps; ++I) {
+    ClOnSamples.push_back(runOnce(Plain));
+    ClOffSamples.push_back(runOnce(NoCl));
+  }
+  Stats ClOn = stats(ClOnSamples);
+  Stats ClOff = stats(ClOffSamples);
+  double ClPct = (ClOn.Mean - ClOff.Mean) / ClOn.Mean * 100.0;
+  std::printf("\n  codelint on  (-j 1, interleaved): %7.2f ms (+/- %.2f)\n",
+              ClOn.Mean, ClOn.Ci95);
+  std::printf("  codelint off (-j 1, interleaved): %7.2f ms (+/- %.2f)  "
+              "layer share: %+.2f%%\n",
+              ClOff.Mean, ClOff.Ci95, ClPct);
+
   // --- Cold vs warm certificate cache, at the widest setting.
   std::string CacheDir =
       (std::filesystem::temp_directory_path() / "relc-bench-cache").string();
@@ -160,6 +187,12 @@ int main() {
   J << Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"cache_warm_speedup\": %.3f,\n",
                 ColdMs / Warm.Mean);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"codelint_off_ms\": %.3f,\n",
+                ClOff.Mean);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"codelint_overhead_pct\": %.3f,\n",
+                ClPct);
   J << Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"guard_overhead_pct\": %.3f,\n",
                 GuardPct);

@@ -417,7 +417,7 @@ runFunction(const Module &Mod, const std::string &Name,
   Result<std::vector<Word>> Rets = I.callFunction(S, Name, ActualArgs);
   if (!Rets)
     return Rets.takeError();
-  return RunResult{Rets.take(), std::move(S)};
+  return RunResult{Rets.take(), std::move(S), I.fuelUsed()};
 }
 
 //===----------------------------------------------------------------------===//

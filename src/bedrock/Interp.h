@@ -185,6 +185,11 @@ public:
   /// named diagnostic required for graceful degradation.
   bool hitFuelLimit() const { return FuelExhausted; }
 
+  /// Statement steps consumed by the most recent top-level run. Tests use
+  /// this to cross-check codelint's static step envelope: a Safe verdict's
+  /// StepBound must dominate the fuel any concrete run actually burns.
+  uint64_t fuelUsed() const { return Opts.Fuel - FuelLeft; }
+
 private:
   const Module &Mod;
   ExtHandler &Env;
@@ -202,6 +207,7 @@ private:
 struct RunResult {
   std::vector<Word> Rets;
   State Final;
+  uint64_t FuelUsed = 0; ///< Interp::fuelUsed() after the run.
 };
 Result<RunResult>
 runFunction(const Module &Mod, const std::string &Name,

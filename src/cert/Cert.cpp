@@ -8,6 +8,7 @@
 #include "cert/Cert.h"
 
 #include "bedrock/Ast.h"
+#include "codelint/Codelint.h"
 #include "support/Hash.h"
 #include "sep/State.h"
 #include "support/StringExtras.h"
@@ -65,6 +66,20 @@ ContentKey contentKey(const ir::SourceFn &Model, const EntryFacts &Hints,
   return Key;
 }
 
+CodelintRec codelintRecOf(const codelint::Report &R) {
+  CodelintRec L;
+  L.Version = codelint::kCodelintVersion;
+  L.Mem = codelint::verdictName(R.Mem);
+  L.Stack = codelint::verdictName(R.Stack);
+  L.Steps = codelint::verdictName(R.Steps);
+  L.Accesses = R.Accesses;
+  L.LocalsBytes = R.LocalsBytes;
+  L.ScratchBytes = R.ScratchBytes;
+  L.OperandDepth = R.OperandDepth;
+  L.StepBound = R.StepBound;
+  return L;
+}
+
 const char *rejectName(Reject R) {
   switch (R) {
   case Reject::MissingCertificate:
@@ -95,6 +110,8 @@ const char *rejectName(Reject R) {
     return "loop-witness-mismatch";
   case Reject::OutputMismatch:
     return "output-mismatch";
+  case Reject::CodelintMismatch:
+    return "codelint-mismatch";
   case Reject::RederivationFailed:
     return "rederivation-failed";
   }

@@ -28,9 +28,14 @@
 //       independently re-checked, so relc-check rejects them as
 //       `unverifiable-v1`.
 //   v2  "schema_version": 2 — adds producer identity, model/fnspec/code
-//       content hashes (pipeline::Hash FNV-1a over the canonical
+//       content hashes (support/Hash FNV-1a over the canonical
 //       renderings, the same key the certificate cache uses), per-loop
 //       source paths and match witnesses, and per-layer verdict text.
+//       A v2 file may additionally carry an optional "codelint" section
+//       (versioned independently, cert::CodelintRec) recording the
+//       target-side analyzer's verdicts; when present, relc-check
+//       re-derives it from the emitted code via relc_codelint_core and
+//       rejects on any difference (`codelint-mismatch`).
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +47,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +59,10 @@ struct Function;
 
 namespace sep {
 class CompState;
+}
+
+namespace codelint {
+struct Report;
 }
 
 namespace cert {
@@ -128,6 +138,36 @@ struct OutputRec {
   std::string TargetPath;    ///< Last target statement defining it.
 };
 
+/// The optional target-side codelint section (DESIGN.md §4.9): the
+/// analyzer's three verdicts plus the resource numbers they certify.
+/// Versioned independently of the certificate schema so the analyzer can
+/// evolve without a schema bump; the checker re-derives the whole record
+/// from the emitted code and compares field-for-field.
+struct CodelintRec {
+  unsigned Version = 0;     ///< codelint::kCodelintVersion at write time.
+  std::string Mem;          ///< "safe" / "unknown" / "unsafe".
+  std::string Stack;
+  std::string Steps;
+  uint64_t Accesses = 0;    ///< Memory accesses proved in-bounds.
+  uint64_t LocalsBytes = 0; ///< Worst-case locals footprint.
+  uint64_t ScratchBytes = 0;///< Worst-case live stackalloc bytes.
+  uint64_t OperandDepth = 0;///< stackm max operand-stack depth (else 0).
+  uint64_t StepBound = 0;   ///< Step envelope when Steps == "safe".
+
+  bool operator==(const CodelintRec &O) const {
+    return Version == O.Version && Mem == O.Mem && Stack == O.Stack &&
+           Steps == O.Steps && Accesses == O.Accesses &&
+           LocalsBytes == O.LocalsBytes && ScratchBytes == O.ScratchBytes &&
+           OperandDepth == O.OperandDepth && StepBound == O.StepBound;
+  }
+};
+
+/// Projects an analyzer report into the certificate record (stamping the
+/// current analyzer version). Both the pipeline's writer and the checker's
+/// re-derivation go through this one function, so "the same analysis"
+/// means the same thing on both sides.
+CodelintRec codelintRecOf(const codelint::Report &R);
+
 struct Certificate {
   unsigned SchemaVersion = kSchemaVersion;
   std::string Producer = kProducer;
@@ -141,6 +181,9 @@ struct Certificate {
   std::vector<LoopRec> Loops;
   std::vector<BindingRec> Bindings;
   std::vector<OutputRec> Outputs;
+  /// Present iff the pipeline's codelint layer ran to completion
+  /// (un-degraded, budget not exhausted) when the certificate was written.
+  std::optional<CodelintRec> Codelint;
 
   bool proved() const { return Verdict == "proved"; }
 };
@@ -166,6 +209,8 @@ enum class Reject : uint8_t {
   LoopSummaryMismatch,  ///< A loop's fold hash or shape differs.
   LoopWitnessMismatch,  ///< The recorded witness fails verification.
   OutputMismatch,       ///< An output channel's record differs.
+  CodelintMismatch,     ///< The codelint section differs from what the
+                        ///< checker re-derives from the emitted code.
   RederivationFailed,   ///< The checker could not model the program.
 };
 

@@ -351,6 +351,24 @@ std::optional<Certificate> Reader::parse(const std::string &Text,
     C.Reason = strField(*Root, "reason");
     C.NumTerms = numField(*Root, "num_terms");
     parseTraces(*Root, C, /*Witness=*/true);
+    // Optional codelint section (v2 extension; absence is not an error).
+    auto ClIt = Root->Obj.find("codelint");
+    if (ClIt != Root->Obj.end()) {
+      const JValue &Cl = ClIt->second;
+      if (Cl.K != JValue::Kind::Object)
+        bad("'codelint' is not an object");
+      CodelintRec L;
+      L.Version = unsigned(numField(Cl, "version"));
+      L.Mem = strField(Cl, "mem");
+      L.Stack = strField(Cl, "stack");
+      L.Steps = strField(Cl, "steps");
+      L.Accesses = numField(Cl, "accesses");
+      L.LocalsBytes = numField(Cl, "locals_bytes");
+      L.ScratchBytes = numField(Cl, "scratch_bytes");
+      L.OperandDepth = numField(Cl, "operand_depth");
+      L.StepBound = numField(Cl, "step_bound");
+      C.Codelint = std::move(L);
+    }
     return C;
   } catch (const Bad &B) {
     return Fail(Reject::MalformedCertificate, B.Why);

@@ -22,6 +22,7 @@
 
 #include "analysis/Domains.h"
 #include "bedrock/Ast.h"
+#include "codelint/Codelint.h"
 #include "support/Casting.h"
 #include "support/StringExtras.h"
 #include "tv/Term.h"
@@ -1305,11 +1306,29 @@ CheckResult Rederive::check(const Certificate &C, const ir::SourceFn &Model,
                                    "'; only proved certificates are "
                                    "acceptable");
 
+  CheckResult R = CheckResult::accept();
   try {
-    return Replayer(C, Model, Spec, Code, Hints).run();
+    R = Replayer(C, Model, Spec, Code, Hints).run();
   } catch (const CheckFail &F) {
     return CheckResult::reject(F.Why, F.Detail);
   }
+  if (!R.Accepted || !C.Codelint)
+    return R;
+
+  // The optional codelint section re-derives the same way everything else
+  // does: run the analyzer core (unbudgeted — the producer only embeds the
+  // section when its own budgeted run finished) and compare field-for-field.
+  codelint::Report Rep = codelint::analyzeFunction(Code, Spec, Model, Hints);
+  CodelintRec Fresh2 = codelintRecOf(Rep);
+  if (!(Fresh2 == *C.Codelint))
+    return CheckResult::reject(
+        Reject::CodelintMismatch,
+        "codelint section does not re-derive: certificate claims (" +
+            C.Codelint->Mem + "/" + C.Codelint->Stack + "/" +
+            C.Codelint->Steps + ", v" + std::to_string(C.Codelint->Version) +
+            ") but the analyzer derives (" + Fresh2.Mem + "/" + Fresh2.Stack +
+            "/" + Fresh2.Steps + ", v" + std::to_string(Fresh2.Version) + ")");
+  return R;
 }
 
 } // namespace cert

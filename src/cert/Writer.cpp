@@ -98,7 +98,21 @@ std::string Writer::write(const Certificate &C) {
          quoted(O.SourceBinding) + ", \"target_path\": " +
          quoted(O.TargetPath) + "}";
   }
-  J += C.Outputs.empty() ? "]\n" : "\n  ]\n";
+  bool HasCl = C.Codelint.has_value();
+  J += C.Outputs.empty() ? (HasCl ? "],\n" : "]\n")
+                         : (HasCl ? "\n  ],\n" : "\n  ]\n");
+
+  if (HasCl) {
+    const CodelintRec &L = *C.Codelint;
+    J += "  \"codelint\": {\"version\": " + std::to_string(L.Version) +
+         ", \"mem\": " + quoted(L.Mem) + ", \"stack\": " + quoted(L.Stack) +
+         ", \"steps\": " + quoted(L.Steps) +
+         ",\n    \"accesses\": " + std::to_string(L.Accesses) +
+         ", \"locals_bytes\": " + std::to_string(L.LocalsBytes) +
+         ", \"scratch_bytes\": " + std::to_string(L.ScratchBytes) +
+         ", \"operand_depth\": " + std::to_string(L.OperandDepth) +
+         ", \"step_bound\": " + std::to_string(L.StepBound) + "}\n";
+  }
   J += "}\n";
   return J;
 }

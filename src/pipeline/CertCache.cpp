@@ -7,8 +7,8 @@
 
 #include "pipeline/CertCache.h"
 
-#include "pipeline/Hash.h"
 #include "support/Fault.h"
+#include "support/Hash.h"
 #include "support/StringExtras.h"
 
 #include <atomic>
@@ -26,6 +26,10 @@
 
 namespace relc {
 namespace pipeline {
+
+using hash::fnv1a64;
+using hash::hex16;
+using hash::parseHex;
 
 namespace {
 
@@ -51,6 +55,8 @@ std::string payloadString(const CertKey &Key, const CertEntry &E) {
   P += Field(std::to_string(E.TvTerms));
   P += Field(E.TvCertificate);
   P += Field(E.DifferentialOk ? "1" : "0");
+  P += Field(E.CodelintRan ? "1" : "0");
+  P += Field(E.CodelintVerdict);
   return P;
 }
 
@@ -94,6 +100,9 @@ std::string CertCache::serialize(const CertKey &Key, const CertEntry &E) {
   J += "  \"analysis_warnings\": " + std::to_string(E.AnalysisWarnings) +
        ",\n";
   J += "  \"code_hash\": \"" + hex16(Key.CodeHash) + "\",\n";
+  J += "  \"codelint_ran\": " +
+       std::string(E.CodelintRan ? "true" : "false") + ",\n";
+  J += "  \"codelint_verdict\": \"" + jsonEscape(E.CodelintVerdict) + "\",\n";
   J += "  \"differential_ok\": " +
        std::string(E.DifferentialOk ? "true" : "false") + ",\n";
   J += "  \"format\": \"" + std::string(FormatTag) + "\",\n";
@@ -236,6 +245,8 @@ std::optional<CertEntry> CertCache::deserialize(const std::string &Text,
       !getU64(F, "tv_loops", &E.TvLoops) ||
       !getU64(F, "tv_terms", &E.TvTerms) ||
       !getString(F, "tv_certificate", &E.TvCertificate) ||
+      !getBool(F, "codelint_ran", &E.CodelintRan) ||
+      !getString(F, "codelint_verdict", &E.CodelintVerdict) ||
       !getBool(F, "differential_ok", &E.DifferentialOk))
     return std::nullopt;
 

@@ -76,6 +76,8 @@ struct CertEntry {
   std::string TvVerdict;    ///< "Proved" / "Inconclusive" ("" if !TvRan).
   uint64_t TvLoops = 0, TvTerms = 0; ///< For the per-program tv line.
   std::string TvCertificate; ///< The .tv.json payload ("" if !TvRan).
+  bool CodelintRan = false;  ///< Target-side codelint layer executed.
+  std::string CodelintVerdict; ///< Overall verdict name ("" if !CodelintRan).
   bool DifferentialOk = false; ///< Layer 4 verdict.
 };
 

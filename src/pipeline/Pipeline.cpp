@@ -8,11 +8,11 @@
 #include "pipeline/Pipeline.h"
 
 #include "cert/Writer.h"
-#include "pipeline/Hash.h"
 #include "pipeline/Scheduler.h"
 #include "sep/State.h"
 #include "support/Budget.h"
 #include "support/Fault.h"
+#include "support/Hash.h"
 #include "support/StringExtras.h"
 #include "validate/Validate.h"
 
@@ -20,6 +20,9 @@
 
 namespace relc {
 namespace pipeline {
+
+using hash::fnv1a64;
+using hash::hex16;
 
 namespace {
 
@@ -42,7 +45,7 @@ template <typename FnT> void timed(LayerRun &L, FnT &&Fn) {
 bool ProgramOutcome::ok() const {
   if (!CompileOk)
     return false;
-  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Diff})
+  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Codelint, &Diff})
     if (L->Enabled && !((L->Ran || L->FromCache) && L->Ok))
       return false;
   return true;
@@ -51,7 +54,7 @@ bool ProgramOutcome::ok() const {
 bool ProgramOutcome::anyDegraded() const {
   if (CompileDegraded || !DegradedNote.empty())
     return true;
-  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Diff})
+  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Codelint, &Diff})
     if (L->Degraded)
       return true;
   return false;
@@ -61,7 +64,7 @@ bool ProgramOutcome::failureIsDegradedOnly() const {
   if (!CompileOk && !CompileDegraded)
     return false; // A genuine compile failure.
   bool Any = CompileDegraded || !DegradedNote.empty();
-  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Diff}) {
+  for (const LayerRun *L : {&Replay, &Analysis, &Tv, &Codelint, &Diff}) {
     if (!L->Enabled)
       continue;
     if (L->Degraded) {
@@ -86,7 +89,7 @@ std::string ProgramOutcome::firstDegradedNote() const {
   };
   for (const Probe &P :
        {Probe{&Replay, "derivation replay"}, Probe{&Analysis, "static analysis"},
-        Probe{&Tv, "translation validation"},
+        Probe{&Tv, "translation validation"}, Probe{&Codelint, "codelint"},
         Probe{&Diff, "differential certification"}}) {
     if (!P.L->Degraded)
       continue;
@@ -126,12 +129,18 @@ uint64_t optionsHashFor(const validate::ValidationOptions &VOpts,
   // Which layers the verdict covers: an entry certified without TV must
   // not satisfy a run that wants TV, and vice versa.
   H = fnv1a64(std::string("|layers=") + (Opts.Validate ? "V" : "-") +
-                  (Opts.Analyze ? "A" : "-") + (Opts.Tv ? "T" : "-"),
+                  (Opts.Analyze ? "A" : "-") + (Opts.Tv ? "T" : "-") +
+                  (Opts.Codelint ? "C" : "-"),
               H);
   // Certificate schema version: cached entries embed the serialized
   // certificate, so a schema change must miss (an old entry would replay
   // a v1 payload byte-for-byte and break warm/cold byte identity).
   H = fnv1a64("|certv=" + std::to_string(cert::kSchemaVersion), H);
+  // Codelint analyzer version: its record is embedded both in the cache
+  // entry and the certificate's codelint section, so an analyzer upgrade
+  // (new cost model, new domains) must invalidate cached verdicts — an old
+  // section would fail relc-check's re-derivation.
+  H = fnv1a64("|codelintv=" + std::to_string(codelint::kCodelintVersion), H);
   // Budget options participate too: degraded outcomes are never cached,
   // but a verdict certified under one budget regime must not silently
   // satisfy a run under another (KeepGoing is classification-only and
@@ -160,7 +169,20 @@ bool entryCovers(const CertEntry &E, const PipelineOptions &Opts) {
     return false;
   if (Opts.Tv && !E.TvRan)
     return false;
+  if (Opts.Codelint && !E.CodelintRan)
+    return false;
   return true;
+}
+
+/// One-line rejection text for a failed codelint layer: the overall
+/// verdict plus the first finding (each finding carries its stable
+/// kebab-case reason).
+std::string codelintRejection(const codelint::Report &R) {
+  std::string Why =
+      "codelint verdict " + std::string(codelint::verdictName(R.overall()));
+  if (!R.Findings.empty())
+    Why += ": " + R.Findings.front().str();
+  return Why;
 }
 
 /// Fills \p O's layer fields from a cached verdict.
@@ -174,6 +196,7 @@ void applyCached(ProgramOutcome &O, const CertEntry &E) {
   FromCache(O.Replay);
   FromCache(O.Analysis);
   FromCache(O.Tv);
+  FromCache(O.Codelint);
   FromCache(O.Diff);
   O.AnalysisWarnings = E.AnalysisWarnings;
   O.AnalysisDiags = E.AnalysisDiags;
@@ -181,6 +204,7 @@ void applyCached(ProgramOutcome &O, const CertEntry &E) {
   O.TvLoops = E.TvLoops;
   O.TvTerms = E.TvTerms;
   O.TvCertJson = E.TvCertificate;
+  O.CodelintVerdictName = E.CodelintVerdict;
   O.CacheHit = true;
 }
 
@@ -199,7 +223,7 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
   // threw or was skipped) back onto named degraded outcomes after run().
   struct ProgJobs {
     JobId Compile = NoJob, Replay = NoJob, Analysis = NoJob, Tv = NoJob,
-          Diff = NoJob, Certify = NoJob;
+          Codelint = NoJob, Diff = NoJob, Certify = NoJob;
   };
   std::vector<ProgJobs> Jobs(Progs.size());
 
@@ -211,6 +235,7 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
     O.Replay.Enabled = Opts.Validate;
     O.Analysis.Enabled = Opts.Analyze;
     O.Tv.Enabled = Opts.Tv;
+    O.Codelint.Enabled = Opts.Codelint;
     O.Diff.Enabled = Opts.Validate;
 
     // Per-job validation options: what validate::validate would see.
@@ -350,9 +375,41 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
           O.TvVerdictName = tv::verdictName(O.TvRep.TheVerdict);
           O.TvLoops = O.TvRep.Loops.size();
           O.TvTerms = O.TvRep.NumTerms;
-          O.TvCertJson = cert::Writer::write(cert::fromTvReport(
-              O.TvRep,
-              {O.Key.ModelHash, O.Key.SpecHash, O.Key.CodeHash}));
+          // The certificate JSON is assembled downstream in the certify
+          // job, where the codelint layer's record (if any) can be merged
+          // in as the optional "codelint" section.
+        });
+      }, {JCompile}));
+
+    if (Opts.Codelint)
+      StaticJobs.push_back(Jobs[I].Codelint =
+                               G.add(P->Name + "/codelint", [&O, MakeVOpts] {
+        if (!O.CompileOk || O.CacheHit)
+          return;
+        if (auto H = fault::fireWithRetry(fault::Site::CodelintEntry,
+                                          O.Def->Name + "/codelint")) {
+          O.Codelint.Ran = true;
+          O.Codelint.Ok = false;
+          O.Codelint.Degraded = true;
+          O.Codelint.FaultNote = H->describe();
+          return; // Rendering happens downstream, in fixed layer order.
+        }
+        timed(O.Codelint, [&] {
+          validate::ValidationOptions VO = MakeVOpts();
+          std::optional<guard::Budget> B;
+          if (VO.LayerTimeoutMs)
+            B.emplace(VO.LayerTimeoutMs, /*StepLimit=*/0);
+          O.ClReport = codelint::analyzeFunction(
+              O.Compiled.Fn, O.Def->Spec, O.Def->Model,
+              O.Def->Hints.EntryFacts, B ? &*B : nullptr);
+          O.CodelintVerdictName =
+              codelint::verdictName(O.ClReport.overall());
+          // The pipeline gate is refutation-shaped: only a demonstrated
+          // violation (Unsafe) fails certification. Unknown passes here —
+          // the strict all-Safe gate is relc-lint --code.
+          O.Codelint.Ok =
+              O.ClReport.overall() != codelint::Verdict::Unsafe;
+          O.Codelint.Degraded = O.ClReport.BudgetExhausted;
         });
       }, {JCompile}));
 
@@ -407,6 +464,23 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
           }
           return;
         }
+        if (O.Codelint.Enabled && !O.Codelint.Ok) {
+          if (O.ValidationError.empty()) {
+            if (!O.Codelint.FaultNote.empty())
+              O.ValidationError =
+                  Error(O.Codelint.FaultNote)
+                      .note("codelint did not run")
+                      .note("while validating program " + O.Def->Name)
+                      .str();
+            else
+              O.ValidationError =
+                  Error(codelintRejection(O.ClReport))
+                      .note("codelint rejected the emitted code")
+                      .note("while validating program " + O.Def->Name)
+                      .str();
+          }
+          return;
+        }
         if (auto H = fault::fireWithRetry(fault::Site::LayerEntry,
                                           O.Def->Name + "/differential")) {
           O.Diff.Ran = true;
@@ -443,8 +517,23 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
     if (JDiff != NoJob)
       FinishDeps.push_back(JDiff);
     Jobs[I].Certify = G.add(P->Name + "/certify", [&O, &CS, &Cache, &Opts] {
-      // Render the non-validate failure texts (analysis/tv rejections when
-      // layer 4 is disabled and never got to render them).
+      // Assemble the certificate JSON from the live TV report, merging the
+      // codelint layer's record as the optional "codelint" section. The
+      // section is embedded only when the layer ran to completion
+      // un-degraded (no entry fault, no budget exhaustion): relc-check
+      // re-derives it *unbudgeted*, and a budgeted run that finished is
+      // guaranteed to equal the unbudgeted one — a truncated run is not.
+      if (O.CompileOk && !O.CacheHit && O.Tv.Enabled && O.Tv.Ran &&
+          O.Tv.FaultNote.empty()) {
+        cert::Certificate C = cert::fromTvReport(
+            O.TvRep, {O.Key.ModelHash, O.Key.SpecHash, O.Key.CodeHash});
+        if (O.Codelint.Enabled && O.Codelint.Ran && !O.Codelint.Degraded &&
+            O.Codelint.FaultNote.empty())
+          C.Codelint = cert::codelintRecOf(O.ClReport);
+        O.TvCertJson = cert::Writer::write(C);
+      }
+      // Render the non-validate failure texts (analysis/tv/codelint
+      // rejections when layer 4 is disabled and never got to render them).
       if (O.CompileOk && !O.CacheHit && O.ValidationError.empty()) {
         if (O.Analysis.Enabled && O.Analysis.Ran && !O.Analysis.Ok) {
           if (!O.Analysis.FaultNote.empty())
@@ -462,6 +551,16 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
                                     .str();
           else
             O.ValidationError = validate::tvRejection(O.TvRep).str();
+        } else if (O.Codelint.Enabled && O.Codelint.Ran && !O.Codelint.Ok) {
+          if (!O.Codelint.FaultNote.empty())
+            O.ValidationError = Error(O.Codelint.FaultNote)
+                                    .note("codelint did not run")
+                                    .str();
+          else
+            O.ValidationError =
+                Error(codelintRejection(O.ClReport))
+                    .note("codelint rejected the emitted code")
+                    .str();
         }
       }
       // Degraded outcomes are never cached: a budget-truncated or
@@ -481,6 +580,8 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
       E.TvLoops = O.TvLoops;
       E.TvTerms = O.TvTerms;
       E.TvCertificate = O.TvCertJson;
+      E.CodelintRan = O.Codelint.Enabled;
+      E.CodelintVerdict = O.CodelintVerdictName;
       E.DifferentialOk = O.Diff.Enabled && O.Diff.Ok;
       Status S = Cache.store(O.Key, E, &CS);
       // Failure to persist is not a certification failure — the verdict
@@ -528,6 +629,7 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
          {LayerJob{PJ.Replay, &O.Replay, "derivation replay"},
           LayerJob{PJ.Analysis, &O.Analysis, "static analysis"},
           LayerJob{PJ.Tv, &O.Tv, "translation validation"},
+          LayerJob{PJ.Codelint, &O.Codelint, "codelint"},
           LayerJob{PJ.Diff, &O.Diff, "differential certification"}}) {
       auto W = Problem(LJ.J);
       if (!W)

@@ -9,7 +9,7 @@
 // a dependency-aware job chain
 //
 //     compile ──> { derivation replay, static analysis, translation
-//                   validation }          (independent once code exists)
+//                   validation, codelint } (independent once code exists)
 //             ──> differential certification
 //             ──> certificate store
 //
@@ -24,10 +24,10 @@
 // submission order: exactly the pre-pipeline serial behavior.
 //
 // Error semantics match validate::validate: layers report in the fixed
-// order replay -> analysis -> tv -> differential (a replay failure wins
-// even if analysis also failed in parallel), differential only runs when
-// every enabled static layer passed, and one program's failure never
-// blocks or poisons sibling programs.
+// order replay -> analysis -> tv -> codelint -> differential (a replay
+// failure wins even if analysis also failed in parallel), differential
+// only runs when every enabled static layer passed, and one program's
+// failure never blocks or poisons sibling programs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +35,7 @@
 #define RELC_PIPELINE_PIPELINE_H
 
 #include "analysis/Analysis.h"
+#include "codelint/Codelint.h"
 #include "core/Rule.h"
 #include "pipeline/CertCache.h"
 #include "programs/Programs.h"
@@ -54,6 +55,13 @@ struct PipelineOptions {
   bool Validate = true;     ///< Layers 1 and 4 (replay + differential).
   bool Analyze = true;      ///< Layer 2 (dataflow verifier).
   bool Tv = true;           ///< Layer 3 (translation validation).
+  bool Codelint = true;     ///< Target-side codelint over the emitted code
+                            ///< (memory safety, stack bound, step bound).
+                            ///< An Unsafe verdict fails the program; Unknown
+                            ///< passes here (the strict Safe gate is
+                            ///< relc-lint --code). When the layer completes
+                            ///< un-degraded its record is embedded as the
+                            ///< certificate's "codelint" section.
 
   /// Robustness guards (DESIGN.md §4.7): when nonzero, these override the
   /// per-program ValidationOptions so every certification layer is
@@ -100,7 +108,7 @@ struct ProgramOutcome {
   bedrock::Module Linked;        ///< Single-function module for layer 4.
   double CompileMillis = 0;
 
-  LayerRun Replay, Analysis, Tv, Diff;
+  LayerRun Replay, Analysis, Tv, Codelint, Diff;
 
   /// First failing layer's rendered error, with the same note chain
   /// validate::validate produces (so callers can print identical text).
@@ -109,6 +117,7 @@ struct ProgramOutcome {
   /// Live-run reports (valid when the layer's Ran flag is set).
   analysis::AnalysisReport AReport;
   tv::TvReport TvRep;
+  codelint::Report ClReport;
 
   /// Summary fields available on both live and cached paths.
   uint64_t AnalysisWarnings = 0;
@@ -116,6 +125,7 @@ struct ProgramOutcome {
   std::string TvVerdictName;     ///< verdictName() form ("proved", ...).
   uint64_t TvLoops = 0, TvTerms = 0;
   std::string TvCertJson;        ///< The .tv.json payload ("" if TV off).
+  std::string CodelintVerdictName; ///< "safe"/"unknown"/"unsafe" ("" if off).
 
   CertKey Key;                   ///< Content hashes (valid when CompileOk).
   uint64_t OptsHash = 0;
@@ -147,7 +157,8 @@ struct ProgramOutcome {
   bool failureIsDegradedOnly() const;
 
   /// First degraded problem's text, in the fixed compile -> replay ->
-  /// analysis -> tv -> differential -> certify order ("" if none).
+  /// analysis -> tv -> codelint -> differential -> certify order ("" if
+  /// none).
   std::string firstDegradedNote() const;
 };
 

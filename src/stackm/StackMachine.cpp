@@ -9,6 +9,8 @@
 
 #include "support/Rng.h"
 
+#include <algorithm>
+
 namespace relc {
 namespace stackm {
 
@@ -52,11 +54,18 @@ std::string str(const TProgram &P) {
 }
 
 std::vector<int64_t> evalT(const TProgram &P, std::vector<int64_t> Stack) {
+  return evalT(P, std::move(Stack), nullptr);
+}
+
+std::vector<int64_t> evalT(const TProgram &P, std::vector<int64_t> Stack,
+                           size_t *MaxDepth) {
+  size_t Max = Stack.size();
   // 𝜎Op folded over the program, as in the paper. Invalid pops are no-ops.
   for (const TOp &Op : P) {
     switch (Op.TheKind) {
     case TOp::Kind::Push:
       Stack.push_back(Op.Imm);
+      Max = std::max(Max, Stack.size());
       break;
     case TOp::Kind::PopAdd:
     case TOp::Kind::PopMul: {
@@ -71,6 +80,8 @@ std::vector<int64_t> evalT(const TProgram &P, std::vector<int64_t> Stack) {
     }
     }
   }
+  if (MaxDepth)
+    *MaxDepth = Max;
   return Stack;
 }
 

@@ -154,6 +154,13 @@ std::string str(const TProgram &P);
 /// (the semantics is total). Returns the final stack.
 std::vector<int64_t> evalT(const TProgram &P, std::vector<int64_t> Stack);
 
+/// Depth-observing variant: like evalT, but also reports the maximum stack
+/// depth reached at any point of the run (including the initial stack) via
+/// \p MaxDepth. Tests use it to cross-check codelint's static operand-depth
+/// bound against observed behavior.
+std::vector<int64_t> evalT(const TProgram &P, std::vector<int64_t> Stack,
+                           size_t *MaxDepth);
+
 //===----------------------------------------------------------------------===//
 // The traditional verified compiler (§2.1): a function S -> T.
 //===----------------------------------------------------------------------===//

@@ -31,6 +31,8 @@ const char *siteName(Site S) {
     return "layer-entry";
   case Site::InterpFuel:
     return "interp-fuel";
+  case Site::CodelintEntry:
+    return "codelint-entry";
   }
   return "cache-read";
 }
@@ -114,7 +116,7 @@ Result<std::vector<Clause>> parseSpec(const std::string &Spec) {
         if (!siteFromName(Tok, &C.TheSite))
           return Error("fault spec: unknown site '" + Tok +
                        "' (expected cache-read, cache-write, sched-job, "
-                       "layer-entry, or interp-fuel)");
+                       "layer-entry, interp-fuel, or codelint-entry)");
         First = false;
         continue;
       }

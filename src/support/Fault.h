@@ -19,7 +19,7 @@
 //         [:seed=<u64>][:match=<substr>][:v=<u64>]
 //
 //   site       cache-read | cache-write | sched-job | layer-entry
-//              | interp-fuel
+//              | interp-fuel | codelint-entry
 //   transient  (default) the site fails the first n times a given key
 //              hits it, then heals — retry loops must absorb it.
 //   persistent every hit fails — the pipeline must degrade to a *named*
@@ -63,8 +63,9 @@ enum class Site : uint8_t {
   SchedulerJob, ///< Job-graph job boundary ("sched-job").
   LayerEntry,   ///< Certification-layer entry ("layer-entry").
   InterpFuel,   ///< Bedrock2 interpreter fuel ("interp-fuel").
+  CodelintEntry, ///< Target-side codelint layer entry ("codelint-entry").
 };
-constexpr unsigned NumSites = 5;
+constexpr unsigned NumSites = 6;
 
 const char *siteName(Site S);
 bool siteFromName(const std::string &Name, Site *Out);

@@ -14,8 +14,9 @@
 // that still get recompiled and re-emitted every run.
 //
 // Lives in support so every layer (support has no intra-project
-// dependencies) can share one definition; pipeline/Hash.h re-exports these
-// names for its existing callers.
+// dependencies) can share one definition. (A pipeline/Hash.h forwarder
+// re-exported these names for one release; it is gone — include this
+// header and use the hash:: spellings.)
 //
 //===----------------------------------------------------------------------===//
 

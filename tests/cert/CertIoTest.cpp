@@ -98,6 +98,46 @@ TEST(CertIoTest, WriteParseRoundtrip) {
   EXPECT_EQ(cert::Writer::write(*R), Text);
 }
 
+TEST(CertIoTest, CodelintSectionRoundtrips) {
+  cert::Certificate C = sampleCert();
+  cert::CodelintRec L;
+  L.Version = 1;
+  L.Mem = "safe";
+  L.Stack = "safe";
+  L.Steps = "unknown";
+  L.Accesses = 3;
+  L.LocalsBytes = 40;
+  L.ScratchBytes = 16;
+  L.OperandDepth = 0;
+  L.StepBound = 0x12345678abcull;
+  C.Codelint = L;
+
+  std::string Text = cert::Writer::write(C);
+  cert::ReadError Err;
+  std::optional<cert::Certificate> R = cert::Reader::parse(Text, &Err);
+  ASSERT_TRUE(R.has_value()) << Err.Detail;
+  ASSERT_TRUE(R->Codelint.has_value());
+  EXPECT_TRUE(*R->Codelint == L);
+  EXPECT_EQ(cert::Writer::write(*R), Text);
+
+  // The section is genuinely optional: without it, nothing is emitted and
+  // nothing is parsed back.
+  cert::Certificate Plain = sampleCert();
+  std::optional<cert::Certificate> RP =
+      cert::Reader::parse(cert::Writer::write(Plain));
+  ASSERT_TRUE(RP.has_value());
+  EXPECT_FALSE(RP->Codelint.has_value());
+
+  // Malformed section shapes are malformed, not silently dropped.
+  std::string Bad = Text;
+  size_t Pos = Bad.find("\"codelint\": {");
+  ASSERT_NE(Pos, std::string::npos);
+  Bad.replace(Pos, std::string("\"codelint\": {").size(), "\"codelint\": [");
+  cert::ReadError BadErr;
+  EXPECT_FALSE(cert::Reader::parse(Bad, &BadErr).has_value());
+  EXPECT_EQ(cert::rejectName(BadErr.Why), std::string("malformed-certificate"));
+}
+
 TEST(CertIoTest, WriterIsCanonical) {
   cert::Certificate C = sampleCert();
   EXPECT_EQ(cert::Writer::write(C), cert::Writer::write(C));

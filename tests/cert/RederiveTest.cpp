@@ -17,6 +17,7 @@
 #include "cert/Reader.h"
 #include "cert/Rederive.h"
 #include "cert/Writer.h"
+#include "codelint/Codelint.h"
 #include "programs/Programs.h"
 #include "tv/Tv.h"
 
@@ -223,6 +224,67 @@ TEST(RederiveTest, TamperCertificateSwappedBetweenPrograms) {
   cert::CheckResult R = check(Crc, Fnv.Cert);
   EXPECT_FALSE(R.Accepted);
   EXPECT_EQ(R.Why, cert::Reject::FunctionMismatch) << R.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// The codelint section: accepted when genuine, rejected on any drift —
+// the checker recomputes the whole analysis from the core library alone.
+//===----------------------------------------------------------------------===//
+
+/// \p W's certificate with a genuinely derived codelint section attached,
+/// exactly as the pipeline's certify job embeds it.
+cert::Certificate withCodelint(const Produced &W) {
+  cert::Certificate C = W.Cert;
+  C.Codelint = cert::codelintRecOf(codelint::analyzeFunction(
+      W.Compiled.Fn, W.P->Spec, W.P->Model, W.P->Hints.EntryFacts));
+  return C;
+}
+
+TEST(RederiveTest, AcceptsGenuineCodelintSection) {
+  Produced W = produce("crc32");
+  cert::Certificate C = withCodelint(W);
+  EXPECT_EQ(C.Codelint->Mem, "safe");
+  cert::CheckResult R = check(W, C);
+  EXPECT_TRUE(R.Accepted) << cert::rejectName(R.Why) << ": " << R.Detail;
+
+  // And through the on-disk path, as relc-check sees it.
+  std::optional<cert::Certificate> Re =
+      cert::Reader::parse(cert::Writer::write(C));
+  ASSERT_TRUE(Re.has_value());
+  cert::CheckResult R2 = check(W, *Re);
+  EXPECT_TRUE(R2.Accepted) << cert::rejectName(R2.Why) << ": " << R2.Detail;
+}
+
+TEST(RederiveTest, TamperCodelintVerdictUpgradeForged) {
+  // Claiming "safe" where the analyzer derives something else — or any
+  // other verdict drift — must not survive re-derivation.
+  Produced W = produce("crc32");
+  cert::Certificate C = withCodelint(W);
+  C.Codelint->Steps = "unknown";
+  expectReject(W, C, cert::Reject::CodelintMismatch, "verdict drift");
+}
+
+TEST(RederiveTest, TamperCodelintStepBoundFlip) {
+  Produced W = produce("crc32");
+  cert::Certificate C = withCodelint(W);
+  C.Codelint->StepBound ^= 1;
+  expectReject(W, C, cert::Reject::CodelintMismatch, "step bound flip");
+}
+
+TEST(RederiveTest, TamperCodelintLocalsBytes) {
+  Produced W = produce("crc32");
+  cert::Certificate C = withCodelint(W);
+  C.Codelint->LocalsBytes += 8;
+  expectReject(W, C, cert::Reject::CodelintMismatch, "locals bytes");
+}
+
+TEST(RederiveTest, TamperCodelintVersionForged) {
+  // A section stamped with a foreign analyzer version cannot re-derive:
+  // the checker always recomputes with the linked kCodelintVersion.
+  Produced W = produce("crc32");
+  cert::Certificate C = withCodelint(W);
+  C.Codelint->Version = 99;
+  expectReject(W, C, cert::Reject::CodelintMismatch, "version forge");
 }
 
 TEST(RederiveTest, TamperTextLevelBitFlipInHash) {

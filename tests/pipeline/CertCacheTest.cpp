@@ -6,8 +6,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/CertCache.h"
-#include "pipeline/Hash.h"
 #include "support/Fault.h"
+#include "support/Hash.h"
 
 #include <gtest/gtest.h>
 
@@ -37,6 +37,9 @@
 
 using namespace relc;
 using namespace relc::pipeline;
+using hash::fnv1a64;
+using hash::hex16;
+using hash::parseHex;
 
 namespace {
 

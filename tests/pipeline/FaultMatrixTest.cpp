@@ -16,10 +16,11 @@
 //
 // Well over 100 individual injections are exercised: an unmatched
 // persistent layer-entry clause alone fires 8 times per run (4 layers x 2
-// programs), an unmatched interp-fuel clause fires once per differential
-// vector (6 per program), and a sched-job clause fires at every scheduler
-// job boundary; summed across the ~50 configurations below the guaranteed
-// fire count is several hundred.
+// programs; the codelint layer has its own codelint-entry site), an
+// unmatched interp-fuel clause fires once per differential vector (6 per
+// program), and a sched-job clause fires at every scheduler job boundary;
+// summed across the ~60 configurations below the guaranteed fire count is
+// several hundred.
 //
 //===----------------------------------------------------------------------===//
 
@@ -72,12 +73,14 @@ std::string render(const ProgramOutcome &O) {
   S += "|replay=" + Layer(O.Replay);
   S += "|analysis=" + Layer(O.Analysis);
   S += "|tv=" + Layer(O.Tv);
+  S += "|codelint=" + Layer(O.Codelint);
   S += "|diff=" + Layer(O.Diff);
   S += "|validationError={" + O.ValidationError + "}";
   S += "|degradedNote={" + O.DegradedNote + "}";
   S += "|tvVerdict=" + O.TvVerdictName;
   S += "|tvLoops=" + std::to_string(O.TvLoops);
   S += "|tvTerms=" + std::to_string(O.TvTerms);
+  S += "|codelintVerdict=" + O.CodelintVerdictName;
   S += "|analysisWarnings=" + std::to_string(O.AnalysisWarnings);
   S += "|analysisDiags={" + O.AnalysisDiags + "}";
   S += "|tvCert={" + O.TvCertJson + "}";

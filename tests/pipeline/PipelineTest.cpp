@@ -60,9 +60,15 @@ TEST(PipelineTest, ColdRunCertifiesLiveAndStores) {
   for (const ProgramOutcome &O : Out) {
     EXPECT_TRUE(O.ok()) << O.Def->Name;
     EXPECT_FALSE(O.CacheHit) << O.Def->Name;
-    EXPECT_TRUE(O.Replay.Ran && O.Analysis.Ran && O.Tv.Ran && O.Diff.Ran)
+    EXPECT_TRUE(O.Replay.Ran && O.Analysis.Ran && O.Tv.Ran &&
+                O.Codelint.Ran && O.Diff.Ran)
         << O.Def->Name;
     EXPECT_FALSE(O.TvCertJson.empty()) << O.Def->Name;
+    // The codelint layer proved the suite Safe and its record landed in
+    // the certificate as the optional section.
+    EXPECT_EQ(O.CodelintVerdictName, "safe") << O.Def->Name;
+    EXPECT_NE(O.TvCertJson.find("\"codelint\""), std::string::npos)
+        << O.Def->Name;
   }
 }
 
@@ -84,7 +90,8 @@ TEST(PipelineTest, WarmRunSkipsRecertificationAndMatchesCold) {
     EXPECT_TRUE(W.CacheHit) << W.Def->Name;
     EXPECT_TRUE(W.ok()) << W.Def->Name;
     // No layer re-ran...
-    EXPECT_FALSE(W.Replay.Ran || W.Analysis.Ran || W.Tv.Ran || W.Diff.Ran)
+    EXPECT_FALSE(W.Replay.Ran || W.Analysis.Ran || W.Tv.Ran ||
+                 W.Codelint.Ran || W.Diff.Ran)
         << W.Def->Name;
     // ...yet every replayable artifact and summary field is identical.
     EXPECT_TRUE(W.Key == C.Key) << W.Def->Name;
@@ -94,6 +101,7 @@ TEST(PipelineTest, WarmRunSkipsRecertificationAndMatchesCold) {
     EXPECT_EQ(W.TvTerms, C.TvTerms) << W.Def->Name;
     EXPECT_EQ(W.AnalysisWarnings, C.AnalysisWarnings) << W.Def->Name;
     EXPECT_EQ(W.AnalysisDiags, C.AnalysisDiags) << W.Def->Name;
+    EXPECT_EQ(W.CodelintVerdictName, C.CodelintVerdictName) << W.Def->Name;
     // The code itself was still freshly compiled and emitted.
     EXPECT_EQ(W.Compiled.Fn.str(), C.Compiled.Fn.str()) << W.Def->Name;
   }
@@ -196,6 +204,53 @@ TEST(PipelineTest, OptionsChangeForcesMiss) {
   certifyPrograms(suite(), NoVal, &Stats);
   EXPECT_EQ(Stats.Cache.Hits, 0u);
   EXPECT_EQ(Stats.Cache.Misses, unsigned(suite().size()));
+
+  // Toggling the codelint layer is an options change too.
+  PipelineOptions NoCl = Opts;
+  NoCl.Codelint = false;
+  PipelineStats ClStats;
+  certifyPrograms(suite(), NoCl, &ClStats);
+  EXPECT_EQ(ClStats.Cache.Hits, 0u);
+  EXPECT_EQ(ClStats.Cache.Misses, unsigned(suite().size()));
+}
+
+TEST(PipelineTest, CodelintRejectionIsNamedAndFailsAlone) {
+  // Seed an out-of-bounds store into one program's emitted code with the
+  // other certification layers off: the codelint layer alone must reject
+  // it, with its stable kebab-case reason in the rendered failure, while
+  // sibling programs certify normally.
+  TamperHook Tamper = [](const programs::ProgramDef &P,
+                         core::CompileResult &R) {
+    if (P.Name == "fnv1a")
+      R.Fn.Body = bedrock::seqAll(
+          {R.Fn.Body,
+           bedrock::store(bedrock::AccessSize::Byte,
+                          bedrock::add(bedrock::var("s"), bedrock::var("len")),
+                          bedrock::lit(0))});
+  };
+  PipelineOptions Opts;
+  Opts.Validate = false;
+  Opts.Analyze = false;
+  Opts.Tv = false;
+  PipelineStats Stats;
+  std::vector<ProgramOutcome> Out =
+      certifyPrograms(suite(), Opts, &Stats, Tamper);
+  EXPECT_EQ(Stats.Failures, 1u);
+  for (const ProgramOutcome &O : Out) {
+    if (O.Def->Name == "fnv1a") {
+      EXPECT_FALSE(O.ok());
+      EXPECT_TRUE(O.Codelint.Ran);
+      EXPECT_FALSE(O.Codelint.Ok);
+      EXPECT_EQ(O.CodelintVerdictName, "unsafe");
+      EXPECT_NE(O.ValidationError.find("codelint"), std::string::npos)
+          << O.ValidationError;
+      EXPECT_NE(O.ValidationError.find("oob-store"), std::string::npos)
+          << O.ValidationError;
+    } else {
+      EXPECT_TRUE(O.ok()) << O.Def->Name << ": " << O.ValidationError;
+      EXPECT_EQ(O.CodelintVerdictName, "safe") << O.Def->Name;
+    }
+  }
 }
 
 } // namespace

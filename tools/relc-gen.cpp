@@ -7,8 +7,8 @@
 //
 // The command-line face of the pipeline: compiles every registered
 // benchmark program with the relational compiler, certifies the results
-// (derivation replay, static analysis, translation validation,
-// differential testing — see pipeline/Pipeline.h), and emits the
+// (derivation replay, static analysis, translation validation, target-side
+// codelint, differential testing — see pipeline/Pipeline.h), and emits the
 // certified C into an output directory (consumed by the Figure 2 bench at
 // build time). With -print-bedrock or -print-deriv it dumps the
 // intermediate artifacts instead.
@@ -277,6 +277,21 @@ int main(int argc, char **argv) {
       }
       std::ofstream Cert(OutDir + "/" + P.Name + ".tv.json");
       Cert << O.TvCertJson;
+    }
+
+    // Target-side codelint verdict: one deterministic line, reproducible
+    // from the cache (a warm run replays the stored verdict name).
+    if (!O.CodelintVerdictName.empty())
+      std::printf("[%s] codelint: %s\n", P.Name.c_str(),
+                  O.CodelintVerdictName.c_str());
+    if (O.Codelint.Enabled && (O.Codelint.Ran || O.Codelint.FromCache) &&
+        !O.Codelint.Ok) {
+      // Only reachable with -no-validate (layer 4 otherwise renders the
+      // failure into ValidationError, caught above).
+      std::fprintf(stderr, "[%s] FAILED:\n%s\n", P.Name.c_str(),
+                   O.ValidationError.c_str());
+      AnyFailed = true;
+      continue;
     }
 
     // Certified, but some layer only got a truncated run (e.g. TV hit its

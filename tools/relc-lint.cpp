@@ -37,7 +37,18 @@
 // program's derivation witness replayed against the live registry. Every
 // finding counts as a diagnostic.
 //
-// Usage: relc-lint [-q] [-no-tv] [-rules] [-certs <dir>] [-j <n>]
+// With -code the gate additionally runs the target-side codelint analyses
+// (relc::codelint) over each program's emitted code and demands the strict
+// verdict: every program must come out *Safe* on all three analyses
+// (memory safety, stack bound, step bound). Unknown — which the
+// certification pipeline tolerates as "not refuted" — is a diagnostic
+// here, the same tightening the TV gate applies to Inconclusive.
+//
+// The final summary line names every enabled gate
+// ("relc-lint: gates [analysis+tv+...]: ...") so logs show at a glance
+// what a clean run actually checked.
+//
+// Usage: relc-lint [-q] [-no-tv] [-rules] [-certs <dir>] [-code] [-j <n>]
 //                  [<program>...]
 //
 //===----------------------------------------------------------------------===//
@@ -59,6 +70,7 @@ using namespace relc;
 
 int main(int argc, char **argv) {
   bool Quiet = false, NoTv = false, Rules = false, RulintReport = false;
+  bool Code = false;
   std::string CertsDir;
   unsigned Jobs = 1;
   std::vector<const programs::ProgramDef *> Targets;
@@ -81,6 +93,11 @@ int main(int argc, char **argv) {
   T.flag({"-rulint-report"}, &RulintReport,
          "with -rules, print the registry summary (rule counts\n"
          "and fingerprint) even when clean");
+  T.flag({"-code"}, &Code,
+         "also run the target-side codelint analyses (memory\n"
+         "safety, stack bound, step bound) over the emitted code;\n"
+         "any verdict below Safe — including Unknown — is a\n"
+         "diagnostic");
   T.str({"-certs"}, &CertsDir, "<dir>",
         "also audit each program's on-disk certificate in <dir>;\n"
         "a missing or rejected certificate is a diagnostic");
@@ -120,6 +137,7 @@ int main(int argc, char **argv) {
   Opts.Validate = false; // Compile only; validation is the other layers' job.
   Opts.Analyze = true;
   Opts.Tv = Tv;
+  Opts.Codelint = Code;
   // No cache: the gate's job is fresh full reports.
 
   std::vector<pipeline::ProgramOutcome> Outcomes =
@@ -171,6 +189,14 @@ int main(int argc, char **argv) {
         ++TotalDiags;        // fail-to-refute.
     }
 
+    if (Code) {
+      bool Safe = O.ClReport.overall() == codelint::Verdict::Safe;
+      if (!Quiet || !Safe)
+        std::printf("%s", O.ClReport.str().c_str());
+      if (!Safe) // Strict gate: Unknown is a regression too — every suite
+        ++TotalDiags; // program lies inside the analyzable fragment.
+    }
+
     if (!CertsDir.empty()) {
       const programs::ProgramDef &P = *O.Def;
       std::string Path = CertsDir + "/" + P.Name + ".tv.json";
@@ -195,9 +221,22 @@ int main(int argc, char **argv) {
     }
   }
 
+  // The summary line names every enabled gate so a clean log still shows
+  // what was actually checked (and ctest pins the format).
+  std::string Gates = "analysis";
+  if (Tv)
+    Gates += "+tv";
+  if (Rules)
+    Gates += "+rules";
+  if (!CertsDir.empty())
+    Gates += "+certs";
+  if (Code)
+    Gates += "+code";
   if (TotalDiags) {
-    std::fprintf(stderr, "relc-lint: %u diagnostic(s)\n", TotalDiags);
+    std::fprintf(stderr, "relc-lint: gates [%s]: %u diagnostic(s)\n",
+                 Gates.c_str(), TotalDiags);
     return 1;
   }
+  std::printf("relc-lint: gates [%s]: clean\n", Gates.c_str());
   return 0;
 }
