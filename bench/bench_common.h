@@ -8,11 +8,15 @@
 #ifndef RELC_BENCH_BENCH_COMMON_H
 #define RELC_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -55,9 +59,12 @@ inline double estimateGHz() {
   return GHz;
 }
 
-/// Mean and 95% confidence half-width over samples.
+/// Mean, median, and 95% confidence half-width over samples. The median
+/// is the headline for overhead ratios: it shrugs off the occasional
+/// scheduler hiccup that drags a mean (and can even push a small true
+/// overhead negative on a noisy box).
 struct Stats {
-  double Mean = 0, Ci95 = 0;
+  double Mean = 0, Median = 0, Ci95 = 0;
 };
 
 inline Stats stats(const std::vector<double> &Xs) {
@@ -73,8 +80,70 @@ inline Stats stats(const std::vector<double> &Xs) {
     Var += (X - S.Mean) * (X - S.Mean);
   Var /= Xs.size() > 1 ? double(Xs.size() - 1) : 1.0;
   S.Ci95 = 1.96 * std::sqrt(Var / double(Xs.size()));
+  std::vector<double> Sorted = Xs;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t N = Sorted.size();
+  S.Median = N % 2 ? Sorted[N / 2]
+                   : (Sorted[N / 2 - 1] + Sorted[N / 2]) / 2.0;
   return S;
 }
+
+//===----------------------------------------------------------------------===//
+// Allocation counting. The counter lives in an inline function (one
+// instance per binary); the replacement global operator new/delete that
+// feed it are only compiled into the ONE translation unit per binary that
+// defines RELC_BENCH_COUNT_ALLOCS before including this header (the
+// replacement functions must not be multiply defined). Binaries that
+// never define the macro get a counter that stays at zero.
+//===----------------------------------------------------------------------===//
+
+inline std::atomic<uint64_t> &allocCount() {
+  static std::atomic<uint64_t> N{0};
+  return N;
+}
+
+/// Runs \p Fn and returns how many heap allocations it performed (0 when
+/// the binary was built without the counting hook).
+inline uint64_t allocationsDuring(const std::function<void()> &Fn) {
+  uint64_t Before = allocCount().load(std::memory_order_relaxed);
+  Fn();
+  return allocCount().load(std::memory_order_relaxed) - Before;
+}
+
+} // namespace relc_bench
+
+// noinline keeps GCC from pairing an inlined free() against a call to a
+// not-inlined operator new and warning -Wmismatched-new-delete (the pair
+// is in fact matched: both sides are these malloc/free replacements).
+#ifdef RELC_BENCH_COUNT_ALLOCS
+__attribute__((noinline)) void *operator new(std::size_t Size) {
+  relc_bench::allocCount().fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void *operator new[](std::size_t Size) {
+  relc_bench::allocCount().fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void operator delete(void *P) noexcept {
+  std::free(P);
+}
+__attribute__((noinline)) void operator delete[](void *P) noexcept {
+  std::free(P);
+}
+__attribute__((noinline)) void operator delete(void *P, std::size_t) noexcept {
+  std::free(P);
+}
+__attribute__((noinline)) void
+operator delete[](void *P, std::size_t) noexcept {
+  std::free(P);
+}
+#endif // RELC_BENCH_COUNT_ALLOCS
+
+namespace relc_bench {
 
 /// Times \p Fn over \p Reps repetitions; returns per-rep cycle counts
 /// divided by \p Bytes (cycles per byte).

@@ -19,17 +19,25 @@
 //     populated cache) suite runs. A warm run skips replay, analysis,
 //     translation validation, codelint, and differential testing per
 //     program, leaving only compilation + hashing + cache I/O — this
-//     speedup is machine-independent.
+//     speedup is machine-independent. The warm path is priced twice,
+//     interleaved: once against the full two-file cache (binary image
+//     hit) and once against a JSON-only twin of the same cache (parse
+//     fallback), so warm_bin_ms vs warm_parse_ms isolates what the
+//     zero-copy image buys. A heap-allocation count for one warm run
+//     rides along (this TU arms the bench_common.h counting hook).
 //
 // Plus two overhead prices that must stay small: the §4.7 guard
 // bookkeeping (≤2%) and the target-side codelint layer (≤10% of a full
-// certification run).
+// certification run). Overhead percentages are computed from medians of
+// the interleaved samples — a mean lets one scheduler hiccup on either
+// side fabricate (or hide) a percent or two of phantom overhead.
 //
 // Writes BENCH_pipeline.json (sorted keys) for trajectory tracking;
 // EXPERIMENTS.md records the committed numbers.
 //
 //===----------------------------------------------------------------------===//
 
+#define RELC_BENCH_COUNT_ALLOCS
 #include "bench_common.h"
 #include "pipeline/Pipeline.h"
 #include "programs/Programs.h"
@@ -99,9 +107,10 @@ int main() {
     pipeline::PipelineOptions Opts;
     Opts.Jobs = W;
     ByWidth.push_back(measure(Opts, Reps));
-    std::printf("  -j %u : %7.2f ms  (+/- %.2f)  speedup vs -j1: %.2fx\n", W,
-                ByWidth.back().Mean, ByWidth.back().Ci95,
-                ByWidth.front().Mean / ByWidth.back().Mean);
+    std::printf("  -j %u : %7.2f ms median (+/- %.2f)  speedup vs -j1: "
+                "%.2fx\n",
+                W, ByWidth.back().Median, ByWidth.back().Ci95,
+                ByWidth.front().Median / ByWidth.back().Median);
   }
 
   // --- Guard overhead: the same serial run with every §4.7 budget armed
@@ -128,13 +137,13 @@ int main() {
   Stats PlainStats = stats(PlainSamples);
   Stats GuardStats = stats(GuardSamples);
   double GuardPct =
-      (GuardStats.Mean - PlainStats.Mean) / PlainStats.Mean * 100.0;
+      (GuardStats.Median - PlainStats.Median) / PlainStats.Median * 100.0;
   std::printf("\n  guards off   (-j 1, interleaved)            : %7.2f ms "
-              "(+/- %.2f)\n",
-              PlainStats.Mean, PlainStats.Ci95);
+              "median (mean %.2f +/- %.2f)\n",
+              PlainStats.Median, PlainStats.Mean, PlainStats.Ci95);
   std::printf("  guards armed (-j 1, never-exhausting budgets): %7.2f ms "
-              "(+/- %.2f)  overhead: %+.2f%%\n",
-              GuardStats.Mean, GuardStats.Ci95, GuardPct);
+              "median (mean %.2f +/- %.2f)  overhead: %+.2f%%\n",
+              GuardStats.Median, GuardStats.Mean, GuardStats.Ci95, GuardPct);
 
   // --- Codelint overhead: the same serial run with the target-side
   // analyzer on (the default) vs off, interleaved like the guard
@@ -152,44 +161,96 @@ int main() {
   }
   Stats ClOn = stats(ClOnSamples);
   Stats ClOff = stats(ClOffSamples);
-  double ClPct = (ClOn.Mean - ClOff.Mean) / ClOn.Mean * 100.0;
-  std::printf("\n  codelint on  (-j 1, interleaved): %7.2f ms (+/- %.2f)\n",
-              ClOn.Mean, ClOn.Ci95);
-  std::printf("  codelint off (-j 1, interleaved): %7.2f ms (+/- %.2f)  "
-              "layer share: %+.2f%%\n",
-              ClOff.Mean, ClOff.Ci95, ClPct);
+  double ClPct = (ClOn.Median - ClOff.Median) / ClOn.Median * 100.0;
+  std::printf("\n  codelint on  (-j 1, interleaved): %7.2f ms median "
+              "(mean %.2f +/- %.2f)\n",
+              ClOn.Median, ClOn.Mean, ClOn.Ci95);
+  std::printf("  codelint off (-j 1, interleaved): %7.2f ms median "
+              "(mean %.2f +/- %.2f)  layer share: %+.2f%%\n",
+              ClOff.Median, ClOff.Mean, ClOff.Ci95, ClPct);
 
   // --- Cold vs warm certificate cache, at the widest setting.
   std::string CacheDir =
       (std::filesystem::temp_directory_path() / "relc-bench-cache").string();
+  std::string JsonCacheDir = CacheDir + "-json";
   std::filesystem::remove_all(CacheDir);
+  std::filesystem::remove_all(JsonCacheDir);
   pipeline::PipelineOptions Cached;
   Cached.Jobs = Widths.back();
   Cached.CacheDir = CacheDir;
 
-  double ColdMs = runOnce(Cached); // First run populates the cache.
-  std::vector<double> WarmSamples;
-  for (unsigned I = 0; I < Reps; ++I)
-    WarmSamples.push_back(runOnce(Cached));
-  Stats Warm = stats(WarmSamples);
+  // Cold: each rep starts from an empty directory and pays certify +
+  // store. Median over several reps — a single cold run was how the old
+  // bench produced its drifting committed number.
+  std::vector<double> ColdSamples;
+  for (unsigned I = 0; I < Reps; ++I) {
+    std::filesystem::remove_all(CacheDir);
+    ColdSamples.push_back(runOnce(Cached));
+  }
+  Stats Cold = stats(ColdSamples);
+
+  // The final cold rep left a fully populated two-file cache. Build a
+  // JSON-only twin of it (same entries, binary siblings dropped) so the
+  // warm workload can be priced through each face: image hit vs parse
+  // fallback. Warm runs never write back, so both twins stay as built.
+  std::filesystem::create_directories(JsonCacheDir);
+  for (const std::filesystem::directory_entry &E :
+       std::filesystem::directory_iterator(CacheDir))
+    if (E.path().string().size() < 9 ||
+        E.path().string().substr(E.path().string().size() - 9) != ".cert.bin")
+      std::filesystem::copy_file(E.path(),
+                                 JsonCacheDir + "/" +
+                                     E.path().filename().string());
+  pipeline::PipelineOptions JsonCached = Cached;
+  JsonCached.CacheDir = JsonCacheDir;
+
+  runOnce(Cached);
+  runOnce(JsonCached); // Warmup both.
+  std::vector<double> WarmBinSamples, WarmParseSamples;
+  for (unsigned I = 0; I < Reps; ++I) {
+    WarmBinSamples.push_back(runOnce(Cached));
+    WarmParseSamples.push_back(runOnce(JsonCached));
+  }
+  Stats WarmBin = stats(WarmBinSamples);
+  Stats WarmParse = stats(WarmParseSamples);
+
+  // Heap allocations for one whole warm suite run through each face
+  // (this TU defines RELC_BENCH_COUNT_ALLOCS, so global operator new
+  // feeds allocCount() binary-wide).
+  uint64_t AllocWarm = allocationsDuring([&] { runOnce(Cached); });
+  uint64_t AllocWarmParse = allocationsDuring([&] { runOnce(JsonCached); });
   std::filesystem::remove_all(CacheDir);
+  std::filesystem::remove_all(JsonCacheDir);
 
-  std::printf("\n  cache cold : %7.2f ms (certify + store)\n", ColdMs);
-  std::printf("  cache warm : %7.2f ms  (+/- %.2f)  speedup vs cold: %.2fx\n",
-              Warm.Mean, Warm.Ci95, ColdMs / Warm.Mean);
+  std::printf("\n  cache cold        : %7.2f ms median (certify + store)\n",
+              Cold.Median);
+  std::printf("  cache warm (bin)  : %7.2f ms median (mean %.2f +/- %.2f)  "
+              "speedup vs cold: %.2fx  allocs: %llu\n",
+              WarmBin.Median, WarmBin.Mean, WarmBin.Ci95,
+              Cold.Median / WarmBin.Median,
+              (unsigned long long)AllocWarm);
+  std::printf("  cache warm (json) : %7.2f ms median (mean %.2f +/- %.2f)  "
+              "parse fallback  allocs: %llu\n",
+              WarmParse.Median, WarmParse.Mean, WarmParse.Ci95,
+              (unsigned long long)AllocWarmParse);
 
+  // All timing fields are medians of interleaved (or repeated) samples;
+  // keys stay sorted so diffs of committed files read cleanly.
   std::ofstream J("BENCH_pipeline.json");
   char Buf[160];
   J << "{\n";
-  std::snprintf(Buf, sizeof(Buf), "  \"cache_cold_ms\": %.3f,\n", ColdMs);
+  J << "  \"alloc_count_warm\": " << AllocWarm << ",\n";
+  J << "  \"alloc_count_warm_parse\": " << AllocWarmParse << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"cache_cold_ms\": %.3f,\n", Cold.Median);
   J << Buf;
-  std::snprintf(Buf, sizeof(Buf), "  \"cache_warm_ms\": %.3f,\n", Warm.Mean);
+  std::snprintf(Buf, sizeof(Buf), "  \"cache_warm_ms\": %.3f,\n",
+                WarmBin.Median);
   J << Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"cache_warm_speedup\": %.3f,\n",
-                ColdMs / Warm.Mean);
+                Cold.Median / WarmBin.Median);
   J << Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"codelint_off_ms\": %.3f,\n",
-                ClOff.Mean);
+                ClOff.Median);
   J << Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"codelint_overhead_pct\": %.3f,\n",
                 ClPct);
@@ -198,18 +259,24 @@ int main() {
                 GuardPct);
   J << Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"guarded_jobs_1_ms\": %.3f,\n",
-                GuardStats.Mean);
+                GuardStats.Median);
   J << Buf;
   J << "  \"hardware_threads\": " << HwThreads << ",\n";
   for (size_t I = 0; I < Widths.size(); ++I) {
     std::snprintf(Buf, sizeof(Buf), "  \"jobs_%u_ms\": %.3f,\n", Widths[I],
-                  ByWidth[I].Mean);
+                  ByWidth[I].Median);
     J << Buf;
   }
   J << "  \"programs\": " << suite().size() << ",\n";
   J << "  \"repetitions\": " << Reps << ",\n";
-  std::snprintf(Buf, sizeof(Buf), "  \"speedup_j8_vs_j1\": %.3f\n",
-                ByWidth.front().Mean / ByWidth.back().Mean);
+  std::snprintf(Buf, sizeof(Buf), "  \"speedup_j8_vs_j1\": %.3f,\n",
+                ByWidth.front().Median / ByWidth.back().Median);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"warm_bin_ms\": %.3f,\n",
+                WarmBin.Median);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"warm_parse_ms\": %.3f\n",
+                WarmParse.Median);
   J << Buf;
   J << "}\n";
   std::printf("\nwrote BENCH_pipeline.json\n");

@@ -114,6 +114,14 @@ const char *rejectName(Reject R) {
     return "codelint-mismatch";
   case Reject::RederivationFailed:
     return "rederivation-failed";
+  case Reject::TruncatedImage:
+    return "truncated-image";
+  case Reject::IntegrityMismatch:
+    return "integrity-mismatch";
+  case Reject::BadMagic:
+    return "bad-magic";
+  case Reject::OffsetOutOfRange:
+    return "offset-out-of-range";
   }
   return "?";
 }

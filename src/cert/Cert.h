@@ -212,6 +212,13 @@ enum class Reject : uint8_t {
   CodelintMismatch,     ///< The codelint section differs from what the
                         ///< checker re-derives from the emitted code.
   RederivationFailed,   ///< The checker could not model the program.
+  // Binary-image rejections (cert/Binary.h). The mmap'd image is
+  // untrusted input: each of these names one way it can lie.
+  TruncatedImage,       ///< Image shorter than its header claims.
+  IntegrityMismatch,    ///< Trailing integrity hash does not cover the
+                        ///< image bytes.
+  BadMagic,             ///< Leading magic is not a relc binary cert.
+  OffsetOutOfRange,     ///< A record or string slice escapes the image.
 };
 
 /// Stable kebab-case name ("missing-certificate", ...).

@@ -38,6 +38,7 @@ namespace {
 
 using tv::AffineView;
 using tv::FoldInfo;
+using tv::FoldRef;
 using tv::FoldRegion;
 using tv::NoTerm;
 using tv::TermGraph;
@@ -978,7 +979,7 @@ private:
                " has no loop record in the certificate");
     const LoopRec &CL = Cert.Loops[K];
     const SrcLoopRec &SL = SrcLoops[K];
-    const FoldInfo &FI = G.foldInfo(SL.Fold);
+    FoldRef FI = G.foldInfo(SL.Fold);
 
     std::set<std::string> Assigned;
     scanLoopBody(W.body(), Assigned);
@@ -1024,8 +1025,8 @@ private:
     }
 
     std::set<std::string> SrcRegs;
-    for (const FoldRegion &R : FI.Regions)
-      SrcRegs.insert(R.Name);
+    for (unsigned RI = 0, RE = FI.numRegions(); RI < RE; ++RI)
+      SrcRegs.insert(FI.regionName(RI));
     if (SrcRegs != Stored)
       fail(Reject::RederivationFailed,
            "loop at " + Path + " writes regions {" + joinSet(Stored) +
@@ -1045,12 +1046,12 @@ private:
            "loop #" + std::to_string(K) + " witness region set {" +
                joinSet(WitRegs) + "} differs from the derived store set {" +
                joinSet(Stored) + "}");
-    if (CL.WitnessLocals.size() != FI.NumCarried)
+    if (CL.WitnessLocals.size() != FI.numCarried())
       fail(Reject::LoopWitnessMismatch,
            "loop #" + std::to_string(K) + " witness maps " +
                std::to_string(CL.WitnessLocals.size()) +
                " locals but the model carries " +
-               std::to_string(FI.NumCarried) + " values");
+               std::to_string(FI.numCarried()) + " values");
 
     // Replay: build the recorded renaming and verify the match equations.
     std::map<TermId, TermId> Ren;
@@ -1064,7 +1065,7 @@ private:
     };
     std::vector<Picked> Picks;
     std::set<std::string> SeenLocals;
-    for (unsigned J = 0; J < FI.NumCarried; ++J) {
+    for (unsigned J = 0; J < FI.numCarried(); ++J) {
       const std::string &V = CL.WitnessLocals[J];
       if (!SeenLocals.insert(V).second)
         fail(Reject::LoopWitnessMismatch,
@@ -1077,40 +1078,41 @@ private:
       if (InitIt == T.Locals.end() || NextIt == B.Locals.end())
         fail(Reject::LoopWitnessMismatch,
              "witness local '" + V + "' has no loop-carried value");
-      if (InitIt->second != FI.Inits[J])
+      if (InitIt->second != FI.init(J))
         fail(Reject::LoopWitnessMismatch,
              "witness local '" + V + "' is initialized to '" +
                  clip(G.str(InitIt->second)) +
                  "' but the model's carried value " + std::to_string(J) +
-                 " starts at '" + clip(G.str(FI.Inits[J])) + "'");
+                 " starts at '" + clip(G.str(FI.init(J))) + "'");
       Ren[HavocOf.at(V)] = G.sym(canonSym(K, J));
       Picks.push_back({V, NextIt->second});
     }
 
-    if (G.substitute(GuardT, Ren) != FI.Guard)
+    if (G.substitute(GuardT, Ren) != FI.guard())
       fail(Reject::LoopWitnessMismatch,
            "under the recorded witness the loop guard computes '" +
                clip(G.str(GuardT)) + "' but the model's is '" +
-               clip(G.str(FI.Guard)) + "'");
-    for (unsigned J = 0; J < FI.NumCarried; ++J)
-      if (G.substitute(Picks[J].Next, Ren) != FI.Nexts[J])
+               clip(G.str(FI.guard())) + "'");
+    for (unsigned J = 0; J < FI.numCarried(); ++J)
+      if (G.substitute(Picks[J].Next, Ren) != FI.next(J))
         fail(Reject::LoopWitnessMismatch,
              "witness local '" + Picks[J].Name + "' steps to '" +
                  clip(G.str(Picks[J].Next)) +
                  "' but the model's carried value " + std::to_string(J) +
-                 " steps to '" + clip(G.str(FI.Nexts[J])) + "'");
-    for (const FoldRegion &R : FI.Regions) {
-      if (T.Region.at(R.Name) != R.Entry)
+                 " steps to '" + clip(G.str(FI.next(J))) + "'");
+    for (unsigned RI = 0, RE = FI.numRegions(); RI < RE; ++RI) {
+      const std::string RName = FI.regionName(RI);
+      if (T.Region.at(RName) != FI.regionEntry(RI))
         fail(Reject::LoopWitnessMismatch,
-             "region '" + R.Name + "' enters the loop as '" +
-                 clip(G.str(T.Region.at(R.Name))) + "' but the model has '" +
-                 clip(G.str(R.Entry)) + "'");
-      if (G.substitute(B.Region.at(R.Name), Ren) != R.Next)
+             "region '" + RName + "' enters the loop as '" +
+                 clip(G.str(T.Region.at(RName))) + "' but the model has '" +
+                 clip(G.str(FI.regionEntry(RI))) + "'");
+      if (G.substitute(B.Region.at(RName), Ren) != FI.regionNext(RI))
         fail(Reject::LoopWitnessMismatch,
-             "region '" + R.Name + "' is rewritten as '" +
-                 clip(G.str(B.Region.at(R.Name))) +
+             "region '" + RName + "' is rewritten as '" +
+                 clip(G.str(B.Region.at(RName))) +
                  "' per iteration but the model rewrites it as '" +
-                 clip(G.str(R.Next)) + "'");
+                 clip(G.str(FI.regionNext(RI))) + "'");
     }
 
     // Commit exactly as the producer does.
@@ -1118,7 +1120,7 @@ private:
       T.Locals.erase(V);
       T.LocalDef.erase(V);
     }
-    for (unsigned J = 0; J < FI.NumCarried; ++J) {
+    for (unsigned J = 0; J < FI.numCarried(); ++J) {
       T.Locals[Picks[J].Name] = G.foldOut(SL.Fold, J);
       T.LocalDef[Picks[J].Name] = Path;
     }

@@ -26,10 +26,20 @@
 // written for fully successful certifications — failures are not cached
 // (they are cheap to re-derive and their diagnostics should stay fresh).
 //
-// On-disk format: one JSON file per entry under the cache directory,
-// named <model>-<spec>-<code>.cert.json (each component 16 hex digits).
-// Keys are emitted in sorted order and one per line, so files are byte-
-// stable for a given entry and diffable across runs.
+// On-disk format: two files per entry under the cache directory, both
+// named by the key — <model>-<spec>-<code> (16 hex digits each):
+//
+//   <stem>.cert.json  the canonical, diffable JSON entry (keys sorted,
+//                     one per line, byte-stable for a given entry);
+//   <stem>.cert.bin   the same entry as a length-prefixed binary image
+//                     with a trailing integrity hash — the warm path.
+//
+// lookup() tries the binary image first (one read, a bounds-checked
+// fixed-field decode, zero JSON parsing) and falls back to the JSON file
+// when the image is missing or fails verification — a corrupt image is
+// deleted and costs one fallback parse, never soundness. store() writes
+// both files with the same crash-safe unique-temp-file + rename dance, so
+// a cache produced by any writer serves both paths.
 //
 //===----------------------------------------------------------------------===//
 
@@ -76,6 +86,11 @@ struct CertEntry {
   std::string TvVerdict;    ///< "Proved" / "Inconclusive" ("" if !TvRan).
   uint64_t TvLoops = 0, TvTerms = 0; ///< For the per-program tv line.
   std::string TvCertificate; ///< The .tv.json payload ("" if !TvRan).
+  /// The .certbin payload (cert::BinWriter image; "" if !TvRan). Carried
+  /// verbatim in the binary cache entry so warm runs reproduce cold
+  /// artifacts byte-for-byte; legacy JSON entries leave it empty and the
+  /// pipeline re-encodes it from TvCertificate.
+  std::string TvCertBin;
   bool CodelintRan = false;  ///< Target-side codelint layer executed.
   std::string CodelintVerdict; ///< Overall verdict name ("" if !CodelintRan).
   bool DifferentialOk = false; ///< Layer 4 verdict.
@@ -87,6 +102,7 @@ struct CacheStats {
   unsigned Misses = 0;
   unsigned Stores = 0;
   unsigned CorruptDiscarded = 0;
+  unsigned BinHits = 0; ///< Subset of Hits served from the binary image.
 };
 
 class CertCache {
@@ -128,7 +144,10 @@ public:
       const;
 
   /// Serialization, exposed for tests and the independent checker: the
-  /// exact file content store() writes, including the integrity hash.
+  /// exact JSON file content store() writes, including the integrity hash.
+  /// (The JSON entry deliberately omits TvCertBin — it predates it, stays
+  /// byte-compatible with entries written before the binary path existed,
+  /// and the binary payload is re-derivable from TvCertificate.)
   static std::string serialize(const CertKey &Key, const CertEntry &Entry);
 
   /// Inverse of serialize(). Fails (nullopt) on any malformed field,
@@ -136,10 +155,25 @@ public:
   static std::optional<CertEntry> deserialize(const std::string &Text,
                                               CertKey *KeyOut = nullptr);
 
+  /// The binary cache image store() writes next to the JSON: every field
+  /// (including both certificate payloads, verbatim) as length-prefixed
+  /// little-endian records behind a magic + version, with a trailing
+  /// FNV-1a integrity hash. Loading it allocates one string per string
+  /// field — O(1) allocations per entry, no parsing.
+  static std::string serializeBin(const CertKey &Key, const CertEntry &Entry);
+
+  /// Inverse of serializeBin(). Fails (nullopt) on bad magic or version,
+  /// a truncated or oversized image, any out-of-range length, or an
+  /// integrity-hash mismatch. Never throws; never trusts a length before
+  /// bounds-checking it.
+  static std::optional<CertEntry> deserializeBin(const std::string &Image,
+                                                 CertKey *KeyOut = nullptr);
+
 private:
   std::string Dir;
 
   std::string pathFor(const CertKey &Key) const;
+  std::string binPathFor(const CertKey &Key) const;
 };
 
 } // namespace pipeline

@@ -7,6 +7,7 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "cert/Binary.h"
 #include "cert/Writer.h"
 #include "pipeline/Scheduler.h"
 #include "sep/State.h"
@@ -204,6 +205,14 @@ void applyCached(ProgramOutcome &O, const CertEntry &E) {
   O.TvLoops = E.TvLoops;
   O.TvTerms = E.TvTerms;
   O.TvCertJson = E.TvCertificate;
+  O.TvCertBin = E.TvCertBin;
+  // A legacy JSON-only entry predates the binary image: re-encode it from
+  // the canonical JSON so warm runs still emit both artifacts. Both
+  // writers are deterministic, so the result is byte-identical to what a
+  // cold run would have produced.
+  if (O.TvCertBin.empty() && !O.TvCertJson.empty())
+    if (std::optional<cert::Certificate> C = cert::Reader::parse(O.TvCertJson))
+      O.TvCertBin = cert::BinWriter::write(*C);
   O.CodelintVerdictName = E.CodelintVerdict;
   O.CacheHit = true;
 }
@@ -531,6 +540,7 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
             O.Codelint.FaultNote.empty())
           C.Codelint = cert::codelintRecOf(O.ClReport);
         O.TvCertJson = cert::Writer::write(C);
+        O.TvCertBin = cert::BinWriter::write(C);
       }
       // Render the non-validate failure texts (analysis/tv/codelint
       // rejections when layer 4 is disabled and never got to render them).
@@ -580,6 +590,7 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
       E.TvLoops = O.TvLoops;
       E.TvTerms = O.TvTerms;
       E.TvCertificate = O.TvCertJson;
+      E.TvCertBin = O.TvCertBin;
       E.CodelintRan = O.Codelint.Enabled;
       E.CodelintVerdict = O.CodelintVerdictName;
       E.DifferentialOk = O.Diff.Enabled && O.Diff.Ok;
@@ -655,6 +666,7 @@ certifyPrograms(const std::vector<const programs::ProgramDef *> &Progs,
       Stats->Cache.Misses += PerProgramCache[I].Misses;
       Stats->Cache.Stores += PerProgramCache[I].Stores;
       Stats->Cache.CorruptDiscarded += PerProgramCache[I].CorruptDiscarded;
+      Stats->Cache.BinHits += PerProgramCache[I].BinHits;
       if (!Out[I].ok())
         ++Stats->Failures;
     }

@@ -125,6 +125,7 @@ struct ProgramOutcome {
   std::string TvVerdictName;     ///< verdictName() form ("proved", ...).
   uint64_t TvLoops = 0, TvTerms = 0;
   std::string TvCertJson;        ///< The .tv.json payload ("" if TV off).
+  std::string TvCertBin;         ///< The .certbin image ("" if TV off).
   std::string CodelintVerdictName; ///< "safe"/"unknown"/"unsafe" ("" if off).
 
   CertKey Key;                   ///< Content hashes (valid when CompileOk).

@@ -230,7 +230,18 @@ Status JobGraph::summarize() const {
 
 Status JobGraph::run(unsigned NumThreads) {
   NumThreads = resolveJobs(NumThreads);
-  if (NumThreads == 1 || Jobs.size() <= 1)
+  // -j N is a semantic cap, not a demand for N OS threads: jobs are
+  // CPU-bound and never block on one another (dependencies live in the
+  // graph), so workers beyond the core count only add spawn cost and
+  // context switches. Outputs are thread-count independent (jobs own
+  // disjoint state; reductions happen after run()), so the pool size is
+  // free to shrink to the hardware. On a 1-core container this turns a
+  // warm-cache -j 8 run from 8 spawned threads into an inline loop.
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW != 0)
+    NumThreads = std::min(NumThreads, HW);
+  NumThreads = unsigned(std::min<size_t>(NumThreads, Jobs.size()));
+  if (NumThreads <= 1 || Jobs.size() <= 1)
     runSerial();
   else
     runParallel(NumThreads);

@@ -8,7 +8,9 @@
 #include "solver/Linear.h"
 
 #include <algorithm>
-#include <set>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace relc {
 namespace solver {
@@ -150,12 +152,25 @@ void FactDb::addEq(const LinTerm &A, const LinTerm &B, std::string Reason) {
 namespace {
 
 /// A working row during elimination: coefficients in __int128 to keep
-/// products exact. Overflow of the 128-bit range aborts with "unknown".
+/// products exact, held as a flat list sorted by symbol. The symbols are
+/// views into the originating LinTerms (the FactDb rows and the caller's
+/// goal), which outlive every WideRow of one refutes() call — so
+/// elimination never copies a symbol, and combining two rows is a linear
+/// merge instead of a tree rebuild. Overflow of the 128-bit range aborts
+/// with "unknown".
 struct WideRow {
-  std::map<std::string, __int128> Coeffs;
+  std::vector<std::pair<std::string_view, __int128>> Coeffs;
   __int128 Const = 0;
 
   bool isConstant() const { return Coeffs.empty(); }
+
+  /// Coefficient of \p X, or 0 — binary search over the sorted list.
+  __int128 coeffOf(std::string_view X) const {
+    auto It = std::lower_bound(
+        Coeffs.begin(), Coeffs.end(), X,
+        [](const auto &P, std::string_view V) { return P.first < V; });
+    return It != Coeffs.end() && It->first == X ? It->second : 0;
+  }
 };
 
 constexpr __int128 kMagCap = (__int128(1) << 100);
@@ -165,39 +180,47 @@ bool tooBig(__int128 V) { return V > kMagCap || V < -kMagCap; }
 WideRow widen(const LinTerm &T) {
   WideRow R;
   R.Const = T.constPart();
+  R.Coeffs.reserve(T.coeffs().size());
   for (const auto &[S, C] : T.coeffs())
-    R.Coeffs[S] = C;
+    R.Coeffs.emplace_back(S, C); // Map iteration is already sorted.
   return R;
 }
 
 /// Combines Pos (coeff of X is P > 0) and Neg (coeff N < 0), eliminating X:
 /// (-N)·Pos + P·Neg. Returns false on magnitude overflow.
-bool combine(const WideRow &Pos, const WideRow &Neg, const std::string &X,
+bool combine(const WideRow &Pos, const WideRow &Neg, std::string_view X,
              WideRow *Out) {
-  __int128 P = Pos.Coeffs.at(X);
-  __int128 N = Neg.Coeffs.at(X);
-  __int128 A = -N, B = P;
+  __int128 A = -Neg.coeffOf(X), B = Pos.coeffOf(X);
   WideRow R;
   R.Const = A * Pos.Const + B * Neg.Const;
   if (tooBig(R.Const))
     return false;
-  for (const auto &[S, C] : Pos.Coeffs) {
+  R.Coeffs.reserve(Pos.Coeffs.size() + Neg.Coeffs.size());
+  auto PI = Pos.Coeffs.begin(), PE = Pos.Coeffs.end();
+  auto NI = Neg.Coeffs.begin(), NE = Neg.Coeffs.end();
+  while (PI != PE || NI != NE) {
+    std::string_view S;
+    __int128 C = 0;
+    if (NI == NE || (PI != PE && PI->first < NI->first)) {
+      S = PI->first;
+      C = A * PI->second;
+      ++PI;
+    } else if (PI == PE || NI->first < PI->first) {
+      S = NI->first;
+      C = B * NI->second;
+      ++NI;
+    } else {
+      S = PI->first;
+      C = A * PI->second + B * NI->second;
+      ++PI;
+      ++NI;
+    }
     if (S == X)
       continue;
-    R.Coeffs[S] += A * C;
-  }
-  for (const auto &[S, C] : Neg.Coeffs) {
-    if (S == X)
-      continue;
-    R.Coeffs[S] += B * C;
-  }
-  for (auto It = R.Coeffs.begin(); It != R.Coeffs.end();) {
-    if (tooBig(It->second))
+    if (tooBig(C))
       return false;
-    if (It->second == 0)
-      It = R.Coeffs.erase(It);
-    else
-      ++It;
+    if (C != 0)
+      R.Coeffs.emplace_back(S, C);
   }
   *Out = std::move(R);
   return true;
@@ -215,8 +238,11 @@ bool FactDb::refutes(const std::vector<LinTerm> &Extra,
   // Relevance pruning: fact databases grow monotonically during
   // compilation (one definitional symbol per subexpression), but any given
   // goal only depends on the cone of facts transitively sharing symbols
-  // with it. Compute that closure first so elimination stays tiny.
-  std::set<std::string> Rel;
+  // with it. Compute that closure first so elimination stays tiny. The
+  // sets hold views into the row/goal terms (alive for the whole call):
+  // hashing a short symbol beats a red-black tree of string copies on
+  // this hot path.
+  std::unordered_set<std::string_view> Rel;
   for (const LinTerm &T : Extra)
     for (const auto &[S, C] : T.coeffs()) {
       (void)C;
@@ -252,7 +278,7 @@ bool FactDb::refutes(const std::vector<LinTerm> &Extra,
   // Gather the relevant rows (each meaning T ≥ 0) and the variable set.
   std::vector<WideRow> Work;
   Work.reserve(Rows.size() + Extra.size());
-  std::set<std::string> Vars;
+  std::unordered_set<std::string_view> Vars;
   for (size_t I = 0; I < Rows.size(); ++I) {
     if (!Included[I])
       continue;
@@ -285,17 +311,29 @@ bool FactDb::refutes(const std::vector<LinTerm> &Extra,
     return true;
 
   // Eliminate variables one at a time (fewest-occurrences-first keeps the
-  // quadratic growth down on our goal shapes).
+  // quadratic growth down on our goal shapes). The occurrence counts are
+  // computed in one pass over the rows per round and the sort compares
+  // those — the previous comparator rescanned every row for every
+  // comparison, which made this loop the single hottest spot in a
+  // warm-cache compile. The stable sort over the carried-forward order is
+  // kept as-is: elimination order feeds the give-up caps, so the
+  // selection sequence must stay exactly what it always was. The initial
+  // order is sorted to reproduce the ordered-set iteration it replaced.
   std::vector<std::string> Order(Vars.begin(), Vars.end());
+  std::sort(Order.begin(), Order.end());
   while (!Order.empty()) {
+    std::unordered_map<std::string_view, size_t> Occur;
+    for (const WideRow &R : Work)
+      for (const auto &[S, C] : R.Coeffs) {
+        (void)C;
+        ++Occur[S];
+      }
+    auto Count = [&](std::string_view V) {
+      auto It = Occur.find(V);
+      return It == Occur.end() ? size_t(0) : It->second;
+    };
     std::stable_sort(Order.begin(), Order.end(),
                      [&](const std::string &A, const std::string &B) {
-                       auto Count = [&](const std::string &V) {
-                         size_t N = 0;
-                         for (const WideRow &R : Work)
-                           N += R.Coeffs.count(V);
-                         return N;
-                       };
                        return Count(A) < Count(B);
                      });
     std::string X = Order.front();
@@ -306,10 +344,10 @@ bool FactDb::refutes(const std::vector<LinTerm> &Extra,
 
     std::vector<WideRow> PosRows, NegRows, Rest;
     for (WideRow &R : Work) {
-      auto It = R.Coeffs.find(X);
-      if (It == R.Coeffs.end())
+      __int128 C = R.coeffOf(X);
+      if (C == 0)
         Rest.push_back(std::move(R));
-      else if (It->second > 0)
+      else if (C > 0)
         PosRows.push_back(std::move(R));
       else
         NegRows.push_back(std::move(R));

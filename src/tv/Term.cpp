@@ -50,50 +50,142 @@ bool isPow2Mask(uint64_t M) { return M != 0 && ((M + 1) & M) == 0; }
 
 } // namespace
 
-TermGraph::TermGraph() { Nodes.reserve(256); }
+//===----------------------------------------------------------------------===//
+// FoldRef.
+//===----------------------------------------------------------------------===//
+//
+// Fold node operand layout (see TermGraph::fold):
+//   [0]                    guard
+//   [1 .. C]               carried initial values
+//   [1+C .. 2C]            carried step terms
+//   [1+2C + 2r, +1]        region r's (entry, next), regions sorted by name
+//
+// The view re-reads offsets through the graph on every access, so it
+// survives pool reallocation (callers hold FoldRefs across substitute()).
+
+unsigned FoldRef::numCarried() const { return G->foldRec(Fold).NumCarried; }
+
+TermId FoldRef::guard() const { return G->op(Fold, 0); }
+
+TermId FoldRef::init(unsigned J) const { return G->op(Fold, 1 + J); }
+
+TermId FoldRef::next(unsigned J) const {
+  return G->op(Fold, 1 + G->foldRec(Fold).NumCarried + J);
+}
+
+unsigned FoldRef::numRegions() const { return G->foldRec(Fold).NumRegions; }
+
+std::string FoldRef::regionName(unsigned I) const {
+  const TermGraph::FoldRec &R = G->foldRec(Fold);
+  const TermGraph::RegionNameRec &NR = G->RegionNames[R.RegionsAt + I];
+  return std::string(G->NamePool.data() + NR.NameAt, NR.NameLen);
+}
+
+TermId FoldRef::regionEntry(unsigned I) const {
+  const TermGraph::FoldRec &R = G->foldRec(Fold);
+  return G->op(Fold, 1 + 2 * R.NumCarried + 2 * I);
+}
+
+TermId FoldRef::regionNext(unsigned I) const {
+  const TermGraph::FoldRec &R = G->foldRec(Fold);
+  return G->op(Fold, 1 + 2 * R.NumCarried + 2 * I + 1);
+}
 
 //===----------------------------------------------------------------------===//
 // Interning.
 //===----------------------------------------------------------------------===//
 
-uint64_t TermGraph::hashNode(const TermNode &N) {
+TermGraph::TermGraph() {
+  Nodes.reserve(256);
+  OpPool.reserve(512);
+  NamePool.reserve(1024);
+  Table.assign(512, Slot{});
+}
+
+uint64_t TermGraph::hashNode(TermKind K, uint8_t W, uint64_t A,
+                             std::string_view Name, const TermId *Ops,
+                             uint32_t NumOps) {
+  // The exact mix the pre-arena TermNode hash used: certificates and the
+  // cache embed these hashes, so the algorithm is pinned byte-for-byte.
   uint64_t H = 0xcbf29ce484222325ull;
   auto Mix = [&H](uint64_t V) {
     H ^= V;
     H *= 0x100000001b3ull;
     H ^= H >> 29;
   };
-  Mix(uint64_t(N.K));
-  Mix(N.W);
-  Mix(N.A);
-  for (char C : N.Name)
+  Mix(uint64_t(K));
+  Mix(W);
+  Mix(A);
+  for (char C : Name)
     Mix(uint8_t(C));
-  Mix(N.Name.size());
-  for (TermId Op : N.Ops)
-    Mix(uint64_t(Op) * 0x9e3779b97f4a7c15ull + 1);
+  Mix(Name.size());
+  for (uint32_t I = 0; I < NumOps; ++I)
+    Mix(uint64_t(Ops[I]) * 0x9e3779b97f4a7c15ull + 1);
   return H;
 }
 
-bool TermGraph::sameNode(const TermNode &A, const TermNode &B) const {
-  return A.K == B.K && A.W == B.W && A.A == B.A && A.Name == B.Name &&
-         A.Ops == B.Ops;
+bool TermGraph::sameNode(TermId Cand, TermKind K, uint8_t W, uint64_t A,
+                         std::string_view Name, const TermId *Ops,
+                         uint32_t NumOps) const {
+  const Node &N = Nodes[Cand];
+  if (N.K != K || N.W != W || N.A != A || N.NumOps != NumOps ||
+      N.NameLen != Name.size())
+    return false;
+  if (!std::equal(Name.begin(), Name.end(), NamePool.data() + N.NameAt))
+    return false;
+  const TermId *CandOps = OpPool.data() + N.OpsAt;
+  return std::equal(Ops, Ops + NumOps, CandOps);
 }
 
-TermId TermGraph::intern(TermNode N) {
+void TermGraph::growTable() {
+  std::vector<Slot> Old = std::move(Table);
+  Table.assign(Old.size() * 2, Slot{});
+  const size_t Mask = Table.size() - 1;
+  for (const Slot &S : Old) {
+    if (S.Id == NoTerm)
+      continue;
+    size_t I = size_t(S.Hash) & Mask;
+    while (Table[I].Id != NoTerm)
+      I = (I + 1) & Mask;
+    Table[I] = S;
+  }
+}
+
+TermId TermGraph::intern(TermKind K, uint8_t W, uint64_t A,
+                         std::string_view Name, const TermId *Ops,
+                         uint32_t NumOps) {
   // Every normalizing constructor funnels through here, so this one check
   // bounds the whole normalization engine (guard::Budget's step is a
   // relaxed fetch_add — negligible next to the hashing below).
   if (TheBudget)
     TheBudget->stepOrThrow();
-  N.Hash = hashNode(N);
-  auto It = Interned.find(N.Hash);
-  if (It != Interned.end())
-    for (TermId Cand : It->second)
-      if (sameNode(Nodes[Cand], N))
-        return Cand;
+  uint64_t H = hashNode(K, W, A, Name, Ops, NumOps);
+
+  const size_t Mask = Table.size() - 1;
+  size_t I = size_t(H) & Mask;
+  while (Table[I].Id != NoTerm) {
+    if (Table[I].Hash == H && sameNode(Table[I].Id, K, W, A, Name, Ops, NumOps))
+      return Table[I].Id;
+    I = (I + 1) & Mask;
+  }
+
+  Node N;
+  N.K = K;
+  N.W = W;
+  N.NumOps = uint16_t(NumOps);
+  N.A = A;
+  N.Hash = H;
+  N.OpsAt = uint32_t(OpPool.size());
+  OpPool.insert(OpPool.end(), Ops, Ops + NumOps);
+  N.NameAt = uint32_t(NamePool.size());
+  N.NameLen = uint32_t(Name.size());
+  NamePool.insert(NamePool.end(), Name.begin(), Name.end());
+
   TermId Id = TermId(Nodes.size());
-  Interned[N.Hash].push_back(Id);
-  Nodes.push_back(std::move(N));
+  Nodes.push_back(N);
+  Table[I] = {H, Id};
+  if (++TableUsed * 4 >= Table.size() * 3)
+    growTable();
   return Id;
 }
 
@@ -102,44 +194,30 @@ TermId TermGraph::intern(TermNode N) {
 //===----------------------------------------------------------------------===//
 
 TermId TermGraph::constant(uint64_t V) {
-  TermNode N;
-  N.K = TermKind::Const;
-  N.A = V;
-  return intern(std::move(N));
+  return intern(TermKind::Const, 0, V, {}, nullptr, 0);
 }
 
 TermId TermGraph::sym(const std::string &Name) {
-  TermNode N;
-  N.K = TermKind::Sym;
-  N.Name = Name;
-  return intern(std::move(N));
+  return intern(TermKind::Sym, 0, 0, Name, nullptr, 0);
 }
 
 TermId TermGraph::arrInit(const std::string &Region, unsigned EltBytes) {
-  TermNode N;
-  N.K = TermKind::ArrInit;
-  N.Name = Region;
-  N.W = uint8_t(EltBytes);
-  return intern(std::move(N));
+  return intern(TermKind::ArrInit, uint8_t(EltBytes), 0, Region, nullptr, 0);
 }
 
 TermId TermGraph::arrHavoc(const std::string &Sym, unsigned EltBytes) {
-  TermNode N;
-  N.K = TermKind::ArrHavoc;
-  N.Name = Sym;
-  N.W = uint8_t(EltBytes);
-  return intern(std::move(N));
+  return intern(TermKind::ArrHavoc, uint8_t(EltBytes), 0, Sym, nullptr, 0);
 }
 
 std::optional<uint64_t> TermGraph::asConst(TermId T) const {
-  const TermNode &N = Nodes[T];
+  const Node &N = Nodes[T];
   if (N.K == TermKind::Const)
     return N.A;
   return std::nullopt;
 }
 
 unsigned TermGraph::eltBytesOf(TermId Arr) const {
-  const TermNode &N = Nodes[Arr];
+  const Node &N = Nodes[Arr];
   switch (N.K) {
   case TermKind::ArrInit:
   case TermKind::ArrHavoc:
@@ -148,16 +226,26 @@ unsigned TermGraph::eltBytesOf(TermId Arr) const {
   case TermKind::FoldOutArr:
     return N.W;
   case TermKind::ArrSelect:
-    return eltBytesOf(N.Ops[1]);
+    return eltBytesOf(op(Arr, 1));
   default:
     return 8; // Unknown array-ish term; widest (no masking).
   }
 }
 
-const FoldInfo &TermGraph::foldInfo(TermId Fold) const {
-  auto It = Folds.find(Fold);
-  assert(It != Folds.end() && "not a Fold node");
-  return It->second;
+const TermGraph::FoldRec &TermGraph::foldRec(TermId Fold) const {
+  // FoldRecs is sorted by construction (node ids are assigned in
+  // increasing order, and every fold() appends exactly one record).
+  auto It = std::lower_bound(FoldRecs.begin(), FoldRecs.end(), Fold,
+                             [](const FoldRec &R, TermId T) {
+                               return R.Fold < T;
+                             });
+  assert(It != FoldRecs.end() && It->Fold == Fold && "not a Fold node");
+  return *It;
+}
+
+FoldRef TermGraph::foldInfo(TermId Fold) const {
+  const FoldRec &R = foldRec(Fold);
+  return FoldRef(this, Fold, uint32_t(&R - FoldRecs.data()));
 }
 
 //===----------------------------------------------------------------------===//
@@ -183,37 +271,38 @@ AffineView TermGraph::affine(TermId T) const {
     Work.pop_back();
     if (I.Scale == 0)
       continue;
-    const TermNode &N = Nodes[I.T];
+    const Node &N = Nodes[I.T];
     if (N.K == TermKind::Const) {
       V.K += N.A * I.Scale;
       continue;
     }
     if (N.K == TermKind::Bin) {
       BinOp Op = BinOp(N.A);
+      TermId L = op(I.T, 0), R = op(I.T, 1);
       if (Op == BinOp::Add) {
-        Work.push_back({N.Ops[0], I.Scale});
-        Work.push_back({N.Ops[1], I.Scale});
+        Work.push_back({L, I.Scale});
+        Work.push_back({R, I.Scale});
         continue;
       }
       if (Op == BinOp::Sub) {
-        Work.push_back({N.Ops[0], I.Scale});
-        Work.push_back({N.Ops[1], uint64_t(0) - I.Scale});
+        Work.push_back({L, I.Scale});
+        Work.push_back({R, uint64_t(0) - I.Scale});
         continue;
       }
       if (Op == BinOp::Mul) {
-        if (auto C = asConst(N.Ops[1])) {
-          Work.push_back({N.Ops[0], I.Scale * *C});
+        if (auto C = asConst(R)) {
+          Work.push_back({L, I.Scale * *C});
           continue;
         }
-        if (auto C = asConst(N.Ops[0])) {
-          Work.push_back({N.Ops[1], I.Scale * *C});
+        if (auto C = asConst(L)) {
+          Work.push_back({R, I.Scale * *C});
           continue;
         }
       }
       if (Op == BinOp::Shl) {
-        if (auto C = asConst(N.Ops[1])) {
+        if (auto C = asConst(R)) {
           // Shift amounts are taken mod 64 by the word semantics.
-          Work.push_back({N.Ops[0], I.Scale << (*C & 63)});
+          Work.push_back({L, I.Scale << (*C & 63)});
           continue;
         }
       }
@@ -240,11 +329,8 @@ TermId TermGraph::fromAffine(const AffineView &V) {
 }
 
 TermId TermGraph::rawBin(BinOp Op, TermId L, TermId R) {
-  TermNode N;
-  N.K = TermKind::Bin;
-  N.A = uint64_t(Op);
-  N.Ops = {L, R};
-  return intern(std::move(N));
+  TermId O[2] = {L, R};
+  return intern(TermKind::Bin, 0, uint64_t(Op), {}, O, 2);
 }
 
 //===----------------------------------------------------------------------===//
@@ -328,10 +414,11 @@ TermId TermGraph::binNonAffine(BinOp Op, TermId L, TermId R) {
             return L;
       }
       // Mask merging: And(And(x, c1), c2) = And(x, c1 & c2).
-      const TermNode &NL = Nodes[L];
-      if (NL.K == TermKind::Bin && BinOp(NL.A) == BinOp::And)
-        if (auto C1 = asConst(NL.Ops[1]))
-          return bin(BinOp::And, NL.Ops[0], constant(*C1 & M));
+      if (kindOf(L) == TermKind::Bin && BinOp(attrOf(L)) == BinOp::And) {
+        TermId L0 = op(L, 0), L1 = op(L, 1);
+        if (auto C1 = asConst(L1))
+          return bin(BinOp::And, L0, constant(*C1 & M));
+      }
     }
     break;
   }
@@ -380,39 +467,29 @@ TermId TermGraph::select(TermId C, TermId T, TermId E) {
     return *CC ? T : E;
   if (T == E)
     return T;
-  TermNode N;
-  N.K = TermKind::Select;
-  N.Ops = {C, T, E};
-  return intern(std::move(N));
+  TermId O[3] = {C, T, E};
+  return intern(TermKind::Select, 0, 0, {}, O, 3);
 }
 
 TermId TermGraph::elt(TermId Arr, TermId Idx) {
-  const TermNode &N = Nodes[Arr];
-  if (N.K == TermKind::ArrStore) {
-    TermId SIdx = N.Ops[1];
+  if (kindOf(Arr) == TermKind::ArrStore) {
+    TermId Base = op(Arr, 0), SIdx = op(Arr, 1), SVal = op(Arr, 2);
     if (SIdx == Idx)
-      return N.Ops[2]; // Store-to-load forwarding (masked at store time).
+      return SVal; // Store-to-load forwarding (masked at store time).
     auto CA = asConst(SIdx), CB = asConst(Idx);
     if (CA && CB && *CA != *CB)
-      return elt(N.Ops[0], Idx); // Provably disjoint; look through.
+      return elt(Base, Idx); // Provably disjoint; look through.
     // Unknown aliasing: stay opaque (sound; both sides build this shape).
   }
-  TermNode Out;
-  Out.K = TermKind::Elt;
-  Out.W = uint8_t(eltBytesOf(Arr));
-  Out.Ops = {Arr, Idx};
-  return intern(std::move(Out));
+  uint8_t W = uint8_t(eltBytesOf(Arr));
+  TermId O[2] = {Arr, Idx};
+  return intern(TermKind::Elt, W, 0, {}, O, 2);
 }
 
 TermId TermGraph::tableElt(const std::string &Table, unsigned EltBytes,
                            uint64_t MaxElt, TermId Idx) {
-  TermNode N;
-  N.K = TermKind::TableElt;
-  N.Name = Table;
-  N.W = uint8_t(EltBytes);
-  N.A = MaxElt;
-  N.Ops = {Idx};
-  return intern(std::move(N));
+  TermId O[1] = {Idx};
+  return intern(TermKind::TableElt, uint8_t(EltBytes), MaxElt, Table, O, 1);
 }
 
 TermId TermGraph::arrStore(TermId Arr, TermId Idx, TermId Val) {
@@ -420,14 +497,10 @@ TermId TermGraph::arrStore(TermId Arr, TermId Idx, TermId Val) {
   if (W < 8)
     Val = bin(BinOp::And, Val, constant((uint64_t(1) << (8 * W)) - 1));
   // Store-store collapse at the same index.
-  const TermNode &N = Nodes[Arr];
-  if (N.K == TermKind::ArrStore && N.Ops[1] == Idx)
-    Arr = N.Ops[0];
-  TermNode Out;
-  Out.K = TermKind::ArrStore;
-  Out.W = uint8_t(W);
-  Out.Ops = {Arr, Idx, Val};
-  return intern(std::move(Out));
+  if (kindOf(Arr) == TermKind::ArrStore && op(Arr, 1) == Idx)
+    Arr = op(Arr, 0);
+  TermId O[3] = {Arr, Idx, Val};
+  return intern(TermKind::ArrStore, uint8_t(W), 0, {}, O, 3);
 }
 
 TermId TermGraph::arrSelect(TermId C, TermId T, TermId E) {
@@ -435,11 +508,9 @@ TermId TermGraph::arrSelect(TermId C, TermId T, TermId E) {
     return *CC ? T : E;
   if (T == E)
     return T;
-  TermNode N;
-  N.K = TermKind::ArrSelect;
-  N.W = uint8_t(eltBytesOf(T));
-  N.Ops = {C, T, E};
-  return intern(std::move(N));
+  uint8_t W = uint8_t(eltBytesOf(T));
+  TermId O[3] = {C, T, E};
+  return intern(TermKind::ArrSelect, W, 0, {}, O, 3);
 }
 
 //===----------------------------------------------------------------------===//
@@ -453,40 +524,56 @@ TermId TermGraph::fold(FoldInfo Info) {
             [](const FoldRegion &A, const FoldRegion &B) {
               return A.Name < B.Name;
             });
-  TermNode N;
-  N.K = TermKind::Fold;
-  N.A = Info.NumCarried;
-  N.Ops.push_back(Info.Guard);
-  N.Ops.insert(N.Ops.end(), Info.Inits.begin(), Info.Inits.end());
-  N.Ops.insert(N.Ops.end(), Info.Nexts.begin(), Info.Nexts.end());
+  // Assemble the operand list and the comma-joined region-name string in
+  // local buffers (intern() requires non-aliasing inputs), in the exact
+  // order the pre-arena node used, so hashes are unchanged.
+  std::vector<TermId> Ops;
+  Ops.reserve(1 + 2 * Info.NumCarried + 2 * Info.Regions.size());
+  Ops.push_back(Info.Guard);
+  Ops.insert(Ops.end(), Info.Inits.begin(), Info.Inits.end());
+  Ops.insert(Ops.end(), Info.Nexts.begin(), Info.Nexts.end());
+  std::string Name;
   for (const FoldRegion &R : Info.Regions) {
-    N.Name += R.Name;
-    N.Name += ',';
-    N.Ops.push_back(R.Entry);
-    N.Ops.push_back(R.Next);
+    Name += R.Name;
+    Name += ',';
+    Ops.push_back(R.Entry);
+    Ops.push_back(R.Next);
   }
-  TermId Id = intern(std::move(N));
-  Folds.emplace(Id, std::move(Info));
+  size_t NodesBefore = Nodes.size();
+  TermId Id = intern(TermKind::Fold, 0, Info.NumCarried, Name, Ops.data(),
+                     uint32_t(Ops.size()));
+  if (Nodes.size() == NodesBefore)
+    return Id; // Re-interned an existing Fold; its record already exists.
+
+  FoldRec Rec;
+  Rec.Fold = Id;
+  Rec.NumCarried = Info.NumCarried;
+  Rec.RegionsAt = uint32_t(RegionNames.size());
+  Rec.NumRegions = uint32_t(Info.Regions.size());
+  for (const FoldRegion &R : Info.Regions) {
+    RegionNameRec NR;
+    NR.NameAt = uint32_t(NamePool.size());
+    NR.NameLen = uint32_t(R.Name.size());
+    NamePool.insert(NamePool.end(), R.Name.begin(), R.Name.end());
+    RegionNames.push_back(NR);
+  }
+  FoldRecs.push_back(Rec);
   return Id;
 }
 
 TermId TermGraph::foldOut(TermId Fold, unsigned Pos) {
-  TermNode N;
-  N.K = TermKind::FoldOut;
-  N.A = Pos;
-  N.Ops = {Fold};
-  return intern(std::move(N));
+  TermId O[1] = {Fold};
+  return intern(TermKind::FoldOut, 0, Pos, {}, O, 1);
 }
 
 TermId TermGraph::foldOutArr(TermId Fold, const std::string &Region) {
-  TermNode N;
-  N.K = TermKind::FoldOutArr;
-  N.Name = Region;
-  for (const FoldRegion &R : foldInfo(Fold).Regions)
-    if (R.Name == Region)
-      N.W = uint8_t(eltBytesOf(R.Entry));
-  N.Ops = {Fold};
-  return intern(std::move(N));
+  uint8_t W = 0;
+  FoldRef FI = foldInfo(Fold);
+  for (unsigned I = 0, E = FI.numRegions(); I < E; ++I)
+    if (FI.regionName(I) == Region)
+      W = uint8_t(eltBytesOf(FI.regionEntry(I)));
+  TermId O[1] = {Fold};
+  return intern(TermKind::FoldOutArr, W, 0, Region, O, 1);
 }
 
 //===----------------------------------------------------------------------===//
@@ -494,12 +581,17 @@ TermId TermGraph::foldOutArr(TermId Fold, const std::string &Region) {
 //===----------------------------------------------------------------------===//
 
 std::optional<uint64_t> TermGraph::upperBound(TermId T) const {
-  auto Memo = UbMemo.find(T);
-  if (Memo != UbMemo.end())
-    return Memo->second;
-  UbMemo[T] = std::nullopt; // Cycle/diamond guard during recursion.
+  if (UbState.size() <= T) {
+    UbState.resize(Nodes.size(), 0);
+    UbValue.resize(Nodes.size(), 0);
+  }
+  if (UbState[T] == 2)
+    return UbValue[T];
+  if (UbState[T] == 1)
+    return std::nullopt;
+  UbState[T] = 1; // Cycle/diamond guard during recursion.
 
-  const TermNode &N = Nodes[T];
+  const Node &N = Nodes[T];
   std::optional<uint64_t> Out;
   auto EltCap = [](unsigned W) -> std::optional<uint64_t> {
     return W >= 8 ? std::optional<uint64_t>() : (uint64_t(1) << (8 * W)) - 1;
@@ -510,7 +602,8 @@ std::optional<uint64_t> TermGraph::upperBound(TermId T) const {
     break;
   case TermKind::Sym:
     if (EntryFacts) {
-      if (auto B = EntryFacts->intervalUpperBound(solver::ls(N.Name)))
+      if (auto B = EntryFacts->intervalUpperBound(
+              solver::ls(std::string(nameOf(T)))))
         if (*B >= 0)
           Out = uint64_t(*B);
     }
@@ -525,17 +618,17 @@ std::optional<uint64_t> TermGraph::upperBound(TermId T) const {
     break;
   }
   case TermKind::Select: {
-    auto A = upperBound(N.Ops[1]);
-    auto B = upperBound(N.Ops[2]);
+    auto A = upperBound(op(T, 1));
+    auto B = upperBound(op(T, 2));
     if (A && B)
       Out = std::max(*A, *B);
     break;
   }
   case TermKind::Bin: {
     BinOp Op = BinOp(N.A);
-    auto UA = upperBound(N.Ops[0]);
-    auto UB = upperBound(N.Ops[1]);
-    auto CB = asConst(N.Ops[1]);
+    auto UA = upperBound(op(T, 0));
+    auto UB = upperBound(op(T, 1));
+    auto CB = asConst(op(T, 1));
     switch (Op) {
     case BinOp::And:
       if (UA && UB)
@@ -602,7 +695,10 @@ std::optional<uint64_t> TermGraph::upperBound(TermId T) const {
   default:
     break;
   }
-  UbMemo[T] = Out;
+  // The memo arrays cannot have grown: upperBound never interns. (They
+  // were sized to Nodes.size() on entry.)
+  UbState[T] = Out ? 2 : 1;
+  UbValue[T] = Out ? *Out : 0;
   return Out;
 }
 
@@ -613,7 +709,6 @@ std::optional<uint64_t> TermGraph::upperBound(TermId T) const {
 TermId TermGraph::substitute(TermId T,
                              const std::map<TermId, TermId> &Renaming) {
   std::map<TermId, TermId> Memo;
-  // Explicit stack (post-order rebuild) to stay safe on deep store chains.
   std::function<TermId(TermId)> Go = [&](TermId X) -> TermId {
     auto It = Memo.find(X);
     if (It != Memo.end())
@@ -623,7 +718,12 @@ TermId TermGraph::substitute(TermId T,
       Memo[X] = R->second;
       return R->second;
     }
-    const TermNode N = Nodes[X]; // Copy: Nodes may reallocate below.
+    // Copy the node's slices out of the pools before rebuilding: the
+    // recursive constructor calls below intern, which may reallocate them.
+    const Node N = Nodes[X];
+    TermId O[3] = {NoTerm, NoTerm, NoTerm};
+    for (unsigned I = 0; I < N.NumOps && I < 3; ++I)
+      O[I] = OpPool[N.OpsAt + I];
     TermId Out = X;
     switch (N.K) {
     case TermKind::Const:
@@ -633,45 +733,54 @@ TermId TermGraph::substitute(TermId T,
       Out = X;
       break;
     case TermKind::Bin:
-      Out = bin(BinOp(N.A), Go(N.Ops[0]), Go(N.Ops[1]));
+      Out = bin(BinOp(N.A), Go(O[0]), Go(O[1]));
       break;
     case TermKind::Select:
-      Out = select(Go(N.Ops[0]), Go(N.Ops[1]), Go(N.Ops[2]));
+      Out = select(Go(O[0]), Go(O[1]), Go(O[2]));
       break;
     case TermKind::Elt:
-      Out = elt(Go(N.Ops[0]), Go(N.Ops[1]));
+      Out = elt(Go(O[0]), Go(O[1]));
       break;
     case TermKind::TableElt:
-      Out = tableElt(N.Name, N.W, N.A, Go(N.Ops[0]));
+      Out = tableElt(std::string(nameOf(X)), N.W, N.A, Go(O[0]));
       break;
     case TermKind::ArrStore: {
       // Rebuild without re-masking twice: arrStore re-applies the mask,
       // which is idempotent (And-merge), so plain rebuild is fine.
-      Out = arrStore(Go(N.Ops[0]), Go(N.Ops[1]), Go(N.Ops[2]));
+      Out = arrStore(Go(O[0]), Go(O[1]), Go(O[2]));
       break;
     }
     case TermKind::ArrSelect:
-      Out = arrSelect(Go(N.Ops[0]), Go(N.Ops[1]), Go(N.Ops[2]));
+      Out = arrSelect(Go(O[0]), Go(O[1]), Go(O[2]));
       break;
     case TermKind::Fold: {
-      FoldInfo Info = foldInfo(X);
-      Info.Guard = Go(Info.Guard);
-      for (TermId &I : Info.Inits)
-        I = Go(I);
-      for (TermId &Nx : Info.Nexts)
-        Nx = Go(Nx);
-      for (FoldRegion &Rg : Info.Regions) {
-        Rg.Entry = Go(Rg.Entry);
-        Rg.Next = Go(Rg.Next);
+      // Materialize the construction-time shape from the arena view, then
+      // rewrite and re-intern through fold().
+      FoldRef FV = foldInfo(X);
+      FoldInfo Info;
+      Info.NumCarried = FV.numCarried();
+      Info.Guard = Go(FV.guard());
+      Info.Inits.resize(Info.NumCarried);
+      Info.Nexts.resize(Info.NumCarried);
+      for (unsigned J = 0; J < Info.NumCarried; ++J) {
+        Info.Inits[J] = Go(FV.init(J));
+        Info.Nexts[J] = Go(FV.next(J));
+      }
+      for (unsigned I = 0, E = FV.numRegions(); I < E; ++I) {
+        FoldRegion Rg;
+        Rg.Name = FV.regionName(I);
+        Rg.Entry = Go(FV.regionEntry(I));
+        Rg.Next = Go(FV.regionNext(I));
+        Info.Regions.push_back(std::move(Rg));
       }
       Out = fold(std::move(Info));
       break;
     }
     case TermKind::FoldOut:
-      Out = foldOut(Go(N.Ops[0]), unsigned(N.A));
+      Out = foldOut(Go(O[0]), unsigned(N.A));
       break;
     case TermKind::FoldOutArr:
-      Out = foldOutArr(Go(N.Ops[0]), N.Name);
+      Out = foldOutArr(Go(O[0]), std::string(nameOf(X)));
       break;
     }
     Memo[X] = Out;
@@ -688,11 +797,11 @@ void TermGraph::collectSyms(TermId T, std::set<TermId> &Out) const {
     Work.pop_back();
     if (!Seen.insert(X).second)
       continue;
-    const TermNode &N = Nodes[X];
+    const Node &N = Nodes[X];
     if (N.K == TermKind::Sym || N.K == TermKind::ArrHavoc)
       Out.insert(X);
-    for (TermId Op : N.Ops)
-      Work.push_back(Op);
+    for (unsigned I = 0; I < N.NumOps; ++I)
+      Work.push_back(OpPool[N.OpsAt + I]);
   }
 }
 
@@ -701,10 +810,11 @@ void TermGraph::collectSyms(TermId T, std::set<TermId> &Out) const {
 //===----------------------------------------------------------------------===//
 
 std::string TermGraph::str(TermId T, unsigned MaxDepth) const {
-  const TermNode &N = Nodes[T];
+  const Node &N = Nodes[T];
   if (MaxDepth == 0)
     return "...";
   auto S = [&](TermId X) { return str(X, MaxDepth - 1); };
+  auto Name = [&] { return std::string(nameOf(T)); };
   switch (N.K) {
   case TermKind::Const:
     return N.A < 1024 ? std::to_string(N.A)
@@ -715,39 +825,40 @@ std::string TermGraph::str(TermId T, unsigned MaxDepth) const {
                           return std::string(Buf);
                         }();
   case TermKind::Sym:
-    return N.Name;
+    return Name();
   case TermKind::Bin:
-    return "(" + S(N.Ops[0]) + " " + bedrock::binOpName(BinOp(N.A)) + " " +
-           S(N.Ops[1]) + ")";
+    return "(" + S(op(T, 0)) + " " + bedrock::binOpName(BinOp(N.A)) + " " +
+           S(op(T, 1)) + ")";
   case TermKind::Select:
-    return "(if " + S(N.Ops[0]) + " then " + S(N.Ops[1]) + " else " +
-           S(N.Ops[2]) + ")";
+    return "(if " + S(op(T, 0)) + " then " + S(op(T, 1)) + " else " +
+           S(op(T, 2)) + ")";
   case TermKind::Elt:
-    return S(N.Ops[0]) + "[" + S(N.Ops[1]) + "]";
+    return S(op(T, 0)) + "[" + S(op(T, 1)) + "]";
   case TermKind::TableElt:
-    return N.Name + "[" + S(N.Ops[0]) + "]";
+    return Name() + "[" + S(op(T, 0)) + "]";
   case TermKind::ArrInit:
-    return "arr(" + N.Name + ")";
+    return "arr(" + Name() + ")";
   case TermKind::ArrHavoc:
-    return N.Name;
+    return Name();
   case TermKind::ArrStore:
-    return S(N.Ops[0]) + "{" + S(N.Ops[1]) + " := " + S(N.Ops[2]) + "}";
+    return S(op(T, 0)) + "{" + S(op(T, 1)) + " := " + S(op(T, 2)) + "}";
   case TermKind::ArrSelect:
-    return "(if " + S(N.Ops[0]) + " then " + S(N.Ops[1]) + " else " +
-           S(N.Ops[2]) + ")";
+    return "(if " + S(op(T, 0)) + " then " + S(op(T, 1)) + " else " +
+           S(op(T, 2)) + ")";
   case TermKind::Fold: {
-    const FoldInfo &I = foldInfo(T);
-    std::string Out = "fold{while " + S(I.Guard) + "; carried";
-    for (unsigned J = 0; J < I.NumCarried; ++J)
-      Out += " (" + S(I.Inits[J]) + " -> " + S(I.Nexts[J]) + ")";
-    for (const FoldRegion &R : I.Regions)
-      Out += "; " + R.Name + ": " + S(R.Entry) + " -> " + S(R.Next);
+    FoldRef I = foldInfo(T);
+    std::string Out = "fold{while " + S(I.guard()) + "; carried";
+    for (unsigned J = 0; J < I.numCarried(); ++J)
+      Out += " (" + S(I.init(J)) + " -> " + S(I.next(J)) + ")";
+    for (unsigned R = 0, E = I.numRegions(); R < E; ++R)
+      Out += "; " + I.regionName(R) + ": " + S(I.regionEntry(R)) + " -> " +
+             S(I.regionNext(R));
     return Out + "}";
   }
   case TermKind::FoldOut:
-    return S(N.Ops[0]) + ".out" + std::to_string(N.A);
+    return S(op(T, 0)) + ".out" + std::to_string(N.A);
   case TermKind::FoldOutArr:
-    return S(N.Ops[0]) + ".arr(" + N.Name + ")";
+    return S(op(T, 0)) + ".arr(" + Name() + ")";
   }
   return "?";
 }

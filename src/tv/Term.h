@@ -39,14 +39,24 @@
 // initial states evolved by equal guarded transitions are equal at every
 // trip count, including the symbolic one.
 //
+// Storage: the graph is a set of contiguous per-graph arenas, not a node
+// soup. Nodes are fixed-size records whose operand lists and names are
+// (offset, length) slices of two shared pools (OpPool / NamePool), and the
+// hash-cons table is a flat open-addressed array of (hash, id) slots — so
+// interning a node costs zero heap allocations once the pools are warm,
+// and tearing a graph down is a handful of frees regardless of node count.
+// The pools grow by reallocation, so raw pointers/views into them (ops(),
+// nameOf(), FoldRef accessors hand out fresh ones per call) must never be
+// held across an interning constructor call.
+//
 // Concurrency contract (audited for the parallel certification pipeline,
-// pipeline/Scheduler.h): the hash-cons table is a per-TermGraph member,
-// not a global — every TV job constructs its own graph, so concurrent
-// jobs share no mutable state and need no locks (per-job arenas, not
-// mutex-guarded interning; DESIGN.md §4.5). Keep it that way: a global
-// intern table would make node ids — which the certificates embed —
-// depend on scheduling order and break the byte-identical -j1/-jN
-// guarantee, besides needing synchronization.
+// pipeline/Scheduler.h): the hash-cons table and every pool are
+// per-TermGraph members, not globals — every TV job constructs its own
+// graph, so concurrent jobs share no mutable state and need no locks
+// (per-job arenas, not mutex-guarded interning; DESIGN.md §4.5). Keep it
+// that way: a global intern table would make node ids — which the
+// certificates embed — depend on scheduling order and break the
+// byte-identical -j1/-jN guarantee, besides needing synchronization.
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +72,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace relc {
@@ -88,7 +99,8 @@ enum class TermKind : uint8_t {
   FoldOutArr, ///< Ops = {fold}; Name = region. Post-loop array contents.
 };
 
-/// One region's effect inside a Fold summary.
+/// One region's effect inside a Fold summary (construction-time shape;
+/// interned folds keep this data in the graph's arenas, see FoldRef).
 struct FoldRegion {
   std::string Name;  ///< Region (source array/cell name).
   TermId Entry = NoTerm; ///< Contents at loop entry (outer state).
@@ -96,16 +108,9 @@ struct FoldRegion {
                          ///< canonical bound symbols.
 };
 
-struct TermNode {
-  TermKind K = TermKind::Const;
-  uint8_t W = 0;      ///< Element width in bytes (array-ish nodes).
-  uint64_t A = 0;     ///< Const value / BinOp / position / max element.
-  std::string Name;   ///< Symbol, region, or table name.
-  std::vector<TermId> Ops;
-  uint64_t Hash = 0;  ///< Content hash (stable across graphs and runs).
-};
-
-/// Extra structure of a Fold node (indexed by the Fold's TermId).
+/// Construction-time description of a Fold node, passed to
+/// TermGraph::fold(). The vectors are consumed on interning — the graph
+/// stores the same data as pooled operand slices, not as this struct.
 struct FoldInfo {
   unsigned NumCarried = 0;
   TermId Guard = NoTerm;
@@ -113,6 +118,33 @@ struct FoldInfo {
   std::vector<TermId> Nexts;       ///< One-iteration step terms (canonical
                                    ///< bound symbols).
   std::vector<FoldRegion> Regions; ///< Written regions, sorted by name.
+};
+
+class TermGraph;
+
+/// A by-value view of an interned Fold's structure. Reads go through the
+/// graph on every call (the arenas may reallocate while the view is held —
+/// e.g. across substitute() during loop matching), so a FoldRef stays
+/// valid for the graph's lifetime; only the values it returns are
+/// transient. regionName() returns an owned string for the same reason.
+class FoldRef {
+public:
+  unsigned numCarried() const;
+  TermId guard() const;
+  TermId init(unsigned J) const;
+  TermId next(unsigned J) const;
+  unsigned numRegions() const;
+  std::string regionName(unsigned I) const;
+  TermId regionEntry(unsigned I) const;
+  TermId regionNext(unsigned I) const;
+
+private:
+  friend class TermGraph;
+  FoldRef(const TermGraph *G, TermId Fold, uint32_t Rec)
+      : G(G), Fold(Fold), Rec(Rec) {}
+  const TermGraph *G;
+  TermId Fold;
+  uint32_t Rec; ///< Index into the graph's FoldRecs.
 };
 
 /// An affine view of a scalar term: Σ Coeffs[atom]·atom + K, all
@@ -154,11 +186,10 @@ public:
   // Inspection.
   //===--------------------------------------------------------------------===//
 
-  const TermNode &node(TermId T) const { return Nodes[T]; }
   std::optional<uint64_t> asConst(TermId T) const;
   unsigned eltBytesOf(TermId Arr) const; ///< Element width of an array term.
   uint64_t hashOf(TermId T) const { return Nodes[T].Hash; }
-  const FoldInfo &foldInfo(TermId Fold) const;
+  FoldRef foldInfo(TermId Fold) const;
   size_t size() const { return Nodes.size(); }
 
   /// Structural upper bound on the word value of \p T, when one is
@@ -193,16 +224,90 @@ public:
   std::string str(TermId T, unsigned MaxDepth = 12) const;
 
 private:
-  std::vector<TermNode> Nodes;
-  std::map<uint64_t, std::vector<TermId>> Interned; ///< Hash -> candidates.
-  std::map<TermId, FoldInfo> Folds;
+  friend class FoldRef;
+
+  /// A fixed-size node record; operands and the name are slices of the
+  /// shared pools. 32 bytes vs. the ~80 of the old struct-of-containers
+  /// node, and zero owned allocations.
+  struct Node {
+    TermKind K = TermKind::Const;
+    uint8_t W = 0;       ///< Element width in bytes (array-ish nodes).
+    uint16_t NumOps = 0;
+    uint32_t OpsAt = 0;  ///< First operand in OpPool.
+    uint32_t NameAt = 0; ///< First character in NamePool.
+    uint32_t NameLen = 0;
+    uint64_t A = 0;      ///< Const value / BinOp / position / max element.
+    uint64_t Hash = 0;   ///< Content hash (stable across graphs and runs).
+  };
+
+  /// One open-addressing hash-cons slot; Id == NoTerm marks empty.
+  struct Slot {
+    uint64_t Hash = 0;
+    TermId Id = NoTerm;
+  };
+
+  /// Region-name slice of one Fold region (entry/next term ids live in the
+  /// Fold node's pooled operands; only the name needs extra storage).
+  struct RegionNameRec {
+    uint32_t NameAt = 0;
+    uint32_t NameLen = 0;
+  };
+
+  /// Per-Fold record. Folds are appended in increasing TermId order, so
+  /// foldInfo() resolves by binary search over FoldRecs.
+  struct FoldRec {
+    TermId Fold = NoTerm;
+    uint32_t NumCarried = 0;
+    uint32_t RegionsAt = 0; ///< First region in RegionNames.
+    uint32_t NumRegions = 0;
+  };
+
+  std::vector<Node> Nodes;
+  std::vector<TermId> OpPool;
+  std::vector<char> NamePool;
+  std::vector<Slot> Table; ///< Open-addressed; size is a power of two.
+  size_t TableUsed = 0;
+  std::vector<FoldRec> FoldRecs;
+  std::vector<RegionNameRec> RegionNames;
   const solver::FactDb *EntryFacts = nullptr;
   const guard::Budget *TheBudget = nullptr;
-  mutable std::map<TermId, std::optional<uint64_t>> UbMemo;
+  /// Upper-bound memo, indexed by TermId: 0 = unknown, 1 = no bound,
+  /// 2 = bound in UbValue. (Replaces a per-query std::map; grown lazily.)
+  mutable std::vector<uint8_t> UbState;
+  mutable std::vector<uint64_t> UbValue;
 
-  TermId intern(TermNode N);
-  bool sameNode(const TermNode &A, const TermNode &B) const;
-  static uint64_t hashNode(const TermNode &N);
+  //===--------------------------------------------------------------------===//
+  // Arena accessors. The returned pointers/views alias the pools: consume
+  // them before the next interning constructor call.
+  //===--------------------------------------------------------------------===//
+
+  TermKind kindOf(TermId T) const { return Nodes[T].K; }
+  uint64_t attrOf(TermId T) const { return Nodes[T].A; }
+  unsigned widthOf(TermId T) const { return Nodes[T].W; }
+  unsigned numOps(TermId T) const { return Nodes[T].NumOps; }
+  TermId op(TermId T, unsigned I) const {
+    return OpPool[Nodes[T].OpsAt + I];
+  }
+  const TermId *ops(TermId T) const { return OpPool.data() + Nodes[T].OpsAt; }
+  std::string_view nameOf(TermId T) const {
+    const Node &N = Nodes[T];
+    return {NamePool.data() + N.NameAt, N.NameLen};
+  }
+
+  /// The funnel every constructor passes through: hash, probe the flat
+  /// table, and either return the existing id or append a node whose
+  /// operands/name are copied into the pools. \p Ops/\p Name must NOT
+  /// alias the pools (they are stack/local buffers at every call site).
+  TermId intern(TermKind K, uint8_t W, uint64_t A, std::string_view Name,
+                const TermId *Ops, uint32_t NumOps);
+  bool sameNode(TermId Cand, TermKind K, uint8_t W, uint64_t A,
+                std::string_view Name, const TermId *Ops,
+                uint32_t NumOps) const;
+  static uint64_t hashNode(TermKind K, uint8_t W, uint64_t A,
+                           std::string_view Name, const TermId *Ops,
+                           uint32_t NumOps);
+  void growTable();
+  const FoldRec &foldRec(TermId Fold) const;
 
   /// Non-normalizing Bin constructor used by the affine emitter.
   TermId rawBin(bedrock::BinOp Op, TermId L, TermId R);

@@ -993,7 +993,7 @@ private:
       refute("target loop at " + Path +
              " has no corresponding loop in the model");
     const SrcLoopRec &SL = SrcLoops[K];
-    const FoldInfo &FI = G.foldInfo(SL.Fold);
+    FoldRef FI = G.foldInfo(SL.Fold);
 
     std::set<std::string> Assigned;
     scanLoopBody(W.body(), Assigned);
@@ -1038,8 +1038,8 @@ private:
     }
 
     std::set<std::string> SrcRegs;
-    for (const FoldRegion &R : FI.Regions)
-      SrcRegs.insert(R.Name);
+    for (unsigned RI = 0, RE = FI.numRegions(); RI < RE; ++RI)
+      SrcRegs.insert(FI.regionName(RI));
     if (SrcRegs != Stored)
       refute("loop at " + Path + " writes regions {" + joinSet(Stored) +
              "} but model binding '" + SL.BindingName + "' (" + SL.Path +
@@ -1069,7 +1069,7 @@ private:
     // matching initial values, under which guard, steps, and region
     // updates all equal the model's. Any witness is a genuine loop
     // isomorphism (the equations verify it), so the first one found wins.
-    unsigned N = FI.NumCarried;
+    unsigned N = FI.numCarried();
     std::vector<int> Pick(N, -1);
     std::vector<bool> Used(Cands.size(), false);
     std::string FailWhy;
@@ -1078,33 +1078,34 @@ private:
       std::map<TermId, TermId> Ren = BaseRen;
       for (unsigned J = 0; J < N; ++J)
         Ren[Cands[size_t(Pick[J])].Havoc] = G.sym(canonSym(K, J));
-      if (G.substitute(GuardT, Ren) != FI.Guard) {
+      if (G.substitute(GuardT, Ren) != FI.guard()) {
         FailWhy = "the loop guard computes '" + clip(G.str(GuardT)) +
-                  "' but the model's is '" + clip(G.str(FI.Guard)) + "'";
+                  "' but the model's is '" + clip(G.str(FI.guard())) + "'";
         return false;
       }
       for (unsigned J = 0; J < N; ++J) {
         const Cand &C = Cands[size_t(Pick[J])];
-        if (G.substitute(C.Next, Ren) != FI.Nexts[J]) {
+        if (G.substitute(C.Next, Ren) != FI.next(J)) {
           FailWhy = "loop variable '" + C.Name + "' steps to '" +
                     clip(G.str(C.Next)) + "' but the model's carried value " +
                     std::to_string(J) + " steps to '" +
-                    clip(G.str(FI.Nexts[J])) + "'";
+                    clip(G.str(FI.next(J))) + "'";
           return false;
         }
       }
-      for (const FoldRegion &R : FI.Regions) {
-        if (T.Region.at(R.Name) != R.Entry) {
-          FailWhy = "region '" + R.Name + "' enters the loop as '" +
-                    clip(G.str(T.Region.at(R.Name))) + "' but the model has '" +
-                    clip(G.str(R.Entry)) + "'";
+      for (unsigned RI = 0, RE = FI.numRegions(); RI < RE; ++RI) {
+        const std::string RName = FI.regionName(RI);
+        if (T.Region.at(RName) != FI.regionEntry(RI)) {
+          FailWhy = "region '" + RName + "' enters the loop as '" +
+                    clip(G.str(T.Region.at(RName))) + "' but the model has '" +
+                    clip(G.str(FI.regionEntry(RI))) + "'";
           return false;
         }
-        if (G.substitute(B.Region.at(R.Name), Ren) != R.Next) {
-          FailWhy = "region '" + R.Name + "' is rewritten as '" +
-                    clip(G.str(B.Region.at(R.Name))) +
+        if (G.substitute(B.Region.at(RName), Ren) != FI.regionNext(RI)) {
+          FailWhy = "region '" + RName + "' is rewritten as '" +
+                    clip(G.str(B.Region.at(RName))) +
                     "' per iteration but the model rewrites it as '" +
-                    clip(G.str(R.Next)) + "'";
+                    clip(G.str(FI.regionNext(RI))) + "'";
           return false;
         }
       }
@@ -1120,7 +1121,7 @@ private:
       if (J == N)
         return CheckAssignment();
       for (size_t CI = 0; CI < Cands.size(); ++CI) {
-        if (Used[CI] || Cands[CI].Init != FI.Inits[J])
+        if (Used[CI] || Cands[CI].Init != FI.init(J))
           continue;
         Used[CI] = true;
         Pick[J] = int(CI);
@@ -1132,7 +1133,7 @@ private:
       if (FailWhy.empty())
         FailWhy = "no loop variable is initialized to the model's carried "
                   "value " +
-                  std::to_string(J) + " ('" + clip(G.str(FI.Inits[J])) + "')";
+                  std::to_string(J) + " ('" + clip(G.str(FI.init(J))) + "')";
       return false;
     };
 

@@ -79,6 +79,9 @@ CertEntry sampleEntry() {
   E.TvLoops = 1;
   E.TvTerms = 42;
   E.TvCertificate = "{\n  \"verdict\": \"proved\"\n}\n";
+  // Arbitrary non-printable bytes: the binary payload must survive the
+  // cache byte-for-byte without any escaping contortions.
+  E.TvCertBin = std::string("RELCCERT\x00\x01\xff\nimage", 16);
   E.DifferentialOk = true;
   return E;
 }
@@ -194,26 +197,122 @@ TEST(CertCacheTest, CorruptedEntryDiscardedDeletedAndRederivable) {
   CertCache Cache(D.Path);
   ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
 
-  // Corrupt the single entry file on disk.
-  std::string Path;
+  // Corrupt BOTH faces of the entry on disk (store writes a JSON file and
+  // a binary image per entry).
+  std::vector<std::string> Paths;
   for (const auto &Ent : std::filesystem::directory_iterator(D.Path))
-    Path = Ent.path().string();
-  ASSERT_FALSE(Path.empty());
-  {
-    std::ofstream Out(Path, std::ios::app);
+    Paths.push_back(Ent.path().string());
+  ASSERT_EQ(Paths.size(), 2u);
+  for (const std::string &Path : Paths) {
+    std::ofstream Out(Path, std::ios::app | std::ios::binary);
     Out << "garbage\n";
   }
 
   CacheStats Stats;
   EXPECT_FALSE(
       Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
-  EXPECT_EQ(Stats.CorruptDiscarded, 1u);
+  EXPECT_EQ(Stats.CorruptDiscarded, 2u);
   EXPECT_EQ(Stats.Misses, 1u);
-  // The poisoned file is gone; a fresh store + lookup works again.
-  EXPECT_FALSE(std::filesystem::exists(Path));
+  // Both poisoned files are gone; a fresh store + lookup works again.
+  for (const std::string &Path : Paths)
+    EXPECT_FALSE(std::filesystem::exists(Path)) << Path;
   ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
   EXPECT_TRUE(
       Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats).has_value());
+}
+
+TEST(CertCacheTest, BinImageRoundTripsAndIsByteStable) {
+  CertKey K = sampleKey();
+  CertEntry E = sampleEntry();
+  std::string Image = CertCache::serializeBin(K, E);
+  EXPECT_EQ(Image, CertCache::serializeBin(K, E));
+
+  CertKey K2;
+  std::optional<CertEntry> E2 = CertCache::deserializeBin(Image, &K2);
+  ASSERT_TRUE(E2.has_value());
+  EXPECT_TRUE(K2 == K);
+  EXPECT_EQ(E2->Program, E.Program);
+  EXPECT_EQ(E2->OptsHash, E.OptsHash);
+  EXPECT_EQ(E2->AnalysisWarnings, E.AnalysisWarnings);
+  EXPECT_EQ(E2->AnalysisDiags, E.AnalysisDiags);
+  EXPECT_EQ(E2->TvVerdict, E.TvVerdict);
+  EXPECT_EQ(E2->TvLoops, E.TvLoops);
+  EXPECT_EQ(E2->TvTerms, E.TvTerms);
+  EXPECT_EQ(E2->TvCertificate, E.TvCertificate);
+  EXPECT_EQ(E2->TvCertBin, E.TvCertBin);
+  EXPECT_EQ(E2->DifferentialOk, E.DifferentialOk);
+}
+
+TEST(CertCacheTest, BinImageAnyFlippedBitFailsIntegrity) {
+  std::string Image = CertCache::serializeBin(sampleKey(), sampleEntry());
+  // Flip one bit at a spread of positions — magic, header, payload,
+  // trailer — and every time the image must be refused whole.
+  for (size_t At : {size_t(0), size_t(9), Image.size() / 2,
+                    Image.size() - 1}) {
+    std::string Tampered = Image;
+    Tampered[At] = char(Tampered[At] ^ 0x10);
+    EXPECT_FALSE(CertCache::deserializeBin(Tampered).has_value()) << At;
+  }
+  // Truncations and extensions fail too.
+  EXPECT_FALSE(
+      CertCache::deserializeBin(Image.substr(0, Image.size() - 1))
+          .has_value());
+  EXPECT_FALSE(CertCache::deserializeBin(Image + "x").has_value());
+  EXPECT_FALSE(CertCache::deserializeBin("").has_value());
+}
+
+TEST(CertCacheTest, WarmHitIsServedFromBinImage) {
+  TempDir D("bin-hit");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  CacheStats Stats;
+  std::optional<CertEntry> E =
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.BinHits, 1u);
+  EXPECT_EQ(E->TvCertBin, sampleEntry().TvCertBin);
+}
+
+TEST(CertCacheTest, CorruptBinImageFallsBackToJson) {
+  TempDir D("bin-fallback");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  std::string BinPath = D.Path + "/" + sampleKey().fileStem() + ".cert.bin";
+  {
+    std::ofstream Out(BinPath, std::ios::app | std::ios::binary);
+    Out << "garbage";
+  }
+  CacheStats Stats;
+  std::optional<CertEntry> E =
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats);
+  // Still a hit — served from the JSON — and the poisoned image is gone.
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.BinHits, 0u);
+  EXPECT_EQ(Stats.CorruptDiscarded, 1u);
+  EXPECT_FALSE(std::filesystem::exists(BinPath));
+  EXPECT_EQ(E->TvCertificate, sampleEntry().TvCertificate);
+}
+
+TEST(CertCacheTest, LegacyJsonOnlyEntryStillHits) {
+  // A cache written before the binary path existed has no .cert.bin
+  // siblings; those entries must keep hitting (via the JSON fallback),
+  // with TvCertBin left empty for the pipeline to re-encode.
+  TempDir D("legacy");
+  CertCache Cache(D.Path);
+  ASSERT_TRUE(bool(Cache.store(sampleKey(), sampleEntry())));
+  std::filesystem::remove(D.Path + "/" + sampleKey().fileStem() +
+                          ".cert.bin");
+  CacheStats Stats;
+  std::optional<CertEntry> E =
+      Cache.lookup(sampleKey(), sampleEntry().OptsHash, &Stats);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.BinHits, 0u);
+  EXPECT_EQ(Stats.CorruptDiscarded, 0u);
+  EXPECT_EQ(E->TvCertificate, sampleEntry().TvCertificate);
+  EXPECT_TRUE(E->TvCertBin.empty());
 }
 
 TEST(CertCacheTest, MisfiledEntryDiscarded) {
@@ -252,10 +351,12 @@ TEST(CertCacheTest, DisabledCacheAlwaysMisses) {
 unsigned countTemps(const std::string &Dir) {
   unsigned N = 0;
   std::error_code EC;
-  for (const auto &Ent : std::filesystem::directory_iterator(Dir, EC))
-    if (Ent.path().filename().string().find(".cert.json.tmp") !=
-        std::string::npos)
+  for (const auto &Ent : std::filesystem::directory_iterator(Dir, EC)) {
+    std::string Name = Ent.path().filename().string();
+    if (Name.find(".cert.json.tmp") != std::string::npos ||
+        Name.find(".cert.bin.tmp") != std::string::npos)
       ++N;
+  }
   return N;
 }
 
@@ -276,9 +377,10 @@ TEST(CertCacheTest, SweepRemovesOrphanedTempsOnly) {
   std::string Stem = sampleKey().fileStem();
   std::ofstream(D.Path + "/" + Stem + ".cert.json.tmp") << "torn";
   std::ofstream(D.Path + "/" + Stem + ".cert.json.tmp.12345.0") << "torn";
-  EXPECT_EQ(countTemps(D.Path), 2u);
+  std::ofstream(D.Path + "/" + Stem + ".cert.bin.tmp.12345.1") << "torn";
+  EXPECT_EQ(countTemps(D.Path), 3u);
   // MaxAge 0: sweep unconditionally.
-  EXPECT_EQ(Cache.sweepStaleTemps(std::chrono::seconds(0)), 2u);
+  EXPECT_EQ(Cache.sweepStaleTemps(std::chrono::seconds(0)), 3u);
   EXPECT_EQ(countTemps(D.Path), 0u);
   // The real entry survived.
   EXPECT_TRUE(Cache.lookup(sampleKey(), sampleEntry().OptsHash).has_value());

@@ -24,12 +24,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/Binary.h"
 #include "cert/Reader.h"
 #include "cert/Rederive.h"
 #include "programs/Programs.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,7 @@ using namespace relc;
 
 int main(int argc, char **argv) {
   std::string CertsDir = "generated";
+  std::string CertFormat = "auto";
   bool Quiet = false;
   std::vector<const programs::ProgramDef *> Targets;
   std::string PosErr;
@@ -54,6 +57,13 @@ int main(int argc, char **argv) {
       "rejected; 2 usage or infrastructure error.");
   T.str({"-certs"}, &CertsDir, "<dir>",
         "certificate directory (default: generated)");
+  T.choice({"-cert-format"}, &CertFormat, {"json", "bin", "auto"}, "<fmt>",
+           "which certificate to check: 'json' =\n"
+           "<program>.tv.json, 'bin' = <program>.certbin,\n"
+           "'auto' = the binary image when present, else\n"
+           "the JSON (a present-but-invalid image is a\n"
+           "rejection, never a silent fallback)\n"
+           "(default: auto)");
   T.flag({"-q"}, &Quiet, "print only rejections and the final summary");
   T.positional("program", "check only the named programs (default: all)",
                [&Targets](const std::string &A, std::string *Err) {
@@ -93,9 +103,20 @@ int main(int argc, char **argv) {
     }
     core::CompileResult Compiled = R.take();
 
-    std::string Path = CertsDir + "/" + P->Name + ".tv.json";
+    // Which face of the certificate to audit. 'auto' prefers the binary
+    // image when one exists — and a present-but-invalid image is a named
+    // rejection, not a fallback: silently re-reading the JSON would let a
+    // tampered image pass unremarked (rejection is never acceptance, and
+    // acceptance of a sibling is not acceptance of the image).
+    std::string JsonPath = CertsDir + "/" + P->Name + ".tv.json";
+    std::string BinPath = CertsDir + "/" + P->Name + cert::kBinExtension;
+    bool UseBin = CertFormat == "bin" ||
+                  (CertFormat == "auto" &&
+                   std::ifstream(BinPath, std::ios::binary).good());
     cert::ReadError RE;
-    std::optional<cert::Certificate> Cert = cert::Reader::readFile(Path, &RE);
+    std::optional<cert::Certificate> Cert =
+        UseBin ? cert::BinReader::readFile(BinPath, &RE)
+               : cert::Reader::readFile(JsonPath, &RE);
     if (!Cert) {
       std::fprintf(stderr, "[%s] certificate REJECTED: %s: %s\n",
                    P->Name.c_str(), cert::rejectName(RE.Why),

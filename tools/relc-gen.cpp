@@ -27,6 +27,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/Binary.h"
 #include "cgen/CEmit.h"
 #include "pipeline/Pipeline.h"
 #include "pipeline/Scheduler.h"
@@ -58,6 +59,7 @@ int main(int argc, char **argv) {
   std::string OutDir = "generated";
   std::string Only;
   std::string CacheDir = ".relc-cache";
+  std::string CertFormat = "auto";
   bool PrintBedrock = false, PrintDeriv = false, NoValidate = false;
   bool NoAnalyze = false, AnalysisReport = false;
   bool NoTv = false, TvReport = false;
@@ -96,6 +98,11 @@ int main(int argc, char **argv) {
   T.flag({"-no-tv"}, &NoTv,
          "skip the standalone translation-validation\n"
          "gate (and the .tv.json certificates)");
+  T.choice({"-cert-format"}, &CertFormat, {"json", "bin", "auto"}, "<fmt>",
+           "which certificate artifacts to write:\n"
+           "'json' = canonical .tv.json only, 'bin' =\n"
+           "binary .certbin only, 'auto' = both\n"
+           "(default: auto)");
   T.flag({"-tv-report"}, &TvReport,
          "print each program's full TV match trace\n"
          "(forces live certification; disables the cache)");
@@ -275,8 +282,18 @@ int main(int argc, char **argv) {
         AnyFailed = true;
         continue;
       }
-      std::ofstream Cert(OutDir + "/" + P.Name + ".tv.json");
-      Cert << O.TvCertJson;
+      // Certificate artifacts, per --cert-format: the canonical JSON, the
+      // binary image, or (auto) both. Both encode the same Certificate and
+      // rederive identically under relc-check.
+      if (CertFormat != "bin") {
+        std::ofstream Cert(OutDir + "/" + P.Name + ".tv.json");
+        Cert << O.TvCertJson;
+      }
+      if (CertFormat != "json") {
+        std::ofstream Cert(OutDir + "/" + P.Name + cert::kBinExtension,
+                           std::ios::binary);
+        Cert << O.TvCertBin;
+      }
     }
 
     // Target-side codelint verdict: one deterministic line, reproducible
