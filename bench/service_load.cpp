@@ -1,0 +1,371 @@
+//===- bench/service_load.cpp - relcd daemon load benchmark ----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Prices what the relcd daemon adds and what it costs: N client threads
+// fire thousands of mixed certify requests over the Unix-domain socket —
+// ~90% "hot" (repeats of already-certified suite programs, served from
+// the daemon's reply memo) and ~10% "cold" (a unique never-exhausting
+// TV-step budget salts the request shape, forcing a live certification).
+// Reported against the in-process warm path (service::certify with a
+// populated disk cache), the number the daemon must stay within 2× of:
+// a resident process may add transport, never a recompile.
+//
+// By default the daemon runs in-process on a scratch socket; -socket
+// points the load at an externally started relcd instead (the CI smoke
+// job does this), in which case stats come over the wire exactly like
+// any other client's would.
+//
+// Writes BENCH_service.json (sorted keys) for trajectory tracking;
+// EXPERIMENTS.md records the committed numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "programs/Programs.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "service/Service.h"
+#include "support/CommandLine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace relc;
+using namespace relc_bench;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+double percentile(std::vector<double> V, double Q) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  return V[size_t(double(V.size() - 1) * Q + 0.5)];
+}
+
+service::wire::Message certifyMsg(std::vector<std::string> Programs,
+                                  uint64_t TvStepBudget = 0) {
+  service::wire::Message M;
+  M.TheKind = service::wire::Kind::CertifyRequest;
+  M.Certify.Programs = std::move(Programs);
+  M.Certify.TvStepBudget = TvStepBudget;
+  return M;
+}
+
+/// One stats round trip (works identically against the in-process server
+/// and an external daemon).
+service::wire::Stats fetchStats(const std::string &Socket) {
+  service::Client C;
+  if (Status S = C.connect(Socket, 5000); !S) {
+    std::fprintf(stderr, "FATAL: stats connect: %s\n", S.error().str().c_str());
+    std::exit(1);
+  }
+  service::wire::Message Req;
+  Req.TheKind = service::wire::Kind::StatsRequest;
+  Result<service::wire::Message> R = C.roundTrip(Req);
+  if (!R || R->TheKind != service::wire::Kind::StatsReply) {
+    std::fprintf(stderr, "FATAL: stats round trip failed\n");
+    std::exit(1);
+  }
+  return R->TheStats;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Socket;
+  unsigned Clients = 32;
+  unsigned Requests = 64;
+  std::string OutPath = "BENCH_service.json";
+
+  cl::OptionTable T(
+      "service_load",
+      "Drives a relcd daemon with N client threads of mixed hot/cold\n"
+      "certify requests and reports p50/p99 latency, the cache hit rate,\n"
+      "and the warm-request ratio against the in-process warm path.\n"
+      "Without -socket, a daemon is started in-process on a scratch\n"
+      "socket.");
+  T.str({"-socket"}, &Socket, "<path>",
+        "drive an externally started relcd on this\n"
+        "socket instead of an in-process server");
+  T.num({"-clients"}, &Clients, 1, "<n>",
+        "concurrent client threads (default: 32)");
+  T.num({"-requests"}, &Requests, 1, "<n>",
+        "requests per client thread (default: 64)");
+  T.str({"-out"}, &OutPath, "<file>",
+        "JSON output path (default: BENCH_service.json)");
+  switch (T.parse(argc, argv)) {
+  case cl::ParseResult::Ok:
+    break;
+  case cl::ParseResult::Help:
+    return 0;
+  case cl::ParseResult::Error:
+    return 2;
+  }
+
+  // Suite program names: the hot side of the mix rotates through them.
+  std::vector<std::string> Suite;
+  for (const programs::ProgramDef &P : programs::allPrograms())
+    Suite.push_back(P.Name);
+
+  // The in-process server, unless an external daemon was named.
+  std::string CacheDir =
+      (std::filesystem::temp_directory_path() /
+       ("relc-service-bench-" + std::to_string(uint64_t(::getpid()))))
+          .string();
+  std::unique_ptr<service::Server> Srv;
+  if (Socket.empty()) {
+    Socket = (std::filesystem::temp_directory_path() /
+              ("relc-service-bench-" + std::to_string(uint64_t(::getpid())) +
+               ".sock"))
+                 .string();
+    std::filesystem::remove(Socket);
+    std::filesystem::remove_all(CacheDir);
+    service::ServerOptions SO;
+    SO.SocketPath = Socket;
+    SO.CacheDir = CacheDir;
+    SO.MaxClients = 256; // The bench prices latency, not the busy path.
+    SO.MaxInflight = 16;
+    Srv = std::make_unique<service::Server>(SO);
+    if (Status S = Srv->start(); !S) {
+      std::fprintf(stderr, "FATAL: server start: %s\n",
+                   S.error().str().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("relcd service load: %u clients x %u requests (%s daemon)\n\n",
+              Clients, Requests, Srv ? "in-process" : "external");
+
+  // --- Baseline: the in-process warm path. One cold run populates the
+  // disk cache; the measured reps replay from it — compile + hash +
+  // cache read, no re-certification. Budgets mirror the server-side
+  // canonicalization so the request shapes match.
+  service::Request Warm;
+  Warm.Programs = {"fnv1a"};
+  Warm.CacheDir = CacheDir;
+  Warm.LayerTimeoutMs = 30000;
+  {
+    service::Response Prime = service::certify(Warm);
+    if (Prime.Exit != 0) {
+      std::fprintf(stderr, "FATAL: in-process prime exited %d\n", Prime.Exit);
+      return 1;
+    }
+  }
+  std::vector<double> BaseSamples;
+  for (unsigned I = 0; I < 30; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    service::Response R = service::certify(Warm);
+    BaseSamples.push_back(msSince(T0));
+    if (R.Exit != 0) {
+      std::fprintf(stderr, "FATAL: in-process warm run exited %d\n", R.Exit);
+      return 1;
+    }
+  }
+  double InprocWarm = percentile(BaseSamples, 0.5);
+  std::printf("  in-process warm (disk-cache replay) : %7.3f ms p50\n",
+              InprocWarm);
+
+  // --- Prime the daemon: one certify per suite program warms the disk
+  // cache and the reply memo, so the hot side of the load is a memo hit.
+  for (const std::string &P : Suite) {
+    service::Client C;
+    if (Status S = C.connect(Socket, 5000); !S) {
+      std::fprintf(stderr, "FATAL: prime connect: %s\n",
+                   S.error().str().c_str());
+      return 1;
+    }
+    Result<service::wire::Message> R = C.roundTrip(certifyMsg({P}));
+    if (!R || R->TheKind != service::wire::Kind::CertifyReply ||
+        R->Reply.Exit != 0) {
+      std::fprintf(stderr, "FATAL: priming '%s' failed\n", P.c_str());
+      return 1;
+    }
+  }
+
+  // --- Warm-request p50 over the wire: the number the acceptance pins
+  // within 2x of the in-process warm path.
+  std::vector<double> WireWarmSamples;
+  {
+    service::Client C;
+    if (Status S = C.connect(Socket, 5000); !S) {
+      std::fprintf(stderr, "FATAL: warm connect: %s\n",
+                   S.error().str().c_str());
+      return 1;
+    }
+    for (unsigned I = 0; I < 50; ++I) {
+      auto T0 = std::chrono::steady_clock::now();
+      Result<service::wire::Message> R = C.roundTrip(certifyMsg({"fnv1a"}));
+      WireWarmSamples.push_back(msSince(T0));
+      if (!R || R->TheKind != service::wire::Kind::CertifyReply) {
+        std::fprintf(stderr, "FATAL: warm round trip failed\n");
+        return 1;
+      }
+    }
+  }
+  double WireWarm = percentile(WireWarmSamples, 0.5);
+  std::printf("  daemon warm request (memo hit)      : %7.3f ms p50  "
+              "(%.2fx in-process warm)\n\n",
+              WireWarm, WireWarm / InprocWarm);
+
+  // --- Mixed load: every 10th request is cold (a unique, never-
+  // exhausting TV step budget salts the memo key, forcing a live
+  // certification); the rest rotate hot through the primed suite.
+  service::wire::Stats Before = fetchStats(Socket);
+  std::mutex SampleMu;
+  std::vector<double> AllSamples, HotSamples, ColdSamples;
+  std::atomic<unsigned> OkReplies{0}, BusyReplies{0}, ErrorReplies{0},
+      LostRoundTrips{0};
+  auto LoadT0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      service::Client Cl;
+      if (!Cl.connect(Socket, 10000))
+        return;
+      std::vector<double> MyAll, MyHot, MyCold;
+      for (unsigned R = 0; R < Requests; ++R) {
+        bool Cold = R % 10 == 9;
+        service::wire::Message Req =
+            Cold ? certifyMsg({"fnv1a"},
+                              1000000000ULL + uint64_t(C) * Requests + R)
+                 : certifyMsg({Suite[(C + R) % Suite.size()]});
+        auto T0 = std::chrono::steady_clock::now();
+        Result<service::wire::Message> Reply = Cl.roundTrip(Req);
+        double Ms = msSince(T0);
+        if (!Reply) {
+          LostRoundTrips.fetch_add(1);
+          Cl.close();
+          if (!Cl.connect(Socket, 10000))
+            return;
+          continue;
+        }
+        MyAll.push_back(Ms);
+        (Cold ? MyCold : MyHot).push_back(Ms);
+        if (Reply->TheKind == service::wire::Kind::CertifyReply &&
+            Reply->Reply.Exit == 0)
+          OkReplies.fetch_add(1);
+        else if (Reply->TheKind == service::wire::Kind::ErrorReply &&
+                 Reply->Error.Reason == "server-busy")
+          BusyReplies.fetch_add(1);
+        else
+          ErrorReplies.fetch_add(1);
+      }
+      std::lock_guard<std::mutex> L(SampleMu);
+      AllSamples.insert(AllSamples.end(), MyAll.begin(), MyAll.end());
+      HotSamples.insert(HotSamples.end(), MyHot.begin(), MyHot.end());
+      ColdSamples.insert(ColdSamples.end(), MyCold.begin(), MyCold.end());
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  double LoadMs = msSince(LoadT0);
+  service::wire::Stats After = fetchStats(Socket);
+
+  uint64_t DCertify = After.CertifyRequests - Before.CertifyRequests;
+  uint64_t DMemo = After.MemoHits - Before.MemoHits;
+  uint64_t DCacheHits = After.CacheHits - Before.CacheHits;
+  double HitRate =
+      DCertify ? double(DMemo + DCacheHits) / double(DCertify) : 0.0;
+
+  double P50 = percentile(AllSamples, 0.5);
+  double P99 = percentile(AllSamples, 0.99);
+  std::printf("  mixed load: %zu replies in %.0f ms (%.0f req/s)\n",
+              AllSamples.size(), LoadMs,
+              AllSamples.size() / (LoadMs / 1000.0));
+  std::printf("    p50 %7.3f ms   p99 %8.3f ms\n", P50, P99);
+  std::printf("    hot  p50 %7.3f ms   cold p50 %8.3f ms\n",
+              percentile(HotSamples, 0.5), percentile(ColdSamples, 0.5));
+  std::printf("    ok %u  busy %u  error %u  lost %u\n", OkReplies.load(),
+              BusyReplies.load(), ErrorReplies.load(), LostRoundTrips.load());
+  std::printf("    memo hits %llu  cache hits %llu  of %llu certifies  "
+              "(hit rate %.3f)\n",
+              (unsigned long long)DMemo, (unsigned long long)DCacheHits,
+              (unsigned long long)DCertify, HitRate);
+
+  if (Srv) {
+    // Clean shutdown of the in-process daemon before reporting.
+    service::Client C;
+    if (C.connect(Socket, 2000)) {
+      service::wire::Message Down;
+      Down.TheKind = service::wire::Kind::ShutdownRequest;
+      (void)C.roundTrip(Down);
+    }
+    Srv->requestStop();
+    Srv->wait();
+    Srv.reset();
+    std::filesystem::remove_all(CacheDir);
+    std::filesystem::remove(Socket);
+  }
+
+  // Sorted keys, so diffs of committed files read cleanly.
+  std::ofstream J(OutPath);
+  char Buf[160];
+  J << "{\n";
+  J << "  \"busy_replies\": " << BusyReplies.load() << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"cache_hit_rate\": %.3f,\n", HitRate);
+  J << Buf;
+  J << "  \"clients\": " << Clients << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"cold_p50_ms\": %.3f,\n",
+                percentile(ColdSamples, 0.5));
+  J << Buf;
+  J << "  \"error_replies\": " << ErrorReplies.load() << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"hot_p50_ms\": %.3f,\n",
+                percentile(HotSamples, 0.5));
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"inprocess_warm_ms\": %.3f,\n",
+                InprocWarm);
+  J << Buf;
+  J << "  \"lost_round_trips\": " << LostRoundTrips.load() << ",\n";
+  J << "  \"memo_hits\": " << DMemo << ",\n";
+  J << "  \"ok_replies\": " << OkReplies.load() << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"p50_ms\": %.3f,\n", P50);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"p99_ms\": %.3f,\n", P99);
+  J << Buf;
+  J << "  \"requests_per_client\": " << Requests << ",\n";
+  J << "  \"requests_total\": " << AllSamples.size() << ",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"warm_ratio_vs_inprocess\": %.3f,\n",
+                WireWarm / InprocWarm);
+  J << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"warm_wire_p50_ms\": %.3f\n", WireWarm);
+  J << Buf;
+  J << "}\n";
+  std::printf("\nwrote %s\n", OutPath.c_str());
+
+  // The acceptance gates, enforced here so CI's smoke job is one run:
+  // no lost round trips against a healthy daemon, and the warm wire
+  // request within 2x of the in-process warm path.
+  if (LostRoundTrips.load() > 0) {
+    std::fprintf(stderr, "FATAL: %u round trips lost\n", LostRoundTrips.load());
+    return 1;
+  }
+  if (WireWarm > 2.0 * InprocWarm) {
+    std::fprintf(stderr, "FATAL: warm wire p50 %.3f ms exceeds 2x in-process "
+                         "warm %.3f ms\n",
+                 WireWarm, InprocWarm);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+# Include audit for the public facade (include/relc/): the tools are the
+# proof that the facade is sufficient, so tools/*.cpp must never reach
+# into the certification internals directly. Allowed: relc/* (the
+# facade), support/*, programs/*, and the standalone-analyzer subsystems
+# (rulemeta/, codelint/) whose tools predate the service layer and whose
+# reports are not certification verdicts. Forbidden: pipeline/, cert/,
+# tv/, validate/, cgen/, and service/ internals — the facade headers
+# re-export everything a tool legitimately needs.
+#
+# Run as: cmake -DTOOLS_DIR=<dir> -P ToolIncludeAudit.cmake
+# (registered as the `tool_include_audit` ctest).
+
+if(NOT TOOLS_DIR)
+  message(FATAL_ERROR "ToolIncludeAudit.cmake requires -DTOOLS_DIR=<dir>")
+endif()
+
+file(GLOB TOOL_SOURCES "${TOOLS_DIR}/*.cpp")
+if(NOT TOOL_SOURCES)
+  message(FATAL_ERROR "include-audit: no tool sources under ${TOOLS_DIR}")
+endif()
+
+set(VIOLATIONS "")
+foreach(SRC IN LISTS TOOL_SOURCES)
+  file(STRINGS "${SRC}" BAD_LINES
+       REGEX "^#include \"(pipeline|cert|tv|validate|cgen|service)/")
+  foreach(LINE IN LISTS BAD_LINES)
+    get_filename_component(BASE "${SRC}" NAME)
+    list(APPEND VIOLATIONS "${BASE}: ${LINE}")
+  endforeach()
+endforeach()
+
+if(VIOLATIONS)
+  list(JOIN VIOLATIONS "\n  " PRETTY)
+  message(FATAL_ERROR
+          "include-audit: tools must include the relc/ facade headers, "
+          "not internals:\n  ${PRETTY}")
+endif()
+
+list(LENGTH TOOL_SOURCES N)
+message(STATUS "include-audit: ${N} tool source(s) clean")

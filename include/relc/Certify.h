@@ -1,0 +1,36 @@
+//===- relc/Certify.h - Public certification surface ------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The public facade over the certification pipeline: everything a tool,
+// bench, or embedder needs to compile-and-certify programs, in-process
+// or through the relcd daemon, without reaching into src/* internals.
+//
+// Re-exported entry points:
+//
+//   service::Request / service::Response / service::certify()
+//       — the one audited request/response surface (exit taxonomy,
+//         cache + budget semantics, per-program classification);
+//   pipeline::certifyPrograms / PipelineOptions / ProgramOutcome
+//       — the underlying suite driver, via service/Service.h;
+//   service::wire::* + service::Client / service::Server
+//       — wire schema v1 and the daemon/client halves of relcd.
+//
+// Tools include this header (and relc/Cert.h, relc/Check.h) only; a
+// ctest include-audit keeps tools/*.cpp from including pipeline/, cert/,
+// tv/, or validate/ headers directly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_API_CERTIFY_H
+#define RELC_API_CERTIFY_H
+
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+#include "service/Service.h"
+
+#endif // RELC_API_CERTIFY_H

@@ -1,0 +1,23 @@
+//===- relc/Check.h - Public certificate-checking surface -------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The public facade over independent certificate checking:
+// cert::Rederive::check re-derives every hash a certificate records —
+// content key, per-binding traces, loop summaries (replaying recorded
+// witnesses, no search), output channels — against a fresh compile,
+// with no translation-validation driver in the link. The daemon trust
+// story rests on this surface: whatever relcd (or any cache) claims, a
+// checker built on relc/Check.h accepts only what it re-derived itself.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_API_CHECK_H
+#define RELC_API_CHECK_H
+
+#include "cert/Rederive.h"
+
+#endif // RELC_API_CHECK_H

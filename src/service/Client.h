@@ -1,0 +1,56 @@
+//===- service/Client.h - relcd wire client ---------------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The client half of the relcd wire protocol: connect (with retry, so a
+// freshly exec'd or freshly restarted daemon is not a race), one
+// framed round trip per request, and the same named-rejection
+// discipline the server applies — a reply frame with a wrong magic or
+// schema is rejected by name, never trusted. Used by relcd's
+// ping/stats/shutdown subcommands, bench/service_load, and the service
+// test suite; persistent (many round trips per connection).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SERVICE_CLIENT_H
+#define RELC_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Result.h"
+
+namespace relc {
+namespace service {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to \p SocketPath, retrying for up to \p TimeoutMs — the
+  /// daemon may still be binding (or restarting after a crash).
+  Status connect(const std::string &SocketPath, unsigned TimeoutMs = 2000);
+
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Writes \p Req as one frame and reads one reply frame. Failures are
+  /// named kebab-case first: "connection-lost", "request-timeout",
+  /// "truncated-frame", "bad-magic", "unknown-schema-version",
+  /// "oversized-frame", "malformed-frame". A server-side ErrorReply is
+  /// a *successful* round trip — the caller inspects the message kind.
+  Result<wire::Message> roundTrip(const wire::Message &Req,
+                                  unsigned TimeoutMs = 120000);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace relc
+
+#endif // RELC_SERVICE_CLIENT_H

@@ -1,0 +1,337 @@
+//===- service/Protocol.cpp - relcd wire schema v1 -------------------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <cstring>
+
+namespace relc {
+namespace service {
+namespace wire {
+
+const char *frameStatusReason(FrameStatus S) {
+  switch (S) {
+  case FrameStatus::Ok:
+  case FrameStatus::NeedMore:
+    return "";
+  case FrameStatus::BadMagic:
+    return "bad-magic";
+  case FrameStatus::UnknownVersion:
+    return "unknown-schema-version";
+  case FrameStatus::Oversized:
+    return "oversized-frame";
+  }
+  return "";
+}
+
+namespace {
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(char((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(char((V >> (8 * I)) & 0xFF));
+}
+
+void putStr(std::string &Out, const std::string &S) {
+  putU32(Out, uint32_t(S.size()));
+  Out += S;
+}
+
+void putBool(std::string &Out, bool B) { Out.push_back(B ? 1 : 0); }
+
+/// Bounds-checked little-endian cursor; any overrun poisons the cursor
+/// (Ok = false), and the caller maps that to "malformed-frame".
+struct Cursor {
+  std::string_view Buf;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  bool need(size_t N) {
+    if (!Ok || Buf.size() - Pos < N) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return uint8_t(Buf[Pos++]);
+  }
+  bool boolean() { return u8() != 0; }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= uint32_t(uint8_t(Buf[Pos++])) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= uint64_t(uint8_t(Buf[Pos++])) << (8 * I);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return {};
+    std::string S(Buf.substr(Pos, N));
+    Pos += N;
+    return S;
+  }
+  /// The whole payload must be consumed: trailing garbage is malformed,
+  /// not ignored — ignoring it would let two different byte strings
+  /// decode to the same message.
+  bool done() { return Ok && Pos == Buf.size(); }
+};
+
+void encodeCertifyRequest(std::string &Out, const CertifyRequest &R) {
+  putU32(Out, uint32_t(R.Programs.size()));
+  for (const std::string &P : R.Programs)
+    putStr(Out, P);
+  putBool(Out, R.Validate);
+  putBool(Out, R.Analyze);
+  putBool(Out, R.Tv);
+  putBool(Out, R.Codelint);
+  putBool(Out, R.KeepGoing);
+  putBool(Out, R.WantCertJson);
+  putBool(Out, R.WantCertBin);
+  putU32(Out, R.LayerTimeoutMs);
+  putU64(Out, R.TvStepBudget);
+}
+
+bool decodeCertifyRequest(Cursor &C, CertifyRequest *R) {
+  uint32_t N = C.u32();
+  // Cap the pre-reserve against a hostile count; actual strings are
+  // bounds-checked per element.
+  if (N > kMaxFramePayload / 4)
+    return false;
+  R->Programs.clear();
+  for (uint32_t I = 0; I < N && C.Ok; ++I)
+    R->Programs.push_back(C.str());
+  R->Validate = C.boolean();
+  R->Analyze = C.boolean();
+  R->Tv = C.boolean();
+  R->Codelint = C.boolean();
+  R->KeepGoing = C.boolean();
+  R->WantCertJson = C.boolean();
+  R->WantCertBin = C.boolean();
+  R->LayerTimeoutMs = C.u32();
+  R->TvStepBudget = C.u64();
+  return C.Ok;
+}
+
+void encodeCertifyReply(std::string &Out, const CertifyReply &R) {
+  Out.push_back(char(R.Exit));
+  putU32(Out, uint32_t(R.Programs.size()));
+  for (const ProgramResult &P : R.Programs) {
+    putStr(Out, P.Name);
+    Out.push_back(char(P.Status));
+    Out.push_back(char(P.From));
+    putStr(Out, P.Error);
+    putStr(Out, P.DegradedNote);
+    putStr(Out, P.TvVerdict);
+    putStr(Out, P.CodelintVerdict);
+    putStr(Out, P.CertJson);
+    putStr(Out, P.CertBin);
+  }
+}
+
+bool decodeCertifyReply(Cursor &C, CertifyReply *R) {
+  R->Exit = C.u8();
+  uint32_t N = C.u32();
+  if (N > kMaxFramePayload / 16)
+    return false;
+  R->Programs.clear();
+  for (uint32_t I = 0; I < N && C.Ok; ++I) {
+    ProgramResult P;
+    P.Name = C.str();
+    P.Status = C.u8();
+    P.From = C.u8();
+    P.Error = C.str();
+    P.DegradedNote = C.str();
+    P.TvVerdict = C.str();
+    P.CodelintVerdict = C.str();
+    P.CertJson = C.str();
+    P.CertBin = C.str();
+    R->Programs.push_back(std::move(P));
+  }
+  return C.Ok;
+}
+
+void encodePong(std::string &Out, const Pong &P) {
+  putU32(Out, P.ApiVersion);
+  putU32(Out, P.SchemaVersion);
+  putU64(Out, P.RegistryFingerprint);
+  putU64(Out, P.Pid);
+}
+
+bool decodePong(Cursor &C, Pong *P) {
+  P->ApiVersion = C.u32();
+  P->SchemaVersion = C.u32();
+  P->RegistryFingerprint = C.u64();
+  P->Pid = C.u64();
+  return C.Ok;
+}
+
+void encodeStats(std::string &Out, const Stats &S) {
+  putU64(Out, S.Requests);
+  putU64(Out, S.CertifyRequests);
+  putU64(Out, S.MemoHits);
+  putU64(Out, S.CacheHits);
+  putU64(Out, S.CacheMisses);
+  putU64(Out, S.CacheStores);
+  putU64(Out, S.BusyRejections);
+  putU64(Out, S.ProtocolRejections);
+  putU64(Out, S.FaultedRequests);
+  putU64(Out, S.ActiveConnections);
+  putStr(Out, S.CacheDir);
+}
+
+bool decodeStats(Cursor &C, Stats *S) {
+  S->Requests = C.u64();
+  S->CertifyRequests = C.u64();
+  S->MemoHits = C.u64();
+  S->CacheHits = C.u64();
+  S->CacheMisses = C.u64();
+  S->CacheStores = C.u64();
+  S->BusyRejections = C.u64();
+  S->ProtocolRejections = C.u64();
+  S->FaultedRequests = C.u64();
+  S->ActiveConnections = C.u64();
+  S->CacheDir = C.str();
+  return C.Ok;
+}
+
+} // namespace
+
+std::string frame(std::string_view Payload) {
+  std::string Out;
+  Out.reserve(kHeaderSize + Payload.size());
+  Out.append(kMagic, sizeof(kMagic));
+  putU32(Out, kSchemaVersion);
+  putU32(Out, uint32_t(Payload.size()));
+  Out += Payload;
+  return Out;
+}
+
+FrameStatus splitFrame(std::string_view Buf, size_t *FrameSize,
+                       std::string_view *Payload) {
+  if (Buf.empty())
+    return FrameStatus::NeedMore;
+  // Reject a wrong magic from the very first byte: a garbage sender
+  // learns immediately, not after feeding us 16 bytes.
+  size_t MagicLen = std::min(Buf.size(), sizeof(kMagic));
+  if (std::memcmp(Buf.data(), kMagic, MagicLen) != 0)
+    return FrameStatus::BadMagic;
+  if (Buf.size() < kHeaderSize)
+    return FrameStatus::NeedMore;
+  uint32_t Version = 0, Length = 0;
+  for (int I = 0; I < 4; ++I) {
+    Version |= uint32_t(uint8_t(Buf[8 + I])) << (8 * I);
+    Length |= uint32_t(uint8_t(Buf[12 + I])) << (8 * I);
+  }
+  if (Version != kSchemaVersion)
+    return FrameStatus::UnknownVersion;
+  if (Length > kMaxFramePayload)
+    return FrameStatus::Oversized;
+  if (Buf.size() < kHeaderSize + Length)
+    return FrameStatus::NeedMore;
+  *FrameSize = kHeaderSize + Length;
+  *Payload = Buf.substr(kHeaderSize, Length);
+  return FrameStatus::Ok;
+}
+
+std::string encode(const Message &M) {
+  std::string Out;
+  Out.push_back(char(M.TheKind));
+  switch (M.TheKind) {
+  case Kind::CertifyRequest:
+    encodeCertifyRequest(Out, M.Certify);
+    break;
+  case Kind::CertifyReply:
+    encodeCertifyReply(Out, M.Reply);
+    break;
+  case Kind::PongReply:
+    encodePong(Out, M.ThePong);
+    break;
+  case Kind::StatsReply:
+    encodeStats(Out, M.TheStats);
+    break;
+  case Kind::ErrorReply:
+    putStr(Out, M.Error.Reason);
+    putStr(Out, M.Error.Detail);
+    break;
+  case Kind::PingRequest:
+  case Kind::StatsRequest:
+  case Kind::ShutdownRequest:
+  case Kind::ShutdownReply:
+    break; // Kind byte only.
+  }
+  return Out;
+}
+
+bool decode(std::string_view Payload, Message *M, std::string *Reason) {
+  Cursor C{Payload, 0, true};
+  uint8_t KindByte = C.u8();
+  if (!C.Ok) {
+    *Reason = "malformed-frame";
+    return false;
+  }
+  bool Decoded = false;
+  switch (Kind(KindByte)) {
+  case Kind::CertifyRequest:
+    M->TheKind = Kind::CertifyRequest;
+    Decoded = decodeCertifyRequest(C, &M->Certify);
+    break;
+  case Kind::CertifyReply:
+    M->TheKind = Kind::CertifyReply;
+    Decoded = decodeCertifyReply(C, &M->Reply);
+    break;
+  case Kind::PongReply:
+    M->TheKind = Kind::PongReply;
+    Decoded = decodePong(C, &M->ThePong);
+    break;
+  case Kind::StatsReply:
+    M->TheKind = Kind::StatsReply;
+    Decoded = decodeStats(C, &M->TheStats);
+    break;
+  case Kind::ErrorReply:
+    M->TheKind = Kind::ErrorReply;
+    M->Error.Reason = C.str();
+    M->Error.Detail = C.str();
+    Decoded = C.Ok;
+    break;
+  case Kind::PingRequest:
+  case Kind::StatsRequest:
+  case Kind::ShutdownRequest:
+  case Kind::ShutdownReply:
+    M->TheKind = Kind(KindByte);
+    Decoded = true;
+    break;
+  default:
+    *Reason = "unknown-request-kind";
+    return false;
+  }
+  if (!Decoded || !C.done()) {
+    *Reason = "malformed-frame";
+    return false;
+  }
+  return true;
+}
+
+} // namespace wire
+} // namespace service
+} // namespace relc

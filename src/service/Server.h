@@ -1,0 +1,148 @@
+//===- service/Server.h - relcd daemon core ---------------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The long-lived certification daemon behind tools/relcd: listens on a
+// local Unix-domain socket, speaks wire schema v1 (service/Protocol.h),
+// and serves every certify request through service::certify — so a
+// daemon answer is the *same* audited computation relc-gen performs,
+// plus three things only a resident process can offer:
+//
+//   - warmth: the on-disk certificate cache, the rule-registry
+//     fingerprint, and an in-memory reply memo persist across requests,
+//     so a repeated request costs a hash lookup, not a recompile;
+//   - backpressure: at most MaxInflight certify requests run at once —
+//     excess requests get a named "server-busy" reply immediately
+//     instead of queueing unboundedly;
+//   - budgets: requests that carry no budget get the server's defaults,
+//     so no client can wedge the daemon with an unbounded certification.
+//
+// Trust story (DESIGN.md §4.11): the daemon is trusted for transport,
+// scheduling, and caching only. The certificates it returns are
+// byte-identical to relc-gen's and stand on their own — relc-check
+// rederives them with no knowledge that a daemon exists. Degraded or
+// faulted requests produce named statuses and are never memoized or
+// cached.
+//
+// Fault sites (relc::fault): svc-accept, svc-read, svc-write (keyed by
+// connection ordinal), and svc-dispatch (keyed by the program list) let
+// the crash-recovery and fuzz suites kill the daemon's I/O
+// deterministically.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SERVICE_SERVER_H
+#define RELC_SERVICE_SERVER_H
+
+#include "service/Protocol.h"
+#include "support/Result.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace relc {
+namespace service {
+
+struct ServerOptions {
+  std::string SocketPath = "relcd.sock";
+  /// Resolved certificate-cache directory ("" = cache disabled); use
+  /// cl::resolveCacheDir so the daemon honors RELC_CACHE_DIR like every
+  /// other tool.
+  std::string CacheDir;
+  unsigned Jobs = 1; ///< Scheduler width per certify request.
+
+  unsigned MaxClients = 64;  ///< Concurrent connections; excess → busy.
+  unsigned MaxInflight = 16; ///< Concurrent certifications; excess → busy.
+  /// Slow-loris guard: once a frame's first byte arrives, the rest must
+  /// follow within this window or the connection gets a named
+  /// "request-timeout" reply.
+  unsigned ReadTimeoutMs = 10000;
+
+  /// Server-side budget defaults, applied when a request carries 0 —
+  /// every dispatched certification is wall-clock bounded.
+  unsigned DefaultLayerTimeoutMs = 30000;
+  uint64_t DefaultTvStepBudget = 0;
+
+  /// In-memory reply memo capacity (distinct request shapes). Only
+  /// fully-certified, un-degraded replies are memoized.
+  size_t MemoCapacity = 64;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket (recovering a stale path left by a killed
+  /// predecessor), starts the accept loop, and returns. Fails with a
+  /// named reason when another live daemon owns the path
+  /// ("address-in-use") or the bind fails.
+  Status start();
+
+  /// Blocks until a shutdown request (wire or requestStop()) has been
+  /// honored and every connection has drained.
+  void wait();
+
+  /// Asynchronously begins shutdown (idempotent).
+  void requestStop();
+
+  bool stopping() const;
+
+  /// Snapshot of the counters the StatsRequest serves.
+  wire::Stats stats() const;
+
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd, uint64_t ConnId);
+  /// Dispatches one decoded request; returns the reply to write.
+  wire::Message dispatch(const wire::Message &Req);
+  wire::Message handleCertify(const wire::CertifyRequest &Req);
+  bool writeFrame(int Fd, uint64_t ConnId, const wire::Message &Reply);
+
+  ServerOptions Opts;
+  int ListenFd = -1;
+  std::thread AcceptThread;
+  bool Started = false;
+  uint64_t RegistryFingerprint = 0;
+
+  std::atomic<bool> Stop{false};
+  std::atomic<unsigned> ActiveConns{0};
+  std::atomic<unsigned> Inflight{0};
+  std::atomic<uint64_t> NextConnId{0};
+
+  // Counters (wire::Stats).
+  std::atomic<uint64_t> Requests{0}, CertifyRequests{0}, MemoHits{0},
+      CacheHits{0}, CacheMisses{0}, CacheStores{0}, BusyRejections{0},
+      ProtocolRejections{0}, FaultedRequests{0};
+
+  /// Drain coordination: connection threads are detached; the last one
+  /// out signals DrainCv.
+  mutable std::mutex DrainMu;
+  std::condition_variable DrainCv;
+
+  /// The reply memo: canonical-request-digest -> memoized reply, LRU-
+  /// capped at MemoCapacity. Degraded/failed replies never enter.
+  std::mutex MemoMu;
+  std::list<std::pair<uint64_t, wire::CertifyReply>> MemoLru;
+  std::map<uint64_t, std::list<std::pair<uint64_t, wire::CertifyReply>>::iterator>
+      MemoIndex;
+};
+
+} // namespace service
+} // namespace relc
+
+#endif // RELC_SERVICE_SERVER_H

@@ -1,0 +1,190 @@
+//===- service/Service.cpp - One audited certification surface -------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "cgen/CEmit.h"
+#include "pipeline/Scheduler.h"
+
+#include <utility>
+
+namespace relc {
+namespace service {
+
+const char *statusName(ProgramStatus S) {
+  switch (S) {
+  case ProgramStatus::Certified:
+    return "certified";
+  case ProgramStatus::CertifiedDegraded:
+    return "certified-degraded";
+  case ProgramStatus::Degraded:
+    return "degraded";
+  case ProgramStatus::Failed:
+    return "failed";
+  }
+  return "failed";
+}
+
+bool statusFromName(const std::string &Name, ProgramStatus *Out) {
+  for (uint8_t I = 0; I <= uint8_t(ProgramStatus::Failed); ++I)
+    if (Name == statusName(ProgramStatus(I))) {
+      *Out = ProgramStatus(I);
+      return true;
+    }
+  return false;
+}
+
+const char *provenanceName(Provenance P) {
+  switch (P) {
+  case Provenance::Live:
+    return "live";
+  case Provenance::DiskCache:
+    return "disk-cache";
+  case Provenance::Memo:
+    return "memo";
+  }
+  return "live";
+}
+
+namespace {
+
+ProgramStatus classify(const pipeline::ProgramOutcome &O, bool KeepGoing) {
+  if (O.ok())
+    return O.anyDegraded() ? ProgramStatus::CertifiedDegraded
+                           : ProgramStatus::Certified;
+  if (KeepGoing && O.failureIsDegradedOnly())
+    return ProgramStatus::Degraded;
+  return ProgramStatus::Failed;
+}
+
+/// The rendered "why" for a non-certified program, in the same priority
+/// order relc-gen has always printed: the validation note chain, then the
+/// compile error, then the scheduler-level note, then the first degraded
+/// note.
+std::string renderWhy(const pipeline::ProgramOutcome &O) {
+  if (!O.CompileOk && !O.CompileError.empty())
+    return O.CompileError;
+  if (!O.ValidationError.empty())
+    return O.ValidationError;
+  if (!O.DegradedNote.empty())
+    return O.DegradedNote;
+  return O.firstDegradedNote();
+}
+
+/// relc-gen's DEGRADED text selection, preserved verbatim: validation
+/// error first, then compile error, then the degraded notes.
+std::string renderDegraded(const pipeline::ProgramOutcome &O) {
+  const std::string &Why = !O.ValidationError.empty() ? O.ValidationError
+                           : !O.CompileOk             ? O.CompileError
+                                                      : O.DegradedNote;
+  return Why.empty() ? O.firstDegradedNote() : Why;
+}
+
+} // namespace
+
+Response certify(const Request &R) {
+  Response Resp;
+
+  std::vector<const programs::ProgramDef *> Targets;
+  if (R.Programs.empty()) {
+    for (const programs::ProgramDef &P : programs::allPrograms())
+      Targets.push_back(&P);
+  } else {
+    for (const std::string &Name : R.Programs) {
+      const programs::ProgramDef *P = programs::findProgram(Name);
+      if (!P) {
+        Resp.Exit = 2;
+        Resp.UsageError = "unknown-program: '" + Name + "'";
+        return Resp;
+      }
+      Targets.push_back(P);
+    }
+  }
+
+  pipeline::PipelineOptions Opts;
+  Opts.Jobs = pipeline::resolveJobs(R.Jobs, &Resp.JobsNote);
+  Opts.CacheDir = R.CacheDir;
+  Opts.Validate = R.Validate;
+  Opts.Analyze = R.Analyze;
+  Opts.Tv = R.Tv;
+  Opts.Codelint = R.Codelint;
+  Opts.LayerTimeoutMs = R.LayerTimeoutMs;
+  Opts.TvStepBudget = R.TvStepBudget;
+  Opts.KeepGoing = R.KeepGoing;
+
+  std::vector<pipeline::ProgramOutcome> Outcomes =
+      pipeline::certifyPrograms(Targets, Opts, &Resp.Stats);
+
+  bool AnyFailed = false, AnyDegraded = false;
+  if (R.EmitC)
+    Resp.CHeader = cgen::cPrelude();
+
+  for (pipeline::ProgramOutcome &O : Outcomes) {
+    ProgramReply PR;
+    PR.Name = O.Def->Name;
+    PR.Status = classify(O, R.KeepGoing);
+    PR.From = O.CacheHit ? Provenance::DiskCache : Provenance::Live;
+    PR.TvVerdict = O.TvVerdictName;
+    PR.CodelintVerdict = O.CodelintVerdictName;
+    if (O.anyDegraded())
+      PR.DegradedNote = O.firstDegradedNote();
+    // Certificate bytes travel whenever TV produced them (empty
+    // otherwise); consumers gate on Status, exactly as relc-gen always
+    // wrote the .tv.json the moment TV proved, independent of later
+    // layers.
+    if (R.WantCertJson)
+      PR.CertJson = O.TvCertJson;
+    if (R.WantCertBin)
+      PR.CertBin = O.TvCertBin;
+
+    switch (PR.Status) {
+    case ProgramStatus::Failed:
+      PR.Error = renderWhy(O);
+      AnyFailed = true;
+      break;
+    case ProgramStatus::Degraded:
+      PR.Error = renderDegraded(O);
+      AnyDegraded = true;
+      break;
+    case ProgramStatus::CertifiedDegraded:
+      AnyDegraded = true;
+      [[fallthrough]];
+    case ProgramStatus::Certified:
+      if (R.EmitC) {
+        cgen::CEmitOptions EOpts;
+        EOpts.NamePrefix = "relc_";
+        Result<std::string> CCode = cgen::emitFunction(O.Compiled.Fn, EOpts);
+        if (!CCode) {
+          PR.Status = ProgramStatus::Failed;
+          PR.Error = "C emission failed: " + CCode.error().str();
+          AnyFailed = true;
+          break;
+        }
+        PR.CCode = cgen::cPrelude() + *CCode;
+        // Accumulate the aggregate declaration header.
+        const bedrock::Function &Fn = O.Compiled.Fn;
+        Resp.CHeader +=
+            (Fn.Rets.empty() ? std::string("void") : "uintptr_t") + " relc_" +
+            Fn.Name + "(";
+        for (size_t I = 0; I < Fn.Args.size(); ++I)
+          Resp.CHeader +=
+              std::string(I ? ", " : "") + "uintptr_t " + Fn.Args[I];
+        Resp.CHeader += ");\n";
+      }
+      break;
+    }
+
+    PR.Outcome = std::move(O);
+    Resp.Programs.push_back(std::move(PR));
+  }
+
+  Resp.Exit = AnyFailed ? 1 : AnyDegraded ? 3 : 0;
+  return Resp;
+}
+
+} // namespace service
+} // namespace relc

@@ -173,8 +173,8 @@ std::string OptionTable::suggestion(const std::string &Unknown) const {
   return Best;
 }
 
-ParseResult OptionTable::parse(int Argc, char **Argv) const {
-  for (int I = 1; I < Argc; ++I) {
+ParseResult OptionTable::parse(int Argc, char **Argv, int Begin) const {
+  for (int I = Begin; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A.empty() || A[0] != '-') {
       if (!PosConsume) {
@@ -238,6 +238,103 @@ ParseResult OptionTable::parse(int Argc, char **Argv) const {
     }
   }
   return ParseResult::Ok;
+}
+
+SubcommandSet::SubcommandSet(std::string Tool, std::string Overview)
+    : Tool(std::move(Tool)), Overview(std::move(Overview)) {}
+
+OptionTable &SubcommandSet::add(std::string Name, std::string Brief,
+                                std::string Overview) {
+  Sub S;
+  S.Name = Name;
+  S.Brief = std::move(Brief);
+  S.Table =
+      std::make_unique<OptionTable>(Tool + " " + Name, std::move(Overview));
+  Subs.push_back(std::move(S));
+  return *Subs.back().Table;
+}
+
+const SubcommandSet::Sub *SubcommandSet::find(const std::string &Name) const {
+  for (const Sub &S : Subs)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+std::string SubcommandSet::usageLine() const {
+  return "usage: " + Tool + " <command> [options]";
+}
+
+std::string SubcommandSet::helpText() const {
+  std::string Out = usageLine() + "\n\n";
+  if (!Overview.empty())
+    Out += Overview + "\n\n";
+  Out += "commands:\n";
+  size_t Width = 0;
+  for (const Sub &S : Subs)
+    Width = std::max(Width, S.Name.size());
+  for (const Sub &S : Subs)
+    Out += "  " + S.Name + std::string(Width - S.Name.size() + 2, ' ') +
+           S.Brief + "\n";
+  Out += "\nrun '" + Tool + " <command> -help' for per-command options\n";
+  return Out;
+}
+
+std::string SubcommandSet::suggestion(const std::string &Unknown) const {
+  std::string Best;
+  unsigned BestDist = 3; // Suggest only within edit distance 2.
+  for (const Sub &S : Subs) {
+    unsigned D = editDistance(Unknown, S.Name);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = S.Name;
+    }
+  }
+  return Best;
+}
+
+SubcommandSet::Dispatch SubcommandSet::dispatch(int Argc, char **Argv) const {
+  Dispatch D;
+  if (Argc < 2) {
+    std::fprintf(stderr, "%s: missing command\n%s", Tool.c_str(),
+                 helpText().c_str());
+    return D;
+  }
+  std::string A = Argv[1];
+  if (A == "-h" || A == "-help" || A == "--help") {
+    std::printf("%s", helpText().c_str());
+    D.Result = ParseResult::Help;
+    return D;
+  }
+  if (A == "help") {
+    // `help <sub>` forwards to that subcommand's page.
+    if (Argc >= 3) {
+      if (const Sub *S = find(Argv[2])) {
+        std::printf("%s", S->Table->helpText().c_str());
+        D.Result = ParseResult::Help;
+        D.Name = S->Name;
+        return D;
+      }
+      std::fprintf(stderr, "%s: unknown command '%s'\n", Tool.c_str(),
+                   Argv[2]);
+      return D;
+    }
+    std::printf("%s", helpText().c_str());
+    D.Result = ParseResult::Help;
+    return D;
+  }
+  const Sub *S = find(A);
+  if (!S) {
+    std::string Hint = suggestion(A);
+    if (!Hint.empty())
+      Hint = "; did you mean '" + Hint + "'?";
+    std::fprintf(stderr, "%s: unknown command '%s'%s\n%s\n", Tool.c_str(),
+                 A.c_str(), Hint.c_str(), usageLine().c_str());
+    return D;
+  }
+  D.Name = S->Name;
+  D.Result = S->Table->parse(Argc, Argv, 2);
+  return D;
 }
 
 } // namespace cl

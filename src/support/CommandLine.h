@@ -27,6 +27,7 @@
 #define RELC_SUPPORT_COMMANDLINE_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,8 +89,10 @@ public:
   // Parsing and rendering.
   //===--------------------------------------------------------------------===//
 
-  /// Parses argv[1..argc). Help goes to stdout; errors to stderr.
-  ParseResult parse(int Argc, char **Argv) const;
+  /// Parses argv[Begin..argc). Help goes to stdout; errors to stderr.
+  /// \p Begin defaults to 1 (skip the binary name); subcommand drivers
+  /// pass 2 to skip the subcommand word as well.
+  ParseResult parse(int Argc, char **Argv, int Begin = 1) const;
 
   /// "usage: <tool> [options] [<meta>...]".
   std::string usageLine() const;
@@ -116,6 +119,57 @@ private:
   std::function<bool(const std::string &, std::string *)> PosConsume;
 
   const Option *find(const std::string &Name) const;
+};
+
+/// A named set of subcommands, each with its own OptionTable — the
+/// `relcd serve|ping|stats|shutdown` driver. argv[1] selects the
+/// subcommand; everything after it is parsed by that subcommand's table
+/// (so per-subcommand `-help` comes for free), and an unknown subcommand
+/// gets the same edit-distance typo suggestions unknown flags get.
+class SubcommandSet {
+public:
+  /// \p Tool names the binary in messages ("relcd"); \p Overview heads
+  /// the top-level help page.
+  SubcommandSet(std::string Tool, std::string Overview);
+
+  /// Registers subcommand \p Name and returns its table (tool name
+  /// "<tool> <name>"). \p Brief is its one-line help entry. The returned
+  /// reference stays valid for the SubcommandSet's lifetime.
+  OptionTable &add(std::string Name, std::string Brief, std::string Overview);
+
+  /// What dispatch() decided.
+  struct Dispatch {
+    ParseResult Result = ParseResult::Error;
+    std::string Name; ///< Selected subcommand ("" when none was reached).
+  };
+
+  /// Selects the subcommand named by argv[1] and parses the rest with its
+  /// table. No argv[1], `-h`/`-help`, or `help` prints the top-level help
+  /// page (Result = Help); an unknown subcommand prints a suggestion and
+  /// errors. `help <sub>` prints that subcommand's help page.
+  Dispatch dispatch(int Argc, char **Argv) const;
+
+  /// "usage: <tool> <command> [options]".
+  std::string usageLine() const;
+
+  /// The top-level help page listing every subcommand.
+  std::string helpText() const;
+
+  /// Closest subcommand name to \p Unknown within edit distance 2, or "".
+  std::string suggestion(const std::string &Unknown) const;
+
+private:
+  struct Sub {
+    std::string Name;
+    std::string Brief;
+    std::unique_ptr<OptionTable> Table;
+  };
+
+  std::string Tool;
+  std::string Overview;
+  std::vector<Sub> Subs;
+
+  const Sub *find(const std::string &Name) const;
 };
 
 } // namespace cl

@@ -33,6 +33,14 @@ const char *siteName(Site S) {
     return "interp-fuel";
   case Site::CodelintEntry:
     return "codelint-entry";
+  case Site::SvcAccept:
+    return "svc-accept";
+  case Site::SvcRead:
+    return "svc-read";
+  case Site::SvcWrite:
+    return "svc-write";
+  case Site::SvcDispatch:
+    return "svc-dispatch";
   }
   return "cache-read";
 }
@@ -116,7 +124,8 @@ Result<std::vector<Clause>> parseSpec(const std::string &Spec) {
         if (!siteFromName(Tok, &C.TheSite))
           return Error("fault spec: unknown site '" + Tok +
                        "' (expected cache-read, cache-write, sched-job, "
-                       "layer-entry, interp-fuel, or codelint-entry)");
+                       "layer-entry, interp-fuel, codelint-entry, "
+                       "svc-accept, svc-read, svc-write, or svc-dispatch)");
         First = false;
         continue;
       }

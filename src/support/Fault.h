@@ -19,7 +19,8 @@
 //         [:seed=<u64>][:match=<substr>][:v=<u64>]
 //
 //   site       cache-read | cache-write | sched-job | layer-entry
-//              | interp-fuel | codelint-entry
+//              | interp-fuel | codelint-entry | svc-accept | svc-read
+//              | svc-write | svc-dispatch
 //   transient  (default) the site fails the first n times a given key
 //              hits it, then heals — retry loops must absorb it.
 //   persistent every hit fails — the pipeline must degrade to a *named*
@@ -64,8 +65,12 @@ enum class Site : uint8_t {
   LayerEntry,   ///< Certification-layer entry ("layer-entry").
   InterpFuel,   ///< Bedrock2 interpreter fuel ("interp-fuel").
   CodelintEntry, ///< Target-side codelint layer entry ("codelint-entry").
+  SvcAccept,     ///< relcd connection accept ("svc-accept").
+  SvcRead,       ///< relcd request-frame read ("svc-read").
+  SvcWrite,      ///< relcd response-frame write ("svc-write").
+  SvcDispatch,   ///< relcd certify-request dispatch ("svc-dispatch").
 };
-constexpr unsigned NumSites = 6;
+constexpr unsigned NumSites = 10;
 
 const char *siteName(Site S);
 bool siteFromName(const std::string &Name, Site *Out);

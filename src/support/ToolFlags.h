@@ -1,0 +1,79 @@
+//===- support/ToolFlags.h - Shared tool flag tables ------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The flag tables every relc tool shares, factored out of relc-gen so
+// relc-lint, relc-check, and relcd register the *same* spellings, help
+// text, and semantics instead of re-rolling them per tool:
+//
+//   - the certificate-cache directory (-cache-dir / -no-cache), with one
+//     documented precedence rule implemented in resolveCacheDir();
+//   - the certification budgets (-layer-timeout-ms / -tv-step-budget);
+//   - deterministic fault injection (-fault, arming relc::fault);
+//   - the scheduler width (-j / -jobs).
+//
+// Cache-directory precedence (ctest-pinned in tools/CMakeLists.txt):
+//
+//   -no-cache  >  -cache-dir <dir>  >  $RELC_CACHE_DIR  >  .relc-cache
+//
+// Every tool resolves the same way, so one exported RELC_CACHE_DIR moves
+// the cache for relc-gen, relcd, and anything else that persists
+// verdicts. Tools whose verdicts never touch the cache (relc-lint,
+// relc-check) still accept the flags — a uniform CLI means one wrapper
+// script or environment works across the whole toolbox — and say so in
+// their help text.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_TOOLFLAGS_H
+#define RELC_SUPPORT_TOOLFLAGS_H
+
+#include "support/CommandLine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace relc {
+namespace cl {
+
+/// The -cache-dir / -no-cache pair.
+struct CacheDirFlags {
+  std::string Dir; ///< -cache-dir value ("" = flag not given).
+  bool NoCache = false;
+};
+
+/// Registers -cache-dir and -no-cache on \p T, writing into \p F (whose
+/// lifetime must cover parsing). \p Consults states whether the tool's
+/// own verdicts use the cache; when false the help text says the flags
+/// are accepted only for cross-tool uniformity.
+void addCacheDirFlags(OptionTable &T, CacheDirFlags &F, bool Consults = true);
+
+/// The one precedence rule: -no-cache > -cache-dir > $RELC_CACHE_DIR >
+/// ".relc-cache". Returns the directory to use, or "" when caching is
+/// disabled.
+std::string resolveCacheDir(const CacheDirFlags &F);
+
+/// The certification budgets.
+struct BudgetFlags {
+  unsigned LayerTimeoutMs = 0; ///< 0 = unlimited.
+  uint64_t TvStepBudget = 0;   ///< 0 = unlimited.
+};
+
+/// Registers -layer-timeout-ms and -tv-step-budget on \p T.
+void addBudgetFlags(OptionTable &T, BudgetFlags &F);
+
+/// Registers -fault on \p T; parsing the flag arms relc::fault directly
+/// (overriding any RELC_FAULT_SPEC arming).
+void addFaultFlag(OptionTable &T);
+
+/// Registers -j/-jobs on \p T. \p What names the scheduler in the help
+/// text ("certification", "lint").
+void addJobsFlag(OptionTable &T, unsigned &Jobs, const std::string &What);
+
+} // namespace cl
+} // namespace relc
+
+#endif // RELC_SUPPORT_TOOLFLAGS_H

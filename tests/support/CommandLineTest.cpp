@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/CommandLine.h"
+#include "support/ToolFlags.h"
 
 #include <gtest/gtest.h>
 
@@ -298,6 +299,214 @@ TEST(CommandLineTest, ChoiceFlagTypoIsSuggested) {
   EXPECT_EQ(parseArgs(F.T, {"--cert-fromat=bin"}), cl::ParseResult::Error);
   std::string Err = testing::internal::GetCapturedStderr();
   EXPECT_NE(Err.find("did you mean '-cert-format'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// SubcommandSet: the relcd serve|ping|stats|shutdown driver.
+//===----------------------------------------------------------------------===//
+
+/// Runs S.dispatch over the given arguments (argv[0] is synthesized).
+cl::SubcommandSet::Dispatch dispatchArgs(const cl::SubcommandSet &S,
+                                         std::vector<std::string> Args) {
+  std::vector<char *> Argv;
+  std::string Tool = "relcd";
+  Argv.push_back(Tool.data());
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  return S.dispatch(int(Argv.size()), Argv.data());
+}
+
+struct SubFixture {
+  std::string Socket = "relcd.sock";
+  bool Quiet = false;
+  cl::SubcommandSet S{"relcd", "The relc certification daemon."};
+  SubFixture() {
+    cl::OptionTable &Serve =
+        S.add("serve", "run the daemon", "Runs the daemon in the foreground.");
+    Serve.str({"-socket"}, &Socket, "<path>", "socket path to listen on");
+    Serve.flag({"-q"}, &Quiet, "suppress the startup banner");
+    cl::OptionTable &Ping =
+        S.add("ping", "probe a running daemon", "Probes a running daemon.");
+    Ping.str({"-socket"}, &Socket, "<path>", "socket path to probe");
+  }
+};
+
+TEST(CommandLineTest, SubcommandDispatchSelectsAndParses) {
+  SubFixture F;
+  cl::SubcommandSet::Dispatch D =
+      dispatchArgs(F.S, {"serve", "-socket", "/tmp/x.sock", "-q"});
+  EXPECT_EQ(D.Result, cl::ParseResult::Ok);
+  EXPECT_EQ(D.Name, "serve");
+  EXPECT_EQ(F.Socket, "/tmp/x.sock");
+  EXPECT_TRUE(F.Quiet);
+}
+
+TEST(CommandLineTest, SubcommandMissingCommandIsAnError) {
+  SubFixture F;
+  testing::internal::CaptureStderr();
+  cl::SubcommandSet::Dispatch D = dispatchArgs(F.S, {});
+  std::string Err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(D.Result, cl::ParseResult::Error);
+  EXPECT_EQ(D.Name, "");
+  EXPECT_NE(Err.find("relcd: missing command"), std::string::npos);
+  EXPECT_NE(Err.find("serve"), std::string::npos); // Help page follows.
+}
+
+TEST(CommandLineTest, SubcommandTopLevelHelpListsEveryCommand) {
+  SubFixture F;
+  testing::internal::CaptureStdout();
+  cl::SubcommandSet::Dispatch D = dispatchArgs(F.S, {"-help"});
+  std::string Out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(D.Result, cl::ParseResult::Help);
+  EXPECT_NE(Out.find("serve"), std::string::npos);
+  EXPECT_NE(Out.find("run the daemon"), std::string::npos);
+  EXPECT_NE(Out.find("ping"), std::string::npos);
+  EXPECT_NE(Out.find("probe a running daemon"), std::string::npos);
+}
+
+TEST(CommandLineTest, SubcommandPerCommandHelp) {
+  // Both spellings reach the same page: `relcd serve -help` and
+  // `relcd help serve`.
+  {
+    SubFixture F;
+    testing::internal::CaptureStdout();
+    cl::SubcommandSet::Dispatch D = dispatchArgs(F.S, {"serve", "-help"});
+    std::string Out = testing::internal::GetCapturedStdout();
+    EXPECT_EQ(D.Result, cl::ParseResult::Help);
+    EXPECT_EQ(D.Name, "serve");
+    EXPECT_NE(Out.find("usage: relcd serve"), std::string::npos);
+    EXPECT_NE(Out.find("-socket"), std::string::npos);
+  }
+  {
+    SubFixture F;
+    testing::internal::CaptureStdout();
+    cl::SubcommandSet::Dispatch D = dispatchArgs(F.S, {"help", "serve"});
+    std::string Out = testing::internal::GetCapturedStdout();
+    EXPECT_EQ(D.Result, cl::ParseResult::Help);
+    EXPECT_EQ(D.Name, "serve");
+    EXPECT_NE(Out.find("-socket"), std::string::npos);
+  }
+}
+
+TEST(CommandLineTest, SubcommandTypoIsSuggested) {
+  SubFixture F;
+  EXPECT_EQ(F.S.suggestion("srve"), "serve");
+  EXPECT_EQ(F.S.suggestion("pign"), "ping");
+  EXPECT_EQ(F.S.suggestion("frobnicate"), "");
+  testing::internal::CaptureStderr();
+  cl::SubcommandSet::Dispatch D = dispatchArgs(F.S, {"srve"});
+  std::string Err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(D.Result, cl::ParseResult::Error);
+  EXPECT_NE(Err.find("unknown command 'srve'; did you mean 'serve'?"),
+            std::string::npos);
+}
+
+TEST(CommandLineTest, SubcommandFlagErrorsStayPerCommand) {
+  // A flag typo inside a subcommand gets that table's suggestion, and
+  // the dispatch still names which subcommand was running.
+  SubFixture F;
+  testing::internal::CaptureStderr();
+  cl::SubcommandSet::Dispatch D =
+      dispatchArgs(F.S, {"serve", "-socet", "/tmp/x"});
+  std::string Err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(D.Result, cl::ParseResult::Error);
+  EXPECT_EQ(D.Name, "serve");
+  EXPECT_NE(Err.find("did you mean '-socket'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ToolFlags: the shared cache-dir / budget / jobs tables and the one
+// cache-directory precedence rule.
+//===----------------------------------------------------------------------===//
+
+/// Sets/unsets RELC_CACHE_DIR for one test, restoring the prior value.
+struct ScopedEnv {
+  std::string Name;
+  std::string Saved;
+  bool HadValue;
+  ScopedEnv(const std::string &N, const char *Value) : Name(N) {
+    const char *Old = std::getenv(N.c_str());
+    HadValue = Old != nullptr;
+    Saved = Old ? Old : "";
+    if (Value)
+      ::setenv(N.c_str(), Value, 1);
+    else
+      ::unsetenv(N.c_str());
+  }
+  ~ScopedEnv() {
+    if (HadValue)
+      ::setenv(Name.c_str(), Saved.c_str(), 1);
+    else
+      ::unsetenv(Name.c_str());
+  }
+};
+
+TEST(CommandLineTest, ResolveCacheDirPrecedence) {
+  // The one documented rule:
+  //   -no-cache > -cache-dir <dir> > $RELC_CACHE_DIR > .relc-cache
+  {
+    ScopedEnv E("RELC_CACHE_DIR", nullptr);
+    cl::CacheDirFlags F;
+    EXPECT_EQ(cl::resolveCacheDir(F), ".relc-cache");
+  }
+  {
+    ScopedEnv E("RELC_CACHE_DIR", "/tmp/env-cache");
+    cl::CacheDirFlags F;
+    EXPECT_EQ(cl::resolveCacheDir(F), "/tmp/env-cache");
+    F.Dir = "/tmp/flag-cache"; // The flag beats the environment.
+    EXPECT_EQ(cl::resolveCacheDir(F), "/tmp/flag-cache");
+    F.NoCache = true; // -no-cache beats everything.
+    EXPECT_EQ(cl::resolveCacheDir(F), "");
+  }
+  {
+    // An empty RELC_CACHE_DIR is "unset", not "cache in ''".
+    ScopedEnv E("RELC_CACHE_DIR", "");
+    cl::CacheDirFlags F;
+    EXPECT_EQ(cl::resolveCacheDir(F), ".relc-cache");
+  }
+}
+
+TEST(CommandLineTest, CacheDirFlagsParseBothSpellings) {
+  cl::CacheDirFlags F;
+  cl::OptionTable T{"test-tool", "overview"};
+  cl::addCacheDirFlags(T, F);
+  EXPECT_EQ(parseArgs(T, {"--cache-dir", "/tmp/c", "-no-cache"}),
+            cl::ParseResult::Ok);
+  EXPECT_EQ(F.Dir, "/tmp/c");
+  EXPECT_TRUE(F.NoCache);
+  // The non-consulting variant still registers the same spellings but
+  // says so in its help text.
+  cl::CacheDirFlags G;
+  cl::OptionTable U{"relc-check", "overview"};
+  cl::addCacheDirFlags(U, G, /*Consults=*/false);
+  EXPECT_NE(U.helpText().find("never consult the cache"), std::string::npos);
+}
+
+TEST(CommandLineTest, BudgetFlagsParse) {
+  cl::BudgetFlags F;
+  cl::OptionTable T{"test-tool", "overview"};
+  cl::addBudgetFlags(T, F);
+  EXPECT_EQ(parseArgs(T, {"-layer-timeout-ms", "500",
+                          "--tv-step-budget=5000"}),
+            cl::ParseResult::Ok);
+  EXPECT_EQ(F.LayerTimeoutMs, 500u);
+  EXPECT_EQ(F.TvStepBudget, 5000u);
+  cl::BudgetFlags G;
+  cl::OptionTable U{"test-tool", "overview"};
+  cl::addBudgetFlags(U, G);
+  EXPECT_EQ(parseArgs(U, {"-tv-step-budget", "many"}), cl::ParseResult::Error);
+  EXPECT_EQ(G.TvStepBudget, 0u);
+}
+
+TEST(CommandLineTest, JobsFlagAcceptsZeroForHardware) {
+  unsigned Jobs = 1;
+  cl::OptionTable T{"test-tool", "overview"};
+  cl::addJobsFlag(T, Jobs, "certification");
+  EXPECT_EQ(parseArgs(T, {"-j", "0"}), cl::ParseResult::Ok);
+  EXPECT_EQ(Jobs, 0u);
+  EXPECT_EQ(parseArgs(T, {"--jobs", "8"}), cl::ParseResult::Ok);
+  EXPECT_EQ(Jobs, 8u);
+  EXPECT_NE(T.helpText().find("certification"), std::string::npos);
 }
 
 } // namespace

@@ -24,11 +24,11 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "cert/Binary.h"
-#include "cert/Reader.h"
-#include "cert/Rederive.h"
 #include "programs/Programs.h"
+#include "relc/Cert.h"
+#include "relc/Check.h"
 #include "support/CommandLine.h"
+#include "support/ToolFlags.h"
 
 #include <cstdio>
 #include <fstream>
@@ -41,6 +41,7 @@ int main(int argc, char **argv) {
   std::string CertsDir = "generated";
   std::string CertFormat = "auto";
   bool Quiet = false;
+  cl::CacheDirFlags Cache;
   std::vector<const programs::ProgramDef *> Targets;
   std::string PosErr;
 
@@ -65,6 +66,10 @@ int main(int argc, char **argv) {
            "rejection, never a silent fallback)\n"
            "(default: auto)");
   T.flag({"-q"}, &Quiet, "print only rejections and the final summary");
+  // Cross-tool uniformity (support/ToolFlags.h): the checker accepts the
+  // cache flags but its acceptances never come from a cache — everything
+  // it accepts, it re-derived itself.
+  cl::addCacheDirFlags(T, Cache, /*Consults=*/false);
   T.positional("program", "check only the named programs (default: all)",
                [&Targets](const std::string &A, std::string *Err) {
                  const programs::ProgramDef *P = programs::findProgram(A);

@@ -13,30 +13,36 @@
 // build time). With -print-bedrock or -print-deriv it dumps the
 // intermediate artifacts instead.
 //
+// Since the relcd daemon landed, this tool is a thin presenter over the
+// one audited request/response surface (service::certify via
+// relc/Certify.h): it assembles a service::Request from its flags, prints
+// each ProgramReply's outcome in registration order, and writes the
+// artifact files. The certificates it writes are byte-identical to the
+// ones relcd serves on the wire — both come out of the same Response.
+//
 // Certification runs on the job-graph scheduler: -j N executes programs
 // and their independent layers concurrently; -j 1 (the default) is the
 // serial reference. Output is buffered per program and flushed in
 // registration order, so every -j produces byte-identical streams and
 // artifacts. Verdicts are reused across runs through the content-
-// addressed certificate cache (default .relc-cache/): a warm run skips
-// re-certification for programs whose model, fnspec, and emitted code
-// hashes all match a previously certified run. The C itself is re-emitted
-// from a fresh compile every time — the cache holds verdicts, never code.
+// addressed certificate cache (default $RELC_CACHE_DIR, else
+// .relc-cache/; precedence documented in support/ToolFlags.h): a warm
+// run skips re-certification for programs whose model, fnspec, and
+// emitted code hashes all match a previously certified run. The C itself
+// is re-emitted from a fresh compile every time — the cache holds
+// verdicts, never code.
 //
 // Every flag is accepted in both single- and double-dash form.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cert/Binary.h"
-#include "cgen/CEmit.h"
-#include "pipeline/Pipeline.h"
-#include "pipeline/Scheduler.h"
-#include "programs/Programs.h"
+#include "relc/Cert.h"
+#include "relc/Certify.h"
 #include "support/CommandLine.h"
 #include "support/Fault.h"
+#include "support/ToolFlags.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -45,11 +51,13 @@
 
 using namespace relc;
 
-// Exit-code taxonomy (stable; scripts may rely on it):
+// Exit-code taxonomy (stable; scripts may rely on it — decided in
+// service::certify, shared with relc-lint and relcd):
 //   0  every program fully certified at full strength
 //   1  at least one genuine failure (compile error, refuted or rejected
 //      certification, failed differential)
-//   2  usage error (bad flag, bad fault spec, unwritable output dir)
+//   2  usage error (bad flag, bad fault spec, unknown -only program,
+//      unwritable output dir)
 //   3  no genuine failures, but at least one outcome was *degraded* — a
 //      budget ran out or an injected fault fired. With --keep-going,
 //      programs whose only problems are degraded outcomes land here
@@ -58,15 +66,14 @@ using namespace relc;
 int main(int argc, char **argv) {
   std::string OutDir = "generated";
   std::string Only;
-  std::string CacheDir = ".relc-cache";
   std::string CertFormat = "auto";
   bool PrintBedrock = false, PrintDeriv = false, NoValidate = false;
   bool NoAnalyze = false, AnalysisReport = false;
   bool NoTv = false, TvReport = false;
-  bool NoCache = false, KeepGoing = false;
+  bool KeepGoing = false;
   unsigned Jobs = 1;
-  unsigned LayerTimeoutMs = 0;
-  uint64_t TvStepBudget = 0;
+  cl::CacheDirFlags Cache;
+  cl::BudgetFlags Budgets;
 
   // RELC_FAULT_SPEC arms the registry before flags, so --fault (parsed
   // below) can override it wholesale.
@@ -106,47 +113,14 @@ int main(int argc, char **argv) {
   T.flag({"-tv-report"}, &TvReport,
          "print each program's full TV match trace\n"
          "(forces live certification; disables the cache)");
-  T.num({"-j", "-jobs"}, &Jobs, 0, "<n>",
-        "certification scheduler width; 1 = serial\n"
-        "reference order, 0 = all hardware threads\n"
-        "(default: 1)");
-  T.str({"-cache-dir"}, &CacheDir, "<dir>",
-        "certificate cache directory\n"
-        "(default: .relc-cache)");
-  T.flag({"-no-cache"}, &NoCache, "disable the certificate cache");
-  T.num({"-layer-timeout-ms"}, &LayerTimeoutMs, 0, "<ms>",
-        "wall-clock deadline per certification layer\n"
-        "per program; exhaustion degrades the layer\n"
-        "instead of hanging (default: 0 = unlimited)");
-  T.custom({"-tv-step-budget"}, /*HasValue=*/true, "<n>",
-           "cap translation validation at <n> normalization\n"
-           "/search steps; exhaustion degrades TV to\n"
-           "inconclusive (default: 0 = unlimited)",
-           [&TvStepBudget](const std::string &V, std::string *Err) {
-             if (V.empty() ||
-                 V.find_first_not_of("0123456789") != std::string::npos) {
-               *Err = "expected a non-negative integer, got '" + V + "'";
-               return false;
-             }
-             TvStepBudget = std::strtoull(V.c_str(), nullptr, 10);
-             return true;
-           });
+  cl::addJobsFlag(T, Jobs, "certification");
+  cl::addCacheDirFlags(T, Cache);
+  cl::addBudgetFlags(T, Budgets);
   T.flag({"-keep-going"}, &KeepGoing,
          "report programs whose only problems are\n"
          "degraded outcomes (budgets, injected faults)\n"
          "as DEGRADED (exit 3) instead of failures");
-  T.custom({"-fault"}, /*HasValue=*/true, "<spec>",
-           "arm deterministic fault injection, e.g.\n"
-           "'cache-write:transient:n=2' or\n"
-           "'layer-entry:persistent:match=fnv1a/tv'\n"
-           "(overrides RELC_FAULT_SPEC; for testing)",
-           [](const std::string &V, std::string *Err) {
-             if (Status S = fault::arm(V); !S) {
-               *Err = S.error().str();
-               return false;
-             }
-             return true;
-           });
+  cl::addFaultFlag(T);
 
   switch (T.parse(argc, argv)) {
   case cl::ParseResult::Ok:
@@ -158,7 +132,6 @@ int main(int argc, char **argv) {
   }
 
   bool Validate = !NoValidate, Analyze = !NoAnalyze, Tv = !NoTv;
-  bool UseCache = !NoCache;
 
   std::error_code EC;
   std::filesystem::create_directories(OutDir, EC);
@@ -168,41 +141,43 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  std::vector<const programs::ProgramDef *> Targets;
-  for (const programs::ProgramDef &P : programs::allPrograms())
-    if (Only.empty() || P.Name == Only)
-      Targets.push_back(&P);
-
-  pipeline::PipelineOptions Opts;
-  std::string JobsNote;
-  Opts.Jobs = pipeline::resolveJobs(Jobs, &JobsNote);
-  if (!JobsNote.empty())
-    std::fprintf(stderr, "relc-gen: %s\n", JobsNote.c_str());
-  Opts.LayerTimeoutMs = LayerTimeoutMs;
-  Opts.TvStepBudget = TvStepBudget;
-  Opts.KeepGoing = KeepGoing;
+  service::Request R;
+  if (!Only.empty())
+    R.Programs.push_back(Only);
+  R.Jobs = Jobs;
   // The full-report flags need the live analysis / TV reports, which a
   // cached verdict cannot reproduce — force live certification.
-  if (UseCache && !AnalysisReport && !TvReport)
-    Opts.CacheDir = CacheDir;
-  Opts.Validate = Validate;
+  if (!AnalysisReport && !TvReport)
+    R.CacheDir = cl::resolveCacheDir(Cache);
+  R.Validate = Validate;
   // validate() has always run analysis and TV as its layers 2 and 3;
   // -no-analyze / -no-tv only control the standalone gates below.
-  Opts.Analyze = Analyze || Validate;
-  Opts.Tv = Tv || Validate;
+  R.Analyze = Analyze || Validate;
+  R.Tv = Tv || Validate;
+  R.LayerTimeoutMs = Budgets.LayerTimeoutMs;
+  R.TvStepBudget = Budgets.TvStepBudget;
+  R.KeepGoing = KeepGoing;
+  R.WantCertJson = CertFormat != "bin";
+  R.WantCertBin = CertFormat != "json";
+  R.EmitC = true;
 
-  std::vector<pipeline::ProgramOutcome> Outcomes =
-      pipeline::certifyPrograms(Targets, Opts);
+  service::Response Resp = service::certify(R);
+  if (Resp.Exit == 2) {
+    std::fprintf(stderr, "relc-gen: %s\n", Resp.UsageError.c_str());
+    return 2;
+  }
+  if (!Resp.JobsNote.empty())
+    std::fprintf(stderr, "relc-gen: %s\n", Resp.JobsNote.c_str());
 
-  std::string Header = cgen::cPrelude();
-  bool AnyFailed = false, AnyDegraded = false;
+  bool WriteFailed = false;
 
   // Cache-store failures are absorbed per program (the verdict stands),
   // but a misconfigured cache directory silently re-certifies everything
   // on every run. Surface the first failure once, as a named warning.
   bool WarnedCacheStore = false;
 
-  for (const pipeline::ProgramOutcome &O : Outcomes) {
+  for (const service::ProgramReply &PR : Resp.Programs) {
+    const pipeline::ProgramOutcome &O = PR.Outcome;
     const programs::ProgramDef &P = *O.Def;
 
     if (!O.CacheStoreError.empty() && !WarnedCacheStore) {
@@ -218,20 +193,15 @@ int main(int argc, char **argv) {
     // reported as DEGRADED and lands on exit 3, not 1. Nothing genuinely
     // failed certification — but nothing fully certified either, so no C
     // is emitted for it.
-    if (!O.ok() && KeepGoing && O.failureIsDegradedOnly()) {
-      const std::string &Why = !O.ValidationError.empty() ? O.ValidationError
-                               : !O.CompileOk             ? O.CompileError
-                                                          : O.DegradedNote;
+    if (PR.Status == service::ProgramStatus::Degraded) {
       std::fprintf(stderr, "[%s] DEGRADED:\n%s\n", P.Name.c_str(),
-                   Why.empty() ? O.firstDegradedNote().c_str() : Why.c_str());
-      AnyDegraded = true;
+                   PR.Error.c_str());
       continue;
     }
 
     if (!O.CompileOk) {
       std::fprintf(stderr, "[%s] FAILED:\n%s\n", P.Name.c_str(),
                    O.CompileError.c_str());
-      AnyFailed = true;
       continue;
     }
     // Layer failures under -validate carry the full note chain, exactly
@@ -239,7 +209,6 @@ int main(int argc, char **argv) {
     if (Validate && !O.ValidationError.empty()) {
       std::fprintf(stderr, "[%s] FAILED:\n%s\n", P.Name.c_str(),
                    O.ValidationError.c_str());
-      AnyFailed = true;
       continue;
     }
 
@@ -263,7 +232,6 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "[%s] FAILED: static analysis found %u error(s)\n",
                      P.Name.c_str(), O.AReport.numErrors());
-        AnyFailed = true;
         continue;
       }
     }
@@ -279,20 +247,20 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "[%s] FAILED: translation validation refuted "
                              "the compilation:\n%s",
                      P.Name.c_str(), O.TvRep.str().c_str());
-        AnyFailed = true;
         continue;
       }
       // Certificate artifacts, per --cert-format: the canonical JSON, the
       // binary image, or (auto) both. Both encode the same Certificate and
-      // rederive identically under relc-check.
+      // rederive identically under relc-check — and both are exactly the
+      // bytes relcd puts on the wire for this program.
       if (CertFormat != "bin") {
         std::ofstream Cert(OutDir + "/" + P.Name + ".tv.json");
-        Cert << O.TvCertJson;
+        Cert << PR.CertJson;
       }
       if (CertFormat != "json") {
         std::ofstream Cert(OutDir + "/" + P.Name + cert::kBinExtension,
                            std::ios::binary);
-        Cert << O.TvCertBin;
+        Cert << PR.CertBin;
       }
     }
 
@@ -307,32 +275,26 @@ int main(int argc, char **argv) {
       // failure into ValidationError, caught above).
       std::fprintf(stderr, "[%s] FAILED:\n%s\n", P.Name.c_str(),
                    O.ValidationError.c_str());
-      AnyFailed = true;
       continue;
     }
 
     // Certified, but some layer only got a truncated run (e.g. TV hit its
     // step budget and fell through to differential): say so, emit the C
     // anyway — the certification itself is sound — and exit 3.
-    if (O.anyDegraded()) {
+    if (O.anyDegraded())
       std::fprintf(stderr, "[%s] note: %s; certification was carried by "
                            "the remaining layers\n",
                    P.Name.c_str(), O.firstDegradedNote().c_str());
-      AnyDegraded = true;
-    }
 
     if (PrintBedrock)
       std::printf("%s\n", O.Compiled.Fn.str().c_str());
     if (PrintDeriv)
       std::printf("%s\n", O.Compiled.Proof->str().c_str());
 
-    cgen::CEmitOptions EOpts;
-    EOpts.NamePrefix = "relc_";
-    Result<std::string> CCode = cgen::emitFunction(O.Compiled.Fn, EOpts);
-    if (!CCode) {
-      std::fprintf(stderr, "[%s] C emission failed: %s\n", P.Name.c_str(),
-                   CCode.error().str().c_str());
-      AnyFailed = true;
+    if (PR.CCode.empty()) {
+      // service::certify flipped the status to Failed and rendered the
+      // emission error ("C emission failed: ...").
+      std::fprintf(stderr, "[%s] %s\n", P.Name.c_str(), PR.Error.c_str());
       continue;
     }
 
@@ -341,27 +303,19 @@ int main(int argc, char **argv) {
     if (!Out) {
       std::fprintf(stderr, "[%s] cannot write %s\n", P.Name.c_str(),
                    Path.c_str());
-      AnyFailed = true;
+      WriteFailed = true;
       continue;
     }
     Out << "/* Generated by relc (relational compilation); certified by\n"
            " * derivation replay and differential validation. Do not edit. */\n"
-        << cgen::cPrelude() << *CCode;
-
-    // Accumulate the aggregate header.
-    const bedrock::Function &Fn = O.Compiled.Fn;
-    Header += (Fn.Rets.empty() ? std::string("void") : "uintptr_t") +
-              " relc_" + Fn.Name + "(";
-    for (size_t I = 0; I < Fn.Args.size(); ++I)
-      Header += std::string(I ? ", " : "") + "uintptr_t " + Fn.Args[I];
-    Header += ");\n";
+        << PR.CCode;
   }
 
   std::ofstream H(OutDir + "/relc_generated.h");
   H << "/* Generated by relc; aggregate declarations. */\n"
     << "#ifndef RELC_GENERATED_H\n#define RELC_GENERATED_H\n"
     << "#ifdef __cplusplus\nextern \"C\" {\n#endif\n"
-    << Header << "#ifdef __cplusplus\n}\n#endif\n#endif\n";
+    << Resp.CHeader << "#ifdef __cplusplus\n}\n#endif\n#endif\n";
 
-  return AnyFailed ? 1 : AnyDegraded ? 3 : 0;
+  return WriteFailed ? 1 : Resp.Exit;
 }

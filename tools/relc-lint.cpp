@@ -6,10 +6,11 @@
 //===----------------------------------------------------------------------===//
 //
 // Runs the static layers of the certification pipeline as a strict gate:
-// compiles the named benchmark programs (or all of them), feeds the
-// generated Bedrock2 code to the relc::analysis verifier, and runs the
-// relc::tv translation validator. Prints the full report for each program
-// and exits nonzero if *any* diagnostic — error or warning — was
+// compiles the named benchmark programs (or all of them) through the one
+// audited service surface (service::certify via relc/Certify.h), feeds
+// the generated Bedrock2 code to the relc::analysis verifier, and runs
+// the relc::tv translation validator. Prints the full report for each
+// program and exits nonzero if *any* diagnostic — error or warning — was
 // produced, or if any program fails to come out *Proved* equivalent to
 // its model (for the curated suite, Inconclusive is also a regression:
 // every suite program lies inside the validated fragment). Registered
@@ -29,7 +30,8 @@
 // job-graph scheduler; reports are buffered per program and printed in
 // argument order, so every -j produces byte-identical output. The lint
 // gate always certifies live (never the certificate cache): its job is
-// producing fresh full reports. Flags accept both - and -- forms.
+// producing fresh full reports; -cache-dir/-no-cache are accepted for
+// cross-tool flag uniformity only. Flags accept both - and -- forms.
 //
 // With -rules the gate additionally runs the rule-metatheory analyses
 // (relc::rulemeta, same findings as relc-rulint): registry-level
@@ -53,14 +55,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "cert/Reader.h"
-#include "cert/Rederive.h"
-#include "pipeline/Pipeline.h"
-#include "pipeline/Scheduler.h"
 #include "programs/Programs.h"
+#include "relc/Cert.h"
+#include "relc/Certify.h"
+#include "relc/Check.h"
 #include "rulemeta/RuleMeta.h"
 #include "support/CommandLine.h"
 #include "support/Hash.h"
+#include "support/ToolFlags.h"
 
 #include <cstdio>
 #include <string>
@@ -73,7 +75,8 @@ int main(int argc, char **argv) {
   bool Code = false;
   std::string CertsDir;
   unsigned Jobs = 1;
-  std::vector<const programs::ProgramDef *> Targets;
+  cl::CacheDirFlags Cache;
+  std::vector<std::string> Names;
 
   cl::OptionTable T(
       "relc-lint",
@@ -101,17 +104,15 @@ int main(int argc, char **argv) {
   T.str({"-certs"}, &CertsDir, "<dir>",
         "also audit each program's on-disk certificate in <dir>;\n"
         "a missing or rejected certificate is a diagnostic");
-  T.num({"-j", "-jobs"}, &Jobs, 0, "<n>",
-        "lint scheduler width; 1 = serial reference order,\n"
-        "0 = all hardware threads (default: 1)");
+  cl::addJobsFlag(T, Jobs, "lint");
+  cl::addCacheDirFlags(T, Cache, /*Consults=*/false);
   T.positional("program", "lint only the named programs (default: all)",
-               [&Targets](const std::string &A, std::string *Err) {
-                 const programs::ProgramDef *P = programs::findProgram(A);
-                 if (!P) {
+               [&Names](const std::string &A, std::string *Err) {
+                 if (!programs::findProgram(A)) {
                    *Err = "unknown program '" + A + "'";
                    return false;
                  }
-                 Targets.push_back(P);
+                 Names.push_back(A);
                  return true;
                });
 
@@ -125,23 +126,23 @@ int main(int argc, char **argv) {
   }
   bool Tv = !NoTv;
 
-  if (Targets.empty())
-    for (const programs::ProgramDef &P : programs::allPrograms())
-      Targets.push_back(&P);
+  service::Request Req;
+  Req.Programs = Names; // empty = the whole registered suite
+  Req.Jobs = Jobs;
+  Req.Validate = false; // Compile only; validation is the other layers' job.
+  Req.Analyze = true;
+  Req.Tv = Tv;
+  Req.Codelint = Code;
+  // No cache (Req.CacheDir stays ""): the gate's job is fresh full
+  // reports.
 
-  pipeline::PipelineOptions Opts;
-  std::string JobsNote;
-  Opts.Jobs = pipeline::resolveJobs(Jobs, &JobsNote);
-  if (!JobsNote.empty())
-    std::fprintf(stderr, "relc-lint: %s\n", JobsNote.c_str());
-  Opts.Validate = false; // Compile only; validation is the other layers' job.
-  Opts.Analyze = true;
-  Opts.Tv = Tv;
-  Opts.Codelint = Code;
-  // No cache: the gate's job is fresh full reports.
-
-  std::vector<pipeline::ProgramOutcome> Outcomes =
-      pipeline::certifyPrograms(Targets, Opts);
+  service::Response Resp = service::certify(Req);
+  if (Resp.Exit == 2) {
+    std::fprintf(stderr, "relc-lint: %s\n", Resp.UsageError.c_str());
+    return 2;
+  }
+  if (!Resp.JobsNote.empty())
+    std::fprintf(stderr, "relc-lint: %s\n", Resp.JobsNote.c_str());
 
   unsigned TotalDiags = 0;
 
@@ -163,7 +164,8 @@ int main(int argc, char **argv) {
                   hash::hex16(core::standardRegistryFingerprint()).c_str());
   }
 
-  for (const pipeline::ProgramOutcome &O : Outcomes) {
+  for (const service::ProgramReply &PR : Resp.Programs) {
+    const pipeline::ProgramOutcome &O = PR.Outcome;
     if (!O.CompileOk) {
       std::fprintf(stderr, "[%s] compilation failed:\n%s\n",
                    O.Def->Name.c_str(), O.CompileError.c_str());

@@ -1,0 +1,247 @@
+//===- tools/relcd.cpp - Certification-as-a-service daemon -----------------===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The daemon face of the certification pipeline: `relcd serve` binds a
+// local Unix-domain socket and answers compile-and-certify requests from
+// many concurrent clients (wire schema v1, service/Protocol.h), keeping
+// the certificate cache, the rule-registry fingerprint, and an in-memory
+// reply memo warm across requests. `ping`, `stats`, and `shutdown` are
+// the operator's side of the protocol.
+//
+// The daemon serves the *same* audited computation relc-gen performs
+// (service::certify): certificates on the wire are byte-identical to
+// relc-gen's artifacts and are accepted by relc-check unchanged.
+// Degraded or faulted requests come back as named statuses and are
+// never cached or memoized.
+//
+// Exit codes: 0 = success; 1 = server/protocol failure (no daemon on
+// the socket, error reply); 2 = usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "relc/Certify.h"
+#include "support/CommandLine.h"
+#include "support/Fault.h"
+#include "support/Hash.h"
+#include "support/ToolFlags.h"
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+using namespace relc;
+
+namespace {
+
+/// SIGINT/SIGTERM request the same graceful drain a wire shutdown does.
+volatile std::sig_atomic_t GotSignal = 0;
+void onSignal(int) { GotSignal = 1; }
+
+constexpr const char *kDefaultSocket = "relcd.sock";
+
+void addSocketFlag(cl::OptionTable &T, std::string &Socket) {
+  T.str({"-socket"}, &Socket, "<path>",
+        "Unix-domain socket path (default: relcd.sock)");
+}
+
+int serveMain(const std::string &Socket, const cl::CacheDirFlags &Cache,
+              unsigned Jobs, const cl::BudgetFlags &Budgets,
+              unsigned MaxClients, unsigned MaxInflight,
+              unsigned ReadTimeoutMs) {
+  service::ServerOptions SO;
+  SO.SocketPath = Socket;
+  SO.CacheDir = cl::resolveCacheDir(Cache);
+  SO.Jobs = Jobs;
+  SO.MaxClients = MaxClients;
+  SO.MaxInflight = MaxInflight;
+  if (ReadTimeoutMs)
+    SO.ReadTimeoutMs = ReadTimeoutMs;
+  if (Budgets.LayerTimeoutMs)
+    SO.DefaultLayerTimeoutMs = Budgets.LayerTimeoutMs;
+  SO.DefaultTvStepBudget = Budgets.TvStepBudget;
+
+  service::Server Srv(SO);
+  if (Status S = Srv.start(); !S) {
+    std::fprintf(stderr, "relcd: %s\n", S.error().str().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::printf("relcd: serving on %s (cache %s, max-clients %u, "
+              "max-inflight %u)\n",
+              SO.SocketPath.c_str(),
+              SO.CacheDir.empty() ? "disabled" : SO.CacheDir.c_str(),
+              SO.MaxClients, SO.MaxInflight);
+  std::fflush(stdout);
+
+  while (!Srv.stopping()) {
+    if (GotSignal)
+      Srv.requestStop();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  Srv.wait();
+  std::printf("relcd: shutdown complete\n");
+  return 0;
+}
+
+/// One request against a running daemon; every failure is named on
+/// stderr and maps to exit 1.
+int clientRound(const std::string &Socket, service::wire::Kind Kind,
+                service::wire::Message *Out) {
+  service::Client C;
+  if (Status S = C.connect(Socket); !S) {
+    std::fprintf(stderr, "relcd: %s\n", S.error().str().c_str());
+    return 1;
+  }
+  service::wire::Message Req;
+  Req.TheKind = Kind;
+  Result<service::wire::Message> R = C.roundTrip(Req, 10000);
+  if (!R) {
+    std::fprintf(stderr, "relcd: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  if (R->TheKind == service::wire::Kind::ErrorReply) {
+    std::fprintf(stderr, "relcd: server error: %s%s%s\n",
+                 R->Error.Reason.c_str(), R->Error.Detail.empty() ? "" : ": ",
+                 R->Error.Detail.c_str());
+    return 1;
+  }
+  *Out = std::move(*R);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (Status S = fault::armFromEnv(); !S) {
+    std::fprintf(stderr, "relcd: RELC_FAULT_SPEC: %s\n",
+                 S.error().str().c_str());
+    return 2;
+  }
+
+  std::string ServeSocket = kDefaultSocket, PingSocket = kDefaultSocket;
+  std::string StatsSocket = kDefaultSocket, ShutdownSocket = kDefaultSocket;
+  cl::CacheDirFlags Cache;
+  cl::BudgetFlags Budgets;
+  unsigned Jobs = 1, MaxClients = 64, MaxInflight = 16, ReadTimeoutMs = 0;
+
+  cl::SubcommandSet Cmds(
+      "relcd",
+      "Long-lived certification daemon: serves compile-and-certify\n"
+      "requests over a local Unix-domain socket (wire schema v1),\n"
+      "keeping the certificate cache and rule-registry fingerprint\n"
+      "warm across requests. Certificates served on the wire are\n"
+      "byte-identical to relc-gen's artifacts.");
+
+  cl::OptionTable &Serve =
+      Cmds.add("serve", "run the daemon in the foreground",
+               "Binds the socket and serves until a shutdown request or\n"
+               "SIGINT/SIGTERM; degraded or faulted requests return named\n"
+               "statuses and are never cached.");
+  addSocketFlag(Serve, ServeSocket);
+  cl::addCacheDirFlags(Serve, Cache);
+  cl::addJobsFlag(Serve, Jobs, "per-request certification");
+  cl::addBudgetFlags(Serve, Budgets);
+  cl::addFaultFlag(Serve);
+  Serve.num({"-max-clients"}, &MaxClients, 1, "<n>",
+            "concurrent connection cap; excess connections\n"
+            "get a named server-busy reply (default: 64)");
+  Serve.num({"-max-inflight"}, &MaxInflight, 1, "<n>",
+            "concurrent certification cap (backpressure);\n"
+            "excess requests get server-busy (default: 16)");
+  Serve.num({"-read-timeout-ms"}, &ReadTimeoutMs, 0, "<ms>",
+            "slow-loris guard: a started frame must complete\n"
+            "within this window (default: 10000)");
+
+  cl::OptionTable &Ping =
+      Cmds.add("ping", "check that a daemon is alive",
+               "One round trip: prints the daemon's API/schema versions,\n"
+               "rule-registry fingerprint, and pid.");
+  addSocketFlag(Ping, PingSocket);
+
+  cl::OptionTable &Stats =
+      Cmds.add("stats", "print a daemon's request/cache counters",
+               "One round trip: request counts, memo and certificate-cache\n"
+               "hits, backpressure and protocol rejections.");
+  addSocketFlag(Stats, StatsSocket);
+
+  cl::OptionTable &Shutdown =
+      Cmds.add("shutdown", "ask a daemon to drain and exit",
+               "Sends the shutdown request and waits for the\n"
+               "acknowledgement.");
+  addSocketFlag(Shutdown, ShutdownSocket);
+
+  cl::SubcommandSet::Dispatch D = Cmds.dispatch(argc, argv);
+  switch (D.Result) {
+  case cl::ParseResult::Ok:
+    break;
+  case cl::ParseResult::Help:
+    return 0;
+  case cl::ParseResult::Error:
+    return 2;
+  }
+
+  if (D.Name == "serve")
+    return serveMain(ServeSocket, Cache, Jobs, Budgets, MaxClients,
+                     MaxInflight, ReadTimeoutMs);
+
+  if (D.Name == "ping") {
+    service::wire::Message M;
+    if (int Rc = clientRound(PingSocket, service::wire::Kind::PingRequest, &M))
+      return Rc;
+    std::printf("relcd: alive (api %u, schema %u, rules %s, pid %llu)\n",
+                M.ThePong.ApiVersion, M.ThePong.SchemaVersion,
+                hash::hex16(M.ThePong.RegistryFingerprint).c_str(),
+                static_cast<unsigned long long>(M.ThePong.Pid));
+    return 0;
+  }
+
+  if (D.Name == "stats") {
+    service::wire::Message M;
+    if (int Rc =
+            clientRound(StatsSocket, service::wire::Kind::StatsRequest, &M))
+      return Rc;
+    const service::wire::Stats &S = M.TheStats;
+    std::printf("requests:             %llu\n"
+                "certify-requests:     %llu\n"
+                "memo-hits:            %llu\n"
+                "cache-hits:           %llu\n"
+                "cache-misses:         %llu\n"
+                "cache-stores:         %llu\n"
+                "busy-rejections:      %llu\n"
+                "protocol-rejections:  %llu\n"
+                "faulted-requests:     %llu\n"
+                "active-connections:   %llu\n"
+                "cache-dir:            %s\n",
+                static_cast<unsigned long long>(S.Requests),
+                static_cast<unsigned long long>(S.CertifyRequests),
+                static_cast<unsigned long long>(S.MemoHits),
+                static_cast<unsigned long long>(S.CacheHits),
+                static_cast<unsigned long long>(S.CacheMisses),
+                static_cast<unsigned long long>(S.CacheStores),
+                static_cast<unsigned long long>(S.BusyRejections),
+                static_cast<unsigned long long>(S.ProtocolRejections),
+                static_cast<unsigned long long>(S.FaultedRequests),
+                static_cast<unsigned long long>(S.ActiveConnections),
+                S.CacheDir.empty() ? "(disabled)" : S.CacheDir.c_str());
+    return 0;
+  }
+
+  if (D.Name == "shutdown") {
+    service::wire::Message M;
+    if (int Rc = clientRound(ShutdownSocket,
+                             service::wire::Kind::ShutdownRequest, &M))
+      return Rc;
+    std::printf("relcd: shutdown acknowledged\n");
+    return 0;
+  }
+
+  std::fprintf(stderr, "relcd: internal: unhandled command '%s'\n",
+               D.Name.c_str());
+  return 2;
+}
