@@ -7,6 +7,8 @@
 
 #include "service/Client.h"
 
+#include "support/Backoff.h"
+
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -143,6 +145,46 @@ Result<wire::Message> Client::roundTrip(const wire::Message &Req,
     }
     Buf.append(Tmp, size_t(N));
   }
+}
+
+Result<wire::Message> Client::roundTripWithRetry(
+    const std::string &SocketPath, const wire::Message &Req,
+    const RetryPolicy &Policy, unsigned TimeoutMs, unsigned *Retries) {
+  backoff::Schedule Delay({Policy.BaseMs, Policy.CapMs, Policy.Seed});
+  const unsigned Attempts = Policy.Attempts ? Policy.Attempts : 1;
+  Result<wire::Message> Last = Error("connection-lost: not attempted");
+  for (unsigned A = 0; A < Attempts; ++A) {
+    if (A) {
+      if (Retries)
+        ++*Retries;
+      unsigned D = Delay.next();
+      if (Policy.SleepFn)
+        Policy.SleepFn(D);
+      else
+        std::this_thread::sleep_for(std::chrono::milliseconds(D));
+    }
+    if (!connected()) {
+      // One quick connect probe per attempt; the backoff loop owns the
+      // pacing (connect()'s internal retry window stays short so a
+      // down daemon costs ~one refused connect per attempt).
+      if (Status S = connect(SocketPath, 50); !S) {
+        Last = S.takeError();
+        continue;
+      }
+    }
+    Result<wire::Message> R = roundTrip(Req, TimeoutMs);
+    if (!R) {
+      Last = std::move(R); // Lost connection: reconnect and retry.
+      continue;
+    }
+    if (R->TheKind == wire::Kind::ErrorReply &&
+        R->Error.Reason == "server-busy") {
+      Last = std::move(R); // Backpressure: transient by contract.
+      continue;
+    }
+    return R;
+  }
+  return Last;
 }
 
 } // namespace service

@@ -21,8 +21,26 @@
 #include "service/Protocol.h"
 #include "support/Result.h"
 
+#include <cstdint>
+#include <functional>
+
 namespace relc {
 namespace service {
+
+/// Transient-failure retry policy for roundTripWithRetry: momentary
+/// backpressure ("server-busy" — including a draining daemon) and
+/// connect failures (ECONNREFUSED/ENOENT from a daemon that is
+/// restarting) back off with deterministic decorrelated jitter
+/// (support/Backoff.h) instead of surfacing as hard failures.
+struct RetryPolicy {
+  unsigned Attempts = 3; ///< Total tries, including the first.
+  unsigned BaseMs = 25;
+  unsigned CapMs = 1000;
+  uint64_t Seed = 0;
+  /// Fake clock for tests: when set, called with each delay instead of
+  /// sleeping through it.
+  std::function<void(unsigned Ms)> SleepFn;
+};
 
 class Client {
 public:
@@ -45,6 +63,20 @@ public:
   /// a *successful* round trip — the caller inspects the message kind.
   Result<wire::Message> roundTrip(const wire::Message &Req,
                                   unsigned TimeoutMs = 120000);
+
+  /// roundTrip with transient-failure absorption: (re)connects to
+  /// \p SocketPath as needed and retries up to Policy.Attempts times on
+  /// connect failure, a lost connection, or a "server-busy" reply, with
+  /// decorrelated-jitter backoff between tries. Any other reply —
+  /// including named worker-* degradations — returns immediately. After
+  /// the attempts run out, returns the last busy reply (it IS a
+  /// successful round trip) or the last transport error. \p Retries,
+  /// when non-null, accumulates the retry count (bench honesty).
+  Result<wire::Message> roundTripWithRetry(const std::string &SocketPath,
+                                           const wire::Message &Req,
+                                           const RetryPolicy &Policy = {},
+                                           unsigned TimeoutMs = 120000,
+                                           unsigned *Retries = nullptr);
 
 private:
   int Fd = -1;

@@ -147,6 +147,9 @@ void encodeCertifyReply(std::string &Out, const CertifyReply &R) {
     putStr(Out, P.CertJson);
     putStr(Out, P.CertBin);
   }
+  putU64(Out, R.CacheHits);
+  putU64(Out, R.CacheMisses);
+  putU64(Out, R.CacheStores);
 }
 
 bool decodeCertifyReply(Cursor &C, CertifyReply *R) {
@@ -168,6 +171,9 @@ bool decodeCertifyReply(Cursor &C, CertifyReply *R) {
     P.CertBin = C.str();
     R->Programs.push_back(std::move(P));
   }
+  R->CacheHits = C.u64();
+  R->CacheMisses = C.u64();
+  R->CacheStores = C.u64();
   return C.Ok;
 }
 
@@ -197,6 +203,16 @@ void encodeStats(std::string &Out, const Stats &S) {
   putU64(Out, S.ProtocolRejections);
   putU64(Out, S.FaultedRequests);
   putU64(Out, S.ActiveConnections);
+  putU64(Out, S.Workers);
+  putU64(Out, S.WorkerSpawns);
+  putU64(Out, S.WorkerRestarts);
+  putU64(Out, S.WorkerSpawnFailures);
+  putU64(Out, S.WorkerCrashes);
+  putU64(Out, S.WorkerOoms);
+  putU64(Out, S.WorkerTimeouts);
+  putU64(Out, S.WorkerRetries);
+  putU64(Out, S.WorkerDegraded);
+  putU64(Out, S.Drains);
   putStr(Out, S.CacheDir);
 }
 
@@ -211,6 +227,16 @@ bool decodeStats(Cursor &C, Stats *S) {
   S->ProtocolRejections = C.u64();
   S->FaultedRequests = C.u64();
   S->ActiveConnections = C.u64();
+  S->Workers = C.u64();
+  S->WorkerSpawns = C.u64();
+  S->WorkerRestarts = C.u64();
+  S->WorkerSpawnFailures = C.u64();
+  S->WorkerCrashes = C.u64();
+  S->WorkerOoms = C.u64();
+  S->WorkerTimeouts = C.u64();
+  S->WorkerRetries = C.u64();
+  S->WorkerDegraded = C.u64();
+  S->Drains = C.u64();
   S->CacheDir = C.str();
   return C.Ok;
 }

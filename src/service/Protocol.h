@@ -29,10 +29,18 @@
 //   malformed-frame         payload bytes do not decode as the tagged kind
 //   unknown-request-kind    well-formed frame, unrecognized kind byte
 //   unknown-program         certify request names an unregistered program
-//   server-busy             backpressure: certify admission cap reached
+//   server-busy             backpressure: admission cap reached, no idle
+//                           worker, or the daemon is draining
 //   request-timeout         peer fed bytes too slowly (slow-loris guard)
 //   injected-fault          relc::fault fired at a svc-* site (testing)
-//   server-shutting-down    request arrived during drain
+//
+// Worker-supervision degradations (same discipline — named, never
+// cached or memoized; see service/Supervisor.h):
+//
+//   worker-crashed            worker died by signal or unexpected exit
+//   worker-oom                worker exceeded RLIMIT_AS (OOM exit code)
+//   worker-timeout            per-job wall deadline or RLIMIT_CPU hit
+//   worker-retries-exhausted  every retry of a job lost its worker
 //
 // Degraded and faulted outcomes travel as *named statuses* inside a
 // well-formed reply (or as a named error frame) — never as a silent
@@ -107,6 +115,12 @@ struct ProgramResult {
 struct CertifyReply {
   uint8_t Exit = 0; ///< The stable relc-gen exit taxonomy (0/1/2/3).
   std::vector<ProgramResult> Programs;
+  /// Disk certificate-cache traffic this reply caused — in worker mode
+  /// the cache I/O happens in the worker subprocess, so the counters
+  /// ride the reply back for the daemon's aggregate stats.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheStores = 0;
 };
 
 struct Pong {
@@ -127,6 +141,18 @@ struct Stats {
   uint64_t ProtocolRejections = 0;  ///< Named frame rejections.
   uint64_t FaultedRequests = 0;     ///< injected-fault replies.
   uint64_t ActiveConnections = 0;
+  // Worker-supervision counters (all 0 when the daemon runs certify
+  // in-process, i.e. -workers 0).
+  uint64_t Workers = 0;            ///< Configured worker-pool size.
+  uint64_t WorkerSpawns = 0;       ///< Total worker forks (incl. initial).
+  uint64_t WorkerRestarts = 0;     ///< Respawns after an abnormal death.
+  uint64_t WorkerSpawnFailures = 0;
+  uint64_t WorkerCrashes = 0;      ///< Deaths by signal / unexpected exit.
+  uint64_t WorkerOoms = 0;         ///< Deaths by the OOM exit code.
+  uint64_t WorkerTimeouts = 0;     ///< Per-job wall-deadline kills.
+  uint64_t WorkerRetries = 0;      ///< Jobs re-dispatched after a loss.
+  uint64_t WorkerDegraded = 0;     ///< worker-* degraded replies served.
+  uint64_t Drains = 0;             ///< Graceful drains begun.
   std::string CacheDir;
 };
 

@@ -9,6 +9,7 @@
 
 #include "core/Rule.h"
 #include "service/Service.h"
+#include "service/Worker.h"
 #include "support/Fault.h"
 #include "support/Hash.h"
 #include "support/StringExtras.h"
@@ -16,8 +17,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -58,25 +62,54 @@ Status Server::start() {
   std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
               Opts.SocketPath.size() + 1);
 
+  // Socket ownership lock: two daemons racing onto the same path could
+  // both probe a stale socket dead, both unlink, and the loser would
+  // silently serve nothing. The flock on the `.lock` sibling makes
+  // ownership atomic — the loser fails here, by name, before touching
+  // the socket file. The lock file is never unlinked (unlinking would
+  // let a third daemon lock a fresh inode while the old one is still
+  // held); the flock dies with the process, so crashes leave no stale
+  // ownership behind.
+  const std::string LockPath = Opts.SocketPath + ".lock";
+  LockFd = ::open(LockPath.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (LockFd < 0)
+    return Error("relcd: cannot open socket lock " + LockPath + ": " +
+                 std::strerror(errno));
+  if (::flock(LockFd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(LockFd);
+    LockFd = -1;
+    return Error("relcd: socket-in-use: another relcd holds " + LockPath +
+                 " (socket " + Opts.SocketPath + ")");
+  }
+
   // Warm the registry fingerprint once: every ping and memo key reuses
   // it instead of refolding the rule registry per request.
   RegistryFingerprint = core::standardRegistryFingerprint();
 
+  auto FailWith = [this](Status S) {
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    ::close(LockFd);
+    LockFd = -1;
+    return S;
+  };
+
   ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (ListenFd < 0)
-    return Error(std::string("relcd: socket: ") + std::strerror(errno));
+    return FailWith(
+        Error(std::string("relcd: socket: ") + std::strerror(errno)));
 
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
       0) {
-    if (errno != EADDRINUSE) {
-      Status S = Error("relcd: bind " + Opts.SocketPath + ": " +
-                       std::strerror(errno));
-      ::close(ListenFd);
-      ListenFd = -1;
-      return S;
-    }
-    // The path exists. A predecessor killed mid-request leaves a stale
-    // socket file behind; probe it — only a live daemon answers.
+    if (errno != EADDRINUSE)
+      return FailWith(Error("relcd: bind " + Opts.SocketPath + ": " +
+                            std::strerror(errno)));
+    // The path exists and we hold the lock, so no *locked* daemon owns
+    // it. A predecessor killed mid-request leaves a stale socket file
+    // behind; probe it — only a live (pre-lock-era, or foreign) daemon
+    // answers.
     int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     bool Alive =
         Probe >= 0 &&
@@ -84,29 +117,42 @@ Status Server::start() {
             0;
     if (Probe >= 0)
       ::close(Probe);
-    if (Alive) {
-      ::close(ListenFd);
-      ListenFd = -1;
-      return Error("relcd: address-in-use: another relcd is serving " +
-                   Opts.SocketPath);
-    }
+    if (Alive)
+      return FailWith(
+          Error("relcd: address-in-use: another relcd is serving " +
+                Opts.SocketPath));
     ::unlink(Opts.SocketPath.c_str());
     if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
-        0) {
-      Status S = Error("relcd: bind " + Opts.SocketPath + ": " +
-                       std::strerror(errno));
-      ::close(ListenFd);
-      ListenFd = -1;
-      return S;
-    }
+        0)
+      return FailWith(Error("relcd: bind " + Opts.SocketPath + ": " +
+                            std::strerror(errno)));
   }
 
-  if (::listen(ListenFd, 128) != 0) {
-    Status S =
-        Error(std::string("relcd: listen: ") + std::strerror(errno));
-    ::close(ListenFd);
-    ListenFd = -1;
-    return S;
+  if (::listen(ListenFd, 128) != 0)
+    return FailWith(
+        Error(std::string("relcd: listen: ") + std::strerror(errno)));
+
+  // Spawn the worker pool before the daemon goes multi-threaded, so the
+  // initial forks happen from a quiet process.
+  if (Opts.Workers > 0) {
+    SupervisorOptions SupO;
+    SupO.Workers = Opts.Workers;
+    SupO.RetryLimit = Opts.WorkerRetries;
+    SupO.JobWallMs = Opts.JobWallMs;
+    SupO.BackoffBaseMs = Opts.WorkerBackoffBaseMs;
+    SupO.BackoffCapMs = Opts.WorkerBackoffCapMs;
+    SupO.BackoffSeed = RegistryFingerprint;
+    SupO.Worker.CacheDir = Opts.CacheDir;
+    SupO.Worker.Jobs = Opts.Jobs;
+    SupO.Worker.MemLimitMb = Opts.WorkerMemLimitMb;
+    SupO.Worker.CpuLimitSec = Opts.WorkerCpuLimitSec;
+    if (!Opts.CacheDir.empty())
+      SupO.CrashDir = Opts.CacheDir + "/crash-reports";
+    Sup = std::make_unique<Supervisor>(SupO);
+    if (Status S = Sup->start(); !S) {
+      Sup.reset();
+      return FailWith(S);
+    }
   }
 
   Started = true;
@@ -114,7 +160,19 @@ Status Server::start() {
   return Status::success();
 }
 
-void Server::requestStop() { Stop.store(true, std::memory_order_release); }
+void Server::requestStop() {
+  // Begin the graceful drain; the accept loop owns the rest (listener
+  // close, in-flight wait, hard stop, worker-pool teardown). When the
+  // accept loop never started (start() failed), hard-stop directly.
+  if (!Draining.exchange(true, std::memory_order_acq_rel))
+    DrainCount.fetch_add(1);
+  if (!Started)
+    Stop.store(true, std::memory_order_release);
+}
+
+bool Server::draining() const {
+  return Draining.load(std::memory_order_acquire);
+}
 
 bool Server::stopping() const {
   return Stop.load(std::memory_order_acquire);
@@ -139,12 +197,25 @@ wire::Stats Server::stats() const {
   S.ProtocolRejections = ProtocolRejections.load();
   S.FaultedRequests = FaultedRequests.load();
   S.ActiveConnections = ActiveConns.load();
+  S.Workers = Opts.Workers;
+  if (Sup) {
+    SupervisorCounters C = Sup->counters();
+    S.WorkerSpawns = C.Spawns;
+    S.WorkerRestarts = C.Restarts;
+    S.WorkerSpawnFailures = C.SpawnFailures;
+    S.WorkerCrashes = C.Crashes;
+    S.WorkerOoms = C.Ooms;
+    S.WorkerTimeouts = C.Timeouts;
+    S.WorkerRetries = C.Retries;
+    S.WorkerDegraded = C.DegradedReplies;
+  }
+  S.Drains = DrainCount.load();
   S.CacheDir = Opts.CacheDir;
   return S;
 }
 
 void Server::acceptLoop() {
-  while (!stopping()) {
+  while (!draining()) {
     pollfd P{ListenFd, POLLIN, 0};
     int R = ::poll(&P, 1, kPollSliceMs);
     if (R <= 0)
@@ -175,9 +246,25 @@ void Server::acceptLoop() {
     ActiveConns.fetch_add(1);
     std::thread([this, Fd, ConnId] { serveConnection(Fd, ConnId); }).detach();
   }
+
+  // Graceful drain: stop listening first (new connects are refused by
+  // the OS, and the socket path disappears), let in-flight jobs finish
+  // up to the drain deadline — connections stay open and get named
+  // "server-busy" replies for new certify work — then hard-stop.
   ::close(ListenFd);
   ListenFd = -1;
   ::unlink(Opts.SocketPath.c_str());
+  auto DrainT0 = std::chrono::steady_clock::now();
+  while (Inflight.load() > 0 &&
+         msSince(DrainT0) < double(Opts.DrainTimeoutMs))
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Stop.store(true, std::memory_order_release);
+  if (Sup)
+    Sup->stop(); // Unsticks any over-deadline jobs with a named loss.
+  if (LockFd >= 0) {
+    ::close(LockFd); // Releases the flock; the lock file stays.
+    LockFd = -1;
+  }
 }
 
 void Server::serveConnection(int Fd, uint64_t ConnId) {
@@ -331,9 +418,14 @@ wire::Message Server::dispatch(const wire::Message &Req) {
 
 wire::Message Server::handleCertify(const wire::CertifyRequest &WReq) {
   wire::Message Reply;
-  if (stopping()) {
+  if (draining()) {
+    // Drain discipline: in-flight jobs finish; *new* certify work is
+    // backpressure, named like any other busy refusal so retrying
+    // clients treat it as transient.
+    BusyRejections.fetch_add(1);
     Reply.TheKind = wire::Kind::ErrorReply;
-    Reply.Error.Reason = "server-shutting-down";
+    Reply.Error.Reason = "server-busy";
+    Reply.Error.Detail = "server draining";
     return Reply;
   }
 
@@ -399,52 +491,32 @@ wire::Message Server::handleCertify(const wire::CertifyRequest &WReq) {
     return Reply;
   }
 
-  Request R;
-  R.Programs = Canon.Programs;
-  R.Validate = Canon.Validate;
-  R.Analyze = Canon.Analyze;
-  R.Tv = Canon.Tv;
-  R.Codelint = Canon.Codelint;
-  R.Jobs = Opts.Jobs;
-  R.CacheDir = Opts.CacheDir;
-  R.LayerTimeoutMs = Canon.LayerTimeoutMs;
-  R.TvStepBudget = Canon.TvStepBudget;
-  R.KeepGoing = Canon.KeepGoing;
-  R.WantCertJson = Canon.WantCertJson;
-  R.WantCertBin = Canon.WantCertBin;
-  R.EmitC = false;
-
-  Response Resp = certify(R);
+  // The job itself: through the supervised worker pool when configured
+  // (crash-only: a lost worker degrades to a named worker-* reply),
+  // else in-process on this connection thread. Both paths are the same
+  // runCertify projection, so the replies are byte-identical.
+  if (Sup) {
+    const std::string JobKey = DispatchKey + "#" + hash::hex16(MemoKey);
+    Reply = Sup->runJob(Canon, JobKey);
+  } else {
+    WorkerConfig Cfg;
+    Cfg.CacheDir = Opts.CacheDir;
+    Cfg.Jobs = Opts.Jobs;
+    Reply = runCertify(Canon, Cfg);
+  }
   Inflight.fetch_sub(1);
 
-  CacheHits.fetch_add(Resp.Stats.Cache.Hits);
-  CacheMisses.fetch_add(Resp.Stats.Cache.Misses);
-  CacheStores.fetch_add(Resp.Stats.Cache.Stores);
-
-  if (!Resp.UsageError.empty()) {
-    Reply.TheKind = wire::Kind::ErrorReply;
-    Reply.Error.Reason = "unknown-program";
-    Reply.Error.Detail = Resp.UsageError;
+  if (Reply.TheKind == wire::Kind::ErrorReply) {
+    if (Reply.Error.Reason == "server-busy")
+      BusyRejections.fetch_add(1);
     return Reply;
   }
 
-  Reply.TheKind = wire::Kind::CertifyReply;
-  Reply.Reply.Exit = uint8_t(Resp.Exit);
-  for (const ProgramReply &PR : Resp.Programs) {
-    wire::ProgramResult P;
-    P.Name = PR.Name;
-    P.Status = uint8_t(PR.Status);
-    P.From = uint8_t(PR.From);
-    P.Error = PR.Error;
-    P.DegradedNote = PR.DegradedNote;
-    P.TvVerdict = PR.TvVerdict;
-    P.CodelintVerdict = PR.CodelintVerdict;
-    P.CertJson = PR.CertJson;
-    P.CertBin = PR.CertBin;
-    Reply.Reply.Programs.push_back(std::move(P));
-  }
+  CacheHits.fetch_add(Reply.Reply.CacheHits);
+  CacheMisses.fetch_add(Reply.Reply.CacheMisses);
+  CacheStores.fetch_add(Reply.Reply.CacheStores);
 
-  if (Resp.Exit == 0) {
+  if (Reply.Reply.Exit == 0) {
     std::lock_guard<std::mutex> L(MemoMu);
     if (MemoIndex.find(MemoKey) == MemoIndex.end()) {
       MemoLru.emplace_front(MemoKey, Reply.Reply);

@@ -18,7 +18,12 @@
 //     excess requests get a named "server-busy" reply immediately
 //     instead of queueing unboundedly;
 //   - budgets: requests that carry no budget get the server's defaults,
-//     so no client can wedge the daemon with an unbounded certification.
+//     so no client can wedge the daemon with an unbounded certification;
+//   - crash-only isolation (Workers > 0): certifications run in a
+//     supervised pool of forked, rlimited workers (service/Supervisor.h)
+//     — a segfaulting, OOMing, or runaway job loses one worker and is
+//     retried with backoff, degrading to a named worker-* status, never
+//     taking down the daemon or its warm caches.
 //
 // Trust story (DESIGN.md §4.11): the daemon is trusted for transport,
 // scheduling, and caching only. The certificates it returns are
@@ -38,6 +43,7 @@
 #define RELC_SERVICE_SERVER_H
 
 #include "service/Protocol.h"
+#include "service/Supervisor.h"
 #include "support/Result.h"
 
 #include <atomic>
@@ -45,6 +51,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -76,6 +83,25 @@ struct ServerOptions {
   /// In-memory reply memo capacity (distinct request shapes). Only
   /// fully-certified, un-degraded replies are memoized.
   size_t MemoCapacity = 64;
+
+  // --- Crash-only worker isolation (DESIGN.md §4.12). -------------------
+  /// Worker-pool size; 0 = certify in-process on the connection thread
+  /// (the pre-supervision behavior). With workers, every certification
+  /// runs in a forked, rlimited subprocess — a crashing, OOMing, or
+  /// hanging job loses one worker, never the daemon.
+  unsigned Workers = 0;
+  unsigned WorkerRetries = 2;     ///< Retries per job after a lost worker.
+  unsigned JobWallMs = 60000;     ///< Per-attempt worker wall deadline.
+  unsigned WorkerBackoffBaseMs = 25;
+  unsigned WorkerBackoffCapMs = 1000;
+  uint64_t WorkerMemLimitMb = 0;  ///< RLIMIT_AS per worker; 0 = inherit.
+  unsigned WorkerCpuLimitSec = 0; ///< RLIMIT_CPU per worker; 0 = inherit.
+
+  /// Graceful-drain window: after requestStop()/SIGTERM the listener
+  /// closes immediately, in-flight jobs get up to this long to finish
+  /// (new certify requests are refused with "server-busy"), then the
+  /// daemon hard-stops and the worker pool is torn down.
+  unsigned DrainTimeoutMs = 5000;
 };
 
 class Server {
@@ -85,19 +111,25 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Binds the socket (recovering a stale path left by a killed
-  /// predecessor), starts the accept loop, and returns. Fails with a
-  /// named reason when another live daemon owns the path
-  /// ("address-in-use") or the bind fails.
+  /// Takes the `<socket>.lock` flock (losing the race to a live holder
+  /// is the named "socket-in-use" failure), binds the socket (recovering
+  /// a stale path left by a killed predecessor — a live unlocked daemon
+  /// is the named "address-in-use" failure), spawns the worker pool when
+  /// configured, starts the accept loop, and returns.
   Status start();
 
   /// Blocks until a shutdown request (wire or requestStop()) has been
   /// honored and every connection has drained.
   void wait();
 
-  /// Asynchronously begins shutdown (idempotent).
+  /// Asynchronously begins the graceful drain (idempotent): the
+  /// listener closes, in-flight jobs finish up to DrainTimeoutMs, new
+  /// certify requests get "server-busy", then the daemon hard-stops.
   void requestStop();
 
+  /// Drain begun (requestStop/SIGTERM/wire shutdown observed).
+  bool draining() const;
+  /// Hard stop: drain complete (or deadline passed); connections close.
   bool stopping() const;
 
   /// Snapshot of the counters the StatsRequest serves.
@@ -115,11 +147,17 @@ private:
 
   ServerOptions Opts;
   int ListenFd = -1;
+  /// Held for the server's lifetime; flock-owned, never unlinked (an
+  /// unlink would reopen the very race the lock closes).
+  int LockFd = -1;
   std::thread AcceptThread;
   bool Started = false;
   uint64_t RegistryFingerprint = 0;
+  std::unique_ptr<Supervisor> Sup; ///< Non-null iff Opts.Workers > 0.
 
+  std::atomic<bool> Draining{false};
   std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> DrainCount{0};
   std::atomic<unsigned> ActiveConns{0};
   std::atomic<unsigned> Inflight{0};
   std::atomic<uint64_t> NextConnId{0};

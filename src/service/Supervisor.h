@@ -1,0 +1,176 @@
+//===- service/Supervisor.h - relcd worker-pool supervisor ------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The parent half of crash-only certification (DESIGN.md §4.12): a
+// fixed-size pool of forked workers (service/Worker.h), each on its own
+// socketpair, plus everything needed to survive them:
+//
+//   - loss detection: exit-by-signal, the OOM exit code, and hangs via
+//     a per-job wall deadline layered over guard::Budget (the worker's
+//     cooperative budgets bound the job from the inside; the deadline
+//     bounds it from the outside even when cooperation fails);
+//   - recovery: the dead worker is SIGKILL'd (idempotent), reaped with
+//     wait4 (rusage feeds the crash report), its slot respawned lazily,
+//     and the job retried up to RetryLimit times with decorrelated-
+//     jitter backoff (support/Backoff.h);
+//   - naming: a job that cannot be completed degrades to a named
+//     ErrorReply — "worker-crashed" / "worker-oom" / "worker-timeout"
+//     (RetryLimit 0) or "worker-retries-exhausted" with the per-attempt
+//     losses in the detail — under the PR 5 taxonomy: named, exit 3 at
+//     the tool face, never cached or memoized;
+//   - evidence: each loss writes a crash-report artifact (job key,
+//     classification, wait status, rusage) into CrashDir when set.
+//
+// Deterministic chaos (relc::fault) is injected here, parent-side, so
+// the per-key ordinals live in one process and transient/persistent
+// semantics survive worker restarts: svc-worker-spawn fails a fork,
+// svc-worker-crash delivers a real signal (v = signo, default SIGKILL)
+// to the worker mid-job, svc-worker-hang withholds the worker's reply
+// until the deadline fires. The worker child consults no fault site —
+// its certify path is exactly the production path.
+//
+// Trust story: the supervisor is trusted for *availability only*. It
+// never interprets certificate bytes; a lying worker is caught by
+// relc-check exactly as a lying relc-gen would be.
+//
+// Forking: workers are forked without exec. The daemon routes every
+// certification through the pool in worker mode, so no parent thread
+// holds pipeline/allocator locks across fork long-term; the child only
+// runs the certify path and _exits.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SERVICE_SUPERVISOR_H
+#define RELC_SERVICE_SUPERVISOR_H
+
+#include "service/Protocol.h"
+#include "service/Worker.h"
+#include "support/Result.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace relc {
+namespace service {
+
+struct SupervisorOptions {
+  unsigned Workers = 2;
+  /// Retries after the first attempt; 0 = fail fast with the specific
+  /// loss name instead of "worker-retries-exhausted".
+  unsigned RetryLimit = 2;
+  unsigned JobWallMs = 60000;       ///< Per-attempt wall deadline.
+  unsigned AcquireTimeoutMs = 60000; ///< Wait for an idle worker.
+  unsigned BackoffBaseMs = 25;
+  unsigned BackoffCapMs = 1000;
+  uint64_t BackoffSeed = 0;
+  WorkerConfig Worker;   ///< CacheDir / Jobs / rlimits for each child.
+  std::string CrashDir;  ///< Crash-report artifacts; "" disables them.
+};
+
+/// How a job attempt lost its worker.
+enum class Loss : uint8_t {
+  Crashed, ///< Signal death or unexpected exit ("worker-crashed").
+  Oom,     ///< kWorkerOomExit ("worker-oom").
+  Timeout, ///< Wall-deadline kill or SIGXCPU ("worker-timeout").
+};
+const char *lossName(Loss L);
+
+/// Classifies one reaped wait status. \p KilledByDeadline marks kills
+/// the supervisor itself delivered after the wall deadline. *Detail
+/// gets the human elaboration ("killed by signal 9 (Killed)").
+Loss classifyExit(int WaitStatus, bool KilledByDeadline,
+                  std::string *Detail);
+
+struct SupervisorCounters {
+  uint64_t Spawns = 0;        ///< Total forks, including the initial pool.
+  uint64_t Restarts = 0;      ///< Respawns after an abnormal death.
+  uint64_t SpawnFailures = 0;
+  uint64_t Crashes = 0;
+  uint64_t Ooms = 0;
+  uint64_t Timeouts = 0;
+  uint64_t Retries = 0;         ///< Attempts re-dispatched after a loss.
+  uint64_t DegradedReplies = 0; ///< worker-* ErrorReplies served.
+  uint64_t JobsRun = 0;         ///< Jobs completed by a worker.
+  uint64_t CrashReports = 0;    ///< Artifacts written to CrashDir.
+};
+
+class Supervisor {
+public:
+  explicit Supervisor(SupervisorOptions O);
+  ~Supervisor();
+  Supervisor(const Supervisor &) = delete;
+  Supervisor &operator=(const Supervisor &) = delete;
+
+  /// Spawns the initial pool. Spawn failures here are not fatal — a
+  /// slot that cannot spawn now is retried per job.
+  Status start();
+
+  /// Terminates the pool: idle workers are killed and reaped; busy
+  /// workers are killed so their in-flight runJob calls return a named
+  /// loss without retrying. Idempotent.
+  void stop();
+
+  bool stopping() const { return Stopping.load(std::memory_order_acquire); }
+
+  /// Runs one canonicalized certify job on a pooled worker, retrying
+  /// lost attempts. Returns the worker's reply verbatim, or a named
+  /// degraded ErrorReply ("worker-*"), or "server-busy" when no worker
+  /// frees up in time / the pool is draining. \p JobKey keys the fault
+  /// sites, the backoff jitter, and the crash reports.
+  wire::Message runJob(const wire::CertifyRequest &Canon,
+                       const std::string &JobKey);
+
+  SupervisorCounters counters() const;
+
+  const SupervisorOptions &options() const { return Opts; }
+
+private:
+  struct Slot {
+    pid_t Pid = -1;
+    int Fd = -1;
+    bool Busy = false;
+    bool EverSpawned = false;
+  };
+
+  int acquireSlot();
+  void releaseSlot(int Idx);
+  Status ensureSpawned(int Idx, const std::string &JobKey);
+  /// Kills (idempotently), reaps, classifies, and tears down the slot's
+  /// worker; writes the crash report.
+  Loss reapLoss(int Idx, bool KilledByDeadline, const std::string &JobKey,
+                unsigned Attempt, std::string *Detail);
+  /// One dispatch attempt; true with *Reply on success, false with
+  /// *TheLoss / *Detail on a lost worker.
+  bool attemptJob(int Idx, const wire::CertifyRequest &Canon,
+                  const std::string &JobKey, unsigned Attempt,
+                  wire::Message *Reply, Loss *TheLoss, std::string *Detail);
+  void writeCrashReport(const std::string &JobKey, unsigned Attempt,
+                        Loss L, const std::string &Detail, int WaitStatus,
+                        long MaxRssKb, pid_t Pid);
+
+  SupervisorOptions Opts;
+  std::atomic<bool> Stopping{false};
+
+  mutable std::mutex Mu;
+  std::condition_variable IdleCv;
+  std::vector<Slot> Slots;
+
+  std::atomic<uint64_t> Spawns{0}, Restarts{0}, SpawnFailures{0}, Crashes{0},
+      Ooms{0}, Timeouts{0}, Retries{0}, DegradedReplies{0}, JobsRun{0},
+      CrashReportsWritten{0}, CrashSeq{0};
+};
+
+} // namespace service
+} // namespace relc
+
+#endif // RELC_SERVICE_SUPERVISOR_H

@@ -1,0 +1,76 @@
+//===- service/Worker.h - relcd certification worker ------------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The sandboxed half of crash-only certification (DESIGN.md §4.12): a
+// worker is a forked subprocess that serves certify jobs over one end of
+// a socketpair, speaking the same v1 length-prefixed frames as the
+// public socket — the wire codec is reused unchanged, so a worker reply
+// is byte-identical to what the in-process dispatch path would produce.
+//
+// The child confines itself before serving:
+//
+//   - RLIMIT_AS (when configured): address-space cap, so a runaway
+//     certification OOMs the worker, not the daemon;
+//   - RLIMIT_CPU (when configured): cpu cap, backstopping the
+//     supervisor's wall deadline against spin loops;
+//   - std::set_new_handler → _exit(kWorkerOomExit): allocation failure
+//     becomes a *classifiable* exit code instead of an unhandled
+//     bad_alloc, so the supervisor can name the death "worker-oom".
+//
+// Everything else — crash detection, deadlines, retries, fault
+// injection — lives parent-side in service/Supervisor.h. The worker
+// contains no fault-registry consultation at all: injected crashes are
+// real signals delivered by the supervisor, so the child's certify path
+// is exactly the production path.
+//
+// runCertify() is THE projection from a canonicalized wire request to a
+// wire reply (service::certify + exit-taxonomy mapping + cache-counter
+// fold). Both the worker loop and the in-process dispatch path call it,
+// which is what makes worker mode a pure isolation change, not a second
+// code path to audit.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SERVICE_WORKER_H
+#define RELC_SERVICE_WORKER_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace relc {
+namespace service {
+
+/// Exit code a worker uses when operator new fails (typically under
+/// RLIMIT_AS); the supervisor maps it to "worker-oom".
+constexpr int kWorkerOomExit = 77;
+
+/// What a worker child needs to serve certify jobs: the server-policy
+/// fields of service::Request plus its rlimits.
+struct WorkerConfig {
+  std::string CacheDir; ///< "" disables the certificate cache.
+  unsigned Jobs = 1;    ///< Scheduler width per certify request.
+  uint64_t MemLimitMb = 0;  ///< RLIMIT_AS in MiB; 0 = inherit.
+  unsigned CpuLimitSec = 0; ///< RLIMIT_CPU in seconds; 0 = inherit.
+};
+
+/// Builds the wire reply for one already-canonicalized certify request:
+/// a CertifyReply (with cache counters), or a named ErrorReply
+/// ("unknown-program") on usage errors.
+wire::Message runCertify(const wire::CertifyRequest &Canon,
+                         const WorkerConfig &Cfg);
+
+/// Child-side entry point: applies the rlimits and the OOM exit
+/// handler, then serves framed certify requests on \p Fd until EOF or a
+/// fatal protocol error. Never returns (always _exit).
+[[noreturn]] void workerMain(int Fd, const WorkerConfig &Cfg);
+
+} // namespace service
+} // namespace relc
+
+#endif // RELC_SERVICE_WORKER_H

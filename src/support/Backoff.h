@@ -1,0 +1,78 @@
+//===- support/Backoff.h - Deterministic retry backoff ----------*- C++ -*-===//
+//
+// Part of relc, a C++ reproduction of "Relational Compilation for
+// Performance-Critical Applications" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// relc::backoff — the one retry-delay policy shared by every transient-
+// failure loop (the relcd worker supervisor, service::Client's busy /
+// connect retry): *decorrelated jitter*, the AWS-architecture variant of
+// exponential backoff that avoids retry thundering herds without the
+// full-jitter pathology of occasionally sleeping ~0 forever:
+//
+//   delay[0]   = uniform(base, 3 * base)
+//   delay[n+1] = min(cap, uniform(base, 3 * delay[n]))
+//
+// The schedule is a pure function of (base, cap, seed): "randomness"
+// comes from a splitmix-style hash chain (support/Hash.h), never from
+// wall time or a global RNG, matching the fault registry's determinism
+// contract — a retried fault-matrix run backs off identically every
+// time, and the unit test pins the exact schedule.
+//
+// A Schedule computes delays only; it never sleeps. Callers own the
+// clock, which is what lets tests substitute a fake one (the Client
+// retry hook records delays instead of sleeping through them).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RELC_SUPPORT_BACKOFF_H
+#define RELC_SUPPORT_BACKOFF_H
+
+#include "support/Hash.h"
+
+#include <cstdint>
+
+namespace relc {
+namespace backoff {
+
+struct Policy {
+  unsigned BaseMs = 25;  ///< Minimum delay, and the first delay's floor.
+  unsigned CapMs = 1000; ///< Hard ceiling on any single delay.
+  uint64_t Seed = 0;     ///< Selects the jitter sequence.
+};
+
+/// One deterministic decorrelated-jitter delay sequence. next() returns
+/// the delay in ms for the upcoming retry; the caller sleeps (or, in
+/// tests, records).
+class Schedule {
+public:
+  explicit Schedule(Policy P)
+      : P(P), State(hash::mix64(P.Seed ^ 0x9e3779b97f4a7c15ull)),
+        Prev(P.BaseMs ? P.BaseMs : 1) {}
+
+  unsigned next() {
+    State = hash::mix64(State + 0x9e3779b97f4a7c15ull);
+    uint64_t Lo = P.BaseMs;
+    uint64_t Hi = uint64_t(Prev) * 3;
+    if (Hi < Lo)
+      Hi = Lo;
+    uint64_t D = Lo + State % (Hi - Lo + 1);
+    if (D > P.CapMs)
+      D = P.CapMs;
+    Prev = unsigned(D ? D : 1);
+    return unsigned(D);
+  }
+
+  const Policy &policy() const { return P; }
+
+private:
+  Policy P;
+  uint64_t State;
+  unsigned Prev; ///< Last returned delay (the decorrelation term).
+};
+
+} // namespace backoff
+} // namespace relc
+
+#endif // RELC_SUPPORT_BACKOFF_H

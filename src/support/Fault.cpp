@@ -41,6 +41,14 @@ const char *siteName(Site S) {
     return "svc-write";
   case Site::SvcDispatch:
     return "svc-dispatch";
+  case Site::SvcWorkerSpawn:
+    return "svc-worker-spawn";
+  case Site::SvcWorkerCrash:
+    return "svc-worker-crash";
+  case Site::SvcWorkerHang:
+    return "svc-worker-hang";
+  case Site::SvcWorkerOom:
+    return "svc-worker-oom";
   }
   return "cache-read";
 }
@@ -125,7 +133,9 @@ Result<std::vector<Clause>> parseSpec(const std::string &Spec) {
           return Error("fault spec: unknown site '" + Tok +
                        "' (expected cache-read, cache-write, sched-job, "
                        "layer-entry, interp-fuel, codelint-entry, "
-                       "svc-accept, svc-read, svc-write, or svc-dispatch)");
+                       "svc-accept, svc-read, svc-write, svc-dispatch, "
+                       "svc-worker-spawn, svc-worker-crash, "
+                       "svc-worker-hang, or svc-worker-oom)");
         First = false;
         continue;
       }

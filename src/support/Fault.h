@@ -20,7 +20,8 @@
 //
 //   site       cache-read | cache-write | sched-job | layer-entry
 //              | interp-fuel | codelint-entry | svc-accept | svc-read
-//              | svc-write | svc-dispatch
+//              | svc-write | svc-dispatch | svc-worker-spawn
+//              | svc-worker-crash | svc-worker-hang
 //   transient  (default) the site fails the first n times a given key
 //              hits it, then heals — retry loops must absorb it.
 //   persistent every hit fails — the pipeline must degrade to a *named*
@@ -69,8 +70,18 @@ enum class Site : uint8_t {
   SvcRead,       ///< relcd request-frame read ("svc-read").
   SvcWrite,      ///< relcd response-frame write ("svc-write").
   SvcDispatch,   ///< relcd certify-request dispatch ("svc-dispatch").
+  SvcWorkerSpawn, ///< relcd worker fork ("svc-worker-spawn").
+  SvcWorkerCrash, ///< relcd worker killed mid-job ("svc-worker-crash";
+                  ///< v = signal to deliver, default SIGKILL).
+  SvcWorkerHang,  ///< relcd worker reply withheld ("svc-worker-hang").
+  SvcWorkerOom,   ///< relcd worker starved of memory ("svc-worker-oom"):
+                  ///< the worker allocates until operator new fails, so a
+                  ///< configured RLIMIT_AS produces a *real* bad_alloc and
+                  ///< the real new-handler → exit-77 → "worker-oom" path,
+                  ///< independent of how much already-mapped heap slack
+                  ///< the forked worker inherited.
 };
-constexpr unsigned NumSites = 10;
+constexpr unsigned NumSites = 14;
 
 const char *siteName(Site S);
 bool siteFromName(const std::string &Name, Site *Out);

@@ -92,10 +92,16 @@ TEST(ProtocolTest, CertifyReplyRoundTrip) {
   P.CertJson = "{\"schema\":2}";
   P.CertBin = std::string("\x00\x01\x02\xff binary", 11); // Embedded NULs.
   In.Reply.Programs.push_back(P);
+  In.Reply.CacheHits = 5;
+  In.Reply.CacheMisses = 2;
+  In.Reply.CacheStores = 2;
 
   wire::Message Out = decodeFramed(encodeFramed(In));
   ASSERT_EQ(Out.TheKind, wire::Kind::CertifyReply);
   EXPECT_EQ(Out.Reply.Exit, 3);
+  EXPECT_EQ(Out.Reply.CacheHits, 5u);
+  EXPECT_EQ(Out.Reply.CacheMisses, 2u);
+  EXPECT_EQ(Out.Reply.CacheStores, 2u);
   ASSERT_EQ(Out.Reply.Programs.size(), 1u);
   const wire::ProgramResult &Q = Out.Reply.Programs[0];
   EXPECT_EQ(Q.Name, P.Name);
@@ -135,12 +141,32 @@ TEST(ProtocolTest, PongStatsErrorRoundTrip) {
   Stats.TheStats.Requests = 10;
   Stats.TheStats.CertifyRequests = 4;
   Stats.TheStats.MemoHits = 3;
+  Stats.TheStats.Workers = 4;
+  Stats.TheStats.WorkerSpawns = 9;
+  Stats.TheStats.WorkerRestarts = 5;
+  Stats.TheStats.WorkerSpawnFailures = 1;
+  Stats.TheStats.WorkerCrashes = 3;
+  Stats.TheStats.WorkerOoms = 1;
+  Stats.TheStats.WorkerTimeouts = 1;
+  Stats.TheStats.WorkerRetries = 6;
+  Stats.TheStats.WorkerDegraded = 2;
+  Stats.TheStats.Drains = 1;
   Stats.TheStats.CacheDir = "/tmp/cache";
   Out = decodeFramed(encodeFramed(Stats));
   ASSERT_EQ(Out.TheKind, wire::Kind::StatsReply);
   EXPECT_EQ(Out.TheStats.Requests, 10u);
   EXPECT_EQ(Out.TheStats.CertifyRequests, 4u);
   EXPECT_EQ(Out.TheStats.MemoHits, 3u);
+  EXPECT_EQ(Out.TheStats.Workers, 4u);
+  EXPECT_EQ(Out.TheStats.WorkerSpawns, 9u);
+  EXPECT_EQ(Out.TheStats.WorkerRestarts, 5u);
+  EXPECT_EQ(Out.TheStats.WorkerSpawnFailures, 1u);
+  EXPECT_EQ(Out.TheStats.WorkerCrashes, 3u);
+  EXPECT_EQ(Out.TheStats.WorkerOoms, 1u);
+  EXPECT_EQ(Out.TheStats.WorkerTimeouts, 1u);
+  EXPECT_EQ(Out.TheStats.WorkerRetries, 6u);
+  EXPECT_EQ(Out.TheStats.WorkerDegraded, 2u);
+  EXPECT_EQ(Out.TheStats.Drains, 1u);
   EXPECT_EQ(Out.TheStats.CacheDir, "/tmp/cache");
 
   wire::Message Err;

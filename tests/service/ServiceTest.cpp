@@ -69,10 +69,12 @@ struct TempPaths {
     Sock = Base + ".sock";
     CacheDir = Base + ".cache";
     std::filesystem::remove(Sock);
+    std::filesystem::remove(Sock + ".lock");
     std::filesystem::remove_all(CacheDir);
   }
   ~TempPaths() {
     std::filesystem::remove(Sock);
+    std::filesystem::remove(Sock + ".lock");
     std::filesystem::remove_all(CacheDir);
   }
 };
@@ -472,7 +474,10 @@ TEST(ServiceTest, UnknownProgramOverTheWire) {
   Srv.wait();
 }
 
-TEST(ServiceTest, AddressInUseIsNamedWhileAlive) {
+TEST(ServiceTest, SocketInUseIsNamedWhileAlive) {
+  // Ownership is decided by the flock on the `.lock` sibling, before
+  // the socket file is touched: the loser fails by name and the
+  // winner's socket is never probed or unlinked.
   TempPaths P("inuse");
   ServerOptions SO;
   SO.SocketPath = P.Sock;
@@ -481,9 +486,15 @@ TEST(ServiceTest, AddressInUseIsNamedWhileAlive) {
   Server Second(SO);
   Status S = Second.start();
   ASSERT_FALSE(bool(S));
-  EXPECT_NE(S.error().str().find("address-in-use"), std::string::npos);
+  EXPECT_NE(S.error().str().find("socket-in-use"), std::string::npos);
   Srv.requestStop();
   Srv.wait();
+  // The lock dies with the holder: after a clean shutdown the same
+  // path is immediately claimable again.
+  Server Third(SO);
+  ASSERT_TRUE(bool(Third.start()));
+  Third.requestStop();
+  Third.wait();
 }
 
 //===----------------------------------------------------------------------===//

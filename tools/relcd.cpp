@@ -49,10 +49,21 @@ void addSocketFlag(cl::OptionTable &T, std::string &Socket) {
         "Unix-domain socket path (default: relcd.sock)");
 }
 
+/// The worker-supervision serve flags (ServerOptions' crash-only face);
+/// 0 keeps the ServerOptions default where one exists.
+struct WorkerFlags {
+  unsigned Workers = 0;
+  unsigned Retries = 2;
+  unsigned JobWallMs = 0;
+  unsigned DrainTimeoutMs = 0;
+  unsigned MemLimitMb = 0;
+  unsigned CpuLimitSec = 0;
+};
+
 int serveMain(const std::string &Socket, const cl::CacheDirFlags &Cache,
               unsigned Jobs, const cl::BudgetFlags &Budgets,
               unsigned MaxClients, unsigned MaxInflight,
-              unsigned ReadTimeoutMs) {
+              unsigned ReadTimeoutMs, const WorkerFlags &Workers) {
   service::ServerOptions SO;
   SO.SocketPath = Socket;
   SO.CacheDir = cl::resolveCacheDir(Cache);
@@ -64,6 +75,14 @@ int serveMain(const std::string &Socket, const cl::CacheDirFlags &Cache,
   if (Budgets.LayerTimeoutMs)
     SO.DefaultLayerTimeoutMs = Budgets.LayerTimeoutMs;
   SO.DefaultTvStepBudget = Budgets.TvStepBudget;
+  SO.Workers = Workers.Workers;
+  SO.WorkerRetries = Workers.Retries;
+  if (Workers.JobWallMs)
+    SO.JobWallMs = Workers.JobWallMs;
+  if (Workers.DrainTimeoutMs)
+    SO.DrainTimeoutMs = Workers.DrainTimeoutMs;
+  SO.WorkerMemLimitMb = Workers.MemLimitMb;
+  SO.WorkerCpuLimitSec = Workers.CpuLimitSec;
 
   service::Server Srv(SO);
   if (Status S = Srv.start(); !S) {
@@ -73,10 +92,10 @@ int serveMain(const std::string &Socket, const cl::CacheDirFlags &Cache,
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
   std::printf("relcd: serving on %s (cache %s, max-clients %u, "
-              "max-inflight %u)\n",
+              "max-inflight %u, workers %u)\n",
               SO.SocketPath.c_str(),
               SO.CacheDir.empty() ? "disabled" : SO.CacheDir.c_str(),
-              SO.MaxClients, SO.MaxInflight);
+              SO.MaxClients, SO.MaxInflight, SO.Workers);
   std::fflush(stdout);
 
   while (!Srv.stopping()) {
@@ -126,9 +145,13 @@ int main(int argc, char **argv) {
 
   std::string ServeSocket = kDefaultSocket, PingSocket = kDefaultSocket;
   std::string StatsSocket = kDefaultSocket, ShutdownSocket = kDefaultSocket;
+  std::string CertifySocket = kDefaultSocket;
   cl::CacheDirFlags Cache;
-  cl::BudgetFlags Budgets;
+  cl::BudgetFlags Budgets, CertifyBudgets;
   unsigned Jobs = 1, MaxClients = 64, MaxInflight = 16, ReadTimeoutMs = 0;
+  WorkerFlags Workers;
+  std::vector<std::string> CertifyPrograms;
+  bool CertifyKeepGoing = false;
 
   cl::SubcommandSet Cmds(
       "relcd",
@@ -157,6 +180,28 @@ int main(int argc, char **argv) {
   Serve.num({"-read-timeout-ms"}, &ReadTimeoutMs, 0, "<ms>",
             "slow-loris guard: a started frame must complete\n"
             "within this window (default: 10000)");
+  Serve.num({"-workers"}, &Workers.Workers, 0, "<n>",
+            "crash-only worker pool: run every certification in\n"
+            "one of <n> forked, rlimited subprocesses; a crashing\n"
+            "or hanging job degrades by name (worker-crashed,\n"
+            "worker-oom, worker-timeout, worker-retries-exhausted)\n"
+            "instead of killing the daemon (default: 0 = in-process)");
+  Serve.num({"-worker-retries"}, &Workers.Retries, 0, "<n>",
+            "retries per job after a lost worker, with\n"
+            "exponential backoff + jitter (default: 2)");
+  Serve.num({"-job-wall-ms"}, &Workers.JobWallMs, 0, "<ms>",
+            "per-attempt worker wall deadline; a silent worker\n"
+            "is killed and the job retried (default: 60000)");
+  Serve.num({"-drain-timeout-ms"}, &Workers.DrainTimeoutMs, 0, "<ms>",
+            "graceful-drain window on shutdown/SIGTERM: in-flight\n"
+            "jobs get this long to finish, new certify requests\n"
+            "get server-busy (default: 5000)");
+  Serve.num({"-worker-mem-limit-mb"}, &Workers.MemLimitMb, 0, "<mb>",
+            "RLIMIT_AS per worker; allocation failure becomes a\n"
+            "named worker-oom (default: 0 = inherit)");
+  Serve.num({"-worker-cpu-limit-sec"}, &Workers.CpuLimitSec, 0, "<s>",
+            "RLIMIT_CPU per worker; a spin loop becomes a named\n"
+            "worker-timeout (default: 0 = inherit)");
 
   cl::OptionTable &Ping =
       Cmds.add("ping", "check that a daemon is alive",
@@ -176,6 +221,24 @@ int main(int argc, char **argv) {
                "acknowledgement.");
   addSocketFlag(Shutdown, ShutdownSocket);
 
+  cl::OptionTable &Certify =
+      Cmds.add("certify", "certify programs through a running daemon",
+               "One certify round trip (with transient-failure retry on\n"
+               "server-busy and connect refusal). Exits with the daemon's\n"
+               "relc-gen exit taxonomy: 0 certified, 1 failed, 2 unknown\n"
+               "program, 3 degraded (including the named worker-*\n"
+               "supervision degradations).");
+  addSocketFlag(Certify, CertifySocket);
+  cl::addBudgetFlags(Certify, CertifyBudgets);
+  Certify.flag({"-keep-going"}, &CertifyKeepGoing,
+               "continue past failing programs; degraded-only runs exit 3");
+  Certify.positional("program",
+                     "program names to certify (none = the whole suite)",
+                     [&CertifyPrograms](const std::string &Arg, std::string *) {
+                       CertifyPrograms.push_back(Arg);
+                       return true;
+                     });
+
   cl::SubcommandSet::Dispatch D = Cmds.dispatch(argc, argv);
   switch (D.Result) {
   case cl::ParseResult::Ok:
@@ -188,7 +251,7 @@ int main(int argc, char **argv) {
 
   if (D.Name == "serve")
     return serveMain(ServeSocket, Cache, Jobs, Budgets, MaxClients,
-                     MaxInflight, ReadTimeoutMs);
+                     MaxInflight, ReadTimeoutMs, Workers);
 
   if (D.Name == "ping") {
     service::wire::Message M;
@@ -217,6 +280,16 @@ int main(int argc, char **argv) {
                 "protocol-rejections:  %llu\n"
                 "faulted-requests:     %llu\n"
                 "active-connections:   %llu\n"
+                "workers:              %llu\n"
+                "worker-spawns:        %llu\n"
+                "worker-restarts:      %llu\n"
+                "worker-spawn-failures:%llu\n"
+                "worker-crashes:       %llu\n"
+                "worker-ooms:          %llu\n"
+                "worker-timeouts:      %llu\n"
+                "worker-retries:       %llu\n"
+                "worker-degraded:      %llu\n"
+                "drains:               %llu\n"
                 "cache-dir:            %s\n",
                 static_cast<unsigned long long>(S.Requests),
                 static_cast<unsigned long long>(S.CertifyRequests),
@@ -228,6 +301,16 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(S.ProtocolRejections),
                 static_cast<unsigned long long>(S.FaultedRequests),
                 static_cast<unsigned long long>(S.ActiveConnections),
+                static_cast<unsigned long long>(S.Workers),
+                static_cast<unsigned long long>(S.WorkerSpawns),
+                static_cast<unsigned long long>(S.WorkerRestarts),
+                static_cast<unsigned long long>(S.WorkerSpawnFailures),
+                static_cast<unsigned long long>(S.WorkerCrashes),
+                static_cast<unsigned long long>(S.WorkerOoms),
+                static_cast<unsigned long long>(S.WorkerTimeouts),
+                static_cast<unsigned long long>(S.WorkerRetries),
+                static_cast<unsigned long long>(S.WorkerDegraded),
+                static_cast<unsigned long long>(S.Drains),
                 S.CacheDir.empty() ? "(disabled)" : S.CacheDir.c_str());
     return 0;
   }
@@ -239,6 +322,53 @@ int main(int argc, char **argv) {
       return Rc;
     std::printf("relcd: shutdown acknowledged\n");
     return 0;
+  }
+
+  if (D.Name == "certify") {
+    service::wire::Message Req;
+    Req.TheKind = service::wire::Kind::CertifyRequest;
+    Req.Certify.Programs = CertifyPrograms;
+    Req.Certify.KeepGoing = CertifyKeepGoing;
+    Req.Certify.LayerTimeoutMs = CertifyBudgets.LayerTimeoutMs;
+    Req.Certify.TvStepBudget = CertifyBudgets.TvStepBudget;
+
+    service::Client C;
+    Result<service::wire::Message> R =
+        C.roundTripWithRetry(CertifySocket, Req);
+    if (!R) {
+      std::fprintf(stderr, "relcd: %s\n", R.error().str().c_str());
+      return 1;
+    }
+    if (R->TheKind == service::wire::Kind::ErrorReply) {
+      const std::string &Reason = R->Error.Reason;
+      std::fprintf(stderr, "relcd: %s%s%s\n", Reason.c_str(),
+                   R->Error.Detail.empty() ? "" : ": ",
+                   R->Error.Detail.c_str());
+      // Mirror the relc-gen taxonomy: an unknown program is a usage
+      // error; a named availability degradation (worker supervision,
+      // injected fault) is exit 3; everything else is a hard failure.
+      if (Reason == "unknown-program")
+        return 2;
+      if (Reason.rfind("worker-", 0) == 0 || Reason == "injected-fault")
+        return 3;
+      return 1;
+    }
+    if (R->TheKind != service::wire::Kind::CertifyReply) {
+      std::fprintf(stderr, "relcd: unexpected reply kind\n");
+      return 1;
+    }
+    for (const service::wire::ProgramResult &P : R->Reply.Programs) {
+      std::printf("%-24s %s (%s)%s%s\n", P.Name.c_str(),
+                  service::statusName(
+                      static_cast<service::ProgramStatus>(P.Status)),
+                  service::provenanceName(
+                      static_cast<service::Provenance>(P.From)),
+                  P.Error.empty() ? "" : ": ",
+                  P.Error.c_str());
+      if (!P.DegradedNote.empty())
+        std::printf("  note: %s\n", P.DegradedNote.c_str());
+    }
+    return int(R->Reply.Exit);
   }
 
   std::fprintf(stderr, "relcd: internal: unhandled command '%s'\n",
